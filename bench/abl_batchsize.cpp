@@ -1,0 +1,62 @@
+// Ablation: batch-size policy (§3.7). Compares fixed batch sizes against
+// the paper's dynamic H = ⌊√(Γs+1)⌋ rule on full simulations.
+//
+// Larger batches usually give better schedules (as the paper notes, citing
+// Zomaya & Teh) but cost more scheduler time; the dynamic rule trades the
+// two automatically.
+
+#include <iostream>
+
+#include "bench_common.hpp"
+
+using namespace gasched;
+
+int main(int argc, char** argv) {
+  const auto p = bench::parse_params(argc, argv, /*tasks=*/800, /*reps=*/3,
+                                     /*generations=*/80);
+  bench::print_banner(
+      "Ablation", "batch size policy (PN, full simulation)",
+      "paper claim: a larger batch usually yields a more efficient "
+      "schedule; the dynamic rule balances quality against scheduler time",
+      p);
+
+  exp::Scenario scenario;
+  scenario.name = "abl-batch";
+  scenario.cluster = exp::paper_cluster(10.0, p.procs);
+  scenario.workload.kind = exp::DistKind::kNormal;
+  scenario.workload.param_a = 1000.0;
+  scenario.workload.param_b = 9e5;
+  scenario.workload.count = p.tasks;
+  scenario.seed = p.seed;
+  scenario.replications = p.reps;
+
+  util::Table table({"batch_policy", "makespan", "efficiency",
+                     "sched_wall_s", "invocations"});
+  std::vector<std::vector<double>> csv_rows;
+  for (const std::size_t batch : {25, 50, 100, 200, 400}) {
+    exp::SchedulerOptions opts = bench::scheduler_options(p);
+    opts.pn_dynamic_batch = false;
+    opts.batch_size = batch;
+    const auto cell = exp::run_cell(scenario, exp::SchedulerKind::kPN, opts);
+    table.add_row("fixed " + std::to_string(batch),
+                  {cell.makespan.mean, cell.efficiency.mean,
+                   cell.sched_wall.mean, cell.invocations.mean});
+    csv_rows.push_back({static_cast<double>(batch), cell.makespan.mean,
+                        cell.efficiency.mean, cell.sched_wall.mean});
+  }
+  {
+    exp::SchedulerOptions opts = bench::scheduler_options(p);
+    opts.pn_dynamic_batch = true;
+    const auto cell = exp::run_cell(scenario, exp::SchedulerKind::kPN, opts);
+    table.add_row("dynamic sqrt(Gs+1)",
+                  {cell.makespan.mean, cell.efficiency.mean,
+                   cell.sched_wall.mean, cell.invocations.mean});
+    csv_rows.push_back(
+        {0.0, cell.makespan.mean, cell.efficiency.mean, cell.sched_wall.mean});
+  }
+  table.print(std::cout);
+  bench::maybe_write_csv(
+      p, {"batch_or_0_dynamic", "makespan", "efficiency", "sched_wall_s"},
+      csv_rows);
+  return 0;
+}

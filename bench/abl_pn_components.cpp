@@ -1,0 +1,106 @@
+// Ablation: factorial decomposition of the PN scheduler. PN differs from
+// the ZO baseline in exactly three ingredients — (C) communication-cost
+// prediction in the fitness function, (R) the re-balancing heuristic,
+// (B) dynamic batch sizing — but the paper only ever evaluates the full
+// bundle. This bench runs all 2³ combinations so each ingredient's
+// marginal contribution is visible. 000 = ZO, 111 = PN.
+
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "core/genetic_scheduler.hpp"
+#include "exp/runner.hpp"
+#include "util/thread_pool.hpp"
+
+using namespace gasched;
+
+namespace {
+
+/// A PN/ZO hybrid with the given feature mask, for run_replications-style
+/// execution outside the SchedulerKind enum.
+std::unique_ptr<sim::SchedulingPolicy> make_variant(bool comm, bool rebalance,
+                                                    bool dynamic,
+                                                    const bench::BenchParams& p,
+                                                    std::string name) {
+  core::GeneticSchedulerConfig cfg;
+  cfg.ga.max_generations = p.generations;
+  cfg.ga.population = p.population;
+  cfg.use_comm_estimates = comm;
+  cfg.rebalance = rebalance;
+  cfg.ga.improvement_passes = rebalance ? 1 : 0;
+  cfg.dynamic_batch = dynamic;
+  cfg.fixed_batch = p.batch;
+  cfg.max_batch = p.batch;
+  return std::make_unique<core::GeneticBatchScheduler>(cfg, std::move(name));
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const auto p = bench::parse_params(argc, argv, /*tasks=*/600, /*reps=*/4,
+                                     /*generations=*/80);
+  bench::print_banner(
+      "Ablation", "PN component decomposition (C=comm, R=rebalance, B=batch)",
+      "design-choice study (not in paper): the paper bundles three changes "
+      "over ZO; hypothesis per its SS5: comm prediction carries the "
+      "efficiency gain, re-balancing the makespan gain, dynamic batch "
+      "removes a tuning knob at little cost",
+      p);
+
+  exp::Scenario s;
+  s.name = "pn-components";
+  s.cluster = exp::paper_cluster(10.0, p.procs);
+  s.workload.kind = exp::DistKind::kNormal;
+  s.workload.param_a = 1000.0;
+  s.workload.param_b = 9e5;
+  s.workload.count = p.tasks;
+  s.seed = p.seed;
+  s.replications = p.reps;
+
+  struct Variant {
+    bool comm, rebalance, dynamic_batch;
+  };
+  std::vector<Variant> variants;
+  for (int mask = 0; mask < 8; ++mask) {
+    variants.push_back({(mask & 4) != 0, (mask & 2) != 0, (mask & 1) != 0});
+  }
+
+  util::Table table({"C", "R", "B", "makespan", "ci95", "efficiency"});
+  std::vector<std::vector<double>> csv_rows;
+  for (const auto& v : variants) {
+    const std::string name = std::string(v.comm ? "C" : "-") +
+                             (v.rebalance ? "R" : "-") +
+                             (v.dynamic_batch ? "B" : "-");
+    // Run replications manually (policies outside the SchedulerKind enum).
+    std::vector<double> makespans(p.reps), efficiencies(p.reps);
+    util::global_pool().parallel_for(0, p.reps, [&](std::size_t rep) {
+      // The runner's stream discipline: workload/cluster depend only on
+      // (seed, rep), so every variant sees identical instances.
+      const util::Rng base(s.seed);
+      util::Rng wrng = base.split(3 * rep);
+      util::Rng crng = base.split(3 * rep + 1);
+      util::Rng srng = base.split(3 * rep + 2);
+      const auto dist = exp::make_distribution(s.workload);
+      const auto wl = workload::generate(*dist, s.workload.count, wrng);
+      const auto cluster = sim::build_cluster(s.cluster, crng);
+      const auto policy =
+          make_variant(v.comm, v.rebalance, v.dynamic_batch, p, name);
+      const auto r = sim::simulate(cluster, wl, *policy, srng);
+      makespans[rep] = r.makespan;
+      efficiencies[rep] = r.efficiency();
+    });
+    const auto ms = util::summarize(makespans);
+    const auto ef = util::summarize(efficiencies);
+    table.add_row({v.comm ? "x" : "", v.rebalance ? "x" : "",
+                   v.dynamic_batch ? "x" : "", util::fmt(ms.mean),
+                   util::fmt(ms.ci95), util::fmt(ef.mean, 4)});
+    csv_rows.push_back({v.comm ? 1.0 : 0.0, v.rebalance ? 1.0 : 0.0,
+                        v.dynamic_batch ? 1.0 : 0.0, ms.mean, ef.mean});
+  }
+  table.print(std::cout);
+  bench::maybe_write_csv(p, {"comm", "rebalance", "dynamic", "makespan",
+                             "efficiency"},
+                         csv_rows);
+  std::cout << "\nRow '---' is the ZO baseline; row 'CRB' is full PN.\n";
+  return 0;
+}

@@ -1,0 +1,48 @@
+// Ablation: population size. The paper uses a micro GA of 20 individuals
+// (§4.2, citing Chipperfield & Flemming) "which speeds up computation time
+// without impacting greatly on the final result". This bench quantifies
+// that trade-off end-to-end (full simulation, PN scheduler).
+
+#include <iostream>
+
+#include "bench_common.hpp"
+
+using namespace gasched;
+
+int main(int argc, char** argv) {
+  const auto p = bench::parse_params(argc, argv, /*tasks=*/600, /*reps=*/3,
+                                     /*generations=*/80);
+  bench::print_banner(
+      "Ablation", "GA population size (PN, full simulation)",
+      "paper claim: population 20 (micro GA) is fast without much quality "
+      "loss vs larger populations",
+      p);
+
+  exp::Scenario scenario;
+  scenario.name = "abl-pop";
+  scenario.cluster = exp::paper_cluster(10.0, p.procs);
+  scenario.workload.kind = exp::DistKind::kNormal;
+  scenario.workload.param_a = 1000.0;
+  scenario.workload.param_b = 9e5;
+  scenario.workload.count = p.tasks;
+  scenario.seed = p.seed;
+  scenario.replications = p.reps;
+
+  util::Table table(
+      {"population", "makespan", "efficiency", "sched_wall_s"});
+  std::vector<std::vector<double>> csv_rows;
+  for (const std::size_t pop : {6, 12, 20, 40, 80}) {
+    exp::SchedulerOptions opts = bench::scheduler_options(p);
+    opts.population = pop;
+    const auto cell = exp::run_cell(scenario, exp::SchedulerKind::kPN, opts);
+    table.add_row(util::fmt(static_cast<double>(pop), 4),
+                  {cell.makespan.mean, cell.efficiency.mean,
+                   cell.sched_wall.mean});
+    csv_rows.push_back({static_cast<double>(pop), cell.makespan.mean,
+                        cell.efficiency.mean, cell.sched_wall.mean});
+  }
+  table.print(std::cout);
+  bench::maybe_write_csv(
+      p, {"population", "makespan", "efficiency", "sched_wall_s"}, csv_rows);
+  return 0;
+}

@@ -1,0 +1,94 @@
+// Ablation: selection scheme. The paper uses weighted roulette wheel
+// selection (§3.3); this bench compares tournament, rank, and stochastic
+// universal sampling on the same batch-scheduling problem.
+
+#include <iostream>
+#include <memory>
+
+#include "bench_common.hpp"
+#include "core/fitness.hpp"
+#include "core/init.hpp"
+#include "ga/engine.hpp"
+#include "sim/cluster.hpp"
+#include "util/thread_pool.hpp"
+#include "workload/generator.hpp"
+
+using namespace gasched;
+
+int main(int argc, char** argv) {
+  const auto p = bench::parse_params(argc, argv, /*tasks=*/200, /*reps=*/8,
+                                     /*generations=*/300);
+  bench::print_banner(
+      "Ablation", "selection schemes on one scheduling batch",
+      "design-choice study (not in paper): roulette is the paper's choice",
+      p);
+
+  std::vector<std::pair<std::string, std::shared_ptr<ga::SelectionOp>>> ops{
+      {"roulette", std::make_shared<ga::RouletteSelection>()},
+      {"tournament2", std::make_shared<ga::TournamentSelection>(2)},
+      {"tournament4", std::make_shared<ga::TournamentSelection>(4)},
+      {"rank", std::make_shared<ga::RankSelection>()},
+      {"sus", std::make_shared<ga::SusSelection>()},
+  };
+
+  util::Table table({"selection", "final_makespan", "reduction_vs_init"});
+  std::vector<std::vector<double>> csv_rows;
+  // results[oi][rep] = {final makespan, reduction}; filled in parallel.
+  std::vector<std::vector<std::pair<double, double>>> results(
+      ops.size(), std::vector<std::pair<double, double>>(p.reps));
+  util::global_pool().parallel_for(0, ops.size() * p.reps, [&](std::size_t w) {
+    const std::size_t oi = w / p.reps;
+    const std::size_t rep = w % p.reps;
+    {
+      const util::Rng base(p.seed);
+      util::Rng cluster_rng = base.split(2 * rep);
+      util::Rng task_rng = base.split(2 * rep + 1);
+      const sim::Cluster cluster =
+          sim::build_cluster(exp::paper_cluster(20.0, p.procs), cluster_rng);
+      sim::SystemView view;
+      view.procs.resize(cluster.size());
+      for (std::size_t j = 0; j < cluster.size(); ++j) {
+        view.procs[j].id = static_cast<sim::ProcId>(j);
+        view.procs[j].rate = cluster.processors[j].base_rate;
+        view.procs[j].comm_estimate =
+            cluster.comm->true_mean(static_cast<sim::ProcId>(j));
+      }
+      workload::NormalSizes dist(1000.0, 9e5);
+      std::vector<double> sizes(p.tasks);
+      for (auto& s : sizes) s = dist.sample(task_rng);
+      const core::ScheduleCodec codec(p.tasks, cluster.size());
+      const core::ScheduleEvaluator eval(sizes, view, true);
+      const core::ScheduleProblem problem(codec, eval);
+
+      ga::GaConfig cfg;
+      cfg.population = p.population;
+      cfg.max_generations = p.generations;
+      cfg.record_history = true;
+      const ga::CycleCrossover cx;
+      const ga::SwapMutation mut;
+      const ga::GaEngine engine(cfg, *ops[oi].second, cx, mut);
+      util::Rng ga_rng = base.split(1000 + 10 * rep + oi);
+      auto init =
+          core::initial_population(codec, eval, cfg.population, 0.5, ga_rng);
+      const auto r = engine.run(problem, std::move(init), ga_rng);
+      results[oi][rep] = {
+          r.best_objective,
+          1.0 - r.best_objective / r.objective_history.front()};
+    }
+  });
+  for (std::size_t oi = 0; oi < ops.size(); ++oi) {
+    double ms_sum = 0.0, red_sum = 0.0;
+    for (const auto& [ms, red] : results[oi]) {
+      ms_sum += ms;
+      red_sum += red;
+    }
+    const double reps = static_cast<double>(p.reps);
+    table.add_row(ops[oi].first, {ms_sum / reps, red_sum / reps});
+    csv_rows.push_back(
+        {static_cast<double>(oi), ms_sum / reps, red_sum / reps});
+  }
+  table.print(std::cout);
+  bench::maybe_write_csv(
+      p, {"op_index", "final_makespan", "reduction_vs_init"}, csv_rows);
+  return 0;
+}

@@ -1,0 +1,49 @@
+// Ablation: smoothing factor ν of the per-link communication estimators
+// (§3.6). ν controls how strongly the newest observation moves the
+// estimate Γ: ν = 0 freezes the first observation, ν = 1 tracks the
+// latest sample verbatim. The paper motivates smoothing ("minimise
+// localised fluctuations") but does not report a value; this bench
+// sweeps ν for the PN scheduler on a cluster with noisy per-dispatch
+// communication costs.
+
+#include <iostream>
+
+#include "bench_common.hpp"
+
+using namespace gasched;
+
+int main(int argc, char** argv) {
+  const auto p = bench::parse_params(argc, argv, /*tasks=*/600, /*reps=*/4,
+                                     /*generations=*/80);
+  bench::print_banner(
+      "Ablation", "comm-estimator smoothing factor nu (SS3.6)",
+      "design-choice study (not in paper): intermediate nu performs best "
+      "under jittery links — nu=1 chases noise, nu~0 never adapts",
+      p);
+
+  exp::Scenario s;
+  s.name = "smoothing";
+  s.cluster = exp::paper_cluster(15.0, p.procs);
+  s.cluster.comm.jitter_cv = 0.8;  // strongly noisy per-dispatch costs
+  s.workload.kind = exp::DistKind::kNormal;
+  s.workload.param_a = 1000.0;
+  s.workload.param_b = 9e5;
+  s.workload.count = p.tasks;
+  s.seed = p.seed;
+  s.replications = p.reps;
+
+  const auto opts = bench::scheduler_options(p);
+  util::Table table({"nu", "makespan", "ci95", "efficiency"});
+  std::vector<std::vector<double>> csv_rows;
+  for (const double nu : {0.05, 0.1, 0.3, 0.5, 0.7, 0.9, 1.0}) {
+    s.comm_nu = nu;
+    const auto cell = exp::run_cell(s, exp::SchedulerKind::kPN, opts);
+    table.add_row(util::fmt(nu, 2),
+                  {cell.makespan.mean, cell.makespan.ci95,
+                   cell.efficiency.mean});
+    csv_rows.push_back({nu, cell.makespan.mean, cell.efficiency.mean});
+  }
+  table.print(std::cout);
+  bench::maybe_write_csv(p, {"nu", "makespan", "efficiency"}, csv_rows);
+  return 0;
+}

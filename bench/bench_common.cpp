@@ -1,0 +1,154 @@
+#include "bench_common.hpp"
+
+#include <iostream>
+
+namespace gasched::bench {
+
+BenchParams parse_params(int argc, char** argv, std::size_t quick_tasks,
+                         std::size_t quick_reps,
+                         std::size_t quick_generations) {
+  const util::Cli cli(argc, argv);
+  BenchParams p;
+  p.full = util::bench_full_scale() || cli.get_bool("full", false);
+  if (p.full) {
+    p.tasks = 10000;
+    p.reps = 50;
+    p.generations = 1000;
+  } else {
+    p.tasks = quick_tasks;
+    p.reps = quick_reps;
+    p.generations = quick_generations;
+  }
+  p.tasks = static_cast<std::size_t>(
+      cli.get_int("tasks", static_cast<std::int64_t>(p.tasks)));
+  p.reps = static_cast<std::size_t>(
+      cli.get_int("reps", static_cast<std::int64_t>(p.reps)));
+  p.generations = static_cast<std::size_t>(cli.get_int(
+      "generations", static_cast<std::int64_t>(p.generations)));
+  p.procs = static_cast<std::size_t>(
+      cli.get_int("procs", static_cast<std::int64_t>(p.procs)));
+  p.population = static_cast<std::size_t>(
+      cli.get_int("population", static_cast<std::int64_t>(p.population)));
+  p.batch = static_cast<std::size_t>(
+      cli.get_int("batch", static_cast<std::int64_t>(p.batch)));
+  p.seed = static_cast<std::uint64_t>(
+      cli.get_int("seed", static_cast<std::int64_t>(p.seed)));
+  if (cli.has("csv")) p.csv = cli.get("csv", "");
+  if (cli.has("json")) p.json = cli.get("json", "");
+  return p;
+}
+
+exp::SchedulerOptions scheduler_options(const BenchParams& p) {
+  exp::SchedulerOptions o;
+  o.batch_size = p.batch;
+  o.max_generations = p.generations;
+  o.population = p.population;
+  o.pn_dynamic_batch = p.pn_dynamic_batch;
+  return o;
+}
+
+void print_banner(const std::string& figure, const std::string& title,
+                  const std::string& paper_expectation,
+                  const BenchParams& p) {
+  std::cout << "=== " << figure << ": " << title << " ===\n"
+            << "Paper expectation: " << paper_expectation << "\n"
+            << "Scale: " << (p.full ? "full (paper)" : "quick") << "  tasks="
+            << p.tasks << " procs=" << p.procs << " reps=" << p.reps
+            << " generations=" << p.generations << " batch=" << p.batch
+            << " seed=" << p.seed << "\n\n";
+}
+
+namespace {
+
+exp::Scenario make_scenario(const BenchParams& p,
+                            const exp::WorkloadSpec& spec,
+                            double mean_comm_cost) {
+  exp::Scenario s;
+  s.name = "bench";
+  s.cluster = exp::paper_cluster(mean_comm_cost, p.procs);
+  s.workload = spec;
+  s.workload.count = p.tasks;
+  s.seed = p.seed;
+  s.replications = p.reps;
+  return s;
+}
+
+}  // namespace
+
+std::vector<double> run_makespan_bars(const BenchParams& p,
+                                      const exp::WorkloadSpec& spec,
+                                      double mean_comm_cost) {
+  const exp::Scenario scenario = make_scenario(p, spec, mean_comm_cost);
+  const auto opts = scheduler_options(p);
+  util::Table table({"scheduler", "makespan", "ci95", "efficiency",
+                     "response", "sched_wall_s"});
+  std::vector<double> means;
+  std::vector<std::vector<double>> csv_rows;
+  std::vector<metrics::CellSummary> cells;
+  for (const auto kind : exp::all_schedulers()) {
+    const auto cell = exp::run_cell(scenario, kind, opts);
+    table.add_row(cell.scheduler,
+                  {cell.makespan.mean, cell.makespan.ci95,
+                   cell.efficiency.mean, cell.response.mean,
+                   cell.sched_wall.mean});
+    means.push_back(cell.makespan.mean);
+    csv_rows.push_back({static_cast<double>(csv_rows.size()),
+                        cell.makespan.mean, cell.makespan.ci95,
+                        cell.efficiency.mean});
+    cells.push_back(cell);
+  }
+  table.print(std::cout);
+  maybe_write_csv(p, {"scheduler_index", "makespan_mean", "makespan_ci95",
+                      "efficiency_mean"},
+                  csv_rows);
+  maybe_write_json(p, scenario.name, cells);
+  return means;
+}
+
+std::vector<std::vector<double>> run_efficiency_sweep(
+    const BenchParams& p, const exp::WorkloadSpec& spec,
+    const std::vector<double>& inv_costs) {
+  const auto opts = scheduler_options(p);
+  std::vector<std::string> header{"1/mean_comm_cost"};
+  for (const auto kind : exp::all_schedulers()) {
+    header.push_back(exp::scheduler_name(kind));
+  }
+  util::Table table(header);
+  std::vector<std::vector<double>> rows;
+  for (const double inv : inv_costs) {
+    const double cost = 1.0 / inv;
+    const exp::Scenario scenario = make_scenario(p, spec, cost);
+    std::vector<double> row{inv};
+    for (const auto kind : exp::all_schedulers()) {
+      row.push_back(exp::run_cell(scenario, kind, opts).efficiency.mean);
+    }
+    std::vector<std::string> cells{util::fmt(inv, 3)};
+    for (std::size_t i = 1; i < row.size(); ++i) {
+      cells.push_back(util::fmt(row[i], 4));
+    }
+    table.add_row(cells);
+    rows.push_back(std::move(row));
+  }
+  table.print(std::cout);
+  maybe_write_csv(p, header, rows);
+  return rows;
+}
+
+void maybe_write_csv(const BenchParams& p,
+                     const std::vector<std::string>& header,
+                     const std::vector<std::vector<double>>& rows) {
+  if (!p.csv) return;
+  util::CsvWriter w(*p.csv);
+  w.row(header);
+  for (const auto& row : rows) w.row_numeric(row);
+  std::cout << "CSV written to " << *p.csv << "\n";
+}
+
+void maybe_write_json(const BenchParams& p, const std::string& experiment,
+                      const std::vector<metrics::CellSummary>& cells) {
+  if (!p.json) return;
+  metrics::write_experiment_json(experiment, cells, *p.json);
+  std::cout << "JSON written to " << *p.json << "\n";
+}
+
+}  // namespace gasched::bench

@@ -1,0 +1,79 @@
+#pragma once
+// Shared infrastructure for the figure-reproduction bench binaries.
+//
+// Every binary prints (a) the paper's expectation for that figure, (b) an
+// ASCII table with the regenerated rows/series, and (c) optionally writes
+// the series as CSV (--csv <path>). Two scales are supported:
+//   quick (default)       — reduced tasks/replications/generations so the
+//                            whole suite runs in minutes;
+//   full  (GASCHED_BENCH_SCALE=full or --full) — paper-scale parameters
+//                            (10,000 tasks, 50 replications, 1000
+//                            generations).
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "exp/runner.hpp"
+#include "metrics/report_json.hpp"
+#include "util/cli.hpp"
+#include "util/csv.hpp"
+#include "util/table.hpp"
+
+namespace gasched::bench {
+
+/// Scale-dependent experiment parameters.
+struct BenchParams {
+  std::size_t tasks = 1000;        ///< tasks per simulation
+  std::size_t procs = 50;          ///< processors
+  std::size_t reps = 3;            ///< replications per cell
+  std::size_t generations = 120;   ///< GA generation cap
+  std::size_t population = 20;     ///< GA population (paper: 20)
+  std::size_t batch = 200;         ///< fixed batch size (paper: 200)
+  std::uint64_t seed = 20050404;   ///< base seed (IPPS 2005 vintage)
+  bool pn_dynamic_batch = true;    ///< PN batch policy (Fig 5/7 fix it)
+  bool full = false;               ///< paper-scale switch
+  std::optional<std::string> csv;  ///< CSV output path
+  std::optional<std::string> json; ///< JSON output path (aggregated cells)
+};
+
+/// Parses common flags (--tasks, --reps, --generations, --procs, --seed,
+/// --csv, --json, --full) on top of quick/full defaults.
+BenchParams parse_params(int argc, char** argv, std::size_t quick_tasks,
+                         std::size_t quick_reps,
+                         std::size_t quick_generations);
+
+/// SchedulerOptions matching `p`.
+exp::SchedulerOptions scheduler_options(const BenchParams& p);
+
+/// Prints the figure banner: id, title, and the paper's qualitative
+/// expectation the reproduction should match.
+void print_banner(const std::string& figure, const std::string& title,
+                  const std::string& paper_expectation,
+                  const BenchParams& p);
+
+/// Runs the seven-scheduler makespan bar chart for `spec` at one mean
+/// communication cost. Prints a table (mean ± CI makespan, efficiency per
+/// scheduler, paper bar-chart order) and returns mean makespans keyed by
+/// scheduler order in exp::all_schedulers().
+std::vector<double> run_makespan_bars(const BenchParams& p,
+                                      const exp::WorkloadSpec& spec,
+                                      double mean_comm_cost);
+
+/// Runs the efficiency-vs-communication-cost sweep (Figs 5 and 7): for
+/// each value of inv_costs (= 1/mean cost), computes mean efficiency per
+/// scheduler. Prints the table and returns rows[point][scheduler].
+std::vector<std::vector<double>> run_efficiency_sweep(
+    const BenchParams& p, const exp::WorkloadSpec& spec,
+    const std::vector<double>& inv_costs);
+
+/// Writes `rows` as CSV with the given header if `p.csv` is set.
+void maybe_write_csv(const BenchParams& p,
+                     const std::vector<std::string>& header,
+                     const std::vector<std::vector<double>>& rows);
+
+/// Writes the aggregated cells as a JSON document if `p.json` is set.
+void maybe_write_json(const BenchParams& p, const std::string& experiment,
+                      const std::vector<metrics::CellSummary>& cells);
+
+}  // namespace gasched::bench

@@ -1,0 +1,53 @@
+// Extension: the full ten-scheduler comparison — the paper's seven plus
+// MET, KPB, and Sufferage from its reference [11] (Maheswaran et al.
+// 1999), on the paper's normal workload.
+
+#include <iostream>
+
+#include "bench_common.hpp"
+
+using namespace gasched;
+
+int main(int argc, char** argv) {
+  const auto p = bench::parse_params(argc, argv, /*tasks=*/800, /*reps=*/3,
+                                     /*generations=*/100);
+  bench::print_banner(
+      "Extension", "ten-scheduler comparison (adds MET, KPB, SUF)",
+      "literature-consistent hypothesis: MET collapses onto the fastest "
+      "machine (terrible on heterogeneous rates), KPB sits between MET "
+      "and EF, Sufferage is competitive with min-min",
+      p);
+
+  exp::Scenario s;
+  s.name = "baselines";
+  s.cluster = exp::paper_cluster(10.0, p.procs);
+  s.workload.kind = exp::DistKind::kNormal;
+  s.workload.param_a = 1000.0;
+  s.workload.param_b = 9e5;
+  s.workload.count = p.tasks;
+  s.seed = p.seed;
+  s.replications = p.reps;
+
+  const auto opts = bench::scheduler_options(p);
+  util::Table table({"scheduler", "makespan", "ci95", "efficiency"});
+  std::vector<std::vector<double>> csv_rows;
+  double met_ms = 0.0, ef_ms = 0.0, kpb_ms = 0.0;
+  for (const auto kind : exp::extended_schedulers()) {
+    const auto cell = exp::run_cell(s, kind, opts);
+    table.add_row(cell.scheduler, {cell.makespan.mean, cell.makespan.ci95,
+                                   cell.efficiency.mean});
+    csv_rows.push_back({static_cast<double>(csv_rows.size()),
+                        cell.makespan.mean, cell.efficiency.mean});
+    if (kind == exp::SchedulerKind::kMET) met_ms = cell.makespan.mean;
+    if (kind == exp::SchedulerKind::kEF) ef_ms = cell.makespan.mean;
+    if (kind == exp::SchedulerKind::kKPB) kpb_ms = cell.makespan.mean;
+  }
+  table.print(std::cout);
+  bench::maybe_write_csv(p, {"scheduler_index", "makespan", "efficiency"},
+                         csv_rows);
+  std::cout << "\nMET/EF makespan ratio " << util::fmt(met_ms / ef_ms, 4)
+            << " (>> 1 expected); KPB between: "
+            << util::fmt(ef_ms, 5) << " <= " << util::fmt(kpb_ms, 5)
+            << " <= " << util::fmt(met_ms, 5) << " roughly.\n";
+  return 0;
+}

@@ -1,0 +1,181 @@
+// Microbenchmarks (google-benchmark) for the hot operations of the GA
+// scheduler: decode, fitness evaluation, crossover, mutation, rebalance,
+// selection, list-scheduling init, and the event engine itself.
+
+#include <benchmark/benchmark.h>
+
+#include "core/fitness.hpp"
+#include "core/init.hpp"
+#include "core/rebalance.hpp"
+#include "exp/runner.hpp"
+#include "ga/crossover.hpp"
+#include "ga/mutation.hpp"
+#include "ga/selection.hpp"
+#include "sim/linpack.hpp"
+
+namespace {
+
+using namespace gasched;
+
+struct BatchFixture {
+  std::size_t tasks;
+  std::size_t procs;
+  core::ScheduleCodec codec;
+  core::ScheduleEvaluator eval;
+  ga::Chromosome chromosome;
+
+  static sim::SystemView view_for(std::size_t procs, util::Rng& rng) {
+    sim::SystemView v;
+    v.procs.resize(procs);
+    for (std::size_t j = 0; j < procs; ++j) {
+      v.procs[j].id = static_cast<sim::ProcId>(j);
+      v.procs[j].rate = rng.uniform(10.0, 100.0);
+      v.procs[j].comm_estimate = rng.uniform(1.0, 50.0);
+    }
+    return v;
+  }
+
+  static std::vector<double> sizes_for(std::size_t tasks, util::Rng& rng) {
+    std::vector<double> s(tasks);
+    for (auto& v : s) v = rng.uniform(10.0, 1000.0);
+    return s;
+  }
+
+  explicit BatchFixture(std::size_t tasks_, std::size_t procs_)
+      : tasks(tasks_),
+        procs(procs_),
+        codec(tasks_, procs_),
+        eval([&] {
+          util::Rng rng(1);
+          auto sizes = sizes_for(tasks_, rng);
+          auto view = view_for(procs_, rng);
+          return core::ScheduleEvaluator(std::move(sizes), view, true);
+        }()),
+        chromosome([&] {
+          util::Rng rng(2);
+          return codec.encode(core::list_schedule(eval, 0.5, rng));
+        }()) {}
+};
+
+void BM_Decode(benchmark::State& state) {
+  BatchFixture f(static_cast<std::size_t>(state.range(0)), 50);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(f.codec.decode(f.chromosome));
+  }
+}
+BENCHMARK(BM_Decode)->Arg(50)->Arg(200)->Arg(1000);
+
+void BM_FitnessEval(benchmark::State& state) {
+  BatchFixture f(static_cast<std::size_t>(state.range(0)), 50);
+  const auto queues = f.codec.decode(f.chromosome);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(f.eval.fitness(queues));
+  }
+}
+BENCHMARK(BM_FitnessEval)->Arg(50)->Arg(200)->Arg(1000);
+
+void BM_FitnessFromChromosome(benchmark::State& state) {
+  BatchFixture f(static_cast<std::size_t>(state.range(0)), 50);
+  const core::ScheduleProblem problem(f.codec, f.eval);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(problem.fitness(f.chromosome));
+  }
+}
+BENCHMARK(BM_FitnessFromChromosome)->Arg(200);
+
+void BM_CycleCrossover(benchmark::State& state) {
+  BatchFixture f(static_cast<std::size_t>(state.range(0)), 50);
+  util::Rng rng(3);
+  ga::Chromosome other = f.chromosome;
+  rng.shuffle(other);
+  const ga::CycleCrossover cx;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(cx.apply(f.chromosome, other, rng));
+  }
+}
+BENCHMARK(BM_CycleCrossover)->Arg(200)->Arg(1000);
+
+void BM_PmxCrossover(benchmark::State& state) {
+  BatchFixture f(static_cast<std::size_t>(state.range(0)), 50);
+  util::Rng rng(4);
+  ga::Chromosome other = f.chromosome;
+  rng.shuffle(other);
+  const ga::PmxCrossover pmx;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(pmx.apply(f.chromosome, other, rng));
+  }
+}
+BENCHMARK(BM_PmxCrossover)->Arg(200);
+
+void BM_SwapMutation(benchmark::State& state) {
+  BatchFixture f(200, 50);
+  util::Rng rng(5);
+  const ga::SwapMutation mut;
+  ga::Chromosome c = f.chromosome;
+  for (auto _ : state) {
+    mut.apply(c, rng);
+    benchmark::DoNotOptimize(c.data());
+  }
+}
+BENCHMARK(BM_SwapMutation);
+
+void BM_Rebalance(benchmark::State& state) {
+  BatchFixture f(200, 50);
+  util::Rng rng(6);
+  ga::Chromosome c = f.chromosome;
+  for (auto _ : state) {
+    core::rebalance_once(c, f.codec, f.eval, rng);
+    benchmark::DoNotOptimize(c.data());
+  }
+}
+BENCHMARK(BM_Rebalance);
+
+void BM_RouletteSelect(benchmark::State& state) {
+  util::Rng rng(7);
+  std::vector<double> fitness(20);
+  for (auto& v : fitness) v = rng.uniform01();
+  const ga::RouletteSelection sel;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sel.select(fitness, 20, rng));
+  }
+}
+BENCHMARK(BM_RouletteSelect);
+
+void BM_ListScheduleInit(benchmark::State& state) {
+  BatchFixture f(static_cast<std::size_t>(state.range(0)), 50);
+  util::Rng rng(8);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::list_schedule(f.eval, 0.5, rng));
+  }
+}
+BENCHMARK(BM_ListScheduleInit)->Arg(200);
+
+void BM_FullSimulationEF(benchmark::State& state) {
+  exp::Scenario s;
+  s.cluster = exp::paper_cluster(10.0, 20);
+  s.workload.kind = exp::DistKind::kUniform;
+  s.workload.param_a = 10.0;
+  s.workload.param_b = 1000.0;
+  s.workload.count = static_cast<std::size_t>(state.range(0));
+  s.seed = 9;
+  exp::SchedulerOptions opts;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        exp::run_one(s, exp::SchedulerKind::kEF, opts, 0));
+  }
+}
+BENCHMARK(BM_FullSimulationEF)->Arg(200)->Arg(1000);
+
+void BM_Linpack(benchmark::State& state) {
+  util::Rng rng(10);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        sim::linpack_benchmark(static_cast<std::size_t>(state.range(0)),
+                               rng));
+  }
+}
+BENCHMARK(BM_Linpack)->Arg(64)->Arg(128);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,69 @@
+// Compare all seven schedulers from the paper (EF, LL, RR, ZO, PN, MM,
+// MX) on one scenario, reproducing the structure of the paper's makespan
+// bar charts on a workload of your choice.
+//
+//   ./compare_schedulers [--dist normal|uniform|poisson] [--tasks N]
+//                        [--procs M] [--comm C] [--reps R] [--seed S]
+
+#include <iostream>
+
+#include "exp/runner.hpp"
+#include "util/cli.hpp"
+#include "util/table.hpp"
+
+using namespace gasched;
+
+int main(int argc, char** argv) {
+  const util::Cli cli(argc, argv);
+  exp::Scenario s;
+  s.name = "compare";
+  s.cluster = exp::paper_cluster(cli.get_double("comm", 10.0),
+                                 static_cast<std::size_t>(
+                                     cli.get_int("procs", 20)));
+  s.workload.count = static_cast<std::size_t>(cli.get_int("tasks", 600));
+  s.seed = static_cast<std::uint64_t>(cli.get_int("seed", 42));
+  s.replications = static_cast<std::size_t>(cli.get_int("reps", 3));
+
+  const std::string dist = cli.get("dist", "normal");
+  if (dist == "uniform") {
+    s.workload.kind = exp::DistKind::kUniform;
+    s.workload.param_a = cli.get_double("lo", 10.0);
+    s.workload.param_b = cli.get_double("hi", 1000.0);
+  } else if (dist == "poisson") {
+    s.workload.kind = exp::DistKind::kPoisson;
+    s.workload.param_a = cli.get_double("mean", 100.0);
+  } else {
+    s.workload.kind = exp::DistKind::kNormal;
+    s.workload.param_a = cli.get_double("mean", 1000.0);
+    s.workload.param_b = cli.get_double("variance", 9e5);
+  }
+
+  exp::SchedulerOptions opts;
+  opts.max_generations =
+      static_cast<std::size_t>(cli.get_int("generations", 150));
+
+  std::cout << "Comparing 7 schedulers: " << s.workload.count << " " << dist
+            << " tasks, " << s.cluster.num_processors
+            << " processors, mean comm cost " << s.cluster.comm.mean_cost
+            << " s, " << s.replications << " replications\n\n";
+
+  util::Table table({"scheduler", "makespan", "ci95", "efficiency",
+                     "mean response", "sched CPU s"});
+  double best = 1e300;
+  std::string best_name;
+  for (const auto kind : exp::all_schedulers()) {
+    const auto cell = exp::run_cell(s, kind, opts);
+    table.add_row(cell.scheduler,
+                  {cell.makespan.mean, cell.makespan.ci95,
+                   cell.efficiency.mean, cell.response.mean,
+                   cell.sched_wall.mean});
+    if (cell.makespan.mean < best) {
+      best = cell.makespan.mean;
+      best_name = cell.scheduler;
+    }
+  }
+  table.print(std::cout);
+  std::cout << "\nBest makespan: " << best_name << " (" << util::fmt(best, 6)
+            << " s)\n";
+  return 0;
+}

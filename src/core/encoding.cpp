@@ -1,0 +1,72 @@
+#include "core/encoding.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace gasched::core {
+
+ScheduleCodec::ScheduleCodec(std::size_t num_tasks, std::size_t num_procs)
+    : num_tasks_(num_tasks), num_procs_(num_procs) {
+  if (num_procs == 0) {
+    throw std::invalid_argument("ScheduleCodec: need at least one processor");
+  }
+}
+
+ga::Chromosome ScheduleCodec::encode(const ProcQueues& queues) const {
+  if (queues.size() != num_procs_) {
+    throw std::invalid_argument("ScheduleCodec::encode: wrong queue count");
+  }
+  ga::Chromosome c;
+  c.reserve(chromosome_length());
+  for (std::size_t j = 0; j < num_procs_; ++j) {
+    if (j > 0) c.push_back(delimiter_gene(j - 1));
+    for (const std::size_t slot : queues[j]) {
+      if (slot >= num_tasks_) {
+        throw std::invalid_argument("ScheduleCodec::encode: slot out of range");
+      }
+      c.push_back(task_gene(slot));
+    }
+  }
+  if (c.size() != chromosome_length()) {
+    throw std::invalid_argument(
+        "ScheduleCodec::encode: queues do not cover the batch exactly once");
+  }
+  return c;
+}
+
+ProcQueues ScheduleCodec::decode(const ga::Chromosome& c) const {
+  ProcQueues queues(num_procs_);
+  std::size_t proc = 0;
+  for (const ga::Gene g : c) {
+    if (is_delimiter(g)) {
+      ++proc;
+      if (proc >= num_procs_) {
+        throw std::invalid_argument(
+            "ScheduleCodec::decode: too many delimiters");
+      }
+    } else {
+      queues[proc].push_back(task_slot(g));
+    }
+  }
+  return queues;
+}
+
+bool ScheduleCodec::valid(const ga::Chromosome& c) const {
+  if (c.size() != chromosome_length()) return false;
+  std::vector<bool> task_seen(num_tasks_, false);
+  std::vector<bool> delim_seen(num_procs_ > 0 ? num_procs_ - 1 : 0, false);
+  for (const ga::Gene g : c) {
+    if (is_delimiter(g)) {
+      const auto k = static_cast<std::size_t>(-g - 1);
+      if (k >= delim_seen.size() || delim_seen[k]) return false;
+      delim_seen[k] = true;
+    } else {
+      const auto slot = task_slot(g);
+      if (slot >= num_tasks_ || task_seen[slot]) return false;
+      task_seen[slot] = true;
+    }
+  }
+  return true;
+}
+
+}  // namespace gasched::core

@@ -1,0 +1,74 @@
+#pragma once
+// Schedule encoding (paper §3.1, Fig 2).
+//
+// Each individual represents one schedule for a batch of H tasks on M
+// processors: a string of H + M − 1 symbols where task symbols are batch
+// slots and M − 1 delimiter symbols split the string into per-processor
+// queues (the segment before delimiter k is processor k's queue).
+//
+// Deviation from the paper (documented in DESIGN.md): the paper writes
+// every delimiter as −1, but cycle crossover needs distinct symbols, so
+// delimiter k is encoded as −(k+1). Any negative symbol still decodes as
+// "next processor", which preserves the paper's semantics exactly.
+
+#include <cstddef>
+#include <vector>
+
+#include "ga/chromosome.hpp"
+
+namespace gasched::core {
+
+/// Per-processor ordered queues of batch slots (0-based indices into the
+/// batch's task array).
+using ProcQueues = std::vector<std::vector<std::size_t>>;
+
+/// Translates between chromosomes and per-processor queues for a batch of
+/// `num_tasks` tasks on `num_procs` processors.
+class ScheduleCodec {
+ public:
+  /// Requires num_procs >= 1.
+  ScheduleCodec(std::size_t num_tasks, std::size_t num_procs);
+
+  /// Chromosome length: H + M − 1.
+  std::size_t chromosome_length() const noexcept {
+    return num_tasks_ + num_procs_ - 1;
+  }
+  /// Number of tasks H in the batch.
+  std::size_t num_tasks() const noexcept { return num_tasks_; }
+  /// Number of processors M.
+  std::size_t num_procs() const noexcept { return num_procs_; }
+
+  /// True when `g` is a queue delimiter.
+  static bool is_delimiter(ga::Gene g) noexcept { return g < 0; }
+
+  /// Gene for batch slot `slot` (identity mapping, slot < num_tasks).
+  static ga::Gene task_gene(std::size_t slot) noexcept {
+    return static_cast<ga::Gene>(slot);
+  }
+  /// Batch slot of a task gene.
+  static std::size_t task_slot(ga::Gene g) noexcept {
+    return static_cast<std::size_t>(g);
+  }
+  /// Gene for delimiter `k` (k in [0, M−1)): −(k+1).
+  static ga::Gene delimiter_gene(std::size_t k) noexcept {
+    return -static_cast<ga::Gene>(k) - 1;
+  }
+
+  /// Encodes per-processor queues into a chromosome. `queues` must have
+  /// exactly num_procs entries covering every batch slot exactly once.
+  ga::Chromosome encode(const ProcQueues& queues) const;
+
+  /// Decodes a chromosome into per-processor queues. The k-th delimiter
+  /// *position* (not value) ends processor k's queue, matching the paper's
+  /// "-1 delimits different processor queues" reading.
+  ProcQueues decode(const ga::Chromosome& c) const;
+
+  /// Validates that `c` is a permutation of the expected symbol set.
+  bool valid(const ga::Chromosome& c) const;
+
+ private:
+  std::size_t num_tasks_;
+  std::size_t num_procs_;
+};
+
+}  // namespace gasched::core

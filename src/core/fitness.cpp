@@ -1,0 +1,94 @@
+#include "core/fitness.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "core/rebalance.hpp"
+
+namespace gasched::core {
+
+ScheduleEvaluator::ScheduleEvaluator(std::vector<double> task_sizes,
+                                     const sim::SystemView& view,
+                                     bool use_comm)
+    : size_(std::move(task_sizes)) {
+  if (view.procs.empty()) {
+    throw std::invalid_argument("ScheduleEvaluator: empty system view");
+  }
+  rate_.reserve(view.size());
+  delta_.reserve(view.size());
+  comm_.reserve(view.size());
+  double total_rate = 0.0;
+  double sum_delta = 0.0;
+  for (const auto& p : view.procs) {
+    if (!(p.rate > 0.0)) {
+      throw std::invalid_argument("ScheduleEvaluator: non-positive rate");
+    }
+    rate_.push_back(p.rate);
+    const double d = p.pending_mflops / p.rate;
+    delta_.push_back(d);
+    sum_delta += d;
+    comm_.push_back(use_comm ? p.comm_estimate : 0.0);
+    total_rate += p.rate;
+  }
+  double total_work = 0.0;
+  for (const double t : size_) {
+    if (!(t > 0.0)) {
+      throw std::invalid_argument("ScheduleEvaluator: non-positive task size");
+    }
+    total_work += t;
+  }
+  // ψ = Σ_i t_i / Σ_j P_j + Σ_j δ_j  (paper §3.2).
+  psi_ = total_work / total_rate + sum_delta;
+}
+
+double ScheduleEvaluator::completion_time(
+    std::size_t j, const std::vector<std::size_t>& queue) const {
+  double c = delta_[j];
+  for (const std::size_t slot : queue) {
+    c += size_[slot] / rate_[j] + comm_[j];
+  }
+  return c;
+}
+
+double ScheduleEvaluator::makespan(const ProcQueues& queues) const {
+  double m = 0.0;
+  for (std::size_t j = 0; j < queues.size(); ++j) {
+    m = std::max(m, completion_time(j, queues[j]));
+  }
+  return m;
+}
+
+double ScheduleEvaluator::relative_error(const ProcQueues& queues) const {
+  double sum_sq = 0.0;
+  for (std::size_t j = 0; j < queues.size(); ++j) {
+    const double dev = psi_ - completion_time(j, queues[j]);
+    sum_sq += dev * dev;
+  }
+  return std::sqrt(sum_sq);
+}
+
+double ScheduleEvaluator::fitness(const ProcQueues& queues) const {
+  const double e = relative_error(queues);
+  if (e <= 1.0) return 1.0;  // F = 1/E clamped into [0, 1]
+  return 1.0 / e;
+}
+
+ScheduleProblem::ScheduleProblem(const ScheduleCodec& codec,
+                                 const ScheduleEvaluator& eval,
+                                 std::size_t rebalance_probes)
+    : codec_(codec), eval_(eval), probes_(rebalance_probes) {}
+
+double ScheduleProblem::fitness(const ga::Chromosome& c) const {
+  return eval_.fitness(codec_.decode(c));
+}
+
+double ScheduleProblem::objective(const ga::Chromosome& c) const {
+  return eval_.makespan(codec_.decode(c));
+}
+
+void ScheduleProblem::improve(ga::Chromosome& c, util::Rng& rng) const {
+  rebalance_once(c, codec_, eval_, rng, probes_);
+}
+
+}  // namespace gasched::core

@@ -1,0 +1,96 @@
+#pragma once
+// Fitness function (paper §3.2).
+//
+// For a batch of N tasks with sizes t_i (MFLOPs) on M processors with
+// rates P_j (Mflop/s) and previously assigned load L_j (MFLOPs):
+//
+//   δ_j = L_j / P_j                      (existing drain time)
+//   ψ   = Σ_i t_i / Σ_j P_j + Σ_j δ_j    (theoretical optimal time)
+//   C_j = δ_j + Σ_{y→j} (t_y / P_j + Γc_j)   (per-processor finish time)
+//   E   = sqrt( Σ_j |ψ − C_j|² )         (relative error)
+//   F   = 1 / E, clamped to [0, 1]       (fitness; larger = better)
+//
+// Γc_j is the smoothed per-link communication estimate; this term is what
+// distinguishes the PN scheduler from the comm-oblivious ZO baseline
+// (use_comm = false). Units follow DESIGN.md's documented correction: all
+// summands of C_j are seconds.
+
+#include <vector>
+
+#include "core/encoding.hpp"
+#include "ga/engine.hpp"
+#include "sim/policy.hpp"
+
+namespace gasched::core {
+
+/// Evaluates schedules for one batch against one system snapshot.
+class ScheduleEvaluator {
+ public:
+  /// `task_sizes[slot]` is the MFLOP size of batch slot `slot`;
+  /// `view` supplies P_j, L_j, and Γc_j. When `use_comm` is false the
+  /// Γc_j term is dropped (ZO baseline). View rates must be positive.
+  ScheduleEvaluator(std::vector<double> task_sizes,
+                    const sim::SystemView& view, bool use_comm);
+
+  /// Number of processors M.
+  std::size_t num_procs() const noexcept { return rate_.size(); }
+  /// Number of batch tasks N.
+  std::size_t num_tasks() const noexcept { return size_.size(); }
+  /// Theoretical optimal processing time ψ for this batch.
+  double psi() const noexcept { return psi_; }
+
+  /// Finish time C_j of processor j running `queue` (slots) after its
+  /// existing load.
+  double completion_time(std::size_t j,
+                         const std::vector<std::size_t>& queue) const;
+
+  /// Estimated makespan max_j C_j of a full decoded schedule.
+  double makespan(const ProcQueues& queues) const;
+
+  /// Relative error E of a schedule (see header comment).
+  double relative_error(const ProcQueues& queues) const;
+
+  /// Fitness F = min(1, 1/E); E = 0 maps to 1 (perfect).
+  double fitness(const ProcQueues& queues) const;
+
+  /// Size of batch slot `slot` in MFLOPs.
+  double task_size(std::size_t slot) const { return size_.at(slot); }
+  /// Per-task execution+comm cost on processor j (seconds).
+  double task_cost_on(std::size_t slot, std::size_t j) const {
+    return size_[slot] / rate_[j] + comm_[j];
+  }
+  /// Existing drain time δ_j of processor j (seconds).
+  double delta(std::size_t j) const { return delta_.at(j); }
+  /// Rate P_j of processor j (Mflop/s).
+  double rate(std::size_t j) const { return rate_.at(j); }
+  /// Communication estimate used for processor j (0 when comm disabled).
+  double comm(std::size_t j) const { return comm_.at(j); }
+
+ private:
+  std::vector<double> size_;   // t_i per batch slot
+  std::vector<double> rate_;   // P_j
+  std::vector<double> delta_;  // δ_j = L_j / P_j
+  std::vector<double> comm_;   // Γc_j (zeroed when use_comm == false)
+  double psi_ = 0.0;
+};
+
+/// GaProblem adapter: evaluates chromosomes through a codec + evaluator.
+class ScheduleProblem final : public ga::GaProblem {
+ public:
+  /// Both references must outlive the problem. `rebalance_probes` bounds
+  /// the random searches of the improvement heuristic (paper: 5).
+  ScheduleProblem(const ScheduleCodec& codec, const ScheduleEvaluator& eval,
+                  std::size_t rebalance_probes = 5);
+
+  double fitness(const ga::Chromosome& c) const override;
+  double objective(const ga::Chromosome& c) const override;
+  /// The paper's re-balancing heuristic (§3.5); see core/rebalance.hpp.
+  void improve(ga::Chromosome& c, util::Rng& rng) const override;
+
+ private:
+  const ScheduleCodec& codec_;
+  const ScheduleEvaluator& eval_;
+  std::size_t probes_;
+};
+
+}  // namespace gasched::core

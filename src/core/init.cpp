@@ -1,0 +1,55 @@
+#include "core/init.hpp"
+
+#include <numeric>
+
+namespace gasched::core {
+
+ProcQueues list_schedule(const ScheduleEvaluator& eval, double random_fraction,
+                         util::Rng& rng) {
+  const std::size_t M = eval.num_procs();
+  const std::size_t N = eval.num_tasks();
+  ProcQueues queues(M);
+  // Finish-time accumulator per processor, starting from existing load.
+  std::vector<double> finish(M);
+  for (std::size_t j = 0; j < M; ++j) finish[j] = eval.delta(j);
+
+  // Visit batch slots in random order so the random/EF mix is unbiased.
+  std::vector<std::size_t> order(N);
+  std::iota(order.begin(), order.end(), 0);
+  rng.shuffle(order);
+
+  for (const std::size_t slot : order) {
+    std::size_t j;
+    if (rng.bernoulli(random_fraction)) {
+      j = rng.index(M);
+    } else {
+      j = 0;
+      double best = finish[0] + eval.task_cost_on(slot, 0);
+      for (std::size_t k = 1; k < M; ++k) {
+        const double t = finish[k] + eval.task_cost_on(slot, k);
+        if (t < best) {
+          best = t;
+          j = k;
+        }
+      }
+    }
+    queues[j].push_back(slot);
+    finish[j] += eval.task_cost_on(slot, j);
+  }
+  return queues;
+}
+
+std::vector<ga::Chromosome> initial_population(const ScheduleCodec& codec,
+                                               const ScheduleEvaluator& eval,
+                                               std::size_t count,
+                                               double random_fraction,
+                                               util::Rng& rng) {
+  std::vector<ga::Chromosome> pop;
+  pop.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    pop.push_back(codec.encode(list_schedule(eval, random_fraction, rng)));
+  }
+  return pop;
+}
+
+}  // namespace gasched::core

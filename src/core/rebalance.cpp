@@ -1,0 +1,60 @@
+#include "core/rebalance.hpp"
+
+#include <algorithm>
+
+namespace gasched::core {
+
+bool rebalance_once(ga::Chromosome& c, const ScheduleCodec& codec,
+                    const ScheduleEvaluator& eval, util::Rng& rng,
+                    std::size_t probes) {
+  const ProcQueues queues = codec.decode(c);
+  const std::size_t M = queues.size();
+  if (M < 2) return false;
+
+  // Most heavily loaded processor = largest estimated finish time.
+  std::size_t heavy = 0;
+  double heavy_time = -1.0;
+  for (std::size_t j = 0; j < M; ++j) {
+    const double t = eval.completion_time(j, queues[j]);
+    if (t > heavy_time) {
+      heavy_time = t;
+      heavy = j;
+    }
+  }
+  if (queues[heavy].empty()) return false;
+
+  const double base_fitness = eval.fitness(queues);
+
+  // Up to `probes` random searches for a smaller task on another processor.
+  for (std::size_t probe = 0; probe < probes; ++probe) {
+    const std::size_t other = rng.index(M);
+    if (other == heavy || queues[other].empty()) continue;
+    const std::size_t oi = rng.index(queues[other].size());
+    const std::size_t hi = rng.index(queues[heavy].size());
+    const std::size_t small_slot = queues[other][oi];
+    const std::size_t big_slot = queues[heavy][hi];
+    if (!(eval.task_size(small_slot) < eval.task_size(big_slot))) continue;
+
+    // Candidate: swap the two tasks between queues.
+    ProcQueues cand = queues;
+    cand[other][oi] = big_slot;
+    cand[heavy][hi] = small_slot;
+    if (eval.fitness(cand) > base_fitness) {
+      // Apply the swap directly on the chromosome: exchange the two genes.
+      const ga::Gene g_small = ScheduleCodec::task_gene(small_slot);
+      const ga::Gene g_big = ScheduleCodec::task_gene(big_slot);
+      for (auto& g : c) {
+        if (g == g_small) {
+          g = g_big;
+        } else if (g == g_big) {
+          g = g_small;
+        }
+      }
+      return true;
+    }
+    return false;  // found a smaller task but the swap was not fitter
+  }
+  return false;
+}
+
+}  // namespace gasched::core

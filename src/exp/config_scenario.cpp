@@ -1,0 +1,107 @@
+#include "exp/config_scenario.hpp"
+
+#include <stdexcept>
+
+namespace gasched::exp {
+
+namespace {
+
+sim::AvailabilityKind availability_from_name(const std::string& name) {
+  if (name == "fixed") return sim::AvailabilityKind::kFixed;
+  if (name == "sinusoidal") return sim::AvailabilityKind::kSinusoidal;
+  if (name == "random_walk") return sim::AvailabilityKind::kRandomWalk;
+  if (name == "two_state") return sim::AvailabilityKind::kTwoState;
+  throw std::runtime_error("scenario config: unknown availability '" + name +
+                           "'");
+}
+
+DistKind dist_from_name(const std::string& name) {
+  if (name == "normal") return DistKind::kNormal;
+  if (name == "uniform") return DistKind::kUniform;
+  if (name == "poisson") return DistKind::kPoisson;
+  if (name == "constant") return DistKind::kConstant;
+  throw std::runtime_error("scenario config: unknown dist '" + name + "'");
+}
+
+}  // namespace
+
+SchedulerKind scheduler_kind_from_name(const std::string& name) {
+  for (const auto kind : extended_schedulers()) {
+    if (name == scheduler_name(kind)) return kind;
+  }
+  for (const auto kind : metaheuristic_schedulers()) {
+    if (name == scheduler_name(kind)) return kind;
+  }
+  throw std::runtime_error("scenario config: unknown scheduler '" + name +
+                           "'");
+}
+
+Scenario scenario_from_config(const util::Config& cfg) {
+  Scenario s;
+  s.name = cfg.get("scenario.name", "config");
+  s.seed = static_cast<std::uint64_t>(cfg.get_int("scenario.seed", 42));
+  s.replications =
+      static_cast<std::size_t>(cfg.get_int("scenario.replications", 5));
+  s.sched_time_scale = cfg.get_double("scenario.sched_time_scale", 0.0);
+  s.comm_nu = cfg.get_double("scenario.comm_nu", 0.5);
+  s.rate_nu = cfg.get_double("scenario.rate_nu", 0.5);
+
+  s.cluster.num_processors =
+      static_cast<std::size_t>(cfg.get_int("cluster.processors", 50));
+  s.cluster.rate_lo = cfg.get_double("cluster.rate_lo", 10.0);
+  s.cluster.rate_hi = cfg.get_double("cluster.rate_hi", 100.0);
+  s.cluster.availability =
+      availability_from_name(cfg.get("cluster.availability", "fixed"));
+  s.cluster.avail_lo = cfg.get_double("cluster.avail_lo", 0.5);
+  s.cluster.avail_hi = cfg.get_double("cluster.avail_hi", 1.0);
+  s.cluster.avail_period = cfg.get_double("cluster.avail_period", 500.0);
+  s.cluster.zero_comm = cfg.get_bool("cluster.zero_comm", false);
+  s.cluster.drifting_comm = cfg.get_bool("cluster.drifting_comm", false);
+  s.cluster.comm_drift_step = cfg.get_double("cluster.comm_drift_step", 0.1);
+
+  s.cluster.comm.mean_cost = cfg.get_double("comm.mean_cost", 20.0);
+  s.cluster.comm.spread_cv = cfg.get_double("comm.spread_cv", 0.5);
+  s.cluster.comm.jitter_cv = cfg.get_double("comm.jitter_cv", 0.2);
+  s.cluster.comm.floor = cfg.get_double("comm.floor", 1e-3);
+
+  s.workload.kind = dist_from_name(cfg.get("workload.dist", "normal"));
+  s.workload.param_a = cfg.get_double("workload.param_a", 1000.0);
+  s.workload.param_b = cfg.get_double("workload.param_b", 9e5);
+  s.workload.count =
+      static_cast<std::size_t>(cfg.get_int("workload.count", 1000));
+  s.workload.all_at_start = cfg.get_bool("workload.all_at_start", true);
+  s.workload.mean_interarrival =
+      cfg.get_double("workload.mean_interarrival", 1.0);
+  s.workload.burstiness = cfg.get_double("workload.burstiness", 1.0);
+  s.workload.burst_dwell = cfg.get_double("workload.burst_dwell", 50.0);
+
+  if (cfg.get_bool("failures.enabled", false)) {
+    sim::FailureConfig f;
+    f.mean_uptime = cfg.get_double("failures.mean_uptime", 5000.0);
+    f.mean_downtime = cfg.get_double("failures.mean_downtime", 200.0);
+    f.horizon = cfg.get_double("failures.horizon", 100000.0);
+    f.failing_fraction = cfg.get_double("failures.failing_fraction", 1.0);
+    s.failures = f;
+  }
+  return s;
+}
+
+SchedulerOptions scheduler_options_from_config(const util::Config& cfg) {
+  SchedulerOptions o;
+  o.batch_size =
+      static_cast<std::size_t>(cfg.get_int("scheduler.batch_size", 200));
+  o.max_generations = static_cast<std::size_t>(
+      cfg.get_int("scheduler.max_generations", 1000));
+  o.population =
+      static_cast<std::size_t>(cfg.get_int("scheduler.population", 20));
+  o.rebalances =
+      static_cast<std::size_t>(cfg.get_int("scheduler.rebalances", 1));
+  o.pn_dynamic_batch = cfg.get_bool("scheduler.pn_dynamic_batch", true);
+  o.kpb_percent = cfg.get_double("scheduler.kpb_percent", 20.0);
+  o.islands = static_cast<std::size_t>(cfg.get_int("scheduler.islands", 4));
+  o.migration_interval = static_cast<std::size_t>(
+      cfg.get_int("scheduler.migration_interval", 25));
+  return o;
+}
+
+}  // namespace gasched::exp

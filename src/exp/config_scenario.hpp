@@ -1,0 +1,42 @@
+#pragma once
+// Declarative scenarios from INI-style config files, so experiments can be
+// defined, shared, and replayed without recompiling. See
+// examples/scenario_example.ini for the full key reference.
+
+#include "exp/scenario.hpp"
+#include "util/config.hpp"
+
+namespace gasched::exp {
+
+/// Builds a Scenario from a parsed config. Recognised keys (all optional,
+/// defaults in parentheses):
+///
+///   [scenario]  name (config), seed (42), replications (5),
+///               sched_time_scale (0), comm_nu (0.5), rate_nu (0.5)
+///   [cluster]   processors (50), rate_lo (10), rate_hi (100),
+///               availability (fixed|sinusoidal|random_walk|two_state),
+///               avail_lo, avail_hi, avail_period, zero_comm,
+///               drifting_comm, comm_drift_step
+///   [comm]      mean_cost (20), spread_cv (0.5), jitter_cv (0.2), floor
+///   [workload]  dist (normal|uniform|poisson|constant), param_a, param_b,
+///               count (1000), all_at_start (true), mean_interarrival (1),
+///               burstiness (1), burst_dwell (50)
+///   [failures]  enabled (false), mean_uptime, mean_downtime, horizon,
+///               failing_fraction
+///
+/// Throws std::runtime_error on unknown enumeration values.
+Scenario scenario_from_config(const util::Config& cfg);
+
+/// Builds SchedulerOptions from the same config:
+///
+///   [scheduler] batch_size (200), max_generations (1000),
+///               population (20), rebalances (1), pn_dynamic_batch (true),
+///               kpb_percent (20), islands (4), migration_interval (25)
+SchedulerOptions scheduler_options_from_config(const util::Config& cfg);
+
+/// Parses a scheduler name ("PN", "ZO", "EF", "LL", "RR", "MM", "MX",
+/// "MET", "KPB", "SUF", "OLB", "DUP", "SA", "TS", "ACO", "HC", "PNI";
+/// case-sensitive). Throws std::runtime_error on unknown names.
+SchedulerKind scheduler_kind_from_name(const std::string& name);
+
+}  // namespace gasched::exp

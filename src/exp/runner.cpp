@@ -1,0 +1,62 @@
+#include "exp/runner.hpp"
+
+#include "util/thread_pool.hpp"
+
+namespace gasched::exp {
+
+sim::SimulationResult run_one(const Scenario& scenario, SchedulerKind kind,
+                              const SchedulerOptions& opts, std::size_t rep) {
+  // Stream discipline: workload and cluster depend only on (seed, rep), so
+  // every scheduler sees identical tasks and machines in replication rep.
+  const util::Rng base(scenario.seed);
+  util::Rng workload_rng = base.split(3 * rep);
+  util::Rng cluster_rng = base.split(3 * rep + 1);
+  util::Rng sim_rng = base.split(3 * rep + 2);
+
+  const auto dist = make_distribution(scenario.workload);
+  workload::ArrivalConfig arrivals;
+  arrivals.all_at_start = scenario.workload.all_at_start;
+  arrivals.mean_interarrival = scenario.workload.mean_interarrival;
+  arrivals.burstiness = scenario.workload.burstiness;
+  arrivals.burst_dwell = scenario.workload.burst_dwell;
+  const workload::Workload wl = workload::generate(
+      *dist, scenario.workload.count, workload_rng, arrivals);
+  const sim::Cluster cluster = sim::build_cluster(scenario.cluster, cluster_rng);
+  const auto policy = make_scheduler(kind, opts);
+
+  sim::EngineConfig ecfg;
+  ecfg.sched_time_scale = scenario.sched_time_scale;
+  ecfg.comm_nu = scenario.comm_nu;
+  ecfg.rate_nu = scenario.rate_nu;
+  sim::FailureTrace trace;
+  if (scenario.failures) {
+    util::Rng failure_rng = base.split(3 * rep + 1'000'000);
+    trace = sim::FailureTrace(*scenario.failures,
+                              scenario.cluster.num_processors, failure_rng);
+    ecfg.failures = &trace;
+  }
+  return sim::simulate(cluster, wl, *policy, sim_rng, ecfg);
+}
+
+std::vector<sim::SimulationResult> run_replications(
+    const Scenario& scenario, SchedulerKind kind, const SchedulerOptions& opts,
+    bool parallel) {
+  std::vector<sim::SimulationResult> results(scenario.replications);
+  auto body = [&](std::size_t rep) {
+    results[rep] = run_one(scenario, kind, opts, rep);
+  };
+  if (parallel && scenario.replications > 1) {
+    util::global_pool().parallel_for(0, scenario.replications, body);
+  } else {
+    for (std::size_t rep = 0; rep < scenario.replications; ++rep) body(rep);
+  }
+  return results;
+}
+
+metrics::CellSummary run_cell(const Scenario& scenario, SchedulerKind kind,
+                              const SchedulerOptions& opts, bool parallel) {
+  const auto runs = run_replications(scenario, kind, opts, parallel);
+  return metrics::aggregate(scheduler_name(kind), runs);
+}
+
+}  // namespace gasched::exp

@@ -1,0 +1,33 @@
+#pragma once
+// Replication runner: executes a (scenario, scheduler) cell R times with
+// deterministic per-replication substreams, optionally in parallel across
+// a thread pool. Every scheduler sees the *same* workload and cluster in
+// replication r (paper §4.2: "All schedulers were presented with the same
+// set of tasks for scheduling").
+
+#include <vector>
+
+#include "exp/scenario.hpp"
+#include "metrics/aggregate.hpp"
+#include "sim/engine.hpp"
+
+namespace gasched::exp {
+
+/// Runs `scenario` under `kind` for scenario.replications runs and returns
+/// the per-run results in replication order. Thread-safe and
+/// deterministic: replication r derives its RNG streams from
+/// (scenario.seed, r) regardless of execution order.
+std::vector<sim::SimulationResult> run_replications(
+    const Scenario& scenario, SchedulerKind kind,
+    const SchedulerOptions& opts = {}, bool parallel = true);
+
+/// Convenience: run and aggregate into a CellSummary.
+metrics::CellSummary run_cell(const Scenario& scenario, SchedulerKind kind,
+                              const SchedulerOptions& opts = {},
+                              bool parallel = true);
+
+/// Runs one replication index `rep` of the cell (exposed for tests).
+sim::SimulationResult run_one(const Scenario& scenario, SchedulerKind kind,
+                              const SchedulerOptions& opts, std::size_t rep);
+
+}  // namespace gasched::exp

@@ -1,0 +1,129 @@
+#pragma once
+// Experiment scenarios: declarative descriptions of the paper's setups
+// (cluster, workload, schedulers) plus factories to realise them. Used by
+// every bench binary and the integration tests so figure parameters live
+// in exactly one place.
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/genetic_scheduler.hpp"
+#include "sim/cluster.hpp"
+#include "sim/failure.hpp"
+#include "sim/policy.hpp"
+#include "workload/generator.hpp"
+
+namespace gasched::exp {
+
+/// The seven schedulers compared in the paper (§4.1), in the order the
+/// makespan bar charts list them, plus further baselines: MET / KPB /
+/// SUF / OLB / DUP from the paper's reference [11] (Maheswaran et al.
+/// 1999) and the Braun et al. taxonomy, the alternative meta-heuristics
+/// the paper's §2 cites (SA = simulated annealing, TS = tabu search
+/// [ref 6], ACO = ant colony [ref 3], HC = hill climbing), and PNI (PN
+/// evolved with an island-model parallel GA, ref [2]).
+enum class SchedulerKind {
+  kEF, kLL, kRR, kZO, kPN, kMM, kMX,       // the paper's seven (§4.1)
+  kMET, kKPB, kSUF, kOLB, kDUP,            // extra heuristic baselines
+  kSA, kTS, kACO, kHC,                     // local-search meta-heuristics
+  kPNI                                     // island-model PN
+};
+
+/// Display name matching the paper ("EF", "LL", "RR", "ZO", "PN", "MM",
+/// "MX") or the conventional names of the extra baselines ("MET", "KPB",
+/// "SUF", "OLB", "DUP", "SA", "TS", "ACO", "HC", "PNI").
+const char* scheduler_name(SchedulerKind kind);
+
+/// The paper's seven schedulers in its bar-chart order.
+std::vector<SchedulerKind> all_schedulers();
+
+/// The paper's seven plus the extra heuristic baselines.
+std::vector<SchedulerKind> extended_schedulers();
+
+/// The batch meta-heuristic searchers (PN, ZO, SA, TS, ACO, HC, PNI) —
+/// the shoot-out set of bench/ext_metaheuristics.
+std::vector<SchedulerKind> metaheuristic_schedulers();
+
+/// Per-scheduler tuning shared across the suite.
+struct SchedulerOptions {
+  /// Batch size for the fixed-batch schedulers (MM, MX, ZO, and PN when
+  /// pn_dynamic_batch is false). Paper: 200.
+  std::size_t batch_size = 200;
+  /// GA generation cap (paper: 1000). Benches lower this at quick scale.
+  std::size_t max_generations = 1000;
+  /// GA population (paper: 20, a micro GA).
+  std::size_t population = 20;
+  /// Re-balancing passes per individual per generation for PN (paper: 1).
+  std::size_t rebalances = 1;
+  /// PN uses the dynamic ⌊√(Γs+1)⌋ batch size (paper §3.7).
+  bool pn_dynamic_batch = true;
+  /// Subset percentage for the KPB baseline.
+  double kpb_percent = 20.0;
+  /// Islands for the PNI scheduler (island-model PN).
+  std::size_t islands = 4;
+  /// Migration cadence (generations) for PNI.
+  std::size_t migration_interval = 25;
+};
+
+/// Builds a fresh scheduler instance (schedulers are stateful; one
+/// instance per simulation run).
+std::unique_ptr<sim::SchedulingPolicy> make_scheduler(
+    SchedulerKind kind, const SchedulerOptions& opts = {});
+
+/// Task-size distribution families used in §4.3–§4.5.
+enum class DistKind { kNormal, kUniform, kPoisson, kConstant };
+
+/// Declarative workload description.
+struct WorkloadSpec {
+  DistKind kind = DistKind::kNormal;
+  /// Normal: mean / variance. Uniform: lo / hi. Poisson: mean / unused.
+  /// Constant: size / unused.
+  double param_a = 1000.0;
+  double param_b = 9e5;
+  /// Number of tasks (paper: up to 10,000).
+  std::size_t count = 1000;
+  /// All tasks arrive at t = 0 (the paper's §4.2 setting). When false,
+  /// tasks arrive as a Poisson process with the given mean inter-arrival
+  /// time — the dynamic setting the scheduler is designed for.
+  bool all_at_start = true;
+  double mean_interarrival = 1.0;
+  /// Burst intensity for streaming arrivals (two-state MMPP; 1 = plain
+  /// Poisson). See workload::ArrivalConfig.
+  double burstiness = 1.0;
+  /// Mean MMPP state dwell time (seconds).
+  double burst_dwell = 50.0;
+};
+
+/// Instantiates the distribution for `spec`.
+std::unique_ptr<workload::SizeDistribution> make_distribution(
+    const WorkloadSpec& spec);
+
+/// One experiment cell: cluster + workload + seeding + replication count.
+struct Scenario {
+  std::string name;
+  sim::ClusterConfig cluster;
+  WorkloadSpec workload;
+  std::uint64_t seed = 42;
+  std::size_t replications = 5;
+  /// Optional processor outages (a fresh trace is drawn per replication).
+  std::optional<sim::FailureConfig> failures;
+  /// Simulated-time cost of scheduler computation
+  /// (EngineConfig::sched_time_scale).
+  double sched_time_scale = 0.0;
+  /// Smoothing factor ν for the engine's per-link communication estimators
+  /// (§3.6; EngineConfig::comm_nu).
+  double comm_nu = 0.5;
+  /// Smoothing factor ν for the per-processor rate estimators.
+  double rate_nu = 0.5;
+};
+
+/// The paper's cluster (§4.2): 50 heterogeneous processors with fixed
+/// execution rates, normal per-link communication costs with the given
+/// mean. Rates are drawn uniformly from [10, 100] Mflop/s (the paper does
+/// not state its range; see DESIGN.md).
+sim::ClusterConfig paper_cluster(double mean_comm_cost,
+                                 std::size_t processors = 50);
+
+}  // namespace gasched::exp

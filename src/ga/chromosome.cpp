@@ -1,0 +1,32 @@
+#include "ga/chromosome.hpp"
+
+#include <algorithm>
+#include <unordered_set>
+
+namespace gasched::ga {
+
+bool is_permutation_of_distinct(const Chromosome& c) {
+  std::unordered_set<Gene> seen;
+  seen.reserve(c.size());
+  for (const Gene g : c) {
+    if (!seen.insert(g).second) return false;
+  }
+  return true;
+}
+
+bool same_gene_set(const Chromosome& a, const Chromosome& b) {
+  if (a.size() != b.size()) return false;
+  Chromosome sa = a, sb = b;
+  std::sort(sa.begin(), sa.end());
+  std::sort(sb.begin(), sb.end());
+  return sa == sb;
+}
+
+std::unordered_map<Gene, std::size_t> position_index(const Chromosome& c) {
+  std::unordered_map<Gene, std::size_t> idx;
+  idx.reserve(c.size());
+  for (std::size_t i = 0; i < c.size(); ++i) idx.emplace(c[i], i);
+  return idx;
+}
+
+}  // namespace gasched::ga

@@ -1,0 +1,32 @@
+#pragma once
+// Permutation chromosomes for the genetic algorithm framework.
+//
+// A chromosome is a permutation of distinct integer symbols. For the
+// scheduling problem the symbols are task ids (>= 0) plus distinct
+// negative queue delimiters (see core/encoding.hpp); the GA framework
+// itself only assumes distinctness.
+
+#include <cstdint>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+namespace gasched::ga {
+
+/// One chromosome symbol.
+using Gene = std::int32_t;
+
+/// A permutation of distinct genes.
+using Chromosome = std::vector<Gene>;
+
+/// True when `c` contains no duplicate genes.
+bool is_permutation_of_distinct(const Chromosome& c);
+
+/// True when `a` and `b` contain exactly the same multiset of genes
+/// (prerequisite for permutation crossover).
+bool same_gene_set(const Chromosome& a, const Chromosome& b);
+
+/// Builds gene → position index for `c`. Genes must be distinct.
+std::unordered_map<Gene, std::size_t> position_index(const Chromosome& c);
+
+}  // namespace gasched::ga

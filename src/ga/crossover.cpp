@@ -1,0 +1,173 @@
+#include "ga/crossover.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <stdexcept>
+#include <unordered_set>
+
+namespace gasched::ga {
+
+namespace {
+
+void check_parents(const Chromosome& a, const Chromosome& b) {
+  if (a.size() != b.size() || a.empty()) {
+    throw std::invalid_argument("crossover: parents must be equal non-empty");
+  }
+}
+
+/// Random inclusive segment [lo, hi] within [0, n).
+std::pair<std::size_t, std::size_t> random_segment(std::size_t n,
+                                                   util::Rng& rng) {
+  std::size_t lo = rng.index(n);
+  std::size_t hi = rng.index(n);
+  if (lo > hi) std::swap(lo, hi);
+  return {lo, hi};
+}
+
+}  // namespace
+
+std::pair<Chromosome, Chromosome> CycleCrossover::apply(
+    const Chromosome& a, const Chromosome& b, util::Rng& rng) const {
+  check_parents(a, b);
+  const std::size_t n = a.size();
+  const auto pos_a = position_index(a);
+  Chromosome c1(n), c2(n);
+  std::vector<bool> assigned(n, false);
+  // Which parent leads the first cycle is the only random choice; cycles
+  // then alternate ownership (classic CX).
+  bool from_a = rng.bernoulli(0.5);
+  for (std::size_t start = 0; start < n; ++start) {
+    if (assigned[start]) continue;
+    std::size_t i = start;
+    do {
+      assigned[i] = true;
+      if (from_a) {
+        c1[i] = a[i];
+        c2[i] = b[i];
+      } else {
+        c1[i] = b[i];
+        c2[i] = a[i];
+      }
+      const auto it = pos_a.find(b[i]);
+      if (it == pos_a.end()) {
+        throw std::invalid_argument("CycleCrossover: parents differ in genes");
+      }
+      i = it->second;
+    } while (i != start);
+    from_a = !from_a;
+  }
+  return {std::move(c1), std::move(c2)};
+}
+
+namespace {
+
+/// PMX child: keeps a's segment [lo, hi]; positions outside come from b,
+/// remapped through the segment until conflict-free.
+Chromosome pmx_child(const Chromosome& a, const Chromosome& b,
+                     const std::unordered_map<Gene, std::size_t>& pos_a,
+                     std::size_t lo, std::size_t hi) {
+  const std::size_t n = a.size();
+  Chromosome child(n);
+  std::unordered_set<Gene> in_segment;
+  for (std::size_t i = lo; i <= hi; ++i) {
+    child[i] = a[i];
+    in_segment.insert(a[i]);
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    if (i >= lo && i <= hi) continue;
+    Gene g = b[i];
+    // Follow the mapping a[k] -> b[k] out of the segment. Terminates
+    // because each hop lands on a distinct segment position.
+    std::size_t guard = 0;
+    while (in_segment.contains(g)) {
+      const auto it = pos_a.find(g);
+      if (it == pos_a.end() || ++guard > n) {
+        throw std::invalid_argument("PmxCrossover: parents differ in genes");
+      }
+      g = b[it->second];
+    }
+    child[i] = g;
+  }
+  return child;
+}
+
+/// OX1 child: keeps a's segment; fills remaining slots with b's genes in
+/// b-order starting after the segment.
+Chromosome order_child(const Chromosome& a, const Chromosome& b,
+                       std::size_t lo, std::size_t hi) {
+  const std::size_t n = a.size();
+  if (hi - lo + 1 == n) return a;  // segment covers everything
+  Chromosome child(n);
+  std::unordered_set<Gene> taken;
+  for (std::size_t i = lo; i <= hi; ++i) {
+    child[i] = a[i];
+    taken.insert(a[i]);
+  }
+  auto next_slot = [&](std::size_t w) {
+    do {
+      w = (w + 1) % n;
+    } while (w >= lo && w <= hi);
+    return w;
+  };
+  std::size_t write = hi;  // advanced before first use
+  write = next_slot(write);
+  for (std::size_t k = 0; k < n; ++k) {
+    const Gene g = b[(hi + 1 + k) % n];
+    if (taken.contains(g)) continue;
+    child[write] = g;
+    if (k + 1 < n) write = next_slot(write);
+  }
+  return child;
+}
+
+}  // namespace
+
+std::pair<Chromosome, Chromosome> PmxCrossover::apply(const Chromosome& a,
+                                                      const Chromosome& b,
+                                                      util::Rng& rng) const {
+  check_parents(a, b);
+  const auto [lo, hi] = random_segment(a.size(), rng);
+  const auto pos_a = position_index(a);
+  const auto pos_b = position_index(b);
+  return {pmx_child(a, b, pos_a, lo, hi), pmx_child(b, a, pos_b, lo, hi)};
+}
+
+std::pair<Chromosome, Chromosome> OrderCrossover::apply(const Chromosome& a,
+                                                        const Chromosome& b,
+                                                        util::Rng& rng) const {
+  check_parents(a, b);
+  const auto [lo, hi] = random_segment(a.size(), rng);
+  return {order_child(a, b, lo, hi), order_child(b, a, lo, hi)};
+}
+
+std::pair<Chromosome, Chromosome> PositionCrossover::apply(
+    const Chromosome& a, const Chromosome& b, util::Rng& rng) const {
+  check_parents(a, b);
+  const std::size_t n = a.size();
+  std::vector<bool> keep(n);
+  for (std::size_t i = 0; i < n; ++i) keep[i] = rng.bernoulli(0.5);
+
+  auto make_child = [&](const Chromosome& keep_from,
+                        const Chromosome& fill_from) {
+    Chromosome child(n);
+    std::unordered_set<Gene> taken;
+    for (std::size_t i = 0; i < n; ++i) {
+      if (keep[i]) {
+        child[i] = keep_from[i];
+        taken.insert(keep_from[i]);
+      }
+    }
+    std::size_t write = 0;
+    for (std::size_t k = 0; k < n; ++k) {
+      const Gene g = fill_from[k];
+      if (taken.contains(g)) continue;
+      while (write < n && keep[write]) ++write;
+      assert(write < n);
+      child[write++] = g;
+    }
+    return child;
+  };
+  return {make_child(a, b), make_child(b, a)};
+}
+
+}  // namespace gasched::ga

@@ -1,0 +1,69 @@
+#pragma once
+// Permutation crossover operators. The paper (§3.3) uses cycle crossover
+// (Oliver, Smith & Holland 1987); PMX, order (OX1), and position-based
+// crossover are provided for the ablation benches. All operators require
+// both parents to be permutations of the same distinct gene set and
+// guarantee the children are too.
+
+#include <string>
+#include <utility>
+
+#include "ga/chromosome.hpp"
+#include "util/rng.hpp"
+
+namespace gasched::ga {
+
+/// Strategy: combine two parent permutations into two children.
+class CrossoverOp {
+ public:
+  virtual ~CrossoverOp() = default;
+  /// Produces two children. Parents must share the same gene set.
+  virtual std::pair<Chromosome, Chromosome> apply(const Chromosome& a,
+                                                  const Chromosome& b,
+                                                  util::Rng& rng) const = 0;
+  /// Operator name for reports.
+  virtual std::string name() const = 0;
+};
+
+/// Cycle crossover (CX): children inherit each position from one parent,
+/// alternating ownership between the permutation cycles of (a, b). Every
+/// gene keeps a position it held in one of its parents.
+class CycleCrossover final : public CrossoverOp {
+ public:
+  std::pair<Chromosome, Chromosome> apply(const Chromosome& a,
+                                          const Chromosome& b,
+                                          util::Rng& rng) const override;
+  std::string name() const override { return "cycle"; }
+};
+
+/// Partially mapped crossover (PMX): swaps a random segment and repairs
+/// conflicts through the segment's mapping.
+class PmxCrossover final : public CrossoverOp {
+ public:
+  std::pair<Chromosome, Chromosome> apply(const Chromosome& a,
+                                          const Chromosome& b,
+                                          util::Rng& rng) const override;
+  std::string name() const override { return "pmx"; }
+};
+
+/// Order crossover (OX1): copies a random segment from one parent and
+/// fills the rest in the other parent's relative order.
+class OrderCrossover final : public CrossoverOp {
+ public:
+  std::pair<Chromosome, Chromosome> apply(const Chromosome& a,
+                                          const Chromosome& b,
+                                          util::Rng& rng) const override;
+  std::string name() const override { return "order"; }
+};
+
+/// Position-based crossover (POS): a random subset of positions is
+/// inherited verbatim; remaining genes fill in the other parent's order.
+class PositionCrossover final : public CrossoverOp {
+ public:
+  std::pair<Chromosome, Chromosome> apply(const Chromosome& a,
+                                          const Chromosome& b,
+                                          util::Rng& rng) const override;
+  std::string name() const override { return "position"; }
+};
+
+}  // namespace gasched::ga

@@ -1,0 +1,132 @@
+#include "ga/engine.hpp"
+
+#include <stdexcept>
+
+namespace gasched::ga {
+
+GaEngine::GaEngine(GaConfig cfg, const SelectionOp& selection,
+                   const CrossoverOp& crossover, const MutationOp& mutation)
+    : cfg_(cfg),
+      selection_(selection),
+      crossover_(crossover),
+      mutation_(mutation) {
+  if (cfg_.population < 2) {
+    throw std::invalid_argument("GaEngine: population must be >= 2");
+  }
+}
+
+GaResult GaEngine::run(const GaProblem& problem,
+                       std::vector<Chromosome> initial, util::Rng& rng,
+                       const StopPredicate& stop,
+                       std::vector<Chromosome>* final_population) const {
+  if (initial.empty()) {
+    throw std::invalid_argument("GaEngine::run: empty initial population");
+  }
+  // Pad/truncate to the configured population size by cycling the seeds.
+  std::vector<Chromosome> pop;
+  pop.reserve(cfg_.population);
+  for (std::size_t i = 0; i < cfg_.population; ++i) {
+    pop.push_back(initial[i % initial.size()]);
+  }
+
+  GaResult result;
+  std::vector<double> fitness(pop.size());
+  std::vector<double> objective(pop.size());
+
+  auto evaluate_all = [&] {
+    for (std::size_t i = 0; i < pop.size(); ++i) {
+      fitness[i] = problem.fitness(pop[i]);
+      objective[i] = problem.objective(pop[i]);
+      if (objective[i] < result.best_objective) {
+        result.best_objective = objective[i];
+        result.best_fitness = fitness[i];
+        result.best = pop[i];
+      }
+    }
+  };
+
+  // Diversity sampling draws from a derived stream so that enabling
+  // statistics cannot perturb the evolution's own randomness.
+  util::Rng stats_rng = rng.split(0x57A7);
+  auto record_stats = [&](std::size_t gen) {
+    if (!cfg_.record_stats) return;
+    result.stats_history.push_back(summarize_generation(
+        gen, pop, fitness, objective, cfg_.diversity_pairs, stats_rng));
+  };
+
+  evaluate_all();
+  if (cfg_.record_history) {
+    result.objective_history.reserve(cfg_.max_generations + 1);
+    result.objective_history.push_back(result.best_objective);
+  }
+  record_stats(0);
+
+  std::size_t stall = 0;
+  for (std::size_t gen = 0; gen < cfg_.max_generations; ++gen) {
+    if (cfg_.target_objective > 0.0 &&
+        result.best_objective <= cfg_.target_objective) {
+      break;
+    }
+    if (cfg_.stall_generations > 0 && stall >= cfg_.stall_generations) break;
+    if (stop && stop(gen, result.best_objective)) break;
+    const double best_before = result.best_objective;
+
+    // --- selection: breed the next generation from fitness weights ------
+    const auto parents = selection_.select(fitness, pop.size(), rng);
+    std::vector<Chromosome> next;
+    next.reserve(pop.size());
+    for (std::size_t i = 0; i + 1 < parents.size(); i += 2) {
+      const Chromosome& pa = pop[parents[i]];
+      const Chromosome& pb = pop[parents[i + 1]];
+      if (rng.bernoulli(cfg_.crossover_rate)) {
+        auto [c1, c2] = crossover_.apply(pa, pb, rng);
+        next.push_back(std::move(c1));
+        next.push_back(std::move(c2));
+      } else {
+        next.push_back(pa);
+        next.push_back(pb);
+      }
+    }
+    if (next.size() < pop.size()) {
+      next.push_back(pop[parents.back()]);  // odd population size
+    }
+
+    // --- random mutation -------------------------------------------------
+    for (std::size_t m = 0; m < cfg_.mutants_per_generation; ++m) {
+      mutation_.apply(next[rng.index(next.size())], rng);
+    }
+
+    // --- local improvement (re-balancing heuristic) ----------------------
+    if (cfg_.improvement_passes > 0) {
+      for (auto& ind : next) {
+        for (std::size_t r = 0; r < cfg_.improvement_passes; ++r) {
+          problem.improve(ind, rng);
+        }
+      }
+    }
+
+    // --- elitism ----------------------------------------------------------
+    if (cfg_.elitism && !result.best.empty()) {
+      // Replace the first slot with the incumbent best; cheap and keeps
+      // the population size fixed.
+      next[0] = result.best;
+    }
+
+    pop = std::move(next);
+    evaluate_all();
+    ++result.generations;
+    if (result.best_objective < best_before) {
+      stall = 0;
+    } else {
+      ++stall;
+    }
+    if (cfg_.record_history) {
+      result.objective_history.push_back(result.best_objective);
+    }
+    record_stats(result.generations);
+  }
+  if (final_population != nullptr) *final_population = std::move(pop);
+  return result;
+}
+
+}  // namespace gasched::ga

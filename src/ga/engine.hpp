@@ -1,0 +1,122 @@
+#pragma once
+// Generic genetic-algorithm loop (paper Fig 1):
+//
+//     initialise population
+//     do { crossover; random mutation; selection } while (!stopping)
+//     return best individual
+//
+// The engine is problem-agnostic: a GaProblem supplies fitness (to
+// maximise), a reporting objective (e.g. makespan, to minimise), and an
+// optional local-improvement operator (the paper's re-balancing
+// heuristic, applied to every individual each generation).
+
+#include <functional>
+#include <limits>
+#include <memory>
+#include <vector>
+
+#include "ga/chromosome.hpp"
+#include "ga/crossover.hpp"
+#include "ga/mutation.hpp"
+#include "ga/selection.hpp"
+#include "ga/stats.hpp"
+#include "util/rng.hpp"
+
+namespace gasched::ga {
+
+/// Problem interface consumed by GaEngine.
+class GaProblem {
+ public:
+  virtual ~GaProblem() = default;
+  /// Fitness of `c`, >= 0; larger is better. (Paper: F = 1/E.)
+  virtual double fitness(const Chromosome& c) const = 0;
+  /// Reporting/stopping objective; smaller is better. (Paper: makespan.)
+  virtual double objective(const Chromosome& c) const = 0;
+  /// Optional local improvement applied in place (paper's re-balancing
+  /// heuristic). Called `GaConfig::improvement_passes` times per
+  /// individual per generation. Default: no-op.
+  virtual void improve(Chromosome& c, util::Rng& rng) const {
+    (void)c;
+    (void)rng;
+  }
+};
+
+/// Engine configuration.
+struct GaConfig {
+  /// Population size ρ. The paper uses 20 (a "micro GA", §4.2).
+  std::size_t population = 20;
+  /// Hard generation cap (paper §3.4: 1000).
+  std::size_t max_generations = 1000;
+  /// Probability a selected pair undergoes crossover.
+  double crossover_rate = 0.8;
+  /// Individuals mutated per generation (paper: one randomly chosen
+  /// individual is swap-mutated).
+  std::size_t mutants_per_generation = 1;
+  /// Local-improvement passes per individual per generation (paper: a
+  /// single re-balance; Fig 3 also explores 0 and 50).
+  std::size_t improvement_passes = 1;
+  /// Stop once the best objective is <= this value (paper: "if it is less
+  /// than a specified minimum"). Disabled when <= 0.
+  double target_objective = 0.0;
+  /// Stop after this many consecutive generations without improvement of
+  /// the best objective (convergence detection). Disabled when 0.
+  std::size_t stall_generations = 0;
+  /// Keep the best individual alive across generations.
+  bool elitism = true;
+  /// Record the best objective after every generation (Fig 3 data).
+  bool record_history = false;
+  /// Record per-generation population statistics (fitness moments and
+  /// genotype diversity; see ga/stats.hpp). The diversity sampler uses a
+  /// stream derived via Rng::split, so enabling this never changes the
+  /// evolution itself.
+  bool record_stats = false;
+  /// Pair-sample budget per generation for the diversity estimate.
+  std::size_t diversity_pairs = 64;
+};
+
+/// Outcome of one GA run.
+struct GaResult {
+  Chromosome best;                     ///< best individual ever seen
+  double best_fitness = 0.0;           ///< its fitness
+  double best_objective =              ///< its objective
+      std::numeric_limits<double>::infinity();
+  std::size_t generations = 0;         ///< generations actually executed
+  std::vector<double> objective_history;  ///< per-generation best objective
+  /// Per-generation population statistics (entry 0 = initial population;
+  /// empty unless GaConfig::record_stats).
+  std::vector<GenerationStats> stats_history;
+};
+
+/// External stop predicate, checked once per generation. Returning true
+/// stops evolution (paper: "the GA will also stop evolving if one of the
+/// processors becomes idle"). `generation` is 0-based.
+using StopPredicate = std::function<bool(std::size_t generation,
+                                         double best_objective)>;
+
+/// Reusable GA engine parameterised by operator strategies.
+class GaEngine {
+ public:
+  /// Operators are borrowed; they must outlive the engine.
+  GaEngine(GaConfig cfg, const SelectionOp& selection,
+           const CrossoverOp& crossover, const MutationOp& mutation);
+
+  /// Evolves `initial` (resized/padded to cfg.population by cloning) and
+  /// returns the best individual. `stop` may be empty. When
+  /// `final_population` is non-null the population as of the last
+  /// generation is written to it (used by the island model to continue
+  /// evolution across migration epochs).
+  GaResult run(const GaProblem& problem, std::vector<Chromosome> initial,
+               util::Rng& rng, const StopPredicate& stop = {},
+               std::vector<Chromosome>* final_population = nullptr) const;
+
+  /// Configuration in use.
+  const GaConfig& config() const noexcept { return cfg_; }
+
+ private:
+  GaConfig cfg_;
+  const SelectionOp& selection_;
+  const CrossoverOp& crossover_;
+  const MutationOp& mutation_;
+};
+
+}  // namespace gasched::ga

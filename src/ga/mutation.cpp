@@ -1,0 +1,55 @@
+#include "ga/mutation.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace gasched::ga {
+
+SwapMutation::SwapMutation(std::size_t swaps) : swaps_(swaps) {
+  if (swaps == 0) throw std::invalid_argument("SwapMutation: swaps >= 1");
+}
+
+std::string SwapMutation::name() const {
+  return swaps_ == 1 ? "swap" : "swap" + std::to_string(swaps_);
+}
+
+void SwapMutation::apply(Chromosome& c, util::Rng& rng) const {
+  if (c.size() < 2) return;
+  for (std::size_t s = 0; s < swaps_; ++s) {
+    const std::size_t i = rng.index(c.size());
+    const std::size_t j = rng.index(c.size());
+    std::swap(c[i], c[j]);
+  }
+}
+
+void InsertionMutation::apply(Chromosome& c, util::Rng& rng) const {
+  if (c.size() < 2) return;
+  const std::size_t from = rng.index(c.size());
+  const std::size_t to = rng.index(c.size());
+  if (from == to) return;
+  const Gene g = c[from];
+  c.erase(c.begin() + static_cast<std::ptrdiff_t>(from));
+  c.insert(c.begin() + static_cast<std::ptrdiff_t>(to), g);
+}
+
+void InversionMutation::apply(Chromosome& c, util::Rng& rng) const {
+  if (c.size() < 2) return;
+  std::size_t lo = rng.index(c.size());
+  std::size_t hi = rng.index(c.size());
+  if (lo > hi) std::swap(lo, hi);
+  std::reverse(c.begin() + static_cast<std::ptrdiff_t>(lo),
+               c.begin() + static_cast<std::ptrdiff_t>(hi) + 1);
+}
+
+void ScrambleMutation::apply(Chromosome& c, util::Rng& rng) const {
+  if (c.size() < 2) return;
+  std::size_t lo = rng.index(c.size());
+  std::size_t hi = rng.index(c.size());
+  if (lo > hi) std::swap(lo, hi);
+  for (std::size_t i = hi; i > lo; --i) {
+    const std::size_t j = lo + rng.index(i - lo + 1);
+    std::swap(c[i], c[j]);
+  }
+}
+
+}  // namespace gasched::ga

@@ -1,0 +1,57 @@
+#pragma once
+// Permutation mutation operators. The paper (§3.3) randomly swaps elements
+// of a randomly chosen individual; insertion, inversion, and scramble
+// mutations are provided for the ablation benches. All operators preserve
+// the gene multiset.
+
+#include <string>
+
+#include "ga/chromosome.hpp"
+#include "util/rng.hpp"
+
+namespace gasched::ga {
+
+/// Strategy: perturb a chromosome in place.
+class MutationOp {
+ public:
+  virtual ~MutationOp() = default;
+  /// Mutates `c` in place. Must preserve the gene set.
+  virtual void apply(Chromosome& c, util::Rng& rng) const = 0;
+  /// Operator name for reports.
+  virtual std::string name() const = 0;
+};
+
+/// Swaps `swaps` random pairs of positions (paper's mutation).
+class SwapMutation final : public MutationOp {
+ public:
+  /// Requires swaps >= 1.
+  explicit SwapMutation(std::size_t swaps = 1);
+  void apply(Chromosome& c, util::Rng& rng) const override;
+  std::string name() const override;
+
+ private:
+  std::size_t swaps_;
+};
+
+/// Removes one random gene and reinserts it at a random position.
+class InsertionMutation final : public MutationOp {
+ public:
+  void apply(Chromosome& c, util::Rng& rng) const override;
+  std::string name() const override { return "insertion"; }
+};
+
+/// Reverses a random segment.
+class InversionMutation final : public MutationOp {
+ public:
+  void apply(Chromosome& c, util::Rng& rng) const override;
+  std::string name() const override { return "inversion"; }
+};
+
+/// Shuffles a random segment.
+class ScrambleMutation final : public MutationOp {
+ public:
+  void apply(Chromosome& c, util::Rng& rng) const override;
+  std::string name() const override { return "scramble"; }
+};
+
+}  // namespace gasched::ga

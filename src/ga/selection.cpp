@@ -1,0 +1,113 @@
+#include "ga/selection.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <stdexcept>
+
+namespace gasched::ga {
+
+namespace {
+
+/// Prefix sums of fitness; returns total. All-zero totals are handled by
+/// callers falling back to uniform selection.
+double prefix_sums(std::span<const double> fitness, std::vector<double>& out) {
+  out.resize(fitness.size());
+  double acc = 0.0;
+  for (std::size_t i = 0; i < fitness.size(); ++i) {
+    acc += std::max(fitness[i], 0.0);
+    out[i] = acc;
+  }
+  return acc;
+}
+
+std::size_t locate(const std::vector<double>& prefix, double target) {
+  const auto it = std::upper_bound(prefix.begin(), prefix.end(), target);
+  return static_cast<std::size_t>(
+      std::min<std::ptrdiff_t>(it - prefix.begin(),
+                               static_cast<std::ptrdiff_t>(prefix.size()) - 1));
+}
+
+}  // namespace
+
+std::vector<std::size_t> RouletteSelection::select(
+    std::span<const double> fitness, std::size_t count, util::Rng& rng) const {
+  if (fitness.empty()) throw std::invalid_argument("select: empty population");
+  std::vector<double> prefix;
+  const double total = prefix_sums(fitness, prefix);
+  std::vector<std::size_t> out;
+  out.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    if (total <= 0.0) {
+      out.push_back(rng.index(fitness.size()));
+    } else {
+      out.push_back(locate(prefix, rng.uniform(0.0, total)));
+    }
+  }
+  return out;
+}
+
+TournamentSelection::TournamentSelection(std::size_t k) : k_(k) {
+  if (k == 0) throw std::invalid_argument("TournamentSelection: k >= 1");
+}
+
+std::string TournamentSelection::name() const {
+  return "tournament" + std::to_string(k_);
+}
+
+std::vector<std::size_t> TournamentSelection::select(
+    std::span<const double> fitness, std::size_t count, util::Rng& rng) const {
+  if (fitness.empty()) throw std::invalid_argument("select: empty population");
+  std::vector<std::size_t> out;
+  out.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    std::size_t best = rng.index(fitness.size());
+    for (std::size_t t = 1; t < k_; ++t) {
+      const std::size_t cand = rng.index(fitness.size());
+      if (fitness[cand] > fitness[best]) best = cand;
+    }
+    out.push_back(best);
+  }
+  return out;
+}
+
+std::vector<std::size_t> RankSelection::select(std::span<const double> fitness,
+                                               std::size_t count,
+                                               util::Rng& rng) const {
+  if (fitness.empty()) throw std::invalid_argument("select: empty population");
+  const std::size_t n = fitness.size();
+  std::vector<std::size_t> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    return fitness[a] < fitness[b];
+  });
+  // rank[i] in [1, n]; selection weight = rank.
+  std::vector<double> weight(n);
+  for (std::size_t r = 0; r < n; ++r) {
+    weight[order[r]] = static_cast<double>(r + 1);
+  }
+  RouletteSelection roulette;
+  return roulette.select(weight, count, rng);
+}
+
+std::vector<std::size_t> SusSelection::select(std::span<const double> fitness,
+                                              std::size_t count,
+                                              util::Rng& rng) const {
+  if (fitness.empty()) throw std::invalid_argument("select: empty population");
+  std::vector<double> prefix;
+  const double total = prefix_sums(fitness, prefix);
+  std::vector<std::size_t> out;
+  out.reserve(count);
+  if (total <= 0.0 || count == 0) {
+    for (std::size_t i = 0; i < count; ++i) out.push_back(rng.index(fitness.size()));
+    return out;
+  }
+  const double step = total / static_cast<double>(count);
+  double pointer = rng.uniform(0.0, step);
+  for (std::size_t i = 0; i < count; ++i) {
+    out.push_back(locate(prefix, pointer));
+    pointer += step;
+  }
+  return out;
+}
+
+}  // namespace gasched::ga

@@ -1,0 +1,70 @@
+#include "ga/stats.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace gasched::ga {
+
+double hamming_distance(const Chromosome& a, const Chromosome& b) {
+  if (a.size() != b.size()) {
+    throw std::invalid_argument("hamming_distance: length mismatch");
+  }
+  if (a.empty()) return 0.0;
+  std::size_t diff = 0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (a[i] != b[i]) ++diff;
+  }
+  return static_cast<double>(diff) / static_cast<double>(a.size());
+}
+
+double population_diversity(const std::vector<Chromosome>& pop,
+                            std::size_t max_pairs, util::Rng& rng) {
+  const std::size_t n = pop.size();
+  if (n < 2 || max_pairs == 0) return 0.0;
+
+  const std::size_t all_pairs = n * (n - 1) / 2;
+  double sum = 0.0;
+  std::size_t count = 0;
+  if (all_pairs <= max_pairs) {
+    for (std::size_t i = 0; i < n; ++i) {
+      for (std::size_t j = i + 1; j < n; ++j) {
+        sum += hamming_distance(pop[i], pop[j]);
+        ++count;
+      }
+    }
+  } else {
+    while (count < max_pairs) {
+      const std::size_t i = rng.index(n);
+      std::size_t j = rng.index(n - 1);
+      if (j >= i) ++j;
+      sum += hamming_distance(pop[i], pop[j]);
+      ++count;
+    }
+  }
+  return sum / static_cast<double>(count);
+}
+
+GenerationStats summarize_generation(std::size_t generation,
+                                     const std::vector<Chromosome>& pop,
+                                     const std::vector<double>& fitness,
+                                     const std::vector<double>& objective,
+                                     std::size_t max_pairs, util::Rng& rng) {
+  GenerationStats s;
+  s.generation = generation;
+  if (!fitness.empty()) {
+    s.best_fitness = *std::max_element(fitness.begin(), fitness.end());
+    double sum = 0.0;
+    for (const double f : fitness) sum += f;
+    s.mean_fitness = sum / static_cast<double>(fitness.size());
+  }
+  if (!objective.empty()) {
+    s.best_objective = *std::min_element(objective.begin(), objective.end());
+    double sum = 0.0;
+    for (const double o : objective) sum += o;
+    s.mean_objective = sum / static_cast<double>(objective.size());
+  }
+  s.diversity = population_diversity(pop, max_pairs, rng);
+  return s;
+}
+
+}  // namespace gasched::ga

@@ -1,0 +1,51 @@
+#pragma once
+// Per-generation population statistics for the GA engine.
+//
+// The paper adopts a 20-individual micro GA (§4.2, citing ref [2]) on the
+// grounds that it "speeds up computation time without impacting greatly
+// on the final result". That trade hinges on how fast a small population
+// loses genetic diversity; this header provides the instrumentation to
+// observe it: per-generation fitness moments plus a normalised
+// genotype-diversity measure (mean pairwise Hamming distance over a
+// bounded sample of pairs). GaConfig::record_stats enables collection;
+// the streams used for sampling are derived with Rng::split so enabling
+// statistics never perturbs the evolution itself.
+
+#include <cstddef>
+#include <vector>
+
+#include "ga/chromosome.hpp"
+#include "util/rng.hpp"
+
+namespace gasched::ga {
+
+/// Snapshot of one generation's population.
+struct GenerationStats {
+  std::size_t generation = 0;   ///< 0 = initial population
+  double best_fitness = 0.0;    ///< max fitness in the population
+  double mean_fitness = 0.0;    ///< mean fitness
+  double best_objective = 0.0;  ///< min objective in the population
+  double mean_objective = 0.0;  ///< mean objective
+  double diversity = 0.0;       ///< normalised Hamming diversity in [0, 1]
+};
+
+/// Normalised Hamming distance between two equal-length chromosomes:
+/// fraction of positions whose genes differ. Returns 0 for empty inputs.
+double hamming_distance(const Chromosome& a, const Chromosome& b);
+
+/// Mean pairwise Hamming distance over the population, estimated from at
+/// most `max_pairs` sampled pairs (all pairs when the population is small
+/// enough). 0 = population collapsed to clones; higher = more diverse.
+/// Requires at least two individuals (returns 0 otherwise).
+double population_diversity(const std::vector<Chromosome>& pop,
+                            std::size_t max_pairs, util::Rng& rng);
+
+/// Builds one GenerationStats record from precomputed per-individual
+/// fitness and objective arrays (as maintained by the engine).
+GenerationStats summarize_generation(std::size_t generation,
+                                     const std::vector<Chromosome>& pop,
+                                     const std::vector<double>& fitness,
+                                     const std::vector<double>& objective,
+                                     std::size_t max_pairs, util::Rng& rng);
+
+}  // namespace gasched::ga

@@ -1,0 +1,148 @@
+#include "meta/aco.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+#include "meta/assignment.hpp"
+
+namespace gasched::meta {
+
+AntColonyScheduler::AntColonyScheduler(AcoConfig cfg)
+    : LocalSearchBatchPolicy(cfg.batch), cfg_(cfg) {
+  if (cfg_.ants == 0 || cfg_.iterations == 0) {
+    throw std::invalid_argument("ACO: ants and iterations must be > 0");
+  }
+  if (cfg_.evaporation <= 0.0 || cfg_.evaporation > 1.0) {
+    throw std::invalid_argument("ACO: evaporation must be in (0, 1]");
+  }
+  if (cfg_.tau_min <= 0.0 || cfg_.tau_min > cfg_.tau_max) {
+    throw std::invalid_argument("ACO: need 0 < tau_min <= tau_max");
+  }
+}
+
+namespace {
+
+/// One ant's walk: assigns every slot (in the given order) to a processor
+/// sampled from the pheromone/visibility product over the construction's
+/// running completion times. Returns the slot → processor map.
+std::vector<std::size_t> construct(const core::ScheduleEvaluator& eval,
+                                   const std::vector<double>& tau,
+                                   const std::vector<std::size_t>& order,
+                                   double alpha, double beta,
+                                   util::Rng& rng) {
+  const std::size_t M = eval.num_procs();
+  std::vector<double> completion(M);
+  for (std::size_t j = 0; j < M; ++j) completion[j] = eval.delta(j);
+
+  std::vector<std::size_t> assignment(eval.num_tasks());
+  std::vector<double> weight(M);
+  for (const std::size_t slot : order) {
+    double total = 0.0;
+    for (std::size_t j = 0; j < M; ++j) {
+      const double finish = completion[j] + eval.task_cost_on(slot, j);
+      const double eta = 1.0 / (finish + 1e-12);
+      weight[j] = std::pow(tau[slot * M + j], alpha) * std::pow(eta, beta);
+      total += weight[j];
+    }
+    std::size_t pick = M - 1;
+    if (total > 0.0 && std::isfinite(total)) {
+      const double r = rng.uniform01() * total;
+      double acc = 0.0;
+      for (std::size_t j = 0; j < M; ++j) {
+        acc += weight[j];
+        if (r < acc) {
+          pick = j;
+          break;
+        }
+      }
+    } else {
+      pick = rng.index(M);  // degenerate weights: fall back to uniform
+    }
+    assignment[slot] = pick;
+    completion[pick] += eval.task_cost_on(slot, pick);
+  }
+  return assignment;
+}
+
+/// Makespan of a slot → processor map.
+double assignment_makespan(const core::ScheduleEvaluator& eval,
+                           const std::vector<std::size_t>& assignment) {
+  const std::size_t M = eval.num_procs();
+  std::vector<double> completion(M);
+  for (std::size_t j = 0; j < M; ++j) completion[j] = eval.delta(j);
+  for (std::size_t s = 0; s < assignment.size(); ++s) {
+    completion[assignment[s]] += eval.task_cost_on(s, assignment[s]);
+  }
+  return *std::max_element(completion.begin(), completion.end());
+}
+
+}  // namespace
+
+core::ProcQueues AntColonyScheduler::search(
+    const core::ScheduleEvaluator& eval, core::ProcQueues initial,
+    util::Rng& rng) const {
+  const std::size_t M = eval.num_procs();
+  const std::size_t N = eval.num_tasks();
+  if (M < 2 || N == 0) return initial;
+
+  // Seed best-so-far with the greedy start solution so ACO never returns
+  // something worse than the list schedule.
+  LoadTracker seed(eval, std::move(initial));
+  std::vector<std::size_t> best(N);
+  for (std::size_t s = 0; s < N; ++s) best[s] = seed.proc_of(s);
+  double best_makespan = seed.makespan();
+
+  std::vector<double> tau(N * M, cfg_.tau0);
+  std::vector<std::size_t> order(N);
+  std::iota(order.begin(), order.end(), std::size_t{0});
+
+  std::size_t stall = 0;
+  for (std::size_t iter = 0;
+       iter < cfg_.iterations && stall < cfg_.stall_iterations; ++iter) {
+    std::vector<std::size_t> iter_best;
+    double iter_best_makespan = std::numeric_limits<double>::infinity();
+
+    for (std::size_t a = 0; a < cfg_.ants; ++a) {
+      rng.shuffle(order);
+      auto assignment =
+          construct(eval, tau, order, cfg_.alpha, cfg_.beta, rng);
+      const double ms = assignment_makespan(eval, assignment);
+      if (ms < iter_best_makespan) {
+        iter_best_makespan = ms;
+        iter_best = std::move(assignment);
+      }
+    }
+
+    // Evaporate, then let the iteration-best ant deposit ψ/makespan —
+    // dimensionless and larger for better schedules.
+    for (double& t : tau) t *= 1.0 - cfg_.evaporation;
+    const double deposit =
+        eval.psi() > 0.0 ? eval.psi() / iter_best_makespan : 1.0;
+    for (std::size_t s = 0; s < N; ++s) {
+      tau[s * M + iter_best[s]] += deposit;
+    }
+    for (double& t : tau) t = std::clamp(t, cfg_.tau_min, cfg_.tau_max);
+
+    if (iter_best_makespan < best_makespan - 1e-12) {
+      best_makespan = iter_best_makespan;
+      best = std::move(iter_best);
+      stall = 0;
+    } else {
+      ++stall;
+    }
+  }
+
+  core::ProcQueues queues(M);
+  for (std::size_t s = 0; s < N; ++s) queues[best[s]].push_back(s);
+  return queues;
+}
+
+std::unique_ptr<AntColonyScheduler> make_aco_scheduler(AcoConfig cfg) {
+  return std::make_unique<AntColonyScheduler>(cfg);
+}
+
+}  // namespace gasched::meta

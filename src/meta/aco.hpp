@@ -1,0 +1,67 @@
+#pragma once
+// Ant-colony-optimisation batch scheduler (Colorni, Dorigo & Maniezzo —
+// the paper's reference [3]).
+//
+// A MAX-MIN-style ant system over the slot → processor assignment: each
+// ant builds a complete schedule by placing batch slots (in random order)
+// on processors drawn with probability ∝ τ(s,j)^α · η(s,j)^β, where the
+// pheromone τ records historically good placements and the visibility
+// η = 1 / (C_j + cost(s,j)) is the earliest-finish greedy signal under
+// the construction's current partial loads. After each iteration the
+// pheromone evaporates and the iteration-best ant deposits ψ/makespan
+// (scale-free, ≤ ~1) on its placements; τ is clamped to [τ_min, τ_max]
+// to keep exploration alive (Stützle & Hoos' MAX-MIN rule).
+
+#include <cstddef>
+#include <memory>
+#include <string>
+
+#include "meta/batch_policy.hpp"
+
+namespace gasched::meta {
+
+/// Ant-system parameters.
+struct AcoConfig {
+  BatchSearchConfig batch;
+  /// Ants per iteration.
+  std::size_t ants = 10;
+  /// Construction iterations.
+  std::size_t iterations = 40;
+  /// Pheromone exponent α.
+  double alpha = 1.0;
+  /// Visibility exponent β.
+  double beta = 2.0;
+  /// Evaporation rate ρ in (0, 1]: τ ← (1−ρ)τ.
+  double evaporation = 0.15;
+  /// Pheromone clamp bounds (MAX-MIN ant system).
+  double tau_min = 0.01;
+  double tau_max = 10.0;
+  /// Initial pheromone level.
+  double tau0 = 1.0;
+  /// Stop after this many iterations without improving the best schedule.
+  std::size_t stall_iterations = 12;
+};
+
+/// Ant-colony scheduler ("ACO").
+class AntColonyScheduler final : public LocalSearchBatchPolicy {
+ public:
+  explicit AntColonyScheduler(AcoConfig cfg = {});
+
+  std::string name() const override { return "ACO"; }
+
+  /// Configuration in use.
+  const AcoConfig& config() const noexcept { return cfg_; }
+
+ protected:
+  core::ProcQueues search(const core::ScheduleEvaluator& eval,
+                          core::ProcQueues initial,
+                          util::Rng& rng) const override;
+
+ private:
+  AcoConfig cfg_;
+};
+
+/// Factory with default parameters.
+std::unique_ptr<AntColonyScheduler> make_aco_scheduler(AcoConfig cfg = {});
+
+}  // namespace gasched::meta

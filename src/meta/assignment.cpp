@@ -1,0 +1,100 @@
+#include "meta/assignment.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace gasched::meta {
+
+LoadTracker::LoadTracker(const core::ScheduleEvaluator& eval,
+                         core::ProcQueues queues)
+    : eval_(&eval) {
+  const std::size_t M = eval.num_procs();
+  const std::size_t N = eval.num_tasks();
+  if (queues.size() != M) {
+    throw std::invalid_argument("LoadTracker: queue count != processor count");
+  }
+  slot_proc_.assign(N, M);  // M = unassigned sentinel
+  completion_.resize(M);
+  for (std::size_t j = 0; j < M; ++j) {
+    completion_[j] = eval.delta(j);
+    for (const std::size_t slot : queues[j]) {
+      if (slot >= N || slot_proc_[slot] != M) {
+        throw std::invalid_argument(
+            "LoadTracker: queues must cover each slot exactly once");
+      }
+      slot_proc_[slot] = j;
+      completion_[j] += eval.task_cost_on(slot, j);
+    }
+  }
+  for (std::size_t s = 0; s < N; ++s) {
+    if (slot_proc_[s] == M) {
+      throw std::invalid_argument("LoadTracker: slot missing from queues");
+    }
+  }
+}
+
+double LoadTracker::makespan() const {
+  double m = 0.0;
+  for (const double c : completion_) m = std::max(m, c);
+  return m;
+}
+
+std::size_t LoadTracker::heaviest_proc() const {
+  std::size_t arg = 0;
+  for (std::size_t j = 1; j < completion_.size(); ++j) {
+    if (completion_[j] > completion_[arg]) arg = j;
+  }
+  return arg;
+}
+
+double LoadTracker::makespan_delta(const Move& m) const {
+  const double before = makespan();
+  const double from_after = completion_[m.from] - eval_->task_cost_on(m.slot, m.from);
+  const double to_after = completion_[m.to] + eval_->task_cost_on(m.slot, m.to);
+  double after = std::max(from_after, to_after);
+  for (std::size_t j = 0; j < completion_.size(); ++j) {
+    if (j == m.from || j == m.to) continue;
+    after = std::max(after, completion_[j]);
+  }
+  return after - before;
+}
+
+void LoadTracker::apply(const Move& m) {
+  if (slot_proc_.at(m.slot) != m.from) {
+    throw std::invalid_argument("LoadTracker::apply: stale move origin");
+  }
+  completion_[m.from] -= eval_->task_cost_on(m.slot, m.from);
+  completion_[m.to] += eval_->task_cost_on(m.slot, m.to);
+  slot_proc_[m.slot] = m.to;
+}
+
+void LoadTracker::swap_slots(std::size_t slot_a, std::size_t slot_b) {
+  const std::size_t pa = slot_proc_.at(slot_a);
+  const std::size_t pb = slot_proc_.at(slot_b);
+  if (pa == pb) return;
+  apply({slot_a, pa, pb});
+  apply({slot_b, pb, pa});
+}
+
+Move LoadTracker::random_move(util::Rng& rng) const {
+  const std::size_t M = num_procs();
+  if (M < 2 || num_tasks() == 0) {
+    throw std::logic_error("LoadTracker::random_move: need M >= 2, N >= 1");
+  }
+  Move m;
+  m.slot = rng.index(num_tasks());
+  m.from = slot_proc_[m.slot];
+  m.to = rng.index(M - 1);
+  if (m.to >= m.from) ++m.to;  // uniform over the other M-1 processors
+  return m;
+}
+
+core::ProcQueues LoadTracker::to_queues() const {
+  core::ProcQueues q(num_procs());
+  for (std::size_t s = 0; s < slot_proc_.size(); ++s) {
+    q[slot_proc_[s]].push_back(s);
+  }
+  return q;
+}
+
+}  // namespace gasched::meta

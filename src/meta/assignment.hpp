@@ -1,0 +1,83 @@
+#pragma once
+// Incremental assignment state shared by the local-search schedulers
+// (simulated annealing, tabu search, hill climbing).
+//
+// The paper's §2 singles out meta-heuristic search — GAs, tabu search
+// (Glover, ref [6]) and ant colony optimisation (Colorni et al., ref [3])
+// — as the techniques applicable to batch task scheduling. src/meta
+// implements those alternatives over the same information model as the
+// PN scheduler (core/fitness.hpp) so search strategies can be compared
+// with everything else held fixed.
+//
+// A LoadTracker maintains per-processor completion times
+//   C_j = δ_j + Σ_{slot→j} (t_slot / P_j + Γc_j)
+// under O(1) move and swap operations. Queue order within a processor
+// does not affect C_j (the evaluator sums queue costs), so local-search
+// neighbourhoods operate purely on the slot → processor assignment.
+
+#include <cstddef>
+#include <vector>
+
+#include "core/encoding.hpp"
+#include "core/fitness.hpp"
+#include "util/rng.hpp"
+
+namespace gasched::meta {
+
+/// A single local-search move: reassign batch slot `slot` from processor
+/// `from` to processor `to`.
+struct Move {
+  std::size_t slot = 0;
+  std::size_t from = 0;
+  std::size_t to = 0;
+};
+
+/// Mutable assignment of batch slots to processors with incrementally
+/// maintained completion times.
+class LoadTracker {
+ public:
+  /// Builds the tracker from an initial assignment. `queues` must cover
+  /// every batch slot of `eval` exactly once; the evaluator must outlive
+  /// the tracker.
+  LoadTracker(const core::ScheduleEvaluator& eval, core::ProcQueues queues);
+
+  /// Number of processors M.
+  std::size_t num_procs() const noexcept { return completion_.size(); }
+  /// Number of batch slots N.
+  std::size_t num_tasks() const noexcept { return slot_proc_.size(); }
+
+  /// Processor currently hosting `slot`.
+  std::size_t proc_of(std::size_t slot) const { return slot_proc_.at(slot); }
+  /// Completion time C_j of processor j.
+  double completion(std::size_t j) const { return completion_.at(j); }
+  /// Current makespan max_j C_j. O(M).
+  double makespan() const;
+  /// Index of the processor with the largest completion time. O(M).
+  std::size_t heaviest_proc() const;
+
+  /// Change in makespan if `m` were applied, without applying it. O(M).
+  double makespan_delta(const Move& m) const;
+
+  /// Applies `m`. `m.from` must be the slot's current processor.
+  void apply(const Move& m);
+  /// Exchanges the processors of two slots hosted on different processors.
+  void swap_slots(std::size_t slot_a, std::size_t slot_b);
+
+  /// Draws a uniformly random reassignment move (slot, its processor, a
+  /// different target processor). Requires M >= 2 and N >= 1.
+  Move random_move(util::Rng& rng) const;
+
+  /// Materialises the current assignment as per-processor queues (slot
+  /// order within a queue is ascending; order is irrelevant to C_j).
+  core::ProcQueues to_queues() const;
+
+  /// The evaluator this tracker prices moves with.
+  const core::ScheduleEvaluator& evaluator() const noexcept { return *eval_; }
+
+ private:
+  const core::ScheduleEvaluator* eval_;
+  std::vector<std::size_t> slot_proc_;  // slot → processor
+  std::vector<double> completion_;      // C_j
+};
+
+}  // namespace gasched::meta

@@ -1,0 +1,60 @@
+#include "meta/hill_climb.hpp"
+
+#include <algorithm>
+
+#include "core/init.hpp"
+#include "meta/assignment.hpp"
+
+namespace gasched::meta {
+
+HillClimbScheduler::HillClimbScheduler(HillClimbConfig cfg)
+    : LocalSearchBatchPolicy(cfg.batch), cfg_(cfg) {}
+
+core::ProcQueues HillClimbScheduler::search(
+    const core::ScheduleEvaluator& eval, core::ProcQueues initial,
+    util::Rng& rng) const {
+  const std::size_t M = eval.num_procs();
+  const std::size_t N = eval.num_tasks();
+  if (M < 2 || N < 2) return initial;
+
+  const std::size_t max_samples =
+      cfg_.max_samples > 0 ? cfg_.max_samples
+                           : std::max<std::size_t>(256, 16 * N);
+
+  core::ProcQueues best = initial;
+  double best_makespan = LoadTracker(eval, initial).makespan();
+
+  const std::size_t restarts = std::max<std::size_t>(cfg_.restarts, 1);
+  for (std::size_t r = 0; r < restarts; ++r) {
+    // Restart 0 climbs from the provided start solution; later restarts
+    // climb from fresh half-randomised list schedules.
+    LoadTracker state(eval, r == 0 ? std::move(initial)
+                                   : core::list_schedule(eval, 0.5, rng));
+
+    std::size_t stall = 0;
+    for (std::size_t i = 0; i < max_samples && stall < cfg_.stall_samples;
+         ++i) {
+      const Move m = state.random_move(rng);
+      if (state.makespan_delta(m) < 0.0) {
+        state.apply(m);
+        stall = 0;
+      } else {
+        ++stall;
+      }
+    }
+
+    const double ms = state.makespan();
+    if (ms < best_makespan) {
+      best_makespan = ms;
+      best = state.to_queues();
+    }
+  }
+  return best;
+}
+
+std::unique_ptr<HillClimbScheduler> make_hill_climb_scheduler(
+    HillClimbConfig cfg) {
+  return std::make_unique<HillClimbScheduler>(cfg);
+}
+
+}  // namespace gasched::meta

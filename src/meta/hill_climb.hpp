@@ -1,0 +1,51 @@
+#pragma once
+// Random-restart hill climbing — the degenerate member of the local-search
+// family (simulated annealing at T = 0 with restarts). It provides the
+// floor any meta-heuristic must beat: if SA / tabu / ACO / the GA cannot
+// outperform first-improvement descent from a randomised list schedule,
+// their extra machinery is not paying for itself.
+
+#include <cstddef>
+#include <memory>
+#include <string>
+
+#include "meta/batch_policy.hpp"
+
+namespace gasched::meta {
+
+/// Hill-climbing parameters.
+struct HillClimbConfig {
+  BatchSearchConfig batch;
+  /// Independent restarts (the first starts from the greedy list schedule,
+  /// the rest from randomised ones).
+  std::size_t restarts = 4;
+  /// Neighbour samples per climb. 0 = auto (16·N, at least 256).
+  std::size_t max_samples = 0;
+  /// Abandon a climb after this many consecutive non-improving samples.
+  std::size_t stall_samples = 96;
+};
+
+/// Random-restart first-improvement hill climber ("HC").
+class HillClimbScheduler final : public LocalSearchBatchPolicy {
+ public:
+  explicit HillClimbScheduler(HillClimbConfig cfg = {});
+
+  std::string name() const override { return "HC"; }
+
+  /// Configuration in use.
+  const HillClimbConfig& config() const noexcept { return cfg_; }
+
+ protected:
+  core::ProcQueues search(const core::ScheduleEvaluator& eval,
+                          core::ProcQueues initial,
+                          util::Rng& rng) const override;
+
+ private:
+  HillClimbConfig cfg_;
+};
+
+/// Factory with default parameters.
+std::unique_ptr<HillClimbScheduler> make_hill_climb_scheduler(
+    HillClimbConfig cfg = {});
+
+}  // namespace gasched::meta

@@ -1,0 +1,61 @@
+#pragma once
+// Simulated-annealing batch scheduler.
+//
+// A classic alternative meta-heuristic to the paper's GA (§2 frames GAs,
+// tabu and ant-colony search as the family of applicable techniques).
+// The annealer walks the reassignment neighbourhood of meta::LoadTracker:
+// a candidate move is always accepted when it does not worsen the
+// estimated makespan, and accepted with probability exp(−Δ/T) otherwise.
+// Temperature follows a geometric schedule T ← αT calibrated from the
+// start solution, the standard Kirkpatrick-style configuration.
+
+#include <cstddef>
+#include <memory>
+#include <string>
+
+#include "meta/batch_policy.hpp"
+
+namespace gasched::meta {
+
+/// Annealer parameters.
+struct SaConfig {
+  BatchSearchConfig batch;
+  /// Moves attempted at each temperature level. 0 = auto (4·N, at least
+  /// 64), scaling the sweep with the batch size.
+  std::size_t moves_per_temperature = 0;
+  /// Geometric cooling factor α in (0, 1).
+  double cooling = 0.92;
+  /// Initial acceptance probability for a mean-magnitude uphill move;
+  /// the initial temperature is calibrated as T₀ = −mean(Δ⁺)/ln(p₀).
+  double initial_acceptance = 0.5;
+  /// Stop when T falls below this fraction of T₀.
+  double min_temperature_fraction = 1e-4;
+  /// Stop after this many consecutive temperature levels without any
+  /// accepted move.
+  std::size_t frozen_levels = 3;
+};
+
+/// Simulated-annealing scheduler ("SA").
+class SimulatedAnnealingScheduler final : public LocalSearchBatchPolicy {
+ public:
+  explicit SimulatedAnnealingScheduler(SaConfig cfg = {});
+
+  std::string name() const override { return "SA"; }
+
+  /// Configuration in use.
+  const SaConfig& config() const noexcept { return cfg_; }
+
+ protected:
+  core::ProcQueues search(const core::ScheduleEvaluator& eval,
+                          core::ProcQueues initial,
+                          util::Rng& rng) const override;
+
+ private:
+  SaConfig cfg_;
+};
+
+/// Factory with default parameters.
+std::unique_ptr<SimulatedAnnealingScheduler> make_sa_scheduler(
+    SaConfig cfg = {});
+
+}  // namespace gasched::meta

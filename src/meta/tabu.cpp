@@ -1,0 +1,91 @@
+#include "meta/tabu.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <vector>
+
+#include "meta/assignment.hpp"
+
+namespace gasched::meta {
+
+TabuSearchScheduler::TabuSearchScheduler(TabuConfig cfg)
+    : LocalSearchBatchPolicy(cfg.batch), cfg_(cfg) {}
+
+core::ProcQueues TabuSearchScheduler::search(
+    const core::ScheduleEvaluator& eval, core::ProcQueues initial,
+    util::Rng& rng) const {
+  const std::size_t M = eval.num_procs();
+  const std::size_t N = eval.num_tasks();
+  if (M < 2 || N < 2) return initial;
+
+  LoadTracker state(eval, std::move(initial));
+
+  const std::size_t max_iters =
+      cfg_.max_iterations > 0 ? cfg_.max_iterations
+                              : std::max<std::size_t>(200, 8 * N);
+  const std::size_t candidates =
+      cfg_.candidates > 0 ? cfg_.candidates : std::max<std::size_t>(32, 2 * M);
+  const std::size_t tenure =
+      cfg_.tenure > 0 ? cfg_.tenure : std::max<std::size_t>(5, N / 8);
+
+  // tabu_until[slot * M + proc]: first iteration at which moving `slot`
+  // back onto `proc` is admissible again.
+  std::vector<std::size_t> tabu_until(N * M, 0);
+
+  core::ProcQueues best = state.to_queues();
+  double best_makespan = state.makespan();
+
+  std::size_t stall = 0;
+  for (std::size_t iter = 1; iter <= max_iters && stall < cfg_.stall_iterations;
+       ++iter) {
+    // Steepest admissible move among a random candidate sample. Biasing
+    // half the sample to the heaviest processor focuses the search where
+    // the makespan is decided.
+    const std::size_t heavy = state.heaviest_proc();
+    Move chosen{};
+    double chosen_delta = std::numeric_limits<double>::infinity();
+    bool have_move = false;
+
+    for (std::size_t c = 0; c < candidates; ++c) {
+      Move m = state.random_move(rng);
+      if (c % 2 == 0 && state.completion(heavy) > 0.0) {
+        // Redirect the candidate to pull work off the heaviest processor.
+        for (std::size_t tries = 0; tries < 4 && m.from != heavy; ++tries) {
+          m = state.random_move(rng);
+        }
+      }
+      const double delta = state.makespan_delta(m);
+      const bool is_tabu = tabu_until[m.slot * M + m.to] > iter;
+      const bool aspires = state.makespan() + delta < best_makespan;
+      if (is_tabu && !aspires) continue;
+      if (delta < chosen_delta) {
+        chosen = m;
+        chosen_delta = delta;
+        have_move = true;
+      }
+    }
+    if (!have_move) {
+      ++stall;
+      continue;
+    }
+
+    state.apply(chosen);
+    tabu_until[chosen.slot * M + chosen.from] = iter + tenure;
+
+    const double ms = state.makespan();
+    if (ms < best_makespan - 1e-12) {
+      best_makespan = ms;
+      best = state.to_queues();
+      stall = 0;
+    } else {
+      ++stall;
+    }
+  }
+  return best;
+}
+
+std::unique_ptr<TabuSearchScheduler> make_tabu_scheduler(TabuConfig cfg) {
+  return std::make_unique<TabuSearchScheduler>(cfg);
+}
+
+}  // namespace gasched::meta

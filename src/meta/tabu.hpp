@@ -1,0 +1,55 @@
+#pragma once
+// Tabu-search batch scheduler (Glover 1986 — the paper's reference [6]).
+//
+// Steepest-descent over a sampled reassignment neighbourhood with a
+// recency-based tabu memory: after slot s moves off processor j, the
+// reverse attribute (s → j) is tabu for `tenure` iterations, preventing
+// the search from cycling through the plateau moves that dominate
+// makespan landscapes. The standard aspiration criterion overrides the
+// tabu status of any move that improves on the best schedule found.
+
+#include <cstddef>
+#include <memory>
+#include <string>
+
+#include "meta/batch_policy.hpp"
+
+namespace gasched::meta {
+
+/// Tabu-search parameters.
+struct TabuConfig {
+  BatchSearchConfig batch;
+  /// Total move iterations. 0 = auto (8·N, at least 200).
+  std::size_t max_iterations = 0;
+  /// Candidate moves sampled per iteration (the best admissible one is
+  /// taken). 0 = auto (max(2·M, 32)).
+  std::size_t candidates = 0;
+  /// Iterations a reversed move stays tabu. 0 = auto (max(N/8, 5)).
+  std::size_t tenure = 0;
+  /// Stop after this many iterations without improving the best schedule.
+  std::size_t stall_iterations = 64;
+};
+
+/// Tabu-search scheduler ("TS").
+class TabuSearchScheduler final : public LocalSearchBatchPolicy {
+ public:
+  explicit TabuSearchScheduler(TabuConfig cfg = {});
+
+  std::string name() const override { return "TS"; }
+
+  /// Configuration in use.
+  const TabuConfig& config() const noexcept { return cfg_; }
+
+ protected:
+  core::ProcQueues search(const core::ScheduleEvaluator& eval,
+                          core::ProcQueues initial,
+                          util::Rng& rng) const override;
+
+ private:
+  TabuConfig cfg_;
+};
+
+/// Factory with default parameters.
+std::unique_ptr<TabuSearchScheduler> make_tabu_scheduler(TabuConfig cfg = {});
+
+}  // namespace gasched::meta

@@ -1,0 +1,55 @@
+#pragma once
+// Makespan lower bounds and exact solutions for small instances.
+//
+// The paper claims its scheduler "can produce near-optimal schedules"
+// (§3) without quantifying the gap. These utilities make the claim
+// testable:
+//
+//  * makespan_lower_bound — a valid lower bound for any schedule of a
+//    task set on heterogeneous processors with per-link dispatch costs:
+//    the maximum of the work bound (all processors busy until the end,
+//    every dispatch paying its cheapest link) and the critical-task
+//    bound (some task must finish on its own best processor).
+//  * optimal_makespan_exact — branch-and-bound over the full assignment
+//    space for tiny instances (exact optimum; exponential — keep
+//    N ≤ ~12, M ≤ ~4). Used by tests and the optimality-gap bench to
+//    measure how near "near-optimal" is.
+//
+// Both operate on the scheduler-visible quantities (rates, pending load,
+// per-link costs), mirroring core::ScheduleEvaluator's cost model:
+// task t on processor j costs t/P_j + c_j seconds after the processor's
+// existing drain time δ_j.
+
+#include <cstddef>
+#include <vector>
+
+namespace gasched::metrics {
+
+/// Instance description for the bound/exact computations.
+struct BoundInstance {
+  /// Task sizes in MFLOPs.
+  std::vector<double> task_sizes;
+  /// Processor rates P_j in Mflop/s (must be positive).
+  std::vector<double> rates;
+  /// Existing load L_j in MFLOPs per processor (optional; empty = 0).
+  std::vector<double> pending_mflops;
+  /// Per-dispatch communication cost c_j in seconds per processor
+  /// (optional; empty = 0).
+  std::vector<double> comm_costs;
+};
+
+/// Valid makespan lower bound for any assignment of the instance's tasks
+/// (maximum of the four bounds documented above; each is individually
+/// valid, so their maximum is).
+double makespan_lower_bound(const BoundInstance& inst);
+
+/// Exact optimal makespan by branch-and-bound over all M^N assignments
+/// (queue order never matters in this cost model). Tasks are explored
+/// largest-first with the work bound for pruning. Throws
+/// std::invalid_argument when the instance exceeds `max_states`
+/// expansions worth of search space (default caps at roughly N ≤ 14 on
+/// small M).
+double optimal_makespan_exact(const BoundInstance& inst,
+                              std::size_t max_states = 50'000'000);
+
+}  // namespace gasched::metrics

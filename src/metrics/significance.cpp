@@ -1,0 +1,107 @@
+#include "metrics/significance.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+#include <vector>
+
+namespace gasched::metrics {
+
+double normal_cdf(double z) {
+  return 0.5 * std::erfc(-z / std::sqrt(2.0));
+}
+
+MannWhitneyResult mann_whitney(std::span<const double> a,
+                               std::span<const double> b) {
+  const std::size_t na = a.size(), nb = b.size();
+  if (na < 2 || nb < 2) {
+    throw std::invalid_argument("mann_whitney: need >= 2 samples each");
+  }
+  // Rank the pooled sample with midranks for ties.
+  struct Tagged {
+    double v;
+    bool from_a;
+  };
+  std::vector<Tagged> pool;
+  pool.reserve(na + nb);
+  for (const double v : a) pool.push_back({v, true});
+  for (const double v : b) pool.push_back({v, false});
+  std::sort(pool.begin(), pool.end(),
+            [](const Tagged& x, const Tagged& y) { return x.v < y.v; });
+
+  const double n = static_cast<double>(na + nb);
+  double rank_sum_a = 0.0;
+  double tie_term = 0.0;  // Σ (t³ − t) over tie groups
+  std::size_t i = 0;
+  while (i < pool.size()) {
+    std::size_t j = i;
+    while (j < pool.size() && pool[j].v == pool[i].v) ++j;
+    const double midrank =
+        0.5 * (static_cast<double>(i + 1) + static_cast<double>(j));
+    const auto t = static_cast<double>(j - i);
+    if (t > 1.0) tie_term += t * t * t - t;
+    for (std::size_t k = i; k < j; ++k) {
+      if (pool[k].from_a) rank_sum_a += midrank;
+    }
+    i = j;
+  }
+
+  MannWhitneyResult res;
+  const double na_d = static_cast<double>(na);
+  const double nb_d = static_cast<double>(nb);
+  res.u = rank_sum_a - na_d * (na_d + 1.0) / 2.0;
+  const double mean_u = na_d * nb_d / 2.0;
+  const double var_u =
+      na_d * nb_d / 12.0 *
+      ((n + 1.0) - tie_term / (n * (n - 1.0)));
+  if (var_u > 0.0) {
+    // Continuity correction toward the mean.
+    const double cc = res.u > mean_u ? -0.5 : (res.u < mean_u ? 0.5 : 0.0);
+    res.z = (res.u + cc - mean_u) / std::sqrt(var_u);
+  }
+  res.p_two_sided = 2.0 * (1.0 - normal_cdf(std::abs(res.z)));
+  res.p_two_sided = std::clamp(res.p_two_sided, 0.0, 1.0);
+  // P(A < B) = 1 − U/(na·nb) since U counts pairs where a > b (plus half
+  // ties), derived from the rank-sum form above.
+  res.prob_a_less = 1.0 - res.u / (na_d * nb_d);
+  return res;
+}
+
+BootstrapCi bootstrap_mean_diff(std::span<const double> a,
+                                std::span<const double> b, double level,
+                                std::size_t resamples, std::uint64_t seed) {
+  if (a.empty() || b.empty()) {
+    throw std::invalid_argument("bootstrap_mean_diff: empty sample");
+  }
+  if (!(level > 0.0) || !(level < 1.0)) {
+    throw std::invalid_argument("bootstrap_mean_diff: level in (0,1)");
+  }
+  auto mean = [](std::span<const double> xs) {
+    double s = 0.0;
+    for (const double v : xs) s += v;
+    return s / static_cast<double>(xs.size());
+  };
+  BootstrapCi ci;
+  ci.mean_diff = mean(a) - mean(b);
+
+  util::Rng rng(seed);
+  std::vector<double> diffs;
+  diffs.reserve(resamples);
+  std::vector<double> ra(a.size()), rb(b.size());
+  for (std::size_t r = 0; r < resamples; ++r) {
+    for (auto& v : ra) v = a[rng.index(a.size())];
+    for (auto& v : rb) v = b[rng.index(b.size())];
+    diffs.push_back(mean(ra) - mean(rb));
+  }
+  std::sort(diffs.begin(), diffs.end());
+  const double alpha = 1.0 - level;
+  const auto lo_idx = static_cast<std::size_t>(
+      alpha / 2.0 * static_cast<double>(diffs.size() - 1));
+  const auto hi_idx = static_cast<std::size_t>(
+      (1.0 - alpha / 2.0) * static_cast<double>(diffs.size() - 1));
+  ci.lo = diffs[lo_idx];
+  ci.hi = diffs[hi_idx];
+  return ci;
+}
+
+}  // namespace gasched::metrics

@@ -1,0 +1,50 @@
+#pragma once
+// Statistical significance for scheduler comparisons. The paper reports
+// means of 20–50 replications; these helpers quantify whether "A beats B"
+// is more than replication noise:
+//
+//  * Mann–Whitney U (rank-sum) test with normal approximation and tie
+//    correction — distribution-free, right for skewed makespans.
+//  * Bootstrap confidence interval on the difference of means.
+//  * Common-language effect size P(A < B).
+
+#include <cstdint>
+#include <span>
+
+#include "util/rng.hpp"
+
+namespace gasched::metrics {
+
+/// Result of a two-sample Mann–Whitney U test.
+struct MannWhitneyResult {
+  double u = 0.0;        ///< U statistic of the first sample
+  double z = 0.0;        ///< normal-approximation z score (tie-corrected)
+  double p_two_sided = 1.0;  ///< two-sided p-value
+  /// Common-language effect size: probability that a random draw from the
+  /// first sample is smaller than one from the second.
+  double prob_a_less = 0.5;
+};
+
+/// Runs the test on two samples (each needs >= 2 observations; throws
+/// std::invalid_argument otherwise).
+MannWhitneyResult mann_whitney(std::span<const double> a,
+                               std::span<const double> b);
+
+/// Bootstrap percentile CI for mean(a) − mean(b).
+struct BootstrapCi {
+  double mean_diff = 0.0;  ///< observed mean(a) − mean(b)
+  double lo = 0.0;         ///< lower percentile bound
+  double hi = 0.0;         ///< upper percentile bound
+};
+
+/// `level` in (0,1), e.g. 0.95. Deterministic given `seed`.
+BootstrapCi bootstrap_mean_diff(std::span<const double> a,
+                                std::span<const double> b,
+                                double level = 0.95,
+                                std::size_t resamples = 2000,
+                                std::uint64_t seed = 1);
+
+/// Standard normal CDF (exposed for tests).
+double normal_cdf(double z);
+
+}  // namespace gasched::metrics

@@ -1,0 +1,62 @@
+#include "metrics/timeline.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace gasched::metrics {
+
+std::vector<TimelinePoint> utilization_timeline(
+    const sim::SimulationResult& result, std::size_t bins) {
+  if (result.task_trace.empty()) {
+    throw std::invalid_argument(
+        "utilization_timeline: no task trace "
+        "(set EngineConfig::record_task_trace)");
+  }
+  if (bins == 0) {
+    throw std::invalid_argument("utilization_timeline: bins >= 1");
+  }
+  const double span = std::max(result.makespan, 1e-12);
+  const double width = span / static_cast<double>(bins);
+  const double procs = static_cast<double>(result.per_proc.size());
+
+  std::vector<TimelinePoint> timeline(bins);
+  for (std::size_t b = 0; b < bins; ++b) {
+    timeline[b].time = static_cast<double>(b) * width;
+  }
+  // Spread each interval's duration over the buckets it overlaps.
+  auto accumulate = [&](double lo, double hi, bool busy) {
+    lo = std::clamp(lo, 0.0, span);
+    hi = std::clamp(hi, 0.0, span);
+    if (hi <= lo) return;
+    const auto first = static_cast<std::size_t>(lo / width);
+    const auto last = std::min(static_cast<std::size_t>(hi / width),
+                               bins - 1);
+    for (std::size_t b = first; b <= last; ++b) {
+      const double bucket_lo = static_cast<double>(b) * width;
+      const double bucket_hi = bucket_lo + width;
+      const double overlap =
+          std::min(hi, bucket_hi) - std::max(lo, bucket_lo);
+      if (overlap <= 0.0) continue;
+      const double share = overlap / (width * procs);
+      if (busy) {
+        timeline[b].busy_fraction += share;
+      } else {
+        timeline[b].comm_fraction += share;
+      }
+    }
+  };
+  for (const auto& rec : result.task_trace) {
+    accumulate(rec.dispatch, rec.start, /*busy=*/false);
+    accumulate(rec.start, rec.completion, /*busy=*/true);
+  }
+  return timeline;
+}
+
+double mean_busy_fraction(const std::vector<TimelinePoint>& timeline) {
+  if (timeline.empty()) return 0.0;
+  double sum = 0.0;
+  for (const auto& p : timeline) sum += p.busy_fraction;
+  return sum / static_cast<double>(timeline.size());
+}
+
+}  // namespace gasched::metrics

@@ -1,0 +1,30 @@
+#pragma once
+// Utilization-over-time series derived from a recorded task trace
+// (EngineConfig::record_task_trace). Shows when the cluster ramps up,
+// saturates, and drains — the visual behind the paper's efficiency metric.
+
+#include <vector>
+
+#include "sim/engine.hpp"
+
+namespace gasched::metrics {
+
+/// One time bucket of cluster utilization.
+struct TimelinePoint {
+  double time = 0.0;           ///< bucket start time (seconds)
+  double busy_fraction = 0.0;  ///< processor-time share spent executing
+  double comm_fraction = 0.0;  ///< processor-time share spent receiving
+};
+
+/// Splits [0, makespan] into `bins` buckets and computes, per bucket, the
+/// fraction of total processor-time spent executing and communicating.
+/// Requires a non-empty task trace (throws std::invalid_argument
+/// otherwise). Fractions are in [0, 1] and busy+comm <= 1 per bucket.
+std::vector<TimelinePoint> utilization_timeline(
+    const sim::SimulationResult& result, std::size_t bins = 50);
+
+/// Integral check helper: mean busy fraction across the timeline, which
+/// must equal SimulationResult::efficiency() up to binning error.
+double mean_busy_fraction(const std::vector<TimelinePoint>& timeline);
+
+}  // namespace gasched::metrics

@@ -1,0 +1,202 @@
+#include "rt/runtime.hpp"
+
+#include <chrono>
+#include <cmath>
+#include <stdexcept>
+#include <unordered_map>
+
+#include "sim/linpack.hpp"
+
+namespace gasched::rt {
+
+namespace {
+using Clock = std::chrono::steady_clock;
+
+double seconds_since(Clock::time_point t0) {
+  return std::chrono::duration<double>(Clock::now() - t0).count();
+}
+}  // namespace
+
+double burn_mflops(double mflops) {
+  // 4 flops per iteration (two multiply-adds); the volatile sink defeats
+  // dead-code elimination.
+  const auto iters = static_cast<std::uint64_t>(mflops * 1e6 / 4.0);
+  double a = 1.000000007, b = 0.999999991;
+  for (std::uint64_t i = 0; i < iters; ++i) {
+    a = a * b + 1e-9;
+    b = b * a - 1e-9;
+  }
+  volatile double sink = a + b;
+  return sink;
+}
+
+Runtime::Runtime(RuntimeConfig cfg,
+                 std::unique_ptr<sim::SchedulingPolicy> policy)
+    : cfg_(std::move(cfg)), policy_(std::move(policy)), rng_(cfg_.seed) {
+  if (!policy_) throw std::invalid_argument("Runtime: null policy");
+  if (cfg_.worker_speeds.empty()) cfg_.worker_speeds.assign(4, 1.0);
+  for (const double s : cfg_.worker_speeds) {
+    if (!(s > 0.0) || s > 1.0) {
+      throw std::invalid_argument("Runtime: worker speeds in (0, 1]");
+    }
+  }
+  if (!(cfg_.work_scale > 0.0)) {
+    throw std::invalid_argument("Runtime: work_scale must be > 0");
+  }
+
+  // Calibrate the host once with the Linpack-style benchmark (paper §3:
+  // execution rates are Linpack-measured).
+  util::Rng lin_rng(cfg_.seed ^ 0x11AC0FFEEull);
+  host_mflops_ = sim::linpack_benchmark(96, lin_rng).mflops;
+  if (!(host_mflops_ > 0.0)) host_mflops_ = 1000.0;
+
+  epoch_ = Clock::now();
+  last_completion_ = epoch_;
+  workers_.reserve(cfg_.worker_speeds.size());
+  for (std::size_t i = 0; i < cfg_.worker_speeds.size(); ++i) {
+    auto w = std::make_unique<Worker>();
+    w->speed = cfg_.worker_speeds[i];
+    w->jitter_rng = util::Rng(cfg_.seed).split(7000 + i);
+    workers_.push_back(std::move(w));
+  }
+  for (std::size_t i = 0; i < workers_.size(); ++i) {
+    workers_[i]->thread = std::thread([this, i] { worker_loop(i); });
+  }
+}
+
+Runtime::~Runtime() {
+  {
+    std::lock_guard lk(mu_);
+    stopping_ = true;
+  }
+  work_cv_.notify_all();
+  for (auto& w : workers_) {
+    if (w->thread.joinable()) w->thread.join();
+  }
+}
+
+sim::SystemView Runtime::build_view_locked() {
+  sim::SystemView view;
+  view.now = seconds_since(epoch_);
+  view.procs.resize(workers_.size());
+  for (std::size_t j = 0; j < workers_.size(); ++j) {
+    auto& w = *workers_[j];
+    auto& pv = view.procs[j];
+    pv.id = static_cast<sim::ProcId>(j);
+    // Prior: calibrated host rate, scaled by the worker's speed factor
+    // and the work scale (nominal MFLOPs per wall second).
+    const double prior = host_mflops_ * w.speed / cfg_.work_scale;
+    pv.rate = w.rate_est.value_or(prior);
+    pv.pending_mflops = w.pending_mflops;
+    pv.comm_estimate = w.comm_est.value_or(0.0);
+    pv.comm_observations = w.comm_est.count();
+  }
+  return view;
+}
+
+void Runtime::schedule_locked() {
+  if (unscheduled_.empty()) return;
+  // The policy consumes tasks from the queue and returns their ids;
+  // index the payloads first so assignments can be materialised.
+  std::unordered_map<workload::TaskId, workload::Task> index;
+  index.reserve(unscheduled_.size());
+  for (const auto& t : unscheduled_) index.emplace(t.id, t);
+
+  const sim::SystemView view = build_view_locked();
+  const sim::BatchAssignment assignment =
+      policy_->invoke(view, unscheduled_, rng_);
+  ++invocations_;
+  if (assignment.per_proc.size() > workers_.size()) {
+    throw std::runtime_error("Runtime: assignment names unknown worker");
+  }
+  for (std::size_t j = 0; j < assignment.per_proc.size(); ++j) {
+    auto& w = *workers_[j];
+    for (const workload::TaskId id : assignment.per_proc[j]) {
+      const auto it = index.find(id);
+      if (it == index.end()) {
+        throw std::runtime_error("Runtime: assignment names unknown task");
+      }
+      w.queue.push_back(it->second);
+      w.pending_mflops += it->second.size_mflops;
+    }
+  }
+}
+
+void Runtime::submit(const workload::Task& task) {
+  {
+    std::lock_guard lk(mu_);
+    unscheduled_.push_back(task);
+    ++submitted_;
+    if (unscheduled_.size() >= cfg_.min_batch_trigger) schedule_locked();
+  }
+  work_cv_.notify_all();
+}
+
+RuntimeResult Runtime::drain() {
+  std::unique_lock lk(mu_);
+  schedule_locked();  // flush anything below the batch trigger
+  work_cv_.notify_all();
+  drain_cv_.wait(lk, [this] { return completed_ == submitted_; });
+
+  RuntimeResult result;
+  result.makespan_seconds =
+      std::chrono::duration<double>(last_completion_ - epoch_).count();
+  result.tasks_completed = completed_;
+  result.scheduler_invocations = invocations_;
+  result.per_worker.reserve(workers_.size());
+  for (const auto& w : workers_) result.per_worker.push_back(w->stats);
+  return result;
+}
+
+void Runtime::worker_loop(std::size_t index) {
+  Worker& w = *workers_[index];
+  for (;;) {
+    workload::Task task;
+    double latency = 0.0;
+    {
+      std::unique_lock lk(mu_);
+      work_cv_.wait(lk, [&] { return stopping_ || !w.queue.empty(); });
+      if (w.queue.empty()) return;  // stopping_ with nothing left to do
+      task = w.queue.front();
+      w.queue.pop_front();
+      if (index < cfg_.dispatch_latency.size() &&
+          cfg_.dispatch_latency[index] > 0.0) {
+        const double mean = cfg_.dispatch_latency[index];
+        latency = w.jitter_rng.uniform(0.8 * mean, 1.2 * mean);
+      }
+    }
+
+    if (latency > 0.0) {
+      std::this_thread::sleep_for(std::chrono::duration<double>(latency));
+    }
+    const auto t0 = Clock::now();
+    burn_mflops(task.size_mflops * cfg_.work_scale / w.speed);
+    const double exec = seconds_since(t0);
+
+    bool more_work_assigned = false;
+    {
+      std::lock_guard lk(mu_);
+      w.pending_mflops -= task.size_mflops;
+      if (w.pending_mflops < 0.0) w.pending_mflops = 0.0;
+      w.stats.tasks += 1;
+      w.stats.work_mflops += task.size_mflops;
+      w.stats.busy_seconds += exec;
+      w.stats.comm_seconds += latency;
+      if (latency > 0.0) w.comm_est.observe(latency);
+      if (exec > 0.0) w.rate_est.observe(task.size_mflops / exec);
+      ++completed_;
+      last_completion_ = Clock::now();
+      if (completed_ == submitted_) drain_cv_.notify_all();
+      // Mirror the engine's protocol: an idling worker with unscheduled
+      // tasks outstanding triggers another scheduling round, so batch
+      // policies that consumed only part of the queue make progress.
+      if (!unscheduled_.empty() && w.queue.empty()) {
+        schedule_locked();
+        more_work_assigned = true;
+      }
+    }
+    if (more_work_assigned) work_cv_.notify_all();
+  }
+}
+
+}  // namespace gasched::rt

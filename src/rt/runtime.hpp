@@ -1,0 +1,136 @@
+#pragma once
+// Live in-process runtime: the paper's §6 future work ("test our scheduler
+// under real-world conditions") realised as a miniature master/worker
+// system inside one process.
+//
+//  * Each worker is an OS thread that executes real floating-point work
+//    (a calibrated multiply-add kernel), optionally slowed by a per-worker
+//    speed factor to emulate heterogeneous machines.
+//  * The master owns the unscheduled queue and one future queue per
+//    worker (the §3 design), measures each worker's rate from completed
+//    work, smooths observed dispatch latencies with Γ, and drives *any*
+//    sim::SchedulingPolicy — the exact same PN/ZO/EF/... objects used in
+//    simulation run unmodified against real threads.
+//  * Dispatch latency can be emulated (per-link mean sleep) so the
+//    comm-aware scheduler has something to predict.
+//
+// The runtime is intentionally wall-clock driven and therefore not
+// bit-reproducible; tests assert completion, accounting, and sanity
+// rather than exact values.
+
+#include <atomic>
+#include <condition_variable>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "sim/policy.hpp"
+#include "util/rng.hpp"
+#include "util/smoothing.hpp"
+#include "workload/task.hpp"
+
+namespace gasched::rt {
+
+/// Runtime configuration.
+struct RuntimeConfig {
+  /// Relative speed of each worker (1.0 = full host speed); the vector's
+  /// length is the worker count. Empty = 4 equal workers.
+  std::vector<double> worker_speeds;
+  /// Scales task sizes: a task of S MFLOPs executes S * work_scale
+  /// million floating-point operations for real. Keep small in tests.
+  double work_scale = 0.01;
+  /// Emulated mean dispatch latency per worker (seconds of sleep before a
+  /// task starts); drawn per dispatch as uniform ±20% around the mean.
+  /// Empty = no emulated latency.
+  std::vector<double> dispatch_latency;
+  /// Batch scheduling trigger: invoke the policy whenever at least this
+  /// many tasks are waiting (and on drain).
+  std::size_t min_batch_trigger = 1;
+  /// Seed for the runtime's internal RNG (latency jitter + policy).
+  std::uint64_t seed = 1;
+};
+
+/// Per-worker accounting.
+struct WorkerStats {
+  std::size_t tasks = 0;       ///< tasks completed
+  double work_mflops = 0.0;    ///< nominal MFLOPs completed
+  double busy_seconds = 0.0;   ///< wall time spent in the compute kernel
+  double comm_seconds = 0.0;   ///< wall time spent in emulated dispatch
+};
+
+/// Result of a drained runtime.
+struct RuntimeResult {
+  double makespan_seconds = 0.0;  ///< submit-to-last-completion wall time
+  std::size_t tasks_completed = 0;
+  std::vector<WorkerStats> per_worker;
+  std::size_t scheduler_invocations = 0;
+};
+
+/// The live master/worker runtime.
+class Runtime {
+ public:
+  /// Starts the worker threads. The policy is owned by the runtime and
+  /// invoked from the caller's thread inside submit()/drain().
+  Runtime(RuntimeConfig cfg, std::unique_ptr<sim::SchedulingPolicy> policy);
+
+  /// Stops all workers (discarding any unfinished work).
+  ~Runtime();
+
+  Runtime(const Runtime&) = delete;
+  Runtime& operator=(const Runtime&) = delete;
+
+  /// Enqueues one task; may trigger a scheduling round.
+  void submit(const workload::Task& task);
+
+  /// Blocks until every submitted task has completed and returns the
+  /// accounting. The runtime remains usable afterwards.
+  RuntimeResult drain();
+
+  /// Number of workers.
+  std::size_t workers() const noexcept { return workers_.size(); }
+
+  /// Measured host compute rate (Mflop/s) from the startup calibration.
+  double host_mflops() const noexcept { return host_mflops_; }
+
+ private:
+  struct Worker {
+    std::thread thread;
+    std::deque<workload::Task> queue;  // future queue (mutex-guarded)
+    double speed = 1.0;
+    double pending_mflops = 0.0;
+    WorkerStats stats;
+    util::Smoother rate_est{0.5};
+    util::Smoother comm_est{0.5};
+    util::Rng jitter_rng{0};  // per-worker stream for latency jitter
+  };
+
+  void worker_loop(std::size_t index);
+  void schedule_locked();  // requires mu_ held
+  sim::SystemView build_view_locked();
+
+  RuntimeConfig cfg_;
+  std::unique_ptr<sim::SchedulingPolicy> policy_;
+  util::Rng rng_;
+  double host_mflops_ = 0.0;
+
+  std::mutex mu_;
+  std::condition_variable work_cv_;   // workers wait for queue items
+  std::condition_variable drain_cv_;  // drain() waits for completion
+  std::vector<std::unique_ptr<Worker>> workers_;
+  std::deque<workload::Task> unscheduled_;
+  std::size_t submitted_ = 0;
+  std::size_t completed_ = 0;
+  std::size_t invocations_ = 0;
+  std::chrono::steady_clock::time_point epoch_;
+  std::chrono::steady_clock::time_point last_completion_;
+  bool stopping_ = false;
+};
+
+/// Executes approximately `mflops` million floating-point operations and
+/// returns a value that depends on them (defeating dead-code
+/// elimination). Exposed for calibration tests.
+double burn_mflops(double mflops);
+
+}  // namespace gasched::rt

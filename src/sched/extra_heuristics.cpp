@@ -1,0 +1,235 @@
+#include "sched/extra_heuristics.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <numeric>
+#include <utility>
+#include <stdexcept>
+
+namespace gasched::sched {
+
+sim::ProcId MinimumExecutionTimeRule::place(
+    const workload::Task& task, const sim::SystemView& view,
+    const std::vector<double>&, util::Rng&) {
+  sim::ProcId best = 0;
+  double best_exec = std::numeric_limits<double>::infinity();
+  for (std::size_t j = 0; j < view.size(); ++j) {
+    const double rate = view.procs[j].rate;
+    if (!(rate > 0.0)) continue;
+    const double exec = task.size_mflops / rate;
+    if (exec < best_exec) {
+      best_exec = exec;
+      best = static_cast<sim::ProcId>(j);
+    }
+  }
+  return best;
+}
+
+KPercentBestRule::KPercentBestRule(double percent) : percent_(percent) {
+  if (!(percent > 0.0) || percent > 100.0) {
+    throw std::invalid_argument("KPercentBestRule: percent in (0, 100]");
+  }
+}
+
+std::string KPercentBestRule::name() const {
+  return "KPB" + std::to_string(static_cast<int>(percent_));
+}
+
+sim::ProcId KPercentBestRule::place(const workload::Task& task,
+                                    const sim::SystemView& view,
+                                    const std::vector<double>& pending,
+                                    util::Rng&) {
+  const std::size_t M = view.size();
+  // Rank processors by execution time for this task (fastest first). With
+  // uniform task/rate structure the rank is rate-descending, so sort once.
+  std::vector<std::size_t> order(M);
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    return view.procs[a].rate > view.procs[b].rate;
+  });
+  const auto subset = std::max<std::size_t>(
+      1, static_cast<std::size_t>(
+             std::ceil(percent_ / 100.0 * static_cast<double>(M))));
+  sim::ProcId best = static_cast<sim::ProcId>(order[0]);
+  double best_finish = std::numeric_limits<double>::infinity();
+  for (std::size_t r = 0; r < subset; ++r) {
+    const std::size_t j = order[r];
+    const double rate = view.procs[j].rate;
+    if (!(rate > 0.0)) continue;
+    const double finish = (pending[j] + task.size_mflops) / rate;
+    if (finish < best_finish) {
+      best_finish = finish;
+      best = static_cast<sim::ProcId>(j);
+    }
+  }
+  return best;
+}
+
+SufferagePolicy::SufferagePolicy(std::size_t batch_size)
+    : batch_size_(batch_size) {
+  if (batch_size == 0) {
+    throw std::invalid_argument("SufferagePolicy: batch_size >= 1");
+  }
+}
+
+sim::BatchAssignment SufferagePolicy::invoke(
+    const sim::SystemView& view, std::deque<workload::Task>& queue,
+    util::Rng&) {
+  auto assignment = sim::BatchAssignment::empty(view.size());
+  if (queue.empty()) return assignment;
+
+  std::vector<workload::Task> batch;
+  while (batch.size() < batch_size_ && !queue.empty()) {
+    batch.push_back(queue.front());
+    queue.pop_front();
+  }
+  std::vector<double> pending(view.size());
+  for (std::size_t j = 0; j < view.size(); ++j) {
+    pending[j] = view.procs[j].pending_mflops;
+  }
+  std::vector<bool> done(batch.size(), false);
+
+  for (std::size_t assigned = 0; assigned < batch.size(); ++assigned) {
+    // For each unassigned task: best completion, second best, sufferage.
+    double best_sufferage = -1.0;
+    std::size_t pick = 0;
+    sim::ProcId pick_proc = 0;
+    for (std::size_t i = 0; i < batch.size(); ++i) {
+      if (done[i]) continue;
+      double c1 = std::numeric_limits<double>::infinity();  // best
+      double c2 = std::numeric_limits<double>::infinity();  // second best
+      sim::ProcId p1 = 0;
+      for (std::size_t j = 0; j < view.size(); ++j) {
+        const double rate = view.procs[j].rate;
+        if (!(rate > 0.0)) continue;
+        const double c = (pending[j] + batch[i].size_mflops) / rate;
+        if (c < c1) {
+          c2 = c1;
+          c1 = c;
+          p1 = static_cast<sim::ProcId>(j);
+        } else if (c < c2) {
+          c2 = c;
+        }
+      }
+      const double sufferage = std::isfinite(c2) ? c2 - c1 : c1;
+      if (sufferage > best_sufferage) {
+        best_sufferage = sufferage;
+        pick = i;
+        pick_proc = p1;
+      }
+    }
+    done[pick] = true;
+    assignment.per_proc[static_cast<std::size_t>(pick_proc)].push_back(
+        batch[pick].id);
+    pending[static_cast<std::size_t>(pick_proc)] += batch[pick].size_mflops;
+  }
+  return assignment;
+}
+
+sim::ProcId OpportunisticLoadBalancingRule::place(
+    const workload::Task&, const sim::SystemView& view,
+    const std::vector<double>& pending, util::Rng&) {
+  // Earliest-available machine: smallest drain time of the already
+  // assigned load. Unlike LL this accounts for processor speed; unlike EF
+  // it ignores the execution time of the task being placed.
+  sim::ProcId best = 0;
+  double best_avail = std::numeric_limits<double>::infinity();
+  for (std::size_t j = 0; j < view.size(); ++j) {
+    const double rate = view.procs[j].rate;
+    if (!(rate > 0.0)) continue;
+    const double avail = pending[j] / rate;
+    if (avail < best_avail) {
+      best_avail = avail;
+      best = static_cast<sim::ProcId>(j);
+    }
+  }
+  return best;
+}
+
+DuplexPolicy::DuplexPolicy(std::size_t batch_size) : batch_size_(batch_size) {
+  if (batch_size == 0) {
+    throw std::invalid_argument("DuplexPolicy: batch_size >= 1");
+  }
+}
+
+namespace {
+
+/// Sorted-batch placement used by Duplex: earliest-finish assignment of
+/// the batch in ascending (min-min style) or descending (max-min style)
+/// size order. Returns the assignment and the estimated makespan of the
+/// resulting load vector.
+std::pair<sim::BatchAssignment, double> sorted_placement(
+    const sim::SystemView& view, std::vector<workload::Task> batch,
+    bool descending) {
+  std::stable_sort(batch.begin(), batch.end(),
+                   [&](const workload::Task& a, const workload::Task& b) {
+                     return descending ? a.size_mflops > b.size_mflops
+                                       : a.size_mflops < b.size_mflops;
+                   });
+  auto assignment = sim::BatchAssignment::empty(view.size());
+  std::vector<double> pending(view.size());
+  for (std::size_t j = 0; j < view.size(); ++j) {
+    pending[j] = view.procs[j].pending_mflops;
+  }
+  for (const auto& task : batch) {
+    sim::ProcId best = 0;
+    double best_time = std::numeric_limits<double>::infinity();
+    for (std::size_t j = 0; j < view.size(); ++j) {
+      const double rate = view.procs[j].rate;
+      if (!(rate > 0.0)) continue;
+      const double finish = (pending[j] + task.size_mflops) / rate;
+      if (finish < best_time) {
+        best_time = finish;
+        best = static_cast<sim::ProcId>(j);
+      }
+    }
+    assignment.per_proc[static_cast<std::size_t>(best)].push_back(task.id);
+    pending[static_cast<std::size_t>(best)] += task.size_mflops;
+  }
+  double makespan = 0.0;
+  for (std::size_t j = 0; j < view.size(); ++j) {
+    const double rate = view.procs[j].rate;
+    if (rate > 0.0) makespan = std::max(makespan, pending[j] / rate);
+  }
+  return {std::move(assignment), makespan};
+}
+
+}  // namespace
+
+sim::BatchAssignment DuplexPolicy::invoke(const sim::SystemView& view,
+                                          std::deque<workload::Task>& queue,
+                                          util::Rng&) {
+  auto assignment = sim::BatchAssignment::empty(view.size());
+  if (queue.empty()) return assignment;
+
+  std::vector<workload::Task> batch;
+  while (batch.size() < batch_size_ && !queue.empty()) {
+    batch.push_back(queue.front());
+    queue.pop_front();
+  }
+  auto [mm, mm_makespan] = sorted_placement(view, batch, /*descending=*/false);
+  auto [mx, mx_makespan] = sorted_placement(view, batch, /*descending=*/true);
+  return mm_makespan <= mx_makespan ? std::move(mm) : std::move(mx);
+}
+
+std::unique_ptr<sim::SchedulingPolicy> make_met() {
+  return std::make_unique<ImmediatePolicy>(
+      std::make_unique<MinimumExecutionTimeRule>());
+}
+std::unique_ptr<sim::SchedulingPolicy> make_kpb(double percent) {
+  return std::make_unique<ImmediatePolicy>(
+      std::make_unique<KPercentBestRule>(percent));
+}
+std::unique_ptr<sim::SchedulingPolicy> make_sufferage(std::size_t batch_size) {
+  return std::make_unique<SufferagePolicy>(batch_size);
+}
+std::unique_ptr<sim::SchedulingPolicy> make_olb() {
+  return std::make_unique<ImmediatePolicy>(
+      std::make_unique<OpportunisticLoadBalancingRule>());
+}
+std::unique_ptr<sim::SchedulingPolicy> make_duplex(std::size_t batch_size) {
+  return std::make_unique<DuplexPolicy>(batch_size);
+}
+
+}  // namespace gasched::sched

@@ -1,0 +1,119 @@
+#include "sim/availability.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+#include <stdexcept>
+
+namespace gasched::sim {
+
+namespace {
+constexpr double kMinFraction = 1e-6;  // keep multiplier strictly positive
+}
+
+FixedAvailability::FixedAvailability(double fraction)
+    : fraction_(std::clamp(fraction, kMinFraction, 1.0)) {}
+
+SinusoidalAvailability::SinusoidalAvailability(double lo, double hi,
+                                               double period, double phase)
+    : lo_(lo), hi_(hi), period_(period), phase_(phase) {
+  if (!(lo > 0.0) || !(hi >= lo) || !(hi <= 1.0) || !(period > 0.0)) {
+    throw std::invalid_argument(
+        "SinusoidalAvailability: need 0 < lo <= hi <= 1, period > 0");
+  }
+}
+
+double SinusoidalAvailability::multiplier(SimTime t) const {
+  const double mid = 0.5 * (lo_ + hi_);
+  const double amp = 0.5 * (hi_ - lo_);
+  const double w = 2.0 * std::numbers::pi / period_;
+  return mid + amp * std::sin(w * t + phase_);
+}
+
+RandomWalkAvailability::RandomWalkAvailability(double lo, double hi,
+                                               double dwell, double step,
+                                               SimTime horizon,
+                                               std::uint64_t seed)
+    : lo_(lo), hi_(hi), dwell_(dwell) {
+  if (!(lo > 0.0) || !(hi >= lo) || !(hi <= 1.0) || !(dwell > 0.0) ||
+      !(horizon > 0.0)) {
+    throw std::invalid_argument(
+        "RandomWalkAvailability: need 0 < lo <= hi <= 1, dwell > 0, "
+        "horizon > 0");
+  }
+  util::Rng rng(seed);
+  const auto n = static_cast<std::size_t>(std::ceil(horizon / dwell)) + 1;
+  levels_.reserve(n);
+  double level = 0.5 * (lo_ + hi_);
+  for (std::size_t i = 0; i < n; ++i) {
+    levels_.push_back(level);
+    level = std::clamp(level + rng.uniform(-step, step), lo_, hi_);
+  }
+}
+
+double RandomWalkAvailability::multiplier(SimTime t) const {
+  if (t <= 0.0) return levels_.front();
+  const auto idx = static_cast<std::size_t>(t / dwell_);
+  return levels_[std::min(idx, levels_.size() - 1)];
+}
+
+TwoStateAvailability::TwoStateAvailability(double loaded_fraction,
+                                           double mean_free_dwell,
+                                           double mean_loaded_dwell,
+                                           SimTime horizon,
+                                           std::uint64_t seed) {
+  if (!(loaded_fraction > 0.0) || !(loaded_fraction <= 1.0) ||
+      !(mean_free_dwell > 0.0) || !(mean_loaded_dwell > 0.0) ||
+      !(horizon > 0.0)) {
+    throw std::invalid_argument("TwoStateAvailability: invalid parameters");
+  }
+  util::Rng rng(seed);
+  SimTime t = 0.0;
+  bool loaded = rng.bernoulli(mean_loaded_dwell /
+                              (mean_free_dwell + mean_loaded_dwell));
+  while (t < horizon) {
+    const double dwell =
+        rng.exponential(loaded ? mean_loaded_dwell : mean_free_dwell);
+    t += std::max(dwell, 1e-9);
+    segments_.push_back({t, loaded ? loaded_fraction : 1.0});
+    loaded = !loaded;
+  }
+  final_level_ = segments_.empty() ? 1.0 : segments_.back().level;
+}
+
+double TwoStateAvailability::multiplier(SimTime t) const {
+  // Binary search the segment containing t.
+  const auto it = std::lower_bound(
+      segments_.begin(), segments_.end(), t,
+      [](const Segment& s, SimTime v) { return s.until <= v; });
+  return it == segments_.end() ? final_level_ : it->level;
+}
+
+SimTime integrate_exec_time(const AvailabilityModel& model, double base_rate,
+                            double work_mflops, SimTime start, double dt) {
+  if (work_mflops <= 0.0) return 0.0;
+  if (!(base_rate > 0.0)) {
+    throw std::invalid_argument("integrate_exec_time: base_rate must be > 0");
+  }
+  if (model.constant()) {
+    return work_mflops / (base_rate * model.multiplier(start));
+  }
+  double remaining = work_mflops;
+  SimTime t = start;
+  // Guard against absurd run-away integration: after this many steps we
+  // finish in closed form at the current rate.
+  constexpr std::size_t kMaxSteps = 10'000'000;
+  for (std::size_t i = 0; i < kMaxSteps; ++i) {
+    const double rate = base_rate * std::max(model.multiplier(t), kMinFraction);
+    const double chunk = rate * dt;
+    if (chunk >= remaining) {
+      return (t - start) + remaining / rate;
+    }
+    remaining -= chunk;
+    t += dt;
+  }
+  const double rate = base_rate * std::max(model.multiplier(t), 1e-6);
+  return (t - start) + remaining / rate;
+}
+
+}  // namespace gasched::sim

@@ -1,0 +1,110 @@
+#pragma once
+// Processor availability models (paper §3): "The availability of each
+// processor can vary over time (processors are not dedicated and may have
+// other tasks that partially use their resources)."
+//
+// A model maps simulation time to a multiplier in (0, 1]; a processor's
+// effective execution rate at time t is base_rate * multiplier(t). The
+// paper's experiments (§4.2) fix the rate (FixedAvailability); the other
+// models exercise the scheduler's adaptation machinery and are used by the
+// dynamic-cluster example and the robustness tests.
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "sim/types.hpp"
+#include "util/rng.hpp"
+
+namespace gasched::sim {
+
+/// Interface: time-varying fraction of a processor's capacity that is
+/// available to the scheduler.
+class AvailabilityModel {
+ public:
+  virtual ~AvailabilityModel() = default;
+  /// Available fraction at time `t`, in (0, 1]. Implementations must be
+  /// deterministic functions of (construction parameters, t).
+  virtual double multiplier(SimTime t) const = 0;
+  /// Model name for reports.
+  virtual std::string name() const = 0;
+  /// True when multiplier(t) is independent of t; lets the execution-time
+  /// integrator skip numeric stepping.
+  virtual bool constant() const { return false; }
+};
+
+/// Constant availability (dedicated processor).
+class FixedAvailability final : public AvailabilityModel {
+ public:
+  /// `fraction` is clamped into (0, 1]; default fully available.
+  explicit FixedAvailability(double fraction = 1.0);
+  double multiplier(SimTime) const override { return fraction_; }
+  std::string name() const override { return "fixed"; }
+  bool constant() const override { return true; }
+
+ private:
+  double fraction_;
+};
+
+/// Smooth periodic load (e.g. interactive users during working hours):
+/// availability oscillates between `lo` and `hi` with the given period.
+class SinusoidalAvailability final : public AvailabilityModel {
+ public:
+  /// Requires 0 < lo <= hi <= 1 and period > 0. `phase` in radians.
+  SinusoidalAvailability(double lo, double hi, double period,
+                         double phase = 0.0);
+  double multiplier(SimTime t) const override;
+  std::string name() const override { return "sinusoidal"; }
+
+ private:
+  double lo_, hi_, period_, phase_;
+};
+
+/// Piecewise-constant random walk: availability is resampled every
+/// `dwell` seconds by a bounded random step. The trajectory is
+/// precomputed from a seed, so multiplier(t) is a pure function.
+class RandomWalkAvailability final : public AvailabilityModel {
+ public:
+  /// Requires 0 < lo <= hi <= 1, dwell > 0, horizon > 0. The walk starts
+  /// at the midpoint of [lo, hi]; after `horizon` the last value holds.
+  RandomWalkAvailability(double lo, double hi, double dwell, double step,
+                         SimTime horizon, std::uint64_t seed);
+  double multiplier(SimTime t) const override;
+  std::string name() const override { return "random_walk"; }
+
+ private:
+  double lo_, hi_, dwell_;
+  std::vector<double> levels_;
+};
+
+/// Two-state (Markov on/off-ish) model: the machine alternates between a
+/// "loaded" level and full availability with exponential dwell times,
+/// discretised on a fixed grid and precomputed from a seed.
+class TwoStateAvailability final : public AvailabilityModel {
+ public:
+  /// `loaded_fraction` in (0, 1]: capacity left while loaded. Mean dwell
+  /// times must be positive.
+  TwoStateAvailability(double loaded_fraction, double mean_free_dwell,
+                       double mean_loaded_dwell, SimTime horizon,
+                       std::uint64_t seed);
+  double multiplier(SimTime t) const override;
+  std::string name() const override { return "two_state"; }
+
+ private:
+  struct Segment {
+    SimTime until;
+    double level;
+  };
+  std::vector<Segment> segments_;
+  double final_level_;
+};
+
+/// Computes the wall-clock duration needed to execute `work_mflops` on a
+/// processor with `base_rate` Mflop/s starting at `start`. Constant models
+/// are evaluated in closed form; time-varying models are integrated with
+/// step `dt` (the final partial step is interpolated).
+SimTime integrate_exec_time(const AvailabilityModel& model, double base_rate,
+                            double work_mflops, SimTime start,
+                            double dt = 1.0);
+
+}  // namespace gasched::sim

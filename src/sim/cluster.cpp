@@ -1,0 +1,56 @@
+#include "sim/cluster.hpp"
+
+#include <stdexcept>
+
+namespace gasched::sim {
+
+Cluster build_cluster(const ClusterConfig& cfg, util::Rng& rng) {
+  if (cfg.num_processors == 0) {
+    throw std::invalid_argument("build_cluster: need at least one processor");
+  }
+  if (!(cfg.rate_lo > 0.0) || !(cfg.rate_hi >= cfg.rate_lo)) {
+    throw std::invalid_argument("build_cluster: need 0 < rate_lo <= rate_hi");
+  }
+  Cluster cluster;
+  cluster.processors.reserve(cfg.num_processors);
+  for (std::size_t j = 0; j < cfg.num_processors; ++j) {
+    Processor p;
+    p.id = static_cast<ProcId>(j);
+    p.base_rate = rng.uniform(cfg.rate_lo, cfg.rate_hi);
+    switch (cfg.availability) {
+      case AvailabilityKind::kFixed:
+        p.availability = std::make_shared<FixedAvailability>(1.0);
+        break;
+      case AvailabilityKind::kSinusoidal:
+        p.availability = std::make_shared<SinusoidalAvailability>(
+            cfg.avail_lo, cfg.avail_hi, cfg.avail_period,
+            rng.uniform(0.0, 6.28318530717958648));
+        break;
+      case AvailabilityKind::kRandomWalk:
+        p.availability = std::make_shared<RandomWalkAvailability>(
+            cfg.avail_lo, cfg.avail_hi, cfg.avail_period,
+            0.25 * (cfg.avail_hi - cfg.avail_lo), cfg.avail_horizon,
+            rng.next_u64());
+        break;
+      case AvailabilityKind::kTwoState:
+        p.availability = std::make_shared<TwoStateAvailability>(
+            cfg.avail_lo, cfg.avail_period, cfg.avail_period,
+            cfg.avail_horizon, rng.next_u64());
+        break;
+    }
+    cluster.processors.push_back(std::move(p));
+  }
+  if (cfg.zero_comm) {
+    cluster.comm = std::make_shared<ZeroCommModel>(cfg.num_processors);
+  } else if (cfg.drifting_comm) {
+    cluster.comm = std::make_shared<DriftingCommModel>(
+        cfg.comm, cfg.num_processors, cfg.comm_drift_step, cfg.avail_period,
+        cfg.avail_horizon, rng);
+  } else {
+    cluster.comm =
+        std::make_shared<NormalCommModel>(cfg.comm, cfg.num_processors, rng);
+  }
+  return cluster;
+}
+
+}  // namespace gasched::sim

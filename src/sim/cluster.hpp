@@ -1,0 +1,86 @@
+#pragma once
+// Heterogeneous cluster description: M processors with individual base
+// execution rates (Mflop/s, as measured by a Linpack-style benchmark in
+// the paper), per-processor availability models, and a communication
+// model for the scheduler→processor links. One extra (implicit) processor
+// is dedicated to running the scheduler, per §3 of the paper.
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "sim/availability.hpp"
+#include "sim/comm_model.hpp"
+#include "sim/types.hpp"
+#include "util/rng.hpp"
+
+namespace gasched::sim {
+
+/// One worker processor.
+struct Processor {
+  ProcId id = kInvalidProc;
+  /// Peak execution rate in Mflop/s (Linpack-measured in the paper).
+  double base_rate = 0.0;
+  /// Time-varying availability; effective rate = base_rate * multiplier(t).
+  std::shared_ptr<const AvailabilityModel> availability;
+
+  /// Effective rate at time t.
+  double rate_at(SimTime t) const {
+    return base_rate * availability->multiplier(t);
+  }
+};
+
+/// Which availability model family to instantiate per processor.
+enum class AvailabilityKind {
+  kFixed,       ///< dedicated processors (the paper's experiment setup)
+  kSinusoidal,  ///< periodic background load
+  kRandomWalk,  ///< slowly drifting background load
+  kTwoState,    ///< bursty on/off background load
+};
+
+/// Declarative cluster configuration; `build_cluster` realises it.
+struct ClusterConfig {
+  std::size_t num_processors = 50;  ///< paper: up to 50
+  /// Base rates are drawn uniformly from [rate_lo, rate_hi] Mflop/s.
+  double rate_lo = 10.0;
+  double rate_hi = 100.0;
+  /// Availability model family (kFixed reproduces the paper's §4.2 setup).
+  AvailabilityKind availability = AvailabilityKind::kFixed;
+  /// Fraction parameters for non-fixed availability models.
+  double avail_lo = 0.5;
+  double avail_hi = 1.0;
+  /// Dwell/period for time-varying availability models (seconds).
+  double avail_period = 500.0;
+  /// Horizon for precomputed availability trajectories (seconds).
+  double avail_horizon = 200'000.0;
+  /// Communication link configuration.
+  CommConfig comm;
+  /// If true, links cost nothing (instantaneous message passing control).
+  bool zero_comm = false;
+  /// If true, per-link means drift over time (DriftingCommModel).
+  bool drifting_comm = false;
+  /// Drift step as a fraction of comm.mean_cost per dwell (drifting only).
+  double comm_drift_step = 0.1;
+};
+
+/// A realised cluster: processors plus the link cost model.
+struct Cluster {
+  std::vector<Processor> processors;
+  std::shared_ptr<const CommModel> comm;
+
+  /// Number of worker processors M.
+  std::size_t size() const noexcept { return processors.size(); }
+
+  /// Sum of effective rates at time t (denominator of the paper's ψ).
+  double total_rate_at(SimTime t) const {
+    double s = 0.0;
+    for (const auto& p : processors) s += p.rate_at(t);
+    return s;
+  }
+};
+
+/// Builds a cluster from `cfg`, drawing all random structure from `rng`.
+/// Deterministic given (cfg, rng state).
+Cluster build_cluster(const ClusterConfig& cfg, util::Rng& rng);
+
+}  // namespace gasched::sim

@@ -1,0 +1,76 @@
+#include "sim/comm_model.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace gasched::sim {
+
+NormalCommModel::NormalCommModel(const CommConfig& cfg, std::size_t links,
+                                 util::Rng& rng)
+    : cfg_(cfg) {
+  if (!(cfg.mean_cost >= 0.0) || cfg.spread_cv < 0.0 || cfg.jitter_cv < 0.0) {
+    throw std::invalid_argument("NormalCommModel: invalid CommConfig");
+  }
+  means_.reserve(links);
+  for (std::size_t j = 0; j < links; ++j) {
+    const double mean = rng.normal_truncated(
+        cfg.mean_cost, cfg.spread_cv * cfg.mean_cost, cfg.floor);
+    means_.push_back(mean);
+  }
+}
+
+double NormalCommModel::sample(ProcId j, SimTime, util::Rng& rng) const {
+  const double mean = means_.at(static_cast<std::size_t>(j));
+  const double draw = rng.normal(mean, cfg_.jitter_cv * mean);
+  return std::max(draw, cfg_.floor);
+}
+
+double NormalCommModel::true_mean(ProcId j) const {
+  return means_.at(static_cast<std::size_t>(j));
+}
+
+DriftingCommModel::DriftingCommModel(const CommConfig& cfg, std::size_t links,
+                                     double drift_step, SimTime dwell,
+                                     SimTime horizon, util::Rng& rng)
+    : cfg_(cfg), dwell_(dwell) {
+  if (!(dwell > 0.0) || !(horizon > 0.0) || drift_step < 0.0) {
+    throw std::invalid_argument("DriftingCommModel: invalid parameters");
+  }
+  const auto periods = static_cast<std::size_t>(std::ceil(horizon / dwell)) + 1;
+  walks_.resize(links);
+  for (auto& walk : walks_) {
+    walk.reserve(periods);
+    double mean = rng.normal_truncated(cfg.mean_cost,
+                                       cfg.spread_cv * cfg.mean_cost,
+                                       cfg.floor);
+    for (std::size_t p = 0; p < periods; ++p) {
+      walk.push_back(mean);
+      mean = std::max(cfg.floor,
+                      mean + rng.uniform(-drift_step, drift_step) *
+                                 cfg.mean_cost);
+    }
+  }
+}
+
+double DriftingCommModel::mean_at(ProcId j, SimTime t) const {
+  const auto& walk = walks_.at(static_cast<std::size_t>(j));
+  const auto idx =
+      static_cast<std::size_t>(std::max(t, 0.0) / dwell_);
+  return walk[std::min(idx, walk.size() - 1)];
+}
+
+double DriftingCommModel::sample(ProcId j, SimTime t, util::Rng& rng) const {
+  const double mean = mean_at(j, t);
+  const double draw = rng.normal(mean, cfg_.jitter_cv * mean);
+  return std::max(draw, cfg_.floor);
+}
+
+double DriftingCommModel::true_mean(ProcId j) const {
+  const auto& walk = walks_.at(static_cast<std::size_t>(j));
+  double s = 0.0;
+  for (double m : walk) s += m;
+  return walk.empty() ? cfg_.mean_cost : s / static_cast<double>(walk.size());
+}
+
+}  // namespace gasched::sim

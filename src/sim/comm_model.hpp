@@ -1,0 +1,107 @@
+#pragma once
+// Communication cost models (paper §4.3): "Each communications link has
+// its own randomly generated mean cost, which is normally distributed."
+// Dispatching a task from the scheduler to processor j costs a sample from
+// link j's distribution; the scheduler never sees the true mean, only the
+// realised costs, which it smooths with Γ (util::Smoother).
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "sim/types.hpp"
+#include "util/rng.hpp"
+
+namespace gasched::sim {
+
+/// Interface: per-dispatch communication cost of sending one task over the
+/// scheduler→processor link `j` at time `t`.
+class CommModel {
+ public:
+  virtual ~CommModel() = default;
+  /// Samples the cost (seconds) of one dispatch to processor `j` at `t`.
+  /// Results are always >= min_cost().
+  virtual double sample(ProcId j, SimTime t, util::Rng& rng) const = 0;
+  /// True per-link mean (for tests/telemetry; schedulers must not use it).
+  virtual double true_mean(ProcId j) const = 0;
+  /// Number of links (== number of processors).
+  virtual std::size_t links() const = 0;
+  /// Smallest possible cost.
+  virtual double min_cost() const = 0;
+  /// Model name.
+  virtual std::string name() const = 0;
+};
+
+/// Configuration for the paper's normal per-link cost model.
+struct CommConfig {
+  /// Mean of the per-link means ("mean communications cost", the x-axis of
+  /// Figs 5 and 7 is 1 / this value).
+  double mean_cost = 20.0;
+  /// Spread of per-link means around mean_cost, as a coefficient of
+  /// variation (per-link mean ~ N(mean_cost, (spread_cv*mean_cost)^2)).
+  double spread_cv = 0.5;
+  /// Per-dispatch jitter, as a coefficient of variation of the link mean.
+  double jitter_cv = 0.2;
+  /// Hard lower bound on any sampled cost.
+  double floor = 1e-3;
+};
+
+/// Paper model: each link has a fixed true mean drawn once from a normal
+/// distribution; each dispatch adds normal jitter around that mean.
+class NormalCommModel final : public CommModel {
+ public:
+  /// Draws the per-link means using `rng`.
+  NormalCommModel(const CommConfig& cfg, std::size_t links, util::Rng& rng);
+  double sample(ProcId j, SimTime t, util::Rng& rng) const override;
+  double true_mean(ProcId j) const override;
+  std::size_t links() const override { return means_.size(); }
+  double min_cost() const override { return cfg_.floor; }
+  std::string name() const override { return "normal"; }
+
+ private:
+  CommConfig cfg_;
+  std::vector<double> means_;
+};
+
+/// Zero-cost network (instantaneous message passing) — the assumption the
+/// paper criticises in prior work; used as a control in tests/ablations.
+class ZeroCommModel final : public CommModel {
+ public:
+  /// `links` = processor count.
+  explicit ZeroCommModel(std::size_t links) : links_(links) {}
+  double sample(ProcId, SimTime, util::Rng&) const override { return 0.0; }
+  double true_mean(ProcId) const override { return 0.0; }
+  std::size_t links() const override { return links_; }
+  double min_cost() const override { return 0.0; }
+  std::string name() const override { return "zero"; }
+
+ private:
+  std::size_t links_;
+};
+
+/// Time-varying link costs: per-link mean follows a piecewise-constant
+/// random walk (precomputed from a seed), exercising the scheduler's
+/// claim to "adapt to varying resource environments".
+class DriftingCommModel final : public CommModel {
+ public:
+  /// The per-link mean starts at a NormalCommModel-style draw and then
+  /// random-walks by up to `drift_step` (fraction of mean_cost) every
+  /// `dwell` seconds up to `horizon`.
+  DriftingCommModel(const CommConfig& cfg, std::size_t links,
+                    double drift_step, SimTime dwell, SimTime horizon,
+                    util::Rng& rng);
+  double sample(ProcId j, SimTime t, util::Rng& rng) const override;
+  double true_mean(ProcId j) const override;  ///< time-average of the walk
+  /// Mean at a specific time (tests).
+  double mean_at(ProcId j, SimTime t) const;
+  std::size_t links() const override { return walks_.size(); }
+  double min_cost() const override { return cfg_.floor; }
+  std::string name() const override { return "drifting"; }
+
+ private:
+  CommConfig cfg_;
+  SimTime dwell_;
+  std::vector<std::vector<double>> walks_;  // per link, per dwell period
+};
+
+}  // namespace gasched::sim

@@ -1,0 +1,405 @@
+#include "sim/engine.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <queue>
+#include <stdexcept>
+#include <unordered_map>
+
+#include "util/log.hpp"
+
+namespace gasched::sim {
+
+namespace {
+
+enum class EventKind {
+  kArrival,
+  kRequest,
+  kDelivered,
+  kCompleted,
+  kFail,
+  kRecover,
+  kAssign,
+};
+
+struct Event {
+  SimTime time = 0.0;
+  std::uint64_t seq = 0;  // tie-breaker: FIFO among simultaneous events
+  EventKind kind = EventKind::kArrival;
+  ProcId proc = kInvalidProc;
+  std::size_t payload = 0;  // task index, or pending-assignment index
+  std::uint64_t epoch = 0;  // proc epoch at posting (failure staleness)
+};
+
+struct EventLater {
+  bool operator()(const Event& a, const Event& b) const {
+    if (a.time != b.time) return a.time > b.time;
+    return a.seq > b.seq;
+  }
+};
+
+struct ProcRuntime {
+  std::deque<std::size_t> future;  // task indices awaiting dispatch
+  double future_mflops = 0.0;      // running sum of queued sizes
+  bool parked = false;             // idle with empty queue
+  bool down = false;               // mid-outage
+  std::uint64_t epoch = 0;         // bumped on failure; stale events drop
+  bool inflight = false;
+  std::size_t inflight_task = 0;
+  double inflight_mflops = 0.0;
+  bool executing = false;
+  std::size_t exec_task = 0;
+  double exec_mflops = 0.0;
+  SimTime exec_start = 0.0;
+  SimTime exec_end = 0.0;
+  util::Smoother rate_est;
+  util::Smoother comm_est;
+  ProcessorStats stats;
+};
+
+}  // namespace
+
+SimulationResult simulate(const Cluster& cluster,
+                          const workload::Workload& workload,
+                          SchedulingPolicy& policy, util::Rng rng,
+                          const EngineConfig& cfg) {
+  const std::size_t M = cluster.size();
+  if (M == 0) throw std::invalid_argument("simulate: empty cluster");
+  const auto& tasks = workload.tasks;
+
+  std::unordered_map<workload::TaskId, std::size_t> id_to_index;
+  id_to_index.reserve(tasks.size());
+  for (std::size_t i = 0; i < tasks.size(); ++i) {
+    if (!id_to_index.emplace(tasks[i].id, i).second) {
+      throw std::invalid_argument("simulate: duplicate task id");
+    }
+  }
+
+  std::priority_queue<Event, std::vector<Event>, EventLater> events;
+  std::uint64_t seq = 0;
+  auto post = [&](SimTime t, EventKind k, ProcId p, std::size_t payload = 0,
+                  std::uint64_t epoch = 0) {
+    events.push(Event{t, seq++, k, p, payload, epoch});
+  };
+
+  std::vector<ProcRuntime> procs(M);
+  for (auto& pr : procs) {
+    pr.rate_est = util::Smoother(cfg.rate_nu);
+    pr.comm_est = util::Smoother(cfg.comm_nu);
+  }
+
+  std::deque<workload::Task> unscheduled;
+  std::vector<BatchAssignment> pending_assignments;
+  SimulationResult result;
+  result.per_proc.resize(M);
+  SimTime now = 0.0;
+  std::size_t completed = 0;
+  double response_sum = 0.0;
+  double policy_wall = 0.0;
+
+  // Per-task bookkeeping for the optional trace.
+  std::vector<TaskRecord> records;
+  if (cfg.record_task_trace) {
+    records.resize(tasks.size());
+    for (std::size_t i = 0; i < tasks.size(); ++i) {
+      records[i].id = tasks[i].id;
+      records[i].arrival = tasks[i].arrival_time;
+      records[i].attempts = 0;
+    }
+  }
+
+  auto remaining_exec_mflops = [&](const ProcRuntime& pr) -> double {
+    if (!pr.executing) return 0.0;
+    const double span = pr.exec_end - pr.exec_start;
+    if (span <= 0.0) return 0.0;
+    const double frac = (pr.exec_end - now) / span;
+    return pr.exec_mflops * std::max(0.0, std::min(1.0, frac));
+  };
+
+  auto build_view = [&]() -> SystemView {
+    SystemView view;
+    view.now = now;
+    view.procs.resize(M);
+    for (std::size_t j = 0; j < M; ++j) {
+      const auto& pr = procs[j];
+      auto& pv = view.procs[j];
+      pv.id = static_cast<ProcId>(j);
+      pv.rate = pr.rate_est.value_or(cluster.processors[j].base_rate);
+      pv.pending_mflops =
+          pr.future_mflops + pr.inflight_mflops + remaining_exec_mflops(pr);
+      pv.comm_estimate = pr.comm_est.value_or(0.0);
+      pv.comm_observations = pr.comm_est.count();
+    }
+    return view;
+  };
+
+  auto apply_assignment = [&](const BatchAssignment& assignment) {
+    if (assignment.per_proc.size() > M) {
+      throw std::runtime_error("simulate: assignment names unknown processor");
+    }
+    for (std::size_t j = 0; j < assignment.per_proc.size(); ++j) {
+      auto& pr = procs[j];
+      bool added = false;
+      for (const workload::TaskId id : assignment.per_proc[j]) {
+        const auto it = id_to_index.find(id);
+        if (it == id_to_index.end()) {
+          throw std::runtime_error("simulate: assignment names unknown task");
+        }
+        pr.future.push_back(it->second);
+        pr.future_mflops += tasks[it->second].size_mflops;
+        added = true;
+      }
+      if (added && pr.parked && !pr.down) {
+        pr.parked = false;
+        post(now, EventKind::kRequest, static_cast<ProcId>(j));
+      }
+    }
+  };
+
+  auto try_schedule = [&]() {
+    if (unscheduled.empty()) return;
+    const SystemView view = build_view();
+    const auto t0 = std::chrono::steady_clock::now();
+    BatchAssignment assignment = policy.invoke(view, unscheduled, rng);
+    const auto t1 = std::chrono::steady_clock::now();
+    const double wall = std::chrono::duration<double>(t1 - t0).count();
+    policy_wall += wall;
+    ++result.scheduler_invocations;
+    if (cfg.sched_time_scale > 0.0) {
+      // The dedicated scheduler processor takes simulated time to compute
+      // the schedule; the assignment lands later.
+      pending_assignments.push_back(std::move(assignment));
+      post(now + cfg.sched_time_scale * wall, EventKind::kAssign,
+           kInvalidProc, pending_assignments.size() - 1);
+    } else {
+      apply_assignment(assignment);
+    }
+  };
+
+  // A failed processor returns everything it holds to the scheduler.
+  auto requeue_holdings = [&](std::size_t j) {
+    auto& pr = procs[j];
+    std::size_t returned = 0;
+    if (pr.executing) {
+      // Work done so far is wasted but still counts as processing time.
+      pr.stats.busy_time += std::max(0.0, now - pr.exec_start);
+      unscheduled.push_back(tasks[pr.exec_task]);
+      pr.executing = false;
+      pr.exec_mflops = 0.0;
+      ++returned;
+    }
+    if (pr.inflight) {
+      unscheduled.push_back(tasks[pr.inflight_task]);
+      pr.inflight = false;
+      pr.inflight_mflops = 0.0;
+      ++returned;
+    }
+    while (!pr.future.empty()) {
+      unscheduled.push_back(tasks[pr.future.front()]);
+      pr.future.pop_front();
+      ++returned;
+    }
+    pr.future_mflops = 0.0;
+    result.tasks_requeued += returned;
+    return returned;
+  };
+
+  // Scheduler uplink state (serial_dispatch mode).
+  bool link_busy = false;
+  std::deque<ProcId> link_waiting;
+
+  // Pops the head of `proc`'s future queue and puts it on the wire.
+  auto start_dispatch = [&](ProcId proc) {
+    auto& pr = procs[static_cast<std::size_t>(proc)];
+    const std::size_t ti = pr.future.front();
+    pr.future.pop_front();
+    pr.future_mflops -= tasks[ti].size_mflops;
+    if (pr.future_mflops < 0.0) pr.future_mflops = 0.0;
+    const double cost = cluster.comm->sample(proc, now, rng);
+    pr.comm_est.observe(cost);
+    pr.stats.comm_time += cost;
+    pr.inflight = true;
+    pr.inflight_task = ti;
+    pr.inflight_mflops = tasks[ti].size_mflops;
+    if (cfg.record_task_trace) {
+      records[ti].dispatch = now;
+      records[ti].comm_cost = cost;
+      records[ti].attempts += 1;
+    }
+    if (cfg.serial_dispatch) link_busy = true;
+    post(now + cost, EventKind::kDelivered, proc, ti, pr.epoch);
+  };
+
+  // Seed the timeline: task arrivals, then one initial request per
+  // processor (sequenced after simultaneous arrivals so the first
+  // scheduling decision sees the t=0 workload), then outages.
+  for (std::size_t i = 0; i < tasks.size(); ++i) {
+    post(tasks[i].arrival_time, EventKind::kArrival, kInvalidProc, i);
+  }
+  for (std::size_t j = 0; j < M; ++j) {
+    post(0.0, EventKind::kRequest, static_cast<ProcId>(j));
+  }
+  if (cfg.failures != nullptr) {
+    for (std::size_t j = 0; j < M; ++j) {
+      for (const Outage& o : cfg.failures->outages(static_cast<ProcId>(j))) {
+        post(o.down, EventKind::kFail, static_cast<ProcId>(j));
+        post(o.up, EventKind::kRecover, static_cast<ProcId>(j));
+      }
+    }
+  }
+
+  const std::size_t event_budget =
+      cfg.max_event_factor == 0
+          ? 0
+          : cfg.max_event_factor *
+                (tasks.size() + M +
+                 (cfg.failures ? cfg.failures->total_outages() : 0) + 1);
+  std::size_t processed = 0;
+
+  while (completed < tasks.size()) {
+    if (events.empty()) {
+      // No pending events but work remains: give the policy one more
+      // chance (e.g. everything parked after a burst), else the protocol
+      // is wedged.
+      try_schedule();
+      if (events.empty()) {
+        throw std::runtime_error(
+            "simulate: deadlock — tasks remain but no events pending "
+            "(policy " +
+            policy.name() + " assigned nothing)");
+      }
+      continue;
+    }
+    const Event ev = events.top();
+    events.pop();
+    now = ev.time;
+    if (event_budget != 0 && ++processed > event_budget) {
+      throw std::runtime_error("simulate: event budget exceeded (livelock?)");
+    }
+
+    switch (ev.kind) {
+      case EventKind::kArrival: {
+        unscheduled.push_back(tasks[ev.payload]);
+        // Coalesce simultaneous arrivals into one scheduling decision.
+        const bool more_arrivals_now =
+            !events.empty() && events.top().kind == EventKind::kArrival &&
+            events.top().time == now;
+        if (!more_arrivals_now) try_schedule();
+        break;
+      }
+      case EventKind::kRequest: {
+        auto& pr = procs[static_cast<std::size_t>(ev.proc)];
+        if (pr.down) break;  // re-posted on recovery
+        if (pr.inflight || pr.executing) break;  // stale duplicate
+        if (pr.future.empty()) {
+          pr.parked = true;
+          if (!unscheduled.empty()) try_schedule();
+          break;
+        }
+        if (cfg.serial_dispatch && link_busy) {
+          link_waiting.push_back(ev.proc);
+          break;
+        }
+        start_dispatch(ev.proc);
+        break;
+      }
+      case EventKind::kDelivered: {
+        auto& pr = procs[static_cast<std::size_t>(ev.proc)];
+        if (cfg.serial_dispatch) {
+          // The uplink frees regardless of whether the receiver survived.
+          link_busy = false;
+          while (!link_waiting.empty()) {
+            const ProcId next_proc = link_waiting.front();
+            link_waiting.pop_front();
+            auto& npr = procs[static_cast<std::size_t>(next_proc)];
+            if (npr.down || npr.inflight || npr.executing) {
+              continue;  // state changed while queued at the link
+            }
+            if (npr.future.empty()) {
+              // Its queue was drained (e.g. failure requeue elsewhere):
+              // park so a future assignment wakes it up again.
+              npr.parked = true;
+              continue;
+            }
+            start_dispatch(next_proc);
+            break;
+          }
+        }
+        if (ev.epoch != pr.epoch) break;  // failed mid-transfer; requeued
+        const auto& proc =
+            cluster.processors[static_cast<std::size_t>(ev.proc)];
+        pr.inflight = false;
+        pr.inflight_mflops = 0.0;
+        const double duration = integrate_exec_time(
+            *proc.availability, proc.base_rate, tasks[ev.payload].size_mflops,
+            now, cfg.avail_dt);
+        pr.executing = true;
+        pr.exec_task = ev.payload;
+        pr.exec_mflops = tasks[ev.payload].size_mflops;
+        pr.exec_start = now;
+        pr.exec_end = now + duration;
+        if (cfg.record_task_trace) records[ev.payload].start = now;
+        post(now + duration, EventKind::kCompleted, ev.proc, ev.payload,
+             pr.epoch);
+        break;
+      }
+      case EventKind::kCompleted: {
+        auto& pr = procs[static_cast<std::size_t>(ev.proc)];
+        if (ev.epoch != pr.epoch) break;  // failed mid-execution; requeued
+        const double duration = pr.exec_end - pr.exec_start;
+        if (duration > 0.0) {
+          pr.rate_est.observe(tasks[ev.payload].size_mflops / duration);
+        }
+        pr.stats.busy_time += duration;
+        pr.executing = false;
+        pr.exec_mflops = 0.0;
+        pr.stats.tasks += 1;
+        pr.stats.work_mflops += tasks[ev.payload].size_mflops;
+        ++completed;
+        response_sum += now - tasks[ev.payload].arrival_time;
+        result.makespan = std::max(result.makespan, now);
+        if (cfg.record_task_trace) {
+          records[ev.payload].completion = now;
+          records[ev.payload].proc = ev.proc;
+        }
+        post(now, EventKind::kRequest, ev.proc);
+        break;
+      }
+      case EventKind::kFail: {
+        auto& pr = procs[static_cast<std::size_t>(ev.proc)];
+        if (pr.down) break;
+        pr.down = true;
+        pr.parked = false;
+        ++pr.epoch;
+        pr.stats.failures += 1;
+        const std::size_t returned =
+            requeue_holdings(static_cast<std::size_t>(ev.proc));
+        if (returned > 0) try_schedule();
+        break;
+      }
+      case EventKind::kRecover: {
+        auto& pr = procs[static_cast<std::size_t>(ev.proc)];
+        if (!pr.down) break;
+        pr.down = false;
+        post(now, EventKind::kRequest, ev.proc);
+        break;
+      }
+      case EventKind::kAssign: {
+        apply_assignment(pending_assignments[ev.payload]);
+        pending_assignments[ev.payload] = BatchAssignment{};  // free memory
+        break;
+      }
+    }
+  }
+
+  result.tasks_completed = completed;
+  result.scheduler_wall_seconds = policy_wall;
+  result.mean_response_time =
+      completed > 0 ? response_sum / static_cast<double>(completed) : 0.0;
+  for (std::size_t j = 0; j < M; ++j) result.per_proc[j] = procs[j].stats;
+  if (cfg.record_task_trace) result.task_trace = std::move(records);
+  return result;
+}
+
+}  // namespace gasched::sim

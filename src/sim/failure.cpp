@@ -1,0 +1,58 @@
+#include "sim/failure.hpp"
+
+#include <stdexcept>
+
+namespace gasched::sim {
+
+namespace {
+const std::vector<Outage> kNoOutages;
+}
+
+FailureTrace::FailureTrace(const FailureConfig& cfg, std::size_t procs,
+                           util::Rng& rng) {
+  if (!(cfg.mean_uptime > 0.0) || !(cfg.mean_downtime > 0.0) ||
+      !(cfg.horizon > 0.0) || cfg.failing_fraction < 0.0 ||
+      cfg.failing_fraction > 1.0) {
+    throw std::invalid_argument("FailureTrace: invalid FailureConfig");
+  }
+  per_proc_.resize(procs);
+  for (std::size_t j = 0; j < procs; ++j) {
+    if (!rng.bernoulli(cfg.failing_fraction)) continue;
+    SimTime t = rng.exponential(cfg.mean_uptime);
+    while (t < cfg.horizon) {
+      Outage o;
+      o.down = t;
+      o.up = t + std::max(rng.exponential(cfg.mean_downtime), 1e-6);
+      per_proc_[j].push_back(o);
+      t = o.up + rng.exponential(cfg.mean_uptime);
+    }
+  }
+}
+
+const std::vector<Outage>& FailureTrace::outages(ProcId j) const {
+  const auto idx = static_cast<std::size_t>(j);
+  return idx < per_proc_.size() ? per_proc_[idx] : kNoOutages;
+}
+
+bool FailureTrace::empty() const {
+  for (const auto& v : per_proc_) {
+    if (!v.empty()) return false;
+  }
+  return true;
+}
+
+bool FailureTrace::up_at(ProcId j, SimTime t) const {
+  for (const auto& o : outages(j)) {
+    if (t >= o.down && t < o.up) return false;
+    if (o.down > t) break;
+  }
+  return true;
+}
+
+std::size_t FailureTrace::total_outages() const {
+  std::size_t n = 0;
+  for (const auto& v : per_proc_) n += v.size();
+  return n;
+}
+
+}  // namespace gasched::sim

@@ -1,0 +1,60 @@
+#pragma once
+// Processor failure/recovery model.
+//
+// The paper's §3 design keeps all task queues at the scheduler precisely
+// because workers are unreliable: "we wish to avoid repeatedly issuing the
+// same task multiple times, e.g., when a machine is switched off". This
+// module generates reproducible outage traces; the engine re-queues any
+// work held by a failed processor (in-flight, executing, and its future
+// queue) back to the scheduler, which reassigns it.
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/types.hpp"
+#include "util/rng.hpp"
+
+namespace gasched::sim {
+
+/// One outage window [down, up).
+struct Outage {
+  SimTime down = 0.0;
+  SimTime up = 0.0;
+};
+
+/// Parameters for generating exponential up/down alternation per
+/// processor.
+struct FailureConfig {
+  double mean_uptime = 5000.0;   ///< exponential time between failures (s)
+  double mean_downtime = 200.0;  ///< exponential repair time (s)
+  SimTime horizon = 100000.0;    ///< outages generated up to this time
+  double failing_fraction = 1.0; ///< fraction of processors that can fail
+};
+
+/// Precomputed outage windows for a cluster.
+class FailureTrace {
+ public:
+  /// Empty trace: nothing ever fails.
+  FailureTrace() = default;
+
+  /// Generates outages for `procs` processors from `cfg` using `rng`.
+  FailureTrace(const FailureConfig& cfg, std::size_t procs, util::Rng& rng);
+
+  /// Outage windows (sorted, non-overlapping) of processor `j`; empty when
+  /// the trace has no entry for it.
+  const std::vector<Outage>& outages(ProcId j) const;
+
+  /// True when no processor has any outage.
+  bool empty() const;
+
+  /// True when processor `j` is operational at time `t`.
+  bool up_at(ProcId j, SimTime t) const;
+
+  /// Total number of outages across all processors.
+  std::size_t total_outages() const;
+
+ private:
+  std::vector<std::vector<Outage>> per_proc_;
+};
+
+}  // namespace gasched::sim

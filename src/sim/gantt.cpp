@@ -1,0 +1,82 @@
+#include "sim/gantt.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "util/csv.hpp"
+
+namespace gasched::sim {
+
+void render_gantt(const SimulationResult& result, std::ostream& os,
+                  const GanttOptions& opts) {
+  if (result.task_trace.empty()) {
+    throw std::invalid_argument(
+        "render_gantt: no task trace (set EngineConfig::record_task_trace)");
+  }
+  const double span = std::max(result.makespan, 1e-9);
+  const std::size_t rows =
+      std::min(opts.max_procs, result.per_proc.size());
+  std::vector<std::string> lanes(rows, std::string(opts.width,
+                                                   opts.idle_char));
+  auto col = [&](double t) {
+    const auto c = static_cast<std::size_t>(t / span *
+                                            static_cast<double>(opts.width));
+    return std::min(c, opts.width - 1);
+  };
+  for (const auto& rec : result.task_trace) {
+    if (rec.proc < 0 || static_cast<std::size_t>(rec.proc) >= rows) continue;
+    auto& lane = lanes[static_cast<std::size_t>(rec.proc)];
+    for (std::size_t c = col(rec.dispatch); c <= col(rec.start); ++c) {
+      if (lane[c] == opts.idle_char) lane[c] = opts.comm_char;
+    }
+    for (std::size_t c = col(rec.start); c <= col(rec.completion); ++c) {
+      lane[c] = opts.busy_char;
+    }
+  }
+  os << "Gantt (t = 0 .. " << result.makespan << " s; '" << opts.busy_char
+     << "' exec, '" << opts.comm_char << "' comm, '" << opts.idle_char
+     << "' idle)\n";
+  for (std::size_t j = 0; j < rows; ++j) {
+    os << "P" << j << (j < 10 ? "  |" : " |") << lanes[j] << "|\n";
+  }
+  if (rows < result.per_proc.size()) {
+    os << "(" << result.per_proc.size() - rows << " more processors)\n";
+  }
+}
+
+void save_task_trace(const SimulationResult& result,
+                     const std::filesystem::path& path) {
+  util::CsvWriter w(path);
+  w.row({"id", "proc", "arrival", "dispatch", "start", "completion",
+         "comm_cost", "attempts"});
+  for (const auto& r : result.task_trace) {
+    w.row({std::to_string(r.id), std::to_string(r.proc),
+           util::format_double(r.arrival), util::format_double(r.dispatch),
+           util::format_double(r.start), util::format_double(r.completion),
+           util::format_double(r.comm_cost), std::to_string(r.attempts)});
+  }
+}
+
+std::string validate_task_trace(const SimulationResult& result) {
+  for (const auto& r : result.task_trace) {
+    if (r.proc < 0 ||
+        static_cast<std::size_t>(r.proc) >= result.per_proc.size()) {
+      return "task " + std::to_string(r.id) + ": invalid processor";
+    }
+    if (r.dispatch + 1e-12 < r.arrival) {
+      return "task " + std::to_string(r.id) + ": dispatched before arrival";
+    }
+    if (r.start + 1e-12 < r.dispatch) {
+      return "task " + std::to_string(r.id) + ": started before dispatch";
+    }
+    if (r.completion + 1e-12 < r.start) {
+      return "task " + std::to_string(r.id) + ": completed before start";
+    }
+    if (r.attempts == 0) {
+      return "task " + std::to_string(r.id) + ": zero dispatch attempts";
+    }
+  }
+  return {};
+}
+
+}  // namespace gasched::sim

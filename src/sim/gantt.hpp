@@ -1,0 +1,42 @@
+#pragma once
+// Text Gantt chart and trace export for simulation task traces
+// (EngineConfig::record_task_trace). Useful for eyeballing schedules in
+// examples and debugging protocol behaviour.
+
+#include <filesystem>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "sim/engine.hpp"
+
+namespace gasched::sim {
+
+/// Options for render_gantt.
+struct GanttOptions {
+  std::size_t width = 100;       ///< characters across the time axis
+  std::size_t max_procs = 20;    ///< rows rendered (first N processors)
+  char busy_char = '#';          ///< executing
+  char comm_char = '-';          ///< receiving a task
+  char idle_char = '.';          ///< neither
+};
+
+/// Renders an ASCII Gantt chart of `result`'s task trace to `os`. Each row
+/// is a processor; time runs left to right from 0 to the makespan.
+/// Requires the trace to be present (throws std::invalid_argument
+/// otherwise).
+void render_gantt(const SimulationResult& result, std::ostream& os,
+                  const GanttOptions& opts = {});
+
+/// Writes the task trace as CSV
+/// (id,proc,arrival,dispatch,start,completion,comm_cost,attempts).
+void save_task_trace(const SimulationResult& result,
+                     const std::filesystem::path& path);
+
+/// Validates internal consistency of a task trace: every completed task
+/// has arrival <= dispatch <= start <= completion and a valid processor.
+/// Returns an empty string when consistent, else a description of the
+/// first violation.
+std::string validate_task_trace(const SimulationResult& result);
+
+}  // namespace gasched::sim

@@ -1,0 +1,100 @@
+#include "sim/linpack.hpp"
+
+#include <chrono>
+#include <cmath>
+#include <stdexcept>
+
+namespace gasched::sim {
+
+bool lu_factor(std::vector<double>& a, std::size_t n,
+               std::vector<std::size_t>& piv) {
+  piv.resize(n);
+  for (std::size_t k = 0; k < n; ++k) {
+    // Partial pivot: largest magnitude in column k at or below the diagonal.
+    std::size_t p = k;
+    double best = std::abs(a[k * n + k]);
+    for (std::size_t i = k + 1; i < n; ++i) {
+      const double v = std::abs(a[i * n + k]);
+      if (v > best) {
+        best = v;
+        p = i;
+      }
+    }
+    piv[k] = p;
+    if (best == 0.0) return false;
+    if (p != k) {
+      for (std::size_t c = 0; c < n; ++c) std::swap(a[k * n + c], a[p * n + c]);
+    }
+    const double pivot = a[k * n + k];
+    for (std::size_t i = k + 1; i < n; ++i) {
+      const double m = a[i * n + k] / pivot;
+      a[i * n + k] = m;
+      const double* rk = &a[k * n];
+      double* ri = &a[i * n];
+      for (std::size_t c = k + 1; c < n; ++c) ri[c] -= m * rk[c];
+    }
+  }
+  return true;
+}
+
+void lu_solve(const std::vector<double>& a, std::size_t n,
+              const std::vector<std::size_t>& piv, std::vector<double>& b) {
+  // Apply the recorded row swaps, then forward/back substitution.
+  for (std::size_t k = 0; k < n; ++k) {
+    if (piv[k] != k) std::swap(b[k], b[piv[k]]);
+  }
+  for (std::size_t i = 1; i < n; ++i) {
+    double s = b[i];
+    const double* ri = &a[i * n];
+    for (std::size_t c = 0; c < i; ++c) s -= ri[c] * b[c];
+    b[i] = s;
+  }
+  for (std::size_t i = n; i-- > 0;) {
+    double s = b[i];
+    const double* ri = &a[i * n];
+    for (std::size_t c = i + 1; c < n; ++c) s -= ri[c] * b[c];
+    b[i] = s / ri[i];
+  }
+}
+
+LinpackResult linpack_benchmark(std::size_t n, util::Rng& rng) {
+  if (n == 0) throw std::invalid_argument("linpack_benchmark: n must be > 0");
+  std::vector<double> a(n * n);
+  for (auto& v : a) v = rng.uniform(-0.5, 0.5);
+  // Make the matrix comfortably non-singular (diagonal dominance).
+  for (std::size_t i = 0; i < n; ++i) a[i * n + i] += static_cast<double>(n);
+  std::vector<double> b(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    double s = 0.0;
+    for (std::size_t c = 0; c < n; ++c) s += a[i * n + c];
+    b[i] = s;  // exact solution is the all-ones vector
+  }
+  const std::vector<double> a_orig = a;
+  const std::vector<double> b_orig = b;
+
+  const auto t0 = std::chrono::steady_clock::now();
+  std::vector<std::size_t> piv;
+  if (!lu_factor(a, n, piv)) {
+    throw std::runtime_error("linpack_benchmark: singular matrix");
+  }
+  lu_solve(a, n, piv, b);
+  const auto t1 = std::chrono::steady_clock::now();
+
+  LinpackResult res;
+  res.n = n;
+  res.seconds = std::chrono::duration<double>(t1 - t0).count();
+  const double nd = static_cast<double>(n);
+  const double flops = 2.0 / 3.0 * nd * nd * nd + 2.0 * nd * nd;
+  res.mflops = res.seconds > 0.0 ? flops / res.seconds / 1e6 : 0.0;
+  // Residual ||Ax − b||_inf against the original system.
+  double resid = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    double s = 0.0;
+    for (std::size_t c = 0; c < n; ++c) s += a_orig[i * n + c] * b[c];
+    resid = std::max(resid, std::abs(s - b_orig[i]));
+  }
+  res.residual = resid;
+  return res;
+}
+
+}  // namespace gasched::sim

@@ -1,0 +1,40 @@
+#pragma once
+// Linpack-style execution-rate measurement (paper §3: "The execution rate
+// is measured using Dongarra's Linpack benchmark").
+//
+// This is a real (small) dense LU solve with partial pivoting, timed to
+// estimate the host's floating-point rate in Mflop/s. The examples use it
+// to seed simulated processor rates from the actual machine, mirroring how
+// the paper's system would calibrate real workers.
+
+#include <cstddef>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace gasched::sim {
+
+/// Result of one Linpack-style run.
+struct LinpackResult {
+  std::size_t n = 0;          ///< matrix order
+  double seconds = 0.0;       ///< wall time of factor+solve
+  double mflops = 0.0;        ///< measured rate in Mflop/s
+  double residual = 0.0;      ///< ||Ax − b||_inf (sanity check)
+};
+
+/// Factors a random dense n×n system and solves it, returning the measured
+/// rate. The flop count uses the standard LU formula 2n³/3 + 2n².
+/// `rng` seeds the matrix so runs are reproducible.
+LinpackResult linpack_benchmark(std::size_t n, util::Rng& rng);
+
+/// In-place LU factorisation with partial pivoting of the row-major n×n
+/// matrix `a`; `piv` receives the pivot row for each column. Returns false
+/// if the matrix is numerically singular.
+bool lu_factor(std::vector<double>& a, std::size_t n,
+               std::vector<std::size_t>& piv);
+
+/// Solves LU x = b given the output of lu_factor (b is overwritten with x).
+void lu_solve(const std::vector<double>& a, std::size_t n,
+              const std::vector<std::size_t>& piv, std::vector<double>& b);
+
+}  // namespace gasched::sim

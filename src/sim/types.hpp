@@ -1,0 +1,17 @@
+#pragma once
+// Shared simulator types.
+
+#include <cstdint>
+
+namespace gasched::sim {
+
+/// Processor identifier, dense in [0, M).
+using ProcId = std::int32_t;
+
+/// Sentinel for "no processor".
+inline constexpr ProcId kInvalidProc = -1;
+
+/// Simulation time in seconds.
+using SimTime = double;
+
+}  // namespace gasched::sim

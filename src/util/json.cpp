@@ -1,0 +1,171 @@
+#include "util/json.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <stdexcept>
+
+namespace gasched::util {
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\b':
+        out += "\\b";
+        break;
+      case '\f':
+        out += "\\f";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+std::string json_number(double v) {
+  if (!std::isfinite(v)) return "null";
+  // 17 significant digits round-trips any double; trim via %.17g and let
+  // readers re-shorten. snprintf with "C"-style %g never emits locale
+  // decimal commas for the "C" locale assumption used across the library.
+  char buf[40];
+  std::snprintf(buf, sizeof buf, "%.17g", v);
+  return buf;
+}
+
+void JsonWriter::before_value() {
+  if (done_) throw std::logic_error("JsonWriter: document already complete");
+  if (!stack_.empty() && stack_.back() == Frame::kObject &&
+      !expecting_value_) {
+    throw std::logic_error("JsonWriter: value inside object requires key()");
+  }
+  if (!stack_.empty() && stack_.back() == Frame::kArray) {
+    if (!first_.back()) out_ << ",";
+    first_.back() = false;
+  }
+  expecting_value_ = false;
+}
+
+JsonWriter& JsonWriter::begin_object() {
+  before_value();
+  out_ << "{";
+  stack_.push_back(Frame::kObject);
+  first_.push_back(true);
+  return *this;
+}
+
+JsonWriter& JsonWriter::end_object() {
+  if (stack_.empty() || stack_.back() != Frame::kObject || expecting_value_) {
+    throw std::logic_error("JsonWriter: mismatched end_object");
+  }
+  out_ << "}";
+  stack_.pop_back();
+  first_.pop_back();
+  if (stack_.empty()) done_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::begin_array() {
+  before_value();
+  out_ << "[";
+  stack_.push_back(Frame::kArray);
+  first_.push_back(true);
+  return *this;
+}
+
+JsonWriter& JsonWriter::end_array() {
+  if (stack_.empty() || stack_.back() != Frame::kArray) {
+    throw std::logic_error("JsonWriter: mismatched end_array");
+  }
+  out_ << "]";
+  stack_.pop_back();
+  first_.pop_back();
+  if (stack_.empty()) done_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::key(const std::string& k) {
+  if (done_ || stack_.empty() || stack_.back() != Frame::kObject ||
+      expecting_value_) {
+    throw std::logic_error("JsonWriter: key() only directly inside objects");
+  }
+  if (!first_.back()) out_ << ",";
+  first_.back() = false;
+  out_ << "\"" << json_escape(k) << "\":";
+  expecting_value_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::string(const std::string& v) {
+  before_value();
+  out_ << "\"" << json_escape(v) << "\"";
+  if (stack_.empty()) done_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::number(double v) {
+  before_value();
+  out_ << json_number(v);
+  if (stack_.empty()) done_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::number(std::int64_t v) {
+  before_value();
+  out_ << v;
+  if (stack_.empty()) done_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::number(std::size_t v) {
+  before_value();
+  out_ << v;
+  if (stack_.empty()) done_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::boolean(bool v) {
+  before_value();
+  out_ << (v ? "true" : "false");
+  if (stack_.empty()) done_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::null() {
+  before_value();
+  out_ << "null";
+  if (stack_.empty()) done_ = true;
+  return *this;
+}
+
+std::string JsonWriter::str() const {
+  if (!stack_.empty()) {
+    throw std::logic_error("JsonWriter: unclosed containers in str()");
+  }
+  return out_.str();
+}
+
+}  // namespace gasched::util

@@ -1,0 +1,73 @@
+#pragma once
+// Minimal JSON writer for exporting experiment results.
+//
+// Deliberately write-only: the library never needs to parse JSON, only to
+// emit machine-readable result files next to the CSV exports. The writer
+// is a small streaming builder with correct string escaping and
+// locale-independent number formatting (always '.' decimal point, so
+// files are identical regardless of the host locale).
+
+#include <ostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace gasched::util {
+
+/// Escapes `s` for use inside a JSON string literal (quotes not included).
+std::string json_escape(const std::string& s);
+
+/// Formats a double as JSON: shortest round-trip representation, with
+/// non-finite values (which JSON cannot express) emitted as null.
+std::string json_number(double v);
+
+/// Streaming JSON builder.
+///
+///   JsonWriter w;
+///   w.begin_object();
+///   w.key("makespan").number(123.4);
+///   w.key("runs").begin_array().number(1).number(2).end_array();
+///   w.end_object();
+///   os << w.str();
+///
+/// The builder tracks nesting and comma placement; mismatched begin/end
+/// calls throw std::logic_error.
+class JsonWriter {
+ public:
+  /// Begins an object ({). Returns *this for chaining.
+  JsonWriter& begin_object();
+  /// Ends the innermost object (}).
+  JsonWriter& end_object();
+  /// Begins an array ([).
+  JsonWriter& begin_array();
+  /// Ends the innermost array (]).
+  JsonWriter& end_array();
+  /// Emits an object key; must be directly inside an object.
+  JsonWriter& key(const std::string& k);
+  /// Emits a string value.
+  JsonWriter& string(const std::string& v);
+  /// Emits a numeric value (null for non-finite).
+  JsonWriter& number(double v);
+  /// Emits an integer value.
+  JsonWriter& number(std::int64_t v);
+  /// Emits an unsigned integer value.
+  JsonWriter& number(std::size_t v);
+  /// Emits a boolean value.
+  JsonWriter& boolean(bool v);
+  /// Emits null.
+  JsonWriter& null();
+
+  /// The document so far. Must be called with all containers closed.
+  std::string str() const;
+
+ private:
+  enum class Frame { kObject, kArray };
+  void before_value();
+  std::ostringstream out_;
+  std::vector<Frame> stack_;
+  std::vector<bool> first_;   // first element in each open container
+  bool expecting_value_ = false;  // a key was just written
+  bool done_ = false;
+};
+
+}  // namespace gasched::util

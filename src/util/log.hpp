@@ -1,0 +1,57 @@
+#pragma once
+// Lightweight leveled logging. Off by default in benches/tests; the
+// simulator uses it for trace-level debugging of the event protocol.
+
+#include <mutex>
+#include <sstream>
+#include <string>
+
+namespace gasched::util {
+
+/// Log severity levels, in increasing order of importance.
+enum class LogLevel { kTrace = 0, kDebug, kInfo, kWarn, kError, kOff };
+
+/// Returns the process-wide minimum level that will be emitted.
+LogLevel log_level() noexcept;
+
+/// Sets the process-wide minimum level. Also settable via the
+/// GASCHED_LOG environment variable (trace|debug|info|warn|error|off).
+void set_log_level(LogLevel level) noexcept;
+
+/// Emits a message at `level` to stderr (thread-safe, line-buffered).
+void log_message(LogLevel level, const std::string& msg);
+
+/// Human-readable name of a level.
+const char* log_level_name(LogLevel level) noexcept;
+
+namespace detail {
+/// Stream-style accumulator used by the GASCHED_LOG_* macros.
+class LogLine {
+ public:
+  LogLine(LogLevel level) : level_(level) {}
+  ~LogLine() { log_message(level_, ss_.str()); }
+  template <typename T>
+  LogLine& operator<<(const T& v) {
+    ss_ << v;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream ss_;
+};
+}  // namespace detail
+
+}  // namespace gasched::util
+
+#define GASCHED_LOG(level)                                   \
+  if (static_cast<int>(level) <                              \
+      static_cast<int>(::gasched::util::log_level())) {      \
+  } else                                                     \
+    ::gasched::util::detail::LogLine(level)
+
+#define GASCHED_LOG_TRACE GASCHED_LOG(::gasched::util::LogLevel::kTrace)
+#define GASCHED_LOG_DEBUG GASCHED_LOG(::gasched::util::LogLevel::kDebug)
+#define GASCHED_LOG_INFO GASCHED_LOG(::gasched::util::LogLevel::kInfo)
+#define GASCHED_LOG_WARN GASCHED_LOG(::gasched::util::LogLevel::kWarn)
+#define GASCHED_LOG_ERROR GASCHED_LOG(::gasched::util::LogLevel::kError)

@@ -1,0 +1,124 @@
+#pragma once
+// Deterministic random number generation for reproducible simulations.
+//
+// The simulator, workload generators, and genetic algorithm all consume
+// randomness from `gasched::util::Rng`, a thin wrapper around the
+// xoshiro256** 1.0 generator (Blackman & Vigna). Every experiment run is
+// seeded explicitly; replications derive independent substreams via
+// `Rng::split`, so results are bit-reproducible regardless of the number
+// of worker threads used to execute them.
+
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+namespace gasched::util {
+
+/// SplitMix64 step: used for seeding and stream derivation.
+/// Returns the next value of the SplitMix64 sequence and advances `state`.
+std::uint64_t splitmix64_next(std::uint64_t& state) noexcept;
+
+/// xoshiro256** 1.0 — fast, high-quality 64-bit PRNG with 256-bit state.
+///
+/// Satisfies the C++ UniformRandomBitGenerator concept so it can be used
+/// with <random> distributions, though `Rng` supplies its own inverse-CDF
+/// based samplers to guarantee identical streams across standard-library
+/// implementations.
+class Xoshiro256StarStar {
+ public:
+  using result_type = std::uint64_t;
+
+  /// Seeds the four state words by iterating SplitMix64 from `seed`.
+  explicit Xoshiro256StarStar(std::uint64_t seed = 0x9E3779B97F4A7C15ULL) noexcept;
+
+  /// Smallest value `operator()` can return (0).
+  static constexpr result_type min() noexcept { return 0; }
+  /// Largest value `operator()` can return (2^64 - 1).
+  static constexpr result_type max() noexcept {
+    return std::numeric_limits<result_type>::max();
+  }
+
+  /// Generates the next 64 random bits.
+  result_type operator()() noexcept;
+
+  /// Equivalent to 2^128 calls to operator(); used to derive
+  /// non-overlapping parallel streams.
+  void long_jump() noexcept;
+
+ private:
+  std::uint64_t s_[4];
+};
+
+/// High-level RNG facade with portable, reproducible samplers.
+///
+/// All distribution sampling used in gasched goes through this class. The
+/// samplers are implemented directly (not via std:: distributions) so that
+/// a given (seed, call sequence) produces identical values on every
+/// platform and standard library.
+class Rng {
+ public:
+  /// Creates a generator seeded with `seed`.
+  explicit Rng(std::uint64_t seed = 1) noexcept;
+
+  /// Derives an independent child stream. Children of the same parent with
+  /// different `stream` tags are statistically independent of each other
+  /// and of the parent.
+  Rng split(std::uint64_t stream) const noexcept;
+
+  /// Next raw 64 random bits.
+  std::uint64_t next_u64() noexcept;
+
+  /// Uniform double in [0, 1).
+  double uniform01() noexcept;
+
+  /// Uniform double in [lo, hi). Requires lo <= hi.
+  double uniform(double lo, double hi) noexcept;
+
+  /// Uniform integer in the closed range [lo, hi]. Requires lo <= hi.
+  /// Uses Lemire-style rejection to avoid modulo bias.
+  std::int64_t uniform_int(std::int64_t lo, std::int64_t hi) noexcept;
+
+  /// Standard normal deviate (Box–Muller, both values used).
+  double normal() noexcept;
+
+  /// Normal deviate with the given mean and standard deviation.
+  double normal(double mean, double stddev) noexcept;
+
+  /// Normal deviate truncated below at `lo` (resampled; `lo` must be
+  /// plausible for the distribution — guarded with a shift fallback after
+  /// 64 rejections to stay O(1) in pathological configurations).
+  double normal_truncated(double mean, double stddev, double lo) noexcept;
+
+  /// Exponential deviate with the given mean (= 1/rate). Requires mean > 0.
+  double exponential(double mean) noexcept;
+
+  /// Poisson deviate with the given mean. Uses Knuth's product method for
+  /// small means and the PTRS transformed-rejection method of Hörmann for
+  /// large means, both deterministic given the stream.
+  std::uint64_t poisson(double mean) noexcept;
+
+  /// Random index in [0, n). Requires n > 0.
+  std::size_t index(std::size_t n) noexcept;
+
+  /// True with probability p (clamped to [0,1]).
+  bool bernoulli(double p) noexcept;
+
+  /// Fisher–Yates shuffle of an arbitrary sequence.
+  template <typename T>
+  void shuffle(std::vector<T>& v) noexcept {
+    if (v.size() < 2) return;
+    for (std::size_t i = v.size() - 1; i > 0; --i) {
+      const std::size_t j = index(i + 1);
+      using std::swap;
+      swap(v[i], v[j]);
+    }
+  }
+
+ private:
+  Xoshiro256StarStar gen_;
+  std::uint64_t seed_;
+  double cached_normal_ = 0.0;
+  bool has_cached_normal_ = false;
+};
+
+}  // namespace gasched::util

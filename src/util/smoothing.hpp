@@ -1,0 +1,68 @@
+#pragma once
+// First-order exponential smoothing (the paper's Γ function, §3.6).
+//
+// A smoothing function finds a single representative value for a sequence
+// of observations. For observations a1, a2, ... the representative value is
+//
+//     Γ_i = Γ_{i-1} + ν (a_i − Γ_{i-1}),   Γ_0 = a_1,
+//
+// where ν ∈ [0, 1] controls how strongly recent observations dominate:
+// ν = 0 freezes the first observation, ν = 1 tracks the latest exactly.
+// The scheduler uses Γ to estimate per-link communication costs, processor
+// availability, and the time until the first processor becomes idle.
+
+#include <algorithm>
+#include <cstddef>
+
+namespace gasched::util {
+
+/// Streaming exponential smoother implementing the paper's Γ recurrence.
+class Smoother {
+ public:
+  /// Creates a smoother with smoothing factor `nu`, clamped to [0, 1].
+  explicit Smoother(double nu = 0.5) noexcept
+      : nu_(std::clamp(nu, 0.0, 1.0)) {}
+
+  /// Feeds the next observation and returns the updated representative
+  /// value. The first observation initialises Γ directly (Γ_0 = a_1).
+  double observe(double value) noexcept {
+    if (count_ == 0) {
+      gamma_ = value;
+    } else {
+      gamma_ += nu_ * (value - gamma_);
+    }
+    ++count_;
+    return gamma_;
+  }
+
+  /// Current representative value Γ. Returns `fallback` before any
+  /// observation has been made.
+  double value_or(double fallback) const noexcept {
+    return count_ == 0 ? fallback : gamma_;
+  }
+
+  /// Current representative value Γ (0 before any observation).
+  double value() const noexcept { return gamma_; }
+
+  /// Number of observations fed so far.
+  std::size_t count() const noexcept { return count_; }
+
+  /// True once at least one observation has been made.
+  bool primed() const noexcept { return count_ > 0; }
+
+  /// Smoothing factor ν.
+  double nu() const noexcept { return nu_; }
+
+  /// Resets to the unprimed state.
+  void reset() noexcept {
+    gamma_ = 0.0;
+    count_ = 0;
+  }
+
+ private:
+  double nu_;
+  double gamma_ = 0.0;
+  std::size_t count_ = 0;
+};
+
+}  // namespace gasched::util

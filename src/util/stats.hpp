@@ -1,0 +1,79 @@
+#pragma once
+// Streaming and batch statistics used by the experiment harness.
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace gasched::util {
+
+/// Numerically stable streaming accumulator (Welford's algorithm) for
+/// mean / variance / min / max of a sample.
+class RunningStats {
+ public:
+  /// Adds one observation.
+  void add(double x) noexcept;
+
+  /// Merges another accumulator into this one (parallel reduction).
+  void merge(const RunningStats& other) noexcept;
+
+  /// Number of observations.
+  std::size_t count() const noexcept { return n_; }
+  /// Sample mean (0 if empty).
+  double mean() const noexcept { return n_ ? mean_ : 0.0; }
+  /// Unbiased sample variance (0 if fewer than two observations).
+  double variance() const noexcept;
+  /// Unbiased sample standard deviation.
+  double stddev() const noexcept;
+  /// Standard error of the mean.
+  double stderr_mean() const noexcept;
+  /// Half-width of the ~95% normal-approximation confidence interval.
+  double ci95_halfwidth() const noexcept;
+  /// Smallest observation (+inf if empty).
+  double min() const noexcept { return min_; }
+  /// Largest observation (-inf if empty).
+  double max() const noexcept { return max_; }
+  /// Sum of all observations.
+  double sum() const noexcept { return mean_ * static_cast<double>(n_); }
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_;
+  double max_;
+  bool touched_ = false;
+
+ public:
+  RunningStats() noexcept;
+};
+
+/// Summary of a batch of observations.
+struct Summary {
+  std::size_t count = 0;   ///< sample size
+  double mean = 0.0;       ///< arithmetic mean
+  double stddev = 0.0;     ///< unbiased standard deviation
+  double min = 0.0;        ///< minimum
+  double max = 0.0;        ///< maximum
+  double median = 0.0;     ///< 50th percentile
+  double ci95 = 0.0;       ///< 95% CI half-width on the mean
+};
+
+/// Computes a full summary of `xs` (copies and sorts internally).
+Summary summarize(std::span<const double> xs);
+
+/// Linear-interpolated percentile of `sorted` (must be ascending),
+/// `q` in [0, 100].
+double percentile_sorted(std::span<const double> sorted, double q);
+
+/// Ordinary least-squares fit y = a + b*x. Returns {intercept, slope, r2}.
+struct LinearFit {
+  double intercept = 0.0;  ///< a
+  double slope = 0.0;      ///< b
+  double r2 = 0.0;         ///< coefficient of determination
+};
+
+/// Fits a line through (xs[i], ys[i]); spans must be equal length >= 2.
+LinearFit linear_fit(std::span<const double> xs, std::span<const double> ys);
+
+}  // namespace gasched::util

@@ -1,0 +1,39 @@
+#pragma once
+// ASCII table rendering for bench/exp output. Each bench binary prints the
+// same rows/series the paper's figure reports, as a human-readable table
+// plus (optionally) a CSV file.
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace gasched::util {
+
+/// Simple right-aligned ASCII table.
+class Table {
+ public:
+  /// Creates a table with the given column headers.
+  explicit Table(std::vector<std::string> headers);
+
+  /// Appends a row (padded/truncated to the header width).
+  void add_row(std::vector<std::string> cells);
+
+  /// Convenience: appends a row whose first cell is a label and the rest
+  /// are formatted doubles.
+  void add_row(const std::string& label, const std::vector<double>& values);
+
+  /// Renders the table to `os`.
+  void print(std::ostream& os) const;
+
+  /// Number of data rows.
+  std::size_t rows() const noexcept { return rows_.size(); }
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Formats `v` with `prec` significant digits for table display.
+std::string fmt(double v, int prec = 5);
+
+}  // namespace gasched::util

@@ -1,0 +1,64 @@
+#pragma once
+// Fixed-size thread pool used to run independent experiment replications
+// in parallel. Determinism is preserved by seeding each replication from
+// its index, never from thread identity or scheduling order.
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace gasched::util {
+
+/// A simple work-queue thread pool.
+///
+/// Tasks are arbitrary `void()` callables; `submit` returns a future for
+/// completion/exception propagation. `parallel_for` provides a blocked
+/// index-range helper for embarrassingly parallel sweeps.
+class ThreadPool {
+ public:
+  /// Starts `threads` workers (defaults to hardware concurrency, min 1).
+  explicit ThreadPool(std::size_t threads = 0);
+
+  /// Drains the queue and joins all workers.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Number of worker threads.
+  std::size_t size() const noexcept { return workers_.size(); }
+
+  /// Enqueues `fn`; the returned future resolves when it completes and
+  /// rethrows any exception it raised.
+  std::future<void> submit(std::function<void()> fn);
+
+  /// Runs fn(i) for every i in [begin, end) across the pool and blocks
+  /// until all iterations complete. Exceptions from iterations are
+  /// rethrown (first one wins).
+  void parallel_for(std::size_t begin, std::size_t end,
+                    const std::function<void(std::size_t)>& fn);
+
+ private:
+  struct Job {
+    std::function<void()> fn;
+    std::promise<void> done;
+  };
+
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::queue<Job> jobs_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  bool stopping_ = false;
+};
+
+/// Global pool shared by the experiment harness (lazily constructed).
+ThreadPool& global_pool();
+
+}  // namespace gasched::util

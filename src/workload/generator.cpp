@@ -1,0 +1,111 @@
+#include "workload/generator.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+namespace gasched::workload {
+
+UniformSizes::UniformSizes(double lo, double hi) : lo_(lo), hi_(hi) {
+  if (!(lo > 0.0) || !(hi >= lo)) {
+    throw std::invalid_argument("UniformSizes: need 0 < lo <= hi");
+  }
+}
+
+double UniformSizes::sample(util::Rng& rng) const {
+  return rng.uniform(lo_, hi_);
+}
+
+NormalSizes::NormalSizes(double mean, double variance, double floor_mflops)
+    : mean_(mean), stddev_(std::sqrt(variance)), floor_(floor_mflops) {
+  if (!(mean > 0.0) || variance < 0.0 || !(floor_mflops > 0.0)) {
+    throw std::invalid_argument(
+        "NormalSizes: need mean > 0, variance >= 0, floor > 0");
+  }
+}
+
+double NormalSizes::sample(util::Rng& rng) const {
+  return rng.normal_truncated(mean_, stddev_, floor_);
+}
+
+PoissonSizes::PoissonSizes(double mean, double floor_mflops)
+    : mean_(mean), floor_(floor_mflops) {
+  if (!(mean > 0.0) || !(floor_mflops > 0.0)) {
+    throw std::invalid_argument("PoissonSizes: need mean > 0, floor > 0");
+  }
+}
+
+double PoissonSizes::sample(util::Rng& rng) const {
+  const double draw = static_cast<double>(rng.poisson(mean_));
+  return std::max(draw, floor_);
+}
+
+ConstantSizes::ConstantSizes(double size) : size_(size) {
+  if (!(size > 0.0)) throw std::invalid_argument("ConstantSizes: size > 0");
+}
+
+double ConstantSizes::sample(util::Rng&) const { return size_; }
+
+Workload generate(const SizeDistribution& dist, std::size_t count,
+                  util::Rng& rng, const ArrivalConfig& arrivals) {
+  if (arrivals.burstiness < 1.0) {
+    throw std::invalid_argument("ArrivalConfig: burstiness must be >= 1");
+  }
+  Workload w;
+  w.tasks.reserve(count);
+  double t = 0.0;
+  // Two-state MMPP bookkeeping (unused when burstiness == 1). The
+  // exponential inter-arrival is memoryless, so discarding the partial
+  // draw at a state switch and redrawing at the new rate is exact.
+  const bool bursty = !arrivals.all_at_start && arrivals.burstiness > 1.0;
+  bool on = true;
+  double switch_t =
+      bursty ? rng.exponential(arrivals.burst_dwell)
+             : std::numeric_limits<double>::infinity();
+  for (std::size_t i = 0; i < count; ++i) {
+    Task task;
+    task.id = static_cast<TaskId>(i);
+    task.size_mflops = dist.sample(rng);
+    if (!arrivals.all_at_start) {
+      for (;;) {
+        const double mean_ia =
+            !bursty ? arrivals.mean_interarrival
+                    : (on ? arrivals.mean_interarrival / arrivals.burstiness
+                          : arrivals.mean_interarrival * arrivals.burstiness);
+        const double ia = rng.exponential(mean_ia);
+        if (t + ia <= switch_t) {
+          t += ia;
+          break;
+        }
+        t = switch_t;
+        on = !on;
+        switch_t = t + rng.exponential(arrivals.burst_dwell);
+      }
+      task.arrival_time = t;
+    }
+    w.tasks.push_back(task);
+  }
+  return w;
+}
+
+std::unique_ptr<SizeDistribution> make_normal_paper() {
+  return std::make_unique<NormalSizes>(1000.0, 9e5);
+}
+std::unique_ptr<SizeDistribution> make_uniform_narrow() {
+  return std::make_unique<UniformSizes>(10.0, 100.0);
+}
+std::unique_ptr<SizeDistribution> make_uniform_mid() {
+  return std::make_unique<UniformSizes>(10.0, 1000.0);
+}
+std::unique_ptr<SizeDistribution> make_uniform_wide() {
+  return std::make_unique<UniformSizes>(10.0, 10000.0);
+}
+std::unique_ptr<SizeDistribution> make_poisson_small() {
+  return std::make_unique<PoissonSizes>(10.0);
+}
+std::unique_ptr<SizeDistribution> make_poisson_large() {
+  return std::make_unique<PoissonSizes>(100.0);
+}
+
+}  // namespace gasched::workload

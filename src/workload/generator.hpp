@@ -1,0 +1,135 @@
+#pragma once
+// Workload generation (paper §4): task sizes are randomly generated using
+// uniform, normal, and Poisson distributions; arrival processes cover the
+// paper's all-at-start experiments and the dynamic (streaming) setting the
+// scheduler is designed for.
+
+#include <memory>
+#include <string>
+
+#include "util/rng.hpp"
+#include "workload/task.hpp"
+
+namespace gasched::workload {
+
+/// Strategy interface for drawing one task size (MFLOPs).
+class SizeDistribution {
+ public:
+  virtual ~SizeDistribution() = default;
+  /// Draws one task size. Implementations guarantee a strictly positive
+  /// result (degenerate draws are clamped to `min_size()`).
+  virtual double sample(util::Rng& rng) const = 0;
+  /// Theoretical mean of the distribution (after clamping is ignored).
+  virtual double mean() const = 0;
+  /// Smallest size this distribution can emit.
+  virtual double min_size() const = 0;
+  /// Human-readable name ("uniform", "normal", "poisson", ...).
+  virtual std::string name() const = 0;
+};
+
+/// Uniform task sizes in [lo, hi] MFLOPs (paper §4.4 uses 10–100,
+/// 10–1000, and 10–10000).
+class UniformSizes final : public SizeDistribution {
+ public:
+  /// Requires 0 < lo <= hi.
+  UniformSizes(double lo, double hi);
+  double sample(util::Rng& rng) const override;
+  double mean() const override { return 0.5 * (lo_ + hi_); }
+  double min_size() const override { return lo_; }
+  std::string name() const override { return "uniform"; }
+  /// Lower bound of the range.
+  double lo() const noexcept { return lo_; }
+  /// Upper bound of the range.
+  double hi() const noexcept { return hi_; }
+
+ private:
+  double lo_, hi_;
+};
+
+/// Normal task sizes, truncated below at `floor_mflops` so every task has
+/// positive work (paper §4.3 uses mean 1000 MFLOPs, variance 9e5).
+class NormalSizes final : public SizeDistribution {
+ public:
+  /// Requires mean > 0, variance >= 0, floor > 0.
+  NormalSizes(double mean, double variance, double floor_mflops = 1.0);
+  double sample(util::Rng& rng) const override;
+  double mean() const override { return mean_; }
+  double min_size() const override { return floor_; }
+  std::string name() const override { return "normal"; }
+  /// Distribution variance (before truncation).
+  double variance() const noexcept { return stddev_ * stddev_; }
+
+ private:
+  double mean_, stddev_, floor_;
+};
+
+/// Poisson-distributed task sizes with the given mean (paper §4.5 uses
+/// means 10 and 100 MFLOPs). Zero draws are clamped to `floor_mflops`.
+class PoissonSizes final : public SizeDistribution {
+ public:
+  /// Requires mean > 0, floor > 0.
+  PoissonSizes(double mean, double floor_mflops = 1.0);
+  double sample(util::Rng& rng) const override;
+  double mean() const override { return mean_; }
+  double min_size() const override { return floor_; }
+  std::string name() const override { return "poisson"; }
+
+ private:
+  double mean_, floor_;
+};
+
+/// Constant task sizes (useful for tests and homogeneous baselines).
+class ConstantSizes final : public SizeDistribution {
+ public:
+  /// Requires size > 0.
+  explicit ConstantSizes(double size);
+  double sample(util::Rng& rng) const override;
+  double mean() const override { return size_; }
+  double min_size() const override { return size_; }
+  std::string name() const override { return "constant"; }
+
+ private:
+  double size_;
+};
+
+/// Arrival process configuration.
+///
+/// Three regimes:
+///  * all_at_start (the paper's §4.2 setup) — every task arrives at t = 0;
+///  * Poisson process — exponential inter-arrivals with the given mean;
+///  * bursty (two-state MMPP) — when `burstiness` > 1, the process
+///    alternates between an ON state (mean inter-arrival
+///    mean_interarrival / burstiness) and an OFF state (mean
+///    inter-arrival mean_interarrival × burstiness), with exponential
+///    state dwell times of mean `burst_dwell`. This models the arrival
+///    clumping real submission streams show, which the paper's dynamic
+///    design (§3, "tasks ... arrive randomly") targets but its
+///    experiments never exercise.
+struct ArrivalConfig {
+  /// If true, every task arrives at t = 0 (the paper's experimental setup,
+  /// §4.2: "All of the tasks arrived for scheduling at the beginning of
+  /// the simulation").
+  bool all_at_start = true;
+  /// Mean inter-arrival time (exponential) when all_at_start is false.
+  double mean_interarrival = 1.0;
+  /// Burst intensity b >= 1: ON-state arrivals are b× faster, OFF-state
+  /// b× slower than mean_interarrival. 1 = plain Poisson process.
+  double burstiness = 1.0;
+  /// Mean dwell time in each MMPP state (seconds), when burstiness > 1.
+  double burst_dwell = 50.0;
+};
+
+/// Generates `count` tasks with sizes from `dist` and arrivals from
+/// `arrivals`, ids dense in [0, count).
+Workload generate(const SizeDistribution& dist, std::size_t count,
+                  util::Rng& rng, const ArrivalConfig& arrivals = {});
+
+/// Factory helpers mirroring the paper's three experiment families.
+std::unique_ptr<SizeDistribution> make_normal_paper();    ///< μ=1000, σ²=9e5
+std::unique_ptr<SizeDistribution> make_uniform_narrow();  ///< 10–100
+std::unique_ptr<SizeDistribution> make_uniform_mid();     ///< 10–1000
+std::unique_ptr<SizeDistribution> make_uniform_wide();    ///< 10–10000
+std::unique_ptr<SizeDistribution> make_poisson_small();   ///< mean 10
+std::unique_ptr<SizeDistribution> make_poisson_large();   ///< mean 100
+
+}  // namespace gasched::workload

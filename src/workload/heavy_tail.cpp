@@ -1,0 +1,64 @@
+#include "workload/heavy_tail.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace gasched::workload {
+
+BimodalSizes::BimodalSizes(double mean_small, double var_small,
+                           double mean_large, double var_large,
+                           double weight_small, double floor_mflops)
+    : mean_small_(mean_small),
+      sd_small_(std::sqrt(var_small)),
+      mean_large_(mean_large),
+      sd_large_(std::sqrt(var_large)),
+      weight_small_(weight_small),
+      floor_(floor_mflops) {
+  if (!(mean_small > 0.0) || !(mean_large > 0.0) || var_small < 0.0 ||
+      var_large < 0.0 || weight_small < 0.0 || weight_small > 1.0 ||
+      !(floor_mflops > 0.0)) {
+    throw std::invalid_argument("BimodalSizes: invalid parameters");
+  }
+}
+
+double BimodalSizes::sample(util::Rng& rng) const {
+  if (rng.bernoulli(weight_small_)) {
+    return rng.normal_truncated(mean_small_, sd_small_, floor_);
+  }
+  return rng.normal_truncated(mean_large_, sd_large_, floor_);
+}
+
+double BimodalSizes::mean() const {
+  return weight_small_ * mean_small_ + (1.0 - weight_small_) * mean_large_;
+}
+
+ParetoSizes::ParetoSizes(double alpha, double lo, double hi)
+    : alpha_(alpha), lo_(lo), hi_(hi) {
+  if (!(alpha > 0.0) || !(lo > 0.0) || !(hi > lo)) {
+    throw std::invalid_argument(
+        "ParetoSizes: need alpha > 0 and 0 < lo < hi");
+  }
+}
+
+double ParetoSizes::sample(util::Rng& rng) const {
+  // Inverse-CDF of the bounded Pareto.
+  const double u = rng.uniform01();
+  const double la = std::pow(lo_, alpha_);
+  const double ha = std::pow(hi_, alpha_);
+  const double x =
+      std::pow(-(u * ha - u * la - ha) / (ha * la), -1.0 / alpha_);
+  return std::clamp(x, lo_, hi_);
+}
+
+double ParetoSizes::mean() const {
+  const double a = alpha_;
+  if (std::abs(a - 1.0) < 1e-12) {
+    // α = 1: mean = ln(hi/lo) · lo·hi / (hi − lo).
+    return std::log(hi_ / lo_) * lo_ * hi_ / (hi_ - lo_);
+  }
+  const double la = std::pow(lo_, a);
+  return la / (1.0 - std::pow(lo_ / hi_, a)) * a / (a - 1.0) *
+         (1.0 / std::pow(lo_, a - 1.0) - 1.0 / std::pow(hi_, a - 1.0));
+}
+
+}  // namespace gasched::workload

@@ -1,0 +1,49 @@
+#pragma once
+// Additional task-size families for generality/robustness experiments
+// beyond the paper's three (§4 motivates testing across distributions):
+//
+//  * BimodalSizes — mixture of two truncated normals ("small scripts +
+//    big renders"), the classic grid-computing workload shape.
+//  * ParetoSizes — bounded Pareto heavy tail, the adversarial case for
+//    size-oblivious schedulers.
+
+#include "workload/generator.hpp"
+
+namespace gasched::workload {
+
+/// Mixture of two truncated normal modes.
+class BimodalSizes final : public SizeDistribution {
+ public:
+  /// With probability `weight_small` draw from N(mean_small, var_small),
+  /// else from N(mean_large, var_large); both truncated below at `floor`.
+  /// Requires positive means/floor and weight in [0, 1].
+  BimodalSizes(double mean_small, double var_small, double mean_large,
+               double var_large, double weight_small = 0.8,
+               double floor_mflops = 1.0);
+  double sample(util::Rng& rng) const override;
+  double mean() const override;
+  double min_size() const override { return floor_; }
+  std::string name() const override { return "bimodal"; }
+
+ private:
+  double mean_small_, sd_small_, mean_large_, sd_large_, weight_small_,
+      floor_;
+};
+
+/// Bounded Pareto: density ∝ x^{−α−1} on [lo, hi].
+class ParetoSizes final : public SizeDistribution {
+ public:
+  /// Requires 0 < lo < hi and alpha > 0 (alpha != 1 handled too).
+  ParetoSizes(double alpha, double lo, double hi);
+  double sample(util::Rng& rng) const override;
+  double mean() const override;
+  double min_size() const override { return lo_; }
+  std::string name() const override { return "pareto"; }
+  /// Tail exponent α.
+  double alpha() const noexcept { return alpha_; }
+
+ private:
+  double alpha_, lo_, hi_;
+};
+
+}  // namespace gasched::workload

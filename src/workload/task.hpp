@@ -1,0 +1,59 @@
+#pragma once
+// Task model (paper §3): tasks are indivisible, independent of all other
+// tasks, arrive randomly, and can be processed by any processor. A task's
+// resource requirement is measured in MFLOPs (millions of floating point
+// operations); a processor's execution rate in Mflop/s.
+
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+namespace gasched::workload {
+
+/// Unique task identifier.
+using TaskId = std::int32_t;
+
+/// Sentinel for "no task".
+inline constexpr TaskId kInvalidTask = -1;
+
+/// One schedulable unit of work.
+struct Task {
+  TaskId id = kInvalidTask;   ///< unique id, dense from 0 within a workload
+  double size_mflops = 0.0;   ///< resource requirement in MFLOPs
+  double arrival_time = 0.0;  ///< simulation time at which the task arrives
+
+  friend bool operator==(const Task&, const Task&) = default;
+};
+
+/// An ordered collection of tasks (by arrival time, then id).
+struct Workload {
+  std::vector<Task> tasks;
+
+  /// Total MFLOPs across all tasks.
+  double total_mflops() const noexcept {
+    double s = 0.0;
+    for (const auto& t : tasks) s += t.size_mflops;
+    return s;
+  }
+
+  /// Largest task size (0 for empty workloads).
+  double max_mflops() const noexcept {
+    double m = 0.0;
+    for (const auto& t : tasks) m = m > t.size_mflops ? m : t.size_mflops;
+    return m;
+  }
+
+  /// Smallest task size (+inf for empty workloads).
+  double min_mflops() const noexcept {
+    double m = std::numeric_limits<double>::infinity();
+    for (const auto& t : tasks) m = m < t.size_mflops ? m : t.size_mflops;
+    return m;
+  }
+
+  /// Number of tasks.
+  std::size_t size() const noexcept { return tasks.size(); }
+  /// True when no tasks are present.
+  bool empty() const noexcept { return tasks.empty(); }
+};
+
+}  // namespace gasched::workload

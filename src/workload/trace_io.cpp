@@ -1,0 +1,49 @@
+#include "workload/trace_io.hpp"
+
+#include <stdexcept>
+#include <string>
+
+#include "util/csv.hpp"
+
+namespace gasched::workload {
+
+void save_trace(const Workload& w, const std::filesystem::path& path) {
+  util::CsvWriter out(path);
+  out.row({"id", "size_mflops", "arrival_time"});
+  for (const auto& t : w.tasks) {
+    out.row({std::to_string(t.id), util::format_double(t.size_mflops),
+             util::format_double(t.arrival_time)});
+  }
+}
+
+Workload load_trace(const std::filesystem::path& path) {
+  const auto rows = util::read_csv(path);
+  if (rows.empty() || rows[0].size() < 3 || rows[0][0] != "id") {
+    throw std::runtime_error("load_trace: missing header in " + path.string());
+  }
+  Workload w;
+  w.tasks.reserve(rows.size() - 1);
+  for (std::size_t i = 1; i < rows.size(); ++i) {
+    const auto& r = rows[i];
+    if (r.size() < 3) {
+      throw std::runtime_error("load_trace: short row in " + path.string());
+    }
+    Task t;
+    try {
+      t.id = static_cast<TaskId>(std::stol(r[0]));
+      t.size_mflops = std::stod(r[1]);
+      t.arrival_time = std::stod(r[2]);
+    } catch (const std::exception&) {
+      throw std::runtime_error("load_trace: bad numeric field in " +
+                               path.string());
+    }
+    if (t.size_mflops <= 0.0) {
+      throw std::runtime_error("load_trace: non-positive task size in " +
+                               path.string());
+    }
+    w.tasks.push_back(t);
+  }
+  return w;
+}
+
+}  // namespace gasched::workload

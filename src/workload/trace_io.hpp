@@ -1,0 +1,19 @@
+#pragma once
+// Workload trace persistence: save/load task sets as CSV so experiments
+// can be replayed and shared. The format is a header row
+// `id,size_mflops,arrival_time` followed by one row per task.
+
+#include <filesystem>
+
+#include "workload/task.hpp"
+
+namespace gasched::workload {
+
+/// Writes `w` to `path` as CSV. Throws std::runtime_error on I/O failure.
+void save_trace(const Workload& w, const std::filesystem::path& path);
+
+/// Reads a workload trace written by `save_trace`. Throws
+/// std::runtime_error on I/O failure or malformed content.
+Workload load_trace(const std::filesystem::path& path);
+
+}  // namespace gasched::workload

@@ -1,0 +1,75 @@
+// Validates every shipped scenario config in configs/: each file must
+// parse, produce a self-consistent Scenario, and actually run end-to-end
+// at a reduced scale. Guards the shipped INI files against drift when
+// config keys change.
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+
+#include "exp/config_scenario.hpp"
+#include "exp/runner.hpp"
+
+namespace gasched::exp {
+namespace {
+
+std::filesystem::path configs_dir() {
+  // Tests run from build/tests; the source tree is two levels up. Fall
+  // back to the compile-time source dir for out-of-tree runs.
+  for (auto p : {std::filesystem::path("../../configs"),
+                 std::filesystem::path(GASCHED_SOURCE_DIR) / "configs"}) {
+    if (std::filesystem::is_directory(p)) return p;
+  }
+  return {};
+}
+
+std::vector<std::filesystem::path> config_files() {
+  std::vector<std::filesystem::path> files;
+  const auto dir = configs_dir();
+  if (dir.empty()) return files;
+  for (const auto& entry : std::filesystem::directory_iterator(dir)) {
+    if (entry.path().extension() == ".ini") files.push_back(entry.path());
+  }
+  std::sort(files.begin(), files.end());
+  return files;
+}
+
+class ShippedConfigTest
+    : public ::testing::TestWithParam<std::filesystem::path> {};
+
+TEST_P(ShippedConfigTest, ParsesAndRunsReduced) {
+  const util::Config cfg = util::Config::load(GetParam());
+  Scenario s = scenario_from_config(cfg);
+  SchedulerOptions opts = scheduler_options_from_config(cfg);
+
+  EXPECT_FALSE(s.name.empty());
+  EXPECT_GT(s.cluster.num_processors, 0u);
+  EXPECT_GT(s.workload.count, 0u);
+  EXPECT_GE(s.workload.burstiness, 1.0);
+
+  // Shrink for test speed, then run one replication end-to-end.
+  s.workload.count = std::min<std::size_t>(s.workload.count, 120);
+  s.cluster.num_processors = std::min<std::size_t>(s.cluster.num_processors, 8);
+  s.replications = 1;
+  opts.max_generations = std::min<std::size_t>(opts.max_generations, 30);
+  const auto r = run_one(s, SchedulerKind::kPN, opts, 0);
+  EXPECT_EQ(r.tasks_completed, s.workload.count);
+  EXPECT_GT(r.makespan, 0.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllShippedConfigs, ShippedConfigTest, ::testing::ValuesIn(config_files()),
+    [](const ::testing::TestParamInfo<std::filesystem::path>& info) {
+      std::string name = info.param.stem().string();
+      for (char& c : name) {
+        if (!std::isalnum(static_cast<unsigned char>(c))) c = '_';
+      }
+      return name;
+    });
+
+TEST(ShippedConfigs, DirectoryShipsAtLeastFiveScenarios) {
+  EXPECT_GE(config_files().size(), 5u);
+}
+
+}  // namespace
+}  // namespace gasched::exp

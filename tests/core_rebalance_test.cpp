@@ -1,0 +1,124 @@
+// Tests for the re-balancing heuristic (paper §3.5).
+
+#include "core/rebalance.hpp"
+
+#include <gtest/gtest.h>
+
+namespace gasched::core {
+namespace {
+
+sim::SystemView make_view(std::vector<double> rates) {
+  sim::SystemView v;
+  v.procs.resize(rates.size());
+  for (std::size_t j = 0; j < rates.size(); ++j) {
+    v.procs[j].id = static_cast<sim::ProcId>(j);
+    v.procs[j].rate = rates[j];
+  }
+  return v;
+}
+
+TEST(Rebalance, NeverInvalidatesChromosome) {
+  util::Rng rng(1);
+  const std::size_t H = 30, M = 4;
+  std::vector<double> sizes;
+  for (std::size_t i = 0; i < H; ++i) {
+    sizes.push_back(rng.uniform(10.0, 500.0));
+  }
+  const ScheduleCodec codec(H, M);
+  const ScheduleEvaluator eval(sizes, make_view({10, 20, 30, 40}), false);
+  for (int trial = 0; trial < 200; ++trial) {
+    ga::Chromosome c;
+    for (std::size_t i = 0; i < H; ++i) c.push_back(static_cast<ga::Gene>(i));
+    for (std::size_t k = 0; k + 1 < M; ++k) {
+      c.push_back(ScheduleCodec::delimiter_gene(k));
+    }
+    rng.shuffle(c);
+    rebalance_once(c, codec, eval, rng);
+    ASSERT_TRUE(codec.valid(c));
+  }
+}
+
+TEST(Rebalance, NeverDecreasesFitness) {
+  util::Rng rng(2);
+  const std::size_t H = 24, M = 3;
+  std::vector<double> sizes;
+  for (std::size_t i = 0; i < H; ++i) {
+    sizes.push_back(rng.uniform(10.0, 500.0));
+  }
+  const ScheduleCodec codec(H, M);
+  const ScheduleEvaluator eval(sizes, make_view({10, 25, 60}), false);
+  for (int trial = 0; trial < 200; ++trial) {
+    ga::Chromosome c;
+    for (std::size_t i = 0; i < H; ++i) c.push_back(static_cast<ga::Gene>(i));
+    for (std::size_t k = 0; k + 1 < M; ++k) {
+      c.push_back(ScheduleCodec::delimiter_gene(k));
+    }
+    rng.shuffle(c);
+    const double before = eval.fitness(codec.decode(c));
+    const bool improved = rebalance_once(c, codec, eval, rng);
+    const double after = eval.fitness(codec.decode(c));
+    if (improved) {
+      ASSERT_GT(after, before);
+    } else {
+      ASSERT_DOUBLE_EQ(after, before);
+    }
+  }
+}
+
+TEST(Rebalance, ImprovesBlatantImbalance) {
+  // All big tasks on proc 0, all small on proc 1; repeated rebalances
+  // should find improving swaps with high probability.
+  const std::size_t H = 10;
+  std::vector<double> sizes;
+  for (std::size_t i = 0; i < 5; ++i) sizes.push_back(1000.0);
+  for (std::size_t i = 0; i < 5; ++i) sizes.push_back(10.0);
+  const ScheduleCodec codec(H, 2);
+  const ScheduleEvaluator eval(sizes, make_view({10.0, 10.0}), false);
+  const ProcQueues skewed{{0, 1, 2, 3, 4}, {5, 6, 7, 8, 9}};
+  ga::Chromosome c = codec.encode(skewed);
+  util::Rng rng(3);
+  const double before = eval.fitness(codec.decode(c));
+  int improvements = 0;
+  for (int pass = 0; pass < 50; ++pass) {
+    if (rebalance_once(c, codec, eval, rng)) ++improvements;
+  }
+  EXPECT_GT(improvements, 0);
+  EXPECT_GT(eval.fitness(codec.decode(c)), before);
+}
+
+TEST(Rebalance, SingleProcessorIsNoop) {
+  const ScheduleCodec codec(5, 1);
+  const ScheduleEvaluator eval({10, 20, 30, 40, 50}, make_view({10.0}),
+                               false);
+  ga::Chromosome c = codec.encode(ProcQueues{{0, 1, 2, 3, 4}});
+  const ga::Chromosome before = c;
+  util::Rng rng(4);
+  EXPECT_FALSE(rebalance_once(c, codec, eval, rng));
+  EXPECT_EQ(c, before);
+}
+
+TEST(Rebalance, EmptyHeavyQueueImpossible) {
+  // If every task sits on one processor, that processor is heaviest; an
+  // empty-queue heavy processor can only occur with an empty batch.
+  const ScheduleCodec codec(0, 3);
+  const ScheduleEvaluator eval({}, make_view({10, 10, 10}), false);
+  ga::Chromosome c = codec.encode(ProcQueues(3));
+  util::Rng rng(5);
+  EXPECT_FALSE(rebalance_once(c, codec, eval, rng));
+}
+
+TEST(Rebalance, RespectsProbeBudget) {
+  // With probes = 0 the heuristic must never change anything.
+  const ScheduleCodec codec(6, 2);
+  const ScheduleEvaluator eval({100, 200, 300, 10, 20, 30},
+                               make_view({10, 10}), false);
+  ga::Chromosome c =
+      codec.encode(ProcQueues{{0, 1, 2}, {3, 4, 5}});
+  const ga::Chromosome before = c;
+  util::Rng rng(6);
+  EXPECT_FALSE(rebalance_once(c, codec, eval, rng, 0));
+  EXPECT_EQ(c, before);
+}
+
+}  // namespace
+}  // namespace gasched::core

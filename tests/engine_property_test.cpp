@@ -1,0 +1,112 @@
+// Property sweep: engine invariants that must hold for EVERY combination
+// of scheduler, cluster size, communication regime, and task-size
+// distribution. Parameterised gtest grid; each cell runs a full (small)
+// simulation with a recorded task trace and checks structural invariants.
+
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "exp/runner.hpp"
+#include "sim/gantt.hpp"
+
+namespace gasched::exp {
+namespace {
+
+using Grid = std::tuple<SchedulerKind, std::size_t /*procs*/,
+                        double /*mean comm*/, DistKind>;
+
+class EngineInvariants : public ::testing::TestWithParam<Grid> {};
+
+TEST_P(EngineInvariants, HoldAcrossTheGrid) {
+  const auto& [kind, procs, comm, dist] = GetParam();
+  Scenario s;
+  s.name = "prop";
+  s.cluster = paper_cluster(comm, procs);
+  s.workload.kind = dist;
+  switch (dist) {
+    case DistKind::kNormal:
+      s.workload.param_a = 1000.0;
+      s.workload.param_b = 9e5;
+      break;
+    case DistKind::kUniform:
+      s.workload.param_a = 10.0;
+      s.workload.param_b = 1000.0;
+      break;
+    case DistKind::kPoisson:
+      s.workload.param_a = 50.0;
+      break;
+    case DistKind::kConstant:
+      s.workload.param_a = 100.0;
+      break;
+  }
+  s.workload.count = 120;
+  s.seed = 77;
+  s.replications = 1;
+
+  SchedulerOptions opts;
+  opts.batch_size = 40;
+  opts.max_generations = 30;
+  opts.population = 8;
+
+  // Rebuild the exact run with a trace for structural checks.
+  const util::Rng base(s.seed);
+  util::Rng wrng = base.split(0), crng = base.split(1), srng = base.split(2);
+  const auto d = make_distribution(s.workload);
+  const auto wl = workload::generate(*d, s.workload.count, wrng);
+  const auto cluster = sim::build_cluster(s.cluster, crng);
+  auto policy = make_scheduler(kind, opts);
+  sim::EngineConfig ecfg;
+  ecfg.record_task_trace = true;
+  const auto r = sim::simulate(cluster, wl, *policy, srng, ecfg);
+
+  // Invariant 1: every task completes exactly once.
+  EXPECT_EQ(r.tasks_completed, wl.size());
+  std::size_t task_sum = 0;
+  double work_sum = 0.0;
+  for (const auto& p : r.per_proc) {
+    task_sum += p.tasks;
+    work_sum += p.work_mflops;
+  }
+  EXPECT_EQ(task_sum, wl.size());
+  EXPECT_NEAR(work_sum, wl.total_mflops(), 1e-6 * wl.total_mflops());
+
+  // Invariant 2: efficiency is a valid fraction; busy time never exceeds
+  // M * makespan.
+  EXPECT_GE(r.efficiency(), 0.0);
+  EXPECT_LE(r.efficiency(), 1.0 + 1e-12);
+
+  // Invariant 3: makespan is reached by some completion and no per-proc
+  // busy time exceeds it.
+  for (const auto& p : r.per_proc) {
+    EXPECT_LE(p.busy_time, r.makespan + 1e-6);
+  }
+
+  // Invariant 4: the task trace is structurally consistent.
+  EXPECT_EQ(sim::validate_task_trace(r), "");
+
+  // Invariant 5: no communication time unless links cost something.
+  if (comm <= 0.0) {
+    EXPECT_DOUBLE_EQ(r.total_comm_time(), 0.0);
+  } else {
+    EXPECT_GT(r.total_comm_time(), 0.0);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, EngineInvariants,
+    ::testing::Combine(
+        ::testing::Values(SchedulerKind::kPN, SchedulerKind::kZO,
+                          SchedulerKind::kEF, SchedulerKind::kRR,
+                          SchedulerKind::kMM, SchedulerKind::kSUF,
+                          SchedulerKind::kSA, SchedulerKind::kTS,
+                          SchedulerKind::kACO, SchedulerKind::kHC,
+                          SchedulerKind::kPNI, SchedulerKind::kOLB,
+                          SchedulerKind::kDUP),
+        ::testing::Values(std::size_t{1}, std::size_t{3}, std::size_t{16}),
+        ::testing::Values(1.0, 25.0),
+        ::testing::Values(DistKind::kNormal, DistKind::kUniform,
+                          DistKind::kPoisson)));
+
+}  // namespace
+}  // namespace gasched::exp

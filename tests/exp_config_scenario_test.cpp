@@ -1,0 +1,116 @@
+// Tests for scenario construction from config files.
+
+#include "exp/config_scenario.hpp"
+
+#include <gtest/gtest.h>
+
+#include "exp/runner.hpp"
+
+namespace gasched::exp {
+namespace {
+
+TEST(ConfigScenario, DefaultsMatchDocumentation) {
+  const auto s = scenario_from_config(util::Config::parse(""));
+  EXPECT_EQ(s.name, "config");
+  EXPECT_EQ(s.seed, 42u);
+  EXPECT_EQ(s.replications, 5u);
+  EXPECT_EQ(s.cluster.num_processors, 50u);
+  EXPECT_DOUBLE_EQ(s.cluster.comm.mean_cost, 20.0);
+  EXPECT_EQ(s.workload.kind, DistKind::kNormal);
+  EXPECT_TRUE(s.workload.all_at_start);
+  EXPECT_FALSE(s.failures.has_value());
+}
+
+TEST(ConfigScenario, FullConfigRoundTrips) {
+  const auto cfg = util::Config::parse(
+      "[scenario]\nname = t\nseed = 9\nreplications = 2\n"
+      "[cluster]\nprocessors = 8\nrate_lo = 5\nrate_hi = 50\n"
+      "availability = random_walk\n"
+      "[comm]\nmean_cost = 3\n"
+      "[workload]\ndist = uniform\nparam_a = 10\nparam_b = 100\n"
+      "count = 60\nall_at_start = false\nmean_interarrival = 2.5\n"
+      "[failures]\nenabled = true\nmean_uptime = 100\n"
+      "mean_downtime = 10\nfailing_fraction = 0.25\n");
+  const auto s = scenario_from_config(cfg);
+  EXPECT_EQ(s.name, "t");
+  EXPECT_EQ(s.seed, 9u);
+  EXPECT_EQ(s.replications, 2u);
+  EXPECT_EQ(s.cluster.num_processors, 8u);
+  EXPECT_EQ(s.cluster.availability, sim::AvailabilityKind::kRandomWalk);
+  EXPECT_DOUBLE_EQ(s.cluster.comm.mean_cost, 3.0);
+  EXPECT_EQ(s.workload.kind, DistKind::kUniform);
+  EXPECT_EQ(s.workload.count, 60u);
+  EXPECT_FALSE(s.workload.all_at_start);
+  EXPECT_DOUBLE_EQ(s.workload.mean_interarrival, 2.5);
+  ASSERT_TRUE(s.failures.has_value());
+  EXPECT_DOUBLE_EQ(s.failures->mean_uptime, 100.0);
+  EXPECT_DOUBLE_EQ(s.failures->failing_fraction, 0.25);
+}
+
+TEST(ConfigScenario, SchedulerOptions) {
+  const auto cfg = util::Config::parse(
+      "[scheduler]\nbatch_size = 77\nmax_generations = 55\n"
+      "population = 11\nrebalances = 3\npn_dynamic_batch = false\n"
+      "kpb_percent = 35\n");
+  const auto o = scheduler_options_from_config(cfg);
+  EXPECT_EQ(o.batch_size, 77u);
+  EXPECT_EQ(o.max_generations, 55u);
+  EXPECT_EQ(o.population, 11u);
+  EXPECT_EQ(o.rebalances, 3u);
+  EXPECT_FALSE(o.pn_dynamic_batch);
+  EXPECT_DOUBLE_EQ(o.kpb_percent, 35.0);
+}
+
+TEST(ConfigScenario, UnknownEnumsThrow) {
+  EXPECT_THROW(scenario_from_config(util::Config::parse(
+                   "[cluster]\navailability = quantum\n")),
+               std::runtime_error);
+  EXPECT_THROW(
+      scenario_from_config(util::Config::parse("[workload]\ndist = zipf\n")),
+      std::runtime_error);
+}
+
+TEST(ConfigScenario, SchedulerNamesResolve) {
+  for (const auto kind : extended_schedulers()) {
+    EXPECT_EQ(scheduler_kind_from_name(scheduler_name(kind)), kind);
+  }
+  for (const auto kind : metaheuristic_schedulers()) {
+    EXPECT_EQ(scheduler_kind_from_name(scheduler_name(kind)), kind);
+  }
+  EXPECT_THROW(scheduler_kind_from_name("XYZ"), std::runtime_error);
+}
+
+TEST(ConfigScenario, ParsesArrivalAndSmoothingKeys) {
+  const auto cfg = util::Config::parse(
+      "[scenario]\ncomm_nu = 0.3\nrate_nu = 0.7\n"
+      "[workload]\nall_at_start = false\nmean_interarrival = 2.5\n"
+      "burstiness = 8\nburst_dwell = 12\n"
+      "[scheduler]\nislands = 6\nmigration_interval = 15\n");
+  const auto s = scenario_from_config(cfg);
+  EXPECT_DOUBLE_EQ(s.comm_nu, 0.3);
+  EXPECT_DOUBLE_EQ(s.rate_nu, 0.7);
+  EXPECT_FALSE(s.workload.all_at_start);
+  EXPECT_DOUBLE_EQ(s.workload.mean_interarrival, 2.5);
+  EXPECT_DOUBLE_EQ(s.workload.burstiness, 8.0);
+  EXPECT_DOUBLE_EQ(s.workload.burst_dwell, 12.0);
+  const auto o = scheduler_options_from_config(cfg);
+  EXPECT_EQ(o.islands, 6u);
+  EXPECT_EQ(o.migration_interval, 15u);
+}
+
+TEST(ConfigScenario, ConfiguredScenarioActuallyRuns) {
+  const auto cfg = util::Config::parse(
+      "[scenario]\nreplications = 2\n"
+      "[cluster]\nprocessors = 4\n"
+      "[comm]\nmean_cost = 2\n"
+      "[workload]\ndist = uniform\nparam_a = 10\nparam_b = 100\ncount = 40\n"
+      "[scheduler]\nmax_generations = 20\nbatch_size = 20\n");
+  const auto s = scenario_from_config(cfg);
+  const auto o = scheduler_options_from_config(cfg);
+  const auto runs = run_replications(s, SchedulerKind::kPN, o);
+  ASSERT_EQ(runs.size(), 2u);
+  for (const auto& r : runs) EXPECT_EQ(r.tasks_completed, 40u);
+}
+
+}  // namespace
+}  // namespace gasched::exp

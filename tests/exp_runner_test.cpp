@@ -1,0 +1,131 @@
+// Tests for the experiment harness: scheduler factory, scenario
+// realisation, replication determinism, and the same-workload guarantee.
+
+#include "exp/runner.hpp"
+
+#include <gtest/gtest.h>
+
+namespace gasched::exp {
+namespace {
+
+Scenario small_scenario() {
+  Scenario s;
+  s.name = "test";
+  s.cluster = paper_cluster(/*mean_comm_cost=*/10.0, /*processors=*/6);
+  s.workload.kind = DistKind::kUniform;
+  s.workload.param_a = 10.0;
+  s.workload.param_b = 100.0;
+  s.workload.count = 120;
+  s.seed = 7;
+  s.replications = 3;
+  return s;
+}
+
+SchedulerOptions quick_opts() {
+  SchedulerOptions o;
+  o.batch_size = 40;
+  o.max_generations = 40;
+  o.population = 10;
+  return o;
+}
+
+TEST(SchedulerFactory, AllSevenConstructibleWithPaperNames) {
+  for (const auto kind : all_schedulers()) {
+    const auto policy = make_scheduler(kind, quick_opts());
+    ASSERT_NE(policy, nullptr);
+    EXPECT_EQ(policy->name(), scheduler_name(kind));
+  }
+}
+
+TEST(SchedulerFactory, OrderMatchesPaperBarCharts) {
+  const auto all = all_schedulers();
+  ASSERT_EQ(all.size(), 7u);
+  EXPECT_STREQ(scheduler_name(all[0]), "EF");
+  EXPECT_STREQ(scheduler_name(all[1]), "LL");
+  EXPECT_STREQ(scheduler_name(all[2]), "RR");
+  EXPECT_STREQ(scheduler_name(all[3]), "ZO");
+  EXPECT_STREQ(scheduler_name(all[4]), "PN");
+  EXPECT_STREQ(scheduler_name(all[5]), "MM");
+  EXPECT_STREQ(scheduler_name(all[6]), "MX");
+}
+
+TEST(Distributions, FactoryMatchesSpec) {
+  WorkloadSpec normal{DistKind::kNormal, 1000.0, 9e5, 10};
+  EXPECT_EQ(make_distribution(normal)->name(), "normal");
+  WorkloadSpec uni{DistKind::kUniform, 10.0, 100.0, 10};
+  EXPECT_EQ(make_distribution(uni)->name(), "uniform");
+  WorkloadSpec poi{DistKind::kPoisson, 10.0, 0.0, 10};
+  EXPECT_EQ(make_distribution(poi)->name(), "poisson");
+  WorkloadSpec con{DistKind::kConstant, 5.0, 0.0, 10};
+  EXPECT_EQ(make_distribution(con)->name(), "constant");
+}
+
+TEST(PaperCluster, MatchesSection42) {
+  const auto cfg = paper_cluster(20.0);
+  EXPECT_EQ(cfg.num_processors, 50u);
+  EXPECT_DOUBLE_EQ(cfg.rate_lo, 10.0);
+  EXPECT_DOUBLE_EQ(cfg.rate_hi, 100.0);
+  EXPECT_DOUBLE_EQ(cfg.comm.mean_cost, 20.0);
+  EXPECT_EQ(cfg.availability, sim::AvailabilityKind::kFixed);
+}
+
+TEST(Runner, CompletesAllTasksForEveryScheduler) {
+  const Scenario s = small_scenario();
+  for (const auto kind : all_schedulers()) {
+    const auto runs = run_replications(s, kind, quick_opts());
+    ASSERT_EQ(runs.size(), s.replications);
+    for (const auto& r : runs) {
+      EXPECT_EQ(r.tasks_completed, s.workload.count)
+          << scheduler_name(kind);
+      EXPECT_GT(r.makespan, 0.0);
+      EXPECT_GT(r.efficiency(), 0.0);
+      EXPECT_LE(r.efficiency(), 1.0);
+    }
+  }
+}
+
+TEST(Runner, DeterministicAcrossCalls) {
+  const Scenario s = small_scenario();
+  const auto a = run_replications(s, SchedulerKind::kEF, quick_opts());
+  const auto b = run_replications(s, SchedulerKind::kEF, quick_opts());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_DOUBLE_EQ(a[i].makespan, b[i].makespan);
+  }
+}
+
+TEST(Runner, ParallelAndSerialAgree) {
+  const Scenario s = small_scenario();
+  const auto par =
+      run_replications(s, SchedulerKind::kMM, quick_opts(), /*parallel=*/true);
+  const auto ser = run_replications(s, SchedulerKind::kMM, quick_opts(),
+                                    /*parallel=*/false);
+  ASSERT_EQ(par.size(), ser.size());
+  for (std::size_t i = 0; i < par.size(); ++i) {
+    EXPECT_DOUBLE_EQ(par[i].makespan, ser[i].makespan);
+    EXPECT_DOUBLE_EQ(par[i].efficiency(), ser[i].efficiency());
+  }
+}
+
+TEST(Runner, ReplicationsDiffer) {
+  const Scenario s = small_scenario();
+  const auto runs = run_replications(s, SchedulerKind::kRR, quick_opts());
+  EXPECT_NE(runs[0].makespan, runs[1].makespan);
+}
+
+TEST(Runner, RunOneMatchesReplicationSlot) {
+  const Scenario s = small_scenario();
+  const auto runs = run_replications(s, SchedulerKind::kLL, quick_opts());
+  const auto lone = run_one(s, SchedulerKind::kLL, quick_opts(), 1);
+  EXPECT_DOUBLE_EQ(lone.makespan, runs[1].makespan);
+}
+
+TEST(Runner, CellSummaryAggregates) {
+  const Scenario s = small_scenario();
+  const auto cell = run_cell(s, SchedulerKind::kEF, quick_opts());
+  EXPECT_EQ(cell.scheduler, "EF");
+  EXPECT_EQ(cell.replications, s.replications);
+  EXPECT_GT(cell.makespan.mean, 0.0);
+}
+
+}  // namespace
+}  // namespace gasched::exp

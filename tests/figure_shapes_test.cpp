@@ -1,0 +1,120 @@
+// Miniature versions of the paper's figures run as assertions: the
+// qualitative shapes the reproduction must preserve, at a scale small
+// enough for CI. The bench binaries produce the full tables.
+
+#include <gtest/gtest.h>
+
+#include "exp/runner.hpp"
+#include "util/stats.hpp"
+
+namespace gasched::exp {
+namespace {
+
+SchedulerOptions opts() {
+  SchedulerOptions o;
+  o.batch_size = 60;
+  o.max_generations = 80;
+  o.population = 14;
+  return o;
+}
+
+Scenario scenario(DistKind kind, double a, double b, double comm,
+                  std::size_t tasks = 300, std::size_t procs = 12) {
+  Scenario s;
+  s.name = "shape";
+  s.cluster = paper_cluster(comm, procs);
+  s.workload.kind = kind;
+  s.workload.param_a = a;
+  s.workload.param_b = b;
+  s.workload.count = tasks;
+  s.seed = 2025;
+  s.replications = 3;
+  return s;
+}
+
+double mean_eff(const Scenario& s, SchedulerKind k) {
+  double sum = 0.0;
+  const auto runs = run_replications(s, k, opts());
+  for (const auto& r : runs) sum += r.efficiency();
+  return sum / static_cast<double>(runs.size());
+}
+
+double mean_ms(const Scenario& s, SchedulerKind k) {
+  double sum = 0.0;
+  const auto runs = run_replications(s, k, opts());
+  for (const auto& r : runs) sum += r.makespan;
+  return sum / static_cast<double>(runs.size());
+}
+
+// Fig 5 shape: PN's efficiency beats the load-blind immediate schedulers
+// on normal workloads with significant communication costs.
+TEST(FigureShapes, Fig5PnBeatsLoadBlindSchedulers) {
+  const auto s = scenario(DistKind::kNormal, 1000.0, 9e5, 20.0);
+  const double pn = mean_eff(s, SchedulerKind::kPN);
+  EXPECT_GT(pn, mean_eff(s, SchedulerKind::kRR));
+  EXPECT_GT(pn, mean_eff(s, SchedulerKind::kLL));
+}
+
+// Fig 5 shape: every scheduler's efficiency rises as communication gets
+// cheaper.
+TEST(FigureShapes, Fig5EfficiencyRisesWithCheaperComm) {
+  const auto dear = scenario(DistKind::kNormal, 1000.0, 9e5, 60.0);
+  const auto cheap = scenario(DistKind::kNormal, 1000.0, 9e5, 8.0);
+  for (const auto kind :
+       {SchedulerKind::kPN, SchedulerKind::kEF, SchedulerKind::kMM}) {
+    EXPECT_GT(mean_eff(cheap, kind), mean_eff(dear, kind))
+        << scheduler_name(kind);
+  }
+}
+
+// Fig 6 shape: PN's makespan beats RR and LL on the normal workload.
+TEST(FigureShapes, Fig6PnMakespanBeatsSimpleSchedulers) {
+  const auto s = scenario(DistKind::kNormal, 1000.0, 9e5, 20.0);
+  const double pn = mean_ms(s, SchedulerKind::kPN);
+  EXPECT_LT(pn, mean_ms(s, SchedulerKind::kRR));
+  EXPECT_LT(pn, mean_ms(s, SchedulerKind::kLL));
+}
+
+// Figs 8/9 shape: widening the task-size range accentuates the spread
+// between schedulers.
+TEST(FigureShapes, Fig8Vs9WiderRangeAccentuatesDifferences) {
+  const auto narrow = scenario(DistKind::kUniform, 10.0, 100.0, 5.0);
+  const auto wide = scenario(DistKind::kUniform, 10.0, 10000.0, 5.0);
+  auto spread = [&](const Scenario& s) {
+    std::vector<double> ms;
+    for (const auto kind : all_schedulers()) {
+      ms.push_back(mean_ms(s, kind));
+    }
+    const auto sum = util::summarize(ms);
+    return (sum.max - sum.min) / sum.mean;
+  };
+  EXPECT_GT(spread(wide), spread(narrow));
+}
+
+// Fig 11 shape: batch schedulers beat immediate-mode schedulers at
+// Poisson mean 100.
+TEST(FigureShapes, Fig11BatchBeatsImmediateOnPoisson) {
+  const auto s = scenario(DistKind::kPoisson, 100.0, 0.0, 1.0);
+  const double batch = (mean_ms(s, SchedulerKind::kPN) +
+                        mean_ms(s, SchedulerKind::kMM) +
+                        mean_ms(s, SchedulerKind::kMX)) /
+                       3.0;
+  const double immediate = (mean_ms(s, SchedulerKind::kEF) +
+                            mean_ms(s, SchedulerKind::kLL) +
+                            mean_ms(s, SchedulerKind::kRR)) /
+                           3.0;
+  EXPECT_LT(batch, immediate);
+}
+
+// Fig 10 shape: PN leads at Poisson mean 10.
+TEST(FigureShapes, Fig10PnLeadsAtSmallPoissonMean) {
+  const auto s = scenario(DistKind::kPoisson, 10.0, 0.0, 1.0);
+  const double pn = mean_ms(s, SchedulerKind::kPN);
+  for (const auto kind : {SchedulerKind::kEF, SchedulerKind::kRR,
+                          SchedulerKind::kMX, SchedulerKind::kZO}) {
+    EXPECT_LT(pn, mean_ms(s, kind) * 1.05) << scheduler_name(kind);
+  }
+}
+
+}  // namespace
+}  // namespace gasched::exp

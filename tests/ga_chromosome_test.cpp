@@ -1,0 +1,35 @@
+// Tests for chromosome helpers.
+
+#include "ga/chromosome.hpp"
+
+#include <gtest/gtest.h>
+
+namespace gasched::ga {
+namespace {
+
+TEST(Chromosome, DistinctnessCheck) {
+  EXPECT_TRUE(is_permutation_of_distinct({1, 2, 3, -1, 0}));
+  EXPECT_FALSE(is_permutation_of_distinct({1, 2, 2}));
+  EXPECT_TRUE(is_permutation_of_distinct({}));
+  EXPECT_TRUE(is_permutation_of_distinct({5}));
+}
+
+TEST(Chromosome, SameGeneSetIgnoresOrder) {
+  EXPECT_TRUE(same_gene_set({1, 2, 3}, {3, 1, 2}));
+  EXPECT_FALSE(same_gene_set({1, 2, 3}, {1, 2, 4}));
+  EXPECT_FALSE(same_gene_set({1, 2}, {1, 2, 3}));
+  EXPECT_TRUE(same_gene_set({}, {}));
+}
+
+TEST(Chromosome, PositionIndexMapsEveryGene) {
+  const Chromosome c{7, -2, 4, 0};
+  const auto idx = position_index(c);
+  ASSERT_EQ(idx.size(), 4u);
+  EXPECT_EQ(idx.at(7), 0u);
+  EXPECT_EQ(idx.at(-2), 1u);
+  EXPECT_EQ(idx.at(4), 2u);
+  EXPECT_EQ(idx.at(0), 3u);
+}
+
+}  // namespace
+}  // namespace gasched::ga

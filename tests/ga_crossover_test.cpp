@@ -1,0 +1,159 @@
+// Tests for permutation crossover operators. The central property: any
+// child of two permutations of the same gene set is itself a permutation
+// of that gene set (exercised across operators, sizes, and seeds).
+
+#include "ga/crossover.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <tuple>
+
+namespace gasched::ga {
+namespace {
+
+Chromosome iota_chromosome(std::size_t n) {
+  Chromosome c(n);
+  for (std::size_t i = 0; i < n; ++i) c[i] = static_cast<Gene>(i);
+  return c;
+}
+
+/// Chromosome with negative "delimiter" genes mixed in, mirroring the
+/// scheduling encoding.
+Chromosome schedule_like(std::size_t tasks, std::size_t delims,
+                         util::Rng& rng) {
+  Chromosome c;
+  for (std::size_t i = 0; i < tasks; ++i) c.push_back(static_cast<Gene>(i));
+  for (std::size_t k = 0; k < delims; ++k) {
+    c.push_back(-static_cast<Gene>(k) - 1);
+  }
+  rng.shuffle(c);
+  return c;
+}
+
+using OpFactory = std::shared_ptr<CrossoverOp>;
+
+class CrossoverContract
+    : public ::testing::TestWithParam<std::tuple<OpFactory, std::size_t>> {};
+
+TEST_P(CrossoverContract, ChildrenArePermutationsOfParents) {
+  const auto& [op, n] = GetParam();
+  util::Rng rng(1234 + n);
+  for (int trial = 0; trial < 200; ++trial) {
+    Chromosome a = schedule_like(n, n / 4 + 1, rng);
+    Chromosome b = a;
+    rng.shuffle(b);
+    const auto [c1, c2] = op->apply(a, b, rng);
+    ASSERT_EQ(c1.size(), a.size());
+    ASSERT_EQ(c2.size(), a.size());
+    ASSERT_TRUE(is_permutation_of_distinct(c1)) << op->name();
+    ASSERT_TRUE(is_permutation_of_distinct(c2)) << op->name();
+    ASSERT_TRUE(same_gene_set(c1, a)) << op->name();
+    ASSERT_TRUE(same_gene_set(c2, a)) << op->name();
+  }
+}
+
+TEST_P(CrossoverContract, IdenticalParentsYieldIdenticalChildren) {
+  const auto& [op, n] = GetParam();
+  util::Rng rng(77 + n);
+  const Chromosome a = schedule_like(n, 2, rng);
+  const auto [c1, c2] = op->apply(a, a, rng);
+  EXPECT_EQ(c1, a);
+  EXPECT_EQ(c2, a);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllOperatorsAndSizes, CrossoverContract,
+    ::testing::Combine(
+        ::testing::Values(std::make_shared<CycleCrossover>(),
+                          std::make_shared<PmxCrossover>(),
+                          std::make_shared<OrderCrossover>(),
+                          std::make_shared<PositionCrossover>()),
+        ::testing::Values(std::size_t{2}, std::size_t{3}, std::size_t{8},
+                          std::size_t{40}, std::size_t{150})));
+
+TEST(CycleCrossover, PreservesPositionOwnership) {
+  // CX property: every child position holds the gene one of the parents
+  // had at that position.
+  CycleCrossover cx;
+  util::Rng rng(5);
+  for (int trial = 0; trial < 100; ++trial) {
+    Chromosome a = iota_chromosome(20);
+    Chromosome b = a;
+    rng.shuffle(a);
+    rng.shuffle(b);
+    const auto [c1, c2] = cx.apply(a, b, rng);
+    for (std::size_t i = 0; i < a.size(); ++i) {
+      EXPECT_TRUE(c1[i] == a[i] || c1[i] == b[i]);
+      EXPECT_TRUE(c2[i] == a[i] || c2[i] == b[i]);
+    }
+  }
+}
+
+TEST(CycleCrossover, ChildrenAreComplementary) {
+  // Where c1 takes from a, c2 takes from b (and vice versa).
+  CycleCrossover cx;
+  util::Rng rng(6);
+  Chromosome a = iota_chromosome(12);
+  Chromosome b = a;
+  rng.shuffle(b);
+  const auto [c1, c2] = cx.apply(a, b, rng);
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (c1[i] == a[i]) {
+      EXPECT_EQ(c2[i], b[i]);
+    } else {
+      EXPECT_EQ(c1[i], b[i]);
+      EXPECT_EQ(c2[i], a[i]);
+    }
+  }
+}
+
+TEST(CycleCrossover, MismatchedGeneSetsThrow) {
+  CycleCrossover cx;
+  util::Rng rng(7);
+  const Chromosome a{0, 1, 2};
+  const Chromosome b{0, 1, 99};
+  EXPECT_THROW(cx.apply(a, b, rng), std::invalid_argument);
+}
+
+TEST(Crossover, UnequalLengthsThrow) {
+  CycleCrossover cx;
+  PmxCrossover pmx;
+  util::Rng rng(8);
+  const Chromosome a{0, 1, 2};
+  const Chromosome b{0, 1};
+  EXPECT_THROW(cx.apply(a, b, rng), std::invalid_argument);
+  EXPECT_THROW(pmx.apply(a, b, rng), std::invalid_argument);
+}
+
+TEST(Crossover, EmptyParentsThrow) {
+  OrderCrossover ox;
+  util::Rng rng(9);
+  EXPECT_THROW(ox.apply({}, {}, rng), std::invalid_argument);
+}
+
+TEST(Crossover, ProducesNovelOffspringOnDifferentParents) {
+  // Statistical: across many trials, at least some children must differ
+  // from both parents (operators genuinely recombine).
+  util::Rng rng(10);
+  for (const OpFactory& op :
+       {OpFactory(std::make_shared<CycleCrossover>()),
+        OpFactory(std::make_shared<PmxCrossover>()),
+        OpFactory(std::make_shared<OrderCrossover>()),
+        OpFactory(std::make_shared<PositionCrossover>())}) {
+    int novel = 0;
+    for (int trial = 0; trial < 50; ++trial) {
+      Chromosome a = iota_chromosome(30);
+      Chromosome b = a;
+      rng.shuffle(a);
+      rng.shuffle(b);
+      const auto [c1, c2] = op->apply(a, b, rng);
+      if (c1 != a && c1 != b) ++novel;
+      if (c2 != a && c2 != b) ++novel;
+    }
+    EXPECT_GT(novel, 10) << op->name();
+  }
+}
+
+}  // namespace
+}  // namespace gasched::ga

@@ -1,0 +1,102 @@
+// Tests for mutation operators: gene-set preservation and genuine
+// perturbation.
+
+#include "ga/mutation.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+namespace gasched::ga {
+namespace {
+
+Chromosome make_chromosome(std::size_t n, util::Rng& rng) {
+  Chromosome c(n);
+  for (std::size_t i = 0; i < n; ++i) c[i] = static_cast<Gene>(i) - 3;
+  rng.shuffle(c);
+  return c;
+}
+
+class MutationContract
+    : public ::testing::TestWithParam<std::shared_ptr<MutationOp>> {};
+
+TEST_P(MutationContract, PreservesGeneSet) {
+  auto op = GetParam();
+  util::Rng rng(42);
+  for (int trial = 0; trial < 300; ++trial) {
+    Chromosome c = make_chromosome(25, rng);
+    const Chromosome before = c;
+    op->apply(c, rng);
+    ASSERT_TRUE(same_gene_set(before, c)) << op->name();
+    ASSERT_TRUE(is_permutation_of_distinct(c)) << op->name();
+  }
+}
+
+TEST_P(MutationContract, DegenerateSizesAreSafe) {
+  auto op = GetParam();
+  util::Rng rng(43);
+  Chromosome empty;
+  op->apply(empty, rng);
+  EXPECT_TRUE(empty.empty());
+  Chromosome one{5};
+  op->apply(one, rng);
+  EXPECT_EQ(one, Chromosome{5});
+}
+
+TEST_P(MutationContract, EventuallyPerturbs) {
+  auto op = GetParam();
+  util::Rng rng(44);
+  int changed = 0;
+  for (int trial = 0; trial < 100; ++trial) {
+    Chromosome c = make_chromosome(20, rng);
+    const Chromosome before = c;
+    op->apply(c, rng);
+    if (c != before) ++changed;
+  }
+  EXPECT_GT(changed, 50) << op->name();
+}
+
+INSTANTIATE_TEST_SUITE_P(AllOperators, MutationContract,
+                         ::testing::Values(
+                             std::make_shared<SwapMutation>(1),
+                             std::make_shared<SwapMutation>(3),
+                             std::make_shared<InsertionMutation>(),
+                             std::make_shared<InversionMutation>(),
+                             std::make_shared<ScrambleMutation>()));
+
+TEST(SwapMutation, SingleSwapChangesAtMostTwoPositions) {
+  SwapMutation op(1);
+  util::Rng rng(45);
+  for (int trial = 0; trial < 200; ++trial) {
+    Chromosome c = make_chromosome(15, rng);
+    const Chromosome before = c;
+    op.apply(c, rng);
+    int diffs = 0;
+    for (std::size_t i = 0; i < c.size(); ++i) {
+      if (c[i] != before[i]) ++diffs;
+    }
+    EXPECT_TRUE(diffs == 0 || diffs == 2);
+  }
+}
+
+TEST(SwapMutation, RejectsZeroSwaps) {
+  EXPECT_THROW(SwapMutation(0), std::invalid_argument);
+}
+
+TEST(InversionMutation, ReversesContiguousSegment) {
+  InversionMutation op;
+  util::Rng rng(46);
+  Chromosome c{0, 1, 2, 3, 4, 5, 6, 7};
+  const Chromosome before = c;
+  op.apply(c, rng);
+  // Find the changed window and verify it is the reverse of the original.
+  std::size_t lo = 0, hi = c.size();
+  while (lo < c.size() && c[lo] == before[lo]) ++lo;
+  while (hi > lo && c[hi - 1] == before[hi - 1]) --hi;
+  for (std::size_t i = lo; i < hi; ++i) {
+    EXPECT_EQ(c[i], before[lo + hi - 1 - i]);
+  }
+}
+
+}  // namespace
+}  // namespace gasched::ga

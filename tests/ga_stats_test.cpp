@@ -1,0 +1,165 @@
+// Tests for the GA population-statistics instrumentation (ga/stats.hpp)
+// and its engine integration (GaConfig::record_stats).
+
+#include "ga/stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "ga/engine.hpp"
+
+namespace gasched::ga {
+namespace {
+
+Chromosome iota_chromosome(std::size_t n) {
+  Chromosome c(n);
+  std::iota(c.begin(), c.end(), Gene{0});
+  return c;
+}
+
+TEST(HammingDistance, IdenticalIsZeroReversedIsOne) {
+  const Chromosome a = iota_chromosome(8);
+  Chromosome b = a;
+  EXPECT_DOUBLE_EQ(hamming_distance(a, b), 0.0);
+  std::reverse(b.begin(), b.end());
+  EXPECT_DOUBLE_EQ(hamming_distance(a, b), 1.0);
+}
+
+TEST(HammingDistance, CountsFractionOfDifferingPositions) {
+  const Chromosome a{0, 1, 2, 3};
+  const Chromosome b{0, 1, 3, 2};
+  EXPECT_DOUBLE_EQ(hamming_distance(a, b), 0.5);
+}
+
+TEST(HammingDistance, LengthMismatchThrows) {
+  EXPECT_THROW(hamming_distance({0, 1}, {0, 1, 2}), std::invalid_argument);
+}
+
+TEST(PopulationDiversity, ClonePopulationIsZero) {
+  const std::vector<Chromosome> pop(10, iota_chromosome(12));
+  util::Rng rng(1);
+  EXPECT_DOUBLE_EQ(population_diversity(pop, 64, rng), 0.0);
+}
+
+TEST(PopulationDiversity, ShuffledPopulationIsPositiveAndBounded) {
+  util::Rng rng(2);
+  std::vector<Chromosome> pop;
+  for (int i = 0; i < 12; ++i) {
+    Chromosome c = iota_chromosome(16);
+    rng.shuffle(c);
+    pop.push_back(std::move(c));
+  }
+  const double d = population_diversity(pop, 64, rng);
+  EXPECT_GT(d, 0.3);
+  EXPECT_LE(d, 1.0);
+}
+
+TEST(PopulationDiversity, ExhaustiveAndSampledAgreeForSmallPopulations) {
+  util::Rng rng(3);
+  std::vector<Chromosome> pop;
+  for (int i = 0; i < 6; ++i) {
+    Chromosome c = iota_chromosome(10);
+    rng.shuffle(c);
+    pop.push_back(std::move(c));
+  }
+  // 15 pairs total: max_pairs >= 15 takes the exhaustive path either way.
+  util::Rng r1(4), r2(5);
+  EXPECT_DOUBLE_EQ(population_diversity(pop, 15, r1),
+                   population_diversity(pop, 1000, r2));
+}
+
+TEST(PopulationDiversity, DegenerateInputsReturnZero) {
+  util::Rng rng(6);
+  EXPECT_DOUBLE_EQ(population_diversity({}, 64, rng), 0.0);
+  EXPECT_DOUBLE_EQ(population_diversity({iota_chromosome(4)}, 64, rng), 0.0);
+  const std::vector<Chromosome> pop(3, iota_chromosome(4));
+  EXPECT_DOUBLE_EQ(population_diversity(pop, 0, rng), 0.0);
+}
+
+// ------------------------------------------------- engine integration ----
+
+/// Objective: misplaced genes vs identity (as in ga_island_test).
+class SortProblem final : public GaProblem {
+ public:
+  double fitness(const Chromosome& c) const override {
+    return 1.0 / (1.0 + objective(c));
+  }
+  double objective(const Chromosome& c) const override {
+    double misplaced = 0.0;
+    for (std::size_t i = 0; i < c.size(); ++i) {
+      if (c[i] != static_cast<Gene>(i)) misplaced += 1.0;
+    }
+    return misplaced;
+  }
+};
+
+std::vector<Chromosome> scrambled_population(std::size_t count,
+                                             std::size_t length,
+                                             util::Rng& rng) {
+  std::vector<Chromosome> pop;
+  for (std::size_t i = 0; i < count; ++i) {
+    Chromosome c = iota_chromosome(length);
+    rng.shuffle(c);
+    pop.push_back(std::move(c));
+  }
+  return pop;
+}
+
+GaResult run_engine(bool record_stats, std::uint64_t seed,
+                    std::size_t generations = 60) {
+  const SortProblem problem;
+  GaConfig cfg;
+  cfg.population = 10;
+  cfg.max_generations = generations;
+  cfg.record_stats = record_stats;
+  static const RouletteSelection sel;
+  static const CycleCrossover cx;
+  static const SwapMutation mut;
+  const GaEngine engine(cfg, sel, cx, mut);
+  util::Rng rng(seed);
+  auto init = scrambled_population(cfg.population, 10, rng);
+  return engine.run(problem, std::move(init), rng);
+}
+
+TEST(EngineStats, HistoryCoversInitialPlusEveryGeneration) {
+  const auto r = run_engine(true, 11);
+  ASSERT_EQ(r.stats_history.size(), r.generations + 1);
+  EXPECT_EQ(r.stats_history.front().generation, 0u);
+  EXPECT_EQ(r.stats_history.back().generation, r.generations);
+}
+
+TEST(EngineStats, DisabledByDefault) {
+  const auto r = run_engine(false, 11);
+  EXPECT_TRUE(r.stats_history.empty());
+}
+
+TEST(EngineStats, RecordingDoesNotPerturbEvolution) {
+  const auto with = run_engine(true, 17);
+  const auto without = run_engine(false, 17);
+  EXPECT_EQ(with.best, without.best);
+  EXPECT_EQ(with.best_objective, without.best_objective);
+  EXPECT_EQ(with.generations, without.generations);
+}
+
+TEST(EngineStats, MomentsAreInternallyConsistent) {
+  const auto r = run_engine(true, 23);
+  for (const auto& g : r.stats_history) {
+    EXPECT_GE(g.best_fitness, g.mean_fitness - 1e-12);
+    EXPECT_LE(g.best_objective, g.mean_objective + 1e-12);
+    EXPECT_GE(g.diversity, 0.0);
+    EXPECT_LE(g.diversity, 1.0);
+  }
+}
+
+TEST(EngineStats, SelectionPressureErodesDiversity) {
+  // A micro population converging on an easy problem should end with
+  // clearly less genotype diversity than it started with.
+  const auto r = run_engine(true, 29, 150);
+  ASSERT_GE(r.stats_history.size(), 2u);
+  EXPECT_LT(r.stats_history.back().diversity,
+            r.stats_history.front().diversity);
+}
+
+}  // namespace
+}  // namespace gasched::ga

@@ -1,0 +1,163 @@
+// End-to-end simulations for the extended scheduler set: the local-search
+// meta-heuristics (SA, TS, ACO, HC), the island-model PN (PNI), and the
+// extra heuristic baselines (OLB, DUP) — all through the experiment API,
+// with the same directional assertions the core integration suite makes
+// for the paper's seven schedulers.
+
+#include <gtest/gtest.h>
+
+#include "exp/runner.hpp"
+
+namespace gasched::exp {
+namespace {
+
+SchedulerOptions quick_opts() {
+  SchedulerOptions o;
+  o.batch_size = 50;
+  o.max_generations = 40;
+  o.population = 10;
+  o.islands = 3;
+  o.migration_interval = 10;
+  return o;
+}
+
+Scenario base_scenario(double mean_comm, std::size_t tasks = 250,
+                       std::size_t procs = 8, std::uint64_t seed = 17) {
+  Scenario s;
+  s.name = "integration-meta";
+  s.cluster = paper_cluster(mean_comm, procs);
+  s.workload.kind = DistKind::kUniform;
+  s.workload.param_a = 10.0;
+  s.workload.param_b = 1000.0;
+  s.workload.count = tasks;
+  s.seed = seed;
+  s.replications = 3;
+  return s;
+}
+
+double mean_makespan(const std::vector<sim::SimulationResult>& runs) {
+  double s = 0.0;
+  for (const auto& r : runs) s += r.makespan;
+  return s / static_cast<double>(runs.size());
+}
+
+class ExtendedSchedulerTest : public ::testing::TestWithParam<SchedulerKind> {
+};
+
+TEST_P(ExtendedSchedulerTest, CompletesEveryTask) {
+  const Scenario s = base_scenario(5.0);
+  const auto runs = run_replications(s, GetParam(), quick_opts());
+  ASSERT_EQ(runs.size(), s.replications);
+  for (const auto& r : runs) {
+    EXPECT_EQ(r.tasks_completed, s.workload.count);
+    EXPECT_GT(r.makespan, 0.0);
+    EXPECT_GT(r.efficiency(), 0.0);
+    EXPECT_LE(r.efficiency(), 1.0 + 1e-9);
+  }
+}
+
+TEST_P(ExtendedSchedulerTest, DeterministicAcrossRuns) {
+  const Scenario s = base_scenario(5.0, 120, 6);
+  const auto a = run_replications(s, GetParam(), quick_opts());
+  const auto b = run_replications(s, GetParam(), quick_opts(),
+                                  /*parallel=*/false);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t r = 0; r < a.size(); ++r) {
+    EXPECT_DOUBLE_EQ(a[r].makespan, b[r].makespan) << "rep " << r;
+    EXPECT_EQ(a[r].tasks_completed, b[r].tasks_completed);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    NewSchedulers, ExtendedSchedulerTest,
+    ::testing::Values(SchedulerKind::kSA, SchedulerKind::kTS,
+                      SchedulerKind::kACO, SchedulerKind::kHC,
+                      SchedulerKind::kPNI, SchedulerKind::kOLB,
+                      SchedulerKind::kDUP),
+    [](const ::testing::TestParamInfo<SchedulerKind>& info) {
+      return scheduler_name(info.param);
+    });
+
+TEST(IntegrationMeta, LocalSearchersBeatRoundRobin) {
+  const Scenario s = base_scenario(10.0, 300);
+  const double rr =
+      mean_makespan(run_replications(s, SchedulerKind::kRR, quick_opts()));
+  for (const auto kind : {SchedulerKind::kSA, SchedulerKind::kTS,
+                          SchedulerKind::kACO, SchedulerKind::kHC}) {
+    const double m = mean_makespan(run_replications(s, kind, quick_opts()));
+    EXPECT_LT(m, rr) << scheduler_name(kind);
+  }
+}
+
+TEST(IntegrationMeta, IslandPnCompetitiveWithPn) {
+  // PNI spends islands × generations of search, so it should land within
+  // a modest factor of single-population PN (usually at or below it).
+  const Scenario s = base_scenario(10.0, 300);
+  const double pn =
+      mean_makespan(run_replications(s, SchedulerKind::kPN, quick_opts()));
+  const double pni =
+      mean_makespan(run_replications(s, SchedulerKind::kPNI, quick_opts()));
+  EXPECT_LT(pni, 1.15 * pn);
+}
+
+TEST(IntegrationMeta, DuplexAtLeastAsGoodAsWorseOfMmMx) {
+  const Scenario s = base_scenario(10.0, 300);
+  const double dup =
+      mean_makespan(run_replications(s, SchedulerKind::kDUP, quick_opts()));
+  const double mm =
+      mean_makespan(run_replications(s, SchedulerKind::kMM, quick_opts()));
+  const double mx =
+      mean_makespan(run_replications(s, SchedulerKind::kMX, quick_opts()));
+  EXPECT_LE(dup, std::max(mm, mx) * 1.05);
+}
+
+TEST(IntegrationMeta, AllNewSchedulersSurviveProcessorFailures) {
+  // §3's rationale for scheduler-side queues ("when a machine is switched
+  // off") must hold for every search strategy: tasks on failed machines
+  // are requeued and all work completes.
+  Scenario s = base_scenario(5.0, 150, 6);
+  sim::FailureConfig f;
+  f.mean_uptime = 300.0;
+  f.mean_downtime = 80.0;
+  f.failing_fraction = 0.5;
+  s.failures = f;
+  for (const auto kind : {SchedulerKind::kSA, SchedulerKind::kTS,
+                          SchedulerKind::kACO, SchedulerKind::kHC,
+                          SchedulerKind::kPNI, SchedulerKind::kOLB,
+                          SchedulerKind::kDUP}) {
+    const auto runs = run_replications(s, kind, quick_opts());
+    for (const auto& r : runs) {
+      EXPECT_EQ(r.tasks_completed, s.workload.count) << scheduler_name(kind);
+    }
+  }
+}
+
+TEST(IntegrationMeta, NewSchedulersHandleStreamingArrivals) {
+  Scenario s = base_scenario(5.0, 150, 6);
+  s.workload.all_at_start = false;
+  s.workload.mean_interarrival = 2.0;
+  s.workload.burstiness = 4.0;
+  s.workload.burst_dwell = 20.0;
+  for (const auto kind : {SchedulerKind::kSA, SchedulerKind::kTS,
+                          SchedulerKind::kACO, SchedulerKind::kPNI}) {
+    const auto runs = run_replications(s, kind, quick_opts());
+    for (const auto& r : runs) {
+      EXPECT_EQ(r.tasks_completed, s.workload.count) << scheduler_name(kind);
+      EXPECT_GT(r.mean_response_time, 0.0);
+    }
+  }
+}
+
+TEST(IntegrationMeta, ExtendedAndMetaheuristicSetsAreConsistent) {
+  for (const auto kind : extended_schedulers()) {
+    EXPECT_NO_THROW(make_scheduler(kind, quick_opts()));
+    EXPECT_STRNE(scheduler_name(kind), "?");
+  }
+  for (const auto kind : metaheuristic_schedulers()) {
+    EXPECT_NO_THROW(make_scheduler(kind, quick_opts()));
+    EXPECT_STRNE(scheduler_name(kind), "?");
+  }
+}
+
+}  // namespace
+}  // namespace gasched::exp

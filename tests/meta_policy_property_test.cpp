@@ -1,0 +1,196 @@
+// Property tests shared by every local-search batch scheduler (SA, tabu,
+// ACO, hill climbing): whatever the search strategy, the policy contract
+// of sim::SchedulingPolicy must hold.
+
+#include <gtest/gtest.h>
+
+#include <functional>
+#include <memory>
+#include <set>
+#include <string>
+
+#include "meta/aco.hpp"
+#include "meta/hill_climb.hpp"
+#include "meta/sa.hpp"
+#include "meta/tabu.hpp"
+
+namespace gasched::meta {
+namespace {
+
+using Factory =
+    std::function<std::unique_ptr<sim::SchedulingPolicy>(std::size_t batch)>;
+
+struct PolicyCase {
+  std::string label;
+  Factory make;
+};
+
+PolicyCase sa_case() {
+  return {"SA", [](std::size_t batch) {
+            SaConfig cfg;
+            cfg.batch.batch_size = batch;
+            return make_sa_scheduler(cfg);
+          }};
+}
+PolicyCase tabu_case() {
+  return {"TS", [](std::size_t batch) {
+            TabuConfig cfg;
+            cfg.batch.batch_size = batch;
+            return make_tabu_scheduler(cfg);
+          }};
+}
+PolicyCase aco_case() {
+  return {"ACO", [](std::size_t batch) {
+            AcoConfig cfg;
+            cfg.batch.batch_size = batch;
+            cfg.iterations = 10;  // keep the sweep fast
+            return make_aco_scheduler(cfg);
+          }};
+}
+PolicyCase hc_case() {
+  return {"HC", [](std::size_t batch) {
+            HillClimbConfig cfg;
+            cfg.batch.batch_size = batch;
+            return make_hill_climb_scheduler(cfg);
+          }};
+}
+
+sim::SystemView make_view(std::vector<double> rates,
+                          std::vector<double> pending = {},
+                          std::vector<double> comm = {}) {
+  sim::SystemView v;
+  v.procs.resize(rates.size());
+  for (std::size_t j = 0; j < rates.size(); ++j) {
+    v.procs[j].id = static_cast<sim::ProcId>(j);
+    v.procs[j].rate = rates[j];
+    v.procs[j].pending_mflops = j < pending.size() ? pending[j] : 0.0;
+    v.procs[j].comm_estimate = j < comm.size() ? comm[j] : 0.0;
+    v.procs[j].comm_observations = j < comm.size() ? 1 : 0;
+  }
+  return v;
+}
+
+std::deque<workload::Task> tasks_of_sizes(const std::vector<double>& sizes) {
+  std::deque<workload::Task> q;
+  for (std::size_t i = 0; i < sizes.size(); ++i) {
+    q.push_back({static_cast<workload::TaskId>(i) + 100, sizes[i], 0.0});
+  }
+  return q;
+}
+
+/// Estimated makespan of an assignment under `view` (no comm term).
+double estimated_makespan(const sim::BatchAssignment& a,
+                          const sim::SystemView& view,
+                          const std::vector<double>& sizes_by_id) {
+  double ms = 0.0;
+  for (std::size_t j = 0; j < view.size(); ++j) {
+    double load = view.procs[j].pending_mflops;
+    for (const auto id : a.per_proc[j]) {
+      load += sizes_by_id.at(static_cast<std::size_t>(id) - 100);
+    }
+    ms = std::max(ms, load / view.procs[j].rate);
+  }
+  return ms;
+}
+
+class MetaPolicyTest : public ::testing::TestWithParam<PolicyCase> {};
+
+TEST_P(MetaPolicyTest, ConsumesExactlyOneBatchAndAssignsEachTaskOnce) {
+  const auto view = make_view({10.0, 20.0, 40.0});
+  const std::vector<double> sizes(25, 100.0);
+  auto q = tasks_of_sizes(sizes);
+  auto policy = GetParam().make(10);
+  util::Rng rng(42);
+
+  const auto a = policy->invoke(view, q, rng);
+  EXPECT_EQ(q.size(), 15u);  // 10 consumed
+  EXPECT_EQ(a.total(), 10u);
+
+  std::set<workload::TaskId> seen;
+  for (const auto& queue : a.per_proc) {
+    for (const auto id : queue) {
+      EXPECT_TRUE(seen.insert(id).second) << "duplicate task " << id;
+      EXPECT_GE(id, 100);
+      EXPECT_LT(id, 110);  // exactly the first 10 tasks, FCFS
+    }
+  }
+  EXPECT_EQ(seen.size(), 10u);
+}
+
+TEST_P(MetaPolicyTest, EmptyQueueYieldsEmptyAssignment) {
+  const auto view = make_view({10.0, 20.0});
+  std::deque<workload::Task> q;
+  auto policy = GetParam().make(10);
+  util::Rng rng(1);
+  const auto a = policy->invoke(view, q, rng);
+  EXPECT_EQ(a.total(), 0u);
+  EXPECT_EQ(a.per_proc.size(), 2u);
+}
+
+TEST_P(MetaPolicyTest, SingleProcessorReceivesEverything) {
+  const auto view = make_view({25.0});
+  auto q = tasks_of_sizes({10, 20, 30});
+  auto policy = GetParam().make(10);
+  util::Rng rng(2);
+  const auto a = policy->invoke(view, q, rng);
+  EXPECT_EQ(a.per_proc[0].size(), 3u);
+}
+
+TEST_P(MetaPolicyTest, DeterministicGivenSeed) {
+  const auto view = make_view({10.0, 30.0, 60.0}, {500.0, 0.0, 100.0},
+                              {1.0, 0.2, 3.0});
+  const std::vector<double> sizes{120, 40, 900, 77, 310, 15, 222, 68};
+  auto run = [&] {
+    auto q = tasks_of_sizes(sizes);
+    auto policy = GetParam().make(8);
+    util::Rng rng(777);
+    return policy->invoke(view, q, rng);
+  };
+  const auto a = run();
+  const auto b = run();
+  ASSERT_EQ(a.per_proc.size(), b.per_proc.size());
+  for (std::size_t j = 0; j < a.per_proc.size(); ++j) {
+    EXPECT_EQ(a.per_proc[j], b.per_proc[j]) << "proc " << j;
+  }
+}
+
+TEST_P(MetaPolicyTest, BeatsRoundRobinOnHeterogeneousRates) {
+  // Rates spanning 1:16 make blind cyclic placement pay dearly; any
+  // informed local search must do at least as well as balanced-by-count.
+  const auto view = make_view({5.0, 10.0, 20.0, 80.0});
+  std::vector<double> sizes;
+  for (int i = 0; i < 32; ++i) sizes.push_back(100.0 + 10.0 * (i % 7));
+  auto q = tasks_of_sizes(sizes);
+  auto policy = GetParam().make(32);
+  util::Rng rng(5);
+  const auto a = policy->invoke(view, q, rng);
+
+  // Round-robin reference on the same batch.
+  auto rr = sim::BatchAssignment::empty(4);
+  for (std::size_t i = 0; i < sizes.size(); ++i) {
+    rr.per_proc[i % 4].push_back(static_cast<workload::TaskId>(i) + 100);
+  }
+  EXPECT_LT(estimated_makespan(a, view, sizes),
+            estimated_makespan(rr, view, sizes));
+}
+
+TEST_P(MetaPolicyTest, EqualTasksOnEqualProcessorsBalancePerfectly) {
+  const auto view = make_view({10.0, 10.0, 10.0, 10.0});
+  const std::vector<double> sizes(16, 100.0);
+  auto q = tasks_of_sizes(sizes);
+  auto policy = GetParam().make(16);
+  util::Rng rng(3);
+  const auto a = policy->invoke(view, q, rng);
+  // Optimal: four tasks per processor, makespan 40.
+  EXPECT_NEAR(estimated_makespan(a, view, sizes), 40.0, 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllMetaSchedulers, MetaPolicyTest,
+                         ::testing::Values(sa_case(), tabu_case(), aco_case(),
+                                           hc_case()),
+                         [](const ::testing::TestParamInfo<PolicyCase>& info) {
+                           return info.param.label;
+                         });
+
+}  // namespace
+}  // namespace gasched::meta

@@ -1,0 +1,88 @@
+// Tests for result aggregation and balance metrics.
+
+#include "metrics/aggregate.hpp"
+
+#include <gtest/gtest.h>
+
+namespace gasched::metrics {
+namespace {
+
+sim::SimulationResult make_result(double makespan,
+                                  std::vector<double> busy,
+                                  double wall = 0.0) {
+  sim::SimulationResult r;
+  r.makespan = makespan;
+  r.scheduler_wall_seconds = wall;
+  r.per_proc.resize(busy.size());
+  for (std::size_t j = 0; j < busy.size(); ++j) {
+    r.per_proc[j].busy_time = busy[j];
+  }
+  r.tasks_completed = 1;
+  return r;
+}
+
+TEST(Efficiency, DefinitionMatchesPaper) {
+  // 2 procs, makespan 10, busy 10 + 5 => efficiency 15/20.
+  const auto r = make_result(10.0, {10.0, 5.0});
+  EXPECT_DOUBLE_EQ(r.efficiency(), 0.75);
+}
+
+TEST(Efficiency, ZeroMakespanIsZero) {
+  const auto r = make_result(0.0, {0.0});
+  EXPECT_DOUBLE_EQ(r.efficiency(), 0.0);
+}
+
+TEST(Aggregate, MeansAcrossRuns) {
+  std::vector<sim::SimulationResult> runs;
+  runs.push_back(make_result(10.0, {10.0, 10.0}, 1.0));
+  runs.push_back(make_result(20.0, {10.0, 10.0}, 3.0));
+  const CellSummary cell = aggregate("PN", runs);
+  EXPECT_EQ(cell.scheduler, "PN");
+  EXPECT_EQ(cell.replications, 2u);
+  EXPECT_DOUBLE_EQ(cell.makespan.mean, 15.0);
+  EXPECT_DOUBLE_EQ(cell.makespan.min, 10.0);
+  EXPECT_DOUBLE_EQ(cell.makespan.max, 20.0);
+  EXPECT_DOUBLE_EQ(cell.sched_wall.mean, 2.0);
+  EXPECT_DOUBLE_EQ(cell.efficiency.mean, (1.0 + 0.5) / 2.0);
+}
+
+TEST(Aggregate, EmptyRunsAreSafe) {
+  const CellSummary cell = aggregate("X", {});
+  EXPECT_EQ(cell.replications, 0u);
+  EXPECT_DOUBLE_EQ(cell.makespan.mean, 0.0);
+}
+
+TEST(BusyTimeCv, ZeroForPerfectBalance) {
+  EXPECT_DOUBLE_EQ(busy_time_cv(make_result(10.0, {5.0, 5.0, 5.0})), 0.0);
+}
+
+TEST(BusyTimeCv, PositiveForImbalance) {
+  EXPECT_GT(busy_time_cv(make_result(10.0, {10.0, 0.0})), 0.5);
+}
+
+TEST(JainFairness, OneForPerfectBalance) {
+  EXPECT_DOUBLE_EQ(jain_fairness(make_result(10.0, {4.0, 4.0, 4.0, 4.0})),
+                   1.0);
+}
+
+TEST(JainFairness, OneOverNForSingleActiveProcessor) {
+  EXPECT_NEAR(jain_fairness(make_result(10.0, {8.0, 0.0, 0.0, 0.0})), 0.25,
+              1e-12);
+}
+
+TEST(JainFairness, DegenerateInputs) {
+  sim::SimulationResult empty;
+  EXPECT_DOUBLE_EQ(jain_fairness(empty), 1.0);
+  EXPECT_DOUBLE_EQ(jain_fairness(make_result(1.0, {0.0, 0.0})), 1.0);
+}
+
+TEST(TotalTimes, SumAcrossProcessors) {
+  auto r = make_result(10.0, {3.0, 4.0});
+  r.per_proc[0].comm_time = 1.0;
+  r.per_proc[1].comm_time = 2.5;
+  EXPECT_DOUBLE_EQ(r.total_busy_time(), 7.0);
+  EXPECT_DOUBLE_EQ(r.total_comm_time(), 3.5);
+}
+
+}  // namespace
+}  // namespace gasched::metrics

@@ -1,0 +1,107 @@
+// Tests for the utilization-over-time series.
+
+#include "metrics/timeline.hpp"
+
+#include <gtest/gtest.h>
+
+#include "workload/generator.hpp"
+
+namespace gasched::metrics {
+namespace {
+
+using workload::Task;
+
+class GreedyPolicy final : public sim::SchedulingPolicy {
+ public:
+  sim::BatchAssignment invoke(const sim::SystemView& view,
+                              std::deque<Task>& queue, util::Rng&) override {
+    auto a = sim::BatchAssignment::empty(view.size());
+    std::size_t j = 0;
+    while (!queue.empty()) {
+      a.per_proc[j % view.size()].push_back(queue.front().id);
+      queue.pop_front();
+      ++j;
+    }
+    return a;
+  }
+  std::string name() const override { return "greedy"; }
+};
+
+sim::SimulationResult traced_run(bool zero_comm, std::size_t tasks = 20,
+                                 std::size_t procs = 4) {
+  sim::ClusterConfig cfg;
+  cfg.num_processors = procs;
+  cfg.rate_lo = cfg.rate_hi = 10.0;
+  cfg.zero_comm = zero_comm;
+  cfg.comm.mean_cost = 2.0;
+  cfg.comm.spread_cv = 0.0;
+  cfg.comm.jitter_cv = 0.0;
+  util::Rng crng(7);
+  const auto cluster = sim::build_cluster(cfg, crng);
+  workload::ConstantSizes dist(100.0);
+  util::Rng wrng(3);
+  const auto wl = workload::generate(dist, tasks, wrng);
+  sim::EngineConfig ecfg;
+  ecfg.record_task_trace = true;
+  GreedyPolicy policy;
+  return sim::simulate(cluster, wl, policy, util::Rng(1), ecfg);
+}
+
+TEST(Timeline, FullyBusyClusterIsFlatOne) {
+  // 20 equal tasks on 4 equal procs, no comm: every bucket fully busy.
+  const auto r = traced_run(/*zero_comm=*/true);
+  const auto tl = utilization_timeline(r, 10);
+  ASSERT_EQ(tl.size(), 10u);
+  for (const auto& p : tl) {
+    EXPECT_NEAR(p.busy_fraction, 1.0, 1e-9);
+    EXPECT_NEAR(p.comm_fraction, 0.0, 1e-9);
+  }
+}
+
+TEST(Timeline, MeanBusyMatchesEfficiency) {
+  const auto r = traced_run(/*zero_comm=*/false);
+  const auto tl = utilization_timeline(r, 200);
+  EXPECT_NEAR(mean_busy_fraction(tl), r.efficiency(), 0.02);
+}
+
+TEST(Timeline, FractionsBounded) {
+  const auto r = traced_run(false, 30, 3);
+  for (const auto bins : {1u, 7u, 64u}) {
+    for (const auto& p : utilization_timeline(r, bins)) {
+      EXPECT_GE(p.busy_fraction, 0.0);
+      EXPECT_GE(p.comm_fraction, 0.0);
+      EXPECT_LE(p.busy_fraction + p.comm_fraction, 1.0 + 1e-9);
+    }
+  }
+}
+
+TEST(Timeline, BucketTimesAreUniform) {
+  const auto r = traced_run(true);
+  const auto tl = utilization_timeline(r, 5);
+  const double width = r.makespan / 5.0;
+  for (std::size_t b = 0; b < tl.size(); ++b) {
+    EXPECT_NEAR(tl[b].time, static_cast<double>(b) * width, 1e-9);
+  }
+}
+
+TEST(Timeline, CommShowsUpInCommFraction) {
+  const auto r = traced_run(false);
+  const auto tl = utilization_timeline(r, 20);
+  double total_comm = 0.0;
+  for (const auto& p : tl) total_comm += p.comm_fraction;
+  EXPECT_GT(total_comm, 0.0);
+}
+
+TEST(Timeline, RequiresTraceAndBins) {
+  sim::SimulationResult empty;
+  EXPECT_THROW(utilization_timeline(empty, 10), std::invalid_argument);
+  const auto r = traced_run(true);
+  EXPECT_THROW(utilization_timeline(r, 0), std::invalid_argument);
+}
+
+TEST(Timeline, MeanBusyOfEmptyIsZero) {
+  EXPECT_DOUBLE_EQ(mean_busy_fraction({}), 0.0);
+}
+
+}  // namespace
+}  // namespace gasched::metrics

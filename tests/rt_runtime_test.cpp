@@ -1,0 +1,159 @@
+// Tests for the live in-process runtime. Wall-clock driven, so the
+// assertions are about completion, accounting, and qualitative behaviour,
+// not exact values. Task sizes are kept tiny so the suite stays fast.
+
+#include "rt/runtime.hpp"
+
+#include <gtest/gtest.h>
+
+#include "exp/scenario.hpp"
+#include "meta/sa.hpp"
+#include "meta/tabu.hpp"
+#include "sched/heuristics.hpp"
+
+namespace gasched::rt {
+namespace {
+
+workload::Task tiny_task(workload::TaskId id, double mflops = 1.0) {
+  return {id, mflops, 0.0};
+}
+
+RuntimeConfig quick_config(std::size_t workers = 3) {
+  RuntimeConfig cfg;
+  cfg.worker_speeds.assign(workers, 1.0);
+  cfg.work_scale = 0.05;  // 1-MFLOP task => 0.05 real MFLOP
+  cfg.seed = 11;
+  return cfg;
+}
+
+TEST(BurnMflops, ScalesRoughlyLinearly) {
+  // Warm up, then check 8x work takes measurably longer.
+  burn_mflops(1.0);
+  const auto t0 = std::chrono::steady_clock::now();
+  burn_mflops(4.0);
+  const auto t1 = std::chrono::steady_clock::now();
+  burn_mflops(32.0);
+  const auto t2 = std::chrono::steady_clock::now();
+  const double small = std::chrono::duration<double>(t1 - t0).count();
+  const double large = std::chrono::duration<double>(t2 - t1).count();
+  EXPECT_GT(large, 2.0 * small);
+}
+
+TEST(Runtime, DrivesLocalSearchPoliciesUnmodified) {
+  // The same SA / tabu objects used in simulation must run against real
+  // threads: the runtime only speaks sim::SchedulingPolicy.
+  meta::SaConfig sa_cfg;
+  sa_cfg.batch.batch_size = 8;
+  Runtime sa_runtime(quick_config(3), meta::make_sa_scheduler(sa_cfg));
+  for (workload::TaskId id = 0; id < 24; ++id) {
+    sa_runtime.submit(tiny_task(id));
+  }
+  EXPECT_EQ(sa_runtime.drain().tasks_completed, 24u);
+
+  meta::TabuConfig ts_cfg;
+  ts_cfg.batch.batch_size = 8;
+  Runtime ts_runtime(quick_config(2), meta::make_tabu_scheduler(ts_cfg));
+  for (workload::TaskId id = 0; id < 16; ++id) {
+    ts_runtime.submit(tiny_task(id));
+  }
+  EXPECT_EQ(ts_runtime.drain().tasks_completed, 16u);
+}
+
+TEST(Runtime, CompletesAllSubmittedTasks) {
+  Runtime runtime(quick_config(), sched::make_ef());
+  for (int i = 0; i < 60; ++i) runtime.submit(tiny_task(i));
+  const RuntimeResult r = runtime.drain();
+  EXPECT_EQ(r.tasks_completed, 60u);
+  std::size_t total = 0;
+  double work = 0.0;
+  for (const auto& w : r.per_worker) {
+    total += w.tasks;
+    work += w.work_mflops;
+  }
+  EXPECT_EQ(total, 60u);
+  EXPECT_NEAR(work, 60.0, 1e-9);
+  EXPECT_GT(r.makespan_seconds, 0.0);
+  EXPECT_GE(r.scheduler_invocations, 1u);
+}
+
+TEST(Runtime, DrainIsRepeatable) {
+  Runtime runtime(quick_config(2), sched::make_rr());
+  for (int i = 0; i < 10; ++i) runtime.submit(tiny_task(i));
+  EXPECT_EQ(runtime.drain().tasks_completed, 10u);
+  for (int i = 10; i < 25; ++i) runtime.submit(tiny_task(i));
+  EXPECT_EQ(runtime.drain().tasks_completed, 25u);  // cumulative
+}
+
+TEST(Runtime, UsesAllWorkersUnderRoundRobin) {
+  Runtime runtime(quick_config(3), sched::make_rr());
+  for (int i = 0; i < 30; ++i) runtime.submit(tiny_task(i));
+  const RuntimeResult r = runtime.drain();
+  for (const auto& w : r.per_worker) EXPECT_EQ(w.tasks, 10u);
+}
+
+TEST(Runtime, BatchTriggerDefersScheduling) {
+  RuntimeConfig cfg = quick_config(2);
+  cfg.min_batch_trigger = 1000;  // never reached; drain() must flush
+  Runtime runtime(cfg, sched::make_ef());
+  for (int i = 0; i < 8; ++i) runtime.submit(tiny_task(i));
+  const RuntimeResult r = runtime.drain();
+  EXPECT_EQ(r.tasks_completed, 8u);
+  EXPECT_EQ(r.scheduler_invocations, 1u);  // exactly the drain flush
+}
+
+TEST(Runtime, HeterogeneousSpeedsShiftLoadUnderEf) {
+  RuntimeConfig cfg;
+  cfg.worker_speeds = {1.0, 0.2};  // worker 1 is 5x slower
+  cfg.work_scale = 0.2;
+  cfg.seed = 3;
+  Runtime runtime(cfg, sched::make_ef());
+  for (int i = 0; i < 40; ++i) runtime.submit(tiny_task(i, 2.0));
+  const RuntimeResult r = runtime.drain();
+  EXPECT_EQ(r.tasks_completed, 40u);
+  // EF should give the fast worker clearly more tasks.
+  EXPECT_GT(r.per_worker[0].tasks, r.per_worker[1].tasks);
+}
+
+TEST(Runtime, EmulatedLatencyIsAccounted) {
+  RuntimeConfig cfg = quick_config(2);
+  cfg.dispatch_latency = {0.002, 0.002};
+  Runtime runtime(cfg, sched::make_rr());
+  for (int i = 0; i < 10; ++i) runtime.submit(tiny_task(i));
+  const RuntimeResult r = runtime.drain();
+  double comm = 0.0;
+  for (const auto& w : r.per_worker) comm += w.comm_seconds;
+  EXPECT_GT(comm, 0.005);  // 10 dispatches x ~2 ms
+}
+
+TEST(Runtime, GeneticSchedulerRunsLive) {
+  // The paper's PN scheduler drives real threads through the same
+  // interface it uses in simulation.
+  exp::SchedulerOptions opts;
+  opts.max_generations = 30;
+  opts.population = 10;
+  opts.batch_size = 64;
+  RuntimeConfig cfg = quick_config(3);
+  cfg.min_batch_trigger = 64;
+  Runtime runtime(cfg, exp::make_scheduler(exp::SchedulerKind::kPN, opts));
+  for (int i = 0; i < 64; ++i) runtime.submit(tiny_task(i, 1.5));
+  const RuntimeResult r = runtime.drain();
+  EXPECT_EQ(r.tasks_completed, 64u);
+}
+
+TEST(Runtime, RejectsInvalidConfig) {
+  RuntimeConfig bad = quick_config();
+  bad.worker_speeds = {0.0};
+  EXPECT_THROW(Runtime(bad, sched::make_ef()), std::invalid_argument);
+  RuntimeConfig bad2 = quick_config();
+  bad2.work_scale = 0.0;
+  EXPECT_THROW(Runtime(bad2, sched::make_ef()), std::invalid_argument);
+  EXPECT_THROW(Runtime(quick_config(), nullptr), std::invalid_argument);
+}
+
+TEST(Runtime, HostCalibrationIsPositive) {
+  Runtime runtime(quick_config(1), sched::make_rr());
+  EXPECT_GT(runtime.host_mflops(), 0.0);
+}
+
+}  // namespace
+}  // namespace gasched::rt

@@ -1,0 +1,133 @@
+// Tests for the additional Maheswaran et al. baselines: MET, KPB, and
+// Sufferage.
+
+#include "sched/extra_heuristics.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace gasched::sched {
+namespace {
+
+sim::SystemView make_view(std::vector<double> rates,
+                          std::vector<double> pending = {}) {
+  sim::SystemView v;
+  v.procs.resize(rates.size());
+  for (std::size_t j = 0; j < rates.size(); ++j) {
+    v.procs[j].id = static_cast<sim::ProcId>(j);
+    v.procs[j].rate = rates[j];
+    v.procs[j].pending_mflops = j < pending.size() ? pending[j] : 0.0;
+  }
+  return v;
+}
+
+std::deque<workload::Task> tasks_of_sizes(std::vector<double> sizes) {
+  std::deque<workload::Task> q;
+  for (std::size_t i = 0; i < sizes.size(); ++i) {
+    q.push_back({static_cast<workload::TaskId>(i), sizes[i], 0.0});
+  }
+  return q;
+}
+
+TEST(Met, AlwaysPicksFastestProcessorEvenWhenLoaded) {
+  auto met = make_met();
+  util::Rng rng(1);
+  auto q = tasks_of_sizes({100.0, 100.0, 100.0});
+  // Proc 1 fastest but hugely loaded — MET ignores load by design.
+  const auto a = met->invoke(make_view({10.0, 90.0}, {0.0, 1e9}), q, rng);
+  EXPECT_EQ(a.per_proc[1].size(), 3u);
+  EXPECT_TRUE(a.per_proc[0].empty());
+}
+
+TEST(Kpb, HundredPercentEqualsEarliestFinish) {
+  auto kpb = make_kpb(100.0);
+  auto ef = make_ef();
+  util::Rng r1(2), r2(2);
+  auto q1 = tasks_of_sizes({100, 50, 300, 20, 80});
+  auto q2 = q1;
+  const auto view = make_view({10.0, 40.0, 25.0});
+  const auto a = kpb->invoke(view, q1, r1);
+  const auto b = ef->invoke(view, q2, r2);
+  EXPECT_EQ(a.per_proc, b.per_proc);
+}
+
+TEST(Kpb, TinyPercentDegeneratesToMet) {
+  auto kpb = make_kpb(1.0);  // subset of 1 processor = fastest
+  util::Rng rng(3);
+  auto q = tasks_of_sizes({100.0, 100.0});
+  const auto a = kpb->invoke(make_view({10.0, 90.0}, {0.0, 1e9}), q, rng);
+  EXPECT_EQ(a.per_proc[1].size(), 2u);
+}
+
+TEST(Kpb, MidPercentBalancesWithinFastSubset) {
+  auto kpb = make_kpb(50.0);  // 2 fastest of 4
+  util::Rng rng(4);
+  auto q = tasks_of_sizes(std::vector<double>(10, 100.0));
+  const auto a = kpb->invoke(make_view({10.0, 20.0, 80.0, 90.0}), q, rng);
+  // All tasks within {proc 2, proc 3}; both used.
+  EXPECT_TRUE(a.per_proc[0].empty());
+  EXPECT_TRUE(a.per_proc[1].empty());
+  EXPECT_FALSE(a.per_proc[2].empty());
+  EXPECT_FALSE(a.per_proc[3].empty());
+}
+
+TEST(Kpb, RejectsInvalidPercent) {
+  EXPECT_THROW(KPercentBestRule(0.0), std::invalid_argument);
+  EXPECT_THROW(KPercentBestRule(150.0), std::invalid_argument);
+}
+
+TEST(Sufferage, AssignsEveryTaskExactlyOnce) {
+  auto suf = make_sufferage(100);
+  util::Rng rng(5);
+  auto q = tasks_of_sizes({10, 200, 40, 500, 90, 120, 77});
+  const auto a = suf->invoke(make_view({10.0, 30.0, 55.0}), q, rng);
+  std::set<workload::TaskId> seen;
+  for (const auto& per : a.per_proc) {
+    for (const auto id : per) EXPECT_TRUE(seen.insert(id).second);
+  }
+  EXPECT_EQ(seen.size(), 7u);
+}
+
+TEST(Sufferage, RespectsBatchSize) {
+  auto suf = make_sufferage(3);
+  util::Rng rng(6);
+  auto q = tasks_of_sizes(std::vector<double>(10, 50.0));
+  const auto a = suf->invoke(make_view({10.0, 20.0}), q, rng);
+  EXPECT_EQ(a.total(), 3u);
+  EXPECT_EQ(q.size(), 7u);
+}
+
+TEST(Sufferage, PrioritisesTaskWithMostToLose) {
+  // Two processors with very different speeds: the task that suffers most
+  // from missing the fast processor is the large one, so it should get
+  // the fast processor.
+  auto suf = make_sufferage(10);
+  util::Rng rng(7);
+  auto q = tasks_of_sizes({1000.0, 10.0});
+  const auto a = suf->invoke(make_view({10.0, 100.0}), q, rng);
+  // Task 0 (large) must be on the fast processor 1.
+  ASSERT_FALSE(a.per_proc[1].empty());
+  EXPECT_EQ(a.per_proc[1][0], 0);
+}
+
+TEST(Sufferage, BalancesEqualTasks) {
+  auto suf = make_sufferage(100);
+  util::Rng rng(8);
+  auto q = tasks_of_sizes(std::vector<double>(12, 100.0));
+  const auto a = suf->invoke(make_view({10.0, 10.0, 10.0}), q, rng);
+  for (const auto& per : a.per_proc) EXPECT_EQ(per.size(), 4u);
+}
+
+TEST(Sufferage, RejectsZeroBatch) {
+  EXPECT_THROW(SufferagePolicy(0), std::invalid_argument);
+}
+
+TEST(ExtraFactories, Names) {
+  EXPECT_EQ(make_met()->name(), "MET");
+  EXPECT_EQ(make_kpb(20.0)->name(), "KPB20");
+  EXPECT_EQ(make_sufferage()->name(), "SUF");
+}
+
+}  // namespace
+}  // namespace gasched::sched

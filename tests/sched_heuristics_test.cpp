@@ -1,0 +1,173 @@
+// Tests for the baseline schedulers (EF, LL, RR, MM, MX) from §4.1.
+
+#include "sched/heuristics.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace gasched::sched {
+namespace {
+
+sim::SystemView make_view(std::vector<double> rates,
+                          std::vector<double> pending = {}) {
+  sim::SystemView v;
+  v.procs.resize(rates.size());
+  for (std::size_t j = 0; j < rates.size(); ++j) {
+    v.procs[j].id = static_cast<sim::ProcId>(j);
+    v.procs[j].rate = rates[j];
+    v.procs[j].pending_mflops = j < pending.size() ? pending[j] : 0.0;
+  }
+  return v;
+}
+
+std::deque<workload::Task> tasks_of_sizes(std::vector<double> sizes) {
+  std::deque<workload::Task> q;
+  for (std::size_t i = 0; i < sizes.size(); ++i) {
+    q.push_back({static_cast<workload::TaskId>(i), sizes[i], 0.0});
+  }
+  return q;
+}
+
+TEST(EarliestFinish, PicksFastestProcessorWhenUnloaded) {
+  auto ef = make_ef();
+  util::Rng rng(1);
+  auto q = tasks_of_sizes({100.0});
+  const auto a = ef->invoke(make_view({10.0, 50.0, 20.0}), q, rng);
+  EXPECT_EQ(a.per_proc[1].size(), 1u);  // rate 50 finishes first
+}
+
+TEST(EarliestFinish, AccountsForExistingLoad) {
+  auto ef = make_ef();
+  util::Rng rng(2);
+  auto q = tasks_of_sizes({100.0});
+  // Fast proc is busy: (2000+100)/50 = 42 vs (0+100)/20 = 5.
+  const auto a = ef->invoke(make_view({50.0, 20.0}, {2000.0, 0.0}), q, rng);
+  EXPECT_EQ(a.per_proc[1].size(), 1u);
+}
+
+TEST(EarliestFinish, UpdatesLoadWithinInvocation) {
+  auto ef = make_ef();
+  util::Rng rng(3);
+  // Two equal tasks on two equal procs: the second must go to the other
+  // processor because the first updated the working load.
+  auto q = tasks_of_sizes({100.0, 100.0});
+  const auto a = ef->invoke(make_view({10.0, 10.0}), q, rng);
+  EXPECT_EQ(a.per_proc[0].size(), 1u);
+  EXPECT_EQ(a.per_proc[1].size(), 1u);
+}
+
+TEST(LightestLoaded, IgnoresTaskSizeAndRate) {
+  auto ll = make_ll();
+  util::Rng rng(4);
+  auto q = tasks_of_sizes({1.0});
+  // Proc 0 slow-but-empty, proc 1 fast-but-loaded: LL picks 0.
+  const auto a = ll->invoke(make_view({1.0, 100.0}, {0.0, 10.0}), q, rng);
+  EXPECT_EQ(a.per_proc[0].size(), 1u);
+}
+
+TEST(LightestLoaded, SpreadsEqualTasksEvenly) {
+  auto ll = make_ll();
+  util::Rng rng(5);
+  auto q = tasks_of_sizes(std::vector<double>(12, 50.0));
+  const auto a = ll->invoke(make_view({10, 10, 10}), q, rng);
+  for (const auto& per : a.per_proc) EXPECT_EQ(per.size(), 4u);
+}
+
+TEST(RoundRobin, CyclesThroughProcessorsInOrder) {
+  auto rr = make_rr();
+  util::Rng rng(6);
+  auto q = tasks_of_sizes({1, 2, 3, 4, 5, 6, 7});
+  const auto a = rr->invoke(make_view({10, 10, 10}), q, rng);
+  EXPECT_EQ(a.per_proc[0], (std::vector<workload::TaskId>{0, 3, 6}));
+  EXPECT_EQ(a.per_proc[1], (std::vector<workload::TaskId>{1, 4}));
+  EXPECT_EQ(a.per_proc[2], (std::vector<workload::TaskId>{2, 5}));
+}
+
+TEST(RoundRobin, StatePersistsAcrossInvocations) {
+  auto rr = make_rr();
+  util::Rng rng(7);
+  auto q1 = tasks_of_sizes({1, 2});
+  rr->invoke(make_view({10, 10, 10}), q1, rng);
+  auto q2 = tasks_of_sizes({3});
+  const auto a = rr->invoke(make_view({10, 10, 10}), q2, rng);
+  EXPECT_EQ(a.per_proc[2].size(), 1u);  // continues at proc 2
+}
+
+TEST(ImmediatePolicies, ConsumeEntireQueue) {
+  for (auto make : {make_ef, make_ll, make_rr}) {
+    auto policy = make();
+    util::Rng rng(8);
+    auto q = tasks_of_sizes(std::vector<double>(37, 10.0));
+    const auto a = policy->invoke(make_view({10, 20}), q, rng);
+    EXPECT_TRUE(q.empty()) << policy->name();
+    EXPECT_EQ(a.total(), 37u) << policy->name();
+  }
+}
+
+TEST(SortedBatch, MinMinSchedulesSmallestFirst) {
+  auto mm = make_mm(10);
+  util::Rng rng(9);
+  auto q = tasks_of_sizes({500.0, 10.0, 300.0, 50.0});
+  const auto a = mm->invoke(make_view({10.0}), q, rng);
+  // Single processor: dispatch order equals sorted ascending order.
+  EXPECT_EQ(a.per_proc[0], (std::vector<workload::TaskId>{1, 3, 2, 0}));
+}
+
+TEST(SortedBatch, MaxMinSchedulesLargestFirst) {
+  auto mx = make_mx(10);
+  util::Rng rng(10);
+  auto q = tasks_of_sizes({500.0, 10.0, 300.0, 50.0});
+  const auto a = mx->invoke(make_view({10.0}), q, rng);
+  EXPECT_EQ(a.per_proc[0], (std::vector<workload::TaskId>{0, 2, 3, 1}));
+}
+
+TEST(SortedBatch, RespectsBatchSize) {
+  auto mm = make_mm(5);
+  util::Rng rng(11);
+  auto q = tasks_of_sizes(std::vector<double>(12, 10.0));
+  const auto a = mm->invoke(make_view({10, 10}), q, rng);
+  EXPECT_EQ(a.total(), 5u);
+  EXPECT_EQ(q.size(), 7u);
+}
+
+TEST(SortedBatch, BalancesAcrossHeterogeneousProcessors) {
+  auto mx = make_mx(100);
+  util::Rng rng(12);
+  auto q = tasks_of_sizes(std::vector<double>(100, 100.0));
+  const auto view = make_view({10.0, 30.0});
+  const auto a = mx->invoke(view, q, rng);
+  // Proc 1 is 3x faster; it should receive roughly 3x the tasks.
+  const double ratio = static_cast<double>(a.per_proc[1].size()) /
+                       static_cast<double>(a.per_proc[0].size());
+  EXPECT_NEAR(ratio, 3.0, 0.5);
+}
+
+TEST(SortedBatch, RejectsZeroBatch) {
+  EXPECT_THROW(SortedBatchPolicy(false, 0), std::invalid_argument);
+}
+
+TEST(Factories, NamesMatchPaper) {
+  EXPECT_EQ(make_ef()->name(), "EF");
+  EXPECT_EQ(make_ll()->name(), "LL");
+  EXPECT_EQ(make_rr()->name(), "RR");
+  EXPECT_EQ(make_mm()->name(), "MM");
+  EXPECT_EQ(make_mx()->name(), "MX");
+}
+
+TEST(AllHeuristics, AssignEachTaskExactlyOnce) {
+  for (auto make : {make_ef, make_ll, make_rr}) {
+    auto policy = make();
+    util::Rng rng(13);
+    auto q = tasks_of_sizes({10, 20, 30, 40, 50, 60});
+    const auto a = policy->invoke(make_view({10, 20, 30}), q, rng);
+    std::set<workload::TaskId> seen;
+    for (const auto& per : a.per_proc) {
+      for (const auto id : per) EXPECT_TRUE(seen.insert(id).second);
+    }
+    EXPECT_EQ(seen.size(), 6u);
+  }
+}
+
+}  // namespace
+}  // namespace gasched::sched

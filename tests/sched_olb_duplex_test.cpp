@@ -1,0 +1,133 @@
+// Tests for the OLB (opportunistic load balancing) and Duplex baselines.
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "sched/extra_heuristics.hpp"
+
+namespace gasched::sched {
+namespace {
+
+sim::SystemView make_view(std::vector<double> rates,
+                          std::vector<double> pending = {}) {
+  sim::SystemView v;
+  v.procs.resize(rates.size());
+  for (std::size_t j = 0; j < rates.size(); ++j) {
+    v.procs[j].id = static_cast<sim::ProcId>(j);
+    v.procs[j].rate = rates[j];
+    v.procs[j].pending_mflops = j < pending.size() ? pending[j] : 0.0;
+  }
+  return v;
+}
+
+std::deque<workload::Task> tasks_of_sizes(const std::vector<double>& sizes) {
+  std::deque<workload::Task> q;
+  for (std::size_t i = 0; i < sizes.size(); ++i) {
+    q.push_back({static_cast<workload::TaskId>(i), sizes[i], 0.0});
+  }
+  return q;
+}
+
+// ---------------------------------------------------------------- OLB ----
+
+TEST(Olb, PicksEarliestAvailableProcessor) {
+  auto olb = make_olb();
+  util::Rng rng(1);
+  auto q = tasks_of_sizes({100.0});
+  // Availability: 1000/10 = 100 s, 500/50 = 10 s, 0/5 = 0 s.
+  const auto a =
+      olb->invoke(make_view({10.0, 50.0, 5.0}, {1000.0, 500.0, 0.0}), q, rng);
+  EXPECT_EQ(a.per_proc[2].size(), 1u);
+}
+
+TEST(Olb, IsRateAwareUnlikeLightestLoaded) {
+  // Proc 0 has less pending work in MFLOPs but drains slower: LL would
+  // pick proc 0; OLB must pick proc 1 (100/1 = 100 s vs 900/100 = 9 s).
+  auto olb = make_olb();
+  util::Rng rng(2);
+  auto q = tasks_of_sizes({50.0});
+  const auto a = olb->invoke(make_view({1.0, 100.0}, {100.0, 900.0}), q, rng);
+  EXPECT_EQ(a.per_proc[1].size(), 1u);
+}
+
+TEST(Olb, IgnoresTaskSize) {
+  // The chosen processor must not depend on the task's own cost: a huge
+  // task still goes to the earliest-available (here the slow, idle one).
+  auto olb = make_olb();
+  util::Rng rng(3);
+  auto q = tasks_of_sizes({1e6});
+  const auto a = olb->invoke(make_view({1.0, 100.0}, {0.0, 10.0}), q, rng);
+  EXPECT_EQ(a.per_proc[0].size(), 1u);
+}
+
+TEST(Olb, SpreadsEqualTasksAcrossIdleProcessors) {
+  auto olb = make_olb();
+  util::Rng rng(4);
+  auto q = tasks_of_sizes({100.0, 100.0, 100.0, 100.0});
+  const auto a = olb->invoke(make_view({10.0, 10.0, 10.0, 10.0}), q, rng);
+  for (std::size_t j = 0; j < 4; ++j) {
+    EXPECT_EQ(a.per_proc[j].size(), 1u) << "proc " << j;
+  }
+}
+
+// ------------------------------------------------------------- Duplex ----
+
+TEST(Duplex, RejectsZeroBatch) {
+  EXPECT_THROW(DuplexPolicy{0}, std::invalid_argument);
+}
+
+TEST(Duplex, ConsumesBatchesFcfs) {
+  auto dup = make_duplex(3);
+  util::Rng rng(5);
+  auto q = tasks_of_sizes({10, 20, 30, 40, 50});
+  const auto a = dup->invoke(make_view({10.0, 10.0}), q, rng);
+  EXPECT_EQ(a.total(), 3u);
+  EXPECT_EQ(q.size(), 2u);
+  std::set<workload::TaskId> ids;
+  for (const auto& queue : a.per_proc) ids.insert(queue.begin(), queue.end());
+  EXPECT_EQ(ids, (std::set<workload::TaskId>{0, 1, 2}));
+}
+
+/// Estimated makespan helper for comparing Duplex with MM and MX.
+double est_makespan(const sim::BatchAssignment& a, const sim::SystemView& view,
+                    const std::vector<double>& sizes) {
+  double ms = 0.0;
+  for (std::size_t j = 0; j < view.size(); ++j) {
+    double load = view.procs[j].pending_mflops;
+    for (const auto id : a.per_proc[j]) {
+      load += sizes[static_cast<std::size_t>(id)];
+    }
+    ms = std::max(ms, load / view.procs[j].rate);
+  }
+  return ms;
+}
+
+TEST(Duplex, NeverWorseThanEitherMinMinOrMaxMin) {
+  const std::vector<double> sizes{512, 37, 1024, 240, 777, 64,
+                                  350, 128, 905, 18,  443, 610};
+  const auto view = make_view({7.0, 13.0, 29.0, 61.0}, {300.0, 0.0, 150.0, 0.0});
+  util::Rng rng(6);
+
+  auto qd = tasks_of_sizes(sizes);
+  const auto dup = make_duplex(sizes.size())->invoke(view, qd, rng);
+  auto qm = tasks_of_sizes(sizes);
+  const auto mm = make_mm(sizes.size())->invoke(view, qm, rng);
+  auto qx = tasks_of_sizes(sizes);
+  const auto mx = make_mx(sizes.size())->invoke(view, qx, rng);
+
+  const double d = est_makespan(dup, view, sizes);
+  EXPECT_LE(d, est_makespan(mm, view, sizes) + 1e-9);
+  EXPECT_LE(d, est_makespan(mx, view, sizes) + 1e-9);
+}
+
+TEST(Duplex, EmptyQueueYieldsEmptyAssignment) {
+  auto dup = make_duplex(10);
+  util::Rng rng(7);
+  std::deque<workload::Task> q;
+  const auto a = dup->invoke(make_view({10.0, 20.0}), q, rng);
+  EXPECT_EQ(a.total(), 0u);
+}
+
+}  // namespace
+}  // namespace gasched::sched

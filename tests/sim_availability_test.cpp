@@ -1,0 +1,140 @@
+// Tests for availability models and execution-time integration.
+
+#include "sim/availability.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+
+namespace gasched::sim {
+namespace {
+
+TEST(FixedAvailability, ConstantMultiplier) {
+  FixedAvailability a(0.75);
+  EXPECT_DOUBLE_EQ(a.multiplier(0.0), 0.75);
+  EXPECT_DOUBLE_EQ(a.multiplier(1e9), 0.75);
+  EXPECT_TRUE(a.constant());
+}
+
+TEST(FixedAvailability, ClampsToUnitInterval) {
+  EXPECT_DOUBLE_EQ(FixedAvailability(2.0).multiplier(0.0), 1.0);
+  EXPECT_GT(FixedAvailability(-1.0).multiplier(0.0), 0.0);
+}
+
+TEST(SinusoidalAvailability, StaysWithinBand) {
+  SinusoidalAvailability a(0.4, 0.9, 100.0);
+  for (double t = 0.0; t < 500.0; t += 3.7) {
+    const double m = a.multiplier(t);
+    ASSERT_GE(m, 0.4 - 1e-12);
+    ASSERT_LE(m, 0.9 + 1e-12);
+  }
+}
+
+TEST(SinusoidalAvailability, PeriodicityHolds) {
+  SinusoidalAvailability a(0.2, 1.0, 50.0);
+  for (double t : {0.0, 13.0, 26.5}) {
+    EXPECT_NEAR(a.multiplier(t), a.multiplier(t + 50.0), 1e-9);
+  }
+}
+
+TEST(SinusoidalAvailability, RejectsBadParameters) {
+  EXPECT_THROW(SinusoidalAvailability(0.0, 0.9, 10.0), std::invalid_argument);
+  EXPECT_THROW(SinusoidalAvailability(0.5, 1.5, 10.0), std::invalid_argument);
+  EXPECT_THROW(SinusoidalAvailability(0.9, 0.5, 10.0), std::invalid_argument);
+  EXPECT_THROW(SinusoidalAvailability(0.2, 0.9, 0.0), std::invalid_argument);
+}
+
+TEST(RandomWalkAvailability, StaysWithinBandAndDeterministic) {
+  RandomWalkAvailability a(0.3, 1.0, 10.0, 0.2, 1000.0, 42);
+  RandomWalkAvailability b(0.3, 1.0, 10.0, 0.2, 1000.0, 42);
+  for (double t = 0.0; t < 1500.0; t += 7.3) {
+    const double m = a.multiplier(t);
+    ASSERT_GE(m, 0.3);
+    ASSERT_LE(m, 1.0);
+    ASSERT_DOUBLE_EQ(m, b.multiplier(t));
+  }
+}
+
+TEST(RandomWalkAvailability, DifferentSeedsDiffer) {
+  RandomWalkAvailability a(0.3, 1.0, 10.0, 0.2, 1000.0, 1);
+  RandomWalkAvailability b(0.3, 1.0, 10.0, 0.2, 1000.0, 2);
+  int same = 0, total = 0;
+  for (double t = 15.0; t < 1000.0; t += 10.0) {
+    ++total;
+    if (a.multiplier(t) == b.multiplier(t)) ++same;
+  }
+  EXPECT_LT(same, total / 2);
+}
+
+TEST(RandomWalkAvailability, HoldsLastValueBeyondHorizon) {
+  RandomWalkAvailability a(0.3, 1.0, 10.0, 0.2, 100.0, 3);
+  EXPECT_DOUBLE_EQ(a.multiplier(1e6), a.multiplier(1e7));
+}
+
+TEST(TwoStateAvailability, OnlyTwoLevels) {
+  TwoStateAvailability a(0.4, 50.0, 30.0, 5000.0, 7);
+  for (double t = 0.0; t < 6000.0; t += 11.0) {
+    const double m = a.multiplier(t);
+    ASSERT_TRUE(m == 0.4 || m == 1.0) << "level " << m << " at t=" << t;
+  }
+}
+
+TEST(TwoStateAvailability, RejectsBadParameters) {
+  EXPECT_THROW(TwoStateAvailability(0.0, 1.0, 1.0, 10.0, 1),
+               std::invalid_argument);
+  EXPECT_THROW(TwoStateAvailability(0.5, 0.0, 1.0, 10.0, 1),
+               std::invalid_argument);
+}
+
+TEST(IntegrateExecTime, ConstantModelClosedForm) {
+  FixedAvailability full(1.0);
+  // 100 MFLOPs at 10 Mflop/s = 10 s.
+  EXPECT_DOUBLE_EQ(integrate_exec_time(full, 10.0, 100.0, 0.0), 10.0);
+  FixedAvailability half(0.5);
+  EXPECT_DOUBLE_EQ(integrate_exec_time(half, 10.0, 100.0, 5.0), 20.0);
+}
+
+TEST(IntegrateExecTime, ZeroWorkIsInstant) {
+  FixedAvailability full(1.0);
+  EXPECT_DOUBLE_EQ(integrate_exec_time(full, 10.0, 0.0, 3.0), 0.0);
+}
+
+TEST(IntegrateExecTime, RejectsNonPositiveRate) {
+  FixedAvailability full(1.0);
+  EXPECT_THROW(integrate_exec_time(full, 0.0, 10.0, 0.0),
+               std::invalid_argument);
+}
+
+TEST(IntegrateExecTime, SteppedIntegrationMatchesAnalyticForSine) {
+  // Average availability of the sinusoid over a full period is its
+  // midpoint, so long tasks should take ~ work / (rate * mid).
+  SinusoidalAvailability a(0.5, 1.0, 100.0);
+  const double rate = 10.0;
+  const double work = 10000.0;  // many periods long
+  const double t = integrate_exec_time(a, rate, work, 0.0, 0.25);
+  const double expected = work / (rate * 0.75);
+  EXPECT_NEAR(t, expected, 0.05 * expected);
+}
+
+TEST(IntegrateExecTime, TimeVaryingStartTimeMatters) {
+  // Starting at the trough vs the crest of the sinusoid changes duration
+  // for a short task.
+  SinusoidalAvailability a(0.2, 1.0, 400.0);
+  const double at_crest = integrate_exec_time(a, 10.0, 50.0, 100.0, 0.1);
+  const double at_trough = integrate_exec_time(a, 10.0, 50.0, 300.0, 0.1);
+  EXPECT_LT(at_crest, at_trough);
+}
+
+TEST(IntegrateExecTime, MonotoneInWork) {
+  RandomWalkAvailability a(0.3, 1.0, 10.0, 0.2, 10000.0, 11);
+  double prev = 0.0;
+  for (double work : {10.0, 50.0, 200.0, 1000.0}) {
+    const double t = integrate_exec_time(a, 20.0, work, 0.0, 0.5);
+    EXPECT_GT(t, prev);
+    prev = t;
+  }
+}
+
+}  // namespace
+}  // namespace gasched::sim

@@ -1,0 +1,115 @@
+// Tests for cluster construction from declarative configs.
+
+#include "sim/cluster.hpp"
+
+#include <gtest/gtest.h>
+
+namespace gasched::sim {
+namespace {
+
+TEST(BuildCluster, PaperDefaultsProduceFiftyHeterogeneousProcessors) {
+  ClusterConfig cfg;  // defaults: 50 procs, rates U[10, 100], fixed avail
+  util::Rng rng(1);
+  const Cluster c = build_cluster(cfg, rng);
+  ASSERT_EQ(c.size(), 50u);
+  double lo = 1e18, hi = 0.0;
+  for (const auto& p : c.processors) {
+    EXPECT_GE(p.base_rate, 10.0);
+    EXPECT_LE(p.base_rate, 100.0);
+    EXPECT_DOUBLE_EQ(p.availability->multiplier(123.0), 1.0);
+    lo = std::min(lo, p.base_rate);
+    hi = std::max(hi, p.base_rate);
+  }
+  EXPECT_GT(hi - lo, 10.0);  // genuinely heterogeneous
+  EXPECT_EQ(c.comm->links(), 50u);
+}
+
+TEST(BuildCluster, IdsAreDense) {
+  ClusterConfig cfg;
+  cfg.num_processors = 7;
+  util::Rng rng(2);
+  const Cluster c = build_cluster(cfg, rng);
+  for (std::size_t j = 0; j < c.size(); ++j) {
+    EXPECT_EQ(c.processors[j].id, static_cast<ProcId>(j));
+  }
+}
+
+TEST(BuildCluster, DeterministicGivenSeed) {
+  ClusterConfig cfg;
+  util::Rng r1(42), r2(42);
+  const Cluster a = build_cluster(cfg, r1);
+  const Cluster b = build_cluster(cfg, r2);
+  for (std::size_t j = 0; j < a.size(); ++j) {
+    EXPECT_DOUBLE_EQ(a.processors[j].base_rate, b.processors[j].base_rate);
+    EXPECT_DOUBLE_EQ(a.comm->true_mean(static_cast<ProcId>(j)),
+                     b.comm->true_mean(static_cast<ProcId>(j)));
+  }
+}
+
+TEST(BuildCluster, ZeroCommOption) {
+  ClusterConfig cfg;
+  cfg.zero_comm = true;
+  util::Rng rng(3);
+  const Cluster c = build_cluster(cfg, rng);
+  EXPECT_EQ(c.comm->name(), "zero");
+  EXPECT_DOUBLE_EQ(c.comm->true_mean(0), 0.0);
+}
+
+TEST(BuildCluster, DriftingCommOption) {
+  ClusterConfig cfg;
+  cfg.drifting_comm = true;
+  util::Rng rng(4);
+  const Cluster c = build_cluster(cfg, rng);
+  EXPECT_EQ(c.comm->name(), "drifting");
+}
+
+TEST(BuildCluster, AvailabilityKinds) {
+  for (const auto kind :
+       {AvailabilityKind::kSinusoidal, AvailabilityKind::kRandomWalk,
+        AvailabilityKind::kTwoState}) {
+    ClusterConfig cfg;
+    cfg.num_processors = 4;
+    cfg.availability = kind;
+    util::Rng rng(5);
+    const Cluster c = build_cluster(cfg, rng);
+    for (const auto& p : c.processors) {
+      const double m = p.availability->multiplier(100.0);
+      EXPECT_GT(m, 0.0);
+      EXPECT_LE(m, 1.0);
+    }
+  }
+}
+
+TEST(BuildCluster, RejectsInvalidConfigs) {
+  util::Rng rng(6);
+  ClusterConfig empty;
+  empty.num_processors = 0;
+  EXPECT_THROW(build_cluster(empty, rng), std::invalid_argument);
+  ClusterConfig bad_rates;
+  bad_rates.rate_lo = 0.0;
+  EXPECT_THROW(build_cluster(bad_rates, rng), std::invalid_argument);
+  ClusterConfig inverted;
+  inverted.rate_lo = 100.0;
+  inverted.rate_hi = 10.0;
+  EXPECT_THROW(build_cluster(inverted, rng), std::invalid_argument);
+}
+
+TEST(Cluster, TotalRateSumsEffectiveRates) {
+  ClusterConfig cfg;
+  cfg.num_processors = 3;
+  cfg.rate_lo = 10.0;
+  cfg.rate_hi = 10.0;  // homogeneous for exactness
+  util::Rng rng(7);
+  const Cluster c = build_cluster(cfg, rng);
+  EXPECT_DOUBLE_EQ(c.total_rate_at(0.0), 30.0);
+}
+
+TEST(Processor, RateAtAppliesAvailability) {
+  Processor p;
+  p.base_rate = 40.0;
+  p.availability = std::make_shared<FixedAvailability>(0.5);
+  EXPECT_DOUBLE_EQ(p.rate_at(0.0), 20.0);
+}
+
+}  // namespace
+}  // namespace gasched::sim

@@ -1,0 +1,121 @@
+// Tests for communication cost models.
+
+#include "sim/comm_model.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/stats.hpp"
+
+namespace gasched::sim {
+namespace {
+
+TEST(NormalCommModel, PerLinkMeansArePositiveAndHeterogeneous) {
+  CommConfig cfg;
+  cfg.mean_cost = 20.0;
+  cfg.spread_cv = 0.5;
+  util::Rng rng(1);
+  NormalCommModel model(cfg, 50, rng);
+  util::RunningStats rs;
+  for (std::size_t j = 0; j < model.links(); ++j) {
+    const double m = model.true_mean(static_cast<ProcId>(j));
+    EXPECT_GE(m, cfg.floor);
+    rs.add(m);
+  }
+  EXPECT_NEAR(rs.mean(), 20.0, 5.0);
+  EXPECT_GT(rs.stddev(), 1.0);  // links genuinely differ
+}
+
+TEST(NormalCommModel, SamplesClusterAroundLinkMean) {
+  CommConfig cfg;
+  cfg.mean_cost = 50.0;
+  cfg.spread_cv = 0.0;  // all links share the global mean
+  cfg.jitter_cv = 0.1;
+  util::Rng rng(2);
+  NormalCommModel model(cfg, 4, rng);
+  util::Rng sample_rng(3);
+  util::RunningStats rs;
+  for (int i = 0; i < 20000; ++i) {
+    rs.add(model.sample(1, 0.0, sample_rng));
+  }
+  EXPECT_NEAR(rs.mean(), model.true_mean(1), 0.5);
+}
+
+TEST(NormalCommModel, SamplesNeverBelowFloor) {
+  CommConfig cfg;
+  cfg.mean_cost = 1.0;
+  cfg.jitter_cv = 5.0;  // huge jitter forces clamping
+  cfg.floor = 0.01;
+  util::Rng rng(4);
+  NormalCommModel model(cfg, 3, rng);
+  util::Rng sample_rng(5);
+  for (int i = 0; i < 10000; ++i) {
+    ASSERT_GE(model.sample(0, 0.0, sample_rng), 0.01);
+  }
+}
+
+TEST(NormalCommModel, RejectsNegativeConfig) {
+  CommConfig cfg;
+  cfg.mean_cost = -1.0;
+  util::Rng rng(6);
+  EXPECT_THROW(NormalCommModel(cfg, 2, rng), std::invalid_argument);
+}
+
+TEST(ZeroCommModel, AlwaysZero) {
+  ZeroCommModel model(10);
+  util::Rng rng(7);
+  EXPECT_DOUBLE_EQ(model.sample(3, 100.0, rng), 0.0);
+  EXPECT_DOUBLE_EQ(model.true_mean(3), 0.0);
+  EXPECT_EQ(model.links(), 10u);
+}
+
+TEST(DriftingCommModel, MeansDriftOverTime) {
+  CommConfig cfg;
+  cfg.mean_cost = 20.0;
+  util::Rng rng(8);
+  DriftingCommModel model(cfg, 5, /*drift_step=*/0.5, /*dwell=*/10.0,
+                          /*horizon=*/10000.0, rng);
+  bool any_change = false;
+  for (std::size_t j = 0; j < model.links(); ++j) {
+    if (model.mean_at(static_cast<ProcId>(j), 0.0) !=
+        model.mean_at(static_cast<ProcId>(j), 5000.0)) {
+      any_change = true;
+    }
+  }
+  EXPECT_TRUE(any_change);
+}
+
+TEST(DriftingCommModel, MeanNeverBelowFloor) {
+  CommConfig cfg;
+  cfg.mean_cost = 1.0;
+  cfg.floor = 0.05;
+  util::Rng rng(9);
+  DriftingCommModel model(cfg, 3, 1.0, 5.0, 5000.0, rng);
+  for (double t = 0.0; t < 6000.0; t += 97.0) {
+    for (std::size_t j = 0; j < model.links(); ++j) {
+      ASSERT_GE(model.mean_at(static_cast<ProcId>(j), t), 0.05);
+    }
+  }
+}
+
+TEST(DriftingCommModel, TrueMeanIsTimeAverage) {
+  CommConfig cfg;
+  cfg.mean_cost = 30.0;
+  util::Rng rng(10);
+  DriftingCommModel model(cfg, 2, 0.1, 10.0, 1000.0, rng);
+  // true_mean should be within the plausible envelope of the walk.
+  for (std::size_t j = 0; j < model.links(); ++j) {
+    EXPECT_GT(model.true_mean(static_cast<ProcId>(j)), 0.0);
+  }
+}
+
+TEST(DriftingCommModel, RejectsBadParameters) {
+  CommConfig cfg;
+  util::Rng rng(11);
+  EXPECT_THROW(DriftingCommModel(cfg, 2, 0.1, 0.0, 100.0, rng),
+               std::invalid_argument);
+  EXPECT_THROW(DriftingCommModel(cfg, 2, -0.1, 1.0, 100.0, rng),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace gasched::sim

@@ -1,0 +1,210 @@
+// Tests for the failure model and the engine's requeue-on-failure
+// behaviour (the design rationale for scheduler-side queues, paper §3).
+
+#include "sim/failure.hpp"
+
+#include <gtest/gtest.h>
+
+#include "sim/engine.hpp"
+#include "workload/generator.hpp"
+
+namespace gasched::sim {
+namespace {
+
+using workload::Task;
+using workload::Workload;
+
+class GreedyPolicy final : public SchedulingPolicy {
+ public:
+  BatchAssignment invoke(const SystemView& view, std::deque<Task>& queue,
+                         util::Rng&) override {
+    auto a = BatchAssignment::empty(view.size());
+    std::size_t j = 0;
+    while (!queue.empty()) {
+      a.per_proc[j % view.size()].push_back(queue.front().id);
+      queue.pop_front();
+      ++j;
+    }
+    return a;
+  }
+  std::string name() const override { return "greedy"; }
+};
+
+Cluster simple_cluster(std::size_t procs, double rate) {
+  ClusterConfig cfg;
+  cfg.num_processors = procs;
+  cfg.rate_lo = cfg.rate_hi = rate;
+  cfg.zero_comm = true;
+  util::Rng rng(7);
+  return build_cluster(cfg, rng);
+}
+
+Workload constant_workload(std::size_t count, double size) {
+  workload::ConstantSizes dist(size);
+  util::Rng rng(3);
+  return workload::generate(dist, count, rng);
+}
+
+TEST(FailureTrace, EmptyByDefault) {
+  FailureTrace trace;
+  EXPECT_TRUE(trace.empty());
+  EXPECT_TRUE(trace.outages(0).empty());
+  EXPECT_TRUE(trace.up_at(0, 123.0));
+  EXPECT_EQ(trace.total_outages(), 0u);
+}
+
+TEST(FailureTrace, GeneratesSortedNonOverlappingOutages) {
+  FailureConfig cfg;
+  cfg.mean_uptime = 100.0;
+  cfg.mean_downtime = 20.0;
+  cfg.horizon = 5000.0;
+  util::Rng rng(1);
+  FailureTrace trace(cfg, 10, rng);
+  EXPECT_FALSE(trace.empty());
+  for (ProcId j = 0; j < 10; ++j) {
+    SimTime prev_up = 0.0;
+    for (const auto& o : trace.outages(j)) {
+      EXPECT_GT(o.down, prev_up);
+      EXPECT_GT(o.up, o.down);
+      prev_up = o.up;
+    }
+  }
+}
+
+TEST(FailureTrace, UpAtMatchesOutages) {
+  FailureConfig cfg;
+  cfg.mean_uptime = 50.0;
+  cfg.mean_downtime = 10.0;
+  cfg.horizon = 1000.0;
+  util::Rng rng(2);
+  FailureTrace trace(cfg, 3, rng);
+  for (ProcId j = 0; j < 3; ++j) {
+    for (const auto& o : trace.outages(j)) {
+      EXPECT_TRUE(trace.up_at(j, o.down - 1e-6));
+      EXPECT_FALSE(trace.up_at(j, o.down));
+      EXPECT_FALSE(trace.up_at(j, 0.5 * (o.down + o.up)));
+      EXPECT_TRUE(trace.up_at(j, o.up));
+    }
+  }
+}
+
+TEST(FailureTrace, FractionZeroMeansNoFailures) {
+  FailureConfig cfg;
+  cfg.failing_fraction = 0.0;
+  util::Rng rng(3);
+  FailureTrace trace(cfg, 10, rng);
+  EXPECT_TRUE(trace.empty());
+}
+
+TEST(FailureTrace, RejectsBadConfig) {
+  util::Rng rng(4);
+  FailureConfig bad;
+  bad.mean_uptime = 0.0;
+  EXPECT_THROW(FailureTrace(bad, 2, rng), std::invalid_argument);
+  FailureConfig bad2;
+  bad2.failing_fraction = 2.0;
+  EXPECT_THROW(FailureTrace(bad2, 2, rng), std::invalid_argument);
+}
+
+TEST(EngineFailures, AllTasksStillCompleteExactlyOnce) {
+  const Cluster c = simple_cluster(4, 10.0);
+  const Workload w = constant_workload(40, 100.0);  // 10 s per task
+  FailureConfig fcfg;
+  fcfg.mean_uptime = 60.0;
+  fcfg.mean_downtime = 15.0;
+  fcfg.horizon = 100000.0;
+  util::Rng frng(5);
+  const FailureTrace trace(fcfg, 4, frng);
+  ASSERT_FALSE(trace.empty());
+  EngineConfig ecfg;
+  ecfg.failures = &trace;
+  GreedyPolicy policy;
+  const auto r = simulate(c, w, policy, util::Rng(1), ecfg);
+  EXPECT_EQ(r.tasks_completed, 40u);
+  std::size_t total_tasks = 0;
+  double total_work = 0.0;
+  for (const auto& p : r.per_proc) {
+    total_tasks += p.tasks;
+    total_work += p.work_mflops;
+  }
+  EXPECT_EQ(total_tasks, 40u);
+  EXPECT_NEAR(total_work, w.total_mflops(), 1e-6);
+  EXPECT_GT(r.tasks_requeued, 0u);
+}
+
+TEST(EngineFailures, MakespanLongerThanWithoutFailures) {
+  const Cluster c = simple_cluster(2, 10.0);
+  const Workload w = constant_workload(30, 200.0);
+  FailureConfig fcfg;
+  fcfg.mean_uptime = 100.0;
+  fcfg.mean_downtime = 100.0;
+  fcfg.horizon = 1000000.0;
+  util::Rng frng(6);
+  const FailureTrace trace(fcfg, 2, frng);
+  GreedyPolicy p1, p2;
+  const auto without = simulate(c, w, p1, util::Rng(1));
+  EngineConfig ecfg;
+  ecfg.failures = &trace;
+  const auto with = simulate(c, w, p2, util::Rng(1), ecfg);
+  EXPECT_GT(with.makespan, without.makespan);
+}
+
+TEST(EngineFailures, FailureCountsRecorded) {
+  const Cluster c = simple_cluster(2, 10.0);
+  const Workload w = constant_workload(20, 100.0);
+  FailureConfig fcfg;
+  fcfg.mean_uptime = 40.0;
+  fcfg.mean_downtime = 10.0;
+  fcfg.horizon = 100000.0;
+  util::Rng frng(7);
+  const FailureTrace trace(fcfg, 2, frng);
+  EngineConfig ecfg;
+  ecfg.failures = &trace;
+  GreedyPolicy policy;
+  const auto r = simulate(c, w, policy, util::Rng(1), ecfg);
+  std::size_t failures = 0;
+  for (const auto& p : r.per_proc) failures += p.failures;
+  EXPECT_GT(failures, 0u);
+}
+
+TEST(EngineFailures, DeterministicGivenSeeds) {
+  const Cluster c = simple_cluster(3, 20.0);
+  const Workload w = constant_workload(30, 150.0);
+  FailureConfig fcfg;
+  fcfg.mean_uptime = 50.0;
+  fcfg.mean_downtime = 20.0;
+  fcfg.horizon = 100000.0;
+  util::Rng f1(8);
+  const FailureTrace trace(fcfg, 3, f1);
+  EngineConfig ecfg;
+  ecfg.failures = &trace;
+  GreedyPolicy p1, p2;
+  const auto a = simulate(c, w, p1, util::Rng(2), ecfg);
+  const auto b = simulate(c, w, p2, util::Rng(2), ecfg);
+  EXPECT_DOUBLE_EQ(a.makespan, b.makespan);
+  EXPECT_EQ(a.tasks_requeued, b.tasks_requeued);
+}
+
+TEST(EngineFailures, TraceAttemptsReflectRetries) {
+  const Cluster c = simple_cluster(2, 10.0);
+  const Workload w = constant_workload(20, 200.0);  // 20 s per task
+  FailureConfig fcfg;
+  fcfg.mean_uptime = 30.0;
+  fcfg.mean_downtime = 10.0;
+  fcfg.horizon = 1000000.0;
+  util::Rng frng(9);
+  const FailureTrace trace(fcfg, 2, frng);
+  EngineConfig ecfg;
+  ecfg.failures = &trace;
+  ecfg.record_task_trace = true;
+  GreedyPolicy policy;
+  const auto r = simulate(c, w, policy, util::Rng(1), ecfg);
+  std::size_t retried = 0;
+  for (const auto& rec : r.task_trace) {
+    if (rec.attempts > 1) ++retried;
+  }
+  EXPECT_GT(retried, 0u);
+}
+
+}  // namespace
+}  // namespace gasched::sim

@@ -1,0 +1,143 @@
+// Tests for task-trace recording, validation, Gantt rendering, and trace
+// export.
+
+#include "sim/gantt.hpp"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <sstream>
+
+#include "util/csv.hpp"
+#include "workload/generator.hpp"
+
+namespace gasched::sim {
+namespace {
+
+using workload::Task;
+using workload::Workload;
+
+class GreedyPolicy final : public SchedulingPolicy {
+ public:
+  BatchAssignment invoke(const SystemView& view, std::deque<Task>& queue,
+                         util::Rng&) override {
+    auto a = BatchAssignment::empty(view.size());
+    std::size_t j = 0;
+    while (!queue.empty()) {
+      a.per_proc[j % view.size()].push_back(queue.front().id);
+      queue.pop_front();
+      ++j;
+    }
+    return a;
+  }
+  std::string name() const override { return "greedy"; }
+};
+
+SimulationResult traced_run(std::size_t tasks = 24, std::size_t procs = 4) {
+  ClusterConfig cfg;
+  cfg.num_processors = procs;
+  cfg.rate_lo = 10.0;
+  cfg.rate_hi = 50.0;
+  cfg.comm.mean_cost = 2.0;
+  util::Rng crng(7);
+  const Cluster c = build_cluster(cfg, crng);
+  workload::UniformSizes dist(50.0, 300.0);
+  util::Rng wrng(3);
+  const Workload w = workload::generate(dist, tasks, wrng);
+  EngineConfig ecfg;
+  ecfg.record_task_trace = true;
+  GreedyPolicy policy;
+  return simulate(c, w, policy, util::Rng(1), ecfg);
+}
+
+TEST(TaskTrace, RecordedForEveryTask) {
+  const auto r = traced_run();
+  ASSERT_EQ(r.task_trace.size(), 24u);
+  for (const auto& rec : r.task_trace) {
+    EXPECT_NE(rec.id, workload::kInvalidTask);
+    EXPECT_GE(rec.proc, 0);
+    EXPECT_EQ(rec.attempts, 1u);
+  }
+}
+
+TEST(TaskTrace, ValidatesConsistent) {
+  const auto r = traced_run();
+  EXPECT_EQ(validate_task_trace(r), "");
+}
+
+TEST(TaskTrace, OrderingWithinEachRecord) {
+  const auto r = traced_run();
+  for (const auto& rec : r.task_trace) {
+    EXPECT_GE(rec.dispatch, rec.arrival);
+    EXPECT_GE(rec.start, rec.dispatch);
+    EXPECT_GE(rec.completion, rec.start);
+    EXPECT_LE(rec.completion, r.makespan + 1e-9);
+    EXPECT_GT(rec.comm_cost, 0.0);
+  }
+}
+
+TEST(TaskTrace, EmptyWithoutFlag) {
+  ClusterConfig cfg;
+  cfg.num_processors = 2;
+  cfg.zero_comm = true;
+  util::Rng crng(7);
+  const Cluster c = build_cluster(cfg, crng);
+  workload::ConstantSizes dist(10.0);
+  util::Rng wrng(3);
+  const Workload w = workload::generate(dist, 5, wrng);
+  GreedyPolicy policy;
+  const auto r = simulate(c, w, policy, util::Rng(1));
+  EXPECT_TRUE(r.task_trace.empty());
+}
+
+TEST(ValidateTaskTrace, CatchesCorruption) {
+  auto r = traced_run();
+  auto bad = r;
+  bad.task_trace[0].start = bad.task_trace[0].completion + 10.0;
+  EXPECT_NE(validate_task_trace(bad), "");
+  auto bad2 = r;
+  bad2.task_trace[0].proc = 999;
+  EXPECT_NE(validate_task_trace(bad2), "");
+}
+
+TEST(Gantt, RendersOneLanePerProcessor) {
+  const auto r = traced_run(24, 4);
+  std::ostringstream os;
+  render_gantt(r, os);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("P0"), std::string::npos);
+  EXPECT_NE(out.find("P3"), std::string::npos);
+  EXPECT_NE(out.find('#'), std::string::npos);  // some execution drawn
+}
+
+TEST(Gantt, ThrowsWithoutTrace) {
+  SimulationResult r;
+  std::ostringstream os;
+  EXPECT_THROW(render_gantt(r, os), std::invalid_argument);
+}
+
+TEST(Gantt, RespectsWidthAndRowLimits) {
+  const auto r = traced_run(24, 4);
+  GanttOptions opts;
+  opts.width = 40;
+  opts.max_procs = 2;
+  std::ostringstream os;
+  render_gantt(r, os, opts);
+  const std::string out = os.str();
+  EXPECT_EQ(out.find("P2 "), std::string::npos);
+  EXPECT_NE(out.find("more processors"), std::string::npos);
+}
+
+TEST(TraceExport, WritesCsvWithHeaderAndRows) {
+  const auto r = traced_run(10, 2);
+  const auto path =
+      std::filesystem::temp_directory_path() / "gasched_task_trace.csv";
+  save_task_trace(r, path);
+  const auto rows = util::read_csv(path);
+  ASSERT_EQ(rows.size(), 11u);  // header + 10 tasks
+  EXPECT_EQ(rows[0][0], "id");
+  std::filesystem::remove(path);
+}
+
+}  // namespace
+}  // namespace gasched::sim

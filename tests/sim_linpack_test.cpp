@@ -1,0 +1,79 @@
+// Tests for the Linpack-style rate calibration substrate.
+
+#include "sim/linpack.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace gasched::sim {
+namespace {
+
+TEST(LuFactor, SolvesKnownSystemExactly) {
+  // A = [[2, 1], [1, 3]], b = A * [1, 2] = [4, 7].
+  std::vector<double> a{2.0, 1.0, 1.0, 3.0};
+  std::vector<double> b{4.0, 7.0};
+  std::vector<std::size_t> piv;
+  ASSERT_TRUE(lu_factor(a, 2, piv));
+  lu_solve(a, 2, piv, b);
+  EXPECT_NEAR(b[0], 1.0, 1e-12);
+  EXPECT_NEAR(b[1], 2.0, 1e-12);
+}
+
+TEST(LuFactor, PivotingHandlesZeroDiagonal) {
+  // Leading zero forces a row swap.
+  std::vector<double> a{0.0, 1.0, 1.0, 0.0};
+  std::vector<double> b{2.0, 3.0};  // solution x = [3, 2]
+  std::vector<std::size_t> piv;
+  ASSERT_TRUE(lu_factor(a, 2, piv));
+  lu_solve(a, 2, piv, b);
+  EXPECT_NEAR(b[0], 3.0, 1e-12);
+  EXPECT_NEAR(b[1], 2.0, 1e-12);
+}
+
+TEST(LuFactor, DetectsSingularMatrix) {
+  std::vector<double> a{1.0, 2.0, 2.0, 4.0};  // rank 1
+  std::vector<std::size_t> piv;
+  EXPECT_FALSE(lu_factor(a, 2, piv));
+}
+
+TEST(LuFactor, IdentityIsItsOwnFactorisation) {
+  const std::size_t n = 5;
+  std::vector<double> a(n * n, 0.0);
+  for (std::size_t i = 0; i < n; ++i) a[i * n + i] = 1.0;
+  std::vector<double> b(n);
+  for (std::size_t i = 0; i < n; ++i) b[i] = static_cast<double>(i);
+  std::vector<std::size_t> piv;
+  ASSERT_TRUE(lu_factor(a, n, piv));
+  lu_solve(a, n, piv, b);
+  for (std::size_t i = 0; i < n; ++i) {
+    EXPECT_NEAR(b[i], static_cast<double>(i), 1e-12);
+  }
+}
+
+TEST(Linpack, BenchmarkProducesAccurateSolution) {
+  util::Rng rng(1);
+  const LinpackResult r = linpack_benchmark(128, rng);
+  EXPECT_EQ(r.n, 128u);
+  EXPECT_GT(r.mflops, 0.0);
+  // The constructed system has solution = all ones; residual must be tiny
+  // relative to the matrix scale.
+  EXPECT_LT(r.residual, 1e-6);
+}
+
+TEST(Linpack, RateScalesPlausiblyWithSize) {
+  util::Rng rng(2);
+  const LinpackResult small = linpack_benchmark(64, rng);
+  const LinpackResult large = linpack_benchmark(256, rng);
+  // Both should produce meaningful (non-degenerate) rates.
+  EXPECT_GT(small.mflops, 1.0);
+  EXPECT_GT(large.mflops, 1.0);
+}
+
+TEST(Linpack, RejectsZeroOrder) {
+  util::Rng rng(3);
+  EXPECT_THROW(linpack_benchmark(0, rng), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace gasched::sim

@@ -1,0 +1,143 @@
+// Tests for scheduler-computation-time modelling
+// (EngineConfig::sched_time_scale) and the GA wall-clock stop condition
+// (GeneticSchedulerConfig::max_wall_seconds) — together they realise the
+// paper's "GA stops evolving if a processor becomes idle" (§3.4).
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <thread>
+
+#include "core/genetic_scheduler.hpp"
+#include "sim/engine.hpp"
+#include "workload/generator.hpp"
+
+namespace gasched::sim {
+namespace {
+
+using workload::Task;
+using workload::Workload;
+
+/// Greedy round robin that burns a configurable amount of wall time per
+/// invocation, standing in for an expensive scheduler.
+class SlowPolicy final : public SchedulingPolicy {
+ public:
+  explicit SlowPolicy(double wall_ms) : wall_ms_(wall_ms) {}
+  BatchAssignment invoke(const SystemView& view, std::deque<Task>& queue,
+                         util::Rng&) override {
+    std::this_thread::sleep_for(
+        std::chrono::duration<double, std::milli>(wall_ms_));
+    auto a = BatchAssignment::empty(view.size());
+    std::size_t j = 0;
+    while (!queue.empty()) {
+      a.per_proc[j % view.size()].push_back(queue.front().id);
+      queue.pop_front();
+      ++j;
+    }
+    return a;
+  }
+  std::string name() const override { return "slow"; }
+
+ private:
+  double wall_ms_;
+};
+
+Cluster simple_cluster(std::size_t procs, double rate) {
+  ClusterConfig cfg;
+  cfg.num_processors = procs;
+  cfg.rate_lo = cfg.rate_hi = rate;
+  cfg.zero_comm = true;
+  util::Rng rng(7);
+  return build_cluster(cfg, rng);
+}
+
+Workload constant_workload(std::size_t count, double size) {
+  workload::ConstantSizes dist(size);
+  util::Rng rng(3);
+  return workload::generate(dist, count, rng);
+}
+
+TEST(SchedTime, ZeroScaleAssignsInstantly) {
+  const Cluster c = simple_cluster(1, 10.0);
+  const Workload w = constant_workload(4, 100.0);
+  SlowPolicy policy(5.0);
+  const auto r = simulate(c, w, policy, util::Rng(1));
+  EXPECT_DOUBLE_EQ(r.makespan, 40.0);  // pure execution time
+}
+
+TEST(SchedTime, PositiveScaleDelaysAssignments) {
+  const Cluster c = simple_cluster(1, 10.0);
+  const Workload w = constant_workload(4, 100.0);
+  // Scale wall time by 1000: ~5 ms per invocation => ~5 simulated seconds
+  // of scheduler latency before work starts.
+  SlowPolicy policy(5.0);
+  EngineConfig ecfg;
+  ecfg.sched_time_scale = 1000.0;
+  const auto r = simulate(c, w, policy, util::Rng(1), ecfg);
+  EXPECT_GT(r.makespan, 41.0);
+  EXPECT_EQ(r.tasks_completed, 4u);
+}
+
+TEST(SchedTime, AllTasksCompleteUnderDelayedAssignments) {
+  const Cluster c = simple_cluster(4, 20.0);
+  const Workload w = constant_workload(40, 100.0);
+  SlowPolicy policy(1.0);
+  EngineConfig ecfg;
+  ecfg.sched_time_scale = 100.0;
+  const auto r = simulate(c, w, policy, util::Rng(1), ecfg);
+  EXPECT_EQ(r.tasks_completed, 40u);
+}
+
+TEST(GaWallBudget, StopsEvolutionEarly) {
+  // A generous GA (many generations) with a ~zero wall budget must return
+  // almost immediately with the initial population's best.
+  core::GeneticSchedulerConfig cfg;
+  cfg.ga.max_generations = 1000000;  // would take minutes unbounded
+  cfg.ga.population = 20;
+  cfg.dynamic_batch = false;
+  cfg.fixed_batch = 150;
+  cfg.max_wall_seconds = 0.02;
+  core::GeneticBatchScheduler sched(cfg, "T");
+  SystemView view;
+  view.procs.resize(8);
+  for (std::size_t j = 0; j < 8; ++j) {
+    view.procs[j].id = static_cast<ProcId>(j);
+    view.procs[j].rate = 10.0 + static_cast<double>(j);
+  }
+  std::deque<Task> queue;
+  for (int i = 0; i < 150; ++i) {
+    queue.push_back({i, 100.0, 0.0});
+  }
+  util::Rng rng(1);
+  const auto t0 = std::chrono::steady_clock::now();
+  const auto a = sched.invoke(view, queue, rng);
+  const double elapsed =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+  EXPECT_EQ(a.total(), 150u);
+  EXPECT_LT(elapsed, 2.0);  // far below what 1e6 generations would take
+}
+
+TEST(GaWallBudget, DisabledBudgetRunsAllGenerations) {
+  core::GeneticSchedulerConfig cfg;
+  cfg.ga.max_generations = 30;
+  cfg.ga.population = 8;
+  cfg.dynamic_batch = false;
+  cfg.fixed_batch = 20;
+  cfg.max_wall_seconds = 0.0;
+  core::GeneticBatchScheduler sched(cfg, "T");
+  SystemView view;
+  view.procs.resize(3);
+  for (std::size_t j = 0; j < 3; ++j) {
+    view.procs[j].id = static_cast<ProcId>(j);
+    view.procs[j].rate = 20.0;
+  }
+  std::deque<Task> queue;
+  for (int i = 0; i < 20; ++i) queue.push_back({i, 50.0, 0.0});
+  util::Rng rng(2);
+  const auto a = sched.invoke(view, queue, rng);
+  EXPECT_EQ(a.total(), 20u);
+}
+
+}  // namespace
+}  // namespace gasched::sim

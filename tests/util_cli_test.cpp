@@ -1,0 +1,81 @@
+// Tests for the command-line flag parser.
+
+#include "util/cli.hpp"
+
+#include <gtest/gtest.h>
+
+namespace gasched::util {
+namespace {
+
+Cli make(std::initializer_list<const char*> args) {
+  std::vector<const char*> argv(args);
+  return Cli(static_cast<int>(argv.size()), argv.data());
+}
+
+TEST(Cli, ParsesSpaceSeparatedFlags) {
+  const Cli cli = make({"prog", "--tasks", "500", "--name", "pn"});
+  EXPECT_EQ(cli.get_int("tasks", 0), 500);
+  EXPECT_EQ(cli.get("name", ""), "pn");
+}
+
+TEST(Cli, ParsesEqualsSeparatedFlags) {
+  const Cli cli = make({"prog", "--tasks=250", "--ratio=0.5"});
+  EXPECT_EQ(cli.get_int("tasks", 0), 250);
+  EXPECT_DOUBLE_EQ(cli.get_double("ratio", 0.0), 0.5);
+}
+
+TEST(Cli, BooleanFlagWithoutValue) {
+  const Cli cli = make({"prog", "--verbose"});
+  EXPECT_TRUE(cli.has("verbose"));
+  EXPECT_TRUE(cli.get_bool("verbose", false));
+}
+
+TEST(Cli, BooleanFlagExplicitValues) {
+  EXPECT_TRUE(make({"p", "--x=yes"}).get_bool("x", false));
+  EXPECT_TRUE(make({"p", "--x=on"}).get_bool("x", false));
+  EXPECT_TRUE(make({"p", "--x=1"}).get_bool("x", false));
+  EXPECT_FALSE(make({"p", "--x=0"}).get_bool("x", true));
+  EXPECT_FALSE(make({"p", "--x=no"}).get_bool("x", true));
+}
+
+TEST(Cli, DefaultsWhenMissing) {
+  const Cli cli = make({"prog"});
+  EXPECT_EQ(cli.get_int("missing", 7), 7);
+  EXPECT_DOUBLE_EQ(cli.get_double("missing", 2.5), 2.5);
+  EXPECT_EQ(cli.get("missing", "dft"), "dft");
+  EXPECT_FALSE(cli.get_bool("missing", false));
+}
+
+TEST(Cli, MalformedIntFallsBack) {
+  const Cli cli = make({"prog", "--n", "abc"});
+  EXPECT_EQ(cli.get_int("n", 9), 9);
+}
+
+TEST(Cli, PositionalArgumentsPreserved) {
+  const Cli cli = make({"prog", "input.csv", "--n", "3", "other"});
+  ASSERT_EQ(cli.positional().size(), 2u);
+  EXPECT_EQ(cli.positional()[0], "input.csv");
+  EXPECT_EQ(cli.positional()[1], "other");
+}
+
+TEST(Cli, ProgramNameCaptured) {
+  const Cli cli = make({"myprog"});
+  EXPECT_EQ(cli.program(), "myprog");
+}
+
+TEST(Cli, NegativeNumbersAsValues) {
+  const Cli cli = make({"prog", "--offset=-5"});
+  EXPECT_EQ(cli.get_int("offset", 0), -5);
+}
+
+TEST(Cli, LastOccurrenceWins) {
+  const Cli cli = make({"prog", "--n", "1", "--n", "2"});
+  EXPECT_EQ(cli.get_int("n", 0), 2);
+}
+
+TEST(EnvString, MissingVariableIsNullopt) {
+  EXPECT_FALSE(env_string("GASCHED_DEFINITELY_NOT_SET_12345").has_value());
+}
+
+}  // namespace
+}  // namespace gasched::util

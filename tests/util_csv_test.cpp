@@ -1,0 +1,117 @@
+// Tests for CSV round-tripping, quoting, and numeric formatting.
+
+#include "util/csv.hpp"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+
+namespace gasched::util {
+namespace {
+
+std::filesystem::path temp_file(const std::string& name) {
+  return std::filesystem::temp_directory_path() / ("gasched_csv_" + name);
+}
+
+TEST(Csv, WriteAndReadSimpleRows) {
+  const auto path = temp_file("simple.csv");
+  {
+    CsvWriter w(path);
+    w.row({"a", "b", "c"});
+    w.row({"1", "2", "3"});
+  }
+  const auto rows = read_csv(path);
+  ASSERT_EQ(rows.size(), 2u);
+  EXPECT_EQ(rows[0], (std::vector<std::string>{"a", "b", "c"}));
+  EXPECT_EQ(rows[1], (std::vector<std::string>{"1", "2", "3"}));
+  std::filesystem::remove(path);
+}
+
+TEST(Csv, QuotesCellsWithCommas) {
+  const auto path = temp_file("quotes.csv");
+  {
+    CsvWriter w(path);
+    w.row({"hello, world", "plain"});
+  }
+  const auto rows = read_csv(path);
+  ASSERT_EQ(rows.size(), 1u);
+  EXPECT_EQ(rows[0][0], "hello, world");
+  EXPECT_EQ(rows[0][1], "plain");
+  std::filesystem::remove(path);
+}
+
+TEST(Csv, EscapesEmbeddedQuotes) {
+  const auto path = temp_file("escq.csv");
+  {
+    CsvWriter w(path);
+    w.row({"she said \"hi\"", "x"});
+  }
+  const auto rows = read_csv(path);
+  EXPECT_EQ(rows[0][0], "she said \"hi\"");
+  std::filesystem::remove(path);
+}
+
+TEST(Csv, NumericRowRoundTrips) {
+  const auto path = temp_file("num.csv");
+  {
+    CsvWriter w(path);
+    w.row_numeric({1.5, -2.25, 3e10, 0.0});
+  }
+  const auto rows = read_csv(path);
+  ASSERT_EQ(rows[0].size(), 4u);
+  EXPECT_DOUBLE_EQ(std::stod(rows[0][0]), 1.5);
+  EXPECT_DOUBLE_EQ(std::stod(rows[0][1]), -2.25);
+  EXPECT_DOUBLE_EQ(std::stod(rows[0][2]), 3e10);
+  EXPECT_DOUBLE_EQ(std::stod(rows[0][3]), 0.0);
+  std::filesystem::remove(path);
+}
+
+TEST(Csv, ParseLineHandlesQuotedCommasAndEscapes) {
+  const auto cells = parse_csv_line(R"(a,"b,c","d""e",f)");
+  ASSERT_EQ(cells.size(), 4u);
+  EXPECT_EQ(cells[0], "a");
+  EXPECT_EQ(cells[1], "b,c");
+  EXPECT_EQ(cells[2], "d\"e");
+  EXPECT_EQ(cells[3], "f");
+}
+
+TEST(Csv, ParseLineEmptyCells) {
+  const auto cells = parse_csv_line(",,x,");
+  ASSERT_EQ(cells.size(), 4u);
+  EXPECT_EQ(cells[0], "");
+  EXPECT_EQ(cells[1], "");
+  EXPECT_EQ(cells[2], "x");
+  EXPECT_EQ(cells[3], "");
+}
+
+TEST(Csv, ParseLineStripsCarriageReturn) {
+  const auto cells = parse_csv_line("a,b\r");
+  ASSERT_EQ(cells.size(), 2u);
+  EXPECT_EQ(cells[1], "b");
+}
+
+TEST(Csv, ReadMissingFileThrows) {
+  EXPECT_THROW(read_csv("/nonexistent/gasched/file.csv"), std::runtime_error);
+}
+
+TEST(Csv, WriterCreatesParentDirectories) {
+  const auto dir = std::filesystem::temp_directory_path() / "gasched_csv_dir";
+  const auto path = dir / "nested" / "out.csv";
+  std::filesystem::remove_all(dir);
+  {
+    CsvWriter w(path);
+    w.row({"x"});
+  }
+  EXPECT_TRUE(std::filesystem::exists(path));
+  std::filesystem::remove_all(dir);
+}
+
+TEST(Csv, FormatDoubleCompact) {
+  EXPECT_EQ(format_double(1.0), "1");
+  EXPECT_EQ(format_double(0.5), "0.5");
+  EXPECT_NEAR(std::stod(format_double(1.0 / 3.0)), 1.0 / 3.0, 1e-11);
+}
+
+}  // namespace
+}  // namespace gasched::util

@@ -1,0 +1,113 @@
+// Tests for the paper's Γ smoothing function (§3.6):
+// Γ_i = Γ_{i-1} + ν(a_i − Γ_{i-1}), Γ_0 = a_1.
+
+#include "util/smoothing.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+namespace gasched::util {
+namespace {
+
+TEST(Smoother, FirstObservationInitialisesGamma) {
+  Smoother s(0.5);
+  EXPECT_FALSE(s.primed());
+  EXPECT_DOUBLE_EQ(s.observe(7.0), 7.0);
+  EXPECT_TRUE(s.primed());
+  EXPECT_DOUBLE_EQ(s.value(), 7.0);
+}
+
+TEST(Smoother, RecurrenceMatchesPaperDefinition) {
+  Smoother s(0.25);
+  s.observe(10.0);
+  // Γ_1 = 10 + 0.25 (2 − 10) = 8
+  EXPECT_DOUBLE_EQ(s.observe(2.0), 8.0);
+  // Γ_2 = 8 + 0.25 (16 − 8) = 10
+  EXPECT_DOUBLE_EQ(s.observe(16.0), 10.0);
+}
+
+TEST(Smoother, NuZeroFreezesFirstValue) {
+  Smoother s(0.0);
+  s.observe(5.0);
+  for (double v : {100.0, -3.0, 42.0}) s.observe(v);
+  EXPECT_DOUBLE_EQ(s.value(), 5.0);
+}
+
+TEST(Smoother, NuOneTracksLatestValue) {
+  Smoother s(1.0);
+  s.observe(5.0);
+  EXPECT_DOUBLE_EQ(s.observe(11.0), 11.0);
+  EXPECT_DOUBLE_EQ(s.observe(-2.0), -2.0);
+}
+
+TEST(Smoother, NuIsClampedToUnitInterval) {
+  EXPECT_DOUBLE_EQ(Smoother(-3.0).nu(), 0.0);
+  EXPECT_DOUBLE_EQ(Smoother(9.0).nu(), 1.0);
+}
+
+TEST(Smoother, ValueOrReturnsFallbackUntilPrimed) {
+  Smoother s(0.5);
+  EXPECT_DOUBLE_EQ(s.value_or(123.0), 123.0);
+  s.observe(1.0);
+  EXPECT_DOUBLE_EQ(s.value_or(123.0), 1.0);
+}
+
+TEST(Smoother, ConvergesToConstantInput) {
+  Smoother s(0.3);
+  for (int i = 0; i < 200; ++i) s.observe(42.0);
+  EXPECT_NEAR(s.value(), 42.0, 1e-9);
+}
+
+TEST(Smoother, ConvergesTowardMeanOfAlternatingInput) {
+  Smoother s(0.1);
+  for (int i = 0; i < 10000; ++i) s.observe(i % 2 == 0 ? 0.0 : 10.0);
+  EXPECT_NEAR(s.value(), 5.0, 1.0);
+}
+
+TEST(Smoother, StaysWithinObservedRange) {
+  // Γ is a convex combination, so it can never escape [min, max] of inputs.
+  Smoother s(0.7);
+  const std::vector<double> vals{3.0, 9.0, 4.5, 8.2, 3.3, 6.6};
+  for (double v : vals) {
+    s.observe(v);
+    EXPECT_GE(s.value(), 3.0);
+    EXPECT_LE(s.value(), 9.0);
+  }
+}
+
+TEST(Smoother, ResetClearsState) {
+  Smoother s(0.5);
+  s.observe(10.0);
+  s.reset();
+  EXPECT_FALSE(s.primed());
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_DOUBLE_EQ(s.observe(3.0), 3.0);
+}
+
+TEST(Smoother, CountTracksObservations) {
+  Smoother s(0.5);
+  for (int i = 1; i <= 10; ++i) {
+    s.observe(static_cast<double>(i));
+    EXPECT_EQ(s.count(), static_cast<std::size_t>(i));
+  }
+}
+
+class SmootherNuSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(SmootherNuSweep, HigherNuTracksStepChangeFaster) {
+  const double nu = GetParam();
+  Smoother s(nu);
+  s.observe(0.0);
+  s.observe(1.0);  // step input
+  // After one step the response equals ν exactly.
+  EXPECT_NEAR(s.value(), nu, 1e-12);
+}
+
+INSTANTIATE_TEST_SUITE_P(NuGrid, SmootherNuSweep,
+                         ::testing::Values(0.0, 0.1, 0.25, 0.5, 0.75, 0.9,
+                                           1.0));
+
+}  // namespace
+}  // namespace gasched::util

@@ -1,0 +1,151 @@
+// Tests for streaming statistics, summaries, percentiles, and OLS fits.
+
+#include "util/stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+namespace gasched::util {
+namespace {
+
+TEST(RunningStats, EmptyIsSafe) {
+  RunningStats rs;
+  EXPECT_EQ(rs.count(), 0u);
+  EXPECT_DOUBLE_EQ(rs.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(rs.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(rs.stderr_mean(), 0.0);
+}
+
+TEST(RunningStats, SingleValue) {
+  RunningStats rs;
+  rs.add(5.0);
+  EXPECT_EQ(rs.count(), 1u);
+  EXPECT_DOUBLE_EQ(rs.mean(), 5.0);
+  EXPECT_DOUBLE_EQ(rs.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(rs.min(), 5.0);
+  EXPECT_DOUBLE_EQ(rs.max(), 5.0);
+}
+
+TEST(RunningStats, KnownMoments) {
+  RunningStats rs;
+  for (double v : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) rs.add(v);
+  EXPECT_DOUBLE_EQ(rs.mean(), 5.0);
+  // Population variance is 4; sample variance = 32/7.
+  EXPECT_NEAR(rs.variance(), 32.0 / 7.0, 1e-12);
+  EXPECT_DOUBLE_EQ(rs.min(), 2.0);
+  EXPECT_DOUBLE_EQ(rs.max(), 9.0);
+}
+
+TEST(RunningStats, MergeMatchesSequential) {
+  RunningStats a, b, all;
+  const std::vector<double> xs{1.5, -2.0, 3.25, 10.0, 0.0, 7.5, -1.25};
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    (i < 3 ? a : b).add(xs[i]);
+    all.add(xs[i]);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), all.count());
+  EXPECT_NEAR(a.mean(), all.mean(), 1e-12);
+  EXPECT_NEAR(a.variance(), all.variance(), 1e-12);
+  EXPECT_DOUBLE_EQ(a.min(), all.min());
+  EXPECT_DOUBLE_EQ(a.max(), all.max());
+}
+
+TEST(RunningStats, MergeWithEmptyIsIdentity) {
+  RunningStats a, empty;
+  a.add(1.0);
+  a.add(2.0);
+  const double mean = a.mean();
+  a.merge(empty);
+  EXPECT_DOUBLE_EQ(a.mean(), mean);
+  empty.merge(a);
+  EXPECT_DOUBLE_EQ(empty.mean(), mean);
+}
+
+TEST(RunningStats, NumericallyStableForLargeOffsets) {
+  RunningStats rs;
+  for (int i = 0; i < 1000; ++i) rs.add(1e9 + (i % 2));
+  EXPECT_NEAR(rs.variance(), 0.2502502502, 1e-6);
+}
+
+TEST(Percentile, EmptyAndSingle) {
+  EXPECT_DOUBLE_EQ(percentile_sorted({}, 50.0), 0.0);
+  const std::vector<double> one{3.0};
+  EXPECT_DOUBLE_EQ(percentile_sorted(one, 0.0), 3.0);
+  EXPECT_DOUBLE_EQ(percentile_sorted(one, 100.0), 3.0);
+}
+
+TEST(Percentile, InterpolatesLinearly) {
+  const std::vector<double> xs{0.0, 10.0, 20.0, 30.0};
+  EXPECT_DOUBLE_EQ(percentile_sorted(xs, 0.0), 0.0);
+  EXPECT_DOUBLE_EQ(percentile_sorted(xs, 100.0), 30.0);
+  EXPECT_DOUBLE_EQ(percentile_sorted(xs, 50.0), 15.0);
+  EXPECT_DOUBLE_EQ(percentile_sorted(xs, 25.0), 7.5);
+}
+
+TEST(Percentile, ClampsOutOfRangeQ) {
+  const std::vector<double> xs{1.0, 2.0};
+  EXPECT_DOUBLE_EQ(percentile_sorted(xs, -5.0), 1.0);
+  EXPECT_DOUBLE_EQ(percentile_sorted(xs, 105.0), 2.0);
+}
+
+TEST(Summarize, FullSummary) {
+  const std::vector<double> xs{4.0, 1.0, 3.0, 2.0, 5.0};
+  const Summary s = summarize(xs);
+  EXPECT_EQ(s.count, 5u);
+  EXPECT_DOUBLE_EQ(s.mean, 3.0);
+  EXPECT_DOUBLE_EQ(s.median, 3.0);
+  EXPECT_DOUBLE_EQ(s.min, 1.0);
+  EXPECT_DOUBLE_EQ(s.max, 5.0);
+  EXPECT_NEAR(s.stddev, std::sqrt(2.5), 1e-12);
+}
+
+TEST(Summarize, EmptyInput) {
+  const Summary s = summarize({});
+  EXPECT_EQ(s.count, 0u);
+  EXPECT_DOUBLE_EQ(s.mean, 0.0);
+}
+
+TEST(LinearFit, ExactLineRecovered) {
+  std::vector<double> xs, ys;
+  for (int i = 0; i < 20; ++i) {
+    xs.push_back(i);
+    ys.push_back(3.0 + 2.5 * i);
+  }
+  const LinearFit f = linear_fit(xs, ys);
+  EXPECT_NEAR(f.intercept, 3.0, 1e-9);
+  EXPECT_NEAR(f.slope, 2.5, 1e-9);
+  EXPECT_NEAR(f.r2, 1.0, 1e-9);
+}
+
+TEST(LinearFit, FlatLineHasZeroSlope) {
+  const std::vector<double> xs{1, 2, 3, 4};
+  const std::vector<double> ys{7, 7, 7, 7};
+  const LinearFit f = linear_fit(xs, ys);
+  EXPECT_NEAR(f.slope, 0.0, 1e-12);
+  EXPECT_NEAR(f.intercept, 7.0, 1e-12);
+}
+
+TEST(LinearFit, DegenerateInputsReturnZeroFit) {
+  const std::vector<double> one{1.0};
+  EXPECT_DOUBLE_EQ(linear_fit(one, one).slope, 0.0);
+  const std::vector<double> same_x{2.0, 2.0, 2.0};
+  const std::vector<double> ys{1.0, 2.0, 3.0};
+  EXPECT_DOUBLE_EQ(linear_fit(same_x, ys).slope, 0.0);
+}
+
+TEST(LinearFit, NoisyLineStillCloseAndR2High) {
+  std::vector<double> xs, ys;
+  for (int i = 0; i < 100; ++i) {
+    xs.push_back(i);
+    ys.push_back(10.0 + 0.5 * i + ((i % 3) - 1) * 0.1);
+  }
+  const LinearFit f = linear_fit(xs, ys);
+  EXPECT_NEAR(f.slope, 0.5, 0.01);
+  EXPECT_GT(f.r2, 0.99);
+}
+
+}  // namespace
+}  // namespace gasched::util

@@ -1,0 +1,112 @@
+// Tests for the thread pool: completion, exception propagation, and
+// parallel_for coverage/determinism properties.
+
+#include "util/thread_pool.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+namespace gasched::util {
+namespace {
+
+TEST(ThreadPool, RunsSubmittedTasks) {
+  ThreadPool pool(4);
+  std::atomic<int> counter{0};
+  std::vector<std::future<void>> futs;
+  for (int i = 0; i < 100; ++i) {
+    futs.push_back(pool.submit([&] { counter.fetch_add(1); }));
+  }
+  for (auto& f : futs) f.get();
+  EXPECT_EQ(counter.load(), 100);
+}
+
+TEST(ThreadPool, PropagatesExceptionsThroughFuture) {
+  ThreadPool pool(2);
+  auto fut = pool.submit([] { throw std::runtime_error("boom"); });
+  EXPECT_THROW(fut.get(), std::runtime_error);
+}
+
+TEST(ThreadPool, SizeMatchesRequested) {
+  ThreadPool pool(3);
+  EXPECT_EQ(pool.size(), 3u);
+}
+
+TEST(ThreadPool, DefaultSizeIsPositive) {
+  ThreadPool pool;
+  EXPECT_GE(pool.size(), 1u);
+}
+
+TEST(ParallelFor, CoversEveryIndexExactlyOnce) {
+  ThreadPool pool(8);
+  const std::size_t n = 10000;
+  std::vector<std::atomic<int>> hits(n);
+  pool.parallel_for(0, n, [&](std::size_t i) { hits[i].fetch_add(1); });
+  for (std::size_t i = 0; i < n; ++i) {
+    ASSERT_EQ(hits[i].load(), 1) << "index " << i;
+  }
+}
+
+TEST(ParallelFor, EmptyRangeIsNoop) {
+  ThreadPool pool(2);
+  bool ran = false;
+  pool.parallel_for(5, 5, [&](std::size_t) { ran = true; });
+  EXPECT_FALSE(ran);
+}
+
+TEST(ParallelFor, SingleIterationRunsInline) {
+  ThreadPool pool(2);
+  int count = 0;
+  pool.parallel_for(3, 4, [&](std::size_t i) {
+    EXPECT_EQ(i, 3u);
+    ++count;
+  });
+  EXPECT_EQ(count, 1);
+}
+
+TEST(ParallelFor, NonZeroBeginRespected) {
+  ThreadPool pool(4);
+  std::atomic<std::size_t> sum{0};
+  pool.parallel_for(10, 20, [&](std::size_t i) { sum.fetch_add(i); });
+  EXPECT_EQ(sum.load(), std::size_t{145});  // 10+11+...+19
+}
+
+TEST(ParallelFor, PropagatesFirstException) {
+  ThreadPool pool(4);
+  EXPECT_THROW(pool.parallel_for(0, 100,
+                                 [&](std::size_t i) {
+                                   if (i == 42) {
+                                     throw std::runtime_error("iter failed");
+                                   }
+                                 }),
+               std::runtime_error);
+}
+
+TEST(ParallelFor, ResultsIndependentOfThreadCount) {
+  // The same deterministic per-index computation must produce identical
+  // output regardless of pool width (HPC reproducibility requirement).
+  const std::size_t n = 500;
+  auto compute = [](std::size_t i) {
+    double acc = 0.0;
+    for (std::size_t k = 0; k < 100; ++k) {
+      acc += static_cast<double>(i * k % 17);
+    }
+    return acc;
+  };
+  std::vector<double> serial(n), wide(n);
+  ThreadPool one(1), many(8);
+  one.parallel_for(0, n, [&](std::size_t i) { serial[i] = compute(i); });
+  many.parallel_for(0, n, [&](std::size_t i) { wide[i] = compute(i); });
+  EXPECT_EQ(serial, wide);
+}
+
+TEST(GlobalPool, IsSingleton) {
+  EXPECT_EQ(&global_pool(), &global_pool());
+  EXPECT_GE(global_pool().size(), 1u);
+}
+
+}  // namespace
+}  // namespace gasched::util

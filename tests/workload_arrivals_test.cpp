@@ -1,0 +1,112 @@
+// Tests for the arrival processes of workload::generate — all-at-start
+// (the paper's §4.2 setup), Poisson streaming, and bursty two-state MMPP
+// arrivals.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "workload/generator.hpp"
+
+namespace gasched::workload {
+namespace {
+
+ArrivalConfig poisson(double mean_ia) {
+  ArrivalConfig a;
+  a.all_at_start = false;
+  a.mean_interarrival = mean_ia;
+  return a;
+}
+
+ArrivalConfig bursty(double mean_ia, double b, double dwell = 50.0) {
+  ArrivalConfig a = poisson(mean_ia);
+  a.burstiness = b;
+  a.burst_dwell = dwell;
+  return a;
+}
+
+/// Coefficient of variation of the inter-arrival times.
+double interarrival_cv(const Workload& w) {
+  std::vector<double> ia;
+  for (std::size_t i = 1; i < w.tasks.size(); ++i) {
+    ia.push_back(w.tasks[i].arrival_time - w.tasks[i - 1].arrival_time);
+  }
+  double mean = 0.0;
+  for (const double x : ia) mean += x;
+  mean /= static_cast<double>(ia.size());
+  double var = 0.0;
+  for (const double x : ia) var += (x - mean) * (x - mean);
+  var /= static_cast<double>(ia.size());
+  return std::sqrt(var) / mean;
+}
+
+TEST(Arrivals, AllAtStartIsTheDefault) {
+  util::Rng rng(1);
+  const ConstantSizes sizes(10.0);
+  const Workload w = generate(sizes, 50, rng);
+  for (const auto& t : w.tasks) EXPECT_DOUBLE_EQ(t.arrival_time, 0.0);
+}
+
+TEST(Arrivals, PoissonArrivalsAreMonotoneWithCorrectMean) {
+  util::Rng rng(2);
+  const ConstantSizes sizes(10.0);
+  const Workload w = generate(sizes, 4000, rng, poisson(2.0));
+  double prev = 0.0;
+  for (const auto& t : w.tasks) {
+    EXPECT_GE(t.arrival_time, prev);
+    prev = t.arrival_time;
+  }
+  // Last arrival ≈ count × mean inter-arrival; 4000 draws → tight CLT band.
+  EXPECT_NEAR(w.tasks.back().arrival_time, 8000.0, 500.0);
+  // Poisson process: CV of inter-arrivals ≈ 1.
+  EXPECT_NEAR(interarrival_cv(w), 1.0, 0.12);
+}
+
+TEST(Arrivals, BurstinessBelowOneRejected) {
+  util::Rng rng(3);
+  const ConstantSizes sizes(10.0);
+  EXPECT_THROW(generate(sizes, 10, rng, bursty(1.0, 0.5)),
+               std::invalid_argument);
+}
+
+TEST(Arrivals, BurstinessOneDegeneratesToPoisson) {
+  const ConstantSizes sizes(10.0);
+  util::Rng r1(4), r2(4);
+  const Workload a = generate(sizes, 200, r1, poisson(1.5));
+  const Workload b = generate(sizes, 200, r2, bursty(1.5, 1.0));
+  for (std::size_t i = 0; i < a.tasks.size(); ++i) {
+    EXPECT_DOUBLE_EQ(a.tasks[i].arrival_time, b.tasks[i].arrival_time);
+  }
+}
+
+TEST(Arrivals, MmppArrivalsAreMonotone) {
+  util::Rng rng(5);
+  const ConstantSizes sizes(10.0);
+  const Workload w = generate(sizes, 2000, rng, bursty(1.0, 8.0, 25.0));
+  double prev = 0.0;
+  for (const auto& t : w.tasks) {
+    EXPECT_GE(t.arrival_time, prev);
+    prev = t.arrival_time;
+  }
+}
+
+TEST(Arrivals, MmppIsOverdispersedRelativeToPoisson) {
+  // Burstiness shows up as inter-arrival CV > 1 (hyper-exponential
+  // mixture). Use a dwell long enough for runs of same-state arrivals.
+  util::Rng rng(6);
+  const ConstantSizes sizes(10.0);
+  const Workload w = generate(sizes, 4000, rng, bursty(1.0, 8.0, 100.0));
+  EXPECT_GT(interarrival_cv(w), 1.3);
+}
+
+TEST(Arrivals, HigherBurstinessClumpsArrivalsMore) {
+  const ConstantSizes sizes(10.0);
+  util::Rng r1(7), r2(8);
+  const Workload mild = generate(sizes, 4000, r1, bursty(1.0, 2.0, 100.0));
+  const Workload wild = generate(sizes, 4000, r2, bursty(1.0, 16.0, 100.0));
+  EXPECT_GT(interarrival_cv(wild), interarrival_cv(mild));
+}
+
+}  // namespace
+}  // namespace gasched::workload

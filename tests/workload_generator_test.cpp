@@ -1,0 +1,168 @@
+// Tests for task-size distributions and workload generation (paper §4:
+// uniform, normal, and Poisson task sets).
+
+#include "workload/generator.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+
+#include "util/stats.hpp"
+
+namespace gasched::workload {
+namespace {
+
+TEST(UniformSizes, RespectsBounds) {
+  UniformSizes dist(10.0, 100.0);
+  util::Rng rng(1);
+  for (int i = 0; i < 20000; ++i) {
+    const double v = dist.sample(rng);
+    ASSERT_GE(v, 10.0);
+    ASSERT_LE(v, 100.0);
+  }
+}
+
+TEST(UniformSizes, MeanMatches) {
+  UniformSizes dist(10.0, 1000.0);
+  util::Rng rng(2);
+  util::RunningStats rs;
+  for (int i = 0; i < 100000; ++i) rs.add(dist.sample(rng));
+  EXPECT_NEAR(rs.mean(), dist.mean(), 5.0);
+  EXPECT_DOUBLE_EQ(dist.mean(), 505.0);
+}
+
+TEST(UniformSizes, RejectsInvalidRange) {
+  EXPECT_THROW(UniformSizes(0.0, 10.0), std::invalid_argument);
+  EXPECT_THROW(UniformSizes(-1.0, 10.0), std::invalid_argument);
+  EXPECT_THROW(UniformSizes(10.0, 5.0), std::invalid_argument);
+}
+
+TEST(NormalSizes, PaperParametersMatchMoments) {
+  // Paper §4.3: mean 1000 MFLOPs, variance 9e5 (σ ≈ 948.7). Truncating
+  // below at the floor (resampling) shifts the mean up to the analytic
+  // truncated-normal mean μ + σ·φ(α)/(1−Φ(α)) ≈ 1256 for α ≈ −1.053.
+  NormalSizes dist(1000.0, 9e5);
+  util::Rng rng(3);
+  util::RunningStats rs;
+  for (int i = 0; i < 200000; ++i) rs.add(dist.sample(rng));
+  EXPECT_NEAR(rs.mean(), 1256.0, 30.0);
+  EXPECT_GT(rs.min(), 0.0);
+}
+
+TEST(NormalSizes, AlwaysAboveFloor) {
+  NormalSizes dist(100.0, 1e6, 5.0);  // heavy truncation
+  util::Rng rng(4);
+  for (int i = 0; i < 50000; ++i) ASSERT_GE(dist.sample(rng), 5.0);
+}
+
+TEST(NormalSizes, RejectsInvalidParameters) {
+  EXPECT_THROW(NormalSizes(-1.0, 10.0), std::invalid_argument);
+  EXPECT_THROW(NormalSizes(10.0, -1.0), std::invalid_argument);
+  EXPECT_THROW(NormalSizes(10.0, 1.0, 0.0), std::invalid_argument);
+}
+
+TEST(PoissonSizes, MeanMatches) {
+  PoissonSizes dist(100.0);
+  util::Rng rng(5);
+  util::RunningStats rs;
+  for (int i = 0; i < 100000; ++i) rs.add(dist.sample(rng));
+  EXPECT_NEAR(rs.mean(), 100.0, 1.0);
+}
+
+TEST(PoissonSizes, SmallMeanClampsZeros) {
+  PoissonSizes dist(0.5, 1.0);
+  util::Rng rng(6);
+  for (int i = 0; i < 10000; ++i) ASSERT_GE(dist.sample(rng), 1.0);
+}
+
+TEST(ConstantSizes, AlwaysSameValue) {
+  ConstantSizes dist(42.0);
+  util::Rng rng(7);
+  for (int i = 0; i < 100; ++i) EXPECT_DOUBLE_EQ(dist.sample(rng), 42.0);
+}
+
+TEST(Generate, CountAndDenseIds) {
+  UniformSizes dist(10.0, 100.0);
+  util::Rng rng(8);
+  const Workload w = generate(dist, 500, rng);
+  ASSERT_EQ(w.size(), 500u);
+  for (std::size_t i = 0; i < w.size(); ++i) {
+    EXPECT_EQ(w.tasks[i].id, static_cast<TaskId>(i));
+    EXPECT_GT(w.tasks[i].size_mflops, 0.0);
+  }
+}
+
+TEST(Generate, AllAtStartArrivals) {
+  UniformSizes dist(10.0, 100.0);
+  util::Rng rng(9);
+  const Workload w = generate(dist, 100, rng);
+  for (const auto& t : w.tasks) EXPECT_DOUBLE_EQ(t.arrival_time, 0.0);
+}
+
+TEST(Generate, StreamingArrivalsAreMonotone) {
+  UniformSizes dist(10.0, 100.0);
+  util::Rng rng(10);
+  ArrivalConfig arr;
+  arr.all_at_start = false;
+  arr.mean_interarrival = 2.0;
+  const Workload w = generate(dist, 200, rng, arr);
+  for (std::size_t i = 1; i < w.size(); ++i) {
+    EXPECT_GE(w.tasks[i].arrival_time, w.tasks[i - 1].arrival_time);
+  }
+  EXPECT_GT(w.tasks.back().arrival_time, 0.0);
+}
+
+TEST(Generate, DeterministicGivenSeed) {
+  UniformSizes dist(10.0, 100.0);
+  util::Rng r1(11), r2(11);
+  const Workload a = generate(dist, 50, r1);
+  const Workload b = generate(dist, 50, r2);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_DOUBLE_EQ(a.tasks[i].size_mflops, b.tasks[i].size_mflops);
+  }
+}
+
+TEST(Workload, AggregateHelpers) {
+  Workload w;
+  w.tasks = {{0, 10.0, 0.0}, {1, 30.0, 0.0}, {2, 20.0, 0.0}};
+  EXPECT_DOUBLE_EQ(w.total_mflops(), 60.0);
+  EXPECT_DOUBLE_EQ(w.max_mflops(), 30.0);
+  EXPECT_DOUBLE_EQ(w.min_mflops(), 10.0);
+  EXPECT_FALSE(w.empty());
+}
+
+TEST(Factories, PaperFamiliesHaveDocumentedParameters) {
+  EXPECT_DOUBLE_EQ(make_normal_paper()->mean(), 1000.0);
+  EXPECT_EQ(make_normal_paper()->name(), "normal");
+  EXPECT_DOUBLE_EQ(make_uniform_narrow()->mean(), 55.0);
+  EXPECT_DOUBLE_EQ(make_uniform_mid()->mean(), 505.0);
+  EXPECT_DOUBLE_EQ(make_uniform_wide()->mean(), 5005.0);
+  EXPECT_DOUBLE_EQ(make_poisson_small()->mean(), 10.0);
+  EXPECT_DOUBLE_EQ(make_poisson_large()->mean(), 100.0);
+}
+
+class DistributionContract
+    : public ::testing::TestWithParam<std::shared_ptr<SizeDistribution>> {};
+
+TEST_P(DistributionContract, SamplesArePositiveAndAboveDeclaredMin) {
+  auto dist = GetParam();
+  util::Rng rng(99);
+  for (int i = 0; i < 5000; ++i) {
+    const double v = dist->sample(rng);
+    ASSERT_GT(v, 0.0);
+    ASSERT_GE(v, dist->min_size());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllFamilies, DistributionContract,
+    ::testing::Values(std::make_shared<UniformSizes>(10.0, 100.0),
+                      std::make_shared<NormalSizes>(1000.0, 9e5),
+                      std::make_shared<PoissonSizes>(10.0),
+                      std::make_shared<PoissonSizes>(100.0),
+                      std::make_shared<ConstantSizes>(5.0)));
+
+}  // namespace
+}  // namespace gasched::workload

@@ -1,0 +1,96 @@
+// Tests for workload trace persistence (save/load round trips).
+
+#include "workload/trace_io.hpp"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+
+#include "workload/generator.hpp"
+
+namespace gasched::workload {
+namespace {
+
+std::filesystem::path temp_path(const std::string& name) {
+  return std::filesystem::temp_directory_path() / ("gasched_trace_" + name);
+}
+
+TEST(TraceIo, RoundTripPreservesTasks) {
+  UniformSizes dist(10.0, 100.0);
+  util::Rng rng(1);
+  ArrivalConfig arr;
+  arr.all_at_start = false;
+  const Workload original = generate(dist, 100, rng, arr);
+  const auto path = temp_path("roundtrip.csv");
+  save_trace(original, path);
+  const Workload loaded = load_trace(path);
+  ASSERT_EQ(loaded.size(), original.size());
+  for (std::size_t i = 0; i < original.size(); ++i) {
+    EXPECT_EQ(loaded.tasks[i].id, original.tasks[i].id);
+    EXPECT_NEAR(loaded.tasks[i].size_mflops, original.tasks[i].size_mflops,
+                1e-6 * original.tasks[i].size_mflops);
+    EXPECT_NEAR(loaded.tasks[i].arrival_time, original.tasks[i].arrival_time,
+                1e-6 * (original.tasks[i].arrival_time + 1.0));
+  }
+  std::filesystem::remove(path);
+}
+
+TEST(TraceIo, EmptyWorkloadRoundTrips) {
+  const auto path = temp_path("empty.csv");
+  save_trace(Workload{}, path);
+  const Workload loaded = load_trace(path);
+  EXPECT_TRUE(loaded.empty());
+  std::filesystem::remove(path);
+}
+
+TEST(TraceIo, MissingFileThrows) {
+  EXPECT_THROW(load_trace("/nonexistent/gasched/trace.csv"),
+               std::runtime_error);
+}
+
+TEST(TraceIo, MissingHeaderThrows) {
+  const auto path = temp_path("noheader.csv");
+  {
+    std::ofstream out(path);
+    out << "1,10.0,0.0\n";
+  }
+  EXPECT_THROW(load_trace(path), std::runtime_error);
+  std::filesystem::remove(path);
+}
+
+TEST(TraceIo, MalformedNumberThrows) {
+  const auto path = temp_path("badnum.csv");
+  {
+    std::ofstream out(path);
+    out << "id,size_mflops,arrival_time\n";
+    out << "1,notanumber,0.0\n";
+  }
+  EXPECT_THROW(load_trace(path), std::runtime_error);
+  std::filesystem::remove(path);
+}
+
+TEST(TraceIo, NonPositiveSizeRejected) {
+  const auto path = temp_path("badsize.csv");
+  {
+    std::ofstream out(path);
+    out << "id,size_mflops,arrival_time\n";
+    out << "1,-5.0,0.0\n";
+  }
+  EXPECT_THROW(load_trace(path), std::runtime_error);
+  std::filesystem::remove(path);
+}
+
+TEST(TraceIo, ShortRowRejected) {
+  const auto path = temp_path("short.csv");
+  {
+    std::ofstream out(path);
+    out << "id,size_mflops,arrival_time\n";
+    out << "1,5.0\n";
+  }
+  EXPECT_THROW(load_trace(path), std::runtime_error);
+  std::filesystem::remove(path);
+}
+
+}  // namespace
+}  // namespace gasched::workload
