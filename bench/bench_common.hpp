@@ -10,6 +10,7 @@
 //                            (10,000 tasks, 50 replications, 1000
 //                            generations).
 
+#include <cstdint>
 #include <optional>
 #include <string>
 #include <vector>

@@ -38,16 +38,18 @@ int main(int argc, char** argv) {
               << " <scenario.ini> [--schedulers PN,EF,...] [--gantt]\n";
     return 2;
   }
-  util::Config cfg;
+  exp::Scenario scenario;
+  exp::SchedulerOptions opts;
+  std::vector<exp::SchedulerKind> kinds;
   try {
-    cfg = util::Config::load(cli.positional()[0]);
+    const util::Config cfg = util::Config::load(cli.positional()[0]);
+    scenario = exp::scenario_from_config(cfg);
+    opts = exp::scheduler_options_from_config(cfg);
+    kinds = parse_schedulers(cli.get("schedulers", ""));
   } catch (const std::exception& e) {
     std::cerr << "error: " << e.what() << "\n";
     return 1;
   }
-  const exp::Scenario scenario = exp::scenario_from_config(cfg);
-  const exp::SchedulerOptions opts = exp::scheduler_options_from_config(cfg);
-  const auto kinds = parse_schedulers(cli.get("schedulers", ""));
 
   std::cout << "Scenario '" << scenario.name << "': "
             << scenario.workload.count << " tasks on "
@@ -72,21 +74,12 @@ int main(int argc, char** argv) {
   table.print(std::cout);
 
   if (cli.get_bool("gantt", false)) {
-    // Re-run replication 0 of the first scheduler with tracing on.
-    exp::Scenario traced = scenario;
-    const util::Rng base(traced.seed);
-    util::Rng wrng = base.split(0), crng = base.split(1), srng = base.split(2);
-    const auto dist = exp::make_distribution(traced.workload);
-    workload::ArrivalConfig arr;
-    arr.all_at_start = traced.workload.all_at_start;
-    arr.mean_interarrival = traced.workload.mean_interarrival;
-    const auto wl =
-        workload::generate(*dist, traced.workload.count, wrng, arr);
-    const auto cluster = sim::build_cluster(traced.cluster, crng);
-    auto policy = exp::make_scheduler(kinds.front(), opts);
-    sim::EngineConfig ecfg;
-    ecfg.record_task_trace = true;
-    const auto r = sim::simulate(cluster, wl, *policy, srng, ecfg);
+    // Re-run replication 0 of the first scheduler with tracing on —
+    // through run_one, so the chart shows exactly the run the table
+    // aggregated (same arrivals, smoothing, and failure trace).
+    const auto r =
+        exp::run_one(scenario, kinds.front(), opts, 0,
+                     /*record_task_trace=*/true);
     std::cout << "\n";
     sim::render_gantt(r, std::cout);
     const auto timeline = metrics::utilization_timeline(r, 20);

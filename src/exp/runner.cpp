@@ -5,7 +5,8 @@
 namespace gasched::exp {
 
 sim::SimulationResult run_one(const Scenario& scenario, SchedulerKind kind,
-                              const SchedulerOptions& opts, std::size_t rep) {
+                              const SchedulerOptions& opts, std::size_t rep,
+                              bool record_task_trace) {
   // Stream discipline: workload and cluster depend only on (seed, rep), so
   // every scheduler sees identical tasks and machines in replication rep.
   const util::Rng base(scenario.seed);
@@ -25,6 +26,7 @@ sim::SimulationResult run_one(const Scenario& scenario, SchedulerKind kind,
   const auto policy = make_scheduler(kind, opts);
 
   sim::EngineConfig ecfg;
+  ecfg.record_task_trace = record_task_trace;
   ecfg.sched_time_scale = scenario.sched_time_scale;
   ecfg.comm_nu = scenario.comm_nu;
   ecfg.rate_nu = scenario.rate_nu;

@@ -27,7 +27,10 @@ metrics::CellSummary run_cell(const Scenario& scenario, SchedulerKind kind,
                               bool parallel = true);
 
 /// Runs one replication index `rep` of the cell (exposed for tests).
+/// With `record_task_trace` the engine keeps the per-task placement
+/// trace (for Gantt rendering / timelines) — identical run otherwise.
 sim::SimulationResult run_one(const Scenario& scenario, SchedulerKind kind,
-                              const SchedulerOptions& opts, std::size_t rep);
+                              const SchedulerOptions& opts, std::size_t rep,
+                              bool record_task_trace = false);
 
 }  // namespace gasched::exp

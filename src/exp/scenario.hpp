@@ -4,6 +4,7 @@
 // every bench binary and the integration tests so figure parameters live
 // in exactly one place.
 
+#include <cstdint>
 #include <memory>
 #include <optional>
 #include <string>

@@ -19,6 +19,7 @@
 // rather than exact values.
 
 #include <atomic>
+#include <cstdint>
 #include <condition_variable>
 #include <deque>
 #include <memory>

@@ -9,6 +9,7 @@
 // models exercise the scheduler's adaptation machinery and are used by the
 // dynamic-cluster example and the robustness tests.
 
+#include <cstdint>
 #include <memory>
 #include <string>
 #include <vector>

@@ -1,6 +1,7 @@
 #include "sim/linpack.hpp"
 
 #include <chrono>
+#include <utility>
 #include <cmath>
 #include <stdexcept>
 

@@ -10,6 +10,7 @@
 // Sections become key prefixes ("cluster.processors"). Used by the
 // run_scenario example so experiments can be shared as text files.
 
+#include <cstdint>
 #include <filesystem>
 #include <map>
 #include <optional>

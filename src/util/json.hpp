@@ -7,6 +7,7 @@
 // locale-independent number formatting (always '.' decimal point, so
 // files are identical regardless of the host locale).
 
+#include <cstdint>
 #include <ostream>
 #include <sstream>
 #include <string>

@@ -1,5 +1,6 @@
 #include "workload/heavy_tail.hpp"
 
+#include <algorithm>
 #include <cmath>
 #include <stdexcept>
 

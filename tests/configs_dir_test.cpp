@@ -5,7 +5,10 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <cctype>
 #include <filesystem>
+#include <vector>
 
 #include "exp/config_scenario.hpp"
 #include "exp/runner.hpp"

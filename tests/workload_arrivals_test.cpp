@@ -8,6 +8,7 @@
 #include <cmath>
 
 #include "workload/generator.hpp"
+#include "workload/heavy_tail.hpp"
 
 namespace gasched::workload {
 namespace {
@@ -106,6 +107,23 @@ TEST(Arrivals, HigherBurstinessClumpsArrivalsMore) {
   const Workload mild = generate(sizes, 4000, r1, bursty(1.0, 2.0, 100.0));
   const Workload wild = generate(sizes, 4000, r2, bursty(1.0, 16.0, 100.0));
   EXPECT_GT(interarrival_cv(wild), interarrival_cv(mild));
+}
+
+TEST(ParetoSizes, SamplesClampedToBounds) {
+  // Regression: ParetoSizes::sample clamps the inverse-CDF draw to
+  // [lo, hi] with std::clamp (heavy_tail.cpp once compiled only by the
+  // grace of a transitive <algorithm> include). Drive the tails hard —
+  // small α pushes mass toward hi, u → 0/1 stresses both edges.
+  util::Rng rng(9);
+  const ParetoSizes dist(0.5, 2.0, 5000.0);
+  for (int i = 0; i < 20000; ++i) {
+    const double x = dist.sample(rng);
+    ASSERT_GE(x, dist.min_size());
+    ASSERT_LE(x, 5000.0);
+  }
+  EXPECT_DOUBLE_EQ(dist.min_size(), 2.0);
+  EXPECT_GT(dist.mean(), 2.0);
+  EXPECT_LT(dist.mean(), 5000.0);
 }
 
 }  // namespace
