@@ -23,7 +23,7 @@ int main(int argc, char** argv) {
   exp::Scenario scenario;
   scenario.name = "abl-batch";
   scenario.cluster = exp::paper_cluster(10.0, p.procs);
-  scenario.workload.kind = exp::DistKind::kNormal;
+  scenario.workload.dist = "normal";
   scenario.workload.param_a = 1000.0;
   scenario.workload.param_b = 9e5;
   scenario.workload.count = p.tasks;
@@ -34,10 +34,10 @@ int main(int argc, char** argv) {
                      "sched_wall_s", "invocations"});
   std::vector<std::vector<double>> csv_rows;
   for (const std::size_t batch : {25, 50, 100, 200, 400}) {
-    exp::SchedulerOptions opts = bench::scheduler_options(p);
-    opts.pn_dynamic_batch = false;
-    opts.batch_size = batch;
-    const auto cell = exp::run_cell(scenario, exp::SchedulerKind::kPN, opts);
+    exp::SchedulerParams opts = bench::scheduler_params(p);
+    opts.set("pn_dynamic_batch", false);
+    opts.set("batch_size", batch);
+    const auto cell = exp::run_cell(scenario, "PN", opts);
     table.add_row("fixed " + std::to_string(batch),
                   {cell.makespan.mean, cell.efficiency.mean,
                    cell.sched_wall.mean, cell.invocations.mean});
@@ -45,9 +45,9 @@ int main(int argc, char** argv) {
                         cell.efficiency.mean, cell.sched_wall.mean});
   }
   {
-    exp::SchedulerOptions opts = bench::scheduler_options(p);
-    opts.pn_dynamic_batch = true;
-    const auto cell = exp::run_cell(scenario, exp::SchedulerKind::kPN, opts);
+    exp::SchedulerParams opts = bench::scheduler_params(p);
+    opts.set("pn_dynamic_batch", true);
+    const auto cell = exp::run_cell(scenario, "PN", opts);
     table.add_row("dynamic sqrt(Gs+1)",
                   {cell.makespan.mean, cell.efficiency.mean,
                    cell.sched_wall.mean, cell.invocations.mean});

@@ -23,7 +23,7 @@ int main(int argc, char** argv) {
   exp::Scenario s;
   s.name = "island";
   s.cluster = exp::paper_cluster(10.0, p.procs);
-  s.workload.kind = exp::DistKind::kNormal;
+  s.workload.dist = "normal";
   s.workload.param_a = 1000.0;
   s.workload.param_b = 9e5;
   s.workload.count = p.tasks;
@@ -37,7 +37,7 @@ int main(int argc, char** argv) {
   // Single-population PN is the islands=1 reference.
   {
     const auto cell =
-        exp::run_cell(s, exp::SchedulerKind::kPN, bench::scheduler_options(p));
+        exp::run_cell(s, "PN", bench::scheduler_params(p));
     table.add_row("PN (1 island)",
                   {cell.makespan.mean, cell.makespan.ci95,
                    cell.efficiency.mean, cell.sched_wall.mean});
@@ -46,10 +46,10 @@ int main(int argc, char** argv) {
   }
 
   for (const std::size_t islands : {2u, 4u, 8u}) {
-    auto opts = bench::scheduler_options(p);
-    opts.islands = islands;
-    opts.migration_interval = 20;
-    const auto cell = exp::run_cell(s, exp::SchedulerKind::kPNI, opts);
+    auto opts = bench::scheduler_params(p);
+    opts.set("islands", islands);
+    opts.set("migration_interval", 20);
+    const auto cell = exp::run_cell(s, "PNI", opts);
     table.add_row("PNI x" + std::to_string(islands),
                   {cell.makespan.mean, cell.makespan.ci95,
                    cell.efficiency.mean, cell.sched_wall.mean});
@@ -60,10 +60,10 @@ int main(int argc, char** argv) {
   // Migration off (isolated demes) at 4 islands, via a huge migration
   // interval: epochs never complete a migration.
   {
-    auto opts = bench::scheduler_options(p);
-    opts.islands = 4;
-    opts.migration_interval = 1000000;
-    const auto cell = exp::run_cell(s, exp::SchedulerKind::kPNI, opts);
+    auto opts = bench::scheduler_params(p);
+    opts.set("islands", 4);
+    opts.set("migration_interval", 1000000);
+    const auto cell = exp::run_cell(s, "PNI", opts);
     table.add_row("PNI x4 (no migration)",
                   {cell.makespan.mean, cell.makespan.ci95,
                    cell.efficiency.mean, cell.sched_wall.mean});

@@ -17,7 +17,7 @@ using namespace gasched;
 namespace {
 
 /// A PN/ZO hybrid with the given feature mask, for run_replications-style
-/// execution outside the SchedulerKind enum.
+/// execution outside the scheduler registry.
 std::unique_ptr<sim::SchedulingPolicy> make_variant(bool comm, bool rebalance,
                                                     bool dynamic,
                                                     const bench::BenchParams& p,
@@ -50,7 +50,7 @@ int main(int argc, char** argv) {
   exp::Scenario s;
   s.name = "pn-components";
   s.cluster = exp::paper_cluster(10.0, p.procs);
-  s.workload.kind = exp::DistKind::kNormal;
+  s.workload.dist = "normal";
   s.workload.param_a = 1000.0;
   s.workload.param_b = 9e5;
   s.workload.count = p.tasks;
@@ -71,7 +71,7 @@ int main(int argc, char** argv) {
     const std::string name = std::string(v.comm ? "C" : "-") +
                              (v.rebalance ? "R" : "-") +
                              (v.dynamic_batch ? "B" : "-");
-    // Run replications manually (policies outside the SchedulerKind enum).
+    // Run replications manually (policies outside the scheduler registry).
     std::vector<double> makespans(p.reps), efficiencies(p.reps);
     util::global_pool().parallel_for(0, p.reps, [&](std::size_t rep) {
       // The runner's stream discipline: workload/cluster depend only on

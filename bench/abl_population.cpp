@@ -21,7 +21,7 @@ int main(int argc, char** argv) {
   exp::Scenario scenario;
   scenario.name = "abl-pop";
   scenario.cluster = exp::paper_cluster(10.0, p.procs);
-  scenario.workload.kind = exp::DistKind::kNormal;
+  scenario.workload.dist = "normal";
   scenario.workload.param_a = 1000.0;
   scenario.workload.param_b = 9e5;
   scenario.workload.count = p.tasks;
@@ -32,9 +32,9 @@ int main(int argc, char** argv) {
       {"population", "makespan", "efficiency", "sched_wall_s"});
   std::vector<std::vector<double>> csv_rows;
   for (const std::size_t pop : {6, 12, 20, 40, 80}) {
-    exp::SchedulerOptions opts = bench::scheduler_options(p);
-    opts.population = pop;
-    const auto cell = exp::run_cell(scenario, exp::SchedulerKind::kPN, opts);
+    exp::SchedulerParams opts = bench::scheduler_params(p);
+    opts.set("population", pop);
+    const auto cell = exp::run_cell(scenario, "PN", opts);
     table.add_row(util::fmt(static_cast<double>(pop), 4),
                   {cell.makespan.mean, cell.efficiency.mean,
                    cell.sched_wall.mean});

@@ -25,19 +25,19 @@ int main(int argc, char** argv) {
   s.name = "smoothing";
   s.cluster = exp::paper_cluster(15.0, p.procs);
   s.cluster.comm.jitter_cv = 0.8;  // strongly noisy per-dispatch costs
-  s.workload.kind = exp::DistKind::kNormal;
+  s.workload.dist = "normal";
   s.workload.param_a = 1000.0;
   s.workload.param_b = 9e5;
   s.workload.count = p.tasks;
   s.seed = p.seed;
   s.replications = p.reps;
 
-  const auto opts = bench::scheduler_options(p);
+  const auto opts = bench::scheduler_params(p);
   util::Table table({"nu", "makespan", "ci95", "efficiency"});
   std::vector<std::vector<double>> csv_rows;
   for (const double nu : {0.05, 0.1, 0.3, 0.5, 0.7, 0.9, 1.0}) {
     s.comm_nu = nu;
-    const auto cell = exp::run_cell(s, exp::SchedulerKind::kPN, opts);
+    const auto cell = exp::run_cell(s, "PN", opts);
     table.add_row(util::fmt(nu, 2),
                   {cell.makespan.mean, cell.makespan.ci95,
                    cell.efficiency.mean});

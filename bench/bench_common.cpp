@@ -38,12 +38,12 @@ BenchParams parse_params(int argc, char** argv, std::size_t quick_tasks,
   return p;
 }
 
-exp::SchedulerOptions scheduler_options(const BenchParams& p) {
-  exp::SchedulerOptions o;
-  o.batch_size = p.batch;
-  o.max_generations = p.generations;
-  o.population = p.population;
-  o.pn_dynamic_batch = p.pn_dynamic_batch;
+exp::SchedulerParams scheduler_params(const BenchParams& p) {
+  exp::SchedulerParams o;
+  o.set("batch_size", p.batch);
+  o.set("max_generations", p.generations);
+  o.set("population", p.population);
+  o.set("pn_dynamic_batch", p.pn_dynamic_batch);
   return o;
 }
 
@@ -79,7 +79,7 @@ std::vector<double> run_makespan_bars(const BenchParams& p,
                                       const exp::WorkloadSpec& spec,
                                       double mean_comm_cost) {
   const exp::Scenario scenario = make_scenario(p, spec, mean_comm_cost);
-  const auto opts = scheduler_options(p);
+  const auto opts = scheduler_params(p);
   util::Table table({"scheduler", "makespan", "ci95", "efficiency",
                      "response", "sched_wall_s"});
   std::vector<double> means;
@@ -108,10 +108,10 @@ std::vector<double> run_makespan_bars(const BenchParams& p,
 std::vector<std::vector<double>> run_efficiency_sweep(
     const BenchParams& p, const exp::WorkloadSpec& spec,
     const std::vector<double>& inv_costs) {
-  const auto opts = scheduler_options(p);
+  const auto opts = scheduler_params(p);
   std::vector<std::string> header{"1/mean_comm_cost"};
   for (const auto kind : exp::all_schedulers()) {
-    header.push_back(exp::scheduler_name(kind));
+    header.push_back(kind);
   }
   util::Table table(header);
   std::vector<std::vector<double>> rows;

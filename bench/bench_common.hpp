@@ -44,8 +44,9 @@ BenchParams parse_params(int argc, char** argv, std::size_t quick_tasks,
                          std::size_t quick_reps,
                          std::size_t quick_generations);
 
-/// SchedulerOptions matching `p`.
-exp::SchedulerOptions scheduler_options(const BenchParams& p);
+/// Shared SchedulerParams (batch_size, max_generations, population,
+/// pn_dynamic_batch) matching `p`.
+exp::SchedulerParams scheduler_params(const BenchParams& p);
 
 /// Prints the figure banner: id, title, and the paper's qualitative
 /// expectation the reproduction should match.

@@ -41,11 +41,11 @@ int main(int argc, char** argv) {
       {"two_state", sim::AvailabilityKind::kTwoState, false},
       {"fixed+drift_comm", sim::AvailabilityKind::kFixed, true},
   };
-  const std::vector<exp::SchedulerKind> kinds{
-      exp::SchedulerKind::kPN, exp::SchedulerKind::kEF,
-      exp::SchedulerKind::kMM, exp::SchedulerKind::kRR};
+  const std::vector<std::string> kinds{
+      "PN", "EF",
+      "MM", "RR"};
 
-  const auto opts = bench::scheduler_options(p);
+  const auto opts = bench::scheduler_params(p);
   util::Table table(
       {"availability", "scheduler", "makespan", "ci95", "efficiency"});
   std::vector<std::vector<double>> csv_rows;
@@ -56,7 +56,7 @@ int main(int argc, char** argv) {
     s.cluster = exp::paper_cluster(10.0, p.procs);
     s.cluster.availability = cases[ci].kind;
     s.cluster.drifting_comm = cases[ci].drifting_comm;
-    s.workload.kind = exp::DistKind::kNormal;
+    s.workload.dist = "normal";
     s.workload.param_a = 1000.0;
     s.workload.param_b = 9e5;
     s.workload.count = p.tasks;
@@ -71,7 +71,7 @@ int main(int argc, char** argv) {
                      util::fmt(cell.efficiency.mean)});
       csv_rows.push_back({static_cast<double>(ci), static_cast<double>(ki),
                           cell.makespan.mean, cell.efficiency.mean});
-      if (kinds[ki] == exp::SchedulerKind::kPN) {
+      if (kinds[ki] == "PN") {
         if (cases[ci].label == "fixed") pn_fixed = cell.makespan.mean;
         if (cases[ci].label == "two_state") pn_twostate = cell.makespan.mean;
       }

@@ -21,14 +21,14 @@ int main(int argc, char** argv) {
   exp::Scenario s;
   s.name = "baselines";
   s.cluster = exp::paper_cluster(10.0, p.procs);
-  s.workload.kind = exp::DistKind::kNormal;
+  s.workload.dist = "normal";
   s.workload.param_a = 1000.0;
   s.workload.param_b = 9e5;
   s.workload.count = p.tasks;
   s.seed = p.seed;
   s.replications = p.reps;
 
-  const auto opts = bench::scheduler_options(p);
+  const auto opts = bench::scheduler_params(p);
   util::Table table({"scheduler", "makespan", "ci95", "efficiency"});
   std::vector<std::vector<double>> csv_rows;
   double met_ms = 0.0, ef_ms = 0.0, kpb_ms = 0.0;
@@ -38,9 +38,9 @@ int main(int argc, char** argv) {
                                    cell.efficiency.mean});
     csv_rows.push_back({static_cast<double>(csv_rows.size()),
                         cell.makespan.mean, cell.efficiency.mean});
-    if (kind == exp::SchedulerKind::kMET) met_ms = cell.makespan.mean;
-    if (kind == exp::SchedulerKind::kEF) ef_ms = cell.makespan.mean;
-    if (kind == exp::SchedulerKind::kKPB) kpb_ms = cell.makespan.mean;
+    if (kind == "MET") met_ms = cell.makespan.mean;
+    if (kind == "EF") ef_ms = cell.makespan.mean;
+    if (kind == "KPB") kpb_ms = cell.makespan.mean;
   }
   table.print(std::cout);
   bench::maybe_write_csv(p, {"scheduler_index", "makespan", "efficiency"},

@@ -22,7 +22,7 @@ int main(int argc, char** argv) {
   exp::Scenario s;
   s.name = "failures";
   s.cluster = exp::paper_cluster(10.0, p.procs);
-  s.workload.kind = exp::DistKind::kNormal;
+  s.workload.dist = "normal";
   s.workload.param_a = 1000.0;
   s.workload.param_b = 9e5;
   s.workload.count = p.tasks;
@@ -35,7 +35,7 @@ int main(int argc, char** argv) {
   fcfg.horizon = 1e6;
   fcfg.failing_fraction = 0.5;  // half the machines are flaky
 
-  const auto opts = bench::scheduler_options(p);
+  const auto opts = bench::scheduler_params(p);
   util::Table table({"scheduler", "makespan(no fail)", "makespan(fail)",
                      "slowdown", "requeued"});
   std::vector<std::vector<double>> csv_rows;
@@ -56,7 +56,7 @@ int main(int argc, char** argv) {
     }
     ms /= static_cast<double>(runs.size());
     requeued /= static_cast<double>(runs.size());
-    table.add_row(exp::scheduler_name(kind),
+    table.add_row(kind,
                   {base_cell.makespan.mean, ms, ms / base_cell.makespan.mean,
                    requeued});
     csv_rows.push_back({static_cast<double>(csv_rows.size()),

@@ -27,20 +27,20 @@ int main(int argc, char** argv) {
   exp::Scenario s;
   s.name = "metaheuristics";
   s.cluster = exp::paper_cluster(10.0, p.procs);
-  s.workload.kind = exp::DistKind::kNormal;
+  s.workload.dist = "normal";
   s.workload.param_a = 1000.0;
   s.workload.param_b = 9e5;
   s.workload.count = p.tasks;
   s.seed = p.seed;
   s.replications = p.reps;
 
-  const auto opts = bench::scheduler_options(p);
+  const auto opts = bench::scheduler_params(p);
   util::Table table(
       {"scheduler", "makespan", "ci95", "efficiency", "sched_wall_s"});
   std::vector<std::vector<double>> csv_rows;
   double pn_ms = 0.0, hc_ms = 0.0, rr_ms = 0.0;
   auto kinds = exp::metaheuristic_schedulers();
-  kinds.push_back(exp::SchedulerKind::kRR);  // uninformed reference
+  kinds.push_back("RR");  // uninformed reference
   for (const auto kind : kinds) {
     const auto cell = exp::run_cell(s, kind, opts);
     table.add_row(cell.scheduler,
@@ -49,9 +49,9 @@ int main(int argc, char** argv) {
     csv_rows.push_back({static_cast<double>(csv_rows.size()),
                         cell.makespan.mean, cell.efficiency.mean,
                         cell.sched_wall.mean});
-    if (kind == exp::SchedulerKind::kPN) pn_ms = cell.makespan.mean;
-    if (kind == exp::SchedulerKind::kHC) hc_ms = cell.makespan.mean;
-    if (kind == exp::SchedulerKind::kRR) rr_ms = cell.makespan.mean;
+    if (kind == "PN") pn_ms = cell.makespan.mean;
+    if (kind == "HC") hc_ms = cell.makespan.mean;
+    if (kind == "RR") rr_ms = cell.makespan.mean;
   }
   table.print(std::cout);
   bench::maybe_write_csv(

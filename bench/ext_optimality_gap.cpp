@@ -72,13 +72,13 @@ int main(int argc, char** argv) {
     const double opt = metrics::optimal_makespan_exact(inst);
 
     for (std::size_t ki = 0; ki < kinds.size(); ++ki) {
-      exp::SchedulerOptions opts;
-      opts.batch_size = kTinyTasks;
-      opts.max_generations = p.generations;
-      opts.population = p.population;
+      exp::SchedulerParams opts;
+      opts.set("batch_size", kTinyTasks);
+      opts.set("max_generations", p.generations);
+      opts.set("population", p.population);
       // One fixed batch covering the whole instance: the dynamic H rule
       // would schedule a processor-count-sized prefix only.
-      opts.pn_dynamic_batch = false;
+      opts.set("pn_dynamic_batch", false);
       const auto policy = exp::make_scheduler(kinds[ki], opts);
       std::deque<workload::Task> q;
       for (std::size_t i = 0; i < kTinyTasks; ++i) {
@@ -88,7 +88,7 @@ int main(int argc, char** argv) {
       util::Rng prng(p.seed + 1000 + inst_i);
       const auto a = policy->invoke(view, q, prng);
       if (!q.empty()) {
-        std::cerr << "warning: " << exp::scheduler_name(kinds[ki])
+        std::cerr << "warning: " << kinds[ki]
                   << " left " << q.size() << " tasks unscheduled\n";
       }
       gap_sum[ki] += assignment_makespan(a, view, inst.task_sizes) / opt;
@@ -102,7 +102,7 @@ int main(int argc, char** argv) {
   std::vector<std::vector<double>> csv_rows;
   for (std::size_t ki = 0; ki < kinds.size(); ++ki) {
     const double g = gap_sum[ki] / static_cast<double>(kInstances);
-    t1.add_row(exp::scheduler_name(kinds[ki]), {g});
+    t1.add_row(kinds[ki], {g});
     csv_rows.push_back({static_cast<double>(ki), g});
   }
   t1.print(std::cout);
@@ -113,13 +113,13 @@ int main(int argc, char** argv) {
   exp::Scenario s;
   s.name = "optgap";
   s.cluster = exp::paper_cluster(10.0, p.procs);
-  s.workload.kind = exp::DistKind::kNormal;
+  s.workload.dist = "normal";
   s.workload.param_a = 1000.0;
   s.workload.param_b = 9e5;
   s.workload.count = p.tasks;
   s.seed = p.seed;
   s.replications = p.reps;
-  const auto opts = bench::scheduler_options(p);
+  const auto opts = bench::scheduler_params(p);
 
   // Reconstruct each replication's cluster/workload with the runner's
   // documented stream discipline to compute its lower bound.
@@ -142,16 +142,16 @@ int main(int argc, char** argv) {
   }
 
   util::Table t2({"scheduler", "mean makespan / lower bound"});
-  for (const auto kind : {exp::SchedulerKind::kPN, exp::SchedulerKind::kEF,
-                          exp::SchedulerKind::kMM, exp::SchedulerKind::kRR}) {
+  std::size_t row = 0;
+  for (const std::string kind : {"PN", "EF", "MM", "RR"}) {
     const auto runs = exp::run_replications(s, kind, opts);
     double ratio = 0.0;
     for (std::size_t rep = 0; rep < runs.size(); ++rep) {
       ratio += runs[rep].makespan / bounds[rep];
     }
     ratio /= static_cast<double>(runs.size());
-    t2.add_row(exp::scheduler_name(kind), {ratio});
-    csv_rows.push_back({100.0 + static_cast<double>(kind), ratio});
+    t2.add_row(kind, {ratio});
+    csv_rows.push_back({100.0 + static_cast<double>(row++), ratio});
   }
   t2.print(std::cout);
   bench::maybe_write_csv(p, {"row", "ratio"}, csv_rows);

@@ -22,11 +22,11 @@ int main(int argc, char** argv) {
       "M; the PN advantage widens with M as placement mistakes compound",
       p);
 
-  const std::vector<exp::SchedulerKind> kinds{
-      exp::SchedulerKind::kPN, exp::SchedulerKind::kEF,
-      exp::SchedulerKind::kMM};
+  const std::vector<std::string> kinds{
+      "PN", "EF",
+      "MM"};
 
-  const auto opts = bench::scheduler_options(p);
+  const auto opts = bench::scheduler_params(p);
   util::Table table({"procs", "scheduler", "makespan", "ci95", "efficiency"});
   std::vector<std::vector<double>> csv_rows;
   std::vector<double> pn_by_m;
@@ -34,22 +34,23 @@ int main(int argc, char** argv) {
     exp::Scenario s;
     s.name = "scalability";
     s.cluster = exp::paper_cluster(10.0, procs);
-    s.workload.kind = exp::DistKind::kNormal;
+    s.workload.dist = "normal";
     s.workload.param_a = 1000.0;
     s.workload.param_b = 9e5;
     s.workload.count = p.tasks;
     s.seed = p.seed;
     s.replications = p.reps;
 
-    for (const auto kind : kinds) {
+    for (std::size_t ki = 0; ki < kinds.size(); ++ki) {
+      const auto& kind = kinds[ki];
       const auto cell = exp::run_cell(s, kind, opts);
       table.add_row({std::to_string(procs), cell.scheduler,
                      util::fmt(cell.makespan.mean), util::fmt(cell.makespan.ci95),
                      util::fmt(cell.efficiency.mean)});
       csv_rows.push_back({static_cast<double>(procs),
-                          static_cast<double>(&kind - kinds.data()),
-                          cell.makespan.mean, cell.efficiency.mean});
-      if (kind == exp::SchedulerKind::kPN) pn_by_m.push_back(cell.makespan.mean);
+                          static_cast<double>(ki), cell.makespan.mean,
+                          cell.efficiency.mean});
+      if (kind == "PN") pn_by_m.push_back(cell.makespan.mean);
     }
   }
   table.print(std::cout);

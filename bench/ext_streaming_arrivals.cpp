@@ -22,7 +22,7 @@ int main(int argc, char** argv) {
   exp::Scenario s;
   s.name = "streaming";
   s.cluster = exp::paper_cluster(10.0, p.procs);
-  s.workload.kind = exp::DistKind::kNormal;
+  s.workload.dist = "normal";
   s.workload.param_a = 1000.0;
   s.workload.param_b = 9e5;
   s.workload.count = p.tasks;
@@ -34,7 +34,7 @@ int main(int argc, char** argv) {
   s.seed = p.seed;
   s.replications = p.reps;
 
-  const auto opts = bench::scheduler_options(p);
+  const auto opts = bench::scheduler_params(p);
   util::Table table({"arrivals", "scheduler", "makespan", "efficiency",
                      "mean_response", "invocations"});
   std::vector<std::vector<double>> csv_rows;

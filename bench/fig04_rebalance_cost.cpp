@@ -22,7 +22,7 @@ int main(int argc, char** argv) {
       p);
 
   exp::WorkloadSpec spec;
-  spec.kind = exp::DistKind::kNormal;
+  spec.dist = "normal";
   spec.param_a = 1000.0;
   spec.param_b = 9e5;
 
@@ -38,9 +38,9 @@ int main(int argc, char** argv) {
   std::vector<double> xs, ys;
   std::vector<std::vector<double>> csv_rows;
   for (std::size_t k = 0; k <= 20; k += 2) {
-    exp::SchedulerOptions opts = bench::scheduler_options(p);
-    opts.rebalances = k;
-    const auto cell = exp::run_cell(scenario, exp::SchedulerKind::kPN, opts);
+    exp::SchedulerParams opts = bench::scheduler_params(p);
+    opts.set("rebalances", k);
+    const auto cell = exp::run_cell(scenario, "PN", opts);
     table.add_row(util::fmt(static_cast<double>(k), 3),
                   {cell.sched_wall.mean, cell.makespan.mean});
     xs.push_back(static_cast<double>(k));

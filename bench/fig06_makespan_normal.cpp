@@ -18,7 +18,7 @@ int main(int argc, char** argv) {
       "PN has the lowest makespan of all seven schedulers", p);
 
   exp::WorkloadSpec spec;
-  spec.kind = exp::DistKind::kNormal;
+  spec.dist = "normal";
   spec.param_a = 1000.0;
   spec.param_b = 9e5;
 

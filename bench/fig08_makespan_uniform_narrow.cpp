@@ -21,7 +21,7 @@ int main(int argc, char** argv) {
       p);
 
   exp::WorkloadSpec spec;
-  spec.kind = exp::DistKind::kUniform;
+  spec.dist = "uniform";
   spec.param_a = 10.0;
   spec.param_b = 100.0;
 

@@ -17,7 +17,7 @@ int main(int argc, char** argv) {
       "PN best, MM next; MX performs badly at this small mean", p);
 
   exp::WorkloadSpec spec;
-  spec.kind = exp::DistKind::kPoisson;
+  spec.dist = "poisson";
   spec.param_a = 10.0;
 
   const auto means = bench::run_makespan_bars(p, spec, /*mean_comm=*/1.0);

@@ -19,7 +19,7 @@ int main(int argc, char** argv) {
       p);
 
   exp::WorkloadSpec spec;
-  spec.kind = exp::DistKind::kPoisson;
+  spec.dist = "poisson";
   spec.param_a = 100.0;
 
   const auto means = bench::run_makespan_bars(p, spec, /*mean_comm=*/1.0);

@@ -153,15 +153,15 @@ BENCHMARK(BM_ListScheduleInit)->Arg(200);
 void BM_FullSimulationEF(benchmark::State& state) {
   exp::Scenario s;
   s.cluster = exp::paper_cluster(10.0, 20);
-  s.workload.kind = exp::DistKind::kUniform;
+  s.workload.dist = "uniform";
   s.workload.param_a = 10.0;
   s.workload.param_b = 1000.0;
   s.workload.count = static_cast<std::size_t>(state.range(0));
   s.seed = 9;
-  exp::SchedulerOptions opts;
+  exp::SchedulerParams opts;
   for (auto _ : state) {
     benchmark::DoNotOptimize(
-        exp::run_one(s, exp::SchedulerKind::kEF, opts, 0));
+        exp::run_one(s, "EF", opts, 0));
   }
 }
 BENCHMARK(BM_FullSimulationEF)->Arg(200)->Arg(1000);

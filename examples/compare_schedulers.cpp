@@ -2,11 +2,14 @@
 // MX) on one scenario, reproducing the structure of the paper's makespan
 // bar charts on a workload of your choice.
 //
-//   ./compare_schedulers [--dist normal|uniform|poisson] [--tasks N]
+//   ./compare_schedulers [--dist normal|uniform|poisson|pareto|...]
+//                        [--tasks N]
 //                        [--procs M] [--comm C] [--reps R] [--seed S]
 
 #include <iostream>
+#include <string>
 
+#include "exp/registry.hpp"
 #include "exp/runner.hpp"
 #include "util/cli.hpp"
 #include "util/table.hpp"
@@ -24,23 +27,38 @@ int main(int argc, char** argv) {
   s.seed = static_cast<std::uint64_t>(cli.get_int("seed", 42));
   s.replications = static_cast<std::size_t>(cli.get_int("reps", 3));
 
-  const std::string dist = cli.get("dist", "normal");
+  // Any registered family works. Flags cover the common knobs; families
+  // without a branch here (e.g. bimodal) run with their documented
+  // registry defaults — use run_scenario with a [workload] section to
+  // tune those.
+  std::string dist;
+  try {
+    dist = exp::DistributionRegistry::instance().canonical_name(
+        cli.get("dist", "normal"));
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 1;
+  }
+  s.workload.dist = dist;
   if (dist == "uniform") {
-    s.workload.kind = exp::DistKind::kUniform;
     s.workload.param_a = cli.get_double("lo", 10.0);
     s.workload.param_b = cli.get_double("hi", 1000.0);
   } else if (dist == "poisson") {
-    s.workload.kind = exp::DistKind::kPoisson;
     s.workload.param_a = cli.get_double("mean", 100.0);
-  } else {
-    s.workload.kind = exp::DistKind::kNormal;
+  } else if (dist == "pareto") {
+    s.workload.params.set("alpha", cli.get_double("alpha", 1.1));
+    s.workload.param_a = cli.get_double("lo", 10.0);
+    s.workload.param_b = cli.get_double("hi", 10000.0);
+  } else if (dist == "constant") {
+    s.workload.param_a = cli.get_double("size", cli.get_double("mean", 1000.0));
+  } else if (dist == "normal") {
     s.workload.param_a = cli.get_double("mean", 1000.0);
     s.workload.param_b = cli.get_double("variance", 9e5);
   }
 
-  exp::SchedulerOptions opts;
-  opts.max_generations =
-      static_cast<std::size_t>(cli.get_int("generations", 150));
+  exp::SchedulerParams opts;
+  opts.set("max_generations",
+           static_cast<std::size_t>(cli.get_int("generations", 150)));
 
   std::cout << "Comparing 7 schedulers: " << s.workload.count << " " << dist
             << " tasks, " << s.cluster.num_processors

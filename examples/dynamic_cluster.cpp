@@ -29,16 +29,16 @@ int main(int argc, char** argv) {
   s.cluster.drifting_comm = true;
   s.cluster.comm_drift_step = 0.2;
 
-  s.workload.kind = exp::DistKind::kUniform;
+  s.workload.dist = "uniform";
   s.workload.param_a = 10.0;
   s.workload.param_b = 1000.0;
   s.workload.count = static_cast<std::size_t>(cli.get_int("tasks", 600));
   s.seed = static_cast<std::uint64_t>(cli.get_int("seed", 7));
   s.replications = static_cast<std::size_t>(cli.get_int("reps", 3));
 
-  exp::SchedulerOptions opts;
-  opts.max_generations =
-      static_cast<std::size_t>(cli.get_int("generations", 150));
+  exp::SchedulerParams opts;
+  opts.set("max_generations",
+           static_cast<std::size_t>(cli.get_int("generations", 150)));
 
   std::cout << "Dynamic cluster: availability random-walks in [0.3, 1.0], "
                "link costs drift.\n"

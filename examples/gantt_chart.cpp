@@ -25,11 +25,10 @@ int main(int argc, char** argv) {
   const std::string name = cli.get("scheduler", "PN");
   const std::string csv = cli.get("csv", "");
 
-  const auto kind = exp::scheduler_kind_from_name(name);
-  exp::SchedulerOptions opts;
-  opts.batch_size = 20;
-  opts.max_generations = 120;
-  const auto policy = exp::make_scheduler(kind, opts);
+  exp::SchedulerParams opts;
+  opts.set("batch_size", 20);
+  opts.set("max_generations", 120);
+  const auto policy = exp::make_scheduler(name, opts);
 
   const util::Rng base(seed);
   util::Rng cluster_rng = base.split(0);

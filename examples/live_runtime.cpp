@@ -52,16 +52,16 @@ int main(int argc, char** argv) {
   std::cout << "Live runtime: " << tasks << " tasks on " << workers
             << " worker threads (speeds 1.0 → 0.25, latencies 1–5 ms)\n\n";
 
-  exp::SchedulerOptions opts;
-  opts.max_generations = 60;
-  opts.population = 16;
-  opts.batch_size = 64;
+  exp::SchedulerParams opts;
+  opts.set("max_generations", 60);
+  opts.set("population", 16);
+  opts.set("batch_size", 64);
 
   util::Table table({"scheduler", "makespan s", "busy s", "comm s",
                      "invocations"});
   for (const auto kind :
-       {exp::SchedulerKind::kPN, exp::SchedulerKind::kEF,
-        exp::SchedulerKind::kRR}) {
+       {"PN", "EF",
+        "RR"}) {
     rt::Runtime runtime(make_config(workers, scale),
                         exp::make_scheduler(kind, opts));
     for (const auto& t : wl.tasks) runtime.submit(t);
@@ -71,7 +71,7 @@ int main(int argc, char** argv) {
       busy += w.busy_seconds;
       comm += w.comm_seconds;
     }
-    table.add_row(exp::scheduler_name(kind),
+    table.add_row(kind,
                   {r.makespan_seconds, busy, comm,
                    static_cast<double>(r.scheduler_invocations)});
   }

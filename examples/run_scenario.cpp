@@ -1,13 +1,17 @@
 // Run an experiment scenario defined in an INI-style config file and
-// compare any set of schedulers on it — no recompilation needed.
+// compare any set of registered schedulers on it — no recompilation
+// needed.
 //
 //   ./run_scenario examples/scenario_example.ini
 //   ./run_scenario my.ini --schedulers PN,EF,SUF --gantt
+//   ./run_scenario --list-schedulers
+//   ./run_scenario --list-distributions
 
 #include <iostream>
 #include <sstream>
 
 #include "exp/config_scenario.hpp"
+#include "exp/registry.hpp"
 #include "exp/runner.hpp"
 #include "metrics/timeline.hpp"
 #include "sim/gantt.hpp"
@@ -18,58 +22,99 @@ using namespace gasched;
 
 namespace {
 
-std::vector<exp::SchedulerKind> parse_schedulers(const std::string& list) {
+std::vector<std::string> parse_schedulers(const std::string& list) {
   if (list.empty()) return exp::all_schedulers();
-  std::vector<exp::SchedulerKind> kinds;
+  std::vector<std::string> names;
   std::istringstream ss(list);
   std::string token;
   while (std::getline(ss, token, ',')) {
-    kinds.push_back(exp::scheduler_kind_from_name(token));
+    // Resolve eagerly: a typo fails up front with the full name list.
+    names.push_back(exp::SchedulerRegistry::instance().canonical_name(token));
   }
-  return kinds;
+  return names;
+}
+
+void pad_print(std::ostream& os, const std::string& name, std::size_t width,
+               const std::string& summary) {
+  os << "  " << name
+     << std::string(name.size() < width ? width - name.size() : 1, ' ')
+     << summary << "\n";
+}
+
+void list_schedulers(std::ostream& os) {
+  const auto& registry = exp::SchedulerRegistry::instance();
+  os << "Registered schedulers:\n";
+  for (const auto& name : registry.names()) {
+    pad_print(os, name, 5, registry.find(name).summary);
+  }
+}
+
+void list_distributions(std::ostream& os) {
+  const auto& registry = exp::DistributionRegistry::instance();
+  os << "Registered task-size distributions:\n";
+  for (const auto& name : registry.names()) {
+    pad_print(os, name, 10, registry.find(name).summary);
+  }
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
   const util::Cli cli(argc, argv);
+  if (cli.get_bool("list-schedulers", false)) {
+    list_schedulers(std::cout);
+    return 0;
+  }
+  if (cli.get_bool("list-distributions", false)) {
+    list_distributions(std::cout);
+    return 0;
+  }
   if (cli.positional().empty()) {
     std::cerr << "usage: " << cli.program()
-              << " <scenario.ini> [--schedulers PN,EF,...] [--gantt]\n";
+              << " <scenario.ini> [--schedulers PN,EF,...] [--gantt]\n"
+              << "       " << cli.program() << " --list-schedulers\n"
+              << "       " << cli.program() << " --list-distributions\n";
     return 2;
   }
   exp::Scenario scenario;
-  exp::SchedulerOptions opts;
-  std::vector<exp::SchedulerKind> kinds;
+  exp::SchedulerParams params;
+  std::vector<std::string> names;
   try {
     const util::Config cfg = util::Config::load(cli.positional()[0]);
     scenario = exp::scenario_from_config(cfg);
-    opts = exp::scheduler_options_from_config(cfg);
-    kinds = parse_schedulers(cli.get("schedulers", ""));
+    params = exp::scheduler_params_from_config(cfg);
+    names = parse_schedulers(cli.get("schedulers", ""));
   } catch (const std::exception& e) {
     std::cerr << "error: " << e.what() << "\n";
     return 1;
   }
 
   std::cout << "Scenario '" << scenario.name << "': "
-            << scenario.workload.count << " tasks on "
-            << scenario.cluster.num_processors << " processors, "
-            << scenario.replications << " replications"
+            << scenario.workload.count << " " << scenario.workload.dist
+            << " tasks on " << scenario.cluster.num_processors
+            << " processors, " << scenario.replications << " replications"
             << (scenario.failures ? ", with failures" : "") << "\n\n";
 
   util::Table table({"scheduler", "makespan", "ci95", "efficiency",
                      "response", "requeued"});
-  for (const auto kind : kinds) {
-    const auto runs = exp::run_replications(scenario, kind, opts);
-    const auto cell = metrics::aggregate(exp::scheduler_name(kind), runs);
-    double requeued = 0.0;
-    for (const auto& r : runs) {
-      requeued += static_cast<double>(r.tasks_requeued);
+  try {
+    // Scheduler/distribution factories parse their [scheduler]/[workload]
+    // keys lazily, so malformed values surface here, not at config load.
+    for (const auto& name : names) {
+      const auto runs = exp::run_replications(scenario, name, params);
+      const auto cell = metrics::aggregate(name, runs);
+      double requeued = 0.0;
+      for (const auto& r : runs) {
+        requeued += static_cast<double>(r.tasks_requeued);
+      }
+      table.add_row(cell.scheduler,
+                    {cell.makespan.mean, cell.makespan.ci95,
+                     cell.efficiency.mean, cell.response.mean,
+                     requeued / static_cast<double>(runs.size())});
     }
-    table.add_row(cell.scheduler,
-                  {cell.makespan.mean, cell.makespan.ci95,
-                   cell.efficiency.mean, cell.response.mean,
-                   requeued / static_cast<double>(runs.size())});
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 1;
   }
   table.print(std::cout);
 
@@ -78,7 +123,7 @@ int main(int argc, char** argv) {
     // through run_one, so the chart shows exactly the run the table
     // aggregated (same arrivals, smoothing, and failure trace).
     const auto r =
-        exp::run_one(scenario, kinds.front(), opts, 0,
+        exp::run_one(scenario, names.front(), params, 0,
                      /*record_task_trace=*/true);
     std::cout << "\n";
     sim::render_gantt(r, std::cout);

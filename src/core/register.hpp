@@ -1,0 +1,15 @@
+#pragma once
+// Registry hookup for the genetic batch schedulers (ZO, PN, and the
+// island-model PNI). Called once by exp::SchedulerRegistry when the
+// registry is first touched.
+
+namespace gasched::exp {
+class SchedulerRegistry;
+}
+
+namespace gasched::core {
+
+/// Registers ZO, PN, PNI.
+void register_builtin_schedulers(exp::SchedulerRegistry& registry);
+
+}  // namespace gasched::core

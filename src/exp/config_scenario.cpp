@@ -2,6 +2,8 @@
 
 #include <stdexcept>
 
+#include "exp/registry.hpp"
+
 namespace gasched::exp {
 
 namespace {
@@ -15,26 +17,7 @@ sim::AvailabilityKind availability_from_name(const std::string& name) {
                            "'");
 }
 
-DistKind dist_from_name(const std::string& name) {
-  if (name == "normal") return DistKind::kNormal;
-  if (name == "uniform") return DistKind::kUniform;
-  if (name == "poisson") return DistKind::kPoisson;
-  if (name == "constant") return DistKind::kConstant;
-  throw std::runtime_error("scenario config: unknown dist '" + name + "'");
-}
-
 }  // namespace
-
-SchedulerKind scheduler_kind_from_name(const std::string& name) {
-  for (const auto kind : extended_schedulers()) {
-    if (name == scheduler_name(kind)) return kind;
-  }
-  for (const auto kind : metaheuristic_schedulers()) {
-    if (name == scheduler_name(kind)) return kind;
-  }
-  throw std::runtime_error("scenario config: unknown scheduler '" + name +
-                           "'");
-}
 
 Scenario scenario_from_config(const util::Config& cfg) {
   Scenario s;
@@ -64,9 +47,13 @@ Scenario scenario_from_config(const util::Config& cfg) {
   s.cluster.comm.jitter_cv = cfg.get_double("comm.jitter_cv", 0.2);
   s.cluster.comm.floor = cfg.get_double("comm.floor", 1e-3);
 
-  s.workload.kind = dist_from_name(cfg.get("workload.dist", "normal"));
+  // Resolve the family eagerly so a bad `dist` fails here, with the full
+  // list of registered families, not deep inside a replication run.
+  s.workload.dist = DistributionRegistry::instance().canonical_name(
+      cfg.get("workload.dist", "normal"));
   s.workload.param_a = cfg.get_double("workload.param_a", 1000.0);
   s.workload.param_b = cfg.get_double("workload.param_b", 9e5);
+  s.workload.params = Params::from_config(cfg, "workload");
   s.workload.count =
       static_cast<std::size_t>(cfg.get_int("workload.count", 1000));
   s.workload.all_at_start = cfg.get_bool("workload.all_at_start", true);
@@ -86,22 +73,8 @@ Scenario scenario_from_config(const util::Config& cfg) {
   return s;
 }
 
-SchedulerOptions scheduler_options_from_config(const util::Config& cfg) {
-  SchedulerOptions o;
-  o.batch_size =
-      static_cast<std::size_t>(cfg.get_int("scheduler.batch_size", 200));
-  o.max_generations = static_cast<std::size_t>(
-      cfg.get_int("scheduler.max_generations", 1000));
-  o.population =
-      static_cast<std::size_t>(cfg.get_int("scheduler.population", 20));
-  o.rebalances =
-      static_cast<std::size_t>(cfg.get_int("scheduler.rebalances", 1));
-  o.pn_dynamic_batch = cfg.get_bool("scheduler.pn_dynamic_batch", true);
-  o.kpb_percent = cfg.get_double("scheduler.kpb_percent", 20.0);
-  o.islands = static_cast<std::size_t>(cfg.get_int("scheduler.islands", 4));
-  o.migration_interval = static_cast<std::size_t>(
-      cfg.get_int("scheduler.migration_interval", 25));
-  return o;
+SchedulerParams scheduler_params_from_config(const util::Config& cfg) {
+  return Params::from_config(cfg, "scheduler");
 }
 
 }  // namespace gasched::exp

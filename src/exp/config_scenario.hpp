@@ -18,25 +18,22 @@ namespace gasched::exp {
 ///               avail_lo, avail_hi, avail_period, zero_comm,
 ///               drifting_comm, comm_drift_step
 ///   [comm]      mean_cost (20), spread_cv (0.5), jitter_cv (0.2), floor
-///   [workload]  dist (normal|uniform|poisson|constant), param_a, param_b,
-///               count (1000), all_at_start (true), mean_interarrival (1),
-///               burstiness (1), burst_dwell (50)
+///   [workload]  dist (any DistributionRegistry family: normal, uniform,
+///               poisson, constant, pareto, bimodal, ...; case-
+///               insensitive), param_a, param_b, per-family named keys
+///               (see exp/registry.hpp), count (1000), all_at_start
+///               (true), mean_interarrival (1), burstiness (1),
+///               burst_dwell (50)
 ///   [failures]  enabled (false), mean_uptime, mean_downtime, horizon,
 ///               failing_fraction
 ///
-/// Throws std::runtime_error on unknown enumeration values.
+/// Throws std::runtime_error on unknown enumeration values; the
+/// unknown-distribution error lists every registered family.
 Scenario scenario_from_config(const util::Config& cfg);
 
-/// Builds SchedulerOptions from the same config:
-///
-///   [scheduler] batch_size (200), max_generations (1000),
-///               population (20), rebalances (1), pn_dynamic_batch (true),
-///               kpb_percent (20), islands (4), migration_interval (25)
-SchedulerOptions scheduler_options_from_config(const util::Config& cfg);
-
-/// Parses a scheduler name ("PN", "ZO", "EF", "LL", "RR", "MM", "MX",
-/// "MET", "KPB", "SUF", "OLB", "DUP", "SA", "TS", "ACO", "HC", "PNI";
-/// case-sensitive). Throws std::runtime_error on unknown names.
-SchedulerKind scheduler_kind_from_name(const std::string& name);
+/// The [scheduler] section as a SchedulerParams view, handed verbatim to
+/// whichever scheduler factories the caller invokes. Shared keys are
+/// documented in exp/params.hpp, per-scheduler keys in exp/registry.hpp.
+SchedulerParams scheduler_params_from_config(const util::Config& cfg);
 
 }  // namespace gasched::exp

@@ -1,0 +1,122 @@
+#include "exp/params.hpp"
+
+#include <limits>
+#include <sstream>
+#include <stdexcept>
+
+namespace gasched::exp {
+
+Params::Params(
+    std::initializer_list<std::pair<std::string, std::string>> kv) {
+  for (const auto& [key, value] : kv) values_[key] = value;
+}
+
+Params Params::from_config(const util::Config& cfg,
+                           const std::string& section) {
+  Params p;
+  for (auto& [key, value] : cfg.section(section)) {
+    p.values_[key] = value;
+  }
+  return p;
+}
+
+Params& Params::set(const std::string& key, std::string value) {
+  values_[key] = std::move(value);
+  return *this;
+}
+
+Params& Params::set(const std::string& key, const char* value) {
+  values_[key] = value;
+  return *this;
+}
+
+Params& Params::set(const std::string& key, bool value) {
+  values_[key] = value ? "true" : "false";
+  return *this;
+}
+
+Params& Params::set_floating(const std::string& key, double value) {
+  std::ostringstream ss;
+  ss.precision(std::numeric_limits<double>::max_digits10);
+  ss << value;
+  values_[key] = ss.str();
+  return *this;
+}
+
+Params& Params::set_integer(const std::string& key, long long value) {
+  values_[key] = std::to_string(value);
+  return *this;
+}
+
+Params& Params::set_unsigned(const std::string& key,
+                             unsigned long long value) {
+  values_[key] = std::to_string(value);
+  return *this;
+}
+
+std::string Params::get(const std::string& key,
+                        const std::string& fallback) const {
+  const auto it = values_.find(key);
+  return it == values_.end() ? fallback : it->second;
+}
+
+double Params::get_double(const std::string& key, double fallback) const {
+  const auto it = values_.find(key);
+  if (it == values_.end()) return fallback;
+  try {
+    std::size_t pos = 0;
+    const double out = std::stod(it->second, &pos);
+    if (pos != it->second.size()) throw std::invalid_argument("trailing");
+    return out;
+  } catch (const std::exception&) {
+    throw std::runtime_error("Params: bad numeric value for " + key + ": " +
+                             it->second);
+  }
+}
+
+std::int64_t Params::get_int(const std::string& key,
+                             std::int64_t fallback) const {
+  const auto it = values_.find(key);
+  if (it == values_.end()) return fallback;
+  try {
+    std::size_t pos = 0;
+    const long long out = std::stoll(it->second, &pos);
+    if (pos != it->second.size()) throw std::invalid_argument("trailing");
+    return out;
+  } catch (const std::exception&) {
+    throw std::runtime_error("Params: bad integer value for " + key + ": " +
+                             it->second);
+  }
+}
+
+std::size_t Params::get_size(const std::string& key,
+                             std::size_t fallback) const {
+  const std::int64_t v =
+      get_int(key, static_cast<std::int64_t>(fallback));
+  if (v < 0) {
+    throw std::runtime_error("Params: negative value for " + key);
+  }
+  return static_cast<std::size_t>(v);
+}
+
+bool Params::get_bool(const std::string& key, bool fallback) const {
+  const auto it = values_.find(key);
+  if (it == values_.end()) return fallback;
+  const std::string& v = it->second;
+  if (v == "true" || v == "1" || v == "yes" || v == "on") return true;
+  if (v == "false" || v == "0" || v == "no" || v == "off") return false;
+  throw std::runtime_error("Params: bad boolean value for " + key + ": " + v);
+}
+
+bool Params::has(const std::string& key) const {
+  return values_.contains(key);
+}
+
+std::vector<std::string> Params::keys() const {
+  std::vector<std::string> out;
+  out.reserve(values_.size());
+  for (const auto& [key, value] : values_) out.push_back(key);
+  return out;
+}
+
+}  // namespace gasched::exp

@@ -1,0 +1,188 @@
+#include "exp/registry.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <numeric>
+#include <stdexcept>
+
+#include "core/register.hpp"
+#include "meta/register.hpp"
+#include "sched/register.hpp"
+#include "workload/register.hpp"
+
+namespace gasched::exp {
+
+namespace {
+
+std::string lower(const std::string& s) {
+  std::string out = s;
+  std::transform(out.begin(), out.end(), out.begin(), [](unsigned char c) {
+    return static_cast<char>(std::tolower(c));
+  });
+  return out;
+}
+
+/// Indices of `entries` ordered by (rank, registration order).
+template <typename Entry>
+std::vector<std::size_t> display_order(const std::deque<Entry>& entries) {
+  std::vector<std::size_t> idx(entries.size());
+  std::iota(idx.begin(), idx.end(), std::size_t{0});
+  std::stable_sort(idx.begin(), idx.end(), [&](std::size_t a, std::size_t b) {
+    return entries[a].rank < entries[b].rank;
+  });
+  return idx;
+}
+
+template <typename Entry>
+std::string joined_names(const std::deque<Entry>& entries) {
+  std::string out;
+  for (const auto i : display_order(entries)) {
+    if (!out.empty()) out += ", ";
+    out += entries[i].name;
+  }
+  return out;
+}
+
+}  // namespace
+
+// --- SchedulerRegistry ------------------------------------------------------
+
+SchedulerRegistry& SchedulerRegistry::instance() {
+  static SchedulerRegistry registry;
+  return registry;
+}
+
+SchedulerRegistry::SchedulerRegistry() {
+  sched::register_builtin_schedulers(*this);
+  core::register_builtin_schedulers(*this);
+  meta::register_builtin_schedulers(*this);
+}
+
+void SchedulerRegistry::add(SchedulerEntry entry) {
+  if (entry.name.empty()) {
+    throw std::invalid_argument("SchedulerRegistry: empty scheduler name");
+  }
+  if (!entry.factory) {
+    throw std::invalid_argument("SchedulerRegistry: scheduler '" +
+                                entry.name + "' has no factory");
+  }
+  const std::lock_guard<std::mutex> lock(mutex_);
+  const std::string key = lower(entry.name);
+  if (by_name_.contains(key)) {
+    throw std::invalid_argument("SchedulerRegistry: scheduler '" +
+                                entry.name + "' is already registered");
+  }
+  entries_.push_back(std::move(entry));
+  by_name_[key] = entries_.size() - 1;
+}
+
+bool SchedulerRegistry::contains(const std::string& name) const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return by_name_.contains(lower(name));
+}
+
+const SchedulerEntry& SchedulerRegistry::find(const std::string& name) const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = by_name_.find(lower(name));
+  if (it == by_name_.end()) {
+    throw std::runtime_error("unknown scheduler '" + name +
+                             "'; registered schedulers: " +
+                             joined_names(entries_));
+  }
+  return entries_[it->second];
+}
+
+std::string SchedulerRegistry::canonical_name(const std::string& name) const {
+  return find(name).name;
+}
+
+std::unique_ptr<sim::SchedulingPolicy> SchedulerRegistry::create(
+    const std::string& name, const SchedulerParams& params) const {
+  // find() returns a reference that stays valid (entries are never
+  // removed); invoke the factory outside the lock.
+  return find(name).factory(params);
+}
+
+std::vector<std::string> SchedulerRegistry::names() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<std::string> out;
+  out.reserve(entries_.size());
+  for (const auto i : display_order(entries_)) out.push_back(entries_[i].name);
+  return out;
+}
+
+std::vector<std::string> SchedulerRegistry::names_tagged(
+    unsigned tags) const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<std::string> out;
+  for (const auto i : display_order(entries_)) {
+    if (entries_[i].tags & tags) out.push_back(entries_[i].name);
+  }
+  return out;
+}
+
+// --- DistributionRegistry ---------------------------------------------------
+
+DistributionRegistry& DistributionRegistry::instance() {
+  static DistributionRegistry registry;
+  return registry;
+}
+
+DistributionRegistry::DistributionRegistry() {
+  workload::register_builtin_distributions(*this);
+}
+
+void DistributionRegistry::add(DistributionEntry entry) {
+  if (entry.name.empty()) {
+    throw std::invalid_argument("DistributionRegistry: empty family name");
+  }
+  if (!entry.factory) {
+    throw std::invalid_argument("DistributionRegistry: family '" +
+                                entry.name + "' has no factory");
+  }
+  const std::lock_guard<std::mutex> lock(mutex_);
+  const std::string key = lower(entry.name);
+  if (by_name_.contains(key)) {
+    throw std::invalid_argument("DistributionRegistry: family '" +
+                                entry.name + "' is already registered");
+  }
+  entries_.push_back(std::move(entry));
+  by_name_[key] = entries_.size() - 1;
+}
+
+bool DistributionRegistry::contains(const std::string& name) const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return by_name_.contains(lower(name));
+}
+
+const DistributionEntry& DistributionRegistry::find(
+    const std::string& name) const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = by_name_.find(lower(name));
+  if (it == by_name_.end()) {
+    throw std::runtime_error("unknown task-size distribution '" + name +
+                             "'; registered families: " +
+                             joined_names(entries_));
+  }
+  return entries_[it->second];
+}
+
+std::string DistributionRegistry::canonical_name(
+    const std::string& name) const {
+  return find(name).name;
+}
+
+std::unique_ptr<workload::SizeDistribution> DistributionRegistry::create(
+    const WorkloadSpec& spec) const {
+  return find(spec.dist).factory(spec);
+}
+
+std::vector<std::string> DistributionRegistry::names() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<std::string> out;
+  out.reserve(entries_.size());
+  for (const auto i : display_order(entries_)) out.push_back(entries_[i].name);
+  return out;
+}
+
+}  // namespace gasched::exp

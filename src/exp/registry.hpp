@@ -1,0 +1,152 @@
+#pragma once
+// String-keyed, self-registering factories for schedulers and task-size
+// distributions — the open replacement for the old closed
+// SchedulerKind/DistKind enums. Adding a scheduler (in-tree or from user
+// code) is one registry entry: name, one-line summary, tags, and a
+// factory that reads its own options from a SchedulerParams view. No enum
+// to extend, no switch statements or hand-maintained name lists to keep
+// in lockstep.
+//
+// Lookups are case-insensitive; unknown names throw std::runtime_error
+// listing every registered name. The built-in entries (17 schedulers, 6
+// distributions) are registered by their own subsystems —
+// sched/register.cpp, meta/register.cpp, core/register.cpp,
+// workload/register.cpp — the first time a registry is touched.
+//
+// Per-entry [scheduler] keys understood by the built-ins, beyond the
+// shared defaults documented in exp/params.hpp:
+//
+//   PN, PNI    rebalance_probes (5)
+//   SA         sa_cooling (0.92), sa_initial_acceptance (0.5),
+//              sa_moves_per_temperature (0 = auto)
+//   TS         tabu_tenure (0 = auto), tabu_stall (64)
+//   ACO        aco_ants (10), aco_iterations (40), aco_evaporation (0.15)
+//   HC         hc_restarts (4), hc_stall (96)
+//
+// Per-family [workload] keys of the built-in distributions (generic
+// param_a/param_b remain the fallback for the paper's families):
+//
+//   normal     mean (param_a), variance (param_b), floor (1)
+//   uniform    lo (param_a), hi (param_b)
+//   poisson    mean (param_a), floor (1)
+//   constant   size (param_a)
+//   pareto     alpha (1.1), lo (param_a), hi (param_b)
+//   bimodal    mean_small (100), var_small (900), mean_large (10000),
+//              var_large (9e6), weight_small (0.8), floor (1)
+
+#include <deque>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "exp/params.hpp"
+#include "exp/scenario.hpp"
+#include "sim/policy.hpp"
+#include "workload/generator.hpp"
+
+namespace gasched::exp {
+
+/// Category bits so callers can enumerate coherent scheduler sets
+/// (SchedulerEntry::tags is a bitwise-or of these).
+enum SchedulerTag : unsigned {
+  kSchedulerTagPaper = 1u << 0,          ///< the paper's seven (§4.1)
+  kSchedulerTagBaseline = 1u << 1,       ///< extra heuristic baselines
+  kSchedulerTagMetaheuristic = 1u << 2,  ///< batch search metaheuristics
+};
+
+/// One registered scheduler.
+struct SchedulerEntry {
+  /// Canonical display name ("PN"); the case-insensitive registry key.
+  std::string name;
+  /// One-line summary for --list-schedulers and the README table.
+  std::string summary;
+  /// Bitwise-or of SchedulerTag (0 for plain user entries).
+  unsigned tags = 0;
+  /// Display rank: enumerations sort by (rank, registration order). The
+  /// built-ins use 0…16 to preserve the paper's bar-chart order; leave at
+  /// the default to list user entries after them.
+  int rank = 1'000'000;
+  /// Builds a fresh instance (schedulers are stateful: one per run).
+  std::function<std::unique_ptr<sim::SchedulingPolicy>(
+      const SchedulerParams&)>
+      factory;
+};
+
+/// One registered task-size distribution family.
+struct DistributionEntry {
+  /// Canonical family name ("pareto"); the case-insensitive registry key.
+  std::string name;
+  /// One-line summary including the [workload] keys the factory reads.
+  std::string summary;
+  /// Display rank, as for SchedulerEntry.
+  int rank = 1'000'000;
+  /// Builds the distribution for a workload spec.
+  std::function<std::unique_ptr<workload::SizeDistribution>(
+      const WorkloadSpec&)>
+      factory;
+};
+
+/// Process-wide scheduler registry. Thread-safe; entries are never
+/// removed, so references returned by find() stay valid.
+class SchedulerRegistry {
+ public:
+  /// The singleton, with the built-ins registered.
+  static SchedulerRegistry& instance();
+
+  /// Registers an entry. Throws std::invalid_argument when the name is
+  /// empty, the factory is missing, or the name is already registered
+  /// (case-insensitively).
+  void add(SchedulerEntry entry);
+
+  /// True when `name` resolves (case-insensitive).
+  bool contains(const std::string& name) const;
+
+  /// Resolves `name` to its canonical registered spelling. Throws
+  /// std::runtime_error listing all registered names when unknown.
+  std::string canonical_name(const std::string& name) const;
+
+  /// The full entry for `name`. Throws like canonical_name.
+  const SchedulerEntry& find(const std::string& name) const;
+
+  /// Builds a fresh scheduler. Throws like canonical_name.
+  std::unique_ptr<sim::SchedulingPolicy> create(
+      const std::string& name, const SchedulerParams& params = {}) const;
+
+  /// All registered names, ordered by (rank, registration order).
+  std::vector<std::string> names() const;
+
+  /// Registered names whose tags intersect `tags`, same order.
+  std::vector<std::string> names_tagged(unsigned tags) const;
+
+ private:
+  SchedulerRegistry();
+  mutable std::mutex mutex_;
+  std::deque<SchedulerEntry> entries_;          // registration order
+  std::map<std::string, std::size_t> by_name_;  // lower-case → index
+};
+
+/// Process-wide task-size distribution registry; same contract as
+/// SchedulerRegistry.
+class DistributionRegistry {
+ public:
+  static DistributionRegistry& instance();
+
+  void add(DistributionEntry entry);
+  bool contains(const std::string& name) const;
+  std::string canonical_name(const std::string& name) const;
+  const DistributionEntry& find(const std::string& name) const;
+  std::unique_ptr<workload::SizeDistribution> create(
+      const WorkloadSpec& spec) const;
+  std::vector<std::string> names() const;
+
+ private:
+  DistributionRegistry();
+  mutable std::mutex mutex_;
+  std::deque<DistributionEntry> entries_;
+  std::map<std::string, std::size_t> by_name_;
+};
+
+}  // namespace gasched::exp

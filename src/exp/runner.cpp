@@ -1,11 +1,13 @@
 #include "exp/runner.hpp"
 
+#include "exp/registry.hpp"
 #include "util/thread_pool.hpp"
 
 namespace gasched::exp {
 
-sim::SimulationResult run_one(const Scenario& scenario, SchedulerKind kind,
-                              const SchedulerOptions& opts, std::size_t rep,
+sim::SimulationResult run_one(const Scenario& scenario,
+                              const std::string& scheduler,
+                              const SchedulerParams& params, std::size_t rep,
                               bool record_task_trace) {
   // Stream discipline: workload and cluster depend only on (seed, rep), so
   // every scheduler sees identical tasks and machines in replication rep.
@@ -23,7 +25,7 @@ sim::SimulationResult run_one(const Scenario& scenario, SchedulerKind kind,
   const workload::Workload wl = workload::generate(
       *dist, scenario.workload.count, workload_rng, arrivals);
   const sim::Cluster cluster = sim::build_cluster(scenario.cluster, cluster_rng);
-  const auto policy = make_scheduler(kind, opts);
+  const auto policy = SchedulerRegistry::instance().create(scheduler, params);
 
   sim::EngineConfig ecfg;
   ecfg.record_task_trace = record_task_trace;
@@ -41,11 +43,15 @@ sim::SimulationResult run_one(const Scenario& scenario, SchedulerKind kind,
 }
 
 std::vector<sim::SimulationResult> run_replications(
-    const Scenario& scenario, SchedulerKind kind, const SchedulerOptions& opts,
-    bool parallel) {
+    const Scenario& scenario, const std::string& scheduler,
+    const SchedulerParams& params, bool parallel) {
+  // Resolve once up front: an unknown name should throw here, on the
+  // caller's thread, not inside the pool workers.
+  const std::string name =
+      SchedulerRegistry::instance().canonical_name(scheduler);
   std::vector<sim::SimulationResult> results(scenario.replications);
   auto body = [&](std::size_t rep) {
-    results[rep] = run_one(scenario, kind, opts, rep);
+    results[rep] = run_one(scenario, name, params, rep);
   };
   if (parallel && scenario.replications > 1) {
     util::global_pool().parallel_for(0, scenario.replications, body);
@@ -55,10 +61,13 @@ std::vector<sim::SimulationResult> run_replications(
   return results;
 }
 
-metrics::CellSummary run_cell(const Scenario& scenario, SchedulerKind kind,
-                              const SchedulerOptions& opts, bool parallel) {
-  const auto runs = run_replications(scenario, kind, opts, parallel);
-  return metrics::aggregate(scheduler_name(kind), runs);
+metrics::CellSummary run_cell(const Scenario& scenario,
+                              const std::string& scheduler,
+                              const SchedulerParams& params, bool parallel) {
+  const std::string name =
+      SchedulerRegistry::instance().canonical_name(scheduler);
+  const auto runs = run_replications(scenario, name, params, parallel);
+  return metrics::aggregate(name, runs);
 }
 
 }  // namespace gasched::exp

@@ -4,7 +4,11 @@
 // a thread pool. Every scheduler sees the *same* workload and cluster in
 // replication r (paper §4.2: "All schedulers were presented with the same
 // set of tasks for scheduling").
+//
+// Schedulers are addressed by SchedulerRegistry name (case-insensitive),
+// so any registered entry — built-in or user-added — can run a cell.
 
+#include <string>
 #include <vector>
 
 #include "exp/scenario.hpp"
@@ -13,24 +17,29 @@
 
 namespace gasched::exp {
 
-/// Runs `scenario` under `kind` for scenario.replications runs and returns
-/// the per-run results in replication order. Thread-safe and
-/// deterministic: replication r derives its RNG streams from
-/// (scenario.seed, r) regardless of execution order.
+/// Runs `scenario` under the named scheduler for scenario.replications
+/// runs and returns the per-run results in replication order. Thread-safe
+/// and deterministic: replication r derives its RNG streams from
+/// (scenario.seed, r) regardless of execution order. Throws
+/// std::runtime_error (listing all registered names) for unknown
+/// schedulers.
 std::vector<sim::SimulationResult> run_replications(
-    const Scenario& scenario, SchedulerKind kind,
-    const SchedulerOptions& opts = {}, bool parallel = true);
+    const Scenario& scenario, const std::string& scheduler,
+    const SchedulerParams& params = {}, bool parallel = true);
 
-/// Convenience: run and aggregate into a CellSummary.
-metrics::CellSummary run_cell(const Scenario& scenario, SchedulerKind kind,
-                              const SchedulerOptions& opts = {},
+/// Convenience: run and aggregate into a CellSummary labelled with the
+/// scheduler's canonical registry name.
+metrics::CellSummary run_cell(const Scenario& scenario,
+                              const std::string& scheduler,
+                              const SchedulerParams& params = {},
                               bool parallel = true);
 
 /// Runs one replication index `rep` of the cell (exposed for tests).
 /// With `record_task_trace` the engine keeps the per-task placement
 /// trace (for Gantt rendering / timelines) — identical run otherwise.
-sim::SimulationResult run_one(const Scenario& scenario, SchedulerKind kind,
-                              const SchedulerOptions& opts, std::size_t rep,
+sim::SimulationResult run_one(const Scenario& scenario,
+                              const std::string& scheduler,
+                              const SchedulerParams& params, std::size_t rep,
                               bool record_task_trace = false);
 
 }  // namespace gasched::exp

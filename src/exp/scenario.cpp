@@ -1,173 +1,31 @@
 #include "exp/scenario.hpp"
 
-#include <stdexcept>
-
-#include "meta/aco.hpp"
-#include "meta/hill_climb.hpp"
-#include "meta/sa.hpp"
-#include "meta/tabu.hpp"
-#include "sched/extra_heuristics.hpp"
-#include "sched/heuristics.hpp"
+#include "exp/registry.hpp"
 
 namespace gasched::exp {
 
-const char* scheduler_name(SchedulerKind kind) {
-  switch (kind) {
-    case SchedulerKind::kEF:
-      return "EF";
-    case SchedulerKind::kLL:
-      return "LL";
-    case SchedulerKind::kRR:
-      return "RR";
-    case SchedulerKind::kZO:
-      return "ZO";
-    case SchedulerKind::kPN:
-      return "PN";
-    case SchedulerKind::kMM:
-      return "MM";
-    case SchedulerKind::kMX:
-      return "MX";
-    case SchedulerKind::kMET:
-      return "MET";
-    case SchedulerKind::kKPB:
-      return "KPB";
-    case SchedulerKind::kSUF:
-      return "SUF";
-    case SchedulerKind::kOLB:
-      return "OLB";
-    case SchedulerKind::kDUP:
-      return "DUP";
-    case SchedulerKind::kSA:
-      return "SA";
-    case SchedulerKind::kTS:
-      return "TS";
-    case SchedulerKind::kACO:
-      return "ACO";
-    case SchedulerKind::kHC:
-      return "HC";
-    case SchedulerKind::kPNI:
-      return "PNI";
-  }
-  return "?";
+std::vector<std::string> all_schedulers() {
+  return SchedulerRegistry::instance().names_tagged(kSchedulerTagPaper);
 }
 
-std::vector<SchedulerKind> all_schedulers() {
-  return {SchedulerKind::kEF, SchedulerKind::kLL, SchedulerKind::kRR,
-          SchedulerKind::kZO, SchedulerKind::kPN, SchedulerKind::kMM,
-          SchedulerKind::kMX};
+std::vector<std::string> extended_schedulers() {
+  return SchedulerRegistry::instance().names_tagged(kSchedulerTagPaper |
+                                                    kSchedulerTagBaseline);
 }
 
-std::vector<SchedulerKind> extended_schedulers() {
-  auto v = all_schedulers();
-  v.push_back(SchedulerKind::kMET);
-  v.push_back(SchedulerKind::kKPB);
-  v.push_back(SchedulerKind::kSUF);
-  v.push_back(SchedulerKind::kOLB);
-  v.push_back(SchedulerKind::kDUP);
-  return v;
-}
-
-std::vector<SchedulerKind> metaheuristic_schedulers() {
-  return {SchedulerKind::kPN,  SchedulerKind::kZO, SchedulerKind::kSA,
-          SchedulerKind::kTS,  SchedulerKind::kACO, SchedulerKind::kHC,
-          SchedulerKind::kPNI};
+std::vector<std::string> metaheuristic_schedulers() {
+  return SchedulerRegistry::instance().names_tagged(
+      kSchedulerTagMetaheuristic);
 }
 
 std::unique_ptr<sim::SchedulingPolicy> make_scheduler(
-    SchedulerKind kind, const SchedulerOptions& opts) {
-  switch (kind) {
-    case SchedulerKind::kEF:
-      return sched::make_ef();
-    case SchedulerKind::kLL:
-      return sched::make_ll();
-    case SchedulerKind::kRR:
-      return sched::make_rr();
-    case SchedulerKind::kMM:
-      return sched::make_mm(opts.batch_size);
-    case SchedulerKind::kMX:
-      return sched::make_mx(opts.batch_size);
-    case SchedulerKind::kZO: {
-      auto zo = core::make_zo_scheduler(opts.batch_size);
-      core::GeneticSchedulerConfig cfg = zo->config();
-      cfg.ga.max_generations = opts.max_generations;
-      cfg.ga.population = opts.population;
-      return std::make_unique<core::GeneticBatchScheduler>(cfg, "ZO");
-    }
-    case SchedulerKind::kPN: {
-      core::GeneticSchedulerConfig cfg;
-      cfg.ga.max_generations = opts.max_generations;
-      cfg.ga.population = opts.population;
-      cfg.ga.improvement_passes = opts.rebalances;
-      cfg.rebalance = opts.rebalances > 0;
-      cfg.dynamic_batch = opts.pn_dynamic_batch;
-      cfg.fixed_batch = opts.batch_size;
-      cfg.max_batch = opts.batch_size;  // cap dynamic H at the batch size
-      return core::make_pn_scheduler(cfg);
-    }
-    case SchedulerKind::kMET:
-      return sched::make_met();
-    case SchedulerKind::kKPB:
-      return sched::make_kpb(opts.kpb_percent);
-    case SchedulerKind::kSUF:
-      return sched::make_sufferage(opts.batch_size);
-    case SchedulerKind::kOLB:
-      return sched::make_olb();
-    case SchedulerKind::kDUP:
-      return sched::make_duplex(opts.batch_size);
-    case SchedulerKind::kSA: {
-      meta::SaConfig cfg;
-      cfg.batch.batch_size = opts.batch_size;
-      return meta::make_sa_scheduler(cfg);
-    }
-    case SchedulerKind::kTS: {
-      meta::TabuConfig cfg;
-      cfg.batch.batch_size = opts.batch_size;
-      return meta::make_tabu_scheduler(cfg);
-    }
-    case SchedulerKind::kACO: {
-      meta::AcoConfig cfg;
-      cfg.batch.batch_size = opts.batch_size;
-      return meta::make_aco_scheduler(cfg);
-    }
-    case SchedulerKind::kHC: {
-      meta::HillClimbConfig cfg;
-      cfg.batch.batch_size = opts.batch_size;
-      return meta::make_hill_climb_scheduler(cfg);
-    }
-    case SchedulerKind::kPNI: {
-      core::GeneticSchedulerConfig cfg;
-      cfg.ga.max_generations = opts.max_generations;
-      cfg.ga.population = opts.population;
-      cfg.ga.improvement_passes = opts.rebalances;
-      cfg.rebalance = opts.rebalances > 0;
-      cfg.dynamic_batch = opts.pn_dynamic_batch;
-      cfg.fixed_batch = opts.batch_size;
-      cfg.max_batch = opts.batch_size;
-      cfg.migration_interval = opts.migration_interval;
-      // Replications already saturate the thread pool; keep islands
-      // sequential inside each run so nested parallelism cannot oversubscribe.
-      cfg.island_parallel = false;
-      return core::make_pn_island_scheduler(opts.islands, cfg);
-    }
-  }
-  throw std::invalid_argument("make_scheduler: unknown kind");
+    const std::string& name, const SchedulerParams& params) {
+  return SchedulerRegistry::instance().create(name, params);
 }
 
 std::unique_ptr<workload::SizeDistribution> make_distribution(
     const WorkloadSpec& spec) {
-  switch (spec.kind) {
-    case DistKind::kNormal:
-      return std::make_unique<workload::NormalSizes>(spec.param_a,
-                                                     spec.param_b);
-    case DistKind::kUniform:
-      return std::make_unique<workload::UniformSizes>(spec.param_a,
-                                                      spec.param_b);
-    case DistKind::kPoisson:
-      return std::make_unique<workload::PoissonSizes>(spec.param_a);
-    case DistKind::kConstant:
-      return std::make_unique<workload::ConstantSizes>(spec.param_a);
-  }
-  throw std::invalid_argument("make_distribution: unknown kind");
+  return DistributionRegistry::instance().create(spec);
 }
 
 sim::ClusterConfig paper_cluster(double mean_comm_cost,

@@ -3,6 +3,13 @@
 // (cluster, workload, schedulers) plus factories to realise them. Used by
 // every bench binary and the integration tests so figure parameters live
 // in exactly one place.
+//
+// Schedulers and task-size distributions are selected by *name* through
+// the string-keyed registries in exp/registry.hpp — the paper's seven
+// (§4.1), the extra heuristic baselines, the local-search metaheuristics
+// and the island-model GA are all pre-registered, and user code can add
+// its own entries without touching the library (see
+// examples/custom_scheduler.cpp).
 
 #include <cstdint>
 #include <memory>
@@ -10,7 +17,7 @@
 #include <string>
 #include <vector>
 
-#include "core/genetic_scheduler.hpp"
+#include "exp/params.hpp"
 #include "sim/cluster.hpp"
 #include "sim/failure.hpp"
 #include "sim/policy.hpp"
@@ -18,71 +25,41 @@
 
 namespace gasched::exp {
 
-/// The seven schedulers compared in the paper (§4.1), in the order the
-/// makespan bar charts list them, plus further baselines: MET / KPB /
-/// SUF / OLB / DUP from the paper's reference [11] (Maheswaran et al.
-/// 1999) and the Braun et al. taxonomy, the alternative meta-heuristics
-/// the paper's §2 cites (SA = simulated annealing, TS = tabu search
-/// [ref 6], ACO = ant colony [ref 3], HC = hill climbing), and PNI (PN
-/// evolved with an island-model parallel GA, ref [2]).
-enum class SchedulerKind {
-  kEF, kLL, kRR, kZO, kPN, kMM, kMX,       // the paper's seven (§4.1)
-  kMET, kKPB, kSUF, kOLB, kDUP,            // extra heuristic baselines
-  kSA, kTS, kACO, kHC,                     // local-search meta-heuristics
-  kPNI                                     // island-model PN
-};
+/// The seven schedulers compared in the paper (§4.1: "EF", "LL", "RR",
+/// "ZO", "PN", "MM", "MX"), in the order the makespan bar charts list
+/// them. Registry-backed (SchedulerTag::kPaper).
+std::vector<std::string> all_schedulers();
 
-/// Display name matching the paper ("EF", "LL", "RR", "ZO", "PN", "MM",
-/// "MX") or the conventional names of the extra baselines ("MET", "KPB",
-/// "SUF", "OLB", "DUP", "SA", "TS", "ACO", "HC", "PNI").
-const char* scheduler_name(SchedulerKind kind);
+/// The paper's seven plus the extra heuristic baselines from Maheswaran
+/// et al. 1999 / the Braun et al. taxonomy ("MET", "KPB", "SUF", "OLB",
+/// "DUP").
+std::vector<std::string> extended_schedulers();
 
-/// The paper's seven schedulers in its bar-chart order.
-std::vector<SchedulerKind> all_schedulers();
+/// The batch meta-heuristic searchers ("ZO", "PN", "SA", "TS", "ACO",
+/// "HC", "PNI") — the shoot-out set of bench/ext_metaheuristics.
+std::vector<std::string> metaheuristic_schedulers();
 
-/// The paper's seven plus the extra heuristic baselines.
-std::vector<SchedulerKind> extended_schedulers();
-
-/// The batch meta-heuristic searchers (PN, ZO, SA, TS, ACO, HC, PNI) —
-/// the shoot-out set of bench/ext_metaheuristics.
-std::vector<SchedulerKind> metaheuristic_schedulers();
-
-/// Per-scheduler tuning shared across the suite.
-struct SchedulerOptions {
-  /// Batch size for the fixed-batch schedulers (MM, MX, ZO, and PN when
-  /// pn_dynamic_batch is false). Paper: 200.
-  std::size_t batch_size = 200;
-  /// GA generation cap (paper: 1000). Benches lower this at quick scale.
-  std::size_t max_generations = 1000;
-  /// GA population (paper: 20, a micro GA).
-  std::size_t population = 20;
-  /// Re-balancing passes per individual per generation for PN (paper: 1).
-  std::size_t rebalances = 1;
-  /// PN uses the dynamic ⌊√(Γs+1)⌋ batch size (paper §3.7).
-  bool pn_dynamic_batch = true;
-  /// Subset percentage for the KPB baseline.
-  double kpb_percent = 20.0;
-  /// Islands for the PNI scheduler (island-model PN).
-  std::size_t islands = 4;
-  /// Migration cadence (generations) for PNI.
-  std::size_t migration_interval = 25;
-};
-
-/// Builds a fresh scheduler instance (schedulers are stateful; one
-/// instance per simulation run).
+/// Builds a fresh scheduler instance by registry name (case-insensitive;
+/// schedulers are stateful, so one instance per simulation run). Throws
+/// std::runtime_error listing every registered name when `name` is
+/// unknown. Thin shim over SchedulerRegistry::create.
 std::unique_ptr<sim::SchedulingPolicy> make_scheduler(
-    SchedulerKind kind, const SchedulerOptions& opts = {});
+    const std::string& name, const SchedulerParams& params = {});
 
-/// Task-size distribution families used in §4.3–§4.5.
-enum class DistKind { kNormal, kUniform, kPoisson, kConstant };
-
-/// Declarative workload description.
+/// Declarative workload description. The size family is selected by
+/// DistributionRegistry name ("normal", "uniform", "poisson", "constant",
+/// "pareto", "bimodal", or any user-registered entry).
 struct WorkloadSpec {
-  DistKind kind = DistKind::kNormal;
-  /// Normal: mean / variance. Uniform: lo / hi. Poisson: mean / unused.
-  /// Constant: size / unused.
+  std::string dist = "normal";
+  /// Generic positional parameters kept for the paper's three families:
+  /// normal mean/variance, uniform lo/hi, poisson mean/unused, constant
+  /// size/unused. Families with richer shapes (pareto, bimodal) read
+  /// named keys from `params` instead — see exp/registry.hpp.
   double param_a = 1000.0;
   double param_b = 9e5;
+  /// Named per-family keys (the INI [workload] section verbatim), e.g.
+  /// pareto alpha/lo/hi or bimodal mean_small/mean_large/weight_small.
+  Params params;
   /// Number of tasks (paper: up to 10,000).
   std::size_t count = 1000;
   /// All tasks arrive at t = 0 (the paper's §4.2 setting). When false,
@@ -97,7 +74,10 @@ struct WorkloadSpec {
   double burst_dwell = 50.0;
 };
 
-/// Instantiates the distribution for `spec`.
+/// Instantiates the size distribution for `spec` by registry name
+/// (case-insensitive). Throws std::runtime_error listing every registered
+/// family when `spec.dist` is unknown. Thin shim over
+/// DistributionRegistry::create.
 std::unique_ptr<workload::SizeDistribution> make_distribution(
     const WorkloadSpec& spec);
 

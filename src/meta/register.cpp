@@ -1,0 +1,83 @@
+#include "meta/register.hpp"
+
+#include "exp/registry.hpp"
+#include "meta/aco.hpp"
+#include "meta/hill_climb.hpp"
+#include "meta/sa.hpp"
+#include "meta/tabu.hpp"
+
+namespace gasched::meta {
+
+void register_builtin_schedulers(exp::SchedulerRegistry& registry) {
+  using exp::SchedulerParams;
+  const unsigned meta = exp::kSchedulerTagMetaheuristic;
+
+  registry.add(
+      {.name = "SA",
+       .summary = "simulated annealing over the reassignment "
+                  "neighbourhood, geometric cooling",
+       .tags = meta,
+       .rank = 12,
+       .factory =
+           [](const SchedulerParams& p) {
+             SaConfig cfg;
+             cfg.batch.batch_size =
+                 p.get_size("batch_size", exp::kDefaultBatchSize);
+             cfg.cooling = p.get_double("sa_cooling", cfg.cooling);
+             cfg.initial_acceptance =
+                 p.get_double("sa_initial_acceptance", cfg.initial_acceptance);
+             cfg.moves_per_temperature = p.get_size(
+                 "sa_moves_per_temperature", cfg.moves_per_temperature);
+             return make_sa_scheduler(cfg);
+           }});
+  registry.add(
+      {.name = "TS",
+       .summary = "tabu search with sampled candidate moves and "
+                  "reversal tenure",
+       .tags = meta,
+       .rank = 13,
+       .factory =
+           [](const SchedulerParams& p) {
+             TabuConfig cfg;
+             cfg.batch.batch_size =
+                 p.get_size("batch_size", exp::kDefaultBatchSize);
+             cfg.tenure = p.get_size("tabu_tenure", cfg.tenure);
+             cfg.stall_iterations =
+                 p.get_size("tabu_stall", cfg.stall_iterations);
+             return make_tabu_scheduler(cfg);
+           }});
+  registry.add(
+      {.name = "ACO",
+       .summary = "MAX-MIN ant system: pheromone-guided construction "
+                  "with evaporation and clamping",
+       .tags = meta,
+       .rank = 14,
+       .factory =
+           [](const SchedulerParams& p) {
+             AcoConfig cfg;
+             cfg.batch.batch_size =
+                 p.get_size("batch_size", exp::kDefaultBatchSize);
+             cfg.ants = p.get_size("aco_ants", cfg.ants);
+             cfg.iterations = p.get_size("aco_iterations", cfg.iterations);
+             cfg.evaporation =
+                 p.get_double("aco_evaporation", cfg.evaporation);
+             return make_aco_scheduler(cfg);
+           }});
+  registry.add(
+      {.name = "HC",
+       .summary = "random-restart first-improvement hill climbing — "
+                  "the floor of the metaheuristic family",
+       .tags = meta,
+       .rank = 15,
+       .factory =
+           [](const SchedulerParams& p) {
+             HillClimbConfig cfg;
+             cfg.batch.batch_size =
+                 p.get_size("batch_size", exp::kDefaultBatchSize);
+             cfg.restarts = p.get_size("hc_restarts", cfg.restarts);
+             cfg.stall_samples = p.get_size("hc_stall", cfg.stall_samples);
+             return make_hill_climb_scheduler(cfg);
+           }});
+}
+
+}  // namespace gasched::meta

@@ -1,0 +1,15 @@
+#pragma once
+// Registry hookup for the local-search batch metaheuristics (SA, TS, ACO,
+// HC). Called once by exp::SchedulerRegistry when the registry is first
+// touched.
+
+namespace gasched::exp {
+class SchedulerRegistry;
+}
+
+namespace gasched::meta {
+
+/// Registers SA, TS, ACO, HC.
+void register_builtin_schedulers(exp::SchedulerRegistry& registry);
+
+}  // namespace gasched::meta

@@ -1,0 +1,96 @@
+#include "sched/register.hpp"
+
+#include "exp/registry.hpp"
+#include "sched/extra_heuristics.hpp"
+#include "sched/heuristics.hpp"
+
+namespace gasched::sched {
+
+void register_builtin_schedulers(exp::SchedulerRegistry& registry) {
+  using exp::SchedulerParams;
+  const unsigned paper = exp::kSchedulerTagPaper;
+  const unsigned baseline = exp::kSchedulerTagBaseline;
+
+  registry.add({.name = "EF",
+                .summary = "earliest finish: argmin (load + task) / rate, "
+                           "immediate mode (§4.1)",
+                .tags = paper,
+                .rank = 0,
+                .factory = [](const SchedulerParams&) { return make_ef(); }});
+  registry.add({.name = "LL",
+                .summary = "lightest loaded: argmin pending MFLOPs, "
+                           "immediate mode (§4.1)",
+                .tags = paper,
+                .rank = 1,
+                .factory = [](const SchedulerParams&) { return make_ll(); }});
+  registry.add({.name = "RR",
+                .summary = "round robin: cyclic assignment, no state "
+                           "inspected (§4.1)",
+                .tags = paper,
+                .rank = 2,
+                .factory = [](const SchedulerParams&) { return make_rr(); }});
+  registry.add({.name = "MM",
+                .summary = "min-min: FCFS batches sorted ascending by "
+                           "size, earliest-finish placement (§4.1)",
+                .tags = paper,
+                .rank = 5,
+                .factory =
+                    [](const SchedulerParams& p) {
+                      return make_mm(
+                          p.get_size("batch_size", exp::kDefaultBatchSize));
+                    }});
+  registry.add({.name = "MX",
+                .summary = "max-min: FCFS batches sorted descending by "
+                           "size, earliest-finish placement (§4.1)",
+                .tags = paper,
+                .rank = 6,
+                .factory =
+                    [](const SchedulerParams& p) {
+                      return make_mx(
+                          p.get_size("batch_size", exp::kDefaultBatchSize));
+                    }});
+  registry.add({.name = "MET",
+                .summary = "minimum execution time: fastest executor "
+                           "regardless of load (Maheswaran et al.)",
+                .tags = baseline,
+                .rank = 7,
+                .factory = [](const SchedulerParams&) { return make_met(); }});
+  registry.add({.name = "KPB",
+                .summary = "k-percent best: earliest finish among the "
+                           "kpb_percent% fastest processors",
+                .tags = baseline,
+                .rank = 8,
+                .factory =
+                    [](const SchedulerParams& p) {
+                      return make_kpb(p.get_double(
+                          "kpb_percent", exp::kDefaultKpbPercent));
+                    }});
+  registry.add({.name = "SUF",
+                .summary = "sufferage: batch placement by largest "
+                           "best-vs-second-best completion gap",
+                .tags = baseline,
+                .rank = 9,
+                .factory =
+                    [](const SchedulerParams& p) {
+                      return make_sufferage(
+                          p.get_size("batch_size", exp::kDefaultBatchSize));
+                    }});
+  registry.add({.name = "OLB",
+                .summary = "opportunistic load balancing: soonest-available "
+                           "processor, task size ignored",
+                .tags = baseline,
+                .rank = 10,
+                .factory = [](const SchedulerParams&) { return make_olb(); }});
+  registry.add({.name = "DUP",
+                .summary = "duplex: runs min-min and max-min per batch, "
+                           "keeps the smaller estimated makespan",
+                .tags = baseline,
+                .rank = 11,
+                .factory =
+                    [](const SchedulerParams& p) {
+                      return make_duplex(
+                          p.get_size("batch_size", exp::kDefaultBatchSize));
+                    }});
+}
+
+}  // namespace gasched::sched

@@ -1,0 +1,16 @@
+#pragma once
+// Registry hookup for the list-scheduling heuristics (heuristics.hpp and
+// extra_heuristics.hpp). Called once by exp::SchedulerRegistry when the
+// registry is first touched.
+
+namespace gasched::exp {
+class SchedulerRegistry;
+}
+
+namespace gasched::sched {
+
+/// Registers EF, LL, RR, MM, MX (§4.1) and the Maheswaran et al.
+/// baselines MET, KPB, SUF, OLB, DUP.
+void register_builtin_schedulers(exp::SchedulerRegistry& registry);
+
+}  // namespace gasched::sched

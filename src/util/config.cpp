@@ -72,6 +72,17 @@ bool Config::has(const std::string& key) const {
   return values_.contains(key);
 }
 
+std::vector<std::pair<std::string, std::string>> Config::section(
+    const std::string& name) const {
+  std::vector<std::pair<std::string, std::string>> out;
+  const std::string prefix = name + ".";
+  for (auto it = values_.lower_bound(prefix); it != values_.end(); ++it) {
+    if (it->first.compare(0, prefix.size(), prefix) != 0) break;
+    out.emplace_back(it->first.substr(prefix.size()), it->second);
+  }
+  return out;
+}
+
 std::string Config::get(const std::string& key,
                         const std::string& fallback) const {
   return raw(key).value_or(fallback);

@@ -15,6 +15,8 @@
 #include <map>
 #include <optional>
 #include <string>
+#include <utility>
+#include <vector>
 
 namespace gasched::util {
 
@@ -43,6 +45,12 @@ class Config {
 
   /// True when the key is present.
   bool has(const std::string& key) const;
+
+  /// All key/value pairs of one section, keys stripped of the section
+  /// prefix ("[scheduler] batch_size = 77" → {"batch_size", "77"}), in
+  /// lexicographic key order. Unknown sections yield an empty vector.
+  std::vector<std::pair<std::string, std::string>> section(
+      const std::string& name) const;
 
   /// Number of key/value pairs.
   std::size_t size() const noexcept { return values_.size(); }

@@ -1,0 +1,81 @@
+#include "workload/register.hpp"
+
+#include "exp/registry.hpp"
+#include "workload/generator.hpp"
+#include "workload/heavy_tail.hpp"
+
+namespace gasched::workload {
+
+void register_builtin_distributions(exp::DistributionRegistry& registry) {
+  using exp::WorkloadSpec;
+
+  registry.add({.name = "normal",
+                .summary = "truncated normal sizes; keys: mean (param_a), "
+                           "variance (param_b), floor (§4.3)",
+                .rank = 0,
+                .factory =
+                    [](const WorkloadSpec& s) {
+                      return std::make_unique<NormalSizes>(
+                          s.params.get_double("mean", s.param_a),
+                          s.params.get_double("variance", s.param_b),
+                          s.params.get_double("floor", 1.0));
+                    }});
+  registry.add({.name = "uniform",
+                .summary = "uniform sizes; keys: lo (param_a), hi "
+                           "(param_b) (§4.4)",
+                .rank = 1,
+                .factory =
+                    [](const WorkloadSpec& s) {
+                      return std::make_unique<UniformSizes>(
+                          s.params.get_double("lo", s.param_a),
+                          s.params.get_double("hi", s.param_b));
+                    }});
+  registry.add({.name = "poisson",
+                .summary = "Poisson sizes; keys: mean (param_a), floor "
+                           "(§4.5)",
+                .rank = 2,
+                .factory =
+                    [](const WorkloadSpec& s) {
+                      return std::make_unique<PoissonSizes>(
+                          s.params.get_double("mean", s.param_a),
+                          s.params.get_double("floor", 1.0));
+                    }});
+  registry.add({.name = "constant",
+                .summary = "constant sizes; keys: size (param_a)",
+                .rank = 3,
+                .factory =
+                    [](const WorkloadSpec& s) {
+                      return std::make_unique<ConstantSizes>(
+                          s.params.get_double("size", s.param_a));
+                    }});
+  registry.add({.name = "pareto",
+                .summary = "bounded Pareto heavy tail, density ∝ x^(−α−1); "
+                           "keys: alpha (1.1), lo (param_a), hi (param_b)",
+                .rank = 4,
+                .factory =
+                    [](const WorkloadSpec& s) {
+                      return std::make_unique<ParetoSizes>(
+                          s.params.get_double("alpha", 1.1),
+                          s.params.get_double("lo", s.param_a),
+                          s.params.get_double("hi", s.param_b));
+                    }});
+  registry.add(
+      {.name = "bimodal",
+       .summary = "two truncated normal modes (small scripts + big "
+                  "renders); keys: mean_small (100), var_small (900), "
+                  "mean_large (10000), var_large (9e6), weight_small "
+                  "(0.8), floor (1)",
+       .rank = 5,
+       .factory =
+           [](const WorkloadSpec& s) {
+             return std::make_unique<BimodalSizes>(
+                 s.params.get_double("mean_small", 100.0),
+                 s.params.get_double("var_small", 900.0),
+                 s.params.get_double("mean_large", 10000.0),
+                 s.params.get_double("var_large", 9e6),
+                 s.params.get_double("weight_small", 0.8),
+                 s.params.get_double("floor", 1.0));
+           }});
+}
+
+}  // namespace gasched::workload

@@ -1,0 +1,15 @@
+#pragma once
+// Registry hookup for the built-in task-size families (generator.hpp and
+// heavy_tail.hpp). Called once by exp::DistributionRegistry when the
+// registry is first touched.
+
+namespace gasched::exp {
+class DistributionRegistry;
+}
+
+namespace gasched::workload {
+
+/// Registers normal, uniform, poisson, constant, pareto, bimodal.
+void register_builtin_distributions(exp::DistributionRegistry& registry);
+
+}  // namespace gasched::workload

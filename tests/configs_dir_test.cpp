@@ -43,7 +43,7 @@ class ShippedConfigTest
 TEST_P(ShippedConfigTest, ParsesAndRunsReduced) {
   const util::Config cfg = util::Config::load(GetParam());
   Scenario s = scenario_from_config(cfg);
-  SchedulerOptions opts = scheduler_options_from_config(cfg);
+  SchedulerParams opts = scheduler_params_from_config(cfg);
 
   EXPECT_FALSE(s.name.empty());
   EXPECT_GT(s.cluster.num_processors, 0u);
@@ -54,8 +54,10 @@ TEST_P(ShippedConfigTest, ParsesAndRunsReduced) {
   s.workload.count = std::min<std::size_t>(s.workload.count, 120);
   s.cluster.num_processors = std::min<std::size_t>(s.cluster.num_processors, 8);
   s.replications = 1;
-  opts.max_generations = std::min<std::size_t>(opts.max_generations, 30);
-  const auto r = run_one(s, SchedulerKind::kPN, opts, 0);
+  opts.set("max_generations",
+           std::min<std::size_t>(
+               opts.get_size("max_generations", kDefaultMaxGenerations), 30));
+  const auto r = run_one(s, "PN", opts, 0);
   EXPECT_EQ(r.tasks_completed, s.workload.count);
   EXPECT_GT(r.makespan, 0.0);
 }

@@ -13,8 +13,8 @@
 namespace gasched::exp {
 namespace {
 
-using Grid = std::tuple<SchedulerKind, std::size_t /*procs*/,
-                        double /*mean comm*/, DistKind>;
+using Grid = std::tuple<std::string, std::size_t /*procs*/,
+                        double /*mean comm*/, std::string>;
 
 class EngineInvariants : public ::testing::TestWithParam<Grid> {};
 
@@ -23,31 +23,26 @@ TEST_P(EngineInvariants, HoldAcrossTheGrid) {
   Scenario s;
   s.name = "prop";
   s.cluster = paper_cluster(comm, procs);
-  s.workload.kind = dist;
-  switch (dist) {
-    case DistKind::kNormal:
-      s.workload.param_a = 1000.0;
-      s.workload.param_b = 9e5;
-      break;
-    case DistKind::kUniform:
-      s.workload.param_a = 10.0;
-      s.workload.param_b = 1000.0;
-      break;
-    case DistKind::kPoisson:
-      s.workload.param_a = 50.0;
-      break;
-    case DistKind::kConstant:
-      s.workload.param_a = 100.0;
-      break;
+  s.workload.dist = dist;
+  if (dist == "normal") {
+    s.workload.param_a = 1000.0;
+    s.workload.param_b = 9e5;
+  } else if (dist == "uniform") {
+    s.workload.param_a = 10.0;
+    s.workload.param_b = 1000.0;
+  } else if (dist == "poisson") {
+    s.workload.param_a = 50.0;
+  } else {  // constant
+    s.workload.param_a = 100.0;
   }
   s.workload.count = 120;
   s.seed = 77;
   s.replications = 1;
 
-  SchedulerOptions opts;
-  opts.batch_size = 40;
-  opts.max_generations = 30;
-  opts.population = 8;
+  SchedulerParams opts;
+  opts.set("batch_size", 40);
+  opts.set("max_generations", 30);
+  opts.set("population", 8);
 
   // Rebuild the exact run with a trace for structural checks.
   const util::Rng base(s.seed);
@@ -96,17 +91,17 @@ TEST_P(EngineInvariants, HoldAcrossTheGrid) {
 INSTANTIATE_TEST_SUITE_P(
     Grid, EngineInvariants,
     ::testing::Combine(
-        ::testing::Values(SchedulerKind::kPN, SchedulerKind::kZO,
-                          SchedulerKind::kEF, SchedulerKind::kRR,
-                          SchedulerKind::kMM, SchedulerKind::kSUF,
-                          SchedulerKind::kSA, SchedulerKind::kTS,
-                          SchedulerKind::kACO, SchedulerKind::kHC,
-                          SchedulerKind::kPNI, SchedulerKind::kOLB,
-                          SchedulerKind::kDUP),
+        ::testing::Values("PN", "ZO",
+                          "EF", "RR",
+                          "MM", "SUF",
+                          "SA", "TS",
+                          "ACO", "HC",
+                          "PNI", "OLB",
+                          "DUP"),
         ::testing::Values(std::size_t{1}, std::size_t{3}, std::size_t{16}),
         ::testing::Values(1.0, 25.0),
-        ::testing::Values(DistKind::kNormal, DistKind::kUniform,
-                          DistKind::kPoisson)));
+        ::testing::Values("normal", "uniform",
+                          "poisson")));
 
 }  // namespace
 }  // namespace gasched::exp

@@ -4,6 +4,7 @@
 
 #include <gtest/gtest.h>
 
+#include "exp/registry.hpp"
 #include "exp/runner.hpp"
 
 namespace gasched::exp {
@@ -16,7 +17,7 @@ TEST(ConfigScenario, DefaultsMatchDocumentation) {
   EXPECT_EQ(s.replications, 5u);
   EXPECT_EQ(s.cluster.num_processors, 50u);
   EXPECT_DOUBLE_EQ(s.cluster.comm.mean_cost, 20.0);
-  EXPECT_EQ(s.workload.kind, DistKind::kNormal);
+  EXPECT_EQ(s.workload.dist, "normal");
   EXPECT_TRUE(s.workload.all_at_start);
   EXPECT_FALSE(s.failures.has_value());
 }
@@ -38,7 +39,7 @@ TEST(ConfigScenario, FullConfigRoundTrips) {
   EXPECT_EQ(s.cluster.num_processors, 8u);
   EXPECT_EQ(s.cluster.availability, sim::AvailabilityKind::kRandomWalk);
   EXPECT_DOUBLE_EQ(s.cluster.comm.mean_cost, 3.0);
-  EXPECT_EQ(s.workload.kind, DistKind::kUniform);
+  EXPECT_EQ(s.workload.dist, "uniform");
   EXPECT_EQ(s.workload.count, 60u);
   EXPECT_FALSE(s.workload.all_at_start);
   EXPECT_DOUBLE_EQ(s.workload.mean_interarrival, 2.5);
@@ -47,18 +48,21 @@ TEST(ConfigScenario, FullConfigRoundTrips) {
   EXPECT_DOUBLE_EQ(s.failures->failing_fraction, 0.25);
 }
 
-TEST(ConfigScenario, SchedulerOptions) {
+TEST(ConfigScenario, SchedulerParamsCarrySectionVerbatim) {
   const auto cfg = util::Config::parse(
       "[scheduler]\nbatch_size = 77\nmax_generations = 55\n"
       "population = 11\nrebalances = 3\npn_dynamic_batch = false\n"
-      "kpb_percent = 35\n");
-  const auto o = scheduler_options_from_config(cfg);
-  EXPECT_EQ(o.batch_size, 77u);
-  EXPECT_EQ(o.max_generations, 55u);
-  EXPECT_EQ(o.population, 11u);
-  EXPECT_EQ(o.rebalances, 3u);
-  EXPECT_FALSE(o.pn_dynamic_batch);
-  EXPECT_DOUBLE_EQ(o.kpb_percent, 35.0);
+      "kpb_percent = 35\nsa_cooling = 0.8\n");
+  const auto p = scheduler_params_from_config(cfg);
+  EXPECT_EQ(p.get_size("batch_size", 200), 77u);
+  EXPECT_EQ(p.get_size("max_generations", 1000), 55u);
+  EXPECT_EQ(p.get_size("population", 20), 11u);
+  EXPECT_EQ(p.get_size("rebalances", 1), 3u);
+  EXPECT_FALSE(p.get_bool("pn_dynamic_batch", true));
+  EXPECT_DOUBLE_EQ(p.get_double("kpb_percent", 20.0), 35.0);
+  // Per-scheduler keys ride along untouched for the factory that wants
+  // them — nothing to extend centrally.
+  EXPECT_DOUBLE_EQ(p.get_double("sa_cooling", 0.92), 0.8);
 }
 
 TEST(ConfigScenario, UnknownEnumsThrow) {
@@ -70,14 +74,23 @@ TEST(ConfigScenario, UnknownEnumsThrow) {
       std::runtime_error);
 }
 
-TEST(ConfigScenario, SchedulerNamesResolve) {
-  for (const auto kind : extended_schedulers()) {
-    EXPECT_EQ(scheduler_kind_from_name(scheduler_name(kind)), kind);
+TEST(ConfigScenario, UnknownDistErrorListsRegisteredFamilies) {
+  try {
+    scenario_from_config(util::Config::parse("[workload]\ndist = zipf\n"));
+    FAIL() << "expected std::runtime_error";
+  } catch (const std::runtime_error& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("zipf"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("normal"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("pareto"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("bimodal"), std::string::npos) << msg;
   }
-  for (const auto kind : metaheuristic_schedulers()) {
-    EXPECT_EQ(scheduler_kind_from_name(scheduler_name(kind)), kind);
-  }
-  EXPECT_THROW(scheduler_kind_from_name("XYZ"), std::runtime_error);
+}
+
+TEST(ConfigScenario, DistNamesAreCaseInsensitive) {
+  const auto s = scenario_from_config(
+      util::Config::parse("[workload]\ndist = Pareto\n"));
+  EXPECT_EQ(s.workload.dist, "pareto");
 }
 
 TEST(ConfigScenario, ParsesArrivalAndSmoothingKeys) {
@@ -93,9 +106,20 @@ TEST(ConfigScenario, ParsesArrivalAndSmoothingKeys) {
   EXPECT_DOUBLE_EQ(s.workload.mean_interarrival, 2.5);
   EXPECT_DOUBLE_EQ(s.workload.burstiness, 8.0);
   EXPECT_DOUBLE_EQ(s.workload.burst_dwell, 12.0);
-  const auto o = scheduler_options_from_config(cfg);
-  EXPECT_EQ(o.islands, 6u);
-  EXPECT_EQ(o.migration_interval, 15u);
+  const auto p = scheduler_params_from_config(cfg);
+  EXPECT_EQ(p.get_size("islands", 4), 6u);
+  EXPECT_EQ(p.get_size("migration_interval", 25), 15u);
+}
+
+TEST(ConfigScenario, SchedulerNamesResolveThroughRegistry) {
+  for (const auto& name : extended_schedulers()) {
+    EXPECT_EQ(SchedulerRegistry::instance().canonical_name(name), name);
+  }
+  for (const auto& name : metaheuristic_schedulers()) {
+    EXPECT_EQ(SchedulerRegistry::instance().canonical_name(name), name);
+  }
+  EXPECT_THROW(SchedulerRegistry::instance().canonical_name("XYZ"),
+               std::runtime_error);
 }
 
 TEST(ConfigScenario, ConfiguredScenarioActuallyRuns) {
@@ -106,10 +130,47 @@ TEST(ConfigScenario, ConfiguredScenarioActuallyRuns) {
       "[workload]\ndist = uniform\nparam_a = 10\nparam_b = 100\ncount = 40\n"
       "[scheduler]\nmax_generations = 20\nbatch_size = 20\n");
   const auto s = scenario_from_config(cfg);
-  const auto o = scheduler_options_from_config(cfg);
-  const auto runs = run_replications(s, SchedulerKind::kPN, o);
+  const auto p = scheduler_params_from_config(cfg);
+  const auto runs = run_replications(s, "PN", p);
   ASSERT_EQ(runs.size(), 2u);
   for (const auto& r : runs) EXPECT_EQ(r.tasks_completed, 40u);
+}
+
+TEST(ConfigScenario, ParetoScenarioRunsFromConfig) {
+  const auto cfg = util::Config::parse(
+      "[scenario]\nreplications = 2\n"
+      "[cluster]\nprocessors = 4\n"
+      "[comm]\nmean_cost = 2\n"
+      "[workload]\ndist = pareto\nalpha = 1.3\nlo = 10\nhi = 5000\n"
+      "count = 50\n"
+      "[scheduler]\nmax_generations = 15\nbatch_size = 25\n");
+  const auto s = scenario_from_config(cfg);
+  EXPECT_EQ(s.workload.dist, "pareto");
+  const auto dist = make_distribution(s.workload);
+  EXPECT_EQ(dist->name(), "pareto");
+  EXPECT_DOUBLE_EQ(dist->min_size(), 10.0);
+  const auto runs =
+      run_replications(s, "PN", scheduler_params_from_config(cfg));
+  ASSERT_EQ(runs.size(), 2u);
+  for (const auto& r : runs) EXPECT_EQ(r.tasks_completed, 50u);
+}
+
+TEST(ConfigScenario, BimodalScenarioRunsFromConfig) {
+  const auto cfg = util::Config::parse(
+      "[scenario]\nreplications = 1\n"
+      "[cluster]\nprocessors = 4\n"
+      "[comm]\nmean_cost = 2\n"
+      "[workload]\ndist = bimodal\nmean_small = 50\nvar_small = 100\n"
+      "mean_large = 2000\nvar_large = 10000\nweight_small = 0.7\n"
+      "count = 50\n"
+      "[scheduler]\nmax_generations = 15\nbatch_size = 25\n");
+  const auto s = scenario_from_config(cfg);
+  EXPECT_EQ(s.workload.dist, "bimodal");
+  EXPECT_EQ(make_distribution(s.workload)->name(), "bimodal");
+  const auto runs =
+      run_replications(s, "PN", scheduler_params_from_config(cfg));
+  ASSERT_EQ(runs.size(), 1u);
+  EXPECT_EQ(runs[0].tasks_completed, 50u);
 }
 
 }  // namespace

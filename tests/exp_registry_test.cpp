@@ -1,0 +1,206 @@
+// Tests for the string-keyed scheduler/distribution registries: name
+// round-trips, case-insensitive lookup, tag-derived enumeration order,
+// duplicate-registration rejection, the contents of unknown-name errors,
+// and out-of-library registration through the public API.
+
+#include "exp/registry.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "exp/runner.hpp"
+
+namespace gasched::exp {
+namespace {
+
+SchedulerParams quick_params() {
+  SchedulerParams p;
+  p.set("batch_size", 30);
+  p.set("max_generations", 20);
+  p.set("population", 8);
+  return p;
+}
+
+bool listed(const std::vector<std::string>& names, const std::string& name) {
+  return std::find(names.begin(), names.end(), name) != names.end();
+}
+
+TEST(SchedulerRegistry, SeventeenBuiltinsRegistered) {
+  const auto names = SchedulerRegistry::instance().names();
+  EXPECT_GE(names.size(), 17u);  // >= so user entries in-process don't break
+  for (const std::string expected :
+       {"EF", "LL", "RR", "ZO", "PN", "MM", "MX", "MET", "KPB", "SUF", "OLB",
+        "DUP", "SA", "TS", "ACO", "HC", "PNI"}) {
+    EXPECT_TRUE(listed(names, expected)) << expected;
+  }
+}
+
+TEST(SchedulerRegistry, EveryRegisteredNameRoundTripsThroughItsFactory) {
+  const auto& registry = SchedulerRegistry::instance();
+  for (const auto& name : registry.names()) {
+    const auto policy = registry.create(name, quick_params());
+    ASSERT_NE(policy, nullptr) << name;
+    // The policy's self-reported name starts with the registry name
+    // (KPB reports its percentage, e.g. "KPB20").
+    EXPECT_EQ(policy->name().rfind(name, 0), 0u)
+        << name << " vs " << policy->name();
+    EXPECT_EQ(registry.canonical_name(name), name);
+    EXPECT_TRUE(registry.contains(name));
+    EXPECT_FALSE(registry.find(name).summary.empty()) << name;
+  }
+}
+
+TEST(SchedulerRegistry, LookupIsCaseInsensitive) {
+  const auto& registry = SchedulerRegistry::instance();
+  EXPECT_EQ(registry.canonical_name("pn"), "PN");
+  EXPECT_EQ(registry.canonical_name("Aco"), "ACO");
+  EXPECT_EQ(registry.canonical_name("pni"), "PNI");
+  EXPECT_TRUE(registry.contains("mEt"));
+  EXPECT_EQ(registry.create("zo", quick_params())->name(), "ZO");
+}
+
+TEST(SchedulerRegistry, UnknownNameErrorListsEveryRegisteredName) {
+  try {
+    SchedulerRegistry::instance().create("XYZ", quick_params());
+    FAIL() << "expected std::runtime_error";
+  } catch (const std::runtime_error& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("XYZ"), std::string::npos) << msg;
+    for (const auto& name : SchedulerRegistry::instance().names()) {
+      EXPECT_NE(msg.find(name), std::string::npos) << name << ": " << msg;
+    }
+  }
+}
+
+TEST(SchedulerRegistry, DuplicateRegistrationRejectedCaseInsensitively) {
+  auto& registry = SchedulerRegistry::instance();
+  SchedulerEntry dup;
+  dup.name = "pn";  // clashes with the built-in "PN"
+  dup.summary = "dup";
+  dup.factory = [](const SchedulerParams&) {
+    return SchedulerRegistry::instance().create("RR");
+  };
+  EXPECT_THROW(registry.add(dup), std::invalid_argument);
+}
+
+TEST(SchedulerRegistry, RejectsEmptyNameAndMissingFactory) {
+  auto& registry = SchedulerRegistry::instance();
+  SchedulerEntry no_name;
+  no_name.factory = [](const SchedulerParams&) {
+    return SchedulerRegistry::instance().create("RR");
+  };
+  EXPECT_THROW(registry.add(no_name), std::invalid_argument);
+  SchedulerEntry no_factory;
+  no_factory.name = "NOFACTORY";
+  EXPECT_THROW(registry.add(no_factory), std::invalid_argument);
+}
+
+TEST(SchedulerRegistry, UserEntryRunsThroughTheHarnessByName) {
+  auto& registry = SchedulerRegistry::instance();
+  if (!registry.contains("TESTRR")) {
+    registry.add({.name = "TESTRR",
+                  .summary = "RR under a custom name (registry test)",
+                  .factory = [](const SchedulerParams& p) {
+                    return make_scheduler("RR", p);
+                  }});
+  }
+  EXPECT_TRUE(listed(registry.names(), "TESTRR"));
+
+  Scenario s;
+  s.name = "registry";
+  s.cluster = paper_cluster(5.0, 4);
+  s.workload.dist = "uniform";
+  s.workload.param_a = 10.0;
+  s.workload.param_b = 100.0;
+  s.workload.count = 40;
+  s.replications = 2;
+  const auto cell = run_cell(s, "testrr", quick_params());
+  EXPECT_EQ(cell.scheduler, "TESTRR");
+  EXPECT_GT(cell.makespan.mean, 0.0);
+}
+
+TEST(SchedulerRegistry, TagSetsMatchTheLegacyLists) {
+  EXPECT_EQ(all_schedulers(),
+            (std::vector<std::string>{"EF", "LL", "RR", "ZO", "PN", "MM",
+                                      "MX"}));
+  EXPECT_EQ(extended_schedulers(),
+            (std::vector<std::string>{"EF", "LL", "RR", "ZO", "PN", "MM",
+                                      "MX", "MET", "KPB", "SUF", "OLB",
+                                      "DUP"}));
+  EXPECT_EQ(metaheuristic_schedulers(),
+            (std::vector<std::string>{"ZO", "PN", "SA", "TS", "ACO", "HC",
+                                      "PNI"}));
+}
+
+TEST(Params, SetAcceptsEveryArithmeticTypeUnambiguously) {
+  Params p;
+  p.set("i", 4)
+      .set("u", 4u)
+      .set("s", std::size_t{5})
+      .set("l", std::int64_t{-6})
+      .set("f", 1.5f)
+      .set("d", 2.25)
+      .set("b", true)
+      .set("str", "seven");
+  EXPECT_EQ(p.get_int("i", 0), 4);
+  EXPECT_EQ(p.get_size("u", 0), 4u);
+  EXPECT_EQ(p.get_size("s", 0), 5u);
+  EXPECT_EQ(p.get_int("l", 0), -6);
+  EXPECT_DOUBLE_EQ(p.get_double("f", 0.0), 1.5);
+  EXPECT_DOUBLE_EQ(p.get_double("d", 0.0), 2.25);
+  EXPECT_TRUE(p.get_bool("b", false));
+  EXPECT_EQ(p.get("str", ""), "seven");
+}
+
+TEST(DistributionRegistry, BuiltinFamiliesIncludeHeavyTails) {
+  const auto names = DistributionRegistry::instance().names();
+  for (const std::string expected :
+       {"normal", "uniform", "poisson", "constant", "pareto", "bimodal"}) {
+    EXPECT_TRUE(listed(names, expected)) << expected;
+  }
+}
+
+TEST(DistributionRegistry, CreateHonoursNamedKeys) {
+  WorkloadSpec spec;
+  spec.dist = "PARETO";  // case-insensitive
+  spec.params.set("alpha", 1.5).set("lo", 20.0).set("hi", 2000.0);
+  const auto d = DistributionRegistry::instance().create(spec);
+  EXPECT_EQ(d->name(), "pareto");
+  EXPECT_DOUBLE_EQ(d->min_size(), 20.0);
+  util::Rng rng(1);
+  for (int i = 0; i < 200; ++i) {
+    const double x = d->sample(rng);
+    EXPECT_GE(x, 20.0);
+    EXPECT_LE(x, 2000.0);
+  }
+}
+
+TEST(DistributionRegistry, UnknownFamilyErrorListsRegisteredOnes) {
+  WorkloadSpec spec;
+  spec.dist = "zipf";
+  try {
+    DistributionRegistry::instance().create(spec);
+    FAIL() << "expected std::runtime_error";
+  } catch (const std::runtime_error& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("zipf"), std::string::npos) << msg;
+    for (const auto& name : DistributionRegistry::instance().names()) {
+      EXPECT_NE(msg.find(name), std::string::npos) << name << ": " << msg;
+    }
+  }
+}
+
+TEST(DistributionRegistry, DuplicateRegistrationRejected) {
+  DistributionEntry dup;
+  dup.name = "Uniform";  // clashes with the built-in "uniform"
+  dup.summary = "dup";
+  dup.factory = [](const WorkloadSpec&) {
+    return std::make_unique<workload::ConstantSizes>(1.0);
+  };
+  EXPECT_THROW(DistributionRegistry::instance().add(dup),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace gasched::exp

@@ -1,5 +1,6 @@
-// Tests for the experiment harness: scheduler factory, scenario
-// realisation, replication determinism, and the same-workload guarantee.
+// Tests for the experiment harness: registry-backed scheduler factory,
+// scenario realisation, replication determinism, and the same-workload
+// guarantee.
 
 #include "exp/runner.hpp"
 
@@ -12,7 +13,7 @@ Scenario small_scenario() {
   Scenario s;
   s.name = "test";
   s.cluster = paper_cluster(/*mean_comm_cost=*/10.0, /*processors=*/6);
-  s.workload.kind = DistKind::kUniform;
+  s.workload.dist = "uniform";
   s.workload.param_a = 10.0;
   s.workload.param_b = 100.0;
   s.workload.count = 120;
@@ -21,43 +22,68 @@ Scenario small_scenario() {
   return s;
 }
 
-SchedulerOptions quick_opts() {
-  SchedulerOptions o;
-  o.batch_size = 40;
-  o.max_generations = 40;
-  o.population = 10;
+SchedulerParams quick_opts() {
+  SchedulerParams o;
+  o.set("batch_size", 40);
+  o.set("max_generations", 40);
+  o.set("population", 10);
   return o;
 }
 
 TEST(SchedulerFactory, AllSevenConstructibleWithPaperNames) {
-  for (const auto kind : all_schedulers()) {
-    const auto policy = make_scheduler(kind, quick_opts());
+  for (const auto& name : all_schedulers()) {
+    const auto policy = make_scheduler(name, quick_opts());
     ASSERT_NE(policy, nullptr);
-    EXPECT_EQ(policy->name(), scheduler_name(kind));
+    EXPECT_EQ(policy->name(), name);
   }
 }
 
 TEST(SchedulerFactory, OrderMatchesPaperBarCharts) {
   const auto all = all_schedulers();
   ASSERT_EQ(all.size(), 7u);
-  EXPECT_STREQ(scheduler_name(all[0]), "EF");
-  EXPECT_STREQ(scheduler_name(all[1]), "LL");
-  EXPECT_STREQ(scheduler_name(all[2]), "RR");
-  EXPECT_STREQ(scheduler_name(all[3]), "ZO");
-  EXPECT_STREQ(scheduler_name(all[4]), "PN");
-  EXPECT_STREQ(scheduler_name(all[5]), "MM");
-  EXPECT_STREQ(scheduler_name(all[6]), "MX");
+  EXPECT_EQ(all[0], "EF");
+  EXPECT_EQ(all[1], "LL");
+  EXPECT_EQ(all[2], "RR");
+  EXPECT_EQ(all[3], "ZO");
+  EXPECT_EQ(all[4], "PN");
+  EXPECT_EQ(all[5], "MM");
+  EXPECT_EQ(all[6], "MX");
 }
 
 TEST(Distributions, FactoryMatchesSpec) {
-  WorkloadSpec normal{DistKind::kNormal, 1000.0, 9e5, 10};
-  EXPECT_EQ(make_distribution(normal)->name(), "normal");
-  WorkloadSpec uni{DistKind::kUniform, 10.0, 100.0, 10};
-  EXPECT_EQ(make_distribution(uni)->name(), "uniform");
-  WorkloadSpec poi{DistKind::kPoisson, 10.0, 0.0, 10};
-  EXPECT_EQ(make_distribution(poi)->name(), "poisson");
-  WorkloadSpec con{DistKind::kConstant, 5.0, 0.0, 10};
-  EXPECT_EQ(make_distribution(con)->name(), "constant");
+  WorkloadSpec spec;
+  spec.count = 10;
+  spec.dist = "normal";
+  spec.param_a = 1000.0;
+  spec.param_b = 9e5;
+  EXPECT_EQ(make_distribution(spec)->name(), "normal");
+  spec.dist = "uniform";
+  spec.param_a = 10.0;
+  spec.param_b = 100.0;
+  EXPECT_EQ(make_distribution(spec)->name(), "uniform");
+  spec.dist = "poisson";
+  spec.param_a = 10.0;
+  EXPECT_EQ(make_distribution(spec)->name(), "poisson");
+  spec.dist = "constant";
+  spec.param_a = 5.0;
+  EXPECT_EQ(make_distribution(spec)->name(), "constant");
+  spec.dist = "pareto";
+  spec.param_a = 10.0;
+  spec.param_b = 10000.0;
+  EXPECT_EQ(make_distribution(spec)->name(), "pareto");
+  spec.dist = "bimodal";
+  EXPECT_EQ(make_distribution(spec)->name(), "bimodal");
+}
+
+TEST(Distributions, NamedKeysOverridePositionalParams) {
+  WorkloadSpec spec;
+  spec.dist = "uniform";
+  spec.param_a = 10.0;
+  spec.param_b = 100.0;
+  spec.params.set("lo", 50.0).set("hi", 60.0);
+  const auto d = make_distribution(spec);
+  EXPECT_DOUBLE_EQ(d->min_size(), 50.0);
+  EXPECT_DOUBLE_EQ(d->mean(), 55.0);
 }
 
 TEST(PaperCluster, MatchesSection42) {
@@ -71,12 +97,11 @@ TEST(PaperCluster, MatchesSection42) {
 
 TEST(Runner, CompletesAllTasksForEveryScheduler) {
   const Scenario s = small_scenario();
-  for (const auto kind : all_schedulers()) {
-    const auto runs = run_replications(s, kind, quick_opts());
+  for (const auto& name : all_schedulers()) {
+    const auto runs = run_replications(s, name, quick_opts());
     ASSERT_EQ(runs.size(), s.replications);
     for (const auto& r : runs) {
-      EXPECT_EQ(r.tasks_completed, s.workload.count)
-          << scheduler_name(kind);
+      EXPECT_EQ(r.tasks_completed, s.workload.count) << name;
       EXPECT_GT(r.makespan, 0.0);
       EXPECT_GT(r.efficiency(), 0.0);
       EXPECT_LE(r.efficiency(), 1.0);
@@ -86,8 +111,8 @@ TEST(Runner, CompletesAllTasksForEveryScheduler) {
 
 TEST(Runner, DeterministicAcrossCalls) {
   const Scenario s = small_scenario();
-  const auto a = run_replications(s, SchedulerKind::kEF, quick_opts());
-  const auto b = run_replications(s, SchedulerKind::kEF, quick_opts());
+  const auto a = run_replications(s, "EF", quick_opts());
+  const auto b = run_replications(s, "EF", quick_opts());
   for (std::size_t i = 0; i < a.size(); ++i) {
     EXPECT_DOUBLE_EQ(a[i].makespan, b[i].makespan);
   }
@@ -95,10 +120,8 @@ TEST(Runner, DeterministicAcrossCalls) {
 
 TEST(Runner, ParallelAndSerialAgree) {
   const Scenario s = small_scenario();
-  const auto par =
-      run_replications(s, SchedulerKind::kMM, quick_opts(), /*parallel=*/true);
-  const auto ser = run_replications(s, SchedulerKind::kMM, quick_opts(),
-                                    /*parallel=*/false);
+  const auto par = run_replications(s, "MM", quick_opts(), /*parallel=*/true);
+  const auto ser = run_replications(s, "MM", quick_opts(), /*parallel=*/false);
   ASSERT_EQ(par.size(), ser.size());
   for (std::size_t i = 0; i < par.size(); ++i) {
     EXPECT_DOUBLE_EQ(par[i].makespan, ser[i].makespan);
@@ -108,23 +131,40 @@ TEST(Runner, ParallelAndSerialAgree) {
 
 TEST(Runner, ReplicationsDiffer) {
   const Scenario s = small_scenario();
-  const auto runs = run_replications(s, SchedulerKind::kRR, quick_opts());
+  const auto runs = run_replications(s, "RR", quick_opts());
   EXPECT_NE(runs[0].makespan, runs[1].makespan);
 }
 
 TEST(Runner, RunOneMatchesReplicationSlot) {
   const Scenario s = small_scenario();
-  const auto runs = run_replications(s, SchedulerKind::kLL, quick_opts());
-  const auto lone = run_one(s, SchedulerKind::kLL, quick_opts(), 1);
+  const auto runs = run_replications(s, "LL", quick_opts());
+  const auto lone = run_one(s, "LL", quick_opts(), 1);
   EXPECT_DOUBLE_EQ(lone.makespan, runs[1].makespan);
 }
 
 TEST(Runner, CellSummaryAggregates) {
   const Scenario s = small_scenario();
-  const auto cell = run_cell(s, SchedulerKind::kEF, quick_opts());
+  const auto cell = run_cell(s, "EF", quick_opts());
   EXPECT_EQ(cell.scheduler, "EF");
   EXPECT_EQ(cell.replications, s.replications);
   EXPECT_GT(cell.makespan.mean, 0.0);
+}
+
+TEST(Runner, AcceptsCaseInsensitiveNamesAndLabelsCanonically) {
+  const Scenario s = small_scenario();
+  const auto cell = run_cell(s, "ef", quick_opts());
+  EXPECT_EQ(cell.scheduler, "EF");
+  const auto canonical = run_replications(s, "EF", quick_opts());
+  const auto lower = run_replications(s, "ef", quick_opts());
+  for (std::size_t i = 0; i < canonical.size(); ++i) {
+    EXPECT_DOUBLE_EQ(canonical[i].makespan, lower[i].makespan);
+  }
+}
+
+TEST(Runner, UnknownSchedulerThrowsBeforeRunning) {
+  const Scenario s = small_scenario();
+  EXPECT_THROW(run_replications(s, "NOPE", quick_opts()),
+               std::runtime_error);
 }
 
 }  // namespace

@@ -10,20 +10,20 @@
 namespace gasched::exp {
 namespace {
 
-SchedulerOptions opts() {
-  SchedulerOptions o;
-  o.batch_size = 60;
-  o.max_generations = 80;
-  o.population = 14;
+SchedulerParams opts() {
+  SchedulerParams o;
+  o.set("batch_size", 60);
+  o.set("max_generations", 80);
+  o.set("population", 14);
   return o;
 }
 
-Scenario scenario(DistKind kind, double a, double b, double comm,
+Scenario scenario(std::string kind, double a, double b, double comm,
                   std::size_t tasks = 300, std::size_t procs = 12) {
   Scenario s;
   s.name = "shape";
   s.cluster = paper_cluster(comm, procs);
-  s.workload.kind = kind;
+  s.workload.dist = kind;
   s.workload.param_a = a;
   s.workload.param_b = b;
   s.workload.count = tasks;
@@ -32,14 +32,14 @@ Scenario scenario(DistKind kind, double a, double b, double comm,
   return s;
 }
 
-double mean_eff(const Scenario& s, SchedulerKind k) {
+double mean_eff(const Scenario& s, std::string k) {
   double sum = 0.0;
   const auto runs = run_replications(s, k, opts());
   for (const auto& r : runs) sum += r.efficiency();
   return sum / static_cast<double>(runs.size());
 }
 
-double mean_ms(const Scenario& s, SchedulerKind k) {
+double mean_ms(const Scenario& s, std::string k) {
   double sum = 0.0;
   const auto runs = run_replications(s, k, opts());
   for (const auto& r : runs) sum += r.makespan;
@@ -49,37 +49,37 @@ double mean_ms(const Scenario& s, SchedulerKind k) {
 // Fig 5 shape: PN's efficiency beats the load-blind immediate schedulers
 // on normal workloads with significant communication costs.
 TEST(FigureShapes, Fig5PnBeatsLoadBlindSchedulers) {
-  const auto s = scenario(DistKind::kNormal, 1000.0, 9e5, 20.0);
-  const double pn = mean_eff(s, SchedulerKind::kPN);
-  EXPECT_GT(pn, mean_eff(s, SchedulerKind::kRR));
-  EXPECT_GT(pn, mean_eff(s, SchedulerKind::kLL));
+  const auto s = scenario("normal", 1000.0, 9e5, 20.0);
+  const double pn = mean_eff(s, "PN");
+  EXPECT_GT(pn, mean_eff(s, "RR"));
+  EXPECT_GT(pn, mean_eff(s, "LL"));
 }
 
 // Fig 5 shape: every scheduler's efficiency rises as communication gets
 // cheaper.
 TEST(FigureShapes, Fig5EfficiencyRisesWithCheaperComm) {
-  const auto dear = scenario(DistKind::kNormal, 1000.0, 9e5, 60.0);
-  const auto cheap = scenario(DistKind::kNormal, 1000.0, 9e5, 8.0);
+  const auto dear = scenario("normal", 1000.0, 9e5, 60.0);
+  const auto cheap = scenario("normal", 1000.0, 9e5, 8.0);
   for (const auto kind :
-       {SchedulerKind::kPN, SchedulerKind::kEF, SchedulerKind::kMM}) {
+       {"PN", "EF", "MM"}) {
     EXPECT_GT(mean_eff(cheap, kind), mean_eff(dear, kind))
-        << scheduler_name(kind);
+        << kind;
   }
 }
 
 // Fig 6 shape: PN's makespan beats RR and LL on the normal workload.
 TEST(FigureShapes, Fig6PnMakespanBeatsSimpleSchedulers) {
-  const auto s = scenario(DistKind::kNormal, 1000.0, 9e5, 20.0);
-  const double pn = mean_ms(s, SchedulerKind::kPN);
-  EXPECT_LT(pn, mean_ms(s, SchedulerKind::kRR));
-  EXPECT_LT(pn, mean_ms(s, SchedulerKind::kLL));
+  const auto s = scenario("normal", 1000.0, 9e5, 20.0);
+  const double pn = mean_ms(s, "PN");
+  EXPECT_LT(pn, mean_ms(s, "RR"));
+  EXPECT_LT(pn, mean_ms(s, "LL"));
 }
 
 // Figs 8/9 shape: widening the task-size range accentuates the spread
 // between schedulers.
 TEST(FigureShapes, Fig8Vs9WiderRangeAccentuatesDifferences) {
-  const auto narrow = scenario(DistKind::kUniform, 10.0, 100.0, 5.0);
-  const auto wide = scenario(DistKind::kUniform, 10.0, 10000.0, 5.0);
+  const auto narrow = scenario("uniform", 10.0, 100.0, 5.0);
+  const auto wide = scenario("uniform", 10.0, 10000.0, 5.0);
   auto spread = [&](const Scenario& s) {
     std::vector<double> ms;
     for (const auto kind : all_schedulers()) {
@@ -94,25 +94,25 @@ TEST(FigureShapes, Fig8Vs9WiderRangeAccentuatesDifferences) {
 // Fig 11 shape: batch schedulers beat immediate-mode schedulers at
 // Poisson mean 100.
 TEST(FigureShapes, Fig11BatchBeatsImmediateOnPoisson) {
-  const auto s = scenario(DistKind::kPoisson, 100.0, 0.0, 1.0);
-  const double batch = (mean_ms(s, SchedulerKind::kPN) +
-                        mean_ms(s, SchedulerKind::kMM) +
-                        mean_ms(s, SchedulerKind::kMX)) /
+  const auto s = scenario("poisson", 100.0, 0.0, 1.0);
+  const double batch = (mean_ms(s, "PN") +
+                        mean_ms(s, "MM") +
+                        mean_ms(s, "MX")) /
                        3.0;
-  const double immediate = (mean_ms(s, SchedulerKind::kEF) +
-                            mean_ms(s, SchedulerKind::kLL) +
-                            mean_ms(s, SchedulerKind::kRR)) /
+  const double immediate = (mean_ms(s, "EF") +
+                            mean_ms(s, "LL") +
+                            mean_ms(s, "RR")) /
                            3.0;
   EXPECT_LT(batch, immediate);
 }
 
 // Fig 10 shape: PN leads at Poisson mean 10.
 TEST(FigureShapes, Fig10PnLeadsAtSmallPoissonMean) {
-  const auto s = scenario(DistKind::kPoisson, 10.0, 0.0, 1.0);
-  const double pn = mean_ms(s, SchedulerKind::kPN);
-  for (const auto kind : {SchedulerKind::kEF, SchedulerKind::kRR,
-                          SchedulerKind::kMX, SchedulerKind::kZO}) {
-    EXPECT_LT(pn, mean_ms(s, kind) * 1.05) << scheduler_name(kind);
+  const auto s = scenario("poisson", 10.0, 0.0, 1.0);
+  const double pn = mean_ms(s, "PN");
+  for (const auto kind : {"EF", "RR",
+                          "MX", "ZO"}) {
+    EXPECT_LT(pn, mean_ms(s, kind) * 1.05) << kind;
   }
 }
 

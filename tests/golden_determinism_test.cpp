@@ -23,7 +23,7 @@ Scenario golden_scenario() {
   Scenario s;
   s.name = "golden";
   s.cluster = paper_cluster(10.0, 8);
-  s.workload.kind = DistKind::kUniform;
+  s.workload.dist = "uniform";
   s.workload.param_a = 10.0;
   s.workload.param_b = 1000.0;
   s.workload.count = 200;
@@ -32,38 +32,38 @@ Scenario golden_scenario() {
   return s;
 }
 
-SchedulerOptions golden_opts() {
-  SchedulerOptions o;
-  o.batch_size = 50;
-  o.max_generations = 40;
-  o.population = 12;
+SchedulerParams golden_opts() {
+  SchedulerParams o;
+  o.set("batch_size", 50);
+  o.set("max_generations", 40);
+  o.set("population", 12);
   return o;
 }
 
 struct Golden {
-  SchedulerKind kind;
+  std::string kind;
   double makespan[2];
   double response[2];
 };
 
 // Captured 2026-06-12 at the commit introducing this test.
 const Golden kGolden[] = {
-    {SchedulerKind::kPN,
+    {"PN",
      {533.38076700184502, 609.55880600455134},
      {265.24668627213669, 297.66190815501085}},
-    {SchedulerKind::kEF,
+    {"EF",
      {595.92641545973072, 766.75149709238076},
      {258.31307270289938, 305.37391944866107}},
-    {SchedulerKind::kSA,
+    {"SA",
      {519.23513123779287, 597.24464984579515},
      {264.42731134918745, 295.45747820857338}},
-    {SchedulerKind::kTS,
+    {"TS",
      {520.6251024967529, 586.02649005207411},
      {264.14630247102627, 299.16590101334418}},
-    {SchedulerKind::kACO,
+    {"ACO",
      {533.35321338274696, 610.99617088239199},
      {264.39984671674409, 292.48581488777694}},
-    {SchedulerKind::kRR,
+    {"RR",
      {1345.6660362725179, 1151.838229634337},
      {325.95767505375056, 340.01369278259932}},
 };
@@ -76,9 +76,9 @@ TEST_P(GoldenTest, ExactMakespanAndResponse) {
   ASSERT_EQ(runs.size(), 2u);
   for (std::size_t r = 0; r < 2; ++r) {
     EXPECT_DOUBLE_EQ(runs[r].makespan, g.makespan[r])
-        << scheduler_name(g.kind) << " rep " << r;
+        << g.kind << " rep " << r;
     EXPECT_DOUBLE_EQ(runs[r].mean_response_time, g.response[r])
-        << scheduler_name(g.kind) << " rep " << r;
+        << g.kind << " rep " << r;
     EXPECT_EQ(runs[r].tasks_completed, 200u);
   }
 }
@@ -98,7 +98,7 @@ TEST_P(GoldenTest, ParallelExecutionMatchesGolden) {
 INSTANTIATE_TEST_SUITE_P(PinnedSeeds, GoldenTest,
                          ::testing::ValuesIn(kGolden),
                          [](const ::testing::TestParamInfo<Golden>& info) {
-                           return scheduler_name(info.param.kind);
+                           return info.param.kind;
                          });
 
 }  // namespace

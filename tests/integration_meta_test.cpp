@@ -11,13 +11,13 @@
 namespace gasched::exp {
 namespace {
 
-SchedulerOptions quick_opts() {
-  SchedulerOptions o;
-  o.batch_size = 50;
-  o.max_generations = 40;
-  o.population = 10;
-  o.islands = 3;
-  o.migration_interval = 10;
+SchedulerParams quick_opts() {
+  SchedulerParams o;
+  o.set("batch_size", 50);
+  o.set("max_generations", 40);
+  o.set("population", 10);
+  o.set("islands", 3);
+  o.set("migration_interval", 10);
   return o;
 }
 
@@ -26,7 +26,7 @@ Scenario base_scenario(double mean_comm, std::size_t tasks = 250,
   Scenario s;
   s.name = "integration-meta";
   s.cluster = paper_cluster(mean_comm, procs);
-  s.workload.kind = DistKind::kUniform;
+  s.workload.dist = "uniform";
   s.workload.param_a = 10.0;
   s.workload.param_b = 1000.0;
   s.workload.count = tasks;
@@ -41,7 +41,7 @@ double mean_makespan(const std::vector<sim::SimulationResult>& runs) {
   return s / static_cast<double>(runs.size());
 }
 
-class ExtendedSchedulerTest : public ::testing::TestWithParam<SchedulerKind> {
+class ExtendedSchedulerTest : public ::testing::TestWithParam<std::string> {
 };
 
 TEST_P(ExtendedSchedulerTest, CompletesEveryTask) {
@@ -70,22 +70,22 @@ TEST_P(ExtendedSchedulerTest, DeterministicAcrossRuns) {
 
 INSTANTIATE_TEST_SUITE_P(
     NewSchedulers, ExtendedSchedulerTest,
-    ::testing::Values(SchedulerKind::kSA, SchedulerKind::kTS,
-                      SchedulerKind::kACO, SchedulerKind::kHC,
-                      SchedulerKind::kPNI, SchedulerKind::kOLB,
-                      SchedulerKind::kDUP),
-    [](const ::testing::TestParamInfo<SchedulerKind>& info) {
-      return scheduler_name(info.param);
+    ::testing::Values("SA", "TS",
+                      "ACO", "HC",
+                      "PNI", "OLB",
+                      "DUP"),
+    [](const ::testing::TestParamInfo<std::string>& info) {
+      return info.param;
     });
 
 TEST(IntegrationMeta, LocalSearchersBeatRoundRobin) {
   const Scenario s = base_scenario(10.0, 300);
   const double rr =
-      mean_makespan(run_replications(s, SchedulerKind::kRR, quick_opts()));
-  for (const auto kind : {SchedulerKind::kSA, SchedulerKind::kTS,
-                          SchedulerKind::kACO, SchedulerKind::kHC}) {
+      mean_makespan(run_replications(s, "RR", quick_opts()));
+  for (const auto kind : {"SA", "TS",
+                          "ACO", "HC"}) {
     const double m = mean_makespan(run_replications(s, kind, quick_opts()));
-    EXPECT_LT(m, rr) << scheduler_name(kind);
+    EXPECT_LT(m, rr) << kind;
   }
 }
 
@@ -94,20 +94,20 @@ TEST(IntegrationMeta, IslandPnCompetitiveWithPn) {
   // a modest factor of single-population PN (usually at or below it).
   const Scenario s = base_scenario(10.0, 300);
   const double pn =
-      mean_makespan(run_replications(s, SchedulerKind::kPN, quick_opts()));
+      mean_makespan(run_replications(s, "PN", quick_opts()));
   const double pni =
-      mean_makespan(run_replications(s, SchedulerKind::kPNI, quick_opts()));
+      mean_makespan(run_replications(s, "PNI", quick_opts()));
   EXPECT_LT(pni, 1.15 * pn);
 }
 
 TEST(IntegrationMeta, DuplexAtLeastAsGoodAsWorseOfMmMx) {
   const Scenario s = base_scenario(10.0, 300);
   const double dup =
-      mean_makespan(run_replications(s, SchedulerKind::kDUP, quick_opts()));
+      mean_makespan(run_replications(s, "DUP", quick_opts()));
   const double mm =
-      mean_makespan(run_replications(s, SchedulerKind::kMM, quick_opts()));
+      mean_makespan(run_replications(s, "MM", quick_opts()));
   const double mx =
-      mean_makespan(run_replications(s, SchedulerKind::kMX, quick_opts()));
+      mean_makespan(run_replications(s, "MX", quick_opts()));
   EXPECT_LE(dup, std::max(mm, mx) * 1.05);
 }
 
@@ -121,13 +121,13 @@ TEST(IntegrationMeta, AllNewSchedulersSurviveProcessorFailures) {
   f.mean_downtime = 80.0;
   f.failing_fraction = 0.5;
   s.failures = f;
-  for (const auto kind : {SchedulerKind::kSA, SchedulerKind::kTS,
-                          SchedulerKind::kACO, SchedulerKind::kHC,
-                          SchedulerKind::kPNI, SchedulerKind::kOLB,
-                          SchedulerKind::kDUP}) {
+  for (const auto kind : {"SA", "TS",
+                          "ACO", "HC",
+                          "PNI", "OLB",
+                          "DUP"}) {
     const auto runs = run_replications(s, kind, quick_opts());
     for (const auto& r : runs) {
-      EXPECT_EQ(r.tasks_completed, s.workload.count) << scheduler_name(kind);
+      EXPECT_EQ(r.tasks_completed, s.workload.count) << kind;
     }
   }
 }
@@ -138,24 +138,24 @@ TEST(IntegrationMeta, NewSchedulersHandleStreamingArrivals) {
   s.workload.mean_interarrival = 2.0;
   s.workload.burstiness = 4.0;
   s.workload.burst_dwell = 20.0;
-  for (const auto kind : {SchedulerKind::kSA, SchedulerKind::kTS,
-                          SchedulerKind::kACO, SchedulerKind::kPNI}) {
+  for (const auto kind : {"SA", "TS",
+                          "ACO", "PNI"}) {
     const auto runs = run_replications(s, kind, quick_opts());
     for (const auto& r : runs) {
-      EXPECT_EQ(r.tasks_completed, s.workload.count) << scheduler_name(kind);
+      EXPECT_EQ(r.tasks_completed, s.workload.count) << kind;
       EXPECT_GT(r.mean_response_time, 0.0);
     }
   }
 }
 
 TEST(IntegrationMeta, ExtendedAndMetaheuristicSetsAreConsistent) {
-  for (const auto kind : extended_schedulers()) {
+  for (const auto& kind : extended_schedulers()) {
     EXPECT_NO_THROW(make_scheduler(kind, quick_opts()));
-    EXPECT_STRNE(scheduler_name(kind), "?");
+    EXPECT_FALSE(kind.empty());
   }
-  for (const auto kind : metaheuristic_schedulers()) {
+  for (const auto& kind : metaheuristic_schedulers()) {
     EXPECT_NO_THROW(make_scheduler(kind, quick_opts()));
-    EXPECT_STRNE(scheduler_name(kind), "?");
+    EXPECT_FALSE(kind.empty());
   }
 }
 

@@ -10,11 +10,11 @@
 namespace gasched::exp {
 namespace {
 
-SchedulerOptions quick_opts() {
-  SchedulerOptions o;
-  o.batch_size = 50;
-  o.max_generations = 60;
-  o.population = 12;
+SchedulerParams quick_opts() {
+  SchedulerParams o;
+  o.set("batch_size", 50);
+  o.set("max_generations", 60);
+  o.set("population", 12);
   return o;
 }
 
@@ -23,7 +23,7 @@ Scenario base_scenario(double mean_comm, std::size_t tasks = 300,
   Scenario s;
   s.name = "integration";
   s.cluster = paper_cluster(mean_comm, procs);
-  s.workload.kind = DistKind::kUniform;
+  s.workload.dist = "uniform";
   s.workload.param_a = 10.0;
   s.workload.param_b = 1000.0;
   s.workload.count = tasks;
@@ -48,12 +48,12 @@ TEST(Integration, HigherCommCostLowersEfficiencyForEveryScheduler) {
   const Scenario cheap = base_scenario(2.0);
   const Scenario dear = base_scenario(50.0);
   for (const auto kind :
-       {SchedulerKind::kPN, SchedulerKind::kEF, SchedulerKind::kMM}) {
+       {"PN", "EF", "MM"}) {
     const double e_cheap =
         mean_efficiency(run_replications(cheap, kind, quick_opts()));
     const double e_dear =
         mean_efficiency(run_replications(dear, kind, quick_opts()));
-    EXPECT_GT(e_cheap, e_dear) << scheduler_name(kind);
+    EXPECT_GT(e_cheap, e_dear) << kind;
   }
 }
 
@@ -61,16 +61,16 @@ TEST(Integration, ZeroCommYieldsHighEfficiencyForGreedy) {
   Scenario s = base_scenario(1.0);
   s.cluster.zero_comm = true;
   const double eff =
-      mean_efficiency(run_replications(s, SchedulerKind::kEF, quick_opts()));
+      mean_efficiency(run_replications(s, "EF", quick_opts()));
   EXPECT_GT(eff, 0.85);
 }
 
 TEST(Integration, PnBeatsRoundRobinOnMakespan) {
   const Scenario s = base_scenario(10.0, 400);
   const double pn =
-      mean_makespan(run_replications(s, SchedulerKind::kPN, quick_opts()));
+      mean_makespan(run_replications(s, "PN", quick_opts()));
   const double rr =
-      mean_makespan(run_replications(s, SchedulerKind::kRR, quick_opts()));
+      mean_makespan(run_replications(s, "RR", quick_opts()));
   EXPECT_LT(pn, rr);
 }
 
@@ -78,9 +78,9 @@ TEST(Integration, PnBeatsLightestLoadedOnHeterogeneousRates) {
   // LL ignores processor speed, so heterogeneity hurts it badly.
   const Scenario s = base_scenario(5.0, 400);
   const double pn =
-      mean_makespan(run_replications(s, SchedulerKind::kPN, quick_opts()));
+      mean_makespan(run_replications(s, "PN", quick_opts()));
   const double ll =
-      mean_makespan(run_replications(s, SchedulerKind::kLL, quick_opts()));
+      mean_makespan(run_replications(s, "LL", quick_opts()));
   EXPECT_LT(pn, ll);
 }
 
@@ -88,9 +88,9 @@ TEST(Integration, MoreProcessorsShortenMakespan) {
   const Scenario few = base_scenario(5.0, 300, 4);
   const Scenario many = base_scenario(5.0, 300, 16);
   const double m_few =
-      mean_makespan(run_replications(few, SchedulerKind::kMM, quick_opts()));
+      mean_makespan(run_replications(few, "MM", quick_opts()));
   const double m_many =
-      mean_makespan(run_replications(many, SchedulerKind::kMM, quick_opts()));
+      mean_makespan(run_replications(many, "MM", quick_opts()));
   EXPECT_LT(m_many, m_few);
 }
 
@@ -98,8 +98,8 @@ TEST(Integration, EfficiencyAlwaysInUnitInterval) {
   const Scenario s = base_scenario(20.0, 200);
   for (const auto kind : all_schedulers()) {
     for (const auto& r : run_replications(s, kind, quick_opts())) {
-      EXPECT_GE(r.efficiency(), 0.0) << scheduler_name(kind);
-      EXPECT_LE(r.efficiency(), 1.0) << scheduler_name(kind);
+      EXPECT_GE(r.efficiency(), 0.0) << kind;
+      EXPECT_LE(r.efficiency(), 1.0) << kind;
     }
   }
 }
@@ -115,7 +115,7 @@ TEST(Integration, WorkConservation) {
     const auto r = run_one(s, kind, quick_opts(), 0);
     double done = 0.0;
     for (const auto& p : r.per_proc) done += p.work_mflops;
-    EXPECT_NEAR(done, total, 1e-6 * total) << scheduler_name(kind);
+    EXPECT_NEAR(done, total, 1e-6 * total) << kind;
   }
 }
 
@@ -125,9 +125,9 @@ TEST(Integration, DynamicAvailabilityStillCompletesEverything) {
   s.cluster.avail_lo = 0.4;
   s.cluster.avail_hi = 1.0;
   s.cluster.avail_period = 50.0;
-  for (const auto kind : {SchedulerKind::kPN, SchedulerKind::kEF}) {
+  for (const auto kind : {"PN", "EF"}) {
     for (const auto& r : run_replications(s, kind, quick_opts())) {
-      EXPECT_EQ(r.tasks_completed, s.workload.count) << scheduler_name(kind);
+      EXPECT_EQ(r.tasks_completed, s.workload.count) << kind;
     }
   }
 }
@@ -136,29 +136,29 @@ TEST(Integration, DriftingCommStillCompletesEverything) {
   Scenario s = base_scenario(10.0, 200, 8);
   s.cluster.drifting_comm = true;
   for (const auto& r :
-       run_replications(s, SchedulerKind::kPN, quick_opts())) {
+       run_replications(s, "PN", quick_opts())) {
     EXPECT_EQ(r.tasks_completed, s.workload.count);
   }
 }
 
 TEST(Integration, PoissonWorkloadsRunAcrossAllSchedulers) {
   Scenario s = base_scenario(5.0, 200, 8);
-  s.workload.kind = DistKind::kPoisson;
+  s.workload.dist = "poisson";
   s.workload.param_a = 100.0;
   for (const auto kind : all_schedulers()) {
     const auto r = run_one(s, kind, quick_opts(), 0);
-    EXPECT_EQ(r.tasks_completed, s.workload.count) << scheduler_name(kind);
+    EXPECT_EQ(r.tasks_completed, s.workload.count) << kind;
   }
 }
 
 TEST(Integration, NormalWorkloadsRunAcrossAllSchedulers) {
   Scenario s = base_scenario(5.0, 150, 8);
-  s.workload.kind = DistKind::kNormal;
+  s.workload.dist = "normal";
   s.workload.param_a = 1000.0;
   s.workload.param_b = 9e5;
   for (const auto kind : all_schedulers()) {
     const auto r = run_one(s, kind, quick_opts(), 0);
-    EXPECT_EQ(r.tasks_completed, s.workload.count) << scheduler_name(kind);
+    EXPECT_EQ(r.tasks_completed, s.workload.count) << kind;
   }
 }
 

@@ -128,13 +128,13 @@ TEST(Runtime, EmulatedLatencyIsAccounted) {
 TEST(Runtime, GeneticSchedulerRunsLive) {
   // The paper's PN scheduler drives real threads through the same
   // interface it uses in simulation.
-  exp::SchedulerOptions opts;
-  opts.max_generations = 30;
-  opts.population = 10;
-  opts.batch_size = 64;
+  exp::SchedulerParams opts;
+  opts.set("max_generations", 30);
+  opts.set("population", 10);
+  opts.set("batch_size", 64);
   RuntimeConfig cfg = quick_config(3);
   cfg.min_batch_trigger = 64;
-  Runtime runtime(cfg, exp::make_scheduler(exp::SchedulerKind::kPN, opts));
+  Runtime runtime(cfg, exp::make_scheduler("PN", opts));
   for (int i = 0; i < 64; ++i) runtime.submit(tiny_task(i, 1.5));
   const RuntimeResult r = runtime.drain();
   EXPECT_EQ(r.tasks_completed, 64u);
