@@ -5,8 +5,6 @@
 // Zomaya & Teh) but cost more scheduler time; the dynamic rule trades the
 // two automatically.
 
-#include <iostream>
-
 #include "bench_common.hpp"
 
 using namespace gasched;
@@ -20,43 +18,28 @@ int main(int argc, char** argv) {
       "schedule; the dynamic rule balances quality against scheduler time",
       p);
 
-  exp::Scenario scenario;
-  scenario.name = "abl-batch";
-  scenario.cluster = exp::paper_cluster(10.0, p.procs);
-  scenario.workload.dist = "normal";
-  scenario.workload.param_a = 1000.0;
-  scenario.workload.param_b = 9e5;
-  scenario.workload.count = p.tasks;
-  scenario.seed = p.seed;
-  scenario.replications = p.reps;
+  exp::WorkloadSpec spec;
+  spec.dist = "normal";
+  spec.param_a = 1000.0;
+  spec.param_b = 9e5;
 
-  util::Table table({"batch_policy", "makespan", "efficiency",
-                     "sched_wall_s", "invocations"});
-  std::vector<std::vector<double>> csv_rows;
+  exp::Sweep sweep =
+      bench::make_sweep("abl-batch", p, spec, /*mean_comm=*/10.0);
+  sweep.scheduler("PN");
+
+  std::vector<exp::Sweep::Value> policies;
   for (const std::size_t batch : {25, 50, 100, 200, 400}) {
-    exp::SchedulerParams opts = bench::scheduler_params(p);
-    opts.set("pn_dynamic_batch", false);
-    opts.set("batch_size", batch);
-    const auto cell = exp::run_cell(scenario, "PN", opts);
-    table.add_row("fixed " + std::to_string(batch),
-                  {cell.makespan.mean, cell.efficiency.mean,
-                   cell.sched_wall.mean, cell.invocations.mean});
-    csv_rows.push_back({static_cast<double>(batch), cell.makespan.mean,
-                        cell.efficiency.mean, cell.sched_wall.mean});
+    policies.push_back({"fixed " + std::to_string(batch),
+                        [batch](exp::SweepCell& c) {
+                          c.params.set("pn_dynamic_batch", false);
+                          c.params.set("batch_size", batch);
+                        }});
   }
-  {
-    exp::SchedulerParams opts = bench::scheduler_params(p);
-    opts.set("pn_dynamic_batch", true);
-    const auto cell = exp::run_cell(scenario, "PN", opts);
-    table.add_row("dynamic sqrt(Gs+1)",
-                  {cell.makespan.mean, cell.efficiency.mean,
-                   cell.sched_wall.mean, cell.invocations.mean});
-    csv_rows.push_back(
-        {0.0, cell.makespan.mean, cell.efficiency.mean, cell.sched_wall.mean});
-  }
-  table.print(std::cout);
-  bench::maybe_write_csv(
-      p, {"batch_or_0_dynamic", "makespan", "efficiency", "sched_wall_s"},
-      csv_rows);
+  policies.push_back({"dynamic sqrt(Gs+1)", [](exp::SweepCell& c) {
+                        c.params.set("pn_dynamic_batch", true);
+                      }});
+  sweep.axis("batch_policy", std::move(policies));
+
+  bench::run_sweep(sweep, p);
   return 0;
 }

@@ -6,8 +6,6 @@
 // scheduling batch, showing what the micro-GA choice trades away and how
 // the re-balancing heuristic partially compensates.
 
-#include <iostream>
-
 #include "bench_common.hpp"
 #include "core/fitness.hpp"
 #include "core/init.hpp"
@@ -17,17 +15,6 @@
 #include "workload/generator.hpp"
 
 using namespace gasched;
-
-namespace {
-
-struct Cell {
-  double d0 = 0.0;     // initial diversity
-  double dmid = 0.0;   // diversity at mid run
-  double dend = 0.0;   // final diversity
-  double makespan = 0.0;
-};
-
-}  // namespace
 
 int main(int argc, char** argv) {
   const auto p = bench::parse_params(argc, argv, /*tasks=*/200, /*reps=*/6,
@@ -39,79 +26,71 @@ int main(int argc, char** argv) {
       "near-large-population quality at a fraction of the cost",
       p);
 
-  const std::vector<std::size_t> pops{6, 10, 20, 40, 80};
+  exp::WorkloadSpec spec;  // GA-batch study: sizes drawn directly below
+  exp::Sweep sweep =
+      bench::make_sweep("abl-diversity", p, spec, /*mean_comm=*/20.0);
+  sweep.axis("population", {6, 10, 20, 40, 80}, {});
+  sweep.extra_columns({"diversity_t0", "diversity_mid", "diversity_end",
+                       "final_makespan"});
+  sweep.runner([&](const exp::SweepCell& cell, bool parallel) {
+    const std::size_t pi = cell.index;
+    const auto pop = static_cast<std::size_t>(
+        cell.coord_value("population"));
+    std::vector<double> d0(p.reps), dmid(p.reps), dend(p.reps),
+        finals(p.reps);
+    auto body = [&](std::size_t rep) {
+      const util::Rng base(p.seed);
+      util::Rng cluster_rng = base.split(2 * rep);
+      util::Rng task_rng = base.split(2 * rep + 1);
+      const sim::Cluster cluster = sim::build_cluster(
+          exp::paper_cluster(20.0, p.procs), cluster_rng);
+      sim::SystemView view;
+      view.procs.resize(cluster.size());
+      for (std::size_t j = 0; j < cluster.size(); ++j) {
+        view.procs[j].id = static_cast<sim::ProcId>(j);
+        view.procs[j].rate = cluster.processors[j].base_rate;
+        view.procs[j].comm_estimate =
+            cluster.comm->true_mean(static_cast<sim::ProcId>(j));
+      }
+      workload::NormalSizes dist(1000.0, 9e5);
+      std::vector<double> sizes(p.tasks);
+      for (auto& s : sizes) s = dist.sample(task_rng);
+      const core::ScheduleCodec codec(p.tasks, cluster.size());
+      const core::ScheduleEvaluator eval(sizes, view, true);
+      const core::ScheduleProblem problem(codec, eval);
 
-  std::vector<std::vector<Cell>> results(pops.size(),
-                                         std::vector<Cell>(p.reps));
-  util::global_pool().parallel_for(0, pops.size() * p.reps, [&](std::size_t w) {
-    const std::size_t pi = w / p.reps;
-    const std::size_t rep = w % p.reps;
-    const util::Rng base(p.seed);
-    util::Rng cluster_rng = base.split(2 * rep);
-    util::Rng task_rng = base.split(2 * rep + 1);
-    const sim::Cluster cluster =
-        sim::build_cluster(exp::paper_cluster(20.0, p.procs), cluster_rng);
-    sim::SystemView view;
-    view.procs.resize(cluster.size());
-    for (std::size_t j = 0; j < cluster.size(); ++j) {
-      view.procs[j].id = static_cast<sim::ProcId>(j);
-      view.procs[j].rate = cluster.processors[j].base_rate;
-      view.procs[j].comm_estimate =
-          cluster.comm->true_mean(static_cast<sim::ProcId>(j));
+      ga::GaConfig cfg;
+      cfg.population = pop;
+      cfg.max_generations = p.generations;
+      cfg.record_stats = true;
+      static const ga::RouletteSelection sel;
+      static const ga::CycleCrossover cx;
+      static const ga::SwapMutation mut;
+      const ga::GaEngine engine(cfg, sel, cx, mut);
+      util::Rng ga_rng = base.split(1000 + 100 * rep + pi);
+      auto init = core::initial_population(codec, eval, cfg.population, 0.5,
+                                           ga_rng);
+      const auto r = engine.run(problem, std::move(init), ga_rng);
+      finals[rep] = r.best_objective;
+      if (!r.stats_history.empty()) {
+        d0[rep] = r.stats_history.front().diversity;
+        dmid[rep] = r.stats_history[r.stats_history.size() / 2].diversity;
+        dend[rep] = r.stats_history.back().diversity;
+      }
+    };
+    if (parallel && p.reps > 1) {
+      util::global_pool().parallel_for(0, p.reps, body);
+    } else {
+      for (std::size_t rep = 0; rep < p.reps; ++rep) body(rep);
     }
-    workload::NormalSizes dist(1000.0, 9e5);
-    std::vector<double> sizes(p.tasks);
-    for (auto& s : sizes) s = dist.sample(task_rng);
-    const core::ScheduleCodec codec(p.tasks, cluster.size());
-    const core::ScheduleEvaluator eval(sizes, view, true);
-    const core::ScheduleProblem problem(codec, eval);
-
-    ga::GaConfig cfg;
-    cfg.population = pops[pi];
-    cfg.max_generations = p.generations;
-    cfg.record_stats = true;
-    static const ga::RouletteSelection sel;
-    static const ga::CycleCrossover cx;
-    static const ga::SwapMutation mut;
-    const ga::GaEngine engine(cfg, sel, cx, mut);
-    util::Rng ga_rng = base.split(1000 + 100 * rep + pi);
-    auto init =
-        core::initial_population(codec, eval, cfg.population, 0.5, ga_rng);
-    const auto r = engine.run(problem, std::move(init), ga_rng);
-
-    Cell c;
-    c.makespan = r.best_objective;
-    if (!r.stats_history.empty()) {
-      c.d0 = r.stats_history.front().diversity;
-      c.dmid = r.stats_history[r.stats_history.size() / 2].diversity;
-      c.dend = r.stats_history.back().diversity;
-    }
-    results[pi][rep] = c;
+    exp::CellOutcome out;
+    out.extras = {{"diversity_t0", util::summarize(d0).mean},
+                  {"diversity_mid", util::summarize(dmid).mean},
+                  {"diversity_end", util::summarize(dend).mean},
+                  {"final_makespan", util::summarize(finals).mean}};
+    return out;
   });
 
-  util::Table table({"population", "diversity_t0", "diversity_mid",
-                     "diversity_end", "final_makespan"});
-  std::vector<std::vector<double>> csv_rows;
-  for (std::size_t pi = 0; pi < pops.size(); ++pi) {
-    Cell mean;
-    for (const auto& c : results[pi]) {
-      mean.d0 += c.d0;
-      mean.dmid += c.dmid;
-      mean.dend += c.dend;
-      mean.makespan += c.makespan;
-    }
-    const double reps = static_cast<double>(p.reps);
-    table.add_row(std::to_string(pops[pi]),
-                  {mean.d0 / reps, mean.dmid / reps, mean.dend / reps,
-                   mean.makespan / reps});
-    csv_rows.push_back({static_cast<double>(pops[pi]), mean.d0 / reps,
-                        mean.dmid / reps, mean.dend / reps,
-                        mean.makespan / reps});
-  }
-  table.print(std::cout);
-  bench::maybe_write_csv(p,
-                         {"population", "diversity_t0", "diversity_mid",
-                          "diversity_end", "final_makespan"},
-                         csv_rows);
+  bench::run_sweep(sweep, p);
   return 0;
 }

@@ -2,8 +2,6 @@
 // percentage of tasks randomly and the rest earliest-finish; this bench
 // sweeps that percentage from pure greedy (0) to pure random (1).
 
-#include <iostream>
-
 #include "bench_common.hpp"
 #include "core/fitness.hpp"
 #include "core/init.hpp"
@@ -23,24 +21,21 @@ int main(int argc, char** argv) {
       "well-balanced randomised initial population",
       p);
 
-  util::Table table({"random_fraction", "initial_makespan",
-                     "final_makespan", "reduction"});
-  std::vector<std::vector<double>> csv_rows;
-  const std::vector<double> fractions{0.0, 0.25, 0.5, 0.75, 1.0};
-  // results[fi][rep] = {initial, final makespan}; filled in parallel.
-  std::vector<std::vector<std::pair<double, double>>> results(
-      fractions.size(), std::vector<std::pair<double, double>>(p.reps));
-  util::global_pool().parallel_for(
-      0, fractions.size() * p.reps, [&](std::size_t w) {
-    const std::size_t fi = w / p.reps;
-    const double frac = fractions[fi];
-    const std::size_t rep = w % p.reps;
-    {
+  exp::WorkloadSpec spec;  // GA-batch study: sizes drawn directly below
+  exp::Sweep sweep =
+      bench::make_sweep("abl-init", p, spec, /*mean_comm=*/20.0);
+  sweep.axis("random_fraction", {0.0, 0.25, 0.5, 0.75, 1.0}, {});
+  sweep.extra_columns(
+      {"initial_makespan", "final_makespan", "reduction"});
+  sweep.runner([&](const exp::SweepCell& cell, bool parallel) {
+    const double frac = cell.coord_value("random_fraction");
+    std::vector<double> initials(p.reps), finals(p.reps);
+    auto body = [&](std::size_t rep) {
       const util::Rng base(p.seed);
       util::Rng cluster_rng = base.split(2 * rep);
       util::Rng task_rng = base.split(2 * rep + 1);
-      const sim::Cluster cluster =
-          sim::build_cluster(exp::paper_cluster(20.0, p.procs), cluster_rng);
+      const sim::Cluster cluster = sim::build_cluster(
+          exp::paper_cluster(20.0, p.procs), cluster_rng);
       sim::SystemView view;
       view.procs.resize(cluster.size());
       for (std::size_t j = 0; j < cluster.size(); ++j) {
@@ -65,30 +60,26 @@ int main(int argc, char** argv) {
       const ga::SwapMutation mut;
       const ga::GaEngine engine(cfg, sel, cx, mut);
       util::Rng ga_rng = base.split(5000 + rep);
-      auto init =
-          core::initial_population(codec, eval, cfg.population, frac, ga_rng);
+      auto init = core::initial_population(codec, eval, cfg.population,
+                                           frac, ga_rng);
       const auto r = engine.run(problem, std::move(init), ga_rng);
-      results[fi][rep] = {r.objective_history.front(), r.best_objective};
+      initials[rep] = r.objective_history.front();
+      finals[rep] = r.best_objective;
+    };
+    if (parallel && p.reps > 1) {
+      util::global_pool().parallel_for(0, p.reps, body);
+    } else {
+      for (std::size_t rep = 0; rep < p.reps; ++rep) body(rep);
     }
+    const double init_ms = util::summarize(initials).mean;
+    const double final_ms = util::summarize(finals).mean;
+    exp::CellOutcome out;
+    out.extras = {{"initial_makespan", init_ms},
+                  {"final_makespan", final_ms},
+                  {"reduction", 1.0 - final_ms / init_ms}};
+    return out;
   });
-  for (std::size_t fi = 0; fi < fractions.size(); ++fi) {
-    double init_sum = 0.0, final_sum = 0.0;
-    for (const auto& [ini, fin] : results[fi]) {
-      init_sum += ini;
-      final_sum += fin;
-    }
-    const double reps = static_cast<double>(p.reps);
-    const double init_ms = init_sum / reps;
-    const double final_ms = final_sum / reps;
-    table.add_row(util::fmt(fractions[fi], 3),
-                  {init_ms, final_ms, 1.0 - final_ms / init_ms});
-    csv_rows.push_back(
-        {fractions[fi], init_ms, final_ms, 1.0 - final_ms / init_ms});
-  }
-  table.print(std::cout);
-  bench::maybe_write_csv(
-      p, {"random_fraction", "initial_makespan", "final_makespan",
-          "reduction"},
-      csv_rows);
+
+  bench::run_sweep(sweep, p);
   return 0;
 }

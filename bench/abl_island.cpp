@@ -5,8 +5,6 @@
 // question is how much schedule quality that extra (parallelisable)
 // effort buys, and what migration contributes on top of isolation.
 
-#include <iostream>
-
 #include "bench_common.hpp"
 
 using namespace gasched;
@@ -20,59 +18,35 @@ int main(int argc, char** argv) {
       "at diminishing returns; migration beats isolated islands",
       p);
 
-  exp::Scenario s;
-  s.name = "island";
-  s.cluster = exp::paper_cluster(10.0, p.procs);
-  s.workload.dist = "normal";
-  s.workload.param_a = 1000.0;
-  s.workload.param_b = 9e5;
-  s.workload.count = p.tasks;
-  s.seed = p.seed;
-  s.replications = p.reps;
+  exp::WorkloadSpec spec;
+  spec.dist = "normal";
+  spec.param_a = 1000.0;
+  spec.param_b = 9e5;
 
-  util::Table table({"config", "makespan", "ci95", "efficiency",
-                     "sched_wall_s"});
-  std::vector<std::vector<double>> csv_rows;
+  exp::Sweep sweep =
+      bench::make_sweep("island", p, spec, /*mean_comm=*/10.0);
 
+  std::vector<exp::Sweep::Value> configs;
   // Single-population PN is the islands=1 reference.
-  {
-    const auto cell =
-        exp::run_cell(s, "PN", bench::scheduler_params(p));
-    table.add_row("PN (1 island)",
-                  {cell.makespan.mean, cell.makespan.ci95,
-                   cell.efficiency.mean, cell.sched_wall.mean});
-    csv_rows.push_back(
-        {1.0, cell.makespan.mean, cell.efficiency.mean, cell.sched_wall.mean});
-  }
-
+  configs.push_back(
+      {"PN (1 island)", [](exp::SweepCell& c) { c.scheduler = "PN"; }});
   for (const std::size_t islands : {2u, 4u, 8u}) {
-    auto opts = bench::scheduler_params(p);
-    opts.set("islands", islands);
-    opts.set("migration_interval", 20);
-    const auto cell = exp::run_cell(s, "PNI", opts);
-    table.add_row("PNI x" + std::to_string(islands),
-                  {cell.makespan.mean, cell.makespan.ci95,
-                   cell.efficiency.mean, cell.sched_wall.mean});
-    csv_rows.push_back({static_cast<double>(islands), cell.makespan.mean,
-                        cell.efficiency.mean, cell.sched_wall.mean});
+    configs.push_back({"PNI x" + std::to_string(islands),
+                       [islands](exp::SweepCell& c) {
+                         c.scheduler = "PNI";
+                         c.params.set("islands", islands);
+                         c.params.set("migration_interval", 20);
+                       }});
   }
-
   // Migration off (isolated demes) at 4 islands, via a huge migration
   // interval: epochs never complete a migration.
-  {
-    auto opts = bench::scheduler_params(p);
-    opts.set("islands", 4);
-    opts.set("migration_interval", 1000000);
-    const auto cell = exp::run_cell(s, "PNI", opts);
-    table.add_row("PNI x4 (no migration)",
-                  {cell.makespan.mean, cell.makespan.ci95,
-                   cell.efficiency.mean, cell.sched_wall.mean});
-    csv_rows.push_back({-4.0, cell.makespan.mean, cell.efficiency.mean,
-                        cell.sched_wall.mean});
-  }
+  configs.push_back({"PNI x4 (no migration)", [](exp::SweepCell& c) {
+                       c.scheduler = "PNI";
+                       c.params.set("islands", 4);
+                       c.params.set("migration_interval", 1000000);
+                     }});
+  sweep.axis("config", std::move(configs));
 
-  table.print(std::cout);
-  bench::maybe_write_csv(
-      p, {"islands", "makespan", "efficiency", "sched_wall_s"}, csv_rows);
+  bench::run_sweep(sweep, p);
   return 0;
 }

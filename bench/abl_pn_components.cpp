@@ -6,6 +6,7 @@
 // marginal contribution is visible. 000 = ZO, 111 = PN.
 
 #include <iostream>
+#include <memory>
 
 #include "bench_common.hpp"
 #include "core/genetic_scheduler.hpp"
@@ -16,7 +17,7 @@ using namespace gasched;
 
 namespace {
 
-/// A PN/ZO hybrid with the given feature mask, for run_replications-style
+/// A PN/ZO hybrid with the given feature mask, for replication-style
 /// execution outside the scheduler registry.
 std::unique_ptr<sim::SchedulingPolicy> make_variant(bool comm, bool rebalance,
                                                     bool dynamic,
@@ -47,35 +48,35 @@ int main(int argc, char** argv) {
       "removes a tuning knob at little cost",
       p);
 
-  exp::Scenario s;
-  s.name = "pn-components";
-  s.cluster = exp::paper_cluster(10.0, p.procs);
-  s.workload.dist = "normal";
-  s.workload.param_a = 1000.0;
-  s.workload.param_b = 9e5;
-  s.workload.count = p.tasks;
-  s.seed = p.seed;
-  s.replications = p.reps;
+  exp::WorkloadSpec spec;
+  spec.dist = "normal";
+  spec.param_a = 1000.0;
+  spec.param_b = 9e5;
 
-  struct Variant {
-    bool comm, rebalance, dynamic_batch;
-  };
-  std::vector<Variant> variants;
+  exp::Sweep sweep =
+      bench::make_sweep("pn-components", p, spec, /*mean_comm=*/10.0);
+  std::vector<exp::Sweep::Value> variants;
   for (int mask = 0; mask < 8; ++mask) {
-    variants.push_back({(mask & 4) != 0, (mask & 2) != 0, (mask & 1) != 0});
+    const bool comm = (mask & 4) != 0;
+    const bool rebalance = (mask & 2) != 0;
+    const bool dynamic = (mask & 1) != 0;
+    const std::string name = std::string(comm ? "C" : "-") +
+                             (rebalance ? "R" : "-") + (dynamic ? "B" : "-");
+    variants.push_back({name, {}});
   }
-
-  util::Table table({"C", "R", "B", "makespan", "ci95", "efficiency"});
-  std::vector<std::vector<double>> csv_rows;
-  for (const auto& v : variants) {
-    const std::string name = std::string(v.comm ? "C" : "-") +
-                             (v.rebalance ? "R" : "-") +
-                             (v.dynamic_batch ? "B" : "-");
-    // Run replications manually (policies outside the scheduler registry).
-    std::vector<double> makespans(p.reps), efficiencies(p.reps);
-    util::global_pool().parallel_for(0, p.reps, [&](std::size_t rep) {
-      // The runner's stream discipline: workload/cluster depend only on
-      // (seed, rep), so every variant sees identical instances.
+  sweep.axis("variant", std::move(variants));
+  // Custom runner: the hybrid policies live outside the registry, so the
+  // replication loop follows the runner's documented stream discipline
+  // (workload/cluster depend only on (seed, rep), identical across
+  // variants).
+  sweep.runner([&](const exp::SweepCell& cell, bool parallel) {
+    const auto mask = static_cast<int>(cell.index);
+    const bool comm = (mask & 4) != 0;
+    const bool rebalance = (mask & 2) != 0;
+    const bool dynamic = (mask & 1) != 0;
+    const auto& s = cell.scenario;
+    std::vector<sim::SimulationResult> runs(s.replications);
+    auto body = [&](std::size_t rep) {
       const util::Rng base(s.seed);
       util::Rng wrng = base.split(3 * rep);
       util::Rng crng = base.split(3 * rep + 1);
@@ -83,24 +84,21 @@ int main(int argc, char** argv) {
       const auto dist = exp::make_distribution(s.workload);
       const auto wl = workload::generate(*dist, s.workload.count, wrng);
       const auto cluster = sim::build_cluster(s.cluster, crng);
-      const auto policy =
-          make_variant(v.comm, v.rebalance, v.dynamic_batch, p, name);
-      const auto r = sim::simulate(cluster, wl, *policy, srng);
-      makespans[rep] = r.makespan;
-      efficiencies[rep] = r.efficiency();
-    });
-    const auto ms = util::summarize(makespans);
-    const auto ef = util::summarize(efficiencies);
-    table.add_row({v.comm ? "x" : "", v.rebalance ? "x" : "",
-                   v.dynamic_batch ? "x" : "", util::fmt(ms.mean),
-                   util::fmt(ms.ci95), util::fmt(ef.mean, 4)});
-    csv_rows.push_back({v.comm ? 1.0 : 0.0, v.rebalance ? 1.0 : 0.0,
-                        v.dynamic_batch ? 1.0 : 0.0, ms.mean, ef.mean});
-  }
-  table.print(std::cout);
-  bench::maybe_write_csv(p, {"comm", "rebalance", "dynamic", "makespan",
-                             "efficiency"},
-                         csv_rows);
+      const auto policy = make_variant(comm, rebalance, dynamic, p,
+                                       cell.coord("variant"));
+      runs[rep] = sim::simulate(cluster, wl, *policy, srng);
+    };
+    if (parallel && runs.size() > 1) {
+      util::global_pool().parallel_for(0, runs.size(), body);
+    } else {
+      for (std::size_t rep = 0; rep < runs.size(); ++rep) body(rep);
+    }
+    exp::CellOutcome out;
+    out.summary = metrics::aggregate(cell.coord("variant"), runs);
+    return out;
+  });
+
+  bench::run_sweep(sweep, p);
   std::cout << "\nRow '---' is the ZO baseline; row 'CRB' is full PN.\n";
   return 0;
 }

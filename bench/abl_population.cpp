@@ -3,8 +3,6 @@
 // without impacting greatly on the final result". This bench quantifies
 // that trade-off end-to-end (full simulation, PN scheduler).
 
-#include <iostream>
-
 #include "bench_common.hpp"
 
 using namespace gasched;
@@ -18,31 +16,15 @@ int main(int argc, char** argv) {
       "loss vs larger populations",
       p);
 
-  exp::Scenario scenario;
-  scenario.name = "abl-pop";
-  scenario.cluster = exp::paper_cluster(10.0, p.procs);
-  scenario.workload.dist = "normal";
-  scenario.workload.param_a = 1000.0;
-  scenario.workload.param_b = 9e5;
-  scenario.workload.count = p.tasks;
-  scenario.seed = p.seed;
-  scenario.replications = p.reps;
+  exp::WorkloadSpec spec;
+  spec.dist = "normal";
+  spec.param_a = 1000.0;
+  spec.param_b = 9e5;
 
-  util::Table table(
-      {"population", "makespan", "efficiency", "sched_wall_s"});
-  std::vector<std::vector<double>> csv_rows;
-  for (const std::size_t pop : {6, 12, 20, 40, 80}) {
-    exp::SchedulerParams opts = bench::scheduler_params(p);
-    opts.set("population", pop);
-    const auto cell = exp::run_cell(scenario, "PN", opts);
-    table.add_row(util::fmt(static_cast<double>(pop), 4),
-                  {cell.makespan.mean, cell.efficiency.mean,
-                   cell.sched_wall.mean});
-    csv_rows.push_back({static_cast<double>(pop), cell.makespan.mean,
-                        cell.efficiency.mean, cell.sched_wall.mean});
-  }
-  table.print(std::cout);
-  bench::maybe_write_csv(
-      p, {"population", "makespan", "efficiency", "sched_wall_s"}, csv_rows);
+  exp::Sweep sweep =
+      bench::make_sweep("abl-pop", p, spec, /*mean_comm=*/10.0);
+  sweep.scheduler("PN");
+  sweep.param_axis("population", {6, 12, 20, 40, 80});
+  bench::run_sweep(sweep, p);
   return 0;
 }

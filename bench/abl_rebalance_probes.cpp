@@ -6,7 +6,6 @@
 // re-balances.
 
 #include <chrono>
-#include <iostream>
 
 #include "bench_common.hpp"
 #include "core/fitness.hpp"
@@ -27,80 +26,71 @@ int main(int argc, char** argv) {
       "probes at diminishing returns; GA wall time grows with the cap",
       p);
 
-  const std::vector<std::size_t> probe_caps{0, 1, 2, 5, 10, 20};
+  exp::WorkloadSpec spec;  // GA-batch study: sizes drawn directly below
+  exp::Sweep sweep =
+      bench::make_sweep("abl-probes", p, spec, /*mean_comm=*/20.0);
+  sweep.axis("probes", {0, 1, 2, 5, 10, 20}, {});
+  sweep.extra_columns(
+      {"final_makespan", "reduction_vs_init", "ga_wall_s"});
+  sweep.runner([&](const exp::SweepCell& cell, bool parallel) {
+    const std::size_t pi = cell.index;
+    const auto probes = static_cast<std::size_t>(
+        cell.coord_value("probes"));
+    std::vector<double> finals(p.reps), reductions(p.reps), walls(p.reps);
+    auto body = [&](std::size_t rep) {
+      const util::Rng base(p.seed);
+      util::Rng cluster_rng = base.split(2 * rep);
+      util::Rng task_rng = base.split(2 * rep + 1);
+      const sim::Cluster cluster = sim::build_cluster(
+          exp::paper_cluster(20.0, p.procs), cluster_rng);
+      sim::SystemView view;
+      view.procs.resize(cluster.size());
+      for (std::size_t j = 0; j < cluster.size(); ++j) {
+        view.procs[j].id = static_cast<sim::ProcId>(j);
+        view.procs[j].rate = cluster.processors[j].base_rate;
+        view.procs[j].comm_estimate =
+            cluster.comm->true_mean(static_cast<sim::ProcId>(j));
+      }
+      workload::NormalSizes dist(1000.0, 9e5);
+      std::vector<double> sizes(p.tasks);
+      for (auto& s : sizes) s = dist.sample(task_rng);
+      const core::ScheduleCodec codec(p.tasks, cluster.size());
+      const core::ScheduleEvaluator eval(sizes, view, true);
+      const core::ScheduleProblem problem(codec, eval, probes);
 
-  util::Table table({"probes", "final_makespan", "reduction_vs_init",
-                     "ga_wall_s"});
-  std::vector<std::vector<double>> csv_rows;
-  struct Cell {
-    double makespan = 0.0;
-    double reduction = 0.0;
-    double wall = 0.0;
-  };
-  std::vector<std::vector<Cell>> results(probe_caps.size(),
-                                         std::vector<Cell>(p.reps));
-  util::global_pool().parallel_for(
-      0, probe_caps.size() * p.reps, [&](std::size_t w) {
-        const std::size_t pi = w / p.reps;
-        const std::size_t rep = w % p.reps;
-        const util::Rng base(p.seed);
-        util::Rng cluster_rng = base.split(2 * rep);
-        util::Rng task_rng = base.split(2 * rep + 1);
-        const sim::Cluster cluster =
-            sim::build_cluster(exp::paper_cluster(20.0, p.procs), cluster_rng);
-        sim::SystemView view;
-        view.procs.resize(cluster.size());
-        for (std::size_t j = 0; j < cluster.size(); ++j) {
-          view.procs[j].id = static_cast<sim::ProcId>(j);
-          view.procs[j].rate = cluster.processors[j].base_rate;
-          view.procs[j].comm_estimate =
-              cluster.comm->true_mean(static_cast<sim::ProcId>(j));
-        }
-        workload::NormalSizes dist(1000.0, 9e5);
-        std::vector<double> sizes(p.tasks);
-        for (auto& s : sizes) s = dist.sample(task_rng);
-        const core::ScheduleCodec codec(p.tasks, cluster.size());
-        const core::ScheduleEvaluator eval(sizes, view, true);
-        const core::ScheduleProblem problem(codec, eval, probe_caps[pi]);
-
-        ga::GaConfig cfg;
-        cfg.population = p.population;
-        cfg.max_generations = p.generations;
-        cfg.record_history = true;
-        // probes = 0 disables the improvement pass entirely (pure GA).
-        cfg.improvement_passes = probe_caps[pi] == 0 ? 0 : 1;
-        static const ga::RouletteSelection sel;
-        static const ga::CycleCrossover cx;
-        static const ga::SwapMutation mut;
-        const ga::GaEngine engine(cfg, sel, cx, mut);
-        util::Rng ga_rng = base.split(1000 + 100 * rep + pi);
-        auto init =
-            core::initial_population(codec, eval, cfg.population, 0.5, ga_rng);
-        const auto t0 = std::chrono::steady_clock::now();
-        const auto r = engine.run(problem, std::move(init), ga_rng);
-        const auto t1 = std::chrono::steady_clock::now();
-        results[pi][rep] = {
-            r.best_objective,
-            1.0 - r.best_objective / r.objective_history.front(),
-            std::chrono::duration<double>(t1 - t0).count()};
-      });
-
-  for (std::size_t pi = 0; pi < probe_caps.size(); ++pi) {
-    double ms = 0.0, red = 0.0, wall = 0.0;
-    for (const auto& c : results[pi]) {
-      ms += c.makespan;
-      red += c.reduction;
-      wall += c.wall;
+      ga::GaConfig cfg;
+      cfg.population = p.population;
+      cfg.max_generations = p.generations;
+      cfg.record_history = true;
+      // probes = 0 disables the improvement pass entirely (pure GA).
+      cfg.improvement_passes = probes == 0 ? 0 : 1;
+      static const ga::RouletteSelection sel;
+      static const ga::CycleCrossover cx;
+      static const ga::SwapMutation mut;
+      const ga::GaEngine engine(cfg, sel, cx, mut);
+      util::Rng ga_rng = base.split(1000 + 100 * rep + pi);
+      auto init = core::initial_population(codec, eval, cfg.population, 0.5,
+                                           ga_rng);
+      const auto t0 = std::chrono::steady_clock::now();
+      const auto r = engine.run(problem, std::move(init), ga_rng);
+      const auto t1 = std::chrono::steady_clock::now();
+      finals[rep] = r.best_objective;
+      reductions[rep] =
+          1.0 - r.best_objective / r.objective_history.front();
+      walls[rep] = std::chrono::duration<double>(t1 - t0).count();
+    };
+    if (parallel && p.reps > 1) {
+      util::global_pool().parallel_for(0, p.reps, body);
+    } else {
+      for (std::size_t rep = 0; rep < p.reps; ++rep) body(rep);
     }
-    const double reps = static_cast<double>(p.reps);
-    table.add_row(std::to_string(probe_caps[pi]),
-                  {ms / reps, red / reps, wall / reps});
-    csv_rows.push_back({static_cast<double>(probe_caps[pi]), ms / reps,
-                        red / reps, wall / reps});
-  }
-  table.print(std::cout);
-  bench::maybe_write_csv(
-      p, {"probes", "final_makespan", "reduction_vs_init", "ga_wall_s"},
-      csv_rows);
+    exp::CellOutcome out;
+    out.extras = {{"final_makespan", util::summarize(finals).mean},
+                  {"reduction_vs_init", util::summarize(reductions).mean},
+                  {"ga_wall_s", util::summarize(walls).mean}};
+    return out;
+  });
+
+  bench::run_sweep(sweep, p);
   return 0;
 }

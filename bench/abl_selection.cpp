@@ -2,7 +2,6 @@
 // selection (§3.3); this bench compares tournament, rank, and stochastic
 // universal sampling on the same batch-scheduling problem.
 
-#include <iostream>
 #include <memory>
 
 #include "bench_common.hpp"
@@ -23,28 +22,31 @@ int main(int argc, char** argv) {
       "design-choice study (not in paper): roulette is the paper's choice",
       p);
 
-  std::vector<std::pair<std::string, std::shared_ptr<ga::SelectionOp>>> ops{
-      {"roulette", std::make_shared<ga::RouletteSelection>()},
-      {"tournament2", std::make_shared<ga::TournamentSelection>(2)},
-      {"tournament4", std::make_shared<ga::TournamentSelection>(4)},
-      {"rank", std::make_shared<ga::RankSelection>()},
-      {"sus", std::make_shared<ga::SusSelection>()},
-  };
+  const std::vector<std::pair<std::string, std::shared_ptr<ga::SelectionOp>>>
+      ops{
+          {"roulette", std::make_shared<ga::RouletteSelection>()},
+          {"tournament2", std::make_shared<ga::TournamentSelection>(2)},
+          {"tournament4", std::make_shared<ga::TournamentSelection>(4)},
+          {"rank", std::make_shared<ga::RankSelection>()},
+          {"sus", std::make_shared<ga::SusSelection>()},
+      };
 
-  util::Table table({"selection", "final_makespan", "reduction_vs_init"});
-  std::vector<std::vector<double>> csv_rows;
-  // results[oi][rep] = {final makespan, reduction}; filled in parallel.
-  std::vector<std::vector<std::pair<double, double>>> results(
-      ops.size(), std::vector<std::pair<double, double>>(p.reps));
-  util::global_pool().parallel_for(0, ops.size() * p.reps, [&](std::size_t w) {
-    const std::size_t oi = w / p.reps;
-    const std::size_t rep = w % p.reps;
-    {
+  exp::WorkloadSpec spec;  // GA-batch study: sizes drawn directly below
+  exp::Sweep sweep =
+      bench::make_sweep("abl-selection", p, spec, /*mean_comm=*/20.0);
+  std::vector<exp::Sweep::Value> values;
+  for (const auto& [label, op] : ops) values.push_back({label, {}});
+  sweep.axis("selection", std::move(values));
+  sweep.extra_columns({"final_makespan", "reduction_vs_init"});
+  sweep.runner([&](const exp::SweepCell& cell, bool parallel) {
+    const std::size_t oi = cell.index;
+    std::vector<double> finals(p.reps), reductions(p.reps);
+    auto body = [&](std::size_t rep) {
       const util::Rng base(p.seed);
       util::Rng cluster_rng = base.split(2 * rep);
       util::Rng task_rng = base.split(2 * rep + 1);
-      const sim::Cluster cluster =
-          sim::build_cluster(exp::paper_cluster(20.0, p.procs), cluster_rng);
+      const sim::Cluster cluster = sim::build_cluster(
+          exp::paper_cluster(20.0, p.procs), cluster_rng);
       sim::SystemView view;
       view.procs.resize(cluster.size());
       for (std::size_t j = 0; j < cluster.size(); ++j) {
@@ -68,27 +70,24 @@ int main(int argc, char** argv) {
       const ga::SwapMutation mut;
       const ga::GaEngine engine(cfg, *ops[oi].second, cx, mut);
       util::Rng ga_rng = base.split(1000 + 10 * rep + oi);
-      auto init =
-          core::initial_population(codec, eval, cfg.population, 0.5, ga_rng);
+      auto init = core::initial_population(codec, eval, cfg.population, 0.5,
+                                           ga_rng);
       const auto r = engine.run(problem, std::move(init), ga_rng);
-      results[oi][rep] = {
-          r.best_objective,
-          1.0 - r.best_objective / r.objective_history.front()};
+      finals[rep] = r.best_objective;
+      reductions[rep] =
+          1.0 - r.best_objective / r.objective_history.front();
+    };
+    if (parallel && p.reps > 1) {
+      util::global_pool().parallel_for(0, p.reps, body);
+    } else {
+      for (std::size_t rep = 0; rep < p.reps; ++rep) body(rep);
     }
+    exp::CellOutcome out;
+    out.extras = {{"final_makespan", util::summarize(finals).mean},
+                  {"reduction_vs_init", util::summarize(reductions).mean}};
+    return out;
   });
-  for (std::size_t oi = 0; oi < ops.size(); ++oi) {
-    double ms_sum = 0.0, red_sum = 0.0;
-    for (const auto& [ms, red] : results[oi]) {
-      ms_sum += ms;
-      red_sum += red;
-    }
-    const double reps = static_cast<double>(p.reps);
-    table.add_row(ops[oi].first, {ms_sum / reps, red_sum / reps});
-    csv_rows.push_back(
-        {static_cast<double>(oi), ms_sum / reps, red_sum / reps});
-  }
-  table.print(std::cout);
-  bench::maybe_write_csv(
-      p, {"op_index", "final_makespan", "reduction_vs_init"}, csv_rows);
+
+  bench::run_sweep(sweep, p);
   return 0;
 }

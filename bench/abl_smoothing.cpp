@@ -6,8 +6,6 @@
 // sweeps ν for the PN scheduler on a cluster with noisy per-dispatch
 // communication costs.
 
-#include <iostream>
-
 #include "bench_common.hpp"
 
 using namespace gasched;
@@ -21,29 +19,22 @@ int main(int argc, char** argv) {
       "under jittery links — nu=1 chases noise, nu~0 never adapts",
       p);
 
-  exp::Scenario s;
-  s.name = "smoothing";
-  s.cluster = exp::paper_cluster(15.0, p.procs);
-  s.cluster.comm.jitter_cv = 0.8;  // strongly noisy per-dispatch costs
-  s.workload.dist = "normal";
-  s.workload.param_a = 1000.0;
-  s.workload.param_b = 9e5;
-  s.workload.count = p.tasks;
-  s.seed = p.seed;
-  s.replications = p.reps;
+  exp::WorkloadSpec spec;
+  spec.dist = "normal";
+  spec.param_a = 1000.0;
+  spec.param_b = 9e5;
 
-  const auto opts = bench::scheduler_params(p);
-  util::Table table({"nu", "makespan", "ci95", "efficiency"});
-  std::vector<std::vector<double>> csv_rows;
-  for (const double nu : {0.05, 0.1, 0.3, 0.5, 0.7, 0.9, 1.0}) {
-    s.comm_nu = nu;
-    const auto cell = exp::run_cell(s, "PN", opts);
-    table.add_row(util::fmt(nu, 2),
-                  {cell.makespan.mean, cell.makespan.ci95,
-                   cell.efficiency.mean});
-    csv_rows.push_back({nu, cell.makespan.mean, cell.efficiency.mean});
-  }
-  table.print(std::cout);
-  bench::maybe_write_csv(p, {"nu", "makespan", "efficiency"}, csv_rows);
+  exp::Scenario base =
+      bench::bench_scenario(p, spec, /*mean_comm=*/15.0, "smoothing");
+  base.cluster.comm.jitter_cv = 0.8;  // strongly noisy per-dispatch costs
+
+  exp::Sweep sweep("abl-smoothing");
+  sweep.base(base)
+      .params(bench::scheduler_params(p))
+      .parallel(!p.serial)
+      .scheduler("PN")
+      .axis("nu", {0.05, 0.1, 0.3, 0.5, 0.7, 0.9, 1.0},
+            [](exp::SweepCell& c, double nu) { c.scenario.comm_nu = nu; });
+  bench::run_sweep(sweep, p);
   return 0;
 }

@@ -1,6 +1,8 @@
 #include "bench_common.hpp"
 
+#include <cstdlib>
 #include <iostream>
+#include <optional>
 
 namespace gasched::bench {
 
@@ -33,6 +35,7 @@ BenchParams parse_params(int argc, char** argv, std::size_t quick_tasks,
       cli.get_int("batch", static_cast<std::int64_t>(p.batch)));
   p.seed = static_cast<std::uint64_t>(
       cli.get_int("seed", static_cast<std::int64_t>(p.seed)));
+  p.serial = cli.get_bool("serial", false);
   if (cli.has("csv")) p.csv = cli.get("csv", "");
   if (cli.has("json")) p.json = cli.get("json", "");
   return p;
@@ -55,16 +58,15 @@ void print_banner(const std::string& figure, const std::string& title,
             << "Scale: " << (p.full ? "full (paper)" : "quick") << "  tasks="
             << p.tasks << " procs=" << p.procs << " reps=" << p.reps
             << " generations=" << p.generations << " batch=" << p.batch
-            << " seed=" << p.seed << "\n\n";
+            << " seed=" << p.seed
+            << (p.serial ? "  (serial execution)" : "") << "\n\n";
 }
 
-namespace {
-
-exp::Scenario make_scenario(const BenchParams& p,
-                            const exp::WorkloadSpec& spec,
-                            double mean_comm_cost) {
+exp::Scenario bench_scenario(const BenchParams& p,
+                             const exp::WorkloadSpec& spec,
+                             double mean_comm_cost, std::string name) {
   exp::Scenario s;
-  s.name = "bench";
+  s.name = std::move(name);
   s.cluster = exp::paper_cluster(mean_comm_cost, p.procs);
   s.workload = spec;
   s.workload.count = p.tasks;
@@ -73,64 +75,89 @@ exp::Scenario make_scenario(const BenchParams& p,
   return s;
 }
 
-}  // namespace
+exp::Sweep make_sweep(std::string name, const BenchParams& p,
+                      const exp::WorkloadSpec& spec, double mean_comm_cost) {
+  exp::Sweep sweep(name);
+  sweep.base(bench_scenario(p, spec, mean_comm_cost, std::move(name)));
+  sweep.params(scheduler_params(p));
+  sweep.parallel(!p.serial);
+  return sweep;
+}
+
+exp::SweepResult run_sweep(exp::Sweep& sweep, const BenchParams& p,
+                           bool print_table) {
+  std::optional<metrics::TableSink> table;
+  if (print_table) {
+    table.emplace(std::cout);
+    sweep.add_sink(*table);
+  }
+  std::optional<metrics::CsvSink> csv;
+  if (p.csv) {
+    csv.emplace(*p.csv);
+    sweep.add_sink(*csv);
+  }
+  std::optional<metrics::JsonlSink> jsonl;
+  if (p.json) {
+    jsonl.emplace(*p.json);
+    sweep.add_sink(*jsonl);
+  }
+  const exp::SweepResult result = sweep.run();
+  if (csv) std::cout << "CSV written to " << csv->path().string() << "\n";
+  if (jsonl) {
+    std::cout << "JSONL written to " << jsonl->path().string() << "\n";
+  }
+  if (result.failed > 0) {
+    // A failed cell in a bench is always a configuration or regression
+    // error, and every downstream shape check would silently compute on
+    // default-constructed zeros — abort the binary instead.
+    std::cerr << "error: " << result.failed << "/" << result.rows.size()
+              << " sweep cells failed (see the error column above)\n";
+    std::exit(EXIT_FAILURE);
+  }
+  return result;
+}
 
 std::vector<double> run_makespan_bars(const BenchParams& p,
                                       const exp::WorkloadSpec& spec,
                                       double mean_comm_cost) {
-  const exp::Scenario scenario = make_scenario(p, spec, mean_comm_cost);
-  const auto opts = scheduler_params(p);
-  util::Table table({"scheduler", "makespan", "ci95", "efficiency",
-                     "response", "sched_wall_s"});
-  std::vector<double> means;
-  std::vector<std::vector<double>> csv_rows;
-  std::vector<metrics::CellSummary> cells;
-  for (const auto kind : exp::all_schedulers()) {
-    const auto cell = exp::run_cell(scenario, kind, opts);
-    table.add_row(cell.scheduler,
-                  {cell.makespan.mean, cell.makespan.ci95,
-                   cell.efficiency.mean, cell.response.mean,
-                   cell.sched_wall.mean});
-    means.push_back(cell.makespan.mean);
-    csv_rows.push_back({static_cast<double>(csv_rows.size()),
-                        cell.makespan.mean, cell.makespan.ci95,
-                        cell.efficiency.mean});
-    cells.push_back(cell);
-  }
-  table.print(std::cout);
-  maybe_write_csv(p, {"scheduler_index", "makespan_mean", "makespan_ci95",
-                      "efficiency_mean"},
-                  csv_rows);
-  maybe_write_json(p, scenario.name, cells);
-  return means;
+  exp::Sweep sweep = make_sweep("bench", p, spec, mean_comm_cost);
+  sweep.schedulers(exp::all_schedulers());
+  return run_sweep(sweep, p).makespan_means();
 }
 
 std::vector<std::vector<double>> run_efficiency_sweep(
     const BenchParams& p, const exp::WorkloadSpec& spec,
     const std::vector<double>& inv_costs) {
-  const auto opts = scheduler_params(p);
+  exp::Sweep sweep = make_sweep("efficiency", p, spec, /*mean_comm=*/20.0);
+  sweep.axis("inv_comm_cost", inv_costs,
+             [](exp::SweepCell& c, double inv) {
+               c.scenario.cluster.comm.mean_cost = 1.0 / inv;
+             });
+  sweep.schedulers(exp::all_schedulers());
+
+  const auto result = run_sweep(sweep, p, /*print_table=*/false);
+
+  // Pivot for the paper's reading direction: one row per cost point,
+  // schedulers as columns.
+  const auto schedulers = exp::all_schedulers();
   std::vector<std::string> header{"1/mean_comm_cost"};
-  for (const auto kind : exp::all_schedulers()) {
-    header.push_back(kind);
-  }
+  for (const auto& kind : schedulers) header.push_back(kind);
   util::Table table(header);
   std::vector<std::vector<double>> rows;
-  for (const double inv : inv_costs) {
-    const double cost = 1.0 / inv;
-    const exp::Scenario scenario = make_scenario(p, spec, cost);
-    std::vector<double> row{inv};
-    for (const auto kind : exp::all_schedulers()) {
-      row.push_back(exp::run_cell(scenario, kind, opts).efficiency.mean);
-    }
-    std::vector<std::string> cells{util::fmt(inv, 3)};
-    for (std::size_t i = 1; i < row.size(); ++i) {
-      cells.push_back(util::fmt(row[i], 4));
+  const std::size_t stride = schedulers.size();
+  for (std::size_t pi = 0; pi < inv_costs.size(); ++pi) {
+    std::vector<double> row{inv_costs[pi]};
+    std::vector<std::string> cells{util::fmt(inv_costs[pi], 3)};
+    for (std::size_t si = 0; si < stride; ++si) {
+      const double eff =
+          result.rows[pi * stride + si].cell.efficiency.mean;
+      row.push_back(eff);
+      cells.push_back(util::fmt(eff, 4));
     }
     table.add_row(cells);
     rows.push_back(std::move(row));
   }
   table.print(std::cout);
-  maybe_write_csv(p, header, rows);
   return rows;
 }
 

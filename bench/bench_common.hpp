@@ -1,14 +1,19 @@
 #pragma once
 // Shared infrastructure for the figure-reproduction bench binaries.
 //
-// Every binary prints (a) the paper's expectation for that figure, (b) an
-// ASCII table with the regenerated rows/series, and (c) optionally writes
-// the series as CSV (--csv <path>). Two scales are supported:
+// Every binary declares its experiment as an exp::Sweep (axes ×
+// schedulers), runs it through run_sweep — which executes the grid in
+// parallel on util::global_pool() and streams results to the standard
+// sinks (ASCII table on stdout, crash-safe CSV via --csv, JSONL via
+// --json) — and then prints its figure-specific shape check from the
+// returned rows. Two scales are supported:
 //   quick (default)       — reduced tasks/replications/generations so the
 //                            whole suite runs in minutes;
 //   full  (GASCHED_BENCH_SCALE=full or --full) — paper-scale parameters
 //                            (10,000 tasks, 50 replications, 1000
 //                            generations).
+// --serial disables sweep parallelism (the determinism baseline: output
+// files are byte-identical to a parallel run).
 
 #include <cstdint>
 #include <optional>
@@ -16,7 +21,9 @@
 #include <vector>
 
 #include "exp/runner.hpp"
+#include "exp/sweep.hpp"
 #include "metrics/report_json.hpp"
+#include "metrics/sink.hpp"
 #include "util/cli.hpp"
 #include "util/csv.hpp"
 #include "util/table.hpp"
@@ -34,12 +41,13 @@ struct BenchParams {
   std::uint64_t seed = 20050404;   ///< base seed (IPPS 2005 vintage)
   bool pn_dynamic_batch = true;    ///< PN batch policy (Fig 5/7 fix it)
   bool full = false;               ///< paper-scale switch
-  std::optional<std::string> csv;  ///< CSV output path
-  std::optional<std::string> json; ///< JSON output path (aggregated cells)
+  bool serial = false;             ///< --serial: single-threaded sweep
+  std::optional<std::string> csv;  ///< CSV output path (streaming sink)
+  std::optional<std::string> json; ///< JSONL output path (streaming sink)
 };
 
 /// Parses common flags (--tasks, --reps, --generations, --procs, --seed,
-/// --csv, --json, --full) on top of quick/full defaults.
+/// --csv, --json, --serial, --full) on top of quick/full defaults.
 BenchParams parse_params(int argc, char** argv, std::size_t quick_tasks,
                          std::size_t quick_reps,
                          std::size_t quick_generations);
@@ -54,27 +62,51 @@ void print_banner(const std::string& figure, const std::string& title,
                   const std::string& paper_expectation,
                   const BenchParams& p);
 
+/// The standard bench scenario: paper cluster at `mean_comm_cost` with
+/// `spec` sizes, scaled by `p`.
+exp::Scenario bench_scenario(const BenchParams& p,
+                             const exp::WorkloadSpec& spec,
+                             double mean_comm_cost, std::string name);
+
+/// A Sweep preconfigured from `p`: bench scenario as the base cell,
+/// scheduler_params(p), parallel unless --serial. Add axes and run it
+/// with run_sweep.
+exp::Sweep make_sweep(std::string name, const BenchParams& p,
+                      const exp::WorkloadSpec& spec, double mean_comm_cost);
+
+/// Runs `sweep` with the standard sinks: ASCII table on stdout (unless
+/// `print_table` is false — benches that pivot their own table pass
+/// false), streaming CSV at p.csv, streaming JSONL at p.json. Failed
+/// cells abort the binary with exit code 1 after the table/sinks have
+/// reported them (a bench grid must never silently compute its shape
+/// checks on missing cells).
+exp::SweepResult run_sweep(exp::Sweep& sweep, const BenchParams& p,
+                           bool print_table = true);
+
 /// Runs the seven-scheduler makespan bar chart for `spec` at one mean
-/// communication cost. Prints a table (mean ± CI makespan, efficiency per
-/// scheduler, paper bar-chart order) and returns mean makespans keyed by
-/// scheduler order in exp::all_schedulers().
+/// communication cost through a Sweep. Prints the table and returns
+/// mean makespans in exp::all_schedulers() order.
 std::vector<double> run_makespan_bars(const BenchParams& p,
                                       const exp::WorkloadSpec& spec,
                                       double mean_comm_cost);
 
-/// Runs the efficiency-vs-communication-cost sweep (Figs 5 and 7): for
-/// each value of inv_costs (= 1/mean cost), computes mean efficiency per
-/// scheduler. Prints the table and returns rows[point][scheduler].
+/// Runs the efficiency-vs-communication-cost grid (Figs 5 and 7) through
+/// a Sweep: axes inv_comm_cost × the paper's seven schedulers. Prints
+/// the pivoted table (schedulers as columns, one row per cost point) and
+/// returns rows[point] = {inv_cost, eff...} as before.
 std::vector<std::vector<double>> run_efficiency_sweep(
     const BenchParams& p, const exp::WorkloadSpec& spec,
     const std::vector<double>& inv_costs);
 
-/// Writes `rows` as CSV with the given header if `p.csv` is set.
+/// Writes `rows` as CSV with the given header if `p.csv` is set. Only
+/// for bespoke series a SweepResult does not model (e.g. fig03's
+/// per-generation trajectories); grid results use the CsvSink.
 void maybe_write_csv(const BenchParams& p,
                      const std::vector<std::string>& header,
                      const std::vector<std::vector<double>>& rows);
 
-/// Writes the aggregated cells as a JSON document if `p.json` is set.
+/// Writes the aggregated cells as a JSON document if `p.json` is set
+/// (bespoke counterpart of the JSONL sink).
 void maybe_write_json(const BenchParams& p, const std::string& experiment,
                       const std::vector<metrics::CellSummary>& cells);
 

@@ -13,16 +13,6 @@
 
 using namespace gasched;
 
-namespace {
-
-struct AvailCase {
-  std::string label;
-  sim::AvailabilityKind kind;
-  bool drifting_comm;
-};
-
-}  // namespace
-
 int main(int argc, char** argv) {
   const auto p = bench::parse_params(argc, argv, /*tasks=*/600, /*reps=*/3,
                                      /*generations=*/80);
@@ -34,53 +24,43 @@ int main(int argc, char** argv) {
       "RR degrades worst",
       p);
 
-  const std::vector<AvailCase> cases{
-      {"fixed", sim::AvailabilityKind::kFixed, false},
-      {"sinusoidal", sim::AvailabilityKind::kSinusoidal, false},
-      {"random_walk", sim::AvailabilityKind::kRandomWalk, false},
-      {"two_state", sim::AvailabilityKind::kTwoState, false},
-      {"fixed+drift_comm", sim::AvailabilityKind::kFixed, true},
+  exp::WorkloadSpec spec;
+  spec.dist = "normal";
+  spec.param_a = 1000.0;
+  spec.param_b = 9e5;
+
+  exp::Sweep sweep =
+      bench::make_sweep("availability", p, spec, /*mean_comm=*/10.0);
+
+  const std::pair<const char*, sim::AvailabilityKind> models[] = {
+      {"fixed", sim::AvailabilityKind::kFixed},
+      {"sinusoidal", sim::AvailabilityKind::kSinusoidal},
+      {"random_walk", sim::AvailabilityKind::kRandomWalk},
+      {"two_state", sim::AvailabilityKind::kTwoState},
   };
-  const std::vector<std::string> kinds{
-      "PN", "EF",
-      "MM", "RR"};
-
-  const auto opts = bench::scheduler_params(p);
-  util::Table table(
-      {"availability", "scheduler", "makespan", "ci95", "efficiency"});
-  std::vector<std::vector<double>> csv_rows;
-  double pn_fixed = 0.0, pn_twostate = 0.0;
-  for (std::size_t ci = 0; ci < cases.size(); ++ci) {
-    exp::Scenario s;
-    s.name = "availability-" + cases[ci].label;
-    s.cluster = exp::paper_cluster(10.0, p.procs);
-    s.cluster.availability = cases[ci].kind;
-    s.cluster.drifting_comm = cases[ci].drifting_comm;
-    s.workload.dist = "normal";
-    s.workload.param_a = 1000.0;
-    s.workload.param_b = 9e5;
-    s.workload.count = p.tasks;
-    s.seed = p.seed;
-    s.replications = p.reps;
-
-    for (std::size_t ki = 0; ki < kinds.size(); ++ki) {
-      const auto cell = exp::run_cell(s, kinds[ki], opts);
-      table.add_row({cases[ci].label, cell.scheduler,
-                     util::fmt(cell.makespan.mean),
-                     util::fmt(cell.makespan.ci95),
-                     util::fmt(cell.efficiency.mean)});
-      csv_rows.push_back({static_cast<double>(ci), static_cast<double>(ki),
-                          cell.makespan.mean, cell.efficiency.mean});
-      if (kinds[ki] == "PN") {
-        if (cases[ci].label == "fixed") pn_fixed = cell.makespan.mean;
-        if (cases[ci].label == "two_state") pn_twostate = cell.makespan.mean;
-      }
-    }
+  std::vector<exp::Sweep::Value> cases;
+  for (const auto& [label, kind] : models) {
+    const auto k = kind;
+    cases.push_back({label, [k](exp::SweepCell& c) {
+                       c.scenario.cluster.availability = k;
+                     }});
   }
-  table.print(std::cout);
-  bench::maybe_write_csv(
-      p, {"availability_index", "scheduler_index", "makespan", "efficiency"},
-      csv_rows);
+  cases.push_back({"fixed+drift_comm", [](exp::SweepCell& c) {
+                     c.scenario.cluster.availability =
+                         sim::AvailabilityKind::kFixed;
+                     c.scenario.cluster.drifting_comm = true;
+                   }});
+  sweep.axis("availability", std::move(cases));
+  sweep.schedulers({"PN", "EF", "MM", "RR"});
+  const auto result = bench::run_sweep(sweep, p);
+
+  double pn_fixed = 0.0, pn_twostate = 0.0;
+  for (const auto& row : result.rows) {
+    if (row.scheduler != "PN") continue;
+    const auto& label = row.coords.front().second;
+    if (label == "fixed") pn_fixed = row.cell.makespan.mean;
+    if (label == "two_state") pn_twostate = row.cell.makespan.mean;
+  }
   if (pn_fixed > 0.0) {
     std::cout << "\nPN makespan two_state/fixed = "
               << util::fmt(pn_twostate / pn_fixed, 3)

@@ -18,33 +18,22 @@ int main(int argc, char** argv) {
       "and EF, Sufferage is competitive with min-min",
       p);
 
-  exp::Scenario s;
-  s.name = "baselines";
-  s.cluster = exp::paper_cluster(10.0, p.procs);
-  s.workload.dist = "normal";
-  s.workload.param_a = 1000.0;
-  s.workload.param_b = 9e5;
-  s.workload.count = p.tasks;
-  s.seed = p.seed;
-  s.replications = p.reps;
+  exp::WorkloadSpec spec;
+  spec.dist = "normal";
+  spec.param_a = 1000.0;
+  spec.param_b = 9e5;
 
-  const auto opts = bench::scheduler_params(p);
-  util::Table table({"scheduler", "makespan", "ci95", "efficiency"});
-  std::vector<std::vector<double>> csv_rows;
+  exp::Sweep sweep =
+      bench::make_sweep("baselines", p, spec, /*mean_comm=*/10.0);
+  sweep.schedulers(exp::extended_schedulers());
+  const auto result = bench::run_sweep(sweep, p);
+
   double met_ms = 0.0, ef_ms = 0.0, kpb_ms = 0.0;
-  for (const auto kind : exp::extended_schedulers()) {
-    const auto cell = exp::run_cell(s, kind, opts);
-    table.add_row(cell.scheduler, {cell.makespan.mean, cell.makespan.ci95,
-                                   cell.efficiency.mean});
-    csv_rows.push_back({static_cast<double>(csv_rows.size()),
-                        cell.makespan.mean, cell.efficiency.mean});
-    if (kind == "MET") met_ms = cell.makespan.mean;
-    if (kind == "EF") ef_ms = cell.makespan.mean;
-    if (kind == "KPB") kpb_ms = cell.makespan.mean;
+  for (const auto& row : result.rows) {
+    if (row.scheduler == "MET") met_ms = row.cell.makespan.mean;
+    if (row.scheduler == "EF") ef_ms = row.cell.makespan.mean;
+    if (row.scheduler == "KPB") kpb_ms = row.cell.makespan.mean;
   }
-  table.print(std::cout);
-  bench::maybe_write_csv(p, {"scheduler_index", "makespan", "efficiency"},
-                         csv_rows);
   std::cout << "\nMET/EF makespan ratio " << util::fmt(met_ms / ef_ms, 4)
             << " (>> 1 expected); KPB between: "
             << util::fmt(ef_ms, 5) << " <= " << util::fmt(kpb_ms, 5)

@@ -19,15 +19,10 @@ int main(int argc, char** argv) {
       "comm-aware batch scheduling retains its lead",
       p);
 
-  exp::Scenario s;
-  s.name = "failures";
-  s.cluster = exp::paper_cluster(10.0, p.procs);
-  s.workload.dist = "normal";
-  s.workload.param_a = 1000.0;
-  s.workload.param_b = 9e5;
-  s.workload.count = p.tasks;
-  s.seed = p.seed;
-  s.replications = p.reps;
+  exp::WorkloadSpec spec;
+  spec.dist = "normal";
+  spec.param_a = 1000.0;
+  spec.param_b = 9e5;
 
   sim::FailureConfig fcfg;
   fcfg.mean_uptime = 400.0;
@@ -35,37 +30,37 @@ int main(int argc, char** argv) {
   fcfg.horizon = 1e6;
   fcfg.failing_fraction = 0.5;  // half the machines are flaky
 
-  const auto opts = bench::scheduler_params(p);
-  util::Table table({"scheduler", "makespan(no fail)", "makespan(fail)",
-                     "slowdown", "requeued"});
-  std::vector<std::vector<double>> csv_rows;
-  for (const auto kind : exp::all_schedulers()) {
-    exp::Scenario healthy = s;
-    const auto base_cell = exp::run_cell(healthy, kind, opts);
-    exp::Scenario flaky = s;
-    flaky.failures = fcfg;
-    const auto runs = exp::run_replications(flaky, kind, opts);
-    double ms = 0.0, requeued = 0.0;
-    for (const auto& r : runs) {
-      ms += r.makespan;
-      requeued += static_cast<double>(r.tasks_requeued);
-      if (r.tasks_completed != s.workload.count) {
-        std::cerr << "ERROR: task lost under failures!\n";
-        return 1;
-      }
+  exp::Sweep sweep =
+      bench::make_sweep("failures", p, spec, /*mean_comm=*/10.0);
+  sweep.axis("cluster",
+             {exp::Sweep::Value{"healthy", {}},
+              exp::Sweep::Value{"flaky", [fcfg](exp::SweepCell& c) {
+                                  c.scenario.failures = fcfg;
+                                }}});
+  sweep.schedulers(exp::all_schedulers());
+  const auto result = bench::run_sweep(sweep, p);
+
+  // Pair healthy/flaky rows per scheduler for the slowdown summary and
+  // the no-task-lost invariant.
+  const auto healthy = result.where("cluster", "healthy");
+  const auto flaky = result.where("cluster", "flaky");
+  bool lost = false;
+  util::Table slowdown({"scheduler", "slowdown", "requeued"});
+  for (std::size_t i = 0; i < healthy.size() && i < flaky.size(); ++i) {
+    slowdown.add_row(
+        flaky[i]->scheduler,
+        {flaky[i]->cell.makespan.mean / healthy[i]->cell.makespan.mean,
+         flaky[i]->cell.requeued.mean});
+    if (flaky[i]->cell.completed.min <
+        static_cast<double>(p.tasks)) {
+      std::cerr << "ERROR: task lost under failures (" << flaky[i]->scheduler
+                << ")!\n";
+      lost = true;
     }
-    ms /= static_cast<double>(runs.size());
-    requeued /= static_cast<double>(runs.size());
-    table.add_row(kind,
-                  {base_cell.makespan.mean, ms, ms / base_cell.makespan.mean,
-                   requeued});
-    csv_rows.push_back({static_cast<double>(csv_rows.size()),
-                        base_cell.makespan.mean, ms, requeued});
   }
-  table.print(std::cout);
-  bench::maybe_write_csv(
-      p, {"scheduler_index", "makespan_nofail", "makespan_fail", "requeued"},
-      csv_rows);
+  std::cout << "\n";
+  slowdown.print(std::cout);
+  if (lost) return 1;
   std::cout << "\nNo tasks were lost: scheduler-side queues make failures "
                "survivable, as §3 argues.\n";
   return 0;

@@ -24,39 +24,25 @@ int main(int argc, char** argv) {
       "PNI) lead on efficiency; HC is the floor of the family",
       p);
 
-  exp::Scenario s;
-  s.name = "metaheuristics";
-  s.cluster = exp::paper_cluster(10.0, p.procs);
-  s.workload.dist = "normal";
-  s.workload.param_a = 1000.0;
-  s.workload.param_b = 9e5;
-  s.workload.count = p.tasks;
-  s.seed = p.seed;
-  s.replications = p.reps;
+  exp::WorkloadSpec spec;
+  spec.dist = "normal";
+  spec.param_a = 1000.0;
+  spec.param_b = 9e5;
 
-  const auto opts = bench::scheduler_params(p);
-  util::Table table(
-      {"scheduler", "makespan", "ci95", "efficiency", "sched_wall_s"});
-  std::vector<std::vector<double>> csv_rows;
-  double pn_ms = 0.0, hc_ms = 0.0, rr_ms = 0.0;
   auto kinds = exp::metaheuristic_schedulers();
   kinds.push_back("RR");  // uninformed reference
-  for (const auto kind : kinds) {
-    const auto cell = exp::run_cell(s, kind, opts);
-    table.add_row(cell.scheduler,
-                  {cell.makespan.mean, cell.makespan.ci95,
-                   cell.efficiency.mean, cell.sched_wall.mean});
-    csv_rows.push_back({static_cast<double>(csv_rows.size()),
-                        cell.makespan.mean, cell.efficiency.mean,
-                        cell.sched_wall.mean});
-    if (kind == "PN") pn_ms = cell.makespan.mean;
-    if (kind == "HC") hc_ms = cell.makespan.mean;
-    if (kind == "RR") rr_ms = cell.makespan.mean;
+
+  exp::Sweep sweep =
+      bench::make_sweep("metaheuristics", p, spec, /*mean_comm=*/10.0);
+  sweep.schedulers(kinds);
+  const auto result = bench::run_sweep(sweep, p);
+
+  double pn_ms = 0.0, hc_ms = 0.0, rr_ms = 0.0;
+  for (const auto& row : result.rows) {
+    if (row.scheduler == "PN") pn_ms = row.cell.makespan.mean;
+    if (row.scheduler == "HC") hc_ms = row.cell.makespan.mean;
+    if (row.scheduler == "RR") rr_ms = row.cell.makespan.mean;
   }
-  table.print(std::cout);
-  bench::maybe_write_csv(
-      p, {"scheduler_index", "makespan", "efficiency", "sched_wall_s"},
-      csv_rows);
   std::cout << "\nPN/RR makespan ratio " << util::fmt(pn_ms / rr_ms, 4)
             << " (<< 1 expected); HC/RR " << util::fmt(hc_ms / rr_ms, 4)
             << " (< 1 expected).\n";

@@ -6,34 +6,16 @@
 // makespan lower bound at realistic scale, where exact search is
 // impossible.
 
+#include <deque>
 #include <iostream>
 
 #include "bench_common.hpp"
 #include "metrics/bounds.hpp"
 #include "sim/cluster.hpp"
+#include "util/thread_pool.hpp"
 #include "workload/generator.hpp"
 
 using namespace gasched;
-
-namespace {
-
-/// Estimated makespan of one batch assignment under `view`.
-double assignment_makespan(const sim::BatchAssignment& a,
-                           const sim::SystemView& view,
-                           const std::vector<double>& sizes) {
-  double ms = 0.0;
-  for (std::size_t j = 0; j < view.size(); ++j) {
-    double c = view.procs[j].pending_mflops / view.procs[j].rate;
-    for (const auto id : a.per_proc[j]) {
-      c += sizes[static_cast<std::size_t>(id)] / view.procs[j].rate +
-           view.procs[j].comm_estimate;
-    }
-    ms = std::max(ms, c);
-  }
-  return ms;
-}
-
-}  // namespace
 
 int main(int argc, char** argv) {
   const auto p = bench::parse_params(argc, argv, /*tasks=*/600, /*reps=*/3,
@@ -50,28 +32,56 @@ int main(int argc, char** argv) {
   const std::size_t kInstances = p.full ? 40 : 15;
   const std::size_t kTinyTasks = 10;
   const std::size_t kTinyProcs = 3;
-  const auto kinds = exp::metaheuristic_schedulers();
 
-  std::vector<double> gap_sum(kinds.size(), 0.0);
-  for (std::size_t inst_i = 0; inst_i < kInstances; ++inst_i) {
-    util::Rng rng(p.seed + inst_i);
-    metrics::BoundInstance inst;
-    sim::SystemView view;
-    view.procs.resize(kTinyProcs);
-    for (std::size_t j = 0; j < kTinyProcs; ++j) {
-      inst.rates.push_back(rng.uniform(10.0, 80.0));
-      inst.comm_costs.push_back(rng.uniform(0.1, 2.0));
-      view.procs[j].id = static_cast<sim::ProcId>(j);
-      view.procs[j].rate = inst.rates[j];
-      view.procs[j].comm_estimate = inst.comm_costs[j];
-      view.procs[j].comm_observations = 1;
-    }
-    for (std::size_t i = 0; i < kTinyTasks; ++i) {
-      inst.task_sizes.push_back(rng.uniform(20.0, 500.0));
-    }
-    const double opt = metrics::optimal_makespan_exact(inst);
+  std::cout << "Part 1 — single batch of " << kTinyTasks << " tasks on "
+            << kTinyProcs << " processors, " << kInstances
+            << " random instances, exact optimum by branch-and-bound:\n";
 
-    for (std::size_t ki = 0; ki < kinds.size(); ++ki) {
+  exp::WorkloadSpec spec;
+  spec.dist = "normal";
+  spec.param_a = 1000.0;
+  spec.param_b = 9e5;
+
+  exp::Sweep part1 = bench::make_sweep("optgap-exact", p, spec,
+                                       /*mean_comm=*/10.0);
+  part1.schedulers(exp::metaheuristic_schedulers());
+  part1.extra_columns({"mean_makespan_over_optimum"});
+  part1.runner([&](const exp::SweepCell& cell, bool parallel) {
+    // Estimated makespan of one batch assignment under `view`.
+    const auto assignment_makespan =
+        [](const sim::BatchAssignment& a, const sim::SystemView& view,
+           const std::vector<double>& sizes) {
+          double ms = 0.0;
+          for (std::size_t j = 0; j < view.size(); ++j) {
+            double c = view.procs[j].pending_mflops / view.procs[j].rate;
+            for (const auto id : a.per_proc[j]) {
+              c += sizes[static_cast<std::size_t>(id)] /
+                       view.procs[j].rate +
+                   view.procs[j].comm_estimate;
+            }
+            ms = std::max(ms, c);
+          }
+          return ms;
+        };
+    std::vector<double> gaps(kInstances);
+    auto body = [&](std::size_t inst_i) {
+      util::Rng rng(p.seed + inst_i);
+      metrics::BoundInstance inst;
+      sim::SystemView view;
+      view.procs.resize(kTinyProcs);
+      for (std::size_t j = 0; j < kTinyProcs; ++j) {
+        inst.rates.push_back(rng.uniform(10.0, 80.0));
+        inst.comm_costs.push_back(rng.uniform(0.1, 2.0));
+        view.procs[j].id = static_cast<sim::ProcId>(j);
+        view.procs[j].rate = inst.rates[j];
+        view.procs[j].comm_estimate = inst.comm_costs[j];
+        view.procs[j].comm_observations = 1;
+      }
+      for (std::size_t i = 0; i < kTinyTasks; ++i) {
+        inst.task_sizes.push_back(rng.uniform(20.0, 500.0));
+      }
+      const double opt = metrics::optimal_makespan_exact(inst);
+
       exp::SchedulerParams opts;
       opts.set("batch_size", kTinyTasks);
       opts.set("max_generations", p.generations);
@@ -79,7 +89,7 @@ int main(int argc, char** argv) {
       // One fixed batch covering the whole instance: the dynamic H rule
       // would schedule a processor-count-sized prefix only.
       opts.set("pn_dynamic_batch", false);
-      const auto policy = exp::make_scheduler(kinds[ki], opts);
+      const auto policy = exp::make_scheduler(cell.scheduler, opts);
       std::deque<workload::Task> q;
       for (std::size_t i = 0; i < kTinyTasks; ++i) {
         q.push_back(
@@ -88,73 +98,69 @@ int main(int argc, char** argv) {
       util::Rng prng(p.seed + 1000 + inst_i);
       const auto a = policy->invoke(view, q, prng);
       if (!q.empty()) {
-        std::cerr << "warning: " << kinds[ki]
-                  << " left " << q.size() << " tasks unscheduled\n";
+        // A partial assignment would make the gap look better than the
+        // exact optimum — surface it rather than scoring it silently.
+        std::cerr << "warning: " << cell.scheduler << " left " << q.size()
+                  << " tasks unscheduled on instance " << inst_i << "\n";
       }
-      gap_sum[ki] += assignment_makespan(a, view, inst.task_sizes) / opt;
+      gaps[inst_i] = assignment_makespan(a, view, inst.task_sizes) / opt;
+    };
+    if (parallel && kInstances > 1) {
+      util::global_pool().parallel_for(0, kInstances, body);
+    } else {
+      for (std::size_t i = 0; i < kInstances; ++i) body(i);
     }
-  }
-
-  std::cout << "Part 1 — single batch of " << kTinyTasks << " tasks on "
-            << kTinyProcs << " processors, " << kInstances
-            << " random instances, exact optimum by branch-and-bound:\n";
-  util::Table t1({"scheduler", "mean makespan / optimum"});
-  std::vector<std::vector<double>> csv_rows;
-  for (std::size_t ki = 0; ki < kinds.size(); ++ki) {
-    const double g = gap_sum[ki] / static_cast<double>(kInstances);
-    t1.add_row(kinds[ki], {g});
-    csv_rows.push_back({static_cast<double>(ki), g});
-  }
-  t1.print(std::cout);
+    exp::CellOutcome out;
+    out.extras = {
+        {"mean_makespan_over_optimum", util::summarize(gaps).mean}};
+    return out;
+  });
+  bench::BenchParams part1_p = p;
+  part1_p.csv.reset();  // --csv/--json capture the Part 2 grid below
+  part1_p.json.reset();
+  bench::run_sweep(part1, part1_p);
 
   // ---- Part 2: lower-bound gap at simulation scale ---------------------
   std::cout << "\nPart 2 — full simulation (" << p.tasks << " tasks, "
             << p.procs << " processors) vs makespan lower bound:\n";
-  exp::Scenario s;
-  s.name = "optgap";
-  s.cluster = exp::paper_cluster(10.0, p.procs);
-  s.workload.dist = "normal";
-  s.workload.param_a = 1000.0;
-  s.workload.param_b = 9e5;
-  s.workload.count = p.tasks;
-  s.seed = p.seed;
-  s.replications = p.reps;
-  const auto opts = bench::scheduler_params(p);
 
-  // Reconstruct each replication's cluster/workload with the runner's
-  // documented stream discipline to compute its lower bound.
-  std::vector<double> bounds(p.reps);
-  for (std::size_t rep = 0; rep < p.reps; ++rep) {
-    const util::Rng base(s.seed);
-    util::Rng wrng = base.split(3 * rep);
-    util::Rng crng = base.split(3 * rep + 1);
-    const auto dist = exp::make_distribution(s.workload);
-    const auto wl = workload::generate(*dist, s.workload.count, wrng);
-    const auto cluster = sim::build_cluster(s.cluster, crng);
-    metrics::BoundInstance inst;
-    for (const auto& task : wl.tasks) inst.task_sizes.push_back(task.size_mflops);
-    for (std::size_t j = 0; j < cluster.size(); ++j) {
-      inst.rates.push_back(cluster.processors[j].base_rate);
-      inst.comm_costs.push_back(
-          cluster.comm->true_mean(static_cast<sim::ProcId>(j)));
-    }
-    bounds[rep] = metrics::makespan_lower_bound(inst);
-  }
-
-  util::Table t2({"scheduler", "mean makespan / lower bound"});
-  std::size_t row = 0;
-  for (const std::string kind : {"PN", "EF", "MM", "RR"}) {
-    const auto runs = exp::run_replications(s, kind, opts);
+  exp::Sweep part2 =
+      bench::make_sweep("optgap-bound", p, spec, /*mean_comm=*/10.0);
+  part2.schedulers({"PN", "EF", "MM", "RR"});
+  part2.extra_columns({"mean_makespan_over_bound"});
+  part2.runner([&](const exp::SweepCell& cell, bool parallel) {
+    const auto runs = exp::run_replications(cell.scenario, cell.scheduler,
+                                            cell.params, parallel);
+    // Reconstruct each replication's cluster/workload with the runner's
+    // documented stream discipline to compute its lower bound.
     double ratio = 0.0;
     for (std::size_t rep = 0; rep < runs.size(); ++rep) {
-      ratio += runs[rep].makespan / bounds[rep];
+      const util::Rng base(cell.scenario.seed);
+      util::Rng wrng = base.split(3 * rep);
+      util::Rng crng = base.split(3 * rep + 1);
+      const auto dist = exp::make_distribution(cell.scenario.workload);
+      const auto wl =
+          workload::generate(*dist, cell.scenario.workload.count, wrng);
+      const auto cluster = sim::build_cluster(cell.scenario.cluster, crng);
+      metrics::BoundInstance inst;
+      for (const auto& task : wl.tasks) {
+        inst.task_sizes.push_back(task.size_mflops);
+      }
+      for (std::size_t j = 0; j < cluster.size(); ++j) {
+        inst.rates.push_back(cluster.processors[j].base_rate);
+        inst.comm_costs.push_back(
+            cluster.comm->true_mean(static_cast<sim::ProcId>(j)));
+      }
+      ratio += runs[rep].makespan / metrics::makespan_lower_bound(inst);
     }
-    ratio /= static_cast<double>(runs.size());
-    t2.add_row(kind, {ratio});
-    csv_rows.push_back({100.0 + static_cast<double>(row++), ratio});
-  }
-  t2.print(std::cout);
-  bench::maybe_write_csv(p, {"row", "ratio"}, csv_rows);
+    exp::CellOutcome out;
+    out.summary = metrics::aggregate(cell.scheduler, runs);
+    out.extras = {{"mean_makespan_over_bound",
+                   ratio / static_cast<double>(runs.size())}};
+    return out;
+  });
+  bench::run_sweep(part2, p);
+
   std::cout << "\nThe Part 2 bound ignores availability/queueing dynamics, "
                "so ratios include\nboth scheduler suboptimality and bound "
                "looseness; Part 1 isolates the former.\n";

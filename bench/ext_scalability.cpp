@@ -22,40 +22,25 @@ int main(int argc, char** argv) {
       "M; the PN advantage widens with M as placement mistakes compound",
       p);
 
-  const std::vector<std::string> kinds{
-      "PN", "EF",
-      "MM"};
+  exp::WorkloadSpec spec;
+  spec.dist = "normal";
+  spec.param_a = 1000.0;
+  spec.param_b = 9e5;
 
-  const auto opts = bench::scheduler_params(p);
-  util::Table table({"procs", "scheduler", "makespan", "ci95", "efficiency"});
-  std::vector<std::vector<double>> csv_rows;
+  exp::Sweep sweep =
+      bench::make_sweep("scalability", p, spec, /*mean_comm=*/10.0);
+  sweep.axis("procs", {5, 10, 20, 35, 50},
+             [](exp::SweepCell& c, double m) {
+               c.scenario.cluster.num_processors =
+                   static_cast<std::size_t>(m);
+             });
+  sweep.schedulers({"PN", "EF", "MM"});
+  const auto result = bench::run_sweep(sweep, p);
+
   std::vector<double> pn_by_m;
-  for (const std::size_t procs : {5u, 10u, 20u, 35u, 50u}) {
-    exp::Scenario s;
-    s.name = "scalability";
-    s.cluster = exp::paper_cluster(10.0, procs);
-    s.workload.dist = "normal";
-    s.workload.param_a = 1000.0;
-    s.workload.param_b = 9e5;
-    s.workload.count = p.tasks;
-    s.seed = p.seed;
-    s.replications = p.reps;
-
-    for (std::size_t ki = 0; ki < kinds.size(); ++ki) {
-      const auto& kind = kinds[ki];
-      const auto cell = exp::run_cell(s, kind, opts);
-      table.add_row({std::to_string(procs), cell.scheduler,
-                     util::fmt(cell.makespan.mean), util::fmt(cell.makespan.ci95),
-                     util::fmt(cell.efficiency.mean)});
-      csv_rows.push_back({static_cast<double>(procs),
-                          static_cast<double>(ki), cell.makespan.mean,
-                          cell.efficiency.mean});
-      if (kind == "PN") pn_by_m.push_back(cell.makespan.mean);
-    }
+  for (const auto& row : result.rows) {
+    if (row.scheduler == "PN") pn_by_m.push_back(row.cell.makespan.mean);
   }
-  table.print(std::cout);
-  bench::maybe_write_csv(
-      p, {"procs", "scheduler_index", "makespan", "efficiency"}, csv_rows);
   if (pn_by_m.size() >= 2) {
     std::cout << "\nPN makespan M=5 over M=50: "
               << util::fmt(pn_by_m.front() / pn_by_m.back(), 3)

@@ -9,37 +9,19 @@
 #include "bench_common.hpp"
 #include "core/genetic_scheduler.hpp"
 #include "exp/runner.hpp"
+#include "util/thread_pool.hpp"
 
 using namespace gasched;
 
 namespace {
 
-/// Runs PN with an explicit scheduler config under a charged-time engine.
-double run_pn(const bench::BenchParams& p, double time_scale,
-              double wall_budget, std::size_t generations) {
-  double sum = 0.0;
-  for (std::size_t rep = 0; rep < p.reps; ++rep) {
-    const util::Rng base(p.seed);
-    util::Rng workload_rng = base.split(3 * rep);
-    util::Rng cluster_rng = base.split(3 * rep + 1);
-    util::Rng sim_rng = base.split(3 * rep + 2);
-    const sim::Cluster cluster =
-        sim::build_cluster(exp::paper_cluster(10.0, p.procs), cluster_rng);
-    workload::NormalSizes dist(1000.0, 9e5);
-    const auto wl = workload::generate(dist, p.tasks, workload_rng);
-
-    core::GeneticSchedulerConfig cfg;
-    cfg.ga.max_generations = generations;
-    cfg.ga.population = p.population;
-    cfg.max_wall_seconds = wall_budget;
-    auto pn = core::make_pn_scheduler(cfg);
-    sim::EngineConfig ecfg;
-    ecfg.sched_time_scale = time_scale;
-    const auto r = sim::simulate(cluster, wl, *pn, sim_rng, ecfg);
-    sum += r.makespan;
-  }
-  return sum / static_cast<double>(p.reps);
-}
+/// One PN configuration under a charged-time engine.
+struct OverheadCase {
+  const char* label;
+  double time_scale;
+  double budget;
+  std::size_t gens;
+};
 
 }  // namespace
 
@@ -56,27 +38,59 @@ int main(int argc, char** argv) {
   // Scale: 1 wall second of GA time = `scale` simulated seconds. Large
   // values emulate a slow scheduler processor relative to the cluster.
   const double scale = 2000.0;
-
-  util::Table table({"configuration", "mean makespan"});
-  std::vector<std::vector<double>> csv_rows;
-  const struct {
-    const char* label;
-    double time_scale;
-    double budget;
-    std::size_t gens;
-  } rows[] = {
+  const std::vector<OverheadCase> cases{
       {"free scheduling, 50 gens", 0.0, 0.0, 50},
       {"free scheduling, 400 gens", 0.0, 0.0, p.generations},
       {"charged time, 400 gens, no budget", scale, 0.0, p.generations},
       {"charged time, 400 gens, 20 ms budget", scale, 0.02, p.generations},
   };
-  for (std::size_t i = 0; i < std::size(rows); ++i) {
-    const double ms =
-        run_pn(p, rows[i].time_scale, rows[i].budget, rows[i].gens);
-    table.add_row(rows[i].label, {ms});
-    csv_rows.push_back({static_cast<double>(i), ms});
+
+  exp::WorkloadSpec spec;
+  spec.dist = "normal";
+  spec.param_a = 1000.0;
+  spec.param_b = 9e5;
+
+  exp::Sweep sweep =
+      bench::make_sweep("sched-overhead", p, spec, /*mean_comm=*/10.0);
+  std::vector<exp::Sweep::Value> values;
+  for (std::size_t i = 0; i < cases.size(); ++i) {
+    values.push_back({cases[i].label, {}});
   }
-  table.print(std::cout);
-  bench::maybe_write_csv(p, {"config_index", "makespan"}, csv_rows);
+  sweep.axis("configuration", std::move(values));
+  // Custom runner: max_wall_seconds lives on GeneticSchedulerConfig, not
+  // in the registry's parameter surface, so the policy is built directly.
+  sweep.runner([&](const exp::SweepCell& cell, bool parallel) {
+    const OverheadCase& oc = cases[cell.index];
+    std::vector<sim::SimulationResult> runs(cell.scenario.replications);
+    auto body = [&](std::size_t rep) {
+      const util::Rng base(cell.scenario.seed);
+      util::Rng workload_rng = base.split(3 * rep);
+      util::Rng cluster_rng = base.split(3 * rep + 1);
+      util::Rng sim_rng = base.split(3 * rep + 2);
+      const auto dist = exp::make_distribution(cell.scenario.workload);
+      const auto wl = workload::generate(
+          *dist, cell.scenario.workload.count, workload_rng);
+      const auto cluster =
+          sim::build_cluster(cell.scenario.cluster, cluster_rng);
+      core::GeneticSchedulerConfig cfg;
+      cfg.ga.max_generations = oc.gens;
+      cfg.ga.population = p.population;
+      cfg.max_wall_seconds = oc.budget;
+      const auto pn = core::make_pn_scheduler(cfg);
+      sim::EngineConfig ecfg;
+      ecfg.sched_time_scale = oc.time_scale;
+      runs[rep] = sim::simulate(cluster, wl, *pn, sim_rng, ecfg);
+    };
+    if (parallel && runs.size() > 1) {
+      util::global_pool().parallel_for(0, runs.size(), body);
+    } else {
+      for (std::size_t rep = 0; rep < runs.size(); ++rep) body(rep);
+    }
+    exp::CellOutcome out;
+    out.summary = metrics::aggregate("PN", runs);
+    return out;
+  });
+
+  bench::run_sweep(sweep, p);
   return 0;
 }

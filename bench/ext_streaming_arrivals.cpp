@@ -2,9 +2,8 @@
 // the paper's experiments (§4.2, all tasks present at t = 0), tasks here
 // arrive continuously as a Poisson process — the scheduler must operate
 // on-line, exactly the §3 protocol. Reports makespan, efficiency, and
-// mean task response time per scheduler.
-
-#include <iostream>
+// mean task response time per scheduler, for plain Poisson and bursty
+// (two-state MMPP) arrivals at the same mean rate.
 
 #include "bench_common.hpp"
 
@@ -19,47 +18,33 @@ int main(int argc, char** argv) {
       "continuously rather than all at t=0; response time matters here",
       p);
 
-  exp::Scenario s;
-  s.name = "streaming";
-  s.cluster = exp::paper_cluster(10.0, p.procs);
-  s.workload.dist = "normal";
-  s.workload.param_a = 1000.0;
-  s.workload.param_b = 9e5;
-  s.workload.count = p.tasks;
-  s.workload.all_at_start = false;
+  exp::WorkloadSpec spec;
+  spec.dist = "normal";
+  spec.param_a = 1000.0;
+  spec.param_b = 9e5;
+  spec.all_at_start = false;
   // Keep the system loaded: mean service need per task ≈ 1256 MFLOPs /
   // (55 Mflop/s avg rate) ≈ 23 s across `procs` processors.
-  s.workload.mean_interarrival =
+  spec.mean_interarrival =
       23.0 / static_cast<double>(p.procs) * 0.7;  // ~70% offered load
-  s.seed = p.seed;
-  s.replications = p.reps;
 
-  const auto opts = bench::scheduler_params(p);
-  util::Table table({"arrivals", "scheduler", "makespan", "efficiency",
-                     "mean_response", "invocations"});
-  std::vector<std::vector<double>> csv_rows;
+  exp::Sweep sweep =
+      bench::make_sweep("streaming", p, spec, /*mean_comm=*/10.0);
   // Poisson arrivals, then bursty (two-state MMPP) arrivals at the same
-  // mean rate — the clumping real submission streams show.
-  for (const double burstiness : {1.0, 8.0}) {
-    s.workload.burstiness = burstiness;
-    // Dwell ≈ 30 mean inter-arrivals, so each ON burst carries a few
-    // dozen tasks.
-    s.workload.burst_dwell = 30.0 * s.workload.mean_interarrival;
-    const std::string label = burstiness > 1.0 ? "bursty x8" : "poisson";
-    for (const auto kind : exp::all_schedulers()) {
-      const auto cell = exp::run_cell(s, kind, opts);
-      table.add_row({label, cell.scheduler, util::fmt(cell.makespan.mean),
-                     util::fmt(cell.efficiency.mean),
-                     util::fmt(cell.response.mean),
-                     util::fmt(cell.invocations.mean)});
-      csv_rows.push_back({burstiness, static_cast<double>(csv_rows.size()),
-                          cell.makespan.mean, cell.efficiency.mean,
-                          cell.response.mean});
-    }
-  }
-  table.print(std::cout);
-  bench::maybe_write_csv(
-      p, {"burstiness", "row", "makespan", "efficiency", "mean_response"},
-      csv_rows);
+  // mean rate — the clumping real submission streams show. Dwell ≈ 30
+  // mean inter-arrivals, so each ON burst carries a few dozen tasks.
+  sweep.axis(
+      "arrivals",
+      {exp::Sweep::Value{"poisson",
+                         [](exp::SweepCell& c) {
+                           c.scenario.workload.burstiness = 1.0;
+                         }},
+       exp::Sweep::Value{"bursty x8", [](exp::SweepCell& c) {
+                           c.scenario.workload.burstiness = 8.0;
+                           c.scenario.workload.burst_dwell =
+                               30.0 * c.scenario.workload.mean_interarrival;
+                         }}});
+  sweep.schedulers(exp::all_schedulers());
+  bench::run_sweep(sweep, p);
   return 0;
 }

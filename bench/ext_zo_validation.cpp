@@ -27,56 +27,53 @@ int main(int argc, char** argv) {
       "every M, with RR clearly worse on heterogeneous task sizes",
       p);
 
-  const auto opts = bench::scheduler_params(p);
-  util::Table table({"procs", "scheduler", "makespan", "bound_ratio"});
-  std::vector<std::vector<double>> csv_rows;
-  for (const std::size_t procs : {4u, 8u, 16u, 32u}) {
-    exp::Scenario s;
-    s.name = "zo-validation";
-    s.cluster = exp::paper_cluster(0.05, procs);
-    s.cluster.rate_lo = 50.0;  // homogeneous: every rate is 50 Mflop/s
-    s.cluster.rate_hi = 50.0;
-    s.workload.dist = "uniform";
-    s.workload.param_a = 10.0;
-    s.workload.param_b = 1000.0;
-    s.workload.count = p.tasks;
-    s.seed = p.seed;
-    s.replications = p.reps;
+  exp::WorkloadSpec spec;
+  spec.dist = "uniform";
+  spec.param_a = 10.0;
+  spec.param_b = 1000.0;
 
-    // Per-replication work bound (workload depends on rep only).
-    std::vector<double> bounds(p.reps);
-    for (std::size_t rep = 0; rep < p.reps; ++rep) {
-      const util::Rng base(s.seed);
-      util::Rng wrng = base.split(3 * rep);
-      const auto dist = exp::make_distribution(s.workload);
-      const auto wl = workload::generate(*dist, s.workload.count, wrng);
+  exp::Scenario base =
+      bench::bench_scenario(p, spec, /*mean_comm=*/0.05, "zo-validation");
+  base.cluster.rate_lo = 50.0;  // homogeneous: every rate is 50 Mflop/s
+  base.cluster.rate_hi = 50.0;
+
+  exp::Sweep sweep("zo-validation");
+  sweep.base(base).params(bench::scheduler_params(p)).parallel(!p.serial);
+  sweep.axis("procs", {4, 8, 16, 32},
+             [](exp::SweepCell& c, double m) {
+               c.scenario.cluster.num_processors =
+                   static_cast<std::size_t>(m);
+             });
+  sweep.schedulers({"ZO", "RR", "EF"});
+  sweep.extra_columns({"bound_ratio"});
+  // Custom runner: the default replication run plus the per-replication
+  // work lower bound (the workload depends only on rep, so the bound can
+  // be reconstructed from the runner's documented stream discipline).
+  sweep.runner([](const exp::SweepCell& cell, bool parallel) {
+    const auto runs = exp::run_replications(cell.scenario, cell.scheduler,
+                                            cell.params, parallel);
+    double ratio = 0.0;
+    for (std::size_t rep = 0; rep < runs.size(); ++rep) {
+      const util::Rng rng_base(cell.scenario.seed);
+      util::Rng wrng = rng_base.split(3 * rep);
+      const auto dist = exp::make_distribution(cell.scenario.workload);
+      const auto wl = workload::generate(
+          *dist, cell.scenario.workload.count, wrng);
       metrics::BoundInstance inst;
       for (const auto& task : wl.tasks) {
         inst.task_sizes.push_back(task.size_mflops);
       }
-      inst.rates.assign(procs, 50.0);
-      bounds[rep] = metrics::makespan_lower_bound(inst);
+      inst.rates.assign(cell.scenario.cluster.num_processors, 50.0);
+      ratio += runs[rep].makespan / metrics::makespan_lower_bound(inst);
     }
+    exp::CellOutcome out;
+    out.summary = metrics::aggregate(cell.scheduler, runs);
+    out.extras = {{"bound_ratio",
+                   ratio / static_cast<double>(runs.size())}};
+    return out;
+  });
 
-    std::size_t row = 0;
-    for (const std::string kind : {"ZO", "RR", "EF"}) {
-      const auto runs = exp::run_replications(s, kind, opts);
-      double ms = 0.0, ratio = 0.0;
-      for (std::size_t rep = 0; rep < runs.size(); ++rep) {
-        ms += runs[rep].makespan;
-        ratio += runs[rep].makespan / bounds[rep];
-      }
-      ms /= static_cast<double>(runs.size());
-      ratio /= static_cast<double>(runs.size());
-      table.add_row({std::to_string(procs), kind,
-                     util::fmt(ms), util::fmt(ratio, 4)});
-      csv_rows.push_back({static_cast<double>(procs),
-                          static_cast<double>(row++), ms, ratio});
-    }
-  }
-  table.print(std::cout);
-  bench::maybe_write_csv(p, {"procs", "scheduler", "makespan", "bound_ratio"},
-                         csv_rows);
+  bench::run_sweep(sweep, p);
   std::cout << "\nbound_ratio = makespan / (W / (M*P) work bound); 1.0 is "
                "perfect balance.\n";
   return 0;

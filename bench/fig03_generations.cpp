@@ -51,40 +51,47 @@ int main(int argc, char** argv) {
       "GA) / ~70% (1 rebalance) / ~65% (50 rebalances) of initial",
       p);
 
-  const std::vector<std::size_t> rebalance_levels{0, 1, 50};
-  // per_rep[rep][level][gen]: reduction trajectories, filled in parallel
-  // across replications (deterministic: streams depend only on rep).
-  std::vector<std::vector<std::vector<double>>> per_rep(
-      p.reps, std::vector<std::vector<double>>(
-                  rebalance_levels.size(),
-                  std::vector<double>(p.generations + 1, 0.0)));
+  const std::vector<double> rebalance_levels{0, 1, 50};
+  // reduction[level][gen]: mean reduction trajectories, filled by the
+  // sweep's cells (deterministic: every stream depends only on rep).
+  std::vector<std::vector<double>> reduction(
+      rebalance_levels.size(), std::vector<double>(p.generations + 1, 0.0));
 
-  util::global_pool().parallel_for(0, p.reps, [&](std::size_t rep) {
-    const util::Rng base(p.seed);
-    util::Rng cluster_rng = base.split(2 * rep);
-    util::Rng task_rng = base.split(2 * rep + 1);
-    const sim::Cluster cluster =
-        sim::build_cluster(exp::paper_cluster(20.0, p.procs), cluster_rng);
-    const sim::SystemView view = steady_state_view(cluster);
+  exp::WorkloadSpec spec;  // GA-batch study: sizes drawn directly below
+  exp::Sweep sweep = bench::make_sweep("fig3", p, spec, /*mean_comm=*/20.0);
+  sweep.axis("rebalances", rebalance_levels, {});
+  sweep.extra_columns({"final_reduction"});
+  sweep.runner([&](const exp::SweepCell& cell, bool parallel) {
+    const std::size_t li = cell.index;
+    const auto level =
+        static_cast<std::size_t>(cell.coord_value("rebalances"));
+    std::vector<std::vector<double>> per_rep(
+        p.reps, std::vector<double>(p.generations + 1, 0.0));
+    auto body = [&](std::size_t rep) {
+      const util::Rng base(p.seed);
+      util::Rng cluster_rng = base.split(2 * rep);
+      util::Rng task_rng = base.split(2 * rep + 1);
+      const sim::Cluster cluster = sim::build_cluster(
+          exp::paper_cluster(20.0, p.procs), cluster_rng);
+      const sim::SystemView view = steady_state_view(cluster);
 
-    workload::NormalSizes dist(1000.0, 9e5);
-    std::vector<double> sizes(p.tasks);
-    for (auto& s : sizes) s = dist.sample(task_rng);
+      workload::NormalSizes dist(1000.0, 9e5);
+      std::vector<double> sizes(p.tasks);
+      for (auto& s : sizes) s = dist.sample(task_rng);
 
-    const core::ScheduleCodec codec(p.tasks, cluster.size());
-    const core::ScheduleEvaluator eval(sizes, view, /*use_comm=*/true);
+      const core::ScheduleCodec codec(p.tasks, cluster.size());
+      const core::ScheduleEvaluator eval(sizes, view, /*use_comm=*/true);
 
-    // All three series start from the *same* initial population so the
-    // re-balance levels are compared like-for-like.
-    util::Rng init_rng = base.split(500 + rep);
-    const auto shared_init =
-        core::initial_population(codec, eval, p.population, 0.5, init_rng);
+      // All three series start from the *same* initial population so the
+      // re-balance levels are compared like-for-like.
+      util::Rng init_rng = base.split(500 + rep);
+      const auto shared_init = core::initial_population(
+          codec, eval, p.population, 0.5, init_rng);
 
-    for (std::size_t li = 0; li < rebalance_levels.size(); ++li) {
       ga::GaConfig cfg;
       cfg.population = p.population;
       cfg.max_generations = p.generations;
-      cfg.improvement_passes = rebalance_levels[li];
+      cfg.improvement_passes = level;
       cfg.record_history = true;
       const ga::RouletteSelection sel;
       const ga::CycleCrossover cx;
@@ -95,25 +102,40 @@ int main(int argc, char** argv) {
       auto init = shared_init;
       const auto result = engine.run(problem, std::move(init), ga_rng);
       const double initial = result.objective_history.front();
-      for (std::size_t g = 0; g < per_rep[rep][li].size(); ++g) {
+      for (std::size_t g = 0; g < per_rep[rep].size(); ++g) {
         const double ms = g < result.objective_history.size()
                               ? result.objective_history[g]
                               : result.objective_history.back();
-        per_rep[rep][li][g] = 1.0 - ms / initial;
+        per_rep[rep][g] = 1.0 - ms / initial;
+      }
+    };
+    if (parallel && p.reps > 1) {
+      util::global_pool().parallel_for(0, p.reps, body);
+    } else {
+      for (std::size_t rep = 0; rep < p.reps; ++rep) body(rep);
+    }
+
+    // Serial reduction over replications into the shared trajectory
+    // table (one writer per level: cells own disjoint rows).
+    for (std::size_t rep = 0; rep < p.reps; ++rep) {
+      for (std::size_t g = 0; g < reduction[li].size(); ++g) {
+        reduction[li][g] += per_rep[rep][g];
       }
     }
+    for (auto& v : reduction[li]) v /= static_cast<double>(p.reps);
+
+    exp::CellOutcome out;
+    out.extras = {{"final_reduction", reduction[li].back()}};
+    return out;
   });
 
-  // Serial reduction over replications.
-  std::vector<std::vector<double>> reduction(
-      rebalance_levels.size(), std::vector<double>(p.generations + 1, 0.0));
-  for (std::size_t rep = 0; rep < p.reps; ++rep) {
-    for (std::size_t li = 0; li < rebalance_levels.size(); ++li) {
-      for (std::size_t g = 0; g < reduction[li].size(); ++g) {
-        reduction[li][g] += per_rep[rep][li][g];
-      }
-    }
-  }
+  // The trajectory table/CSV below is the figure; the sweep table would
+  // only repeat the final points, so the grid sinks stay detached and
+  // --csv/--json go to the bespoke series instead.
+  bench::BenchParams run_p = p;
+  run_p.csv.reset();
+  run_p.json.reset();
+  bench::run_sweep(sweep, run_p, /*print_table=*/false);
 
   util::Table table(
       {"generation", "pure GA", "1 rebalance", "50 rebalances"});
@@ -122,7 +144,7 @@ int main(int argc, char** argv) {
   for (std::size_t g = 0; g <= p.generations; g += step) {
     std::vector<double> row{static_cast<double>(g)};
     for (std::size_t li = 0; li < rebalance_levels.size(); ++li) {
-      row.push_back(reduction[li][g] / static_cast<double>(p.reps));
+      row.push_back(reduction[li][g]);
     }
     table.add_row(util::fmt(static_cast<double>(g), 6),
                   {row[1], row[2], row[3]});

@@ -26,33 +26,19 @@ int main(int argc, char** argv) {
   spec.param_a = 1000.0;
   spec.param_b = 9e5;
 
-  exp::Scenario scenario;
-  scenario.name = "fig4";
-  scenario.cluster = exp::paper_cluster(20.0, p.procs);
-  scenario.workload = spec;
-  scenario.workload.count = p.tasks;
-  scenario.seed = p.seed;
-  scenario.replications = p.reps;
-
-  util::Table table({"rebalances", "sched_wall_s", "makespan"});
-  std::vector<double> xs, ys;
-  std::vector<std::vector<double>> csv_rows;
+  std::vector<double> levels;
   for (std::size_t k = 0; k <= 20; k += 2) {
-    exp::SchedulerParams opts = bench::scheduler_params(p);
-    opts.set("rebalances", k);
-    const auto cell = exp::run_cell(scenario, "PN", opts);
-    table.add_row(util::fmt(static_cast<double>(k), 3),
-                  {cell.sched_wall.mean, cell.makespan.mean});
-    xs.push_back(static_cast<double>(k));
-    ys.push_back(cell.sched_wall.mean);
-    csv_rows.push_back({static_cast<double>(k), cell.sched_wall.mean,
-                        cell.makespan.mean});
+    levels.push_back(static_cast<double>(k));
   }
-  table.print(std::cout);
-  bench::maybe_write_csv(p, {"rebalances", "sched_wall_s", "makespan"},
-                         csv_rows);
 
-  const util::LinearFit fit = util::linear_fit(xs, ys);
+  exp::Sweep sweep = bench::make_sweep("fig4", p, spec, /*mean_comm=*/20.0);
+  sweep.scheduler("PN");
+  sweep.param_axis("rebalances", levels);
+  const auto result = bench::run_sweep(sweep, p);
+
+  std::vector<double> ys;
+  for (const auto& row : result.rows) ys.push_back(row.cell.sched_wall.mean);
+  const util::LinearFit fit = util::linear_fit(levels, ys);
   std::cout << "\nLinear fit: time = " << util::fmt(fit.intercept, 4) << " + "
             << util::fmt(fit.slope, 4) << " * rebalances   (R^2 = "
             << util::fmt(fit.r2, 4) << ")\n"

@@ -1,18 +1,24 @@
-// Run an experiment scenario defined in an INI-style config file and
-// compare any set of registered schedulers on it — no recompilation
-// needed.
+// Run an experiment grid defined in an INI-style config file — no
+// recompilation needed. The scenario sections define the base cell; the
+// optional [sweep] section turns it into a full grid (scalar axes +
+// scheduler selector) executed in parallel by exp::Sweep, with results
+// streaming to the table and optional crash-safe CSV/JSONL files.
 //
 //   ./run_scenario examples/scenario_example.ini
 //   ./run_scenario my.ini --schedulers PN,EF,SUF --gantt
+//   ./run_scenario my.ini --schedulers metaheuristic --csv out.csv
+//   ./run_scenario grid.ini --serial --json out.jsonl
 //   ./run_scenario --list-schedulers
 //   ./run_scenario --list-distributions
 
 #include <iostream>
-#include <sstream>
+#include <optional>
 
 #include "exp/config_scenario.hpp"
 #include "exp/registry.hpp"
 #include "exp/runner.hpp"
+#include "exp/sweep.hpp"
+#include "metrics/sink.hpp"
 #include "metrics/timeline.hpp"
 #include "sim/gantt.hpp"
 #include "util/cli.hpp"
@@ -22,16 +28,16 @@ using namespace gasched;
 
 namespace {
 
-std::vector<std::string> parse_schedulers(const std::string& list) {
-  if (list.empty()) return exp::all_schedulers();
-  std::vector<std::string> names;
-  std::istringstream ss(list);
-  std::string token;
-  while (std::getline(ss, token, ',')) {
-    // Resolve eagerly: a typo fails up front with the full name list.
-    names.push_back(exp::SchedulerRegistry::instance().canonical_name(token));
-  }
-  return names;
+std::string tag_names(unsigned tags) {
+  std::string out;
+  auto add = [&](const char* name) {
+    if (!out.empty()) out += ',';
+    out += name;
+  };
+  if (tags & exp::kSchedulerTagPaper) add("paper");
+  if (tags & exp::kSchedulerTagBaseline) add("baseline");
+  if (tags & exp::kSchedulerTagMetaheuristic) add("metaheuristic");
+  return out;
 }
 
 void pad_print(std::ostream& os, const std::string& name, std::size_t width,
@@ -43,9 +49,12 @@ void pad_print(std::ostream& os, const std::string& name, std::size_t width,
 
 void list_schedulers(std::ostream& os) {
   const auto& registry = exp::SchedulerRegistry::instance();
-  os << "Registered schedulers:\n";
+  os << "Registered schedulers (tags select sets for --schedulers "
+        "<tag|all|name,...>):\n";
   for (const auto& name : registry.names()) {
-    pad_print(os, name, 5, registry.find(name).summary);
+    const auto& entry = registry.find(name);
+    const std::string tags = "[" + tag_names(entry.tags) + "]";
+    pad_print(os, name + "  " + tags, 28, entry.summary);
   }
 }
 
@@ -71,69 +80,74 @@ int main(int argc, char** argv) {
   }
   if (cli.positional().empty()) {
     std::cerr << "usage: " << cli.program()
-              << " <scenario.ini> [--schedulers PN,EF,...] [--gantt]\n"
+              << " <scenario.ini> [--schedulers <tag|all|name,...>]"
+                 " [--csv out.csv] [--json out.jsonl] [--serial] [--gantt]\n"
               << "       " << cli.program() << " --list-schedulers\n"
               << "       " << cli.program() << " --list-distributions\n";
     return 2;
   }
-  exp::Scenario scenario;
-  exp::SchedulerParams params;
-  std::vector<std::string> names;
+
+  int exit_code = 0;
   try {
     const util::Config cfg = util::Config::load(cli.positional()[0]);
-    scenario = exp::scenario_from_config(cfg);
-    params = exp::scheduler_params_from_config(cfg);
-    names = parse_schedulers(cli.get("schedulers", ""));
-  } catch (const std::exception& e) {
-    std::cerr << "error: " << e.what() << "\n";
-    return 1;
-  }
+    exp::Sweep sweep =
+        exp::sweep_from_config(cfg, cli.get("schedulers", ""));
+    sweep.parallel(!cli.get_bool("serial", false));
 
-  std::cout << "Scenario '" << scenario.name << "': "
-            << scenario.workload.count << " " << scenario.workload.dist
-            << " tasks on " << scenario.cluster.num_processors
-            << " processors, " << scenario.replications << " replications"
-            << (scenario.failures ? ", with failures" : "") << "\n\n";
+    const exp::Scenario scenario = exp::scenario_from_config(cfg);
+    std::cout << "Scenario '" << scenario.name << "': "
+              << scenario.workload.count << " " << scenario.workload.dist
+              << " tasks on " << scenario.cluster.num_processors
+              << " processors, " << scenario.replications << " replications"
+              << (scenario.failures ? ", with failures" : "") << " — "
+              << sweep.cell_count() << " grid cells\n\n";
 
-  util::Table table({"scheduler", "makespan", "ci95", "efficiency",
-                     "response", "requeued"});
-  try {
-    // Scheduler/distribution factories parse their [scheduler]/[workload]
-    // keys lazily, so malformed values surface here, not at config load.
-    for (const auto& name : names) {
-      const auto runs = exp::run_replications(scenario, name, params);
-      const auto cell = metrics::aggregate(name, runs);
-      double requeued = 0.0;
-      for (const auto& r : runs) {
-        requeued += static_cast<double>(r.tasks_requeued);
+    metrics::TableSink table(std::cout);
+    sweep.add_sink(table);
+    std::optional<metrics::CsvSink> csv;
+    if (cli.has("csv")) {
+      csv.emplace(cli.get("csv", ""));
+      sweep.add_sink(*csv);
+    }
+    std::optional<metrics::JsonlSink> jsonl;
+    if (cli.has("json")) {
+      jsonl.emplace(cli.get("json", ""));
+      sweep.add_sink(*jsonl);
+    }
+
+    const exp::SweepResult result = sweep.run();
+    if (csv) std::cout << "CSV written to " << csv->path().string() << "\n";
+    if (jsonl) {
+      std::cout << "JSONL written to " << jsonl->path().string() << "\n";
+    }
+    if (result.failed > 0) {
+      std::cerr << "error: " << result.failed << "/" << result.rows.size()
+                << " cells failed (see table)\n";
+      exit_code = 1;
+    }
+
+    if (cli.get_bool("gantt", false) && exit_code == 0) {
+      // Re-run replication 0 of the first grid cell with tracing on —
+      // through run_one, so the chart shows exactly the run the table
+      // aggregated (same arrivals, smoothing, and failure trace).
+      const auto cells = sweep.flatten();
+      const auto& first = cells.front();
+      const auto r = exp::run_one(first.scenario, first.scheduler,
+                                  first.params, 0,
+                                  /*record_task_trace=*/true);
+      std::cout << "\n";
+      sim::render_gantt(r, std::cout);
+      const auto timeline = metrics::utilization_timeline(r, 20);
+      std::cout << "\nUtilization timeline (busy fraction per 5% of run):\n";
+      for (const auto& p : timeline) {
+        const auto stars = static_cast<std::size_t>(p.busy_fraction * 40.0);
+        std::cout << util::fmt(p.time, 5) << "s |" << std::string(stars, '*')
+                  << "\n";
       }
-      table.add_row(cell.scheduler,
-                    {cell.makespan.mean, cell.makespan.ci95,
-                     cell.efficiency.mean, cell.response.mean,
-                     requeued / static_cast<double>(runs.size())});
     }
   } catch (const std::exception& e) {
     std::cerr << "error: " << e.what() << "\n";
     return 1;
   }
-  table.print(std::cout);
-
-  if (cli.get_bool("gantt", false)) {
-    // Re-run replication 0 of the first scheduler with tracing on —
-    // through run_one, so the chart shows exactly the run the table
-    // aggregated (same arrivals, smoothing, and failure trace).
-    const auto r =
-        exp::run_one(scenario, names.front(), params, 0,
-                     /*record_task_trace=*/true);
-    std::cout << "\n";
-    sim::render_gantt(r, std::cout);
-    const auto timeline = metrics::utilization_timeline(r, 20);
-    std::cout << "\nUtilization timeline (busy fraction per 5% of run):\n";
-    for (const auto& p : timeline) {
-      const auto stars = static_cast<std::size_t>(p.busy_fraction * 40.0);
-      std::cout << util::fmt(p.time, 5) << "s |" << std::string(stars, '*')
-                << "\n";
-    }
-  }
-  return 0;
+  return exit_code;
 }

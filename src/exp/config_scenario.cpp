@@ -1,5 +1,7 @@
 #include "exp/config_scenario.hpp"
 
+#include <algorithm>
+#include <sstream>
 #include <stdexcept>
 
 #include "exp/registry.hpp"
@@ -75,6 +77,147 @@ Scenario scenario_from_config(const util::Config& cfg) {
 
 SchedulerParams scheduler_params_from_config(const util::Config& cfg) {
   return Params::from_config(cfg, "scheduler");
+}
+
+namespace {
+
+std::string lower(std::string s) {
+  std::transform(s.begin(), s.end(), s.begin(),
+                 [](unsigned char c) { return std::tolower(c); });
+  return s;
+}
+
+std::vector<std::string> split_list(const std::string& text) {
+  std::vector<std::string> tokens;
+  std::istringstream ss(text);
+  std::string token;
+  while (std::getline(ss, token, ',')) {
+    const auto first = token.find_first_not_of(" \t");
+    if (first == std::string::npos) continue;
+    const auto last = token.find_last_not_of(" \t");
+    tokens.push_back(token.substr(first, last - first + 1));
+  }
+  return tokens;
+}
+
+std::vector<double> parse_axis_values(const std::string& key,
+                                      const std::string& text) {
+  std::vector<double> values;
+  for (const auto& token : split_list(text)) {
+    try {
+      std::size_t pos = 0;
+      values.push_back(std::stod(token, &pos));
+      if (pos != token.size()) throw std::invalid_argument(token);
+    } catch (const std::exception&) {
+      throw std::runtime_error("sweep config: key '" + key +
+                               "' has non-numeric value '" + token + "'");
+    }
+  }
+  if (values.empty()) {
+    throw std::runtime_error("sweep config: key '" + key +
+                             "' has no values");
+  }
+  return values;
+}
+
+using ScenarioAxisApply = void (*)(SweepCell&, double);
+
+/// [sweep] keys that sweep the scenario itself; anything else becomes a
+/// [scheduler] parameter axis.
+const std::pair<const char*, ScenarioAxisApply> kScenarioAxes[] = {
+    {"procs",
+     [](SweepCell& c, double v) {
+       c.scenario.cluster.num_processors = static_cast<std::size_t>(v);
+     }},
+    {"tasks",
+     [](SweepCell& c, double v) {
+       c.scenario.workload.count = static_cast<std::size_t>(v);
+     }},
+    {"replications",
+     [](SweepCell& c, double v) {
+       c.scenario.replications = static_cast<std::size_t>(v);
+     }},
+    {"mean_comm_cost",
+     [](SweepCell& c, double v) { c.scenario.cluster.comm.mean_cost = v; }},
+    {"comm_nu", [](SweepCell& c, double v) { c.scenario.comm_nu = v; }},
+    {"rate_nu", [](SweepCell& c, double v) { c.scenario.rate_nu = v; }},
+    {"sched_time_scale",
+     [](SweepCell& c, double v) { c.scenario.sched_time_scale = v; }},
+    {"mean_interarrival",
+     [](SweepCell& c, double v) {
+       c.scenario.workload.mean_interarrival = v;
+     }},
+    {"burstiness",
+     [](SweepCell& c, double v) { c.scenario.workload.burstiness = v; }},
+    {"param_a",
+     [](SweepCell& c, double v) { c.scenario.workload.param_a = v; }},
+    {"param_b",
+     [](SweepCell& c, double v) { c.scenario.workload.param_b = v; }},
+};
+
+}  // namespace
+
+std::vector<std::string> expand_scheduler_selector(
+    const std::string& selector) {
+  const auto& registry = SchedulerRegistry::instance();
+  std::vector<std::string> names;
+  auto add = [&](const std::string& canonical) {
+    if (std::find(names.begin(), names.end(), canonical) == names.end()) {
+      names.push_back(canonical);
+    }
+  };
+  const auto tokens = split_list(selector);
+  if (tokens.empty()) return all_schedulers();
+  for (const auto& token : tokens) {
+    const std::string t = lower(token);
+    if (t == "all") {
+      for (const auto& name : registry.names()) add(name);
+    } else if (t == "paper") {
+      for (const auto& name : registry.names_tagged(kSchedulerTagPaper))
+        add(name);
+    } else if (t == "baseline" || t == "baselines") {
+      for (const auto& name : registry.names_tagged(kSchedulerTagBaseline))
+        add(name);
+    } else if (t == "metaheuristic" || t == "metaheuristics" || t == "meta") {
+      for (const auto& name :
+           registry.names_tagged(kSchedulerTagMetaheuristic))
+        add(name);
+    } else {
+      add(registry.canonical_name(token));
+    }
+  }
+  return names;
+}
+
+Sweep sweep_from_config(const util::Config& cfg,
+                        const std::string& scheduler_override) {
+  Sweep sweep(cfg.get("scenario.name", "config"));
+  sweep.base(scenario_from_config(cfg));
+  sweep.params(scheduler_params_from_config(cfg));
+
+  std::string selector = cfg.get("sweep.schedulers", "");
+  if (!scheduler_override.empty()) selector = scheduler_override;
+
+  // Scalar axes in file key order (lexicographic — Config::section's
+  // order), so the flattening is reproducible from the file alone.
+  for (const auto& [key, value] : cfg.section("sweep")) {
+    if (key == "schedulers") continue;
+    const auto values = parse_axis_values(key, value);
+    ScenarioAxisApply apply = nullptr;
+    for (const auto& [name, fn] : kScenarioAxes) {
+      if (key == name) apply = fn;
+    }
+    if (apply != nullptr) {
+      sweep.axis(key, values, apply);
+    } else {
+      sweep.param_axis(key, values);
+    }
+  }
+
+  // The scheduler axis is always innermost: rows group by parameter
+  // point, matching how comparison tables read.
+  sweep.schedulers(expand_scheduler_selector(selector));
+  return sweep;
 }
 
 }  // namespace gasched::exp

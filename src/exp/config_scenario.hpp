@@ -4,6 +4,7 @@
 // examples/scenario_example.ini for the full key reference.
 
 #include "exp/scenario.hpp"
+#include "exp/sweep.hpp"
 #include "util/config.hpp"
 
 namespace gasched::exp {
@@ -35,5 +36,32 @@ Scenario scenario_from_config(const util::Config& cfg);
 /// whichever scheduler factories the caller invokes. Shared keys are
 /// documented in exp/params.hpp, per-scheduler keys in exp/registry.hpp.
 SchedulerParams scheduler_params_from_config(const util::Config& cfg);
+
+/// Expands a scheduler selector into canonical registry names: a
+/// comma-separated mix of registry names and the tag words `paper`,
+/// `baseline`, `metaheuristic` (or `meta`), plus `all` for every entry.
+/// Duplicates collapse (first occurrence wins); an empty selector means
+/// the paper's seven. Unknown names throw listing every registered name.
+std::vector<std::string> expand_scheduler_selector(
+    const std::string& selector);
+
+/// Builds a declarative experiment grid from a config: the scenario
+/// sections define the base cell (scenario_from_config /
+/// scheduler_params_from_config) and the optional [sweep] section adds
+/// axes:
+///
+///   [sweep]  schedulers (selector, default paper; always the innermost
+///            axis), plus any number of `key = v1, v2, ...` scalar axes.
+///            Scenario keys — procs, tasks, replications, mean_comm_cost,
+///            comm_nu, rate_nu, sched_time_scale, mean_interarrival,
+///            burstiness, param_a, param_b — sweep the scenario; every
+///            other key sweeps a [scheduler] parameter of that name.
+///            Scalar axes flatten in file key order (lexicographic).
+///
+/// Without a [sweep] section the grid is the scheduler axis alone — the
+/// classic one-scenario scheduler comparison. `scheduler_override`, when
+/// non-empty, replaces the config's scheduler selector (the CLI flag).
+Sweep sweep_from_config(const util::Config& cfg,
+                        const std::string& scheduler_override = "");
 
 }  // namespace gasched::exp

@@ -8,7 +8,7 @@
 // in lockstep.
 //
 // Lookups are case-insensitive; unknown names throw std::runtime_error
-// listing every registered name. The built-in entries (17 schedulers, 6
+// listing every registered name. The built-in entries (17 schedulers, 7
 // distributions) are registered by their own subsystems —
 // sched/register.cpp, meta/register.cpp, core/register.cpp,
 // workload/register.cpp — the first time a registry is touched.
@@ -31,6 +31,7 @@
 //   poisson    mean (param_a), floor (1)
 //   constant   size (param_a)
 //   pareto     alpha (1.1), lo (param_a), hi (param_b)
+//   lognormal  median (param_a), sigma (1), floor (1)
 //   bimodal    mean_small (100), var_small (900), mean_large (10000),
 //              var_large (9e6), weight_small (0.8), floor (1)
 

@@ -9,24 +9,30 @@ CellSummary aggregate(const std::string& scheduler,
   CellSummary cell;
   cell.scheduler = scheduler;
   cell.replications = runs.size();
-  std::vector<double> mk, eff, wall, resp, inv;
+  std::vector<double> mk, eff, wall, resp, inv, req, comp;
   mk.reserve(runs.size());
   eff.reserve(runs.size());
   wall.reserve(runs.size());
   resp.reserve(runs.size());
   inv.reserve(runs.size());
+  req.reserve(runs.size());
+  comp.reserve(runs.size());
   for (const auto& r : runs) {
     mk.push_back(r.makespan);
     eff.push_back(r.efficiency());
     wall.push_back(r.scheduler_wall_seconds);
     resp.push_back(r.mean_response_time);
     inv.push_back(static_cast<double>(r.scheduler_invocations));
+    req.push_back(static_cast<double>(r.tasks_requeued));
+    comp.push_back(static_cast<double>(r.tasks_completed));
   }
   cell.makespan = util::summarize(mk);
   cell.efficiency = util::summarize(eff);
   cell.sched_wall = util::summarize(wall);
   cell.response = util::summarize(resp);
   cell.invocations = util::summarize(inv);
+  cell.requeued = util::summarize(req);
+  cell.completed = util::summarize(comp);
   return cell;
 }
 

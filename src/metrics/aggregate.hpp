@@ -21,6 +21,8 @@ struct CellSummary {
   util::Summary sched_wall;     ///< scheduler wall-clock seconds
   util::Summary response;       ///< mean task response time
   util::Summary invocations;    ///< scheduler invocations per run
+  util::Summary requeued;       ///< tasks requeued by failures per run
+  util::Summary completed;      ///< tasks completed per run
 };
 
 /// Aggregates `runs` into a CellSummary labelled `scheduler`.

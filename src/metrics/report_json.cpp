@@ -21,7 +21,9 @@ void write_summary(util::JsonWriter& w, const util::Summary& s) {
   w.end_object();
 }
 
-void write_cell(util::JsonWriter& w, const CellSummary& cell) {
+}  // namespace
+
+void write_cell_json(util::JsonWriter& w, const CellSummary& cell) {
   w.begin_object();
   w.key("scheduler").string(cell.scheduler);
   w.key("replications").number(cell.replications);
@@ -35,14 +37,14 @@ void write_cell(util::JsonWriter& w, const CellSummary& cell) {
   write_summary(w, cell.response);
   w.key("scheduler_invocations");
   write_summary(w, cell.invocations);
+  w.key("tasks_requeued");
+  write_summary(w, cell.requeued);
   w.end_object();
 }
 
-}  // namespace
-
 std::string cell_to_json(const CellSummary& cell) {
   util::JsonWriter w;
-  write_cell(w, cell);
+  write_cell_json(w, cell);
   return w.str();
 }
 
@@ -52,7 +54,7 @@ std::string experiment_to_json(const std::string& experiment,
   w.begin_object();
   w.key("experiment").string(experiment);
   w.key("cells").begin_array();
-  for (const auto& cell : cells) write_cell(w, cell);
+  for (const auto& cell : cells) write_cell_json(w, cell);
   w.end_array();
   w.end_object();
   return w.str();

@@ -8,8 +8,13 @@
 #include <vector>
 
 #include "metrics/aggregate.hpp"
+#include "util/json.hpp"
 
 namespace gasched::metrics {
+
+/// Emits `cell` as a JSON object into an in-progress writer (used by the
+/// streaming JSONL sink to embed cells inside its per-row objects).
+void write_cell_json(util::JsonWriter& w, const CellSummary& cell);
 
 /// Serialises one aggregated cell as a JSON object string:
 /// {"scheduler": ..., "replications": n, "makespan": {summary...}, ...}.

@@ -1,0 +1,213 @@
+#include "metrics/sink.hpp"
+
+#include <algorithm>
+#include <fstream>
+#include <stdexcept>
+
+#include "metrics/report_json.hpp"
+#include "util/json.hpp"
+#include "util/table.hpp"
+
+namespace gasched::metrics {
+
+double SweepRow::extra(const std::string& column, double fallback) const {
+  for (const auto& [name, value] : extras) {
+    if (name == column) return value;
+  }
+  return fallback;
+}
+
+void ResultSink::begin(const SweepHeader&) {}
+void ResultSink::end() {}
+
+// --- TableSink --------------------------------------------------------------
+
+TableSink::TableSink(std::ostream& os) : os_(os) {}
+
+void TableSink::begin(const SweepHeader& header) { header_ = header; }
+
+void TableSink::row(const SweepRow& row) { rows_.push_back(row); }
+
+void TableSink::end() {
+  bool any_scheduler = false, any_error = false;
+  bool makespan = false, efficiency = false, response = false, wall = false,
+       invocations = false, requeued = false;
+  // When "scheduler" is an axis its coordinate column already names the
+  // scheduler; don't repeat it.
+  const bool scheduler_is_axis =
+      std::find(header_.axes.begin(), header_.axes.end(), "scheduler") !=
+      header_.axes.end();
+  for (const auto& r : rows_) {
+    any_scheduler |= !r.scheduler.empty() && !scheduler_is_axis;
+    any_error |= !r.ok();
+    makespan |= r.cell.makespan.count > 0;
+    efficiency |= r.cell.efficiency.count > 0;
+    response |= r.cell.response.count > 0;
+    wall |= r.cell.sched_wall.count > 0;
+    invocations |= r.cell.invocations.count > 0;
+    requeued |= r.cell.requeued.count > 0 && r.cell.requeued.max > 0.0;
+  }
+
+  std::vector<std::string> headers = header_.axes;
+  if (any_scheduler) headers.push_back("scheduler");
+  if (makespan) {
+    headers.push_back("makespan");
+    headers.push_back("ci95");
+  }
+  if (efficiency) headers.push_back("efficiency");
+  if (response) headers.push_back("response");
+  if (wall) headers.push_back("sched_wall_s");
+  if (invocations) headers.push_back("invocations");
+  if (requeued) headers.push_back("requeued");
+  for (const auto& extra : header_.extra_columns) headers.push_back(extra);
+  if (any_error) headers.push_back("error");
+
+  util::Table table(headers);
+  for (const auto& r : rows_) {
+    std::vector<std::string> cells;
+    for (const auto& axis : header_.axes) {
+      std::string label;
+      for (const auto& [name, value] : r.coords) {
+        if (name == axis) label = value;
+      }
+      cells.push_back(label);
+    }
+    if (any_scheduler) cells.push_back(r.scheduler);
+    const bool has_stats = r.ok();
+    auto stat = [&](const util::Summary& s, double v) {
+      cells.push_back(has_stats && s.count > 0 ? util::fmt(v) : "");
+    };
+    if (makespan) {
+      stat(r.cell.makespan, r.cell.makespan.mean);
+      stat(r.cell.makespan, r.cell.makespan.ci95);
+    }
+    if (efficiency) stat(r.cell.efficiency, r.cell.efficiency.mean);
+    if (response) stat(r.cell.response, r.cell.response.mean);
+    if (wall) stat(r.cell.sched_wall, r.cell.sched_wall.mean);
+    if (invocations) stat(r.cell.invocations, r.cell.invocations.mean);
+    if (requeued) stat(r.cell.requeued, r.cell.requeued.mean);
+    for (const auto& extra : header_.extra_columns) {
+      bool found = false;
+      for (const auto& [name, value] : r.extras) {
+        if (name == extra) {
+          cells.push_back(util::fmt(value));
+          found = true;
+          break;
+        }
+      }
+      if (!found) cells.push_back("");
+    }
+    if (any_error) cells.push_back(r.error);
+    table.add_row(std::move(cells));
+  }
+  table.print(os_);
+}
+
+// --- CsvSink ----------------------------------------------------------------
+
+CsvSink::CsvSink(std::filesystem::path path) : path_(std::move(path)) {}
+
+void CsvSink::begin(const SweepHeader& header) {
+  header_ = header;
+  // The fixed "scheduler" column already carries a scheduler axis.
+  std::erase(header_.axes, "scheduler");
+  writer_ = std::make_unique<util::CsvWriter>(path_);
+  std::vector<std::string> cols{"index"};
+  for (const auto& axis : header_.axes) cols.push_back(axis);
+  cols.insert(cols.end(),
+              {"scheduler", "replications", "makespan_mean", "makespan_ci95",
+               "efficiency_mean", "response_mean", "invocations_mean",
+               "requeued_mean"});
+  for (const auto& extra : header.extra_columns) cols.push_back(extra);
+  cols.push_back("error");
+  writer_->row(cols);
+  writer_->flush();
+}
+
+void CsvSink::row(const SweepRow& row) {
+  if (!writer_) {
+    throw std::logic_error("CsvSink: row() before begin()");
+  }
+  std::vector<std::string> cells{std::to_string(row.index)};
+  for (const auto& axis : header_.axes) {
+    std::string label;
+    for (const auto& [name, value] : row.coords) {
+      if (name == axis) label = value;
+    }
+    cells.push_back(label);
+  }
+  cells.push_back(row.scheduler);
+  const auto stat = [&](const util::Summary& s, double v) {
+    cells.push_back(row.ok() && s.count > 0 ? util::format_double(v) : "");
+  };
+  cells.push_back(row.ok() ? std::to_string(row.cell.replications) : "");
+  stat(row.cell.makespan, row.cell.makespan.mean);
+  stat(row.cell.makespan, row.cell.makespan.ci95);
+  stat(row.cell.efficiency, row.cell.efficiency.mean);
+  stat(row.cell.response, row.cell.response.mean);
+  stat(row.cell.invocations, row.cell.invocations.mean);
+  stat(row.cell.requeued, row.cell.requeued.mean);
+  for (const auto& extra : header_.extra_columns) {
+    bool found = false;
+    for (const auto& [name, value] : row.extras) {
+      if (name == extra) {
+        cells.push_back(util::format_double(value));
+        found = true;
+        break;
+      }
+    }
+    if (!found) cells.push_back("");
+  }
+  cells.push_back(row.error);
+  writer_->row(cells);
+  writer_->flush();
+}
+
+// --- JsonlSink --------------------------------------------------------------
+
+JsonlSink::JsonlSink(std::filesystem::path path) : path_(std::move(path)) {}
+
+void JsonlSink::begin(const SweepHeader& header) {
+  header_ = header;
+  if (path_.has_parent_path()) {
+    std::filesystem::create_directories(path_.parent_path());
+  }
+  out_ = std::make_unique<std::ofstream>(path_, std::ios::trunc);
+  if (!*out_) {
+    throw std::runtime_error("JsonlSink: cannot open " + path_.string());
+  }
+}
+
+void JsonlSink::row(const SweepRow& row) {
+  if (!out_) {
+    throw std::logic_error("JsonlSink: row() before begin()");
+  }
+  util::JsonWriter w;
+  w.begin_object();
+  w.key("sweep").string(header_.name);
+  w.key("index").number(row.index);
+  w.key("coords").begin_object();
+  for (const auto& [axis, label] : row.coords) {
+    w.key(axis).string(label);
+  }
+  w.end_object();
+  if (!row.scheduler.empty()) w.key("scheduler").string(row.scheduler);
+  if (!row.ok()) {
+    w.key("error").string(row.error);
+  } else {
+    w.key("cell");
+    write_cell_json(w, row.cell);
+    if (!row.extras.empty()) {
+      w.key("extras").begin_object();
+      for (const auto& [name, value] : row.extras) {
+        w.key(name).number(value);
+      }
+      w.end_object();
+    }
+  }
+  w.end_object();
+  *out_ << w.str() << '\n';
+  out_->flush();
+}
+
+}  // namespace gasched::metrics

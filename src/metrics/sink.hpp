@@ -1,0 +1,123 @@
+#pragma once
+// Streaming result sinks for experiment sweeps. The sweep executor
+// (exp/sweep.hpp) pushes one SweepRow per grid cell, in job-list order,
+// as soon as the cell and every cell before it have completed — so the
+// ASCII table, CSV file, and JSONL file all observe the same
+// deterministic sequence regardless of how many threads ran the grid,
+// and a killed sweep keeps every cell already flushed.
+//
+// These sinks replace the hand-rolled table/CSV/JSON scaffolding the
+// bench binaries used to carry individually (bench_common's
+// maybe_write_csv/maybe_write_json remain only for bespoke series such
+// as fig03's per-generation trajectories).
+
+#include <filesystem>
+#include <memory>
+#include <ostream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "metrics/aggregate.hpp"
+#include "util/csv.hpp"
+
+namespace gasched::metrics {
+
+/// Static description of a sweep, handed to every sink before any row.
+struct SweepHeader {
+  std::string name;                        ///< sweep display name
+  std::vector<std::string> axes;           ///< axis names, slowest first
+  std::vector<std::string> extra_columns;  ///< declared custom columns
+};
+
+/// One executed grid cell.
+struct SweepRow {
+  std::size_t index = 0;  ///< position in the flattened job list
+  /// Axis coordinates, parallel to SweepHeader::axes: (axis, label).
+  std::vector<std::pair<std::string, std::string>> coords;
+  /// Canonical scheduler name; empty for custom-runner cells.
+  std::string scheduler;
+  /// Aggregated replications (default-constructed when the cell failed).
+  CellSummary cell;
+  /// Custom-runner payload, matched to SweepHeader::extra_columns by name.
+  std::vector<std::pair<std::string, double>> extras;
+  /// Non-empty when the cell threw; the row still streams so a partial
+  /// grid is inspectable.
+  std::string error;
+
+  bool ok() const noexcept { return error.empty(); }
+  /// The extras value named `column`, or `fallback` when absent.
+  double extra(const std::string& column, double fallback = 0.0) const;
+};
+
+/// Receives sweep rows in deterministic job order. Implementations must
+/// tolerate begin→end with zero rows.
+class ResultSink {
+ public:
+  virtual ~ResultSink() = default;
+  /// Called once before any row.
+  virtual void begin(const SweepHeader& header);
+  /// Called once per cell, in job-list order, during execution.
+  virtual void row(const SweepRow& row) = 0;
+  /// Called once after the last row.
+  virtual void end();
+};
+
+/// Accumulates rows and renders one right-aligned ASCII table at end().
+/// Columns adapt to content: axes, scheduler (when any row names one),
+/// the populated summary statistics, declared extras, and an error
+/// column when any cell failed.
+class TableSink final : public ResultSink {
+ public:
+  explicit TableSink(std::ostream& os);
+  void begin(const SweepHeader& header) override;
+  void row(const SweepRow& row) override;
+  void end() override;
+
+ private:
+  std::ostream& os_;
+  SweepHeader header_;
+  std::vector<SweepRow> rows_;
+};
+
+/// Crash-safe CSV writer: opens at begin() (header row), appends one
+/// data row per cell and flushes it immediately, so a killed sweep
+/// keeps every completed cell. Columns are fixed up front:
+///   index, <axes...>, scheduler, replications, makespan_mean,
+///   makespan_ci95, efficiency_mean, response_mean, invocations_mean,
+///   requeued_mean, <extras...>, error
+/// Wall-clock statistics are deliberately excluded: the file must be
+/// byte-identical across thread counts and runs (the tables keep them).
+class CsvSink final : public ResultSink {
+ public:
+  explicit CsvSink(std::filesystem::path path);
+  void begin(const SweepHeader& header) override;
+  void row(const SweepRow& row) override;
+
+  const std::filesystem::path& path() const noexcept { return path_; }
+
+ private:
+  std::filesystem::path path_;
+  SweepHeader header_;
+  std::unique_ptr<util::CsvWriter> writer_;
+};
+
+/// Crash-safe JSON writer: one self-contained JSON object per line
+/// (JSON Lines), flushed per row. Each line carries the sweep name,
+/// cell index, coordinates, the full aggregated cell (report_json
+/// schema, wall-clock included), extras, and the error string if any.
+class JsonlSink final : public ResultSink {
+ public:
+  explicit JsonlSink(std::filesystem::path path);
+  void begin(const SweepHeader& header) override;
+  void row(const SweepRow& row) override;
+
+  const std::filesystem::path& path() const noexcept { return path_; }
+
+ private:
+  std::filesystem::path path_;
+  SweepHeader header_;
+  std::unique_ptr<std::ofstream> out_;
+};
+
+}  // namespace gasched::metrics

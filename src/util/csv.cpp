@@ -45,6 +45,8 @@ void CsvWriter::row_numeric(const std::vector<double>& cells) {
   row(formatted);
 }
 
+void CsvWriter::flush() { out_.flush(); }
+
 std::vector<std::string> parse_csv_line(std::string_view line) {
   std::vector<std::string> cells;
   std::string cur;

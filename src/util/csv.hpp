@@ -24,6 +24,10 @@ class CsvWriter {
   /// Convenience: writes a row of doubles with full precision.
   void row_numeric(const std::vector<double>& cells);
 
+  /// Flushes buffered rows to disk (crash-safety point for streaming
+  /// writers that append as results complete).
+  void flush();
+
   /// Underlying path.
   const std::filesystem::path& path() const noexcept { return path_; }
 

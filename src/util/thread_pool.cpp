@@ -2,7 +2,10 @@
 
 #include <algorithm>
 #include <atomic>
+#include <chrono>
+#include <cstdlib>
 #include <exception>
+#include <string>
 
 namespace gasched::util {
 
@@ -35,6 +38,23 @@ std::future<void> ThreadPool::submit(std::function<void()> fn) {
   }
   cv_.notify_one();
   return fut;
+}
+
+bool ThreadPool::try_run_one() {
+  Job job;
+  {
+    std::lock_guard lk(mu_);
+    if (jobs_.empty()) return false;
+    job = std::move(jobs_.front());
+    jobs_.pop();
+  }
+  try {
+    job.fn();
+    job.done.set_value();
+  } catch (...) {
+    job.done.set_exception(std::current_exception());
+  }
+  return true;
 }
 
 void ThreadPool::worker_loop() {
@@ -79,19 +99,41 @@ void ThreadPool::parallel_for(std::size_t begin, std::size_t end,
       }
     }
   };
-  const std::size_t lanes = std::min(n, size());
+  const std::size_t lanes = std::min(n, size() + 1);
   std::vector<std::future<void>> futs;
   futs.reserve(lanes);
   // The calling thread participates too, so a pool of size 1 still makes
   // progress even when parallel_for is invoked from a pool worker.
   for (std::size_t i = 1; i < lanes; ++i) futs.push_back(submit(drain));
   drain();
-  for (auto& f : futs) f.get();
+  // Help-first wait: a worker blocked here would starve jobs submitted by
+  // nested parallel_for calls (every worker waiting on queued jobs that
+  // only workers can run). Executing queued jobs while waiting makes the
+  // nesting deadlock-free — the helpers we are waiting on are no-ops once
+  // the shared counter is exhausted, so this terminates.
+  for (auto& f : futs) {
+    while (f.wait_for(std::chrono::seconds(0)) !=
+           std::future_status::ready) {
+      if (!try_run_one()) {
+        f.wait_for(std::chrono::milliseconds(1));
+      }
+    }
+    f.get();
+  }
   if (first_error) std::rethrow_exception(first_error);
 }
 
 ThreadPool& global_pool() {
-  static ThreadPool pool;
+  // GASCHED_THREADS pins the pool width (sweep determinism does not
+  // depend on it, but wall-clock comparisons and CI sanitizer runs do).
+  static ThreadPool pool([] {
+    const char* env = std::getenv("GASCHED_THREADS");
+    if (env != nullptr && *env != '\0') {
+      const long v = std::strtol(env, nullptr, 10);
+      if (v > 0) return static_cast<std::size_t>(v);
+    }
+    return std::size_t{0};
+  }());
   return pool;
 }
 

@@ -1,7 +1,14 @@
 #pragma once
-// Fixed-size thread pool used to run independent experiment replications
-// in parallel. Determinism is preserved by seeding each replication from
-// its index, never from thread identity or scheduling order.
+// Fixed-size thread pool used to run independent experiment work —
+// sweep cells and the replications inside them — in parallel.
+// Determinism is preserved by seeding each replication from its index,
+// never from thread identity or scheduling order.
+//
+// Nested use is supported: parallel_for may be called from inside a pool
+// worker (the sweep executor parallelises cells, and each cell's
+// replications call parallel_for again). Waiters never block idle —
+// they execute queued jobs while waiting (help-first scheduling), so a
+// full pool of blocked outer loops cannot deadlock the inner ones.
 
 #include <condition_variable>
 #include <cstddef>
@@ -39,9 +46,16 @@ class ThreadPool {
 
   /// Runs fn(i) for every i in [begin, end) across the pool and blocks
   /// until all iterations complete. Exceptions from iterations are
-  /// rethrown (first one wins).
+  /// rethrown (first one wins). Safe to call from a pool worker: the
+  /// calling thread drains iterations itself and, while waiting for
+  /// helpers, keeps executing other queued jobs instead of blocking.
   void parallel_for(std::size_t begin, std::size_t end,
                     const std::function<void(std::size_t)>& fn);
+
+  /// Pops and runs one queued job on the calling thread, if any is
+  /// pending. Returns false when the queue was empty. This is what lets
+  /// blocked waiters help instead of deadlocking nested submissions.
+  bool try_run_one();
 
  private:
   struct Job {

@@ -51,6 +51,24 @@ double ParetoSizes::sample(util::Rng& rng) const {
   return std::clamp(x, lo_, hi_);
 }
 
+LognormalSizes::LognormalSizes(double median, double sigma,
+                               double floor_mflops)
+    : median_(median), sigma_(sigma), floor_(floor_mflops) {
+  if (!(median > 0.0) || sigma < 0.0 || !(floor_mflops > 0.0)) {
+    throw std::invalid_argument(
+        "LognormalSizes: need median > 0, sigma >= 0, floor > 0");
+  }
+}
+
+double LognormalSizes::sample(util::Rng& rng) const {
+  const double x = median_ * std::exp(sigma_ * rng.normal());
+  return std::max(x, floor_);
+}
+
+double LognormalSizes::mean() const {
+  return median_ * std::exp(0.5 * sigma_ * sigma_);
+}
+
 double ParetoSizes::mean() const {
   const double a = alpha_;
   if (std::abs(a - 1.0) < 1e-12) {

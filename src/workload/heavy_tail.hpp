@@ -6,6 +6,8 @@
 //    big renders"), the classic grid-computing workload shape.
 //  * ParetoSizes — bounded Pareto heavy tail, the adversarial case for
 //    size-oblivious schedulers.
+//  * LognormalSizes — the skewed-but-finite-variance shape batch traces
+//    usually fit best; sits between normal and Pareto in tail weight.
 
 #include "workload/generator.hpp"
 
@@ -44,6 +46,28 @@ class ParetoSizes final : public SizeDistribution {
 
  private:
   double alpha_, lo_, hi_;
+};
+
+/// Log-normal task sizes: ln X ~ N(ln median, sigma²), clamped below at
+/// `floor`. Parameterised by the size-space median (= e^μ) because that
+/// is the number workload traces report; `sigma` is the log-space
+/// standard deviation (sigma ≈ 1–2.5 covers most published batch
+/// traces; sigma = 0 degenerates to constant sizes).
+class LognormalSizes final : public SizeDistribution {
+ public:
+  /// Requires median > 0, sigma >= 0, floor > 0.
+  LognormalSizes(double median, double sigma, double floor_mflops = 1.0);
+  double sample(util::Rng& rng) const override;
+  double mean() const override;
+  double min_size() const override { return floor_; }
+  std::string name() const override { return "lognormal"; }
+  /// Size-space median e^μ.
+  double median() const noexcept { return median_; }
+  /// Log-space standard deviation σ.
+  double sigma() const noexcept { return sigma_; }
+
+ private:
+  double median_, sigma_, floor_;
 };
 
 }  // namespace gasched::workload

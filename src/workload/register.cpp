@@ -59,13 +59,24 @@ void register_builtin_distributions(exp::DistributionRegistry& registry) {
                           s.params.get_double("lo", s.param_a),
                           s.params.get_double("hi", s.param_b));
                     }});
+  registry.add({.name = "lognormal",
+                .summary = "log-normal sizes, ln X ~ N(ln median, sigma^2); "
+                           "keys: median (param_a), sigma (1), floor (1)",
+                .rank = 5,
+                .factory =
+                    [](const WorkloadSpec& s) {
+                      return std::make_unique<LognormalSizes>(
+                          s.params.get_double("median", s.param_a),
+                          s.params.get_double("sigma", 1.0),
+                          s.params.get_double("floor", 1.0));
+                    }});
   registry.add(
       {.name = "bimodal",
        .summary = "two truncated normal modes (small scripts + big "
                   "renders); keys: mean_small (100), var_small (900), "
                   "mean_large (10000), var_large (9e6), weight_small "
                   "(0.8), floor (1)",
-       .rank = 5,
+       .rank = 6,
        .factory =
            [](const WorkloadSpec& s) {
              return std::make_unique<BimodalSizes>(

@@ -1,0 +1,361 @@
+// Tests for the declarative sweep engine: deterministic flattening,
+// thread-count-independent results (byte-identical CSV), per-cell error
+// capture, streaming sink order, and the [sweep] INI surface.
+
+#include "exp/sweep.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <thread>
+
+#include "exp/config_scenario.hpp"
+#include "exp/registry.hpp"
+#include "metrics/sink.hpp"
+#include "util/config.hpp"
+
+namespace gasched::exp {
+namespace {
+
+Scenario small_scenario() {
+  Scenario s;
+  s.name = "sweep-test";
+  s.cluster = paper_cluster(10.0, 6);
+  s.workload.dist = "uniform";
+  s.workload.param_a = 10.0;
+  s.workload.param_b = 500.0;
+  s.workload.count = 60;
+  s.seed = 20250401;
+  s.replications = 3;
+  return s;
+}
+
+SchedulerParams fast_params() {
+  SchedulerParams o;
+  o.set("batch_size", 30);
+  o.set("max_generations", 10);
+  o.set("population", 8);
+  return o;
+}
+
+std::string read_file(const std::filesystem::path& p) {
+  std::ifstream in(p, std::ios::binary);
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+struct TempFile {
+  std::filesystem::path path;
+  explicit TempFile(const std::string& name)
+      : path(std::filesystem::temp_directory_path() /
+             ("gasched_sweep_" + name)) {
+    std::filesystem::remove(path);
+  }
+  ~TempFile() { std::filesystem::remove(path); }
+};
+
+TEST(SweepFlatten, RowMajorFirstAxisSlowest) {
+  Sweep sweep("flatten");
+  sweep.base(small_scenario());
+  sweep.axis("procs", {4.0, 8.0},
+             [](SweepCell& c, double v) {
+               c.scenario.cluster.num_processors =
+                   static_cast<std::size_t>(v);
+             });
+  sweep.schedulers({"EF", "RR", "MM"});
+  const auto cells = sweep.flatten();
+  ASSERT_EQ(cells.size(), 6u);
+  ASSERT_EQ(sweep.cell_count(), 6u);
+  EXPECT_EQ(sweep.axis_names(),
+            (std::vector<std::string>{"procs", "scheduler"}));
+  // procs varies slowest, scheduler fastest.
+  EXPECT_EQ(cells[0].coord("procs"), "4");
+  EXPECT_EQ(cells[0].scheduler, "EF");
+  EXPECT_EQ(cells[1].scheduler, "RR");
+  EXPECT_EQ(cells[2].scheduler, "MM");
+  EXPECT_EQ(cells[3].coord("procs"), "8");
+  EXPECT_EQ(cells[3].scheduler, "EF");
+  EXPECT_EQ(cells[3].scenario.cluster.num_processors, 8u);
+  EXPECT_EQ(cells[0].scenario.cluster.num_processors, 4u);
+  EXPECT_DOUBLE_EQ(cells[5].coord_value("procs"), 8.0);
+  EXPECT_EQ(cells[5].index, 5u);
+}
+
+TEST(SweepFlatten, SchedulerNamesResolveEagerly) {
+  Sweep sweep("typo");
+  EXPECT_THROW(sweep.schedulers({"NOPE"}), std::runtime_error);
+  EXPECT_THROW(sweep.scheduler("NOPE"), std::runtime_error);
+  // Case-insensitive resolution to canonical spelling.
+  sweep.schedulers({"pn", "ef"});
+  EXPECT_EQ(sweep.flatten()[0].scheduler, "PN");
+}
+
+TEST(SweepFlatten, DuplicateOrEmptyAxisRejected) {
+  Sweep sweep("bad");
+  sweep.axis("x", {1.0}, {});
+  EXPECT_THROW(sweep.axis("x", {2.0}, {}), std::invalid_argument);
+  EXPECT_THROW(sweep.axis("y", std::vector<Sweep::Value>{}),
+               std::invalid_argument);
+}
+
+// The core determinism contract: the same grid, executed serially and on
+// the pool, produces byte-identical CSV files.
+TEST(SweepRun, CsvByteIdenticalAcrossThreadCounts) {
+  TempFile serial_csv("serial.csv"), parallel_csv("parallel.csv");
+  auto build = [&](bool parallel, const std::filesystem::path& path,
+                   metrics::CsvSink& sink) {
+    Sweep sweep("determinism");
+    sweep.base(small_scenario());
+    sweep.params(fast_params());
+    sweep.axis("mean_comm_cost", {5.0, 20.0},
+               [](SweepCell& c, double v) {
+                 c.scenario.cluster.comm.mean_cost = v;
+               });
+    sweep.schedulers({"EF", "RR", "PN"});
+    sweep.parallel(parallel);
+    sweep.progress(false);
+    sweep.add_sink(sink);
+    return sweep.run();
+  };
+  metrics::CsvSink s1(serial_csv.path), s2(parallel_csv.path);
+  const auto serial = build(false, serial_csv.path, s1);
+  const auto parallel = build(true, parallel_csv.path, s2);
+
+  ASSERT_EQ(serial.rows.size(), 6u);
+  ASSERT_EQ(parallel.rows.size(), 6u);
+  EXPECT_EQ(serial.failed, 0u);
+  EXPECT_EQ(parallel.failed, 0u);
+  for (std::size_t i = 0; i < serial.rows.size(); ++i) {
+    EXPECT_DOUBLE_EQ(serial.rows[i].cell.makespan.mean,
+                     parallel.rows[i].cell.makespan.mean)
+        << "row " << i;
+  }
+  const std::string a = read_file(serial_csv.path);
+  const std::string b = read_file(parallel_csv.path);
+  ASSERT_FALSE(a.empty());
+  EXPECT_EQ(a, b) << "CSV must not depend on the thread count";
+}
+
+TEST(SweepRun, PerCellErrorCaptureKeepsGridAlive) {
+  Sweep sweep("errors");
+  sweep.base(small_scenario());
+  sweep.axis("i", {0.0, 1.0, 2.0, 3.0}, {});
+  sweep.progress(false);
+  sweep.runner([](const SweepCell& cell, bool) -> CellOutcome {
+    if (cell.index == 1) throw std::runtime_error("cell exploded");
+    CellOutcome out;
+    out.summary.scheduler = "ok";
+    return out;
+  });
+  const auto result = sweep.run();
+  ASSERT_EQ(result.rows.size(), 4u);
+  EXPECT_EQ(result.failed, 1u);
+  EXPECT_FALSE(result.rows[1].ok());
+  EXPECT_EQ(result.rows[1].error, "cell exploded");
+  EXPECT_TRUE(result.rows[0].ok());
+  EXPECT_TRUE(result.rows[3].ok());
+}
+
+TEST(SweepRun, UnknownSchedulerIsACellErrorNotACrash) {
+  Sweep sweep("no-scheduler");
+  sweep.base(small_scenario());
+  sweep.axis("i", {0.0, 1.0}, {});
+  sweep.progress(false);
+  // No scheduler declared and no custom runner: the default runner
+  // reports per-cell errors instead of aborting the grid.
+  const auto result = sweep.run();
+  EXPECT_EQ(result.failed, 2u);
+  EXPECT_NE(result.rows[0].error.find("scheduler"), std::string::npos);
+}
+
+// Sinks observe rows in job-list order even when cells complete out of
+// order, and the streaming CSV keeps completed prefixes on disk.
+TEST(SweepRun, SinksReceiveRowsInJobOrder) {
+  struct OrderSink final : metrics::ResultSink {
+    std::vector<std::size_t> indices;
+    void row(const metrics::SweepRow& r) override {
+      indices.push_back(r.index);
+    }
+  } order;
+  Sweep sweep("order");
+  sweep.base(small_scenario());
+  sweep.axis("i", {0.0, 1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0}, {});
+  sweep.progress(false);
+  sweep.add_sink(order);
+  sweep.runner([](const SweepCell& cell, bool) {
+    // Reverse the natural completion order a little.
+    if (cell.index % 3 == 0) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    }
+    return CellOutcome{};
+  });
+  sweep.run();
+  ASSERT_EQ(order.indices.size(), 8u);
+  for (std::size_t i = 0; i < order.indices.size(); ++i) {
+    EXPECT_EQ(order.indices[i], i);
+  }
+}
+
+TEST(SweepRun, ExtrasFlowToCsvAndResult) {
+  TempFile csv("extras.csv");
+  metrics::CsvSink sink(csv.path);
+  Sweep sweep("extras");
+  sweep.base(small_scenario());
+  sweep.axis("x", {1.0, 2.0}, {});
+  sweep.extra_columns({"doubled"});
+  sweep.progress(false);
+  sweep.add_sink(sink);
+  sweep.runner([](const SweepCell& cell, bool) {
+    CellOutcome out;
+    out.extras = {{"doubled", 2.0 * cell.coord_value("x")}};
+    return out;
+  });
+  const auto result = sweep.run();
+  EXPECT_DOUBLE_EQ(result.rows[1].extra("doubled"), 4.0);
+  const std::string text = read_file(csv.path);
+  EXPECT_NE(text.find("doubled"), std::string::npos);
+  EXPECT_NE(text.find(",4,"), std::string::npos);
+}
+
+TEST(SweepRun, WorkloadAxisPreservesCount) {
+  Sweep sweep("workloads");
+  sweep.base(small_scenario());
+  WorkloadSpec uniform;
+  uniform.dist = "uniform";
+  WorkloadSpec pareto;
+  pareto.dist = "pareto";
+  sweep.workloads({{"uniform", uniform}, {"pareto", pareto}});
+  const auto cells = sweep.flatten();
+  ASSERT_EQ(cells.size(), 2u);
+  EXPECT_EQ(cells[1].scenario.workload.dist, "pareto");
+  EXPECT_EQ(cells[1].scenario.workload.count, 60u);
+  EXPECT_EQ(cells[1].coord("workload"), "pareto");
+}
+
+TEST(SchedulerSelector, TagsNamesAllAndDedup) {
+  const auto paper = expand_scheduler_selector("paper");
+  EXPECT_EQ(paper, all_schedulers());
+  const auto all = expand_scheduler_selector("all");
+  EXPECT_EQ(all, SchedulerRegistry::instance().names());
+  // Mixed tag + name, case-insensitive, deduplicated.
+  const auto mixed = expand_scheduler_selector("metaheuristic,rr,PN");
+  const auto meta = metaheuristic_schedulers();
+  ASSERT_EQ(mixed.size(), meta.size() + 1);
+  EXPECT_EQ(mixed.back(), "RR");
+  // Empty selector = the paper's seven.
+  EXPECT_EQ(expand_scheduler_selector(""), all_schedulers());
+  EXPECT_THROW(expand_scheduler_selector("nope"), std::runtime_error);
+}
+
+TEST(SweepConfig, SweepSectionBuildsGrid) {
+  const util::Config cfg = util::Config::parse(R"(
+[scenario]
+name = grid
+seed = 7
+replications = 2
+
+[workload]
+dist = uniform
+param_a = 10
+param_b = 200
+count = 40
+
+[sweep]
+schedulers = EF,RR
+procs = 4, 8
+population = 10, 20
+)");
+  Sweep sweep = sweep_from_config(cfg);
+  EXPECT_EQ(sweep.name(), "grid");
+  // 2 procs x 2 population x 2 schedulers; scheduler axis innermost.
+  EXPECT_EQ(sweep.cell_count(), 8u);
+  const auto axes = sweep.axis_names();
+  ASSERT_EQ(axes.size(), 3u);
+  EXPECT_EQ(axes.back(), "scheduler");
+  const auto cells = sweep.flatten();
+  EXPECT_EQ(cells[0].scheduler, "EF");
+  EXPECT_EQ(cells[1].scheduler, "RR");
+  // procs is a scenario axis; population falls through to [scheduler]
+  // params.
+  EXPECT_EQ(cells[0].scenario.cluster.num_processors, 4u);
+  EXPECT_EQ(cells.back().scenario.cluster.num_processors, 8u);
+  EXPECT_EQ(cells[0].params.get_size("population", 0), 10u);
+  EXPECT_EQ(cells.back().params.get_size("population", 0), 20u);
+}
+
+TEST(SweepConfig, OverrideReplacesConfigSchedulers) {
+  const util::Config cfg = util::Config::parse(R"(
+[sweep]
+schedulers = EF
+)");
+  Sweep sweep = sweep_from_config(cfg, "MM,MX");
+  const auto cells = sweep.flatten();
+  ASSERT_EQ(cells.size(), 2u);
+  EXPECT_EQ(cells[0].scheduler, "MM");
+  EXPECT_EQ(cells[1].scheduler, "MX");
+}
+
+TEST(SweepConfig, NonNumericAxisValueThrows) {
+  const util::Config cfg = util::Config::parse(R"(
+[sweep]
+procs = 4, banana
+)");
+  EXPECT_THROW(sweep_from_config(cfg), std::runtime_error);
+}
+
+// End-to-end: a config-driven grid actually runs and streams JSONL.
+TEST(SweepConfig, ConfigGridRunsEndToEnd) {
+  TempFile jsonl("grid.jsonl");
+  const util::Config cfg = util::Config::parse(R"(
+[scenario]
+replications = 2
+
+[workload]
+dist = uniform
+param_a = 10
+param_b = 200
+count = 40
+
+[cluster]
+processors = 5
+
+[scheduler]
+max_generations = 8
+population = 8
+batch_size = 20
+
+[sweep]
+schedulers = EF,PN
+mean_comm_cost = 2, 10
+)");
+  Sweep sweep = sweep_from_config(cfg);
+  metrics::JsonlSink sink(jsonl.path);
+  sweep.add_sink(sink).progress(false);
+  const auto result = sweep.run();
+  EXPECT_EQ(result.failed, 0u);
+  ASSERT_EQ(result.rows.size(), 4u);
+  for (const auto& row : result.rows) {
+    EXPECT_EQ(row.cell.replications, 2u);
+    EXPECT_GT(row.cell.makespan.mean, 0.0);
+  }
+  // JSONL: one object per row.
+  std::ifstream in(jsonl.path);
+  std::string line;
+  std::size_t lines = 0;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    ++lines;
+    EXPECT_EQ(line.front(), '{');
+    EXPECT_EQ(line.back(), '}');
+  }
+  EXPECT_EQ(lines, 4u);
+}
+
+}  // namespace
+}  // namespace gasched::exp

@@ -8,6 +8,7 @@
 #include <atomic>
 #include <numeric>
 #include <stdexcept>
+#include <thread>
 #include <vector>
 
 namespace gasched::util {
@@ -101,6 +102,91 @@ TEST(ParallelFor, ResultsIndependentOfThreadCount) {
   one.parallel_for(0, n, [&](std::size_t i) { serial[i] = compute(i); });
   many.parallel_for(0, n, [&](std::size_t i) { wide[i] = compute(i); });
   EXPECT_EQ(serial, wide);
+}
+
+TEST(ParallelFor, NestedFromPoolWorkerDoesNotDeadlock) {
+  // The sweep executor parallelises cells on the pool and each cell's
+  // replications call parallel_for again from a worker thread. Before
+  // help-first waiting this deadlocked as soon as every worker blocked
+  // in an outer wait; now waiters execute queued jobs instead.
+  ThreadPool pool(4);
+  const std::size_t outer = 8, inner = 64;
+  std::vector<std::vector<std::atomic<int>>> hits(outer);
+  for (auto& row : hits) {
+    row = std::vector<std::atomic<int>>(inner);
+  }
+  pool.parallel_for(0, outer, [&](std::size_t i) {
+    pool.parallel_for(0, inner,
+                      [&](std::size_t j) { hits[i][j].fetch_add(1); });
+  });
+  for (std::size_t i = 0; i < outer; ++i) {
+    for (std::size_t j = 0; j < inner; ++j) {
+      ASSERT_EQ(hits[i][j].load(), 1) << i << "," << j;
+    }
+  }
+}
+
+TEST(ParallelFor, NestedOnSingleThreadPoolStillCompletes) {
+  // With one worker the calling thread drains everything itself; nested
+  // calls must still terminate (the submitted helpers become no-ops).
+  ThreadPool pool(1);
+  std::atomic<int> count{0};
+  pool.parallel_for(0, 4, [&](std::size_t) {
+    pool.parallel_for(0, 16, [&](std::size_t) { count.fetch_add(1); });
+  });
+  EXPECT_EQ(count.load(), 64);
+}
+
+TEST(ParallelFor, TriplyNestedCoversEveryIndex) {
+  ThreadPool pool(3);
+  std::atomic<int> count{0};
+  pool.parallel_for(0, 3, [&](std::size_t) {
+    pool.parallel_for(0, 4, [&](std::size_t) {
+      pool.parallel_for(0, 5, [&](std::size_t) { count.fetch_add(1); });
+    });
+  });
+  EXPECT_EQ(count.load(), 3 * 4 * 5);
+}
+
+TEST(ParallelFor, NestedExceptionPropagatesToOuterCaller) {
+  ThreadPool pool(4);
+  EXPECT_THROW(
+      pool.parallel_for(0, 4,
+                        [&](std::size_t i) {
+                          pool.parallel_for(0, 8, [&](std::size_t j) {
+                            if (i == 2 && j == 3) {
+                              throw std::runtime_error("inner failed");
+                            }
+                          });
+                        }),
+      std::runtime_error);
+}
+
+TEST(ThreadPool, TryRunOneDrainsQueuedJobs) {
+  // A pool whose single worker is parked can still make progress through
+  // a helping caller.
+  ThreadPool pool(1);
+  std::atomic<bool> started{false};
+  std::atomic<bool> release{false};
+  auto blocker = pool.submit([&] {
+    started.store(true);
+    while (!release.load()) {
+      std::this_thread::yield();
+    }
+  });
+  // Wait until the worker holds the blocker so try_run_one below cannot
+  // pick it up (and spin on a flag only this thread sets).
+  while (!started.load()) {
+    std::this_thread::yield();
+  }
+  std::atomic<int> ran{0};
+  auto queued = pool.submit([&] { ran.fetch_add(1); });
+  EXPECT_TRUE(pool.try_run_one());  // runs the queued job inline
+  EXPECT_EQ(ran.load(), 1);
+  EXPECT_FALSE(pool.try_run_one());  // queue empty now
+  release.store(true);
+  blocker.get();
+  queued.get();
 }
 
 TEST(GlobalPool, IsSingleton) {

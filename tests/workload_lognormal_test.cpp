@@ -1,0 +1,113 @@
+// Tests for the lognormal size family: sampling statistics, parameter
+// validation, and the full INI → DistributionRegistry → simulation
+// round-trip (ROADMAP "registry growth directions").
+
+#include "workload/heavy_tail.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "exp/config_scenario.hpp"
+#include "exp/registry.hpp"
+#include "exp/runner.hpp"
+#include "util/config.hpp"
+#include "util/rng.hpp"
+
+namespace gasched::workload {
+namespace {
+
+TEST(LognormalSizes, SampleMeanMatchesTheory) {
+  const LognormalSizes dist(1000.0, 0.8);
+  EXPECT_EQ(dist.name(), "lognormal");
+  EXPECT_DOUBLE_EQ(dist.mean(), 1000.0 * std::exp(0.5 * 0.8 * 0.8));
+  util::Rng rng(12345);
+  const std::size_t n = 200000;
+  double sum = 0.0, below_median = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double x = dist.sample(rng);
+    ASSERT_GE(x, dist.min_size());
+    sum += x;
+    if (x < 1000.0) below_median += 1.0;
+  }
+  EXPECT_NEAR(sum / static_cast<double>(n), dist.mean(),
+              0.03 * dist.mean());
+  // The median of a lognormal is e^mu = the `median` parameter.
+  EXPECT_NEAR(below_median / static_cast<double>(n), 0.5, 0.01);
+}
+
+TEST(LognormalSizes, SigmaZeroDegeneratesToConstant) {
+  const LognormalSizes dist(500.0, 0.0);
+  util::Rng rng(7);
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_DOUBLE_EQ(dist.sample(rng), 500.0);
+  }
+}
+
+TEST(LognormalSizes, FloorClampsSmallDraws) {
+  const LognormalSizes dist(2.0, 3.0, /*floor=*/1.5);
+  util::Rng rng(99);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_GE(dist.sample(rng), 1.5);
+  }
+}
+
+TEST(LognormalSizes, InvalidParametersThrow) {
+  EXPECT_THROW(LognormalSizes(0.0, 1.0), std::invalid_argument);
+  EXPECT_THROW(LognormalSizes(-5.0, 1.0), std::invalid_argument);
+  EXPECT_THROW(LognormalSizes(10.0, -0.1), std::invalid_argument);
+  EXPECT_THROW(LognormalSizes(10.0, 1.0, 0.0), std::invalid_argument);
+}
+
+TEST(LognormalConfig, RegistryRoundTripFromIni) {
+  // The family must be selectable from a scenario INI with its named
+  // keys surviving the Config → WorkloadSpec → factory round trip.
+  const util::Config cfg = util::Config::parse(R"(
+[workload]
+dist = LOGNORMAL
+median = 750
+sigma = 0.5
+floor = 2
+count = 80
+)");
+  const exp::Scenario s = exp::scenario_from_config(cfg);
+  EXPECT_EQ(s.workload.dist, "lognormal");  // canonicalised
+  const auto dist = exp::make_distribution(s.workload);
+  EXPECT_EQ(dist->name(), "lognormal");
+  EXPECT_DOUBLE_EQ(dist->min_size(), 2.0);
+  EXPECT_DOUBLE_EQ(dist->mean(), 750.0 * std::exp(0.5 * 0.25));
+}
+
+TEST(LognormalConfig, DefaultsFallBackToParamA) {
+  exp::WorkloadSpec spec;
+  spec.dist = "lognormal";
+  spec.param_a = 333.0;  // median fallback
+  const auto dist = exp::make_distribution(spec);
+  EXPECT_DOUBLE_EQ(dist->mean(), 333.0 * std::exp(0.5));
+}
+
+TEST(LognormalConfig, ConfigScenarioSimulatesDeterministically) {
+  const util::Config cfg = util::Config::parse(R"(
+[scenario]
+replications = 2
+
+[cluster]
+processors = 4
+
+[workload]
+dist = lognormal
+median = 300
+sigma = 1.2
+count = 50
+)");
+  const exp::Scenario s = exp::scenario_from_config(cfg);
+  const auto a = exp::run_replications(s, "EF", {});
+  const auto b = exp::run_replications(s, "EF", {});
+  ASSERT_EQ(a.size(), 2u);
+  EXPECT_GT(a[0].makespan, 0.0);
+  EXPECT_DOUBLE_EQ(a[0].makespan, b[0].makespan);
+  EXPECT_DOUBLE_EQ(a[1].makespan, b[1].makespan);
+}
+
+}  // namespace
+}  // namespace gasched::workload
