@@ -117,48 +117,38 @@ exp::SweepResult run_sweep(exp::Sweep& sweep, const BenchParams& p,
   return result;
 }
 
-std::vector<double> run_makespan_bars(const BenchParams& p,
-                                      const exp::WorkloadSpec& spec,
-                                      double mean_comm_cost) {
-  exp::Sweep sweep = make_sweep("bench", p, spec, mean_comm_cost);
-  sweep.schedulers(exp::all_schedulers());
-  return run_sweep(sweep, p).makespan_means();
+exp::FigScale to_scale(const BenchParams& p) {
+  exp::FigScale s;
+  s.tasks = p.tasks;
+  s.procs = p.procs;
+  s.reps = p.reps;
+  s.generations = p.generations;
+  s.population = p.population;
+  s.batch = p.batch;
+  s.seed = p.seed;
+  s.full = p.full;
+  return s;
 }
 
-std::vector<std::vector<double>> run_efficiency_sweep(
-    const BenchParams& p, const exp::WorkloadSpec& spec,
-    const std::vector<double>& inv_costs) {
-  exp::Sweep sweep = make_sweep("efficiency", p, spec, /*mean_comm=*/20.0);
-  sweep.axis("inv_comm_cost", inv_costs,
-             [](exp::SweepCell& c, double inv) {
-               c.scenario.cluster.comm.mean_cost = 1.0 / inv;
-             });
-  sweep.schedulers(exp::all_schedulers());
-
-  const auto result = run_sweep(sweep, p, /*print_table=*/false);
-
-  // Pivot for the paper's reading direction: one row per cost point,
-  // schedulers as columns.
-  const auto schedulers = exp::all_schedulers();
-  std::vector<std::string> header{"1/mean_comm_cost"};
-  for (const auto& kind : schedulers) header.push_back(kind);
-  util::Table table(header);
-  std::vector<std::vector<double>> rows;
-  const std::size_t stride = schedulers.size();
-  for (std::size_t pi = 0; pi < inv_costs.size(); ++pi) {
-    std::vector<double> row{inv_costs[pi]};
-    std::vector<std::string> cells{util::fmt(inv_costs[pi], 3)};
-    for (std::size_t si = 0; si < stride; ++si) {
-      const double eff =
-          result.rows[pi * stride + si].cell.efficiency.mean;
-      row.push_back(eff);
-      cells.push_back(util::fmt(eff, 4));
-    }
-    table.add_row(cells);
-    rows.push_back(std::move(row));
+int run_figure(const std::string& id, int argc, char** argv) {
+  const exp::FigureDef& fig = exp::FigSet::instance().find(id);
+  BenchParams p = parse_params(argc, argv, fig.quick_tasks, fig.quick_reps,
+                               fig.quick_generations);
+  // Figures 3/5/7 pin their paper task counts at full scale, but an
+  // explicit --tasks wins — the same precedence figset uses, so both
+  // drivers build identical grids from identical flags.
+  const util::Cli cli(argc, argv);
+  if (p.full && fig.full_tasks != 0 && !cli.has("tasks")) {
+    p.tasks = fig.full_tasks;
   }
-  table.print(std::cout);
-  return rows;
+  print_banner(fig.number, fig.title, fig.paper_expectation, p);
+
+  const exp::FigScale scale = to_scale(p);
+  exp::Sweep sweep = fig.build(scale);
+  sweep.parallel(!p.serial);
+  const exp::SweepResult result = run_sweep(sweep, p, fig.grid_table);
+  if (fig.report) fig.report(result, scale, std::cout);
+  return 0;
 }
 
 void maybe_write_csv(const BenchParams& p,

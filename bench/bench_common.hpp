@@ -6,7 +6,10 @@
 // parallel on util::global_pool() and streams results to the standard
 // sinks (ASCII table on stdout, crash-safe CSV via --csv, JSONL via
 // --json) — and then prints its figure-specific shape check from the
-// returned rows. Two scales are supported:
+// returned rows. The paper-figure binaries (fig*) are one step thinner:
+// their grids are registered in exp::FigSet and run_figure drives the
+// whole binary, so the same definitions power tools/figset. Two scales
+// are supported:
 //   quick (default)       — reduced tasks/replications/generations so the
 //                            whole suite runs in minutes;
 //   full  (GASCHED_BENCH_SCALE=full or --full) — paper-scale parameters
@@ -20,6 +23,7 @@
 #include <string>
 #include <vector>
 
+#include "exp/figset.hpp"
 #include "exp/runner.hpp"
 #include "exp/sweep.hpp"
 #include "metrics/report_json.hpp"
@@ -83,20 +87,17 @@ exp::Sweep make_sweep(std::string name, const BenchParams& p,
 exp::SweepResult run_sweep(exp::Sweep& sweep, const BenchParams& p,
                            bool print_table = true);
 
-/// Runs the seven-scheduler makespan bar chart for `spec` at one mean
-/// communication cost through a Sweep. Prints the table and returns
-/// mean makespans in exp::all_schedulers() order.
-std::vector<double> run_makespan_bars(const BenchParams& p,
-                                      const exp::WorkloadSpec& spec,
-                                      double mean_comm_cost);
+/// The exp::FigScale equivalent of `p` (figure grids are built from
+/// FigScale so the registered definitions in exp/figset.hpp and the
+/// bench binaries share one source of truth).
+exp::FigScale to_scale(const BenchParams& p);
 
-/// Runs the efficiency-vs-communication-cost grid (Figs 5 and 7) through
-/// a Sweep: axes inv_comm_cost × the paper's seven schedulers. Prints
-/// the pivoted table (schedulers as columns, one row per cost point) and
-/// returns rows[point] = {inv_cost, eff...} as before.
-std::vector<std::vector<double>> run_efficiency_sweep(
-    const BenchParams& p, const exp::WorkloadSpec& spec,
-    const std::vector<double>& inv_costs);
+/// The whole of a figure bench binary: looks `id` up in exp::FigSet,
+/// parses the common flags against the figure's quick defaults (applying
+/// its full-scale task pin), prints the banner, builds and runs the grid
+/// with the standard sinks, and prints the figure's report/shape check.
+/// Returns the process exit code.
+int run_figure(const std::string& id, int argc, char** argv);
 
 /// Writes `rows` as CSV with the given header if `p.csv` is set. Only
 /// for bespoke series a SweepResult does not model (e.g. fig03's

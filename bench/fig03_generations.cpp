@@ -1,164 +1,12 @@
 // Figure 3: average reduction in makespan after each generation of the GA,
 // for 0 (pure GA), 1, and 50 re-balances per individual per generation.
 //
-// Paper result: the largest reductions occur in the first ~100
-// generations; after 1000 generations the best makespan is reduced to
-// about 75% (pure GA), 70% (1 re-balance), and 65% (50 re-balances) of its
-// initial value.
-
-#include <iostream>
+// The grid, trajectory runner, and report live in exp::FigSet
+// (src/exp/figset.cpp, id "fig03"); this binary is a thin driver so the
+// figure also runs under tools/figset.
 
 #include "bench_common.hpp"
-#include "util/thread_pool.hpp"
-#include "core/fitness.hpp"
-#include "core/init.hpp"
-#include "ga/engine.hpp"
-#include "sim/cluster.hpp"
-#include "workload/generator.hpp"
-
-using namespace gasched;
-
-namespace {
-
-/// Observable system view of a freshly built cluster: Linpack rates, no
-/// pending load, comm estimates primed at the true link means (the GA is
-/// studied in steady state here, as in the paper's Fig 3).
-sim::SystemView steady_state_view(const sim::Cluster& cluster) {
-  sim::SystemView v;
-  v.procs.resize(cluster.size());
-  for (std::size_t j = 0; j < cluster.size(); ++j) {
-    v.procs[j].id = static_cast<sim::ProcId>(j);
-    v.procs[j].rate = cluster.processors[j].base_rate;
-    v.procs[j].comm_estimate =
-        cluster.comm->true_mean(static_cast<sim::ProcId>(j));
-    v.procs[j].comm_observations = 1;
-  }
-  return v;
-}
-
-}  // namespace
 
 int main(int argc, char** argv) {
-  auto p = bench::parse_params(argc, argv, /*tasks=*/200, /*reps=*/10,
-                               /*generations=*/300);
-  if (p.full) {
-    p.tasks = 200;  // Fig 3 studies one batch, not the 10k-task stream
-    p.reps = 50;
-  }
-  bench::print_banner(
-      "Figure 3", "makespan reduction per GA generation",
-      "largest gains in first ~100 generations; final makespan ~75% (pure "
-      "GA) / ~70% (1 rebalance) / ~65% (50 rebalances) of initial",
-      p);
-
-  const std::vector<double> rebalance_levels{0, 1, 50};
-  // reduction[level][gen]: mean reduction trajectories, filled by the
-  // sweep's cells (deterministic: every stream depends only on rep).
-  std::vector<std::vector<double>> reduction(
-      rebalance_levels.size(), std::vector<double>(p.generations + 1, 0.0));
-
-  exp::WorkloadSpec spec;  // GA-batch study: sizes drawn directly below
-  exp::Sweep sweep = bench::make_sweep("fig3", p, spec, /*mean_comm=*/20.0);
-  sweep.axis("rebalances", rebalance_levels, {});
-  sweep.extra_columns({"final_reduction"});
-  sweep.runner([&](const exp::SweepCell& cell, bool parallel) {
-    const std::size_t li = cell.index;
-    const auto level =
-        static_cast<std::size_t>(cell.coord_value("rebalances"));
-    std::vector<std::vector<double>> per_rep(
-        p.reps, std::vector<double>(p.generations + 1, 0.0));
-    auto body = [&](std::size_t rep) {
-      const util::Rng base(p.seed);
-      util::Rng cluster_rng = base.split(2 * rep);
-      util::Rng task_rng = base.split(2 * rep + 1);
-      const sim::Cluster cluster = sim::build_cluster(
-          exp::paper_cluster(20.0, p.procs), cluster_rng);
-      const sim::SystemView view = steady_state_view(cluster);
-
-      workload::NormalSizes dist(1000.0, 9e5);
-      std::vector<double> sizes(p.tasks);
-      for (auto& s : sizes) s = dist.sample(task_rng);
-
-      const core::ScheduleCodec codec(p.tasks, cluster.size());
-      const core::ScheduleEvaluator eval(sizes, view, /*use_comm=*/true);
-
-      // All three series start from the *same* initial population so the
-      // re-balance levels are compared like-for-like.
-      util::Rng init_rng = base.split(500 + rep);
-      const auto shared_init = core::initial_population(
-          codec, eval, p.population, 0.5, init_rng);
-
-      ga::GaConfig cfg;
-      cfg.population = p.population;
-      cfg.max_generations = p.generations;
-      cfg.improvement_passes = level;
-      cfg.record_history = true;
-      const ga::RouletteSelection sel;
-      const ga::CycleCrossover cx;
-      const ga::SwapMutation mut;
-      const ga::GaEngine engine(cfg, sel, cx, mut);
-      const core::ScheduleProblem problem(codec, eval);
-      util::Rng ga_rng = base.split(1000 + 10 * rep + li);
-      auto init = shared_init;
-      const auto result = engine.run(problem, std::move(init), ga_rng);
-      const double initial = result.objective_history.front();
-      for (std::size_t g = 0; g < per_rep[rep].size(); ++g) {
-        const double ms = g < result.objective_history.size()
-                              ? result.objective_history[g]
-                              : result.objective_history.back();
-        per_rep[rep][g] = 1.0 - ms / initial;
-      }
-    };
-    if (parallel && p.reps > 1) {
-      util::global_pool().parallel_for(0, p.reps, body);
-    } else {
-      for (std::size_t rep = 0; rep < p.reps; ++rep) body(rep);
-    }
-
-    // Serial reduction over replications into the shared trajectory
-    // table (one writer per level: cells own disjoint rows).
-    for (std::size_t rep = 0; rep < p.reps; ++rep) {
-      for (std::size_t g = 0; g < reduction[li].size(); ++g) {
-        reduction[li][g] += per_rep[rep][g];
-      }
-    }
-    for (auto& v : reduction[li]) v /= static_cast<double>(p.reps);
-
-    exp::CellOutcome out;
-    out.extras = {{"final_reduction", reduction[li].back()}};
-    return out;
-  });
-
-  // The trajectory table/CSV below is the figure; the sweep table would
-  // only repeat the final points, so the grid sinks stay detached and
-  // --csv/--json go to the bespoke series instead.
-  bench::BenchParams run_p = p;
-  run_p.csv.reset();
-  run_p.json.reset();
-  bench::run_sweep(sweep, run_p, /*print_table=*/false);
-
-  util::Table table(
-      {"generation", "pure GA", "1 rebalance", "50 rebalances"});
-  std::vector<std::vector<double>> csv_rows;
-  const std::size_t step = std::max<std::size_t>(1, p.generations / 20);
-  for (std::size_t g = 0; g <= p.generations; g += step) {
-    std::vector<double> row{static_cast<double>(g)};
-    for (std::size_t li = 0; li < rebalance_levels.size(); ++li) {
-      row.push_back(reduction[li][g]);
-    }
-    table.add_row(util::fmt(static_cast<double>(g), 6),
-                  {row[1], row[2], row[3]});
-    csv_rows.push_back(std::move(row));
-  }
-  table.print(std::cout);
-  bench::maybe_write_csv(
-      p, {"generation", "pure_ga", "rebalance_1", "rebalance_50"}, csv_rows);
-
-  std::cout << "\nFinal makespan as % of initial: pure GA="
-            << util::fmt(100.0 * (1.0 - csv_rows.back()[1]), 4)
-            << "%  1 rebalance="
-            << util::fmt(100.0 * (1.0 - csv_rows.back()[2]), 4)
-            << "%  50 rebalances="
-            << util::fmt(100.0 * (1.0 - csv_rows.back()[3]), 4) << "%\n";
-  return 0;
+  return gasched::bench::run_figure("fig03", argc, argv);
 }

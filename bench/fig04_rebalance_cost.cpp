@@ -1,48 +1,12 @@
 // Figure 4: wall-clock time taken to schedule a task stream with varying
 // numbers of re-balances per individual per generation of the GA.
 //
-// Paper result: time grows linearly in the number of re-balances (≈50 s at
-// 0 to ≈250 s at 20 for 10,000 tasks on the authors' hardware). Absolute
-// times differ on other machines; the linear shape is the claim.
-
-#include <iostream>
+// The grid and linear-fit report live in exp::FigSet
+// (src/exp/figset.cpp, id "fig04"); this binary is a thin driver so the
+// figure also runs under tools/figset.
 
 #include "bench_common.hpp"
-#include "util/stats.hpp"
-
-using namespace gasched;
 
 int main(int argc, char** argv) {
-  const auto p = bench::parse_params(argc, argv, /*tasks=*/1500, /*reps=*/2,
-                                     /*generations=*/60);
-  bench::print_banner(
-      "Figure 4", "scheduling time vs re-balances per generation",
-      "wall-clock scheduling time increases linearly with the number of "
-      "re-balances",
-      p);
-
-  exp::WorkloadSpec spec;
-  spec.dist = "normal";
-  spec.param_a = 1000.0;
-  spec.param_b = 9e5;
-
-  std::vector<double> levels;
-  for (std::size_t k = 0; k <= 20; k += 2) {
-    levels.push_back(static_cast<double>(k));
-  }
-
-  exp::Sweep sweep = bench::make_sweep("fig4", p, spec, /*mean_comm=*/20.0);
-  sweep.scheduler("PN");
-  sweep.param_axis("rebalances", levels);
-  const auto result = bench::run_sweep(sweep, p);
-
-  std::vector<double> ys;
-  for (const auto& row : result.rows) ys.push_back(row.cell.sched_wall.mean);
-  const util::LinearFit fit = util::linear_fit(levels, ys);
-  std::cout << "\nLinear fit: time = " << util::fmt(fit.intercept, 4) << " + "
-            << util::fmt(fit.slope, 4) << " * rebalances   (R^2 = "
-            << util::fmt(fit.r2, 4) << ")\n"
-            << (fit.r2 > 0.9 ? "Shape REPRODUCED: linear growth.\n"
-                             : "Shape NOT clearly linear at this scale.\n");
-  return 0;
+  return gasched::bench::run_figure("fig04", argc, argv);
 }

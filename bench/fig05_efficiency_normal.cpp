@@ -2,50 +2,12 @@
 // task sizes (mean 1000 MFLOPs, variance 9e5) and varying communication
 // costs; 1000 tasks, batch size 200, 50 processors.
 //
-// Paper result: PN gives the best processor efficiency across the sweep;
-// efficiency rises as communication gets cheaper (larger 1/cost).
-
-#include <iostream>
+// The grid and pivoted report live in exp::FigSet (src/exp/figset.cpp,
+// id "fig05"); this binary is a thin driver so the figure also runs
+// under tools/figset.
 
 #include "bench_common.hpp"
 
-using namespace gasched;
-
 int main(int argc, char** argv) {
-  auto p = bench::parse_params(argc, argv, /*tasks=*/1000, /*reps=*/3,
-                               /*generations=*/120);
-  if (p.full) p.tasks = 1000;  // the paper uses 1000 tasks for this figure
-  p.pn_dynamic_batch = false;  // paper fixes the batch size at 200 here
-  bench::print_banner(
-      "Figure 5", "efficiency vs 1/mean comm cost (normal task sizes)",
-      "PN has the highest efficiency at every communication cost; all "
-      "schedulers improve as communication gets cheaper",
-      p);
-
-  exp::WorkloadSpec spec;
-  spec.dist = "normal";
-  spec.param_a = 1000.0;
-  spec.param_b = 9e5;
-
-  const std::vector<double> inv_costs =
-      p.full ? std::vector<double>{0.01, 0.02, 0.03, 0.04, 0.05,
-                                   0.06, 0.07, 0.08, 0.09, 0.10}
-             : std::vector<double>{0.01, 0.025, 0.05, 0.075, 0.10};
-
-  const auto rows = bench::run_efficiency_sweep(p, spec, inv_costs);
-
-  // Shape check: PN (column 5 = index 5 in row, after the x value) should
-  // win at most sweep points.
-  const std::size_t pn_col = 5;  // x, EF, LL, RR, ZO, PN, MM, MX
-  std::size_t pn_wins = 0;
-  for (const auto& row : rows) {
-    bool best = true;
-    for (std::size_t c = 1; c < row.size(); ++c) {
-      if (c != pn_col && row[c] > row[pn_col]) best = false;
-    }
-    if (best) ++pn_wins;
-  }
-  std::cout << "\nPN best at " << pn_wins << "/" << rows.size()
-            << " sweep points.\n";
-  return 0;
+  return gasched::bench::run_figure("fig05", argc, argv);
 }

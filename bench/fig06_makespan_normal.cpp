@@ -1,34 +1,12 @@
 // Figure 6: makespan of the seven schedulers with normally distributed
 // task sizes (mean 1000 MFLOPs, variance 9e5) and PN's dynamic batch size.
 //
-// Paper result: PN outperforms all the other schedulers in total execution
-// time.
-
-#include <iostream>
+// The grid and shape check live in exp::FigSet (src/exp/figset.cpp,
+// id "fig06"); this binary is a thin driver so the figure also runs
+// under tools/figset.
 
 #include "bench_common.hpp"
 
-using namespace gasched;
-
 int main(int argc, char** argv) {
-  const auto p = bench::parse_params(argc, argv, /*tasks=*/1000, /*reps=*/3,
-                                     /*generations=*/120);
-  bench::print_banner(
-      "Figure 6", "makespan bars (normal task sizes, dynamic batch)",
-      "PN has the lowest makespan of all seven schedulers", p);
-
-  exp::WorkloadSpec spec;
-  spec.dist = "normal";
-  spec.param_a = 1000.0;
-  spec.param_b = 9e5;
-
-  const auto means = bench::run_makespan_bars(p, spec, /*mean_comm=*/20.0);
-
-  const std::size_t pn = 4;  // EF LL RR ZO PN MM MX
-  bool pn_best = true;
-  for (std::size_t i = 0; i < means.size(); ++i) {
-    if (i != pn && means[i] < means[pn]) pn_best = false;
-  }
-  std::cout << "\nPN lowest makespan: " << (pn_best ? "YES" : "no") << "\n";
-  return 0;
+  return gasched::bench::run_figure("fig06", argc, argv);
 }

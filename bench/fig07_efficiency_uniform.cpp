@@ -1,51 +1,12 @@
 // Figure 7: efficiency of the seven schedulers with uniformly distributed
 // task sizes (10–1000 MFLOPs) and varying communication costs.
 //
-// Paper result: the two meta-heuristic schedulers (PN and ZO) clearly
-// provide more efficient schedules than the simple heuristics.
-
-#include <iostream>
+// The grid and pivoted report live in exp::FigSet (src/exp/figset.cpp,
+// id "fig07"); this binary is a thin driver so the figure also runs
+// under tools/figset.
 
 #include "bench_common.hpp"
 
-using namespace gasched;
-
 int main(int argc, char** argv) {
-  auto p = bench::parse_params(argc, argv, /*tasks=*/1000, /*reps=*/3,
-                               /*generations=*/120);
-  if (p.full) p.tasks = 1000;
-  p.pn_dynamic_batch = false;  // fixed batch of 200, as in Fig 5
-  bench::print_banner(
-      "Figure 7", "efficiency vs 1/mean comm cost (uniform 10-1000)",
-      "the meta-heuristic schedulers (PN, ZO) are clearly more efficient "
-      "than the simple heuristics",
-      p);
-
-  exp::WorkloadSpec spec;
-  spec.dist = "uniform";
-  spec.param_a = 10.0;
-  spec.param_b = 1000.0;
-
-  const std::vector<double> inv_costs =
-      p.full ? std::vector<double>{0.01, 0.02, 0.03, 0.04, 0.05,
-                                   0.06, 0.07, 0.08, 0.09, 0.10}
-             : std::vector<double>{0.01, 0.025, 0.05, 0.075, 0.10};
-
-  const auto rows = bench::run_efficiency_sweep(p, spec, inv_costs);
-
-  // Shape check: mean efficiency of {PN, ZO} vs best simple heuristic.
-  double meta = 0.0, heuristic = 0.0;
-  for (const auto& row : rows) {
-    meta += 0.5 * (row[4] + row[5]);  // ZO + PN
-    double best_simple = 0.0;
-    for (const std::size_t c : {1u, 2u, 3u, 6u, 7u}) {
-      best_simple = std::max(best_simple, row[c]);
-    }
-    heuristic += best_simple;
-  }
-  std::cout << "\nMean meta-heuristic efficiency "
-            << util::fmt(meta / rows.size(), 4)
-            << " vs best simple heuristic "
-            << util::fmt(heuristic / rows.size(), 4) << "\n";
-  return 0;
+  return gasched::bench::run_figure("fig07", argc, argv);
 }

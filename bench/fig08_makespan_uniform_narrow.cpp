@@ -1,34 +1,12 @@
 // Figure 8: makespan with task sizes uniformly distributed 10–100 MFLOPs
 // (smallest:largest ratio only 1:10).
 //
-// Paper result: with such a narrow size range, most schedulers produce
-// similarly efficient schedules — the bars are close together.
-
-#include <iostream>
+// The grid and shape check live in exp::FigSet (src/exp/figset.cpp,
+// id "fig08"); this binary is a thin driver so the figure also runs
+// under tools/figset.
 
 #include "bench_common.hpp"
-#include "util/stats.hpp"
-
-using namespace gasched;
 
 int main(int argc, char** argv) {
-  const auto p = bench::parse_params(argc, argv, /*tasks=*/1000, /*reps=*/3,
-                                     /*generations=*/120);
-  bench::print_banner(
-      "Figure 8", "makespan bars (uniform 10-100, ratio 1:10)",
-      "schedulers perform similarly: the narrow task-size range flattens "
-      "the differences",
-      p);
-
-  exp::WorkloadSpec spec;
-  spec.dist = "uniform";
-  spec.param_a = 10.0;
-  spec.param_b = 100.0;
-
-  const auto means = bench::run_makespan_bars(p, spec, /*mean_comm=*/5.0);
-  const auto s = util::summarize(means);
-  std::cout << "\nSpread across schedulers: (max-min)/mean = "
-            << util::fmt((s.max - s.min) / s.mean, 4)
-            << " (small spread expected)\n";
-  return 0;
+  return gasched::bench::run_figure("fig08", argc, argv);
 }

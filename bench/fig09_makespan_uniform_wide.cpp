@@ -1,40 +1,12 @@
 // Figure 9: makespan with task sizes uniformly distributed 10–10000 MFLOPs
 // (ratio 1:1000).
 //
-// Paper result: with the wider range the differences between schedulers
-// become accentuated, and PN performs best.
-
-#include <iostream>
+// The grid and shape check live in exp::FigSet (src/exp/figset.cpp,
+// id "fig09"); this binary is a thin driver so the figure also runs
+// under tools/figset.
 
 #include "bench_common.hpp"
-#include "util/stats.hpp"
-
-using namespace gasched;
 
 int main(int argc, char** argv) {
-  const auto p = bench::parse_params(argc, argv, /*tasks=*/1000, /*reps=*/3,
-                                     /*generations=*/120);
-  bench::print_banner(
-      "Figure 9", "makespan bars (uniform 10-10000, ratio 1:1000)",
-      "differences between schedulers become accentuated (the paper's "
-      "claim for this figure); the meta-heuristic and size-aware batch "
-      "schedulers lead, LL/RR trail badly",
-      p);
-
-  exp::WorkloadSpec spec;
-  spec.dist = "uniform";
-  spec.param_a = 10.0;
-  spec.param_b = 10000.0;
-
-  const auto means = bench::run_makespan_bars(p, spec, /*mean_comm=*/5.0);
-  const auto s = util::summarize(means);
-  // EF LL RR ZO PN MM MX: load-aware schedulers vs load-blind LL/RR.
-  const double pn = means[4];
-  const double worst_blind = std::max(means[1], means[2]);
-  std::cout << "\nSpread across schedulers: (max-min)/mean = "
-            << util::fmt((s.max - s.min) / s.mean, 4)
-            << " (large spread expected)\nPN vs worst load-blind scheduler: "
-            << util::fmt(pn, 5) << " vs " << util::fmt(worst_blind, 5)
-            << " (accentuated gap expected)\n";
-  return 0;
+  return gasched::bench::run_figure("fig09", argc, argv);
 }

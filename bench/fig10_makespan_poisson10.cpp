@@ -1,33 +1,11 @@
 // Figure 10: makespan with Poisson-distributed task sizes, mean 10 MFLOPs.
 //
-// Paper result: PN performs best, followed by MM; MX performs quite badly
-// when the mean task size is small.
-
-#include <iostream>
+// The grid and shape check live in exp::FigSet (src/exp/figset.cpp,
+// id "fig10"); this binary is a thin driver so the figure also runs
+// under tools/figset.
 
 #include "bench_common.hpp"
 
-using namespace gasched;
-
 int main(int argc, char** argv) {
-  const auto p = bench::parse_params(argc, argv, /*tasks=*/1000, /*reps=*/3,
-                                     /*generations=*/120);
-  bench::print_banner(
-      "Figure 10", "makespan bars (Poisson task sizes, mean 10 MFLOPs)",
-      "PN best, MM next; MX performs badly at this small mean", p);
-
-  exp::WorkloadSpec spec;
-  spec.dist = "poisson";
-  spec.param_a = 10.0;
-
-  const auto means = bench::run_makespan_bars(p, spec, /*mean_comm=*/1.0);
-  const std::size_t pn = 4, mm = 5, mx = 6;
-  bool pn_best = true;
-  for (std::size_t i = 0; i < means.size(); ++i) {
-    if (i != pn && means[i] < means[pn]) pn_best = false;
-  }
-  std::cout << "\nPN lowest makespan: " << (pn_best ? "YES" : "no")
-            << "; MM/MX ratio = " << util::fmt(means[mm] / means[mx], 4)
-            << " (< 1 expected: MM beats MX at small means)\n";
-  return 0;
+  return gasched::bench::run_figure("fig10", argc, argv);
 }

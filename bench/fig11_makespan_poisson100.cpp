@@ -1,34 +1,12 @@
 // Figure 11: makespan with Poisson-distributed task sizes, mean 100
 // MFLOPs.
 //
-// Paper result: the batch schedulers (PN, ZO, MM, MX) all perform well;
-// the immediate-mode schedulers (EF, LL, RR) do not perform as well.
-
-#include <iostream>
+// The grid and shape check live in exp::FigSet (src/exp/figset.cpp,
+// id "fig11"); this binary is a thin driver so the figure also runs
+// under tools/figset.
 
 #include "bench_common.hpp"
 
-using namespace gasched;
-
 int main(int argc, char** argv) {
-  const auto p = bench::parse_params(argc, argv, /*tasks=*/1000, /*reps=*/3,
-                                     /*generations=*/120);
-  bench::print_banner(
-      "Figure 11", "makespan bars (Poisson task sizes, mean 100 MFLOPs)",
-      "batch schedulers all perform well; immediate-mode schedulers trail",
-      p);
-
-  exp::WorkloadSpec spec;
-  spec.dist = "poisson";
-  spec.param_a = 100.0;
-
-  const auto means = bench::run_makespan_bars(p, spec, /*mean_comm=*/1.0);
-  // EF LL RR ZO PN MM MX — compare batch (3,4,5,6) vs immediate (0,1,2).
-  const double batch =
-      (means[3] + means[4] + means[5] + means[6]) / 4.0;
-  const double immediate = (means[0] + means[1] + means[2]) / 3.0;
-  std::cout << "\nMean batch makespan " << util::fmt(batch, 5)
-            << " vs immediate " << util::fmt(immediate, 5)
-            << " (batch <= immediate expected)\n";
-  return 0;
+  return gasched::bench::run_figure("fig11", argc, argv);
 }

@@ -8,6 +8,8 @@
 //   ./run_scenario my.ini --schedulers PN,EF,SUF --gantt
 //   ./run_scenario my.ini --schedulers metaheuristic --csv out.csv
 //   ./run_scenario grid.ini --serial --json out.jsonl
+//   ./run_scenario grid.ini --csv out.csv --resume     # continue a kill
+//   ./run_scenario grid.ini --csv s0.csv --shard 0/2   # machine 0 of 2
 //   ./run_scenario --list-schedulers
 //   ./run_scenario --list-distributions
 
@@ -15,6 +17,7 @@
 #include <optional>
 
 #include "exp/config_scenario.hpp"
+#include "exp/figset.hpp"
 #include "exp/registry.hpp"
 #include "exp/runner.hpp"
 #include "exp/sweep.hpp"
@@ -68,6 +71,40 @@ void list_distributions(std::ostream& os) {
 
 }  // namespace
 
+int usage(std::ostream& os, const std::string& program, int code) {
+  os << "usage: " << program
+     << " <scenario.ini> [options]\n"
+        "       " << program << " --list-schedulers\n"
+        "       " << program << " --list-distributions\n"
+        "\n"
+        "Runs the scenario's experiment grid: the INI's scenario sections\n"
+        "([scenario]/[cluster]/[comm]/[workload]/[scheduler]/[failures])\n"
+        "define the base cell, and the optional [sweep] section adds axes —\n"
+        "`schedulers = <selector>` plus any number of `key = v1, v2, ...`\n"
+        "scalar axes (scenario keys such as procs, tasks, mean_comm_cost\n"
+        "sweep the scenario; any other key sweeps a [scheduler] parameter).\n"
+        "See examples/scenario_example.ini and docs/sweeps.md.\n"
+        "\n"
+        "options:\n"
+        "  --schedulers <tag|all|name,...>  replace the config's scheduler\n"
+        "                   selector; tags are paper, baseline,\n"
+        "                   metaheuristic (see --list-schedulers)\n"
+        "  --csv out.csv    stream results to a crash-safe CSV (flushed\n"
+        "                   per row; byte-identical across thread counts)\n"
+        "  --json out.jsonl stream results as JSON Lines\n"
+        "  --resume         with --csv/--json: skip cells already present\n"
+        "                   in the file(s) and append only missing rows.\n"
+        "                   Assumes the INI and flags are unchanged since\n"
+        "                   the original run — only axis names are encoded\n"
+        "                   in the files, so edits to base scenario values\n"
+        "                   (seed, cluster, ...) cannot be detected (the\n"
+        "                   figset tool verifies this via its manifest)\n"
+        "  --shard I/N      run only cells with job index ≡ I (mod N)\n"
+        "  --serial         disable sweep parallelism\n"
+        "  --gantt          render a Gantt chart of the first cell's run\n";
+  return code;
+}
+
 int main(int argc, char** argv) {
   const util::Cli cli(argc, argv);
   if (cli.get_bool("list-schedulers", false)) {
@@ -78,14 +115,8 @@ int main(int argc, char** argv) {
     list_distributions(std::cout);
     return 0;
   }
-  if (cli.positional().empty()) {
-    std::cerr << "usage: " << cli.program()
-              << " <scenario.ini> [--schedulers <tag|all|name,...>]"
-                 " [--csv out.csv] [--json out.jsonl] [--serial] [--gantt]\n"
-              << "       " << cli.program() << " --list-schedulers\n"
-              << "       " << cli.program() << " --list-distributions\n";
-    return 2;
-  }
+  if (cli.get_bool("help", false)) return usage(std::cout, cli.program(), 0);
+  if (cli.positional().empty()) return usage(std::cerr, cli.program(), 2);
 
   int exit_code = 0;
   try {
@@ -93,6 +124,20 @@ int main(int argc, char** argv) {
     exp::Sweep sweep =
         exp::sweep_from_config(cfg, cli.get("schedulers", ""));
     sweep.parallel(!cli.get_bool("serial", false));
+
+    const std::string shard = cli.get("shard", "");
+    if (!shard.empty()) {
+      const auto [index, count] = exp::parse_shard_spec(shard);
+      sweep.shard(index, count);
+    }
+    const bool resume = cli.get_bool("resume", false);
+    if (resume && !cli.has("csv") && !cli.has("json")) {
+      std::cerr << "error: --resume needs --csv and/or --json (the files "
+                   "to continue into)\n";
+      return 2;
+    }
+    const metrics::SinkMode mode = resume ? metrics::SinkMode::kResume
+                                          : metrics::SinkMode::kTruncate;
 
     const exp::Scenario scenario = exp::scenario_from_config(cfg);
     std::cout << "Scenario '" << scenario.name << "': "
@@ -106,12 +151,12 @@ int main(int argc, char** argv) {
     sweep.add_sink(table);
     std::optional<metrics::CsvSink> csv;
     if (cli.has("csv")) {
-      csv.emplace(cli.get("csv", ""));
+      csv.emplace(cli.get("csv", ""), mode);
       sweep.add_sink(*csv);
     }
     std::optional<metrics::JsonlSink> jsonl;
     if (cli.has("json")) {
-      jsonl.emplace(cli.get("json", ""));
+      jsonl.emplace(cli.get("json", ""), mode);
       sweep.add_sink(*jsonl);
     }
 

@@ -1,0 +1,40 @@
+#!/usr/bin/env bash
+# Fails (exit 1) when any markdown file passed as an argument contains a
+# relative link whose target does not exist. External (http/https/
+# mailto) links and pure in-page anchors (#...) are ignored; a relative
+# link's own "#section" suffix is stripped before the existence check.
+#
+#   scripts/check_doc_links.sh README.md docs/*.md
+#
+# Run from the repository root (CI does); targets resolve relative to
+# each file's directory.
+set -u
+
+status=0
+for file in "$@"; do
+  if [ ! -f "$file" ]; then
+    echo "check_doc_links: no such file: $file" >&2
+    status=1
+    continue
+  fi
+  dir=$(dirname "$file")
+  # Inline markdown links: [text](target). Reference-style links are not
+  # used in this repo.
+  while IFS= read -r target; do
+    case "$target" in
+      http://*|https://*|mailto:*|'#'*) continue ;;
+    esac
+    path="${target%%#*}"
+    [ -z "$path" ] && continue
+    if [ ! -e "$dir/$path" ]; then
+      echo "check_doc_links: $file -> broken link: $target" >&2
+      status=1
+    fi
+  done < <(awk '/^```/ { fence = !fence; next } !fence' "$file" \
+             | grep -o '](\([^)]*\))' | sed 's/^](//; s/)$//')
+done
+
+if [ "$status" -eq 0 ]; then
+  echo "check_doc_links: all relative links resolve ($# files)"
+fi
+exit "$status"

@@ -1,39 +1,54 @@
 #pragma once
-// String-keyed, self-registering factories for schedulers and task-size
-// distributions — the open replacement for the old closed
-// SchedulerKind/DistKind enums. Adding a scheduler (in-tree or from user
-// code) is one registry entry: name, one-line summary, tags, and a
-// factory that reads its own options from a SchedulerParams view. No enum
-// to extend, no switch statements or hand-maintained name lists to keep
-// in lockstep.
-//
-// Lookups are case-insensitive; unknown names throw std::runtime_error
-// listing every registered name. The built-in entries (17 schedulers, 7
-// distributions) are registered by their own subsystems —
-// sched/register.cpp, meta/register.cpp, core/register.cpp,
-// workload/register.cpp — the first time a registry is touched.
-//
-// Per-entry [scheduler] keys understood by the built-ins, beyond the
-// shared defaults documented in exp/params.hpp:
-//
-//   PN, PNI    rebalance_probes (5)
-//   SA         sa_cooling (0.92), sa_initial_acceptance (0.5),
-//              sa_moves_per_temperature (0 = auto)
-//   TS         tabu_tenure (0 = auto), tabu_stall (64)
-//   ACO        aco_ants (10), aco_iterations (40), aco_evaporation (0.15)
-//   HC         hc_restarts (4), hc_stall (96)
-//
-// Per-family [workload] keys of the built-in distributions (generic
-// param_a/param_b remain the fallback for the paper's families):
-//
-//   normal     mean (param_a), variance (param_b), floor (1)
-//   uniform    lo (param_a), hi (param_b)
-//   poisson    mean (param_a), floor (1)
-//   constant   size (param_a)
-//   pareto     alpha (1.1), lo (param_a), hi (param_b)
-//   lognormal  median (param_a), sigma (1), floor (1)
-//   bimodal    mean_small (100), var_small (900), mean_large (10000),
-//              var_large (9e6), weight_small (0.8), floor (1)
+/// \file
+/// String-keyed, self-registering factories for schedulers and task-size
+/// distributions — the open replacement for the old closed
+/// SchedulerKind/DistKind enums. Adding a scheduler (in-tree or from
+/// user code) is one registry entry: name, one-line summary, tags, and a
+/// factory that reads its own options from a SchedulerParams view. No
+/// enum to extend, no switch statements or hand-maintained name lists to
+/// keep in lockstep. Invariants:
+///
+///  - **Stable entries.** Entries are never removed or replaced, so
+///    references returned by find() stay valid for the process lifetime;
+///    add() rejects duplicate names (case-insensitively). Both
+///    registries are thread-safe.
+///  - **Case-insensitive keys, canonical spellings.** Lookups fold case;
+///    canonical_name() returns the registered spelling, which is what
+///    sweeps, tables, and CSV files display. Unknown names throw
+///    std::runtime_error listing every registered name.
+///  - **Registration ranks order every enumeration.** names() sorts by
+///    (rank, registration order): the built-ins claim ranks 0…16 to
+///    preserve the paper's bar-chart order (EF LL RR ZO PN MM MX first —
+///    figure shape checks index into that order), and user entries keep
+///    the default rank so they list after the built-ins no matter which
+///    translation unit registered first.
+///  - **Self-registration.** The built-in entries (17 schedulers, 7
+///    distributions) are registered by their own subsystems —
+///    sched/register.cpp, meta/register.cpp, core/register.cpp,
+///    workload/register.cpp — the first time a registry is touched, so
+///    linking the library is enough; no init call.
+///
+/// Per-entry [scheduler] keys understood by the built-ins, beyond the
+/// shared defaults documented in exp/params.hpp:
+///
+///   PN, PNI    rebalance_probes (5)
+///   SA         sa_cooling (0.92), sa_initial_acceptance (0.5),
+///              sa_moves_per_temperature (0 = auto)
+///   TS         tabu_tenure (0 = auto), tabu_stall (64)
+///   ACO        aco_ants (10), aco_iterations (40), aco_evaporation (0.15)
+///   HC         hc_restarts (4), hc_stall (96)
+///
+/// Per-family [workload] keys of the built-in distributions (generic
+/// param_a/param_b remain the fallback for the paper's families):
+///
+///   normal     mean (param_a), variance (param_b), floor (1)
+///   uniform    lo (param_a), hi (param_b)
+///   poisson    mean (param_a), floor (1)
+///   constant   size (param_a)
+///   pareto     alpha (1.1), lo (param_a), hi (param_b)
+///   lognormal  median (param_a), sigma (1), floor (1)
+///   bimodal    mean_small (100), var_small (900), mean_large (10000),
+///              var_large (9e6), weight_small (0.8), floor (1)
 
 #include <deque>
 #include <functional>

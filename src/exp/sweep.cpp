@@ -3,6 +3,7 @@
 #include <atomic>
 #include <cstdio>
 #include <mutex>
+#include <set>
 #include <stdexcept>
 
 #include "exp/registry.hpp"
@@ -184,6 +185,17 @@ Sweep& Sweep::parallel(bool on) {
   return *this;
 }
 
+Sweep& Sweep::shard(std::size_t index, std::size_t count) {
+  if (count == 0 || index >= count) {
+    throw std::invalid_argument("Sweep: invalid shard " +
+                                std::to_string(index) + "/" +
+                                std::to_string(count));
+  }
+  shard_index_ = index;
+  shard_count_ = count;
+  return *this;
+}
+
 Sweep& Sweep::progress(bool on) {
   progress_ = on;
   return *this;
@@ -251,6 +263,27 @@ SweepResult Sweep::run() const {
 
   for (auto* sink : sinks_) sink->begin(result.header);
 
+  // Resume: cells already present in EVERY non-passive sink need not be
+  // re-executed — each of their files already holds the row. Cells held
+  // by only some sinks re-run (deterministically identical) and the
+  // sinks that have them drop the duplicate delivery themselves.
+  std::set<std::size_t> resume_skip;
+  bool first_resumable = true;
+  for (auto* sink : sinks_) {
+    const std::set<std::size_t>* have = sink->resumed();
+    if (have == nullptr) continue;  // passive sink (table, progress)
+    if (first_resumable) {
+      resume_skip = *have;
+      first_resumable = false;
+    } else {
+      std::set<std::size_t> kept;
+      for (const std::size_t i : resume_skip) {
+        if (have->count(i) > 0) kept.insert(i);
+      }
+      resume_skip = std::move(kept);
+    }
+  }
+
   const bool show_progress = progress_.value_or(stderr_is_tty());
   // Sink/progress state. `done` marks completed cells; rows stream to
   // the sinks as the completed prefix extends, so output order is the
@@ -261,7 +294,37 @@ SweepResult Sweep::run() const {
   std::size_t next_flush = 0;
   std::size_t completed = 0;
 
-  auto run_cell_at = [&](std::size_t i) {
+  // Pre-mark skipped cells (off-shard or resumed): their rows carry the
+  // coordinates but no data and are never delivered to sinks.
+  std::vector<std::size_t> to_run;
+  to_run.reserve(cells.size());
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    const bool on_shard = (i % shard_count_) == shard_index_;
+    if (on_shard && resume_skip.count(i) == 0) {
+      to_run.push_back(i);
+      continue;
+    }
+    result.rows[i].index = i;
+    result.rows[i].coords = cells[i].coords;
+    result.rows[i].scheduler = cells[i].scheduler;
+    result.rows[i].skipped = true;
+    done[i] = 1;
+    ++result.skipped;
+  }
+
+  auto flush_ready = [&] {
+    // Caller holds `mu` (or is still single-threaded before execution).
+    while (next_flush < cells.size() && done[next_flush]) {
+      if (!result.rows[next_flush].skipped) {
+        for (auto* sink : sinks_) sink->row(result.rows[next_flush]);
+      }
+      ++next_flush;
+    }
+  };
+  flush_ready();  // advance past any leading skipped cells
+
+  auto run_cell_at = [&](std::size_t job) {
+    const std::size_t i = to_run[job];
     metrics::SweepRow row;
     row.index = i;
     row.coords = cells[i].coords;
@@ -282,13 +345,13 @@ SweepResult Sweep::run() const {
     done[i] = 1;
     ++completed;
     if (!result.rows[i].ok()) ++result.failed;
-    while (next_flush < cells.size() && done[next_flush]) {
-      for (auto* sink : sinks_) sink->row(result.rows[next_flush]);
-      ++next_flush;
-    }
+    flush_ready();
     if (show_progress) {
       std::fprintf(stderr, "\r[%s] %zu/%zu cells", name_.c_str(), completed,
-                   cells.size());
+                   to_run.size());
+      if (result.skipped > 0) {
+        std::fprintf(stderr, " (%zu skipped)", result.skipped);
+      }
       if (result.failed > 0) {
         std::fprintf(stderr, " (%zu failed)", result.failed);
       }
@@ -296,13 +359,13 @@ SweepResult Sweep::run() const {
     }
   };
 
-  if (parallel_ && cells.size() > 1) {
-    util::global_pool().parallel_for(0, cells.size(), run_cell_at);
+  if (parallel_ && to_run.size() > 1) {
+    util::global_pool().parallel_for(0, to_run.size(), run_cell_at);
   } else {
-    for (std::size_t i = 0; i < cells.size(); ++i) run_cell_at(i);
+    for (std::size_t job = 0; job < to_run.size(); ++job) run_cell_at(job);
   }
 
-  if (show_progress) std::fprintf(stderr, "\n");
+  if (show_progress && !to_run.empty()) std::fprintf(stderr, "\n");
   for (auto* sink : sinks_) sink->end();
   return result;
 }

@@ -1,25 +1,40 @@
 #pragma once
-// Declarative experiment grids. A Sweep is the first-class object behind
-// every figure, ablation, and scenario comparison: named axes (scheduler
-// sets by name or registry tag, workload families, scalar parameter
-// ranges), flattened to a deterministic job list of cells and executed
-// on util::global_pool() with cell-level *and* replication-level
-// parallelism. Results are deterministic and independent of the thread
-// count — every cell's replications derive their RNG streams from
-// (scenario.seed, rep), never from execution order — and stream to
-// pluggable metrics::ResultSink instances (ASCII table, crash-safe CSV,
-// JSONL) in job-list order as completed prefixes.
-//
-// Typical use (the whole of a former 60-line bench main loop):
-//
-//   exp::Sweep sweep("fig06");
-//   sweep.base(scenario).params(opts).schedulers(exp::all_schedulers());
-//   metrics::TableSink table(std::cout);
-//   sweep.add_sink(table);
-//   const exp::SweepResult r = sweep.run();
-//
-// A failed cell (factory error, bad parameters) is captured per cell —
-// its row carries the error string and the rest of the grid still runs.
+/// \file
+/// Declarative experiment grids. A Sweep is the first-class object
+/// behind every figure, ablation, and scenario comparison: named axes
+/// (scheduler sets by name or registry tag, workload families, scalar
+/// parameter ranges), flattened to a job list of cells and executed on
+/// util::global_pool() with cell-level *and* replication-level
+/// parallelism. Invariants the rest of the repo builds on:
+///
+///  - **Deterministic job order.** flatten() decomposes the axes
+///    row-major in declaration order (first axis varies slowest), so the
+///    job list — and therefore every cell index, CSV row order, shard
+///    partition, and resume key — is a pure function of the declaration,
+///    identical on every machine and thread count.
+///  - **Deterministic results.** Every cell's replications derive their
+///    RNG streams from (scenario.seed, rep), never from execution order,
+///    so re-running a cell (e.g. after a crash) reproduces it exactly.
+///  - **Ordered streaming.** Rows stream to the attached
+///    metrics::ResultSink instances in job-list order as completed
+///    prefixes; a killed sweep keeps every flushed row.
+///  - **Per-cell error capture.** A failed cell (factory error, bad
+///    parameters) becomes a row carrying the error string; the rest of
+///    the grid still runs.
+///  - **Resume and sharding compose with all of the above.** Cells
+///    already present in every resumable sink are skipped, and
+///    shard(i, N) restricts execution to a deterministic subset of the
+///    job list; skipped cells yield rows flagged `skipped` that are
+///    never delivered to sinks, so resumed/merged files end up
+///    byte-identical to a fresh single-machine run.
+///
+/// Typical use (the whole of a former 60-line bench main loop):
+///
+///   exp::Sweep sweep("fig06");
+///   sweep.base(scenario).params(opts).schedulers(exp::all_schedulers());
+///   metrics::TableSink table(std::cout);
+///   sweep.add_sink(table);
+///   const exp::SweepResult r = sweep.run();
 
 #include <cstddef>
 #include <functional>
@@ -69,7 +84,8 @@ using CellRunner =
 struct SweepResult {
   metrics::SweepHeader header;
   std::vector<metrics::SweepRow> rows;
-  std::size_t failed = 0;  ///< number of rows with a non-empty error
+  std::size_t failed = 0;   ///< number of rows with a non-empty error
+  std::size_t skipped = 0;  ///< cells not executed (resumed / off-shard)
 
   /// Mean makespan per row (NaN-free: failed rows report 0).
   std::vector<double> makespan_means() const;
@@ -130,6 +146,14 @@ class Sweep {
   /// Enables/disables execution on util::global_pool(). Results are
   /// identical either way; serial mode exists for baselines and tests.
   Sweep& parallel(bool on);
+  /// Restricts execution to shard `index` of `count`: only cells whose
+  /// job-list index ≡ index (mod count) run; the rest become `skipped`
+  /// rows that are never delivered to sinks. Because the job list is
+  /// deterministic, N machines running shards 0..N-1 produce disjoint
+  /// row sets whose union is exactly the unsharded run (stitch them with
+  /// figset merge). Throws std::invalid_argument when index >= count or
+  /// count == 0.
+  Sweep& shard(std::size_t index, std::size_t count);
   /// Forces the stderr progress line on or off (default: only when
   /// stderr is a terminal).
   Sweep& progress(bool on);
@@ -141,6 +165,14 @@ class Sweep {
   std::vector<SweepCell> flatten() const;
 
   /// Executes the grid and streams rows to the attached sinks.
+  ///
+  /// Resume: after begin(), cells whose index is present in *every*
+  /// non-passive sink (ResultSink::resumed() != nullptr — the file
+  /// sinks; see SinkMode::kResume) are skipped instead of executed, so
+  /// an interrupted run continues where its output files stop and the
+  /// final files are byte-identical to an uninterrupted run. Cells held
+  /// by only some file sinks are re-executed (deterministically equal)
+  /// and each sink drops rows it already has.
   SweepResult run() const;
 
  private:
@@ -159,6 +191,8 @@ class Sweep {
   std::vector<metrics::ResultSink*> sinks_;
   bool parallel_ = true;
   std::optional<bool> progress_;
+  std::size_t shard_index_ = 0;
+  std::size_t shard_count_ = 1;
 };
 
 }  // namespace gasched::exp

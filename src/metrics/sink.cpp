@@ -1,14 +1,30 @@
 #include "metrics/sink.hpp"
 
 #include <algorithm>
+#include <cctype>
+#include <charconv>
 #include <fstream>
+#include <sstream>
 #include <stdexcept>
+#include <string_view>
+#include <system_error>
 
 #include "metrics/report_json.hpp"
 #include "util/json.hpp"
 #include "util/table.hpp"
 
 namespace gasched::metrics {
+
+namespace {
+
+std::string slurp(const std::filesystem::path& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+}  // namespace
 
 double SweepRow::extra(const std::string& column, double fallback) const {
   for (const auto& [name, value] : extras) {
@@ -105,13 +121,13 @@ void TableSink::end() {
 
 // --- CsvSink ----------------------------------------------------------------
 
-CsvSink::CsvSink(std::filesystem::path path) : path_(std::move(path)) {}
+CsvSink::CsvSink(std::filesystem::path path, SinkMode mode)
+    : path_(std::move(path)), mode_(mode) {}
 
 void CsvSink::begin(const SweepHeader& header) {
   header_ = header;
   // The fixed "scheduler" column already carries a scheduler axis.
   std::erase(header_.axes, "scheduler");
-  writer_ = std::make_unique<util::CsvWriter>(path_);
   std::vector<std::string> cols{"index"};
   for (const auto& axis : header_.axes) cols.push_back(axis);
   cols.insert(cols.end(),
@@ -120,14 +136,61 @@ void CsvSink::begin(const SweepHeader& header) {
                "requeued_mean"});
   for (const auto& extra : header.extra_columns) cols.push_back(extra);
   cols.push_back("error");
-  writer_->row(cols);
-  writer_->flush();
+
+  // Resume: keep the longest valid prefix of the existing file (header +
+  // complete data rows), record its cell indices, drop everything after
+  // the first partial or malformed line (a kill mid-write), and append.
+  bool append = false;
+  if (mode_ == SinkMode::kResume && std::filesystem::exists(path_)) {
+    const std::string text = slurp(path_);
+    const std::string expected = util::format_csv_row(cols);
+    std::size_t pos = 0, keep = 0;
+    bool header_seen = false;
+    while (pos < text.size()) {
+      const std::size_t nl = text.find('\n', pos);
+      if (nl == std::string::npos) break;  // partial trailing line
+      const std::string_view line(text.data() + pos, nl - pos);
+      if (!header_seen) {
+        if (line != expected) {
+          throw std::runtime_error(
+              "CsvSink: cannot resume " + path_.string() +
+              ": existing header does not match this sweep's schema "
+              "(delete the file or run without resume)");
+        }
+        header_seen = true;
+      } else {
+        const auto cells = util::parse_csv_line(line);
+        std::size_t idx = 0;
+        if (cells.size() != cols.size() || !util::parse_size_t(cells[0], idx)) {
+          break;
+        }
+        // A row with a non-empty error column is a *failed* cell: stop
+        // the valid prefix here so the resume retries it (and everything
+        // after it) instead of sealing the failure into the final file.
+        if (!cells.back().empty()) break;
+        present_.insert(idx);
+      }
+      pos = nl + 1;
+      keep = pos;
+    }
+    if (keep > 0) {
+      if (keep < text.size()) std::filesystem::resize_file(path_, keep);
+      append = true;
+    }
+  }
+
+  writer_ = std::make_unique<util::CsvWriter>(path_, append);
+  if (!append) {
+    writer_->row(cols);
+    writer_->flush();
+  }
 }
 
 void CsvSink::row(const SweepRow& row) {
   if (!writer_) {
     throw std::logic_error("CsvSink: row() before begin()");
   }
+  if (present_.count(row.index) > 0) return;  // already on disk (resume)
   std::vector<std::string> cells{std::to_string(row.index)};
   for (const auto& axis : header_.axes) {
     std::string label;
@@ -158,21 +221,75 @@ void CsvSink::row(const SweepRow& row) {
     }
     if (!found) cells.push_back("");
   }
-  cells.push_back(row.error);
+  // Exception text can contain newlines; flatten it so every physical
+  // line of the file is one row (the invariant the resume scanner and
+  // shard merger read by).
+  std::string error = row.error;
+  for (char& c : error) {
+    if (c == '\n' || c == '\r') c = ' ';
+  }
+  cells.push_back(error);
   writer_->row(cells);
   writer_->flush();
 }
 
 // --- JsonlSink --------------------------------------------------------------
 
-JsonlSink::JsonlSink(std::filesystem::path path) : path_(std::move(path)) {}
+JsonlSink::JsonlSink(std::filesystem::path path, SinkMode mode)
+    : path_(std::move(path)), mode_(mode) {}
 
 void JsonlSink::begin(const SweepHeader& header) {
   header_ = header;
   if (path_.has_parent_path()) {
     std::filesystem::create_directories(path_.parent_path());
   }
-  out_ = std::make_unique<std::ofstream>(path_, std::ios::trunc);
+
+  bool append = false;
+  if (mode_ == SinkMode::kResume && std::filesystem::exists(path_)) {
+    const std::string text = slurp(path_);
+    // Every line this sink ever writes opens with the sweep name and
+    // cell index, in this exact spelling (JsonWriter is deterministic).
+    const std::string prefix =
+        "{\"sweep\":\"" + util::json_escape(header_.name) + "\",\"index\":";
+    std::size_t pos = 0, keep = 0;
+    while (pos < text.size()) {
+      const std::size_t nl = text.find('\n', pos);
+      if (nl == std::string::npos) break;  // partial trailing line
+      const std::string_view line(text.data() + pos, nl - pos);
+      if (!line.starts_with(prefix)) {
+        if (line.starts_with("{\"sweep\":\"")) {
+          throw std::runtime_error(
+              "JsonlSink: cannot resume " + path_.string() +
+              ": file belongs to a different sweep (delete it or run "
+              "without resume)");
+        }
+        break;  // malformed line: keep only what precedes it
+      }
+      if (line.back() != '}') break;
+      // Failed cells carry an "error" key (JsonWriter emits it for no
+      // other reason); stop the prefix there so resume retries them.
+      if (line.find("\"error\":\"") != std::string_view::npos) break;
+      std::size_t digits = prefix.size();
+      while (digits < line.size() && std::isdigit(line[digits]) != 0) {
+        ++digits;
+      }
+      std::size_t idx = 0;
+      if (!util::parse_size_t(line.substr(prefix.size(), digits - prefix.size()),
+                       idx)) {
+        break;
+      }
+      present_.insert(idx);
+      pos = nl + 1;
+      keep = pos;
+    }
+    if (keep > 0) {
+      if (keep < text.size()) std::filesystem::resize_file(path_, keep);
+      append = true;
+    }
+  }
+
+  out_ = std::make_unique<std::ofstream>(
+      path_, append ? std::ios::app : std::ios::trunc);
   if (!*out_) {
     throw std::runtime_error("JsonlSink: cannot open " + path_.string());
   }
@@ -182,6 +299,7 @@ void JsonlSink::row(const SweepRow& row) {
   if (!out_) {
     throw std::logic_error("JsonlSink: row() before begin()");
   }
+  if (present_.count(row.index) > 0) return;  // already on disk (resume)
   util::JsonWriter w;
   w.begin_object();
   w.key("sweep").string(header_.name);

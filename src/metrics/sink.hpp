@@ -1,19 +1,40 @@
 #pragma once
-// Streaming result sinks for experiment sweeps. The sweep executor
-// (exp/sweep.hpp) pushes one SweepRow per grid cell, in job-list order,
-// as soon as the cell and every cell before it have completed — so the
-// ASCII table, CSV file, and JSONL file all observe the same
-// deterministic sequence regardless of how many threads ran the grid,
-// and a killed sweep keeps every cell already flushed.
-//
-// These sinks replace the hand-rolled table/CSV/JSON scaffolding the
-// bench binaries used to carry individually (bench_common's
-// maybe_write_csv/maybe_write_json remain only for bespoke series such
-// as fig03's per-generation trajectories).
+/// \file
+/// Streaming result sinks for experiment sweeps.
+///
+/// The sweep executor (exp/sweep.hpp) pushes one SweepRow per grid cell,
+/// in job-list order, as soon as the cell and every cell before it have
+/// completed. Invariants every implementation and caller can rely on:
+///
+///  - **Deterministic row order.** Sinks observe rows in the flattened
+///    job-list order regardless of how many threads ran the grid or
+///    which cells finished first; the ASCII table, CSV file, and JSONL
+///    file all see the same sequence.
+///  - **Row-flush crash safety.** The file sinks write and flush each
+///    row as it arrives, so a killed sweep keeps every cell already
+///    flushed on disk — the file is always a valid header plus a prefix
+///    of complete rows (plus at most one partial line from a kill
+///    mid-write, which the resume scan discards).
+///  - **Resumability.** A file sink opened with SinkMode::kResume
+///    pre-scans its existing file, records which cell indices are
+///    already present, truncates any partial trailing line, and appends
+///    only rows it does not hold. The sweep executor skips cells present
+///    in *every* resumable sink, so a resumed run's final CSV is
+///    byte-identical to an uninterrupted one.
+///  - **Thread-count-independent bytes.** The CSV sink deliberately
+///    excludes wall-clock statistics so its files are byte-identical
+///    across thread counts, machines (for sharded runs), and
+///    kill/resume cycles; the table and JSONL keep wall-clock columns.
+///
+/// These sinks replace the hand-rolled table/CSV/JSON scaffolding the
+/// bench binaries used to carry individually (bench_common's
+/// maybe_write_csv/maybe_write_json remain only for bespoke series).
 
+#include <cstddef>
 #include <filesystem>
 #include <memory>
 #include <ostream>
+#include <set>
 #include <string>
 #include <utility>
 #include <vector>
@@ -44,10 +65,20 @@ struct SweepRow {
   /// Non-empty when the cell threw; the row still streams so a partial
   /// grid is inspectable.
   std::string error;
+  /// True when the executor skipped this cell (resumed from an existing
+  /// sink file, or outside the active shard). Skipped rows carry no
+  /// summary and are never delivered to sinks.
+  bool skipped = false;
 
   bool ok() const noexcept { return error.empty(); }
   /// The extras value named `column`, or `fallback` when absent.
   double extra(const std::string& column, double fallback = 0.0) const;
+};
+
+/// How a file sink treats an existing file at its path.
+enum class SinkMode {
+  kTruncate,  ///< start fresh (the default)
+  kResume,    ///< pre-scan, keep complete rows, append only missing ones
 };
 
 /// Receives sweep rows in deterministic job order. Implementations must
@@ -61,6 +92,12 @@ class ResultSink {
   virtual void row(const SweepRow& row) = 0;
   /// Called once after the last row.
   virtual void end();
+  /// After begin(): the cell indices this sink already holds from a
+  /// previous run, or nullptr for passive sinks (tables, progress) that
+  /// never constrain resumption. File sinks always return a set — empty
+  /// in kTruncate mode — and the sweep executor only skips cells present
+  /// in every non-passive sink, so no file ends up with missing rows.
+  virtual const std::set<std::size_t>* resumed() const { return nullptr; }
 };
 
 /// Accumulates rows and renders one right-aligned ASCII table at end().
@@ -88,17 +125,27 @@ class TableSink final : public ResultSink {
 ///   requeued_mean, <extras...>, error
 /// Wall-clock statistics are deliberately excluded: the file must be
 /// byte-identical across thread counts and runs (the tables keep them).
+///
+/// In SinkMode::kResume the existing file is scanned at begin(): the
+/// header row must match the sweep's schema byte-for-byte (throws
+/// std::runtime_error otherwise), complete data rows register their cell
+/// index in resumed(), a partial trailing line (kill mid-write) is
+/// truncated away, and new rows are appended after the survivors.
 class CsvSink final : public ResultSink {
  public:
-  explicit CsvSink(std::filesystem::path path);
+  explicit CsvSink(std::filesystem::path path,
+                   SinkMode mode = SinkMode::kTruncate);
   void begin(const SweepHeader& header) override;
   void row(const SweepRow& row) override;
+  const std::set<std::size_t>* resumed() const override { return &present_; }
 
   const std::filesystem::path& path() const noexcept { return path_; }
 
  private:
   std::filesystem::path path_;
+  SinkMode mode_;
   SweepHeader header_;
+  std::set<std::size_t> present_;
   std::unique_ptr<util::CsvWriter> writer_;
 };
 
@@ -106,17 +153,28 @@ class CsvSink final : public ResultSink {
 /// (JSON Lines), flushed per row. Each line carries the sweep name,
 /// cell index, coordinates, the full aggregated cell (report_json
 /// schema, wall-clock included), extras, and the error string if any.
+///
+/// SinkMode::kResume scans the existing file like CsvSink does: lines
+/// must be complete objects for this sweep (throws on a name mismatch),
+/// their indices register in resumed(), and a partial trailing line is
+/// truncated. Note that resumed JSONL files are *not* byte-identical to
+/// fresh runs — they contain wall-clock numbers; only the row set and
+/// order are reproduced.
 class JsonlSink final : public ResultSink {
  public:
-  explicit JsonlSink(std::filesystem::path path);
+  explicit JsonlSink(std::filesystem::path path,
+                     SinkMode mode = SinkMode::kTruncate);
   void begin(const SweepHeader& header) override;
   void row(const SweepRow& row) override;
+  const std::set<std::size_t>* resumed() const override { return &present_; }
 
   const std::filesystem::path& path() const noexcept { return path_; }
 
  private:
   std::filesystem::path path_;
+  SinkMode mode_;
   SweepHeader header_;
+  std::set<std::size_t> present_;
   std::unique_ptr<std::ofstream> out_;
 };
 

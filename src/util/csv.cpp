@@ -2,14 +2,16 @@
 
 #include <charconv>
 #include <stdexcept>
+#include <system_error>
 
 namespace gasched::util {
 
-CsvWriter::CsvWriter(const std::filesystem::path& path) : path_(path) {
+CsvWriter::CsvWriter(const std::filesystem::path& path, bool append)
+    : path_(path) {
   if (path.has_parent_path()) {
     std::filesystem::create_directories(path.parent_path());
   }
-  out_.open(path, std::ios::trunc);
+  out_.open(path, append ? std::ios::app : std::ios::trunc);
   if (!out_) {
     throw std::runtime_error("CsvWriter: cannot open " + path.string());
   }
@@ -31,11 +33,7 @@ std::string CsvWriter::escape(std::string_view cell) {
 }
 
 void CsvWriter::row(const std::vector<std::string>& cells) {
-  for (std::size_t i = 0; i < cells.size(); ++i) {
-    if (i) out_ << ',';
-    out_ << escape(cells[i]);
-  }
-  out_ << '\n';
+  out_ << format_csv_row(cells) << '\n';
 }
 
 void CsvWriter::row_numeric(const std::vector<double>& cells) {
@@ -46,6 +44,21 @@ void CsvWriter::row_numeric(const std::vector<double>& cells) {
 }
 
 void CsvWriter::flush() { out_.flush(); }
+
+std::string format_csv_row(const std::vector<std::string>& cells) {
+  std::string line;
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    if (i) line.push_back(',');
+    line += CsvWriter::escape(cells[i]);
+  }
+  return line;
+}
+
+bool parse_size_t(std::string_view text, std::size_t& out) {
+  const auto [ptr, ec] =
+      std::from_chars(text.data(), text.data() + text.size(), out);
+  return ec == std::errc{} && ptr == text.data() + text.size();
+}
 
 std::vector<std::string> parse_csv_line(std::string_view line) {
   std::vector<std::string> cells;

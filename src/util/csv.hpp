@@ -14,9 +14,10 @@ namespace gasched::util {
 /// quote, or newline present). The writer flushes on destruction.
 class CsvWriter {
  public:
-  /// Opens `path` for writing (truncates). Throws std::runtime_error on
-  /// failure.
-  explicit CsvWriter(const std::filesystem::path& path);
+  /// Opens `path` for writing — truncating by default, appending when
+  /// `append` is true (the resume path of the streaming result sinks).
+  /// Throws std::runtime_error on failure.
+  explicit CsvWriter(const std::filesystem::path& path, bool append = false);
 
   /// Writes one row of cells.
   void row(const std::vector<std::string>& cells);
@@ -31,15 +32,26 @@ class CsvWriter {
   /// Underlying path.
   const std::filesystem::path& path() const noexcept { return path_; }
 
- private:
+  /// Quotes `cell` exactly as row() would (used by format_csv_row).
   static std::string escape(std::string_view cell);
 
+ private:
   std::filesystem::path path_;
   std::ofstream out_;
 };
 
+/// Formats one row of cells exactly as CsvWriter would write it (no
+/// trailing newline). Lets resume scans compare an existing file's
+/// header byte-for-byte against the schema a fresh writer would emit.
+std::string format_csv_row(const std::vector<std::string>& cells);
+
 /// Parses one CSV line into cells, honouring double-quote escaping.
 std::vector<std::string> parse_csv_line(std::string_view line);
+
+/// Parses `text` as a whole-string unsigned decimal into `out`.
+/// Returns false on any non-digit content (the strict form the sink
+/// resume scans and shard mergers use to validate cell-index fields).
+bool parse_size_t(std::string_view text, std::size_t& out);
 
 /// Reads an entire CSV file into rows of cells. Throws on open failure.
 std::vector<std::vector<std::string>> read_csv(

@@ -1,6 +1,8 @@
 // Tests for the declarative sweep engine: deterministic flattening,
 // thread-count-independent results (byte-identical CSV), per-cell error
-// capture, streaming sink order, and the [sweep] INI surface.
+// capture, streaming sink order, the [sweep] INI surface, shard
+// partitioning, and resume (a killed-and-truncated CSV continues to a
+// byte-identical file).
 
 #include "exp/sweep.hpp"
 
@@ -236,6 +238,235 @@ TEST(SweepRun, WorkloadAxisPreservesCount) {
   EXPECT_EQ(cells[1].scenario.workload.dist, "pareto");
   EXPECT_EQ(cells[1].scenario.workload.count, 60u);
   EXPECT_EQ(cells[1].coord("workload"), "pareto");
+}
+
+// Sharding partitions the deterministic job list: the shards' executed
+// sets are disjoint and their union is the full grid.
+TEST(SweepShard, PartitionsJobListDisjointly) {
+  auto build = [](Sweep& sweep) {
+    sweep.base(small_scenario());
+    sweep.axis("i", {0.0, 1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0}, {});
+    sweep.progress(false);
+    sweep.runner([](const SweepCell&, bool) { return CellOutcome{}; });
+  };
+  std::set<std::size_t> executed;
+  for (std::size_t shard = 0; shard < 3; ++shard) {
+    Sweep sweep("shard");
+    build(sweep);
+    sweep.shard(shard, 3);
+    const auto result = sweep.run();
+    ASSERT_EQ(result.rows.size(), 8u);
+    for (const auto& row : result.rows) {
+      if (row.skipped) continue;
+      EXPECT_TRUE(executed.insert(row.index).second)
+          << "cell " << row.index << " ran in two shards";
+      EXPECT_EQ(row.index % 3, shard);
+    }
+    // Cells i with i % 3 == shard: 3 for shards 0 and 1, 2 for shard 2.
+    const std::size_t expected = shard < 2 ? 3u : 2u;
+    EXPECT_EQ(result.rows.size() - result.skipped, expected);
+  }
+  EXPECT_EQ(executed.size(), 8u);
+  Sweep bad("bad");
+  EXPECT_THROW(bad.shard(2, 2), std::invalid_argument);
+  EXPECT_THROW(bad.shard(0, 0), std::invalid_argument);
+}
+
+// Skipped (off-shard) rows are never delivered to sinks, and the rows a
+// shard does deliver keep job-list order.
+TEST(SweepShard, SinksSeeOnlyOwnedRowsInOrder) {
+  struct OrderSink final : metrics::ResultSink {
+    std::vector<std::size_t> indices;
+    void row(const metrics::SweepRow& r) override {
+      indices.push_back(r.index);
+    }
+  } order;
+  Sweep sweep("shard-sink");
+  sweep.base(small_scenario());
+  sweep.axis("i", {0.0, 1.0, 2.0, 3.0, 4.0, 5.0, 6.0}, {});
+  sweep.progress(false);
+  sweep.shard(1, 2);
+  sweep.add_sink(order);
+  sweep.runner([](const SweepCell&, bool) { return CellOutcome{}; });
+  const auto result = sweep.run();
+  EXPECT_EQ(order.indices, (std::vector<std::size_t>{1, 3, 5}));
+  EXPECT_EQ(result.skipped, 4u);
+}
+
+// The resume contract from the ISSUE: kill a run part-way (here:
+// truncate its CSV mid-row), resume, and the final file is
+// byte-identical to an uninterrupted run.
+TEST(SweepResume, TruncatedCsvResumesToByteIdenticalFile) {
+  TempFile full_csv("resume_full.csv"), killed_csv("resume_killed.csv");
+  auto build = [&](Sweep& sweep) {
+    sweep.base(small_scenario());
+    sweep.params(fast_params());
+    sweep.axis("mean_comm_cost", {5.0, 20.0},
+               [](SweepCell& c, double v) {
+                 c.scenario.cluster.comm.mean_cost = v;
+               });
+    sweep.schedulers({"EF", "RR", "PN"});
+    sweep.progress(false);
+  };
+
+  {
+    metrics::CsvSink sink(full_csv.path);
+    Sweep sweep("resume");
+    build(sweep);
+    sweep.add_sink(sink);
+    ASSERT_EQ(sweep.run().failed, 0u);
+  }
+  const std::string complete = read_file(full_csv.path);
+  ASSERT_FALSE(complete.empty());
+
+  // Simulate the kill: keep the header + 3 complete rows + a torn 4th.
+  std::size_t nl = 0, offset = 0;
+  for (std::size_t i = 0; i < complete.size(); ++i) {
+    if (complete[i] == '\n' && ++nl == 4) {
+      offset = i + 1;
+      break;
+    }
+  }
+  ASSERT_GT(offset, 0u);
+  {
+    std::ofstream out(killed_csv.path, std::ios::binary | std::ios::trunc);
+    out << complete.substr(0, offset + 7);  // 7 bytes of the torn row
+  }
+
+  metrics::CsvSink sink(killed_csv.path, metrics::SinkMode::kResume);
+  Sweep sweep("resume");
+  build(sweep);
+  sweep.add_sink(sink);
+  const auto result = sweep.run();
+  EXPECT_EQ(result.skipped, 3u);  // the three complete data rows
+  EXPECT_EQ(result.failed, 0u);
+  EXPECT_EQ(read_file(killed_csv.path), complete)
+      << "resumed CSV must be byte-identical to an uninterrupted run";
+}
+
+// Resuming an already-complete file executes nothing and changes no
+// bytes.
+TEST(SweepResume, CompleteFileSkipsEveryCell) {
+  TempFile csv("resume_done.csv");
+  auto build = [&](Sweep& sweep) {
+    sweep.base(small_scenario());
+    sweep.axis("i", {0.0, 1.0, 2.0}, {});
+    sweep.progress(false);
+    sweep.runner([](const SweepCell&, bool) { return CellOutcome{}; });
+  };
+  {
+    metrics::CsvSink sink(csv.path);
+    Sweep sweep("done");
+    build(sweep);
+    sweep.add_sink(sink);
+    sweep.run();
+  }
+  const std::string before = read_file(csv.path);
+  metrics::CsvSink sink(csv.path, metrics::SinkMode::kResume);
+  Sweep sweep("done");
+  build(sweep);
+  sweep.add_sink(sink);
+  const auto result = sweep.run();
+  EXPECT_EQ(result.skipped, 3u);
+  EXPECT_EQ(read_file(csv.path), before);
+}
+
+// A resumable sink only skips cells present in EVERY non-passive sink:
+// attaching a fresh JSONL sink to a resumed CSV re-runs everything (the
+// CSV drops the duplicate rows itself and keeps its bytes).
+TEST(SweepResume, FreshSecondSinkForcesFullExecution) {
+  TempFile csv("resume_two.csv"), jsonl("resume_two.jsonl");
+  auto build = [&](Sweep& sweep) {
+    sweep.base(small_scenario());
+    sweep.axis("i", {0.0, 1.0, 2.0, 3.0}, {});
+    sweep.progress(false);
+    sweep.runner([](const SweepCell&, bool) { return CellOutcome{}; });
+  };
+  {
+    metrics::CsvSink sink(csv.path);
+    Sweep sweep("two-sinks");
+    build(sweep);
+    sweep.add_sink(sink);
+    sweep.run();
+  }
+  const std::string before = read_file(csv.path);
+
+  metrics::CsvSink resumed(csv.path, metrics::SinkMode::kResume);
+  metrics::JsonlSink fresh(jsonl.path);  // kTruncate: holds nothing
+  Sweep sweep("two-sinks");
+  build(sweep);
+  sweep.add_sink(resumed).add_sink(fresh);
+  const auto result = sweep.run();
+  EXPECT_EQ(result.skipped, 0u) << "fresh sink must force re-execution";
+  EXPECT_EQ(read_file(csv.path), before) << "CSV drops duplicates";
+  std::ifstream in(jsonl.path);
+  std::string line;
+  std::size_t lines = 0;
+  while (std::getline(in, line)) lines += line.empty() ? 0 : 1;
+  EXPECT_EQ(lines, 4u) << "fresh JSONL receives every row";
+}
+
+// Failed cells are not sealed into a resumed file: the scan stops its
+// valid prefix at the first error row, so the resume retries the failed
+// cell (and everything after it) instead of reporting success over a
+// CSV that permanently contains the failure.
+TEST(SweepResume, RetriesFailedCellsInsteadOfSkippingThem) {
+  TempFile csv("resume_retry.csv");
+  auto build = [&](Sweep& sweep, bool fail_cell_1) {
+    sweep.base(small_scenario());
+    sweep.axis("i", {0.0, 1.0, 2.0}, {});
+    sweep.progress(false);
+    sweep.runner([fail_cell_1](const SweepCell& cell, bool) -> CellOutcome {
+      if (fail_cell_1 && cell.index == 1) {
+        throw std::runtime_error("transient\nfailure");  // multi-line text
+      }
+      return CellOutcome{};
+    });
+  };
+  {
+    metrics::CsvSink sink(csv.path);
+    Sweep sweep("retry");
+    build(sweep, /*fail_cell_1=*/true);
+    sweep.add_sink(sink);
+    EXPECT_EQ(sweep.run().failed, 1u);
+  }
+  // The error text is flattened to one physical line (the invariant the
+  // resume scanner and shard merger read by).
+  EXPECT_NE(read_file(csv.path).find("transient failure"),
+            std::string::npos);
+
+  metrics::CsvSink sink(csv.path, metrics::SinkMode::kResume);
+  Sweep sweep("retry");
+  build(sweep, /*fail_cell_1=*/false);  // the failure was transient
+  sweep.add_sink(sink);
+  const auto result = sweep.run();
+  EXPECT_EQ(result.skipped, 1u) << "only the pre-failure prefix skips";
+  EXPECT_EQ(result.failed, 0u);
+  const std::string text = read_file(csv.path);
+  EXPECT_EQ(text.find("transient"), std::string::npos)
+      << "the repaired file must not retain the old error row";
+  // Header + the three data rows, all present exactly once.
+  std::size_t lines = 0;
+  for (const char c : text) lines += c == '\n' ? 1 : 0;
+  EXPECT_EQ(lines, 4u);
+}
+
+// A resume against a file with a different schema must fail loudly, not
+// silently mix two experiments in one file.
+TEST(SweepResume, SchemaMismatchThrows) {
+  TempFile csv("resume_schema.csv");
+  {
+    std::ofstream out(csv.path);
+    out << "index,other_axis,scheduler,foo\n0,1,EF,2\n";
+  }
+  metrics::CsvSink sink(csv.path, metrics::SinkMode::kResume);
+  Sweep sweep("schema");
+  sweep.base(small_scenario());
+  sweep.axis("i", {0.0, 1.0}, {});
+  sweep.progress(false);
+  sweep.add_sink(sink);
+  sweep.runner([](const SweepCell&, bool) { return CellOutcome{}; });
+  EXPECT_THROW(sweep.run(), std::runtime_error);
 }
 
 TEST(SchedulerSelector, TagsNamesAllAndDedup) {
