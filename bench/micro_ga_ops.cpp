@@ -65,6 +65,17 @@ void BM_Decode(benchmark::State& state) {
 }
 BENCHMARK(BM_Decode)->Arg(50)->Arg(200)->Arg(1000);
 
+void BM_FlatDecode(benchmark::State& state) {
+  // The zero-allocation decode path: reused FlatSchedule workspace.
+  BatchFixture f(static_cast<std::size_t>(state.range(0)), 50);
+  core::FlatSchedule flat;
+  for (auto _ : state) {
+    f.codec.decode_into(f.chromosome, flat);
+    benchmark::DoNotOptimize(flat.num_slots());
+  }
+}
+BENCHMARK(BM_FlatDecode)->Arg(50)->Arg(200)->Arg(1000);
+
 void BM_FitnessEval(benchmark::State& state) {
   BatchFixture f(static_cast<std::size_t>(state.range(0)), 50);
   const auto queues = f.codec.decode(f.chromosome);
@@ -82,6 +93,18 @@ void BM_FitnessFromChromosome(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_FitnessFromChromosome)->Arg(200);
+
+void BM_EvaluateWorkspace(benchmark::State& state) {
+  // Combined fitness+objective through the reused workspace — what the
+  // GA engine actually runs per dirty individual.
+  BatchFixture f(static_cast<std::size_t>(state.range(0)), 50);
+  const core::ScheduleProblem problem(f.codec, f.eval);
+  const auto ws = problem.make_workspace();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(problem.evaluate(f.chromosome, ws.get()));
+  }
+}
+BENCHMARK(BM_EvaluateWorkspace)->Arg(50)->Arg(200)->Arg(1000);
 
 void BM_CycleCrossover(benchmark::State& state) {
   BatchFixture f(static_cast<std::size_t>(state.range(0)), 50);
@@ -140,6 +163,58 @@ void BM_RouletteSelect(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_RouletteSelect);
+
+void BM_RouletteSelectInto(benchmark::State& state) {
+  // The engine's allocation-free selection path (reused output buffer).
+  util::Rng rng(7);
+  std::vector<double> fitness(20);
+  for (auto& v : fitness) v = rng.uniform01();
+  const ga::RouletteSelection sel;
+  std::vector<std::size_t> out;
+  for (auto _ : state) {
+    sel.select_into(fitness, 20, rng, out);
+    benchmark::DoNotOptimize(out.data());
+  }
+}
+BENCHMARK(BM_RouletteSelectInto);
+
+void BM_PositionIndexBuild(benchmark::State& state) {
+  // Regression micro-check for the dense position index that replaced the
+  // per-pair unordered_map: building over a schedule chromosome must stay
+  // O(length) with no steady-state allocation.
+  BatchFixture f(static_cast<std::size_t>(state.range(0)), 50);
+  ga::PositionIndex idx;
+  for (auto _ : state) {
+    idx.build(f.chromosome);
+    benchmark::DoNotOptimize(idx.find(f.chromosome.front()));
+  }
+}
+BENCHMARK(BM_PositionIndexBuild)->Arg(200)->Arg(1000);
+
+void BM_GaGeneration(benchmark::State& state) {
+  // End-to-end generation throughput on the paper's micro-GA config (the
+  // BENCH_eval.json anchor, inline): iterations/sec == generations/sec.
+  BatchFixture f(static_cast<std::size_t>(state.range(0)), 50);
+  const core::ScheduleProblem problem(f.codec, f.eval);
+  static const ga::RouletteSelection sel;
+  static const ga::CycleCrossover cx;
+  static const ga::SwapMutation mut;
+  util::Rng init_rng(11);
+  const auto init =
+      core::initial_population(f.codec, f.eval, 20, 0.5, init_rng);
+  util::Rng ga_rng(12);
+  const std::size_t chunk = 32;
+  ga::GaConfig cfg;
+  cfg.population = 20;
+  cfg.max_generations = chunk;
+  cfg.improvement_passes = 1;
+  const ga::GaEngine engine(cfg, sel, cx, mut);
+  while (state.KeepRunningBatch(static_cast<benchmark::IterationCount>(chunk))) {
+    auto pop = init;
+    benchmark::DoNotOptimize(engine.run(problem, std::move(pop), ga_rng));
+  }
+}
+BENCHMARK(BM_GaGeneration)->Arg(200);
 
 void BM_ListScheduleInit(benchmark::State& state) {
   BatchFixture f(static_cast<std::size_t>(state.range(0)), 50);

@@ -50,6 +50,20 @@ struct MetaFixture {
         }()) {}
 };
 
+void BM_LoadTrackerResetFlat(benchmark::State& state) {
+  // The restart path of the local searchers: re-initialise an existing
+  // tracker from a flat schedule, reusing its buffers (no allocation).
+  const MetaFixture f(static_cast<std::size_t>(state.range(0)), 50);
+  core::FlatSchedule flat;
+  flat.assign(f.initial);
+  meta::LoadTracker t(f.eval, flat);
+  for (auto _ : state) {
+    t.reset(f.eval, flat);
+    benchmark::DoNotOptimize(t.makespan());
+  }
+}
+BENCHMARK(BM_LoadTrackerResetFlat)->Arg(200)->Arg(1000);
+
 void BM_LoadTrackerDelta(benchmark::State& state) {
   const MetaFixture f(static_cast<std::size_t>(state.range(0)), 50);
   meta::LoadTracker t(f.eval, f.initial);

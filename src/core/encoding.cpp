@@ -5,6 +5,50 @@
 
 namespace gasched::core {
 
+void FlatSchedule::assign(const ProcQueues& queues) {
+  offsets_.resize(queues.size() + 1);
+  slots_.clear();
+  offsets_[0] = 0;
+  for (std::size_t j = 0; j < queues.size(); ++j) {
+    slots_.insert(slots_.end(), queues[j].begin(), queues[j].end());
+    offsets_[j + 1] = slots_.size();
+  }
+}
+
+ProcQueues FlatSchedule::to_queues() const {
+  ProcQueues q(num_procs());
+  for (std::size_t j = 0; j < q.size(); ++j) {
+    const auto view = queue(j);
+    q[j].assign(view.begin(), view.end());
+  }
+  return q;
+}
+
+void FlatSchedule::assign_grouped(std::span<const std::size_t> slot_proc,
+                                  std::size_t num_procs) {
+  offsets_.assign(num_procs + 1, 0);
+  for (const std::size_t j : slot_proc) ++offsets_[j + 1];
+  for (std::size_t j = 0; j < num_procs; ++j) offsets_[j + 1] += offsets_[j];
+  slots_.resize(slot_proc.size());
+  cursor_.assign(offsets_.begin(), offsets_.end() - 1);
+  for (std::size_t s = 0; s < slot_proc.size(); ++s) {
+    slots_[cursor_[slot_proc[s]]++] = s;
+  }
+}
+
+void FlatSchedule::assign_ordered(std::span<const std::size_t> order,
+                                  std::span<const std::size_t> slot_proc,
+                                  std::size_t num_procs) {
+  offsets_.assign(num_procs + 1, 0);
+  for (const std::size_t j : slot_proc) ++offsets_[j + 1];
+  for (std::size_t j = 0; j < num_procs; ++j) offsets_[j + 1] += offsets_[j];
+  slots_.resize(slot_proc.size());
+  cursor_.assign(offsets_.begin(), offsets_.end() - 1);
+  for (const std::size_t s : order) {
+    slots_[cursor_[slot_proc[s]]++] = s;
+  }
+}
+
 ScheduleCodec::ScheduleCodec(std::size_t num_tasks, std::size_t num_procs)
     : num_tasks_(num_tasks), num_procs_(num_procs) {
   if (num_procs == 0) {
@@ -34,6 +78,28 @@ ga::Chromosome ScheduleCodec::encode(const ProcQueues& queues) const {
   return c;
 }
 
+ga::Chromosome ScheduleCodec::encode(const FlatSchedule& schedule) const {
+  if (schedule.num_procs() != num_procs_) {
+    throw std::invalid_argument("ScheduleCodec::encode: wrong queue count");
+  }
+  ga::Chromosome c;
+  c.reserve(chromosome_length());
+  for (std::size_t j = 0; j < num_procs_; ++j) {
+    if (j > 0) c.push_back(delimiter_gene(j - 1));
+    for (const std::size_t slot : schedule.queue(j)) {
+      if (slot >= num_tasks_) {
+        throw std::invalid_argument("ScheduleCodec::encode: slot out of range");
+      }
+      c.push_back(task_gene(slot));
+    }
+  }
+  if (c.size() != chromosome_length()) {
+    throw std::invalid_argument(
+        "ScheduleCodec::encode: queues do not cover the batch exactly once");
+  }
+  return c;
+}
+
 ProcQueues ScheduleCodec::decode(const ga::Chromosome& c) const {
   ProcQueues queues(num_procs_);
   std::size_t proc = 0;
@@ -49,6 +115,30 @@ ProcQueues ScheduleCodec::decode(const ga::Chromosome& c) const {
     }
   }
   return queues;
+}
+
+void ScheduleCodec::decode_into(const ga::Chromosome& c,
+                                FlatSchedule& out) const {
+  out.slots_.clear();
+  out.slots_.reserve(num_tasks_);
+  out.offsets_.resize(num_procs_ + 1);
+  out.offsets_[0] = 0;
+  std::size_t proc = 0;
+  for (const ga::Gene g : c) {
+    if (is_delimiter(g)) {
+      ++proc;
+      if (proc >= num_procs_) {
+        throw std::invalid_argument(
+            "ScheduleCodec::decode: too many delimiters");
+      }
+      out.offsets_[proc] = out.slots_.size();
+    } else {
+      out.slots_.push_back(task_slot(g));
+    }
+  }
+  for (std::size_t j = proc + 1; j <= num_procs_; ++j) {
+    out.offsets_[j] = out.slots_.size();
+  }
 }
 
 bool ScheduleCodec::valid(const ga::Chromosome& c) const {

@@ -12,6 +12,7 @@
 // "next processor", which preserves the paper's semantics exactly.
 
 #include <cstddef>
+#include <span>
 #include <vector>
 
 #include "ga/chromosome.hpp"
@@ -21,6 +22,62 @@ namespace gasched::core {
 /// Per-processor ordered queues of batch slots (0-based indices into the
 /// batch's task array).
 using ProcQueues = std::vector<std::vector<std::size_t>>;
+
+/// Flat decoded schedule: every batch slot in one contiguous array,
+/// grouped by processor, plus M+1 queue offsets. This is the
+/// zero-allocation decode target of the evaluation core — decoding into a
+/// reused FlatSchedule touches no heap once its buffers have grown to the
+/// batch size, unlike ProcQueues (one vector per processor per decode).
+/// Queue order is significant: it is the dispatch order of the schedule.
+class FlatSchedule {
+ public:
+  /// Number of processors M (0 for a default-constructed schedule).
+  std::size_t num_procs() const noexcept {
+    return offsets_.empty() ? 0 : offsets_.size() - 1;
+  }
+  /// Number of batch slots N across all queues.
+  std::size_t num_slots() const noexcept { return slots_.size(); }
+
+  /// Ordered queue of processor `j` (a view into the slot array).
+  std::span<const std::size_t> queue(std::size_t j) const noexcept {
+    return {slots_.data() + offsets_[j], offsets_[j + 1] - offsets_[j]};
+  }
+  /// Mutable queue view (for in-place slot swaps; the grouping itself —
+  /// which slot belongs to which processor — may be changed freely as
+  /// long as every slot stays unique).
+  std::span<std::size_t> queue(std::size_t j) noexcept {
+    return {slots_.data() + offsets_[j], offsets_[j + 1] - offsets_[j]};
+  }
+
+  /// All slots in processor-grouped order.
+  std::span<const std::size_t> slots() const noexcept { return slots_; }
+
+  /// Rebuilds from per-processor queues (adapter for the legacy path).
+  void assign(const ProcQueues& queues);
+  /// Materialises per-processor queues (adapter for the legacy path).
+  ProcQueues to_queues() const;
+
+  /// Rebuilds from a slot → processor map; slots are placed in ascending
+  /// slot order within each queue (matching meta::LoadTracker::to_queues).
+  void assign_grouped(std::span<const std::size_t> slot_proc,
+                      std::size_t num_procs);
+  /// Rebuilds from a slot → processor map, placing slots in the order
+  /// given by `order` (a permutation of the slots) within each queue.
+  void assign_ordered(std::span<const std::size_t> order,
+                      std::span<const std::size_t> slot_proc,
+                      std::size_t num_procs);
+
+  bool operator==(const FlatSchedule& other) const noexcept {
+    return slots_ == other.slots_ && offsets_ == other.offsets_;
+  }
+
+ private:
+  friend class ScheduleCodec;
+
+  std::vector<std::size_t> slots_;    // N slots, grouped by processor
+  std::vector<std::size_t> offsets_;  // M+1 offsets, offsets_[0] == 0
+  std::vector<std::size_t> cursor_;   // scratch for the bucket builders
+};
 
 /// Translates between chromosomes and per-processor queues for a batch of
 /// `num_tasks` tasks on `num_procs` processors.
@@ -58,10 +115,18 @@ class ScheduleCodec {
   /// exactly num_procs entries covering every batch slot exactly once.
   ga::Chromosome encode(const ProcQueues& queues) const;
 
+  /// Encodes a flat schedule into a chromosome (same validation rules).
+  ga::Chromosome encode(const FlatSchedule& schedule) const;
+
   /// Decodes a chromosome into per-processor queues. The k-th delimiter
   /// *position* (not value) ends processor k's queue, matching the paper's
   /// "-1 delimits different processor queues" reading.
   ProcQueues decode(const ga::Chromosome& c) const;
+
+  /// Decodes into a caller-owned flat schedule, reusing its buffers:
+  /// allocation-free once `out` has reached the batch size. Produces the
+  /// same queues (content and order) as decode().
+  void decode_into(const ga::Chromosome& c, FlatSchedule& out) const;
 
   /// Validates that `c` is a permutation of the expected symbol set.
   bool valid(const ga::Chromosome& c) const;

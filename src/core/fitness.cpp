@@ -43,12 +43,20 @@ ScheduleEvaluator::ScheduleEvaluator(std::vector<double> task_sizes,
 }
 
 double ScheduleEvaluator::completion_time(
-    std::size_t j, const std::vector<std::size_t>& queue) const {
+    std::size_t j, std::span<const std::size_t> queue) const {
   double c = delta_[j];
   for (const std::size_t slot : queue) {
     c += size_[slot] / rate_[j] + comm_[j];
   }
   return c;
+}
+
+double ScheduleEvaluator::makespan(const FlatSchedule& schedule) const {
+  double m = 0.0;
+  for (std::size_t j = 0; j < schedule.num_procs(); ++j) {
+    m = std::max(m, completion_time(j, schedule.queue(j)));
+  }
+  return m;
 }
 
 double ScheduleEvaluator::makespan(const ProcQueues& queues) const {
@@ -57,6 +65,15 @@ double ScheduleEvaluator::makespan(const ProcQueues& queues) const {
     m = std::max(m, completion_time(j, queues[j]));
   }
   return m;
+}
+
+double ScheduleEvaluator::relative_error(const FlatSchedule& schedule) const {
+  double sum_sq = 0.0;
+  for (std::size_t j = 0; j < schedule.num_procs(); ++j) {
+    const double dev = psi_ - completion_time(j, schedule.queue(j));
+    sum_sq += dev * dev;
+  }
+  return std::sqrt(sum_sq);
 }
 
 double ScheduleEvaluator::relative_error(const ProcQueues& queues) const {
@@ -68,10 +85,35 @@ double ScheduleEvaluator::relative_error(const ProcQueues& queues) const {
   return std::sqrt(sum_sq);
 }
 
-double ScheduleEvaluator::fitness(const ProcQueues& queues) const {
-  const double e = relative_error(queues);
+namespace {
+
+double fitness_of_error(double e) {
   if (e <= 1.0) return 1.0;  // F = 1/E clamped into [0, 1]
   return 1.0 / e;
+}
+
+}  // namespace
+
+double ScheduleEvaluator::fitness(const FlatSchedule& schedule) const {
+  return fitness_of_error(relative_error(schedule));
+}
+
+double ScheduleEvaluator::fitness(const ProcQueues& queues) const {
+  return fitness_of_error(relative_error(queues));
+}
+
+BatchEvaluation ScheduleEvaluator::evaluate(
+    const FlatSchedule& schedule) const {
+  double m = 0.0;
+  double sum_sq = 0.0;
+  for (std::size_t j = 0; j < schedule.num_procs(); ++j) {
+    const double cj = completion_time(j, schedule.queue(j));
+    m = std::max(m, cj);
+    const double dev = psi_ - cj;
+    sum_sq += dev * dev;
+  }
+  const double e = std::sqrt(sum_sq);
+  return {fitness_of_error(e), m, e};
 }
 
 ScheduleProblem::ScheduleProblem(const ScheduleCodec& codec,
@@ -87,8 +129,31 @@ double ScheduleProblem::objective(const ga::Chromosome& c) const {
   return eval_.makespan(codec_.decode(c));
 }
 
-void ScheduleProblem::improve(ga::Chromosome& c, util::Rng& rng) const {
-  rebalance_once(c, codec_, eval_, rng, probes_);
+ga::GaProblem::Evaluation ScheduleProblem::evaluate(const ga::Chromosome& c,
+                                                    Workspace* ws) const {
+  if (ws == nullptr) {
+    EvalWorkspace local;
+    return evaluate(c, &local);
+  }
+  auto& w = static_cast<EvalWorkspace&>(*ws);
+  codec_.decode_into(c, w.schedule);
+  const BatchEvaluation e = eval_.evaluate(w.schedule);
+  return {e.fitness, e.makespan};
+}
+
+std::unique_ptr<ga::GaProblem::Workspace> ScheduleProblem::make_workspace()
+    const {
+  return std::make_unique<EvalWorkspace>();
+}
+
+bool ScheduleProblem::improve(ga::Chromosome& c, util::Rng& rng,
+                              Workspace* ws) const {
+  if (ws == nullptr) {
+    EvalWorkspace local;
+    return rebalance_once(c, codec_, eval_, rng, probes_, local);
+  }
+  return rebalance_once(c, codec_, eval_, rng, probes_,
+                        static_cast<EvalWorkspace&>(*ws));
 }
 
 }  // namespace gasched::core

@@ -15,6 +15,8 @@
 // (use_comm = false). Units follow DESIGN.md's documented correction: all
 // summands of C_j are seconds.
 
+#include <memory>
+#include <span>
 #include <vector>
 
 #include "core/encoding.hpp"
@@ -22,6 +24,14 @@
 #include "sim/policy.hpp"
 
 namespace gasched::core {
+
+/// Combined metrics of one schedule, computed in a single pass over the
+/// per-processor completion times.
+struct BatchEvaluation {
+  double fitness = 0.0;         ///< F = min(1, 1/E)
+  double makespan = 0.0;        ///< max_j C_j
+  double relative_error = 0.0;  ///< E
+};
 
 /// Evaluates schedules for one batch against one system snapshot.
 class ScheduleEvaluator {
@@ -40,18 +50,27 @@ class ScheduleEvaluator {
   double psi() const noexcept { return psi_; }
 
   /// Finish time C_j of processor j running `queue` (slots) after its
-  /// existing load.
+  /// existing load. Accepts any contiguous slot sequence — a FlatSchedule
+  /// queue view or a legacy ProcQueues entry.
   double completion_time(std::size_t j,
-                         const std::vector<std::size_t>& queue) const;
+                         std::span<const std::size_t> queue) const;
 
   /// Estimated makespan max_j C_j of a full decoded schedule.
+  double makespan(const FlatSchedule& schedule) const;
   double makespan(const ProcQueues& queues) const;
 
   /// Relative error E of a schedule (see header comment).
+  double relative_error(const FlatSchedule& schedule) const;
   double relative_error(const ProcQueues& queues) const;
 
   /// Fitness F = min(1, 1/E); E = 0 maps to 1 (perfect).
+  double fitness(const FlatSchedule& schedule) const;
   double fitness(const ProcQueues& queues) const;
+
+  /// Fitness, makespan, and relative error in one pass over the
+  /// completion times — the hot-path form: no per-call containers, each
+  /// C_j computed once.
+  BatchEvaluation evaluate(const FlatSchedule& schedule) const;
 
   /// Size of batch slot `slot` in MFLOPs.
   double task_size(std::size_t slot) const { return size_.at(slot); }
@@ -74,7 +93,17 @@ class ScheduleEvaluator {
   double psi_ = 0.0;
 };
 
+/// Caller-owned, reusable evaluation scratch: the flat decode target plus
+/// any buffers the hot path needs. One workspace per evaluating thread;
+/// the GA engine obtains them via ScheduleProblem::make_workspace().
+struct EvalWorkspace final : ga::GaProblem::Workspace {
+  FlatSchedule schedule;
+};
+
 /// GaProblem adapter: evaluates chromosomes through a codec + evaluator.
+/// The workspace path (evaluate/improve) decodes into a reused
+/// FlatSchedule — no per-call containers; fitness()/objective() remain as
+/// allocating convenience adapters for one-off callers.
 class ScheduleProblem final : public ga::GaProblem {
  public:
   /// Both references must outlive the problem. `rebalance_probes` bounds
@@ -84,8 +113,14 @@ class ScheduleProblem final : public ga::GaProblem {
 
   double fitness(const ga::Chromosome& c) const override;
   double objective(const ga::Chromosome& c) const override;
+  /// One decode, both metrics; allocation-free with a non-null workspace.
+  Evaluation evaluate(const ga::Chromosome& c,
+                      Workspace* ws) const override;
+  std::unique_ptr<Workspace> make_workspace() const override;
   /// The paper's re-balancing heuristic (§3.5); see core/rebalance.hpp.
-  void improve(ga::Chromosome& c, util::Rng& rng) const override;
+  /// Returns true when a fitter schedule was found and applied.
+  bool improve(ga::Chromosome& c, util::Rng& rng,
+               Workspace* ws) const override;
 
  private:
   const ScheduleCodec& codec_;

@@ -96,9 +96,9 @@ sim::BatchAssignment GeneticBatchScheduler::invoke(
     best = result.best;
   }
 
-  const ProcQueues queues = codec.decode(best);
+  codec.decode_into(best, decode_scratch_.schedule);
   for (std::size_t j = 0; j < M; ++j) {
-    for (const std::size_t slot : queues[j]) {
+    for (const std::size_t slot : decode_scratch_.schedule.queue(j)) {
       assignment.per_proc[j].push_back(tasks[slot].id);
     }
   }

@@ -13,10 +13,16 @@
 
 namespace gasched::core {
 
-/// Builds one randomised list schedule: each batch slot is assigned
-/// randomly with probability `random_fraction`, otherwise to the processor
-/// that would finish it earliest given assignments so far (earliest-finish
-/// includes the evaluator's comm estimates when enabled).
+/// Builds one randomised list schedule into `out` (buffers reused): each
+/// batch slot is assigned randomly with probability `random_fraction`,
+/// otherwise to the processor that would finish it earliest given
+/// assignments so far (earliest-finish includes the evaluator's comm
+/// estimates when enabled). Queue order is the (shuffled) visit order.
+void list_schedule_flat(const ScheduleEvaluator& eval, double random_fraction,
+                        util::Rng& rng, FlatSchedule& out);
+
+/// Legacy adapter: the same schedule (same RNG stream, same queue
+/// contents and order) materialised as per-processor queues.
 ProcQueues list_schedule(const ScheduleEvaluator& eval, double random_fraction,
                          util::Rng& rng);
 

@@ -1,45 +1,49 @@
 #include "core/rebalance.hpp"
 
 #include <algorithm>
+#include <utility>
 
 namespace gasched::core {
 
 bool rebalance_once(ga::Chromosome& c, const ScheduleCodec& codec,
                     const ScheduleEvaluator& eval, util::Rng& rng,
-                    std::size_t probes) {
-  const ProcQueues queues = codec.decode(c);
-  const std::size_t M = queues.size();
+                    std::size_t probes, EvalWorkspace& ws) {
+  FlatSchedule& s = ws.schedule;
+  codec.decode_into(c, s);
+  const std::size_t M = s.num_procs();
   if (M < 2) return false;
 
   // Most heavily loaded processor = largest estimated finish time.
   std::size_t heavy = 0;
   double heavy_time = -1.0;
   for (std::size_t j = 0; j < M; ++j) {
-    const double t = eval.completion_time(j, queues[j]);
+    const double t = eval.completion_time(j, s.queue(j));
     if (t > heavy_time) {
       heavy_time = t;
       heavy = j;
     }
   }
-  if (queues[heavy].empty()) return false;
+  if (s.queue(heavy).empty()) return false;
 
-  const double base_fitness = eval.fitness(queues);
+  const double base_fitness = eval.fitness(s);
 
   // Up to `probes` random searches for a smaller task on another processor.
   for (std::size_t probe = 0; probe < probes; ++probe) {
     const std::size_t other = rng.index(M);
-    if (other == heavy || queues[other].empty()) continue;
-    const std::size_t oi = rng.index(queues[other].size());
-    const std::size_t hi = rng.index(queues[heavy].size());
-    const std::size_t small_slot = queues[other][oi];
-    const std::size_t big_slot = queues[heavy][hi];
+    if (other == heavy || s.queue(other).empty()) continue;
+    const auto other_q = s.queue(other);
+    const auto heavy_q = s.queue(heavy);
+    const std::size_t oi = rng.index(other_q.size());
+    const std::size_t hi = rng.index(heavy_q.size());
+    const std::size_t small_slot = other_q[oi];
+    const std::size_t big_slot = heavy_q[hi];
     if (!(eval.task_size(small_slot) < eval.task_size(big_slot))) continue;
 
-    // Candidate: swap the two tasks between queues.
-    ProcQueues cand = queues;
-    cand[other][oi] = big_slot;
-    cand[heavy][hi] = small_slot;
-    if (eval.fitness(cand) > base_fitness) {
+    // Candidate: swap the two tasks between queues, in place.
+    std::swap(other_q[oi], heavy_q[hi]);
+    const bool fitter = eval.fitness(s) > base_fitness;
+    std::swap(other_q[oi], heavy_q[hi]);  // restore the decode
+    if (fitter) {
       // Apply the swap directly on the chromosome: exchange the two genes.
       const ga::Gene g_small = ScheduleCodec::task_gene(small_slot);
       const ga::Gene g_big = ScheduleCodec::task_gene(big_slot);
@@ -55,6 +59,13 @@ bool rebalance_once(ga::Chromosome& c, const ScheduleCodec& codec,
     return false;  // found a smaller task but the swap was not fitter
   }
   return false;
+}
+
+bool rebalance_once(ga::Chromosome& c, const ScheduleCodec& codec,
+                    const ScheduleEvaluator& eval, util::Rng& rng,
+                    std::size_t probes) {
+  EvalWorkspace ws;
+  return rebalance_once(c, codec, eval, rng, probes, ws);
 }
 
 }  // namespace gasched::core

@@ -13,9 +13,15 @@
 
 namespace gasched::core {
 
-/// Applies one re-balancing pass to `c` in place. Returns true when a
-/// fitter schedule was found and kept. `probes` bounds the random searches
-/// for a smaller task (paper: 5).
+/// Applies one re-balancing pass to `c` in place, decoding into the
+/// workspace's flat schedule (allocation-free once warmed up). Returns
+/// true when a fitter schedule was found and kept. `probes` bounds the
+/// random searches for a smaller task (paper: 5).
+bool rebalance_once(ga::Chromosome& c, const ScheduleCodec& codec,
+                    const ScheduleEvaluator& eval, util::Rng& rng,
+                    std::size_t probes, EvalWorkspace& ws);
+
+/// Convenience overload with a throwaway workspace.
 bool rebalance_once(ga::Chromosome& c, const ScheduleCodec& codec,
                     const ScheduleEvaluator& eval, util::Rng& rng,
                     std::size_t probes = 5);

@@ -22,11 +22,40 @@ bool same_gene_set(const Chromosome& a, const Chromosome& b) {
   return sa == sb;
 }
 
-std::unordered_map<Gene, std::size_t> position_index(const Chromosome& c) {
-  std::unordered_map<Gene, std::size_t> idx;
-  idx.reserve(c.size());
-  for (std::size_t i = 0; i < c.size(); ++i) idx.emplace(c[i], i);
-  return idx;
+void PositionIndex::build(const Chromosome& c) {
+  if (c.empty()) {
+    min_ = 0;
+    max_ = -1;
+    dense_ = true;
+    return;
+  }
+  const auto [lo, hi] = std::minmax_element(c.begin(), c.end());
+  min_ = *lo;
+  max_ = *hi;
+  const auto range =
+      static_cast<std::size_t>(static_cast<std::int64_t>(max_) - min_) + 1;
+  // Dense storage while the value range stays proportional to the
+  // chromosome (always true for schedule encodings); pathological gene
+  // sets take the sorted-array path instead of an O(range) table.
+  dense_ = range <= 4 * c.size() + 1024;
+  if (dense_) {
+    pos_.assign(range, npos);
+    for (std::size_t i = 0; i < c.size(); ++i) {
+      pos_[static_cast<std::size_t>(c[i] - min_)] = i;
+    }
+  } else {
+    sorted_.resize(c.size());
+    for (std::size_t i = 0; i < c.size(); ++i) sorted_[i] = {c[i], i};
+    std::sort(sorted_.begin(), sorted_.end());
+  }
+}
+
+std::size_t PositionIndex::find_sparse(Gene g) const noexcept {
+  const auto it = std::lower_bound(
+      sorted_.begin(), sorted_.end(), g,
+      [](const std::pair<Gene, std::size_t>& p, Gene v) { return p.first < v; });
+  if (it == sorted_.end() || it->first != g) return npos;
+  return it->second;
 }
 
 }  // namespace gasched::ga

@@ -8,7 +8,7 @@
 
 #include <cstdint>
 #include <span>
-#include <unordered_map>
+#include <utility>
 #include <vector>
 
 namespace gasched::ga {
@@ -26,7 +26,38 @@ bool is_permutation_of_distinct(const Chromosome& c);
 /// (prerequisite for permutation crossover).
 bool same_gene_set(const Chromosome& a, const Chromosome& b);
 
-/// Builds gene → position index for `c`. Genes must be distinct.
-std::unordered_map<Gene, std::size_t> position_index(const Chromosome& c);
+/// Reusable gene → position index. Schedule chromosomes (and the toy
+/// permutations in tests) keep their genes in a small contiguous range
+/// — task slots [0, H) plus delimiters [−(M−1), 0) — so the index is a
+/// dense vector keyed by (gene − min); build() reuses its storage, making
+/// steady-state lookups allocation-free, unlike the unordered_map this
+/// replaces (one rehashed map per crossover pair). Degenerate gene sets
+/// whose value range is far wider than the chromosome fall back to a
+/// sorted array with binary-search lookups.
+class PositionIndex {
+ public:
+  static constexpr std::size_t npos = static_cast<std::size_t>(-1);
+
+  /// Rebuilds the index over `c`. Genes must be distinct.
+  void build(const Chromosome& c);
+
+  /// Position of `g` in the last-built chromosome, npos when absent.
+  std::size_t find(Gene g) const noexcept {
+    if (dense_) {
+      if (g < min_ || g > max_) return npos;
+      return pos_[static_cast<std::size_t>(g - min_)];
+    }
+    return find_sparse(g);
+  }
+
+ private:
+  std::size_t find_sparse(Gene g) const noexcept;
+
+  std::vector<std::size_t> pos_;  // dense: position by (gene - min_)
+  std::vector<std::pair<Gene, std::size_t>> sorted_;  // sparse fallback
+  Gene min_ = 0;
+  Gene max_ = -1;  // empty range until built
+  bool dense_ = true;
+};
 
 }  // namespace gasched::ga

@@ -1,13 +1,27 @@
 #include "ga/crossover.hpp"
 
-#include <algorithm>
 #include <cassert>
 #include <stdexcept>
-#include <unordered_set>
+#include <utility>
 
 namespace gasched::ga {
 
 namespace {
+
+/// Per-thread operator scratch. Crossover runs on whichever thread drives
+/// the GA loop (main thread, or a pool worker in island mode); giving each
+/// thread its own buffers makes steady-state breeding allocation-free
+/// without any locking or interface churn.
+struct CrossoverScratch {
+  PositionIndex pos_a;
+  PositionIndex pos_b;
+  std::vector<std::uint8_t> flags;  // CX: position assigned; POS: keep mask
+};
+
+CrossoverScratch& cx_scratch() {
+  thread_local CrossoverScratch s;
+  return s;
+}
 
 void check_parents(const Chromosome& a, const Chromosome& b) {
   if (a.size() != b.size() || a.empty()) {
@@ -26,21 +40,24 @@ std::pair<std::size_t, std::size_t> random_segment(std::size_t n,
 
 }  // namespace
 
-std::pair<Chromosome, Chromosome> CycleCrossover::apply(
-    const Chromosome& a, const Chromosome& b, util::Rng& rng) const {
+void CycleCrossover::apply_into(const Chromosome& a, const Chromosome& b,
+                                Chromosome& c1, Chromosome& c2,
+                                util::Rng& rng) const {
   check_parents(a, b);
   const std::size_t n = a.size();
-  const auto pos_a = position_index(a);
-  Chromosome c1(n), c2(n);
-  std::vector<bool> assigned(n, false);
+  auto& sc = cx_scratch();
+  sc.pos_a.build(a);
+  c1.resize(n);
+  c2.resize(n);
+  sc.flags.assign(n, 0);
   // Which parent leads the first cycle is the only random choice; cycles
   // then alternate ownership (classic CX).
   bool from_a = rng.bernoulli(0.5);
   for (std::size_t start = 0; start < n; ++start) {
-    if (assigned[start]) continue;
+    if (sc.flags[start]) continue;
     std::size_t i = start;
     do {
-      assigned[i] = true;
+      sc.flags[i] = 1;
       if (from_a) {
         c1[i] = a[i];
         c2[i] = b[i];
@@ -48,61 +65,59 @@ std::pair<Chromosome, Chromosome> CycleCrossover::apply(
         c1[i] = b[i];
         c2[i] = a[i];
       }
-      const auto it = pos_a.find(b[i]);
-      if (it == pos_a.end()) {
+      const std::size_t p = sc.pos_a.find(b[i]);
+      if (p == PositionIndex::npos) {
         throw std::invalid_argument("CycleCrossover: parents differ in genes");
       }
-      i = it->second;
+      i = p;
     } while (i != start);
     from_a = !from_a;
   }
-  return {std::move(c1), std::move(c2)};
 }
 
 namespace {
 
 /// PMX child: keeps a's segment [lo, hi]; positions outside come from b,
-/// remapped through the segment until conflict-free.
-Chromosome pmx_child(const Chromosome& a, const Chromosome& b,
-                     const std::unordered_map<Gene, std::size_t>& pos_a,
-                     std::size_t lo, std::size_t hi) {
+/// remapped through the segment until conflict-free. A gene is "in the
+/// segment" exactly when its position in a falls inside [lo, hi], so the
+/// position index doubles as the membership set.
+void pmx_child_into(const Chromosome& a, const Chromosome& b,
+                    const PositionIndex& pos_a, std::size_t lo,
+                    std::size_t hi, Chromosome& child) {
   const std::size_t n = a.size();
-  Chromosome child(n);
-  std::unordered_set<Gene> in_segment;
-  for (std::size_t i = lo; i <= hi; ++i) {
-    child[i] = a[i];
-    in_segment.insert(a[i]);
-  }
+  child.resize(n);
+  for (std::size_t i = lo; i <= hi; ++i) child[i] = a[i];
   for (std::size_t i = 0; i < n; ++i) {
     if (i >= lo && i <= hi) continue;
     Gene g = b[i];
     // Follow the mapping a[k] -> b[k] out of the segment. Terminates
     // because each hop lands on a distinct segment position.
     std::size_t guard = 0;
-    while (in_segment.contains(g)) {
-      const auto it = pos_a.find(g);
-      if (it == pos_a.end() || ++guard > n) {
+    for (;;) {
+      const std::size_t p = pos_a.find(g);
+      if (p == PositionIndex::npos || p < lo || p > hi) break;
+      if (++guard > n) {
         throw std::invalid_argument("PmxCrossover: parents differ in genes");
       }
-      g = b[it->second];
+      g = b[p];
     }
     child[i] = g;
   }
-  return child;
 }
 
 /// OX1 child: keeps a's segment; fills remaining slots with b's genes in
-/// b-order starting after the segment.
-Chromosome order_child(const Chromosome& a, const Chromosome& b,
-                       std::size_t lo, std::size_t hi) {
+/// b-order starting after the segment. Membership in the copied segment
+/// is again a position-range test on a's index.
+void order_child_into(const Chromosome& a, const Chromosome& b,
+                      const PositionIndex& pos_a, std::size_t lo,
+                      std::size_t hi, Chromosome& child) {
   const std::size_t n = a.size();
-  if (hi - lo + 1 == n) return a;  // segment covers everything
-  Chromosome child(n);
-  std::unordered_set<Gene> taken;
-  for (std::size_t i = lo; i <= hi; ++i) {
-    child[i] = a[i];
-    taken.insert(a[i]);
+  if (hi - lo + 1 == n) {  // segment covers everything
+    child.assign(a.begin(), a.end());
+    return;
   }
+  child.resize(n);
+  for (std::size_t i = lo; i <= hi; ++i) child[i] = a[i];
   auto next_slot = [&](std::size_t w) {
     do {
       w = (w + 1) % n;
@@ -113,61 +128,69 @@ Chromosome order_child(const Chromosome& a, const Chromosome& b,
   write = next_slot(write);
   for (std::size_t k = 0; k < n; ++k) {
     const Gene g = b[(hi + 1 + k) % n];
-    if (taken.contains(g)) continue;
+    const std::size_t p = pos_a.find(g);
+    if (p != PositionIndex::npos && p >= lo && p <= hi) continue;  // taken
     child[write] = g;
     if (k + 1 < n) write = next_slot(write);
   }
-  return child;
 }
 
 }  // namespace
 
-std::pair<Chromosome, Chromosome> PmxCrossover::apply(const Chromosome& a,
-                                                      const Chromosome& b,
-                                                      util::Rng& rng) const {
+void PmxCrossover::apply_into(const Chromosome& a, const Chromosome& b,
+                              Chromosome& c1, Chromosome& c2,
+                              util::Rng& rng) const {
   check_parents(a, b);
   const auto [lo, hi] = random_segment(a.size(), rng);
-  const auto pos_a = position_index(a);
-  const auto pos_b = position_index(b);
-  return {pmx_child(a, b, pos_a, lo, hi), pmx_child(b, a, pos_b, lo, hi)};
+  auto& sc = cx_scratch();
+  sc.pos_a.build(a);
+  sc.pos_b.build(b);
+  pmx_child_into(a, b, sc.pos_a, lo, hi, c1);
+  pmx_child_into(b, a, sc.pos_b, lo, hi, c2);
 }
 
-std::pair<Chromosome, Chromosome> OrderCrossover::apply(const Chromosome& a,
-                                                        const Chromosome& b,
-                                                        util::Rng& rng) const {
+void OrderCrossover::apply_into(const Chromosome& a, const Chromosome& b,
+                                Chromosome& c1, Chromosome& c2,
+                                util::Rng& rng) const {
   check_parents(a, b);
   const auto [lo, hi] = random_segment(a.size(), rng);
-  return {order_child(a, b, lo, hi), order_child(b, a, lo, hi)};
+  auto& sc = cx_scratch();
+  sc.pos_a.build(a);
+  sc.pos_b.build(b);
+  order_child_into(a, b, sc.pos_a, lo, hi, c1);
+  order_child_into(b, a, sc.pos_b, lo, hi, c2);
 }
 
-std::pair<Chromosome, Chromosome> PositionCrossover::apply(
-    const Chromosome& a, const Chromosome& b, util::Rng& rng) const {
+void PositionCrossover::apply_into(const Chromosome& a, const Chromosome& b,
+                                   Chromosome& c1, Chromosome& c2,
+                                   util::Rng& rng) const {
   check_parents(a, b);
   const std::size_t n = a.size();
-  std::vector<bool> keep(n);
-  for (std::size_t i = 0; i < n; ++i) keep[i] = rng.bernoulli(0.5);
+  auto& sc = cx_scratch();
+  sc.flags.resize(n);
+  for (std::size_t i = 0; i < n; ++i) sc.flags[i] = rng.bernoulli(0.5);
 
   auto make_child = [&](const Chromosome& keep_from,
-                        const Chromosome& fill_from) {
-    Chromosome child(n);
-    std::unordered_set<Gene> taken;
+                        const Chromosome& fill_from,
+                        const PositionIndex& idx_keep, Chromosome& child) {
+    child.resize(n);
     for (std::size_t i = 0; i < n; ++i) {
-      if (keep[i]) {
-        child[i] = keep_from[i];
-        taken.insert(keep_from[i]);
-      }
+      if (sc.flags[i]) child[i] = keep_from[i];
     }
     std::size_t write = 0;
     for (std::size_t k = 0; k < n; ++k) {
       const Gene g = fill_from[k];
-      if (taken.contains(g)) continue;
-      while (write < n && keep[write]) ++write;
+      const std::size_t p = idx_keep.find(g);
+      if (p != PositionIndex::npos && sc.flags[p]) continue;  // kept already
+      while (write < n && sc.flags[write]) ++write;
       assert(write < n);
       child[write++] = g;
     }
-    return child;
   };
-  return {make_child(a, b), make_child(b, a)};
+  sc.pos_a.build(a);
+  make_child(a, b, sc.pos_a, c1);
+  sc.pos_b.build(b);
+  make_child(b, a, sc.pos_b, c2);
 }
 
 }  // namespace gasched::ga

@@ -17,10 +17,20 @@ namespace gasched::ga {
 class CrossoverOp {
  public:
   virtual ~CrossoverOp() = default;
-  /// Produces two children. Parents must share the same gene set.
-  virtual std::pair<Chromosome, Chromosome> apply(const Chromosome& a,
-                                                  const Chromosome& b,
-                                                  util::Rng& rng) const = 0;
+  /// Writes two children into `c1`/`c2` (resized; buffer capacity is
+  /// reused, so steady-state breeding is allocation-free). The children
+  /// must not alias the parents. Parents must share the same gene set.
+  virtual void apply_into(const Chromosome& a, const Chromosome& b,
+                          Chromosome& c1, Chromosome& c2,
+                          util::Rng& rng) const = 0;
+  /// Convenience wrapper returning freshly allocated children.
+  std::pair<Chromosome, Chromosome> apply(const Chromosome& a,
+                                          const Chromosome& b,
+                                          util::Rng& rng) const {
+    std::pair<Chromosome, Chromosome> out;
+    apply_into(a, b, out.first, out.second, rng);
+    return out;
+  }
   /// Operator name for reports.
   virtual std::string name() const = 0;
 };
@@ -30,9 +40,8 @@ class CrossoverOp {
 /// gene keeps a position it held in one of its parents.
 class CycleCrossover final : public CrossoverOp {
  public:
-  std::pair<Chromosome, Chromosome> apply(const Chromosome& a,
-                                          const Chromosome& b,
-                                          util::Rng& rng) const override;
+  void apply_into(const Chromosome& a, const Chromosome& b, Chromosome& c1,
+                  Chromosome& c2, util::Rng& rng) const override;
   std::string name() const override { return "cycle"; }
 };
 
@@ -40,9 +49,8 @@ class CycleCrossover final : public CrossoverOp {
 /// conflicts through the segment's mapping.
 class PmxCrossover final : public CrossoverOp {
  public:
-  std::pair<Chromosome, Chromosome> apply(const Chromosome& a,
-                                          const Chromosome& b,
-                                          util::Rng& rng) const override;
+  void apply_into(const Chromosome& a, const Chromosome& b, Chromosome& c1,
+                  Chromosome& c2, util::Rng& rng) const override;
   std::string name() const override { return "pmx"; }
 };
 
@@ -50,9 +58,8 @@ class PmxCrossover final : public CrossoverOp {
 /// fills the rest in the other parent's relative order.
 class OrderCrossover final : public CrossoverOp {
  public:
-  std::pair<Chromosome, Chromosome> apply(const Chromosome& a,
-                                          const Chromosome& b,
-                                          util::Rng& rng) const override;
+  void apply_into(const Chromosome& a, const Chromosome& b, Chromosome& c1,
+                  Chromosome& c2, util::Rng& rng) const override;
   std::string name() const override { return "order"; }
 };
 
@@ -60,9 +67,8 @@ class OrderCrossover final : public CrossoverOp {
 /// inherited verbatim; remaining genes fill in the other parent's order.
 class PositionCrossover final : public CrossoverOp {
  public:
-  std::pair<Chromosome, Chromosome> apply(const Chromosome& a,
-                                          const Chromosome& b,
-                                          util::Rng& rng) const override;
+  void apply_into(const Chromosome& a, const Chromosome& b, Chromosome& c1,
+                  Chromosome& c2, util::Rng& rng) const override;
   std::string name() const override { return "position"; }
 };
 

@@ -1,6 +1,9 @@
 #include "ga/engine.hpp"
 
+#include <algorithm>
 #include <stdexcept>
+
+#include "util/thread_pool.hpp"
 
 namespace gasched::ga {
 
@@ -15,6 +18,33 @@ GaEngine::GaEngine(GaConfig cfg, const SelectionOp& selection,
   }
 }
 
+namespace {
+
+/// Double-buffered population storage. Chromosomes, cached evaluations,
+/// and dirty flags live in parallel arrays; generation transitions swap
+/// the buffers so chromosome capacity is reused instead of reallocated.
+struct PopulationBuffer {
+  std::vector<Chromosome> chrom;
+  std::vector<double> fitness;
+  std::vector<double> objective;
+  std::vector<std::uint8_t> dirty;
+
+  explicit PopulationBuffer(std::size_t n)
+      : chrom(n), fitness(n, 0.0), objective(n, 0.0), dirty(n, 1) {}
+
+  /// Copies individual `src_i` of `src` into slot `i`, carrying its
+  /// cached evaluation (clean copy; no re-evaluation needed).
+  void copy_from(std::size_t i, const PopulationBuffer& src,
+                 std::size_t src_i) {
+    chrom[i].assign(src.chrom[src_i].begin(), src.chrom[src_i].end());
+    fitness[i] = src.fitness[src_i];
+    objective[i] = src.objective[src_i];
+    dirty[i] = 0;
+  }
+};
+
+}  // namespace
+
 GaResult GaEngine::run(const GaProblem& problem,
                        std::vector<Chromosome> initial, util::Rng& rng,
                        const StopPredicate& stop,
@@ -22,25 +52,71 @@ GaResult GaEngine::run(const GaProblem& problem,
   if (initial.empty()) {
     throw std::invalid_argument("GaEngine::run: empty initial population");
   }
+  const std::size_t P = cfg_.population;
   // Pad/truncate to the configured population size by cycling the seeds.
-  std::vector<Chromosome> pop;
-  pop.reserve(cfg_.population);
-  for (std::size_t i = 0; i < cfg_.population; ++i) {
-    pop.push_back(initial[i % initial.size()]);
+  PopulationBuffer pop(P);
+  for (std::size_t i = 0; i < P; ++i) {
+    pop.chrom[i] = initial[i % initial.size()];
   }
+  PopulationBuffer next(P);
 
   GaResult result;
-  std::vector<double> fitness(pop.size());
-  std::vector<double> objective(pop.size());
+
+  // One workspace for all serial evaluation/improvement; extra workspaces
+  // are created lazily, one per parallel chunk, when the population is
+  // large enough for pool evaluation.
+  std::unique_ptr<GaProblem::Workspace> serial_ws = problem.make_workspace();
+  std::vector<std::unique_ptr<GaProblem::Workspace>> chunk_ws;
+
+  const bool use_pool =
+      cfg_.parallel_evaluation && P > cfg_.parallel_eval_threshold;
+  std::vector<std::size_t> dirty_idx;
+  if (use_pool) dirty_idx.reserve(P);
 
   auto evaluate_all = [&] {
-    for (std::size_t i = 0; i < pop.size(); ++i) {
-      fitness[i] = problem.fitness(pop[i]);
-      objective[i] = problem.objective(pop[i]);
-      if (objective[i] < result.best_objective) {
-        result.best_objective = objective[i];
-        result.best_fitness = fitness[i];
-        result.best = pop[i];
+    // Evaluate only dirty individuals; cached entries are bit-identical
+    // to a re-evaluation because evaluate() is pure.
+    if (use_pool) {
+      dirty_idx.clear();
+      for (std::size_t i = 0; i < P; ++i) {
+        if (pop.dirty[i]) dirty_idx.push_back(i);
+      }
+      util::ThreadPool& pool = util::global_pool();
+      const std::size_t chunks = std::max<std::size_t>(
+          1, std::min(dirty_idx.size(), pool.size()));
+      while (chunk_ws.size() < chunks) {
+        chunk_ws.push_back(problem.make_workspace());
+      }
+      const std::size_t per = (dirty_idx.size() + chunks - 1) / chunks;
+      pool.parallel_for(0, chunks, [&](std::size_t c) {
+        const std::size_t lo = c * per;
+        const std::size_t hi = std::min(lo + per, dirty_idx.size());
+        for (std::size_t k = lo; k < hi; ++k) {
+          const std::size_t i = dirty_idx[k];
+          const auto e = problem.evaluate(pop.chrom[i], chunk_ws[c].get());
+          pop.fitness[i] = e.fitness;
+          pop.objective[i] = e.objective;
+          pop.dirty[i] = 0;
+        }
+      });
+      result.evaluations += dirty_idx.size();
+    } else {
+      for (std::size_t i = 0; i < P; ++i) {
+        if (!pop.dirty[i]) continue;
+        const auto e = problem.evaluate(pop.chrom[i], serial_ws.get());
+        pop.fitness[i] = e.fitness;
+        pop.objective[i] = e.objective;
+        pop.dirty[i] = 0;
+        ++result.evaluations;
+      }
+    }
+    // Best-so-far reduction stays serial and in index order so ties keep
+    // the same chromosome regardless of thread count.
+    for (std::size_t i = 0; i < P; ++i) {
+      if (pop.objective[i] < result.best_objective) {
+        result.best_objective = pop.objective[i];
+        result.best_fitness = pop.fitness[i];
+        result.best = pop.chrom[i];
       }
     }
   };
@@ -51,7 +127,8 @@ GaResult GaEngine::run(const GaProblem& problem,
   auto record_stats = [&](std::size_t gen) {
     if (!cfg_.record_stats) return;
     result.stats_history.push_back(summarize_generation(
-        gen, pop, fitness, objective, cfg_.diversity_pairs, stats_rng));
+        gen, pop.chrom, pop.fitness, pop.objective, cfg_.diversity_pairs,
+        stats_rng));
   };
 
   evaluate_all();
@@ -60,6 +137,9 @@ GaResult GaEngine::run(const GaProblem& problem,
     result.objective_history.push_back(result.best_objective);
   }
   record_stats(0);
+
+  std::vector<std::size_t> parents;
+  parents.reserve(P);
 
   std::size_t stall = 0;
   for (std::size_t gen = 0; gen < cfg_.max_generations; ++gen) {
@@ -72,47 +152,55 @@ GaResult GaEngine::run(const GaProblem& problem,
     const double best_before = result.best_objective;
 
     // --- selection: breed the next generation from fitness weights ------
-    const auto parents = selection_.select(fitness, pop.size(), rng);
-    std::vector<Chromosome> next;
-    next.reserve(pop.size());
+    selection_.select_into(pop.fitness, P, rng, parents);
     for (std::size_t i = 0; i + 1 < parents.size(); i += 2) {
-      const Chromosome& pa = pop[parents[i]];
-      const Chromosome& pb = pop[parents[i + 1]];
+      const std::size_t pa = parents[i];
+      const std::size_t pb = parents[i + 1];
       if (rng.bernoulli(cfg_.crossover_rate)) {
-        auto [c1, c2] = crossover_.apply(pa, pb, rng);
-        next.push_back(std::move(c1));
-        next.push_back(std::move(c2));
+        crossover_.apply_into(pop.chrom[pa], pop.chrom[pb], next.chrom[i],
+                              next.chrom[i + 1], rng);
+        next.dirty[i] = 1;
+        next.dirty[i + 1] = 1;
       } else {
-        next.push_back(pa);
-        next.push_back(pb);
+        // Survivors keep their parents' cached evaluations.
+        next.copy_from(i, pop, pa);
+        next.copy_from(i + 1, pop, pb);
       }
     }
-    if (next.size() < pop.size()) {
-      next.push_back(pop[parents.back()]);  // odd population size
+    if ((parents.size() & 1u) != 0) {
+      next.copy_from(P - 1, pop, parents.back());  // odd population size
     }
 
     // --- random mutation -------------------------------------------------
     for (std::size_t m = 0; m < cfg_.mutants_per_generation; ++m) {
-      mutation_.apply(next[rng.index(next.size())], rng);
+      const std::size_t victim = rng.index(P);
+      mutation_.apply(next.chrom[victim], rng);
+      next.dirty[victim] = 1;
     }
 
     // --- local improvement (re-balancing heuristic) ----------------------
+    // Always serial: improve() consumes the evolution's RNG stream.
     if (cfg_.improvement_passes > 0) {
-      for (auto& ind : next) {
+      for (std::size_t i = 0; i < P; ++i) {
+        bool changed = false;
         for (std::size_t r = 0; r < cfg_.improvement_passes; ++r) {
-          problem.improve(ind, rng);
+          changed |= problem.improve(next.chrom[i], rng, serial_ws.get());
         }
+        if (changed) next.dirty[i] = 1;
       }
     }
 
     // --- elitism ----------------------------------------------------------
     if (cfg_.elitism && !result.best.empty()) {
       // Replace the first slot with the incumbent best; cheap and keeps
-      // the population size fixed.
-      next[0] = result.best;
+      // the population size fixed. Its evaluation is already cached.
+      next.chrom[0].assign(result.best.begin(), result.best.end());
+      next.fitness[0] = result.best_fitness;
+      next.objective[0] = result.best_objective;
+      next.dirty[0] = 0;
     }
 
-    pop = std::move(next);
+    std::swap(pop, next);
     evaluate_all();
     ++result.generations;
     if (result.best_objective < best_before) {
@@ -125,7 +213,9 @@ GaResult GaEngine::run(const GaProblem& problem,
     }
     record_stats(result.generations);
   }
-  if (final_population != nullptr) *final_population = std::move(pop);
+  if (final_population != nullptr) {
+    *final_population = std::move(pop.chrom);
+  }
   return result;
 }
 

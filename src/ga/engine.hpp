@@ -9,7 +9,18 @@
 // maximise), a reporting objective (e.g. makespan, to minimise), and an
 // optional local-improvement operator (the paper's re-balancing
 // heuristic, applied to every individual each generation).
+//
+// Evaluation core invariants (see docs/evaluation.md):
+//  * fitness/objective are cached per individual with dirty tracking —
+//    elites and survivors untouched by crossover/mutation/improve are
+//    never re-evaluated;
+//  * evaluation goes through a problem-owned Workspace so hot paths can
+//    decode/evaluate without allocating;
+//  * optional population-parallel evaluation is bit-identical to serial
+//    execution for any thread count (evaluation is a pure function of the
+//    chromosome; RNG-consuming operators always run serially).
 
+#include <cstdint>
 #include <functional>
 #include <limits>
 #include <memory>
@@ -27,17 +38,54 @@ namespace gasched::ga {
 /// Problem interface consumed by GaEngine.
 class GaProblem {
  public:
+  /// Reusable, problem-owned evaluation scratch (decode buffers etc.).
+  /// The engine creates one per concurrent evaluation worker via
+  /// make_workspace() and passes it back on every evaluate()/improve()
+  /// call; a workspace is never used from two threads at once.
+  class Workspace {
+   public:
+    virtual ~Workspace() = default;
+  };
+
+  /// Combined result of evaluating one individual.
+  struct Evaluation {
+    double fitness = 0.0;    ///< >= 0; larger is better (paper: F = 1/E)
+    double objective = 0.0;  ///< smaller is better (paper: makespan)
+  };
+
   virtual ~GaProblem() = default;
+
   /// Fitness of `c`, >= 0; larger is better. (Paper: F = 1/E.)
   virtual double fitness(const Chromosome& c) const = 0;
   /// Reporting/stopping objective; smaller is better. (Paper: makespan.)
   virtual double objective(const Chromosome& c) const = 0;
+
+  /// Evaluates fitness and objective together through `ws` (may be null
+  /// when make_workspace() returned null). Must be a pure function of `c`
+  /// and safe to call concurrently with distinct workspaces — this is
+  /// what population-parallel evaluation relies on. The default adapter
+  /// suits problems without shared decode state.
+  virtual Evaluation evaluate(const Chromosome& c, Workspace* ws) const {
+    (void)ws;
+    return {fitness(c), objective(c)};
+  }
+
+  /// Creates an evaluation workspace (null when the problem needs none).
+  virtual std::unique_ptr<Workspace> make_workspace() const {
+    return nullptr;
+  }
+
   /// Optional local improvement applied in place (paper's re-balancing
   /// heuristic). Called `GaConfig::improvement_passes` times per
-  /// individual per generation. Default: no-op.
-  virtual void improve(Chromosome& c, util::Rng& rng) const {
+  /// individual per generation, always serially (it consumes `rng`).
+  /// Returns true when `c` may have been modified — the engine uses this
+  /// for dirty tracking, so returning false for a modified chromosome
+  /// serves stale cached fitness. Default: no-op.
+  virtual bool improve(Chromosome& c, util::Rng& rng, Workspace* ws) const {
     (void)c;
     (void)rng;
+    (void)ws;
+    return false;
   }
 };
 
@@ -72,6 +120,14 @@ struct GaConfig {
   bool record_stats = false;
   /// Pair-sample budget per generation for the diversity estimate.
   std::size_t diversity_pairs = 64;
+  /// Evaluate dirty individuals on util::global_pool() when the
+  /// population exceeds parallel_eval_threshold. Evaluation is a pure
+  /// function of the chromosome, so results are bit-identical to serial
+  /// execution for any thread count.
+  bool parallel_evaluation = true;
+  /// Populations at or below this size always evaluate serially (the
+  /// paper's 20-individual micro GA does not amortise a fork/join).
+  std::size_t parallel_eval_threshold = 64;
 };
 
 /// Outcome of one GA run.
@@ -85,6 +141,9 @@ struct GaResult {
   /// Per-generation population statistics (entry 0 = initial population;
   /// empty unless GaConfig::record_stats).
   std::vector<GenerationStats> stats_history;
+  /// Evaluations actually performed (dirty individuals only); a caching
+  /// observability counter — (generations+1) * population without it.
+  std::size_t evaluations = 0;
 };
 
 /// External stop predicate, checked once per generation. Returning true

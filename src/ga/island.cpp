@@ -11,13 +11,15 @@ namespace gasched::ga {
 
 namespace {
 
-/// Indices of `pop` sorted by ascending objective (best first).
+/// Indices of `pop` sorted by ascending objective (best first). Migration
+/// ranking reuses `ws` so the epoch boundary stays allocation-light.
 std::vector<std::size_t> rank_by_objective(const GaProblem& problem,
                                            const std::vector<Chromosome>& pop,
-                                           std::vector<double>& objective) {
+                                           std::vector<double>& objective,
+                                           GaProblem::Workspace* ws) {
   objective.resize(pop.size());
   for (std::size_t i = 0; i < pop.size(); ++i) {
-    objective[i] = problem.objective(pop[i]);
+    objective[i] = problem.evaluate(pop[i], ws).objective;
   }
   std::vector<std::size_t> order(pop.size());
   std::iota(order.begin(), order.end(), std::size_t{0});
@@ -109,9 +111,11 @@ IslandResult run_island_ga(const GaProblem& problem, const IslandConfig& cfg,
       const std::size_t migrants = std::min(cfg.migrants, pop_size);
       std::vector<std::vector<Chromosome>> outgoing(K);
       std::vector<double> scratch;
+      const std::unique_ptr<GaProblem::Workspace> ws =
+          problem.make_workspace();
       std::vector<std::vector<std::size_t>> order(K);
       for (std::size_t k = 0; k < K; ++k) {
-        order[k] = rank_by_objective(problem, pops[k], scratch);
+        order[k] = rank_by_objective(problem, pops[k], scratch, ws.get());
         for (std::size_t m = 0; m < migrants; ++m) {
           outgoing[k].push_back(pops[k][order[k][m]]);
         }

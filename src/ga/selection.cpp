@@ -8,6 +8,19 @@ namespace gasched::ga {
 
 namespace {
 
+/// Per-thread selection scratch (prefix sums, rank order/weights), so the
+/// per-generation draw is allocation-free once warmed up.
+struct SelectionScratch {
+  std::vector<double> prefix;
+  std::vector<double> weight;
+  std::vector<std::size_t> order;
+};
+
+SelectionScratch& sel_scratch() {
+  thread_local SelectionScratch s;
+  return s;
+}
+
 /// Prefix sums of fitness; returns total. All-zero totals are handled by
 /// callers falling back to uniform selection.
 double prefix_sums(std::span<const double> fitness, std::vector<double>& out) {
@@ -27,14 +40,13 @@ std::size_t locate(const std::vector<double>& prefix, double target) {
                                static_cast<std::ptrdiff_t>(prefix.size()) - 1));
 }
 
-}  // namespace
-
-std::vector<std::size_t> RouletteSelection::select(
-    std::span<const double> fitness, std::size_t count, util::Rng& rng) const {
+/// Shared roulette-wheel core used by roulette and rank selection.
+void roulette_into(std::span<const double> fitness, std::size_t count,
+                   util::Rng& rng, std::vector<std::size_t>& out) {
   if (fitness.empty()) throw std::invalid_argument("select: empty population");
-  std::vector<double> prefix;
+  auto& prefix = sel_scratch().prefix;
   const double total = prefix_sums(fitness, prefix);
-  std::vector<std::size_t> out;
+  out.clear();
   out.reserve(count);
   for (std::size_t i = 0; i < count; ++i) {
     if (total <= 0.0) {
@@ -43,7 +55,21 @@ std::vector<std::size_t> RouletteSelection::select(
       out.push_back(locate(prefix, rng.uniform(0.0, total)));
     }
   }
+}
+
+}  // namespace
+
+std::vector<std::size_t> RouletteSelection::select(
+    std::span<const double> fitness, std::size_t count, util::Rng& rng) const {
+  std::vector<std::size_t> out;
+  select_into(fitness, count, rng, out);
   return out;
+}
+
+void RouletteSelection::select_into(std::span<const double> fitness,
+                                    std::size_t count, util::Rng& rng,
+                                    std::vector<std::size_t>& out) const {
+  roulette_into(fitness, count, rng, out);
 }
 
 TournamentSelection::TournamentSelection(std::size_t k) : k_(k) {
@@ -56,8 +82,16 @@ std::string TournamentSelection::name() const {
 
 std::vector<std::size_t> TournamentSelection::select(
     std::span<const double> fitness, std::size_t count, util::Rng& rng) const {
-  if (fitness.empty()) throw std::invalid_argument("select: empty population");
   std::vector<std::size_t> out;
+  select_into(fitness, count, rng, out);
+  return out;
+}
+
+void TournamentSelection::select_into(std::span<const double> fitness,
+                                      std::size_t count, util::Rng& rng,
+                                      std::vector<std::size_t>& out) const {
+  if (fitness.empty()) throw std::invalid_argument("select: empty population");
+  out.clear();
   out.reserve(count);
   for (std::size_t i = 0; i < count; ++i) {
     std::size_t best = rng.index(fitness.size());
@@ -67,39 +101,57 @@ std::vector<std::size_t> TournamentSelection::select(
     }
     out.push_back(best);
   }
-  return out;
 }
 
 std::vector<std::size_t> RankSelection::select(std::span<const double> fitness,
                                                std::size_t count,
                                                util::Rng& rng) const {
+  std::vector<std::size_t> out;
+  select_into(fitness, count, rng, out);
+  return out;
+}
+
+void RankSelection::select_into(std::span<const double> fitness,
+                                std::size_t count, util::Rng& rng,
+                                std::vector<std::size_t>& out) const {
   if (fitness.empty()) throw std::invalid_argument("select: empty population");
   const std::size_t n = fitness.size();
-  std::vector<std::size_t> order(n);
-  std::iota(order.begin(), order.end(), 0);
-  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
-    return fitness[a] < fitness[b];
-  });
+  auto& sc = sel_scratch();
+  sc.order.resize(n);
+  std::iota(sc.order.begin(), sc.order.end(), std::size_t{0});
+  std::sort(sc.order.begin(), sc.order.end(),
+            [&](std::size_t a, std::size_t b) {
+              return fitness[a] < fitness[b];
+            });
   // rank[i] in [1, n]; selection weight = rank.
-  std::vector<double> weight(n);
+  sc.weight.resize(n);
   for (std::size_t r = 0; r < n; ++r) {
-    weight[order[r]] = static_cast<double>(r + 1);
+    sc.weight[sc.order[r]] = static_cast<double>(r + 1);
   }
-  RouletteSelection roulette;
-  return roulette.select(weight, count, rng);
+  roulette_into(sc.weight, count, rng, out);
 }
 
 std::vector<std::size_t> SusSelection::select(std::span<const double> fitness,
                                               std::size_t count,
                                               util::Rng& rng) const {
-  if (fitness.empty()) throw std::invalid_argument("select: empty population");
-  std::vector<double> prefix;
-  const double total = prefix_sums(fitness, prefix);
   std::vector<std::size_t> out;
+  select_into(fitness, count, rng, out);
+  return out;
+}
+
+void SusSelection::select_into(std::span<const double> fitness,
+                               std::size_t count, util::Rng& rng,
+                               std::vector<std::size_t>& out) const {
+  if (fitness.empty()) throw std::invalid_argument("select: empty population");
+  auto& prefix = sel_scratch().prefix;
+  const double total = prefix_sums(fitness, prefix);
+  out.clear();
   out.reserve(count);
   if (total <= 0.0 || count == 0) {
-    for (std::size_t i = 0; i < count; ++i) out.push_back(rng.index(fitness.size()));
-    return out;
+    for (std::size_t i = 0; i < count; ++i) {
+      out.push_back(rng.index(fitness.size()));
+    }
+    return;
   }
   const double step = total / static_cast<double>(count);
   double pointer = rng.uniform(0.0, step);
@@ -107,7 +159,6 @@ std::vector<std::size_t> SusSelection::select(std::span<const double> fitness,
     out.push_back(locate(prefix, pointer));
     pointer += step;
   }
-  return out;
 }
 
 }  // namespace gasched::ga

@@ -21,6 +21,14 @@ class SelectionOp {
   virtual std::vector<std::size_t> select(std::span<const double> fitness,
                                           std::size_t count,
                                           util::Rng& rng) const = 0;
+  /// Same draw, written into a caller-reused buffer (cleared first) so
+  /// the per-generation selection is allocation-free. Consumes the same
+  /// RNG stream as select(). Default adapter delegates to select().
+  virtual void select_into(std::span<const double> fitness, std::size_t count,
+                           util::Rng& rng,
+                           std::vector<std::size_t>& out) const {
+    out = select(fitness, count, rng);
+  }
   /// Operator name for reports.
   virtual std::string name() const = 0;
 };
@@ -32,6 +40,9 @@ class RouletteSelection final : public SelectionOp {
   std::vector<std::size_t> select(std::span<const double> fitness,
                                   std::size_t count,
                                   util::Rng& rng) const override;
+  void select_into(std::span<const double> fitness, std::size_t count,
+                   util::Rng& rng,
+                   std::vector<std::size_t>& out) const override;
   std::string name() const override { return "roulette"; }
 };
 
@@ -43,6 +54,9 @@ class TournamentSelection final : public SelectionOp {
   std::vector<std::size_t> select(std::span<const double> fitness,
                                   std::size_t count,
                                   util::Rng& rng) const override;
+  void select_into(std::span<const double> fitness, std::size_t count,
+                   util::Rng& rng,
+                   std::vector<std::size_t>& out) const override;
   std::string name() const override;
 
  private:
@@ -55,6 +69,9 @@ class RankSelection final : public SelectionOp {
   std::vector<std::size_t> select(std::span<const double> fitness,
                                   std::size_t count,
                                   util::Rng& rng) const override;
+  void select_into(std::span<const double> fitness, std::size_t count,
+                   util::Rng& rng,
+                   std::vector<std::size_t>& out) const override;
   std::string name() const override { return "rank"; }
 };
 
@@ -65,6 +82,9 @@ class SusSelection final : public SelectionOp {
   std::vector<std::size_t> select(std::span<const double> fitness,
                                   std::size_t count,
                                   util::Rng& rng) const override;
+  void select_into(std::span<const double> fitness, std::size_t count,
+                   util::Rng& rng,
+                   std::vector<std::size_t>& out) const override;
   std::string name() const override { return "sus"; }
 };
 

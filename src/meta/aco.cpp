@@ -28,18 +28,21 @@ namespace {
 
 /// One ant's walk: assigns every slot (in the given order) to a processor
 /// sampled from the pheromone/visibility product over the construction's
-/// running completion times. Returns the slot → processor map.
-std::vector<std::size_t> construct(const core::ScheduleEvaluator& eval,
-                                   const std::vector<double>& tau,
-                                   const std::vector<std::size_t>& order,
-                                   double alpha, double beta,
-                                   util::Rng& rng) {
+/// running completion times. Writes the slot → processor map into
+/// `assignment`; `completion` and `weight` are reused scratch (the walk
+/// is allocation-free).
+void construct(const core::ScheduleEvaluator& eval,
+               const std::vector<double>& tau,
+               const std::vector<std::size_t>& order, double alpha,
+               double beta, util::Rng& rng, std::vector<double>& completion,
+               std::vector<double>& weight,
+               std::vector<std::size_t>& assignment) {
   const std::size_t M = eval.num_procs();
-  std::vector<double> completion(M);
+  completion.resize(M);
   for (std::size_t j = 0; j < M; ++j) completion[j] = eval.delta(j);
 
-  std::vector<std::size_t> assignment(eval.num_tasks());
-  std::vector<double> weight(M);
+  assignment.resize(eval.num_tasks());
+  weight.resize(M);
   for (const std::size_t slot : order) {
     double total = 0.0;
     for (std::size_t j = 0; j < M; ++j) {
@@ -65,14 +68,14 @@ std::vector<std::size_t> construct(const core::ScheduleEvaluator& eval,
     assignment[slot] = pick;
     completion[pick] += eval.task_cost_on(slot, pick);
   }
-  return assignment;
 }
 
-/// Makespan of a slot → processor map.
+/// Makespan of a slot → processor map (`completion` is reused scratch).
 double assignment_makespan(const core::ScheduleEvaluator& eval,
-                           const std::vector<std::size_t>& assignment) {
+                           const std::vector<std::size_t>& assignment,
+                           std::vector<double>& completion) {
   const std::size_t M = eval.num_procs();
-  std::vector<double> completion(M);
+  completion.resize(M);
   for (std::size_t j = 0; j < M; ++j) completion[j] = eval.delta(j);
   for (std::size_t s = 0; s < assignment.size(); ++s) {
     completion[assignment[s]] += eval.task_cost_on(s, assignment[s]);
@@ -82,38 +85,43 @@ double assignment_makespan(const core::ScheduleEvaluator& eval,
 
 }  // namespace
 
-core::ProcQueues AntColonyScheduler::search(
-    const core::ScheduleEvaluator& eval, core::ProcQueues initial,
-    util::Rng& rng) const {
+void AntColonyScheduler::search(const core::ScheduleEvaluator& eval,
+                                core::FlatSchedule& schedule,
+                                util::Rng& rng) const {
   const std::size_t M = eval.num_procs();
   const std::size_t N = eval.num_tasks();
-  if (M < 2 || N == 0) return initial;
+  if (M < 2 || N == 0) return;
 
   // Seed best-so-far with the greedy start solution so ACO never returns
   // something worse than the list schedule.
-  LoadTracker seed(eval, std::move(initial));
-  std::vector<std::size_t> best(N);
-  for (std::size_t s = 0; s < N; ++s) best[s] = seed.proc_of(s);
+  const LoadTracker seed(eval, schedule);
+  std::vector<std::size_t> best(seed.assignment().begin(),
+                                seed.assignment().end());
   double best_makespan = seed.makespan();
 
   std::vector<double> tau(N * M, cfg_.tau0);
   std::vector<std::size_t> order(N);
   std::iota(order.begin(), order.end(), std::size_t{0});
 
+  // Per-search scratch, reused across every ant walk.
+  std::vector<double> completion;
+  std::vector<double> weight;
+  std::vector<std::size_t> assignment;
+  std::vector<std::size_t> iter_best;
+
   std::size_t stall = 0;
   for (std::size_t iter = 0;
        iter < cfg_.iterations && stall < cfg_.stall_iterations; ++iter) {
-    std::vector<std::size_t> iter_best;
     double iter_best_makespan = std::numeric_limits<double>::infinity();
 
     for (std::size_t a = 0; a < cfg_.ants; ++a) {
       rng.shuffle(order);
-      auto assignment =
-          construct(eval, tau, order, cfg_.alpha, cfg_.beta, rng);
-      const double ms = assignment_makespan(eval, assignment);
+      construct(eval, tau, order, cfg_.alpha, cfg_.beta, rng, completion,
+                weight, assignment);
+      const double ms = assignment_makespan(eval, assignment, completion);
       if (ms < iter_best_makespan) {
         iter_best_makespan = ms;
-        iter_best = std::move(assignment);
+        iter_best.assign(assignment.begin(), assignment.end());
       }
     }
 
@@ -129,16 +137,14 @@ core::ProcQueues AntColonyScheduler::search(
 
     if (iter_best_makespan < best_makespan - 1e-12) {
       best_makespan = iter_best_makespan;
-      best = std::move(iter_best);
+      best.assign(iter_best.begin(), iter_best.end());
       stall = 0;
     } else {
       ++stall;
     }
   }
 
-  core::ProcQueues queues(M);
-  for (std::size_t s = 0; s < N; ++s) queues[best[s]].push_back(s);
-  return queues;
+  schedule.assign_grouped(best, M);
 }
 
 std::unique_ptr<AntColonyScheduler> make_aco_scheduler(AcoConfig cfg) {

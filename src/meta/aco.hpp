@@ -53,9 +53,8 @@ class AntColonyScheduler final : public LocalSearchBatchPolicy {
   const AcoConfig& config() const noexcept { return cfg_; }
 
  protected:
-  core::ProcQueues search(const core::ScheduleEvaluator& eval,
-                          core::ProcQueues initial,
-                          util::Rng& rng) const override;
+  void search(const core::ScheduleEvaluator& eval,
+              core::FlatSchedule& schedule, util::Rng& rng) const override;
 
  private:
   AcoConfig cfg_;

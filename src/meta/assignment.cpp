@@ -33,6 +33,40 @@ LoadTracker::LoadTracker(const core::ScheduleEvaluator& eval,
   }
 }
 
+LoadTracker::LoadTracker(const core::ScheduleEvaluator& eval,
+                         const core::FlatSchedule& schedule)
+    : eval_(&eval) {
+  reset(eval, schedule);
+}
+
+void LoadTracker::reset(const core::ScheduleEvaluator& eval,
+                        const core::FlatSchedule& schedule) {
+  eval_ = &eval;
+  const std::size_t M = eval.num_procs();
+  const std::size_t N = eval.num_tasks();
+  if (schedule.num_procs() != M) {
+    throw std::invalid_argument("LoadTracker: queue count != processor count");
+  }
+  slot_proc_.assign(N, M);  // M = unassigned sentinel
+  completion_.resize(M);
+  for (std::size_t j = 0; j < M; ++j) {
+    completion_[j] = eval.delta(j);
+    for (const std::size_t slot : schedule.queue(j)) {
+      if (slot >= N || slot_proc_[slot] != M) {
+        throw std::invalid_argument(
+            "LoadTracker: queues must cover each slot exactly once");
+      }
+      slot_proc_[slot] = j;
+      completion_[j] += eval.task_cost_on(slot, j);
+    }
+  }
+  for (std::size_t s = 0; s < N; ++s) {
+    if (slot_proc_[s] == M) {
+      throw std::invalid_argument("LoadTracker: slot missing from queues");
+    }
+  }
+}
+
 double LoadTracker::makespan() const {
   double m = 0.0;
   for (const double c : completion_) m = std::max(m, c);

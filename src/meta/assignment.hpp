@@ -16,6 +16,7 @@
 // neighbourhoods operate purely on the slot → processor assignment.
 
 #include <cstddef>
+#include <span>
 #include <vector>
 
 #include "core/encoding.hpp"
@@ -40,6 +41,15 @@ class LoadTracker {
   /// every batch slot of `eval` exactly once; the evaluator must outlive
   /// the tracker.
   LoadTracker(const core::ScheduleEvaluator& eval, core::ProcQueues queues);
+
+  /// Flat-schedule constructor: same validation, no per-queue containers.
+  LoadTracker(const core::ScheduleEvaluator& eval,
+              const core::FlatSchedule& schedule);
+
+  /// Re-initialises from another schedule, reusing this tracker's buffers
+  /// (restart loops rebuild state without allocating).
+  void reset(const core::ScheduleEvaluator& eval,
+             const core::FlatSchedule& schedule);
 
   /// Number of processors M.
   std::size_t num_procs() const noexcept { return completion_.size(); }
@@ -70,6 +80,19 @@ class LoadTracker {
   /// Materialises the current assignment as per-processor queues (slot
   /// order within a queue is ascending; order is irrelevant to C_j).
   core::ProcQueues to_queues() const;
+
+  /// Current slot → processor map (the flat snapshot form: copy this span
+  /// into a reused vector to remember a best-so-far assignment without
+  /// materialising queues).
+  std::span<const std::size_t> assignment() const noexcept {
+    return slot_proc_;
+  }
+
+  /// Writes the current assignment into `out`, slots ascending per queue
+  /// (identical content and order to to_queues()).
+  void export_schedule(core::FlatSchedule& out) const {
+    out.assign_grouped(slot_proc_, num_procs());
+  }
 
   /// The evaluator this tracker prices moves with.
   const core::ScheduleEvaluator& evaluator() const noexcept { return *eval_; }

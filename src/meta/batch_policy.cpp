@@ -35,12 +35,11 @@ sim::BatchAssignment LocalSearchBatchPolicy::invoke(
 
   const core::ScheduleEvaluator eval(std::move(sizes), view,
                                      cfg_.use_comm_estimates);
-  core::ProcQueues initial =
-      core::list_schedule(eval, cfg_.init_random_fraction, rng);
-  const core::ProcQueues best = search(eval, std::move(initial), rng);
+  core::list_schedule_flat(eval, cfg_.init_random_fraction, rng, scratch_);
+  search(eval, scratch_, rng);
 
   for (std::size_t j = 0; j < M; ++j) {
-    for (const std::size_t slot : best[j]) {
+    for (const std::size_t slot : scratch_.queue(j)) {
       assignment.per_proc[j].push_back(tasks.at(slot).id);
     }
   }

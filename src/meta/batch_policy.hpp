@@ -32,8 +32,9 @@ struct BatchSearchConfig {
 };
 
 /// Batch scheduler skeleton: extracts the batch, builds the evaluator and
-/// greedy start solution, delegates to `search`, and converts the result
-/// into per-processor dispatch queues.
+/// greedy start solution (decoded straight into a reused flat schedule),
+/// delegates to `search`, and converts the result into per-processor
+/// dispatch queues.
 class LocalSearchBatchPolicy : public sim::SchedulingPolicy {
  public:
   explicit LocalSearchBatchPolicy(BatchSearchConfig cfg);
@@ -46,15 +47,16 @@ class LocalSearchBatchPolicy : public sim::SchedulingPolicy {
   const BatchSearchConfig& batch_config() const noexcept { return cfg_; }
 
  protected:
-  /// Improves `initial` (a valid slot assignment for `eval`) and returns
-  /// the best schedule found. Implementations must return queues covering
-  /// exactly the slots of `initial`.
-  virtual core::ProcQueues search(const core::ScheduleEvaluator& eval,
-                                  core::ProcQueues initial,
-                                  util::Rng& rng) const = 0;
+  /// Improves `schedule` in place: it arrives as a valid slot assignment
+  /// for `eval` (the list-schedule start solution) and must leave covering
+  /// exactly the same slots. Implementations track candidate assignments
+  /// with meta::LoadTracker and write their best one back at the end.
+  virtual void search(const core::ScheduleEvaluator& eval,
+                      core::FlatSchedule& schedule, util::Rng& rng) const = 0;
 
  private:
   BatchSearchConfig cfg_;
+  core::FlatSchedule scratch_;  // reused flat schedule across invocations
 };
 
 }  // namespace gasched::meta

@@ -36,9 +36,8 @@ class HillClimbScheduler final : public LocalSearchBatchPolicy {
   const HillClimbConfig& config() const noexcept { return cfg_; }
 
  protected:
-  core::ProcQueues search(const core::ScheduleEvaluator& eval,
-                          core::ProcQueues initial,
-                          util::Rng& rng) const override;
+  void search(const core::ScheduleEvaluator& eval,
+              core::FlatSchedule& schedule, util::Rng& rng) const override;
 
  private:
   HillClimbConfig cfg_;

@@ -18,12 +18,12 @@ SimulatedAnnealingScheduler::SimulatedAnnealingScheduler(SaConfig cfg)
   }
 }
 
-core::ProcQueues SimulatedAnnealingScheduler::search(
-    const core::ScheduleEvaluator& eval, core::ProcQueues initial,
-    util::Rng& rng) const {
-  if (eval.num_procs() < 2 || eval.num_tasks() < 2) return initial;
+void SimulatedAnnealingScheduler::search(const core::ScheduleEvaluator& eval,
+                                         core::FlatSchedule& schedule,
+                                         util::Rng& rng) const {
+  if (eval.num_procs() < 2 || eval.num_tasks() < 2) return;
 
-  LoadTracker state(eval, std::move(initial));
+  LoadTracker state(eval, schedule);
 
   // Calibrate T₀ from the mean uphill delta of a random-move sample, so
   // the schedule adapts to the batch's cost scale instead of using a
@@ -52,7 +52,11 @@ core::ProcQueues SimulatedAnnealingScheduler::search(
           ? cfg_.moves_per_temperature
           : std::max<std::size_t>(64, 4 * state.num_tasks());
 
-  core::ProcQueues best = state.to_queues();
+  // Best-so-far as a flat slot → processor snapshot: an O(N) copy into a
+  // reused buffer instead of materialising per-processor queues on every
+  // improvement (the old to_queues() hot-loop allocation).
+  std::vector<std::size_t> best(state.assignment().begin(),
+                                state.assignment().end());
   double best_makespan = state.makespan();
 
   std::size_t frozen = 0;
@@ -70,13 +74,13 @@ core::ProcQueues SimulatedAnnealingScheduler::search(
       const double ms = state.makespan();
       if (ms < best_makespan) {
         best_makespan = ms;
-        best = state.to_queues();
+        best.assign(state.assignment().begin(), state.assignment().end());
       }
     }
     frozen = accepted == 0 ? frozen + 1 : 0;
     temperature *= cfg_.cooling;
   }
-  return best;
+  schedule.assign_grouped(best, eval.num_procs());
 }
 
 std::unique_ptr<SimulatedAnnealingScheduler> make_sa_scheduler(SaConfig cfg) {

@@ -46,9 +46,8 @@ class SimulatedAnnealingScheduler final : public LocalSearchBatchPolicy {
   const SaConfig& config() const noexcept { return cfg_; }
 
  protected:
-  core::ProcQueues search(const core::ScheduleEvaluator& eval,
-                          core::ProcQueues initial,
-                          util::Rng& rng) const override;
+  void search(const core::ScheduleEvaluator& eval,
+              core::FlatSchedule& schedule, util::Rng& rng) const override;
 
  private:
   SaConfig cfg_;

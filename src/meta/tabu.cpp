@@ -11,14 +11,14 @@ namespace gasched::meta {
 TabuSearchScheduler::TabuSearchScheduler(TabuConfig cfg)
     : LocalSearchBatchPolicy(cfg.batch), cfg_(cfg) {}
 
-core::ProcQueues TabuSearchScheduler::search(
-    const core::ScheduleEvaluator& eval, core::ProcQueues initial,
-    util::Rng& rng) const {
+void TabuSearchScheduler::search(const core::ScheduleEvaluator& eval,
+                                 core::FlatSchedule& schedule,
+                                 util::Rng& rng) const {
   const std::size_t M = eval.num_procs();
   const std::size_t N = eval.num_tasks();
-  if (M < 2 || N < 2) return initial;
+  if (M < 2 || N < 2) return;
 
-  LoadTracker state(eval, std::move(initial));
+  LoadTracker state(eval, schedule);
 
   const std::size_t max_iters =
       cfg_.max_iterations > 0 ? cfg_.max_iterations
@@ -32,7 +32,10 @@ core::ProcQueues TabuSearchScheduler::search(
   // back onto `proc` is admissible again.
   std::vector<std::size_t> tabu_until(N * M, 0);
 
-  core::ProcQueues best = state.to_queues();
+  // Flat best-so-far snapshot (see sa.cpp): copy the assignment, not the
+  // queues.
+  std::vector<std::size_t> best(state.assignment().begin(),
+                                state.assignment().end());
   double best_makespan = state.makespan();
 
   std::size_t stall = 0;
@@ -75,13 +78,13 @@ core::ProcQueues TabuSearchScheduler::search(
     const double ms = state.makespan();
     if (ms < best_makespan - 1e-12) {
       best_makespan = ms;
-      best = state.to_queues();
+      best.assign(state.assignment().begin(), state.assignment().end());
       stall = 0;
     } else {
       ++stall;
     }
   }
-  return best;
+  schedule.assign_grouped(best, M);
 }
 
 std::unique_ptr<TabuSearchScheduler> make_tabu_scheduler(TabuConfig cfg) {

@@ -41,9 +41,8 @@ class TabuSearchScheduler final : public LocalSearchBatchPolicy {
   const TabuConfig& config() const noexcept { return cfg_; }
 
  protected:
-  core::ProcQueues search(const core::ScheduleEvaluator& eval,
-                          core::ProcQueues initial,
-                          util::Rng& rng) const override;
+  void search(const core::ScheduleEvaluator& eval,
+              core::FlatSchedule& schedule, util::Rng& rng) const override;
 
  private:
   TabuConfig cfg_;

@@ -42,19 +42,20 @@ sim::ProcId KPercentBestRule::place(const workload::Task& task,
                                     util::Rng&) {
   const std::size_t M = view.size();
   // Rank processors by execution time for this task (fastest first). With
-  // uniform task/rate structure the rank is rate-descending, so sort once.
-  std::vector<std::size_t> order(M);
-  std::iota(order.begin(), order.end(), 0);
-  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+  // uniform task/rate structure the rank is rate-descending, so sort once;
+  // the ranking buffer is a reused member, not a per-task allocation.
+  order_.resize(M);
+  std::iota(order_.begin(), order_.end(), 0);
+  std::sort(order_.begin(), order_.end(), [&](std::size_t a, std::size_t b) {
     return view.procs[a].rate > view.procs[b].rate;
   });
   const auto subset = std::max<std::size_t>(
       1, static_cast<std::size_t>(
              std::ceil(percent_ / 100.0 * static_cast<double>(M))));
-  sim::ProcId best = static_cast<sim::ProcId>(order[0]);
+  sim::ProcId best = static_cast<sim::ProcId>(order_[0]);
   double best_finish = std::numeric_limits<double>::infinity();
   for (std::size_t r = 0; r < subset; ++r) {
-    const std::size_t j = order[r];
+    const std::size_t j = order_[r];
     const double rate = view.procs[j].rate;
     if (!(rate > 0.0)) continue;
     const double finish = (pending[j] + task.size_mflops) / rate;

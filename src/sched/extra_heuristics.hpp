@@ -49,6 +49,7 @@ class KPercentBestRule final : public ImmediateRule {
 
  private:
   double percent_;
+  std::vector<std::size_t> order_;  // reused rate-ranking buffer
 };
 
 /// Sufferage batch scheduler (Maheswaran et al. §4.2).

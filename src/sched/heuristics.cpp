@@ -68,19 +68,19 @@ sim::BatchAssignment ImmediatePolicy::invoke(
     const sim::SystemView& view, std::deque<workload::Task>& queue,
     util::Rng& rng) {
   auto assignment = sim::BatchAssignment::empty(view.size());
-  std::vector<double> pending(view.size());
+  pending_.resize(view.size());
   for (std::size_t j = 0; j < view.size(); ++j) {
-    pending[j] = view.procs[j].pending_mflops;
+    pending_[j] = view.procs[j].pending_mflops;
   }
   while (!queue.empty()) {
     const workload::Task task = queue.front();
     queue.pop_front();
-    const sim::ProcId j = rule_->place(task, view, pending, rng);
+    const sim::ProcId j = rule_->place(task, view, pending_, rng);
     if (j < 0 || static_cast<std::size_t>(j) >= view.size()) {
       throw std::runtime_error("ImmediatePolicy: rule returned bad processor");
     }
     assignment.per_proc[static_cast<std::size_t>(j)].push_back(task.id);
-    pending[static_cast<std::size_t>(j)] += task.size_mflops;
+    pending_[static_cast<std::size_t>(j)] += task.size_mflops;
   }
   return assignment;
 }
@@ -98,25 +98,25 @@ sim::BatchAssignment SortedBatchPolicy::invoke(
   auto assignment = sim::BatchAssignment::empty(view.size());
   if (queue.empty()) return assignment;
 
-  std::vector<workload::Task> batch;
-  batch.reserve(std::min(batch_size_, queue.size()));
-  while (batch.size() < batch_size_ && !queue.empty()) {
-    batch.push_back(queue.front());
+  batch_.clear();
+  batch_.reserve(std::min(batch_size_, queue.size()));
+  while (batch_.size() < batch_size_ && !queue.empty()) {
+    batch_.push_back(queue.front());
     queue.pop_front();
   }
-  std::stable_sort(batch.begin(), batch.end(),
+  std::stable_sort(batch_.begin(), batch_.end(),
                    [&](const workload::Task& a, const workload::Task& b) {
                      return descending_ ? a.size_mflops > b.size_mflops
                                         : a.size_mflops < b.size_mflops;
                    });
-  std::vector<double> pending(view.size());
+  pending_.resize(view.size());
   for (std::size_t j = 0; j < view.size(); ++j) {
-    pending[j] = view.procs[j].pending_mflops;
+    pending_[j] = view.procs[j].pending_mflops;
   }
-  for (const auto& task : batch) {
-    const sim::ProcId j = earliest_finish(task, view, pending);
+  for (const auto& task : batch_) {
+    const sim::ProcId j = earliest_finish(task, view, pending_);
     assignment.per_proc[static_cast<std::size_t>(j)].push_back(task.id);
-    pending[static_cast<std::size_t>(j)] += task.size_mflops;
+    pending_[static_cast<std::size_t>(j)] += task.size_mflops;
   }
   return assignment;
 }

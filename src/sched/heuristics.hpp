@@ -83,6 +83,7 @@ class ImmediatePolicy final : public sim::SchedulingPolicy {
 
  private:
   std::unique_ptr<ImmediateRule> rule_;
+  std::vector<double> pending_;  // reused local load copy
 };
 
 /// MM / MX batch heuristics: FCFS batches sorted by size, each task placed
@@ -99,6 +100,8 @@ class SortedBatchPolicy final : public sim::SchedulingPolicy {
  private:
   bool descending_;
   std::size_t batch_size_;
+  std::vector<workload::Task> batch_;  // reused batch buffer
+  std::vector<double> pending_;        // reused local load copy
 };
 
 /// Factory helpers matching the paper's scheduler names.

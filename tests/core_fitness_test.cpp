@@ -37,14 +37,15 @@ TEST(Evaluator, CompletionTimeIncludesDeltaExecAndComm) {
   const ScheduleEvaluator eval({50.0, 100.0},
                                make_view({10.0}, {100.0}, {2.0}), true);
   // Queue both tasks: 10 + (5+2) + (10+2) = 29.
-  EXPECT_DOUBLE_EQ(eval.completion_time(0, {0, 1}), 29.0);
-  EXPECT_DOUBLE_EQ(eval.completion_time(0, {}), 10.0);
+  EXPECT_DOUBLE_EQ(
+      eval.completion_time(0, std::vector<std::size_t>{0, 1}), 29.0);
+  EXPECT_DOUBLE_EQ(eval.completion_time(0, std::vector<std::size_t>{}), 10.0);
 }
 
 TEST(Evaluator, CommDisabledDropsGammaTerm) {
   const ScheduleEvaluator eval({50.0}, make_view({10.0}, {0.0}, {7.0}),
                                /*use_comm=*/false);
-  EXPECT_DOUBLE_EQ(eval.completion_time(0, {0}), 5.0);
+  EXPECT_DOUBLE_EQ(eval.completion_time(0, std::vector<std::size_t>{0}), 5.0);
   EXPECT_DOUBLE_EQ(eval.comm(0), 0.0);
 }
 

@@ -1,0 +1,223 @@
+// Equivalence tests for the flat evaluation core: decode into a
+// FlatSchedule and the span-based evaluator overloads must be
+// bit-identical to the legacy ProcQueues path across randomized batches —
+// the contract that keeps every golden value and figure CSV byte-stable
+// across the zero-allocation refactor.
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "core/encoding.hpp"
+#include "core/fitness.hpp"
+#include "core/init.hpp"
+#include "core/rebalance.hpp"
+#include "meta/assignment.hpp"
+#include "util/rng.hpp"
+
+namespace gasched::core {
+namespace {
+
+sim::SystemView random_view(std::size_t procs, util::Rng& rng) {
+  sim::SystemView v;
+  v.procs.resize(procs);
+  for (std::size_t j = 0; j < procs; ++j) {
+    v.procs[j].id = static_cast<sim::ProcId>(j);
+    v.procs[j].rate = rng.uniform(5.0, 120.0);
+    v.procs[j].pending_mflops = rng.bernoulli(0.5) ? rng.uniform(0.0, 500.0) : 0.0;
+    v.procs[j].comm_estimate = rng.uniform(0.1, 30.0);
+    v.procs[j].comm_observations = 1;
+  }
+  return v;
+}
+
+std::vector<double> random_sizes(std::size_t tasks, util::Rng& rng) {
+  std::vector<double> s(tasks);
+  for (auto& v : s) v = rng.uniform(5.0, 1500.0);
+  return s;
+}
+
+/// A random valid chromosome: shuffled permutation of the symbol set.
+ga::Chromosome random_chromosome(const ScheduleCodec& codec, util::Rng& rng) {
+  ga::Chromosome c;
+  c.reserve(codec.chromosome_length());
+  for (std::size_t s = 0; s < codec.num_tasks(); ++s) {
+    c.push_back(ScheduleCodec::task_gene(s));
+  }
+  for (std::size_t k = 0; k + 1 < codec.num_procs(); ++k) {
+    c.push_back(ScheduleCodec::delimiter_gene(k));
+  }
+  rng.shuffle(c);
+  return c;
+}
+
+TEST(FlatEval, DecodeIntoMatchesLegacyDecodeRandomized) {
+  util::Rng rng(101);
+  FlatSchedule flat;
+  for (int round = 0; round < 50; ++round) {
+    const std::size_t tasks = 1 + rng.index(60);
+    const std::size_t procs = 1 + rng.index(12);
+    const ScheduleCodec codec(tasks, procs);
+    const ga::Chromosome c = random_chromosome(codec, rng);
+
+    const ProcQueues legacy = codec.decode(c);
+    codec.decode_into(c, flat);  // reused across rounds on purpose
+    ASSERT_EQ(flat.num_procs(), procs);
+    ASSERT_EQ(flat.num_slots(), tasks);
+    EXPECT_EQ(flat.to_queues(), legacy);
+  }
+}
+
+TEST(FlatEval, EvaluatorOverloadsBitIdenticalToProcQueuesPath) {
+  util::Rng rng(202);
+  FlatSchedule flat;
+  for (int round = 0; round < 50; ++round) {
+    const std::size_t tasks = 1 + rng.index(40);
+    const std::size_t procs = 1 + rng.index(10);
+    const ScheduleCodec codec(tasks, procs);
+    const ScheduleEvaluator eval(random_sizes(tasks, rng),
+                                 random_view(procs, rng),
+                                 /*use_comm=*/rng.bernoulli(0.5));
+    const ga::Chromosome c = random_chromosome(codec, rng);
+    const ProcQueues legacy = codec.decode(c);
+    codec.decode_into(c, flat);
+
+    for (std::size_t j = 0; j < procs; ++j) {
+      EXPECT_EQ(eval.completion_time(j, flat.queue(j)),
+                eval.completion_time(j, legacy[j]));
+    }
+    EXPECT_EQ(eval.makespan(flat), eval.makespan(legacy));
+    EXPECT_EQ(eval.relative_error(flat), eval.relative_error(legacy));
+    EXPECT_EQ(eval.fitness(flat), eval.fitness(legacy));
+
+    const BatchEvaluation combined = eval.evaluate(flat);
+    EXPECT_EQ(combined.fitness, eval.fitness(legacy));
+    EXPECT_EQ(combined.makespan, eval.makespan(legacy));
+    EXPECT_EQ(combined.relative_error, eval.relative_error(legacy));
+  }
+}
+
+TEST(FlatEval, ScheduleProblemEvaluateMatchesLegacyAdapters) {
+  util::Rng rng(303);
+  const std::size_t tasks = 30, procs = 6;
+  const ScheduleCodec codec(tasks, procs);
+  const ScheduleEvaluator eval(random_sizes(tasks, rng),
+                               random_view(procs, rng), true);
+  const ScheduleProblem problem(codec, eval);
+  const auto ws = problem.make_workspace();
+  ASSERT_NE(ws, nullptr);
+  for (int round = 0; round < 20; ++round) {
+    const ga::Chromosome c = random_chromosome(codec, rng);
+    const auto e = problem.evaluate(c, ws.get());
+    EXPECT_EQ(e.fitness, problem.fitness(c));
+    EXPECT_EQ(e.objective, problem.objective(c));
+    // Null workspace falls back to a throwaway one — same values.
+    const auto e0 = problem.evaluate(c, nullptr);
+    EXPECT_EQ(e0.fitness, e.fitness);
+    EXPECT_EQ(e0.objective, e.objective);
+  }
+}
+
+TEST(FlatEval, EncodeFlatMatchesEncodeQueues) {
+  util::Rng rng(404);
+  FlatSchedule flat;
+  for (int round = 0; round < 20; ++round) {
+    const std::size_t tasks = 1 + rng.index(30);
+    const std::size_t procs = 1 + rng.index(8);
+    const ScheduleCodec codec(tasks, procs);
+    const ga::Chromosome c = random_chromosome(codec, rng);
+    const ProcQueues q = codec.decode(c);
+    codec.decode_into(c, flat);
+    EXPECT_EQ(codec.encode(flat), codec.encode(q));
+  }
+}
+
+TEST(FlatEval, AssignRoundTripsAndGroupedMatchesLoadTracker) {
+  util::Rng rng(505);
+  const std::size_t tasks = 25, procs = 5;
+  const ScheduleEvaluator eval(random_sizes(tasks, rng),
+                               random_view(procs, rng), true);
+  FlatSchedule flat;
+  list_schedule_flat(eval, 0.5, rng, flat);
+
+  // assign()/to_queues() round trip.
+  FlatSchedule copy;
+  copy.assign(flat.to_queues());
+  EXPECT_EQ(copy, flat);
+
+  // assign_grouped reproduces LoadTracker::to_queues (ascending slots).
+  const meta::LoadTracker tracker(eval, flat);
+  FlatSchedule grouped;
+  grouped.assign_grouped(tracker.assignment(), procs);
+  EXPECT_EQ(grouped.to_queues(), tracker.to_queues());
+
+  // export_schedule is the same thing without the adapter.
+  FlatSchedule exported;
+  tracker.export_schedule(exported);
+  EXPECT_EQ(exported, grouped);
+}
+
+TEST(FlatEval, ListScheduleFlatMatchesLegacyListSchedule) {
+  util::Rng rng(606);
+  const std::size_t tasks = 40, procs = 7;
+  const ScheduleEvaluator eval(random_sizes(tasks, rng),
+                               random_view(procs, rng), true);
+  for (const double frac : {0.0, 0.5, 1.0}) {
+    util::Rng ra(77), rb(77);
+    FlatSchedule flat;
+    list_schedule_flat(eval, frac, ra, flat);
+    const ProcQueues legacy = list_schedule(eval, frac, rb);
+    EXPECT_EQ(flat.to_queues(), legacy);
+    // Identical RNG consumption: the streams agree afterwards.
+    EXPECT_EQ(ra.next_u64(), rb.next_u64());
+  }
+}
+
+TEST(FlatEval, RebalanceWithWorkspaceMatchesConvenienceOverload) {
+  util::Rng rng(707);
+  const std::size_t tasks = 20, procs = 4;
+  const ScheduleCodec codec(tasks, procs);
+  const ScheduleEvaluator eval(random_sizes(tasks, rng),
+                               random_view(procs, rng), true);
+  EvalWorkspace ws;
+  for (int round = 0; round < 20; ++round) {
+    ga::Chromosome a = random_chromosome(codec, rng);
+    ga::Chromosome b = a;
+    util::Rng ra(900 + round), rb(900 + round);
+    const bool ka = rebalance_once(a, codec, eval, ra, 5, ws);
+    const bool kb = rebalance_once(b, codec, eval, rb, 5);
+    EXPECT_EQ(ka, kb);
+    EXPECT_EQ(a, b);
+  }
+}
+
+TEST(FlatEval, LoadTrackerFlatConstructorMatchesQueueConstructor) {
+  util::Rng rng(808);
+  const std::size_t tasks = 18, procs = 4;
+  const ScheduleEvaluator eval(random_sizes(tasks, rng),
+                               random_view(procs, rng), true);
+  FlatSchedule flat;
+  list_schedule_flat(eval, 0.3, rng, flat);
+  const meta::LoadTracker from_flat(eval, flat);
+  const meta::LoadTracker from_queues(eval, flat.to_queues());
+  for (std::size_t j = 0; j < procs; ++j) {
+    EXPECT_EQ(from_flat.completion(j), from_queues.completion(j));
+  }
+  for (std::size_t s = 0; s < tasks; ++s) {
+    EXPECT_EQ(from_flat.proc_of(s), from_queues.proc_of(s));
+  }
+}
+
+TEST(FlatEval, DecodeIntoRejectsTooManyDelimiters) {
+  const ScheduleCodec codec(2, 2);
+  FlatSchedule flat;
+  // 2 tasks, 2 procs -> exactly one delimiter allowed.
+  const ga::Chromosome bad{ScheduleCodec::task_gene(0),
+                           ScheduleCodec::delimiter_gene(0),
+                           ScheduleCodec::delimiter_gene(0),
+                           ScheduleCodec::task_gene(1)};
+  EXPECT_THROW(codec.decode_into(bad, flat), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace gasched::core

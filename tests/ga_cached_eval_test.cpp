@@ -1,0 +1,201 @@
+// Cached-fitness and population-parallel evaluation tests: dirty tracking
+// must skip untouched survivors without changing any result, and pool
+// evaluation must be bit-identical to serial evaluation (the engine's
+// determinism contract for any thread count).
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <numeric>
+
+#include "core/fitness.hpp"
+#include "core/init.hpp"
+#include "ga/engine.hpp"
+#include "util/thread_pool.hpp"
+
+namespace gasched::ga {
+namespace {
+
+/// Toy problem (inversions of a permutation) with an evaluation counter.
+class CountingSortProblem final : public GaProblem {
+ public:
+  double fitness(const Chromosome& c) const override {
+    return 1.0 / (1.0 + inversions(c));
+  }
+  double objective(const Chromosome& c) const override {
+    return inversions(c);
+  }
+  Evaluation evaluate(const Chromosome& c, Workspace* ws) const override {
+    evaluations.fetch_add(1, std::memory_order_relaxed);
+    return GaProblem::evaluate(c, ws);
+  }
+
+  mutable std::atomic<std::size_t> evaluations{0};
+
+ private:
+  static double inversions(const Chromosome& c) {
+    double inv = 0;
+    for (std::size_t i = 0; i < c.size(); ++i) {
+      for (std::size_t j = i + 1; j < c.size(); ++j) {
+        if (c[i] > c[j]) ++inv;
+      }
+    }
+    return inv;
+  }
+};
+
+std::vector<Chromosome> random_population(std::size_t count, std::size_t n,
+                                          util::Rng& rng) {
+  std::vector<Chromosome> pop;
+  for (std::size_t p = 0; p < count; ++p) {
+    Chromosome c(n);
+    std::iota(c.begin(), c.end(), Gene{0});
+    rng.shuffle(c);
+    pop.push_back(std::move(c));
+  }
+  return pop;
+}
+
+GaEngine make_engine(GaConfig cfg) {
+  static const RouletteSelection sel;
+  static const CycleCrossover cx;
+  static const SwapMutation mut;
+  return GaEngine(cfg, sel, cx, mut);
+}
+
+TEST(CachedEval, FrozenPopulationEvaluatesOnlyOnce) {
+  // No crossover, no mutation, no improvement: after the initial sweep no
+  // individual is ever dirty again, so the evaluation count stays at the
+  // population size no matter how many generations run.
+  GaConfig cfg;
+  cfg.population = 12;
+  cfg.max_generations = 40;
+  cfg.crossover_rate = 0.0;
+  cfg.mutants_per_generation = 0;
+  cfg.improvement_passes = 0;
+  const GaEngine engine = make_engine(cfg);
+  CountingSortProblem problem;
+  util::Rng rng(1);
+  const GaResult r = engine.run(problem, random_population(12, 10, rng), rng);
+  EXPECT_EQ(problem.evaluations.load(), 12u);
+  EXPECT_EQ(r.evaluations, 12u);
+  EXPECT_EQ(r.generations, 40u);
+}
+
+TEST(CachedEval, DefaultConfigSkipsSurvivorsAndElites) {
+  // With the paper's operator mix some pairs skip crossover; their clean
+  // copies and the elite slot must not be re-evaluated.
+  GaConfig cfg;
+  cfg.population = 20;
+  cfg.max_generations = 50;
+  const GaEngine engine = make_engine(cfg);
+  CountingSortProblem problem;
+  util::Rng rng(2);
+  const GaResult r = engine.run(problem, random_population(20, 12, rng), rng);
+  const std::size_t naive = 20 * (r.generations + 1);
+  EXPECT_EQ(problem.evaluations.load(), r.evaluations);
+  EXPECT_LT(r.evaluations, naive);
+  EXPECT_GE(r.evaluations, 20u);
+}
+
+TEST(CachedEval, ResultsIdenticalWithCachingDisabledByForce) {
+  // A run where every generation dirties everything (improvement pass
+  // that always reports a change) must agree with the plain run on what
+  // it reports for identical chromosomes — i.e. caching changes counts,
+  // never values. Here we simply check the engine is deterministic across
+  // two identical configs (the caching path is always on; the golden
+  // tests pin the absolute values).
+  GaConfig cfg;
+  cfg.population = 14;
+  cfg.max_generations = 60;
+  const GaEngine engine = make_engine(cfg);
+  CountingSortProblem p1, p2;
+  util::Rng ra(3), rb(3);
+  auto popa = random_population(14, 11, ra);
+  auto popb = random_population(14, 11, rb);
+  const GaResult x = engine.run(p1, popa, ra);
+  const GaResult y = engine.run(p2, popb, rb);
+  EXPECT_EQ(x.best, y.best);
+  EXPECT_EQ(x.best_objective, y.best_objective);
+  EXPECT_EQ(x.evaluations, y.evaluations);
+}
+
+TEST(ParallelEval, PoolAndSerialEvaluationAreBitIdentical) {
+  // Population above the threshold: one run on the pool, one serial.
+  // Same seeds -> byte-identical results (evaluation is pure; the RNG
+  // stream never touches the pool).
+  GaConfig serial_cfg;
+  serial_cfg.population = 96;
+  serial_cfg.max_generations = 30;
+  serial_cfg.record_history = true;
+  serial_cfg.parallel_evaluation = false;
+  GaConfig pool_cfg = serial_cfg;
+  pool_cfg.parallel_evaluation = true;
+  pool_cfg.parallel_eval_threshold = 8;  // force the pool path
+
+  CountingSortProblem p1, p2;
+  util::Rng pop_rng(4);
+  auto popa = random_population(96, 14, pop_rng);
+  auto popb = popa;
+  util::Rng ra(44), rb(44);
+  const GaResult s = make_engine(serial_cfg).run(p1, popa, ra);
+  const GaResult q = make_engine(pool_cfg).run(p2, popb, rb);
+  EXPECT_EQ(s.best, q.best);
+  EXPECT_EQ(s.best_objective, q.best_objective);
+  EXPECT_EQ(s.best_fitness, q.best_fitness);
+  EXPECT_EQ(s.objective_history, q.objective_history);
+  EXPECT_EQ(s.evaluations, q.evaluations);
+}
+
+TEST(ParallelEval, ScheduleProblemParallelMatchesSerial) {
+  // The real problem type: workspace-based flat evaluation on the pool
+  // must reproduce the serial run exactly, including the improvement
+  // heuristic's RNG consumption.
+  util::Rng fixture(5);
+  const std::size_t tasks = 40, procs = 8, pop = 80;
+  std::vector<double> sizes(tasks);
+  for (auto& v : sizes) v = fixture.uniform(10.0, 1000.0);
+  sim::SystemView view;
+  view.procs.resize(procs);
+  for (std::size_t j = 0; j < procs; ++j) {
+    view.procs[j].id = static_cast<sim::ProcId>(j);
+    view.procs[j].rate = fixture.uniform(10.0, 100.0);
+    view.procs[j].comm_estimate = fixture.uniform(1.0, 20.0);
+  }
+  const core::ScheduleCodec codec(tasks, procs);
+  const core::ScheduleEvaluator eval(std::move(sizes), view, true);
+  const core::ScheduleProblem problem(codec, eval);
+
+  auto run = [&](bool parallel) {
+    GaConfig cfg;
+    cfg.population = pop;
+    cfg.max_generations = 25;
+    cfg.parallel_evaluation = parallel;
+    cfg.parallel_eval_threshold = 16;
+    cfg.record_history = true;
+    util::Rng init_rng(6);
+    auto init = core::initial_population(codec, eval, pop, 0.5, init_rng);
+    util::Rng ga_rng(7);
+    return make_engine(cfg).run(problem, std::move(init), ga_rng);
+  };
+  const GaResult serial = run(false);
+  const GaResult pool = run(true);
+  EXPECT_EQ(serial.best, pool.best);
+  EXPECT_EQ(serial.best_objective, pool.best_objective);
+  EXPECT_EQ(serial.objective_history, pool.objective_history);
+  EXPECT_EQ(serial.evaluations, pool.evaluations);
+}
+
+TEST(ParallelEval, ThresholdKeepsMicroGaSerial) {
+  // Default config: population 20 <= threshold 64 — the pool must not be
+  // touched. We can't observe pool usage directly, but the config
+  // contract is part of the documented behaviour; assert the defaults.
+  const GaConfig cfg;
+  EXPECT_TRUE(cfg.parallel_evaluation);
+  EXPECT_EQ(cfg.parallel_eval_threshold, 64u);
+  EXPECT_GT(cfg.parallel_eval_threshold, cfg.population);
+}
+
+}  // namespace
+}  // namespace gasched::ga

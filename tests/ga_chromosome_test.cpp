@@ -23,12 +23,40 @@ TEST(Chromosome, SameGeneSetIgnoresOrder) {
 
 TEST(Chromosome, PositionIndexMapsEveryGene) {
   const Chromosome c{7, -2, 4, 0};
-  const auto idx = position_index(c);
-  ASSERT_EQ(idx.size(), 4u);
-  EXPECT_EQ(idx.at(7), 0u);
-  EXPECT_EQ(idx.at(-2), 1u);
-  EXPECT_EQ(idx.at(4), 2u);
-  EXPECT_EQ(idx.at(0), 3u);
+  PositionIndex idx;
+  idx.build(c);
+  EXPECT_EQ(idx.find(7), 0u);
+  EXPECT_EQ(idx.find(-2), 1u);
+  EXPECT_EQ(idx.find(4), 2u);
+  EXPECT_EQ(idx.find(0), 3u);
+  EXPECT_EQ(idx.find(5), PositionIndex::npos);
+  EXPECT_EQ(idx.find(-100), PositionIndex::npos);
+  EXPECT_EQ(idx.find(100), PositionIndex::npos);
+}
+
+TEST(Chromosome, PositionIndexIsReusable) {
+  PositionIndex idx;
+  idx.build({3, 1, 2});
+  EXPECT_EQ(idx.find(3), 0u);
+  idx.build({-5, 9});
+  EXPECT_EQ(idx.find(-5), 0u);
+  EXPECT_EQ(idx.find(9), 1u);
+  EXPECT_EQ(idx.find(3), PositionIndex::npos);
+  idx.build({});
+  EXPECT_EQ(idx.find(0), PositionIndex::npos);
+}
+
+TEST(Chromosome, PositionIndexWideGeneRangeFallsBackToSparse) {
+  // A pathological gene set whose value range dwarfs the chromosome: the
+  // index must stay correct (and not allocate an O(range) table).
+  const Chromosome c{1 << 30, -(1 << 30), 0, 42};
+  PositionIndex idx;
+  idx.build(c);
+  EXPECT_EQ(idx.find(1 << 30), 0u);
+  EXPECT_EQ(idx.find(-(1 << 30)), 1u);
+  EXPECT_EQ(idx.find(0), 2u);
+  EXPECT_EQ(idx.find(42), 3u);
+  EXPECT_EQ(idx.find(7), PositionIndex::npos);
 }
 
 }  // namespace

@@ -40,16 +40,18 @@ class SortProblemWithImprove final : public GaProblem {
   double objective(const Chromosome& c) const override {
     return SortProblem::inversions(c);
   }
-  void improve(Chromosome& c, util::Rng& rng) const override {
-    if (c.size() < 2) return;
+  bool improve(Chromosome& c, util::Rng& rng,
+               Workspace* /*ws*/) const override {
+    if (c.size() < 2) return false;
     const std::size_t start = rng.index(c.size() - 1);
     for (std::size_t k = 0; k + 1 < c.size(); ++k) {
       const std::size_t i = (start + k) % (c.size() - 1);
       if (c[i] > c[i + 1]) {
         std::swap(c[i], c[i + 1]);
-        return;
+        return true;
       }
     }
+    return false;
   }
 };
 
