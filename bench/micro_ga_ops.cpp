@@ -106,6 +106,69 @@ void BM_EvaluateWorkspace(benchmark::State& state) {
 }
 BENCHMARK(BM_EvaluateWorkspace)->Arg(50)->Arg(200)->Arg(1000);
 
+void BM_LoadDecoded(benchmark::State& state) {
+  // Fused decode + full pricing into the per-queue load cache — the
+  // rebalance/engine hot path (one chromosome pass, no second sweep).
+  BatchFixture f(static_cast<std::size_t>(state.range(0)), 50);
+  core::FlatSchedule flat;
+  core::QueueLoads loads;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        f.eval.load_decoded(f.codec, f.chromosome, flat, loads));
+  }
+}
+BENCHMARK(BM_LoadDecoded)->Arg(50)->Arg(200)->Arg(1000);
+
+void BM_EvaluateSwapDelta(benchmark::State& state) {
+  // O(changed-queues) re-pricing after a cross-queue task swap, against
+  // the cached loads — the rebalance probe cost, versus a full O(N)
+  // pricing per probe before the delta stack.
+  BatchFixture f(static_cast<std::size_t>(state.range(0)), 50);
+  core::FlatSchedule flat;
+  core::QueueLoads loads;
+  f.codec.decode_into(f.chromosome, flat);
+  f.eval.load(flat, loads);
+  util::Rng rng(13);
+  const std::size_t procs = flat.num_procs();
+  for (auto _ : state) {
+    const std::size_t qa = rng.index(procs);
+    std::size_t qb = rng.index(procs - 1);
+    if (qb >= qa) ++qb;
+    const auto queue_a = flat.queue(qa);
+    const auto queue_b = flat.queue(qb);
+    if (queue_a.empty() || queue_b.empty()) continue;
+    std::swap(queue_a[rng.index(queue_a.size())],
+              queue_b[rng.index(queue_b.size())]);
+    benchmark::DoNotOptimize(f.eval.evaluate_swap(flat, loads, qa, qb));
+  }
+}
+BENCHMARK(BM_EvaluateSwapDelta)->Arg(50)->Arg(200)->Arg(1000);
+
+void BM_CompletionTimeKernel(benchmark::State& state) {
+  // Canonical left-to-right queue pricing (table-served costs) vs the
+  // sum-then-divide bulk form: range(1) selects the kernel so a single
+  // compare run shows both. The bulk form is opt-in only (not bitwise
+  // equal); this benchmark is where its headroom is measured.
+  BatchFixture f(static_cast<std::size_t>(state.range(0)), 8);
+  core::FlatSchedule flat;
+  f.codec.decode_into(f.chromosome, flat);
+  const bool bulk = state.range(1) != 0;
+  const std::size_t procs = flat.num_procs();
+  for (auto _ : state) {
+    double acc = 0.0;
+    for (std::size_t j = 0; j < procs; ++j) {
+      acc += bulk ? f.eval.completion_time_bulk(j, flat.queue(j))
+                  : f.eval.completion_time(j, flat.queue(j));
+    }
+    benchmark::DoNotOptimize(acc);
+  }
+}
+BENCHMARK(BM_CompletionTimeKernel)
+    ->Args({200, 0})
+    ->Args({200, 1})
+    ->Args({1000, 0})
+    ->Args({1000, 1});
+
 void BM_CycleCrossover(benchmark::State& state) {
   BatchFixture f(static_cast<std::size_t>(state.range(0)), 50);
   util::Rng rng(3);

@@ -86,6 +86,21 @@ void BM_LoadTrackerApply(benchmark::State& state) {
 }
 BENCHMARK(BM_LoadTrackerApply)->Arg(200)->Arg(1000);
 
+void BM_LoadTrackerMakespanQuery(benchmark::State& state) {
+  // makespan()/heaviest_proc() are served from the maintained top-2 state
+  // (O(1)); interleave applies so the bench exercises the maintenance,
+  // not a cached scalar read.
+  const MetaFixture f(static_cast<std::size_t>(state.range(0)), 50);
+  meta::LoadTracker t(f.eval, f.initial);
+  util::Rng rng(9);
+  for (auto _ : state) {
+    t.apply(t.random_move(rng));
+    benchmark::DoNotOptimize(t.makespan());
+    benchmark::DoNotOptimize(t.heaviest_proc());
+  }
+}
+BENCHMARK(BM_LoadTrackerMakespanQuery)->Arg(200)->Arg(1000);
+
 void BM_SaSweep(benchmark::State& state) {
   // One annealing sweep: N accept/reject decisions at a fixed temperature.
   const MetaFixture f(static_cast<std::size_t>(state.range(0)), 50);

@@ -1,0 +1,51 @@
+#!/usr/bin/env bash
+# Keeps the generated figure table in docs/figures.md in sync with the
+# FigSet registry. The table between the BEGIN/END figset-table markers
+# is the verbatim output of `figset list --markdown`; this script
+# regenerates it and fails (exit 1) on any drift, so the doc cannot
+# silently fall behind a registry change.
+#
+#   scripts/check_figures_doc.sh [BUILD_DIR]            # check (CI)
+#   scripts/check_figures_doc.sh [BUILD_DIR] --update   # rewrite in place
+#
+# Run from the repository root (CI does): the bench-binary column is
+# discovered from bench/*.cpp.
+set -euo pipefail
+
+BUILD_DIR="${1:-build}"
+MODE="${2:-check}"
+DOC="docs/figures.md"
+BEGIN='<!-- BEGIN figset-table (generated: scripts/check_figures_doc.sh build --update) -->'
+END='<!-- END figset-table -->'
+
+FIGSET="$BUILD_DIR/tools/figset"
+if [ ! -x "$FIGSET" ]; then
+  echo "check_figures_doc: building figset in $BUILD_DIR" >&2
+  cmake --build "$BUILD_DIR" --target figset -j "$(nproc)" >&2
+fi
+
+if ! grep -qF "$BEGIN" "$DOC" || ! grep -qF "$END" "$DOC"; then
+  echo "check_figures_doc: $DOC is missing the figset-table markers" >&2
+  exit 1
+fi
+
+generated=$("$FIGSET" list --markdown --bench-dir bench)
+
+rebuilt=$(awk -v begin="$BEGIN" -v end="$END" -v table="$generated" '
+  $0 == begin { print; print table; skipping = 1; next }
+  $0 == end   { skipping = 0 }
+  !skipping   { print }
+' "$DOC")
+
+if [ "$MODE" = "--update" ]; then
+  printf '%s\n' "$rebuilt" > "$DOC"
+  echo "check_figures_doc: updated $DOC"
+  exit 0
+fi
+
+if ! diff -u "$DOC" <(printf '%s\n' "$rebuilt"); then
+  echo "check_figures_doc: $DOC is out of sync with the FigSet registry" >&2
+  echo "check_figures_doc: run: scripts/check_figures_doc.sh $BUILD_DIR --update" >&2
+  exit 1
+fi
+echo "check_figures_doc: $DOC matches the registry"

@@ -33,6 +33,27 @@ struct BatchEvaluation {
   double relative_error = 0.0;  ///< E
 };
 
+/// Cached per-queue load state of one priced schedule: every C_j, its
+/// squared ψ-deviation, and the reduced metrics. Filled by
+/// ScheduleEvaluator::load()/load_decoded() and kept current by the
+/// evaluate_swap()/evaluate_move() delta paths, which re-price only the
+/// changed queues and reassemble the reductions from the cache.
+///
+/// Ownership/invalidation contract (docs/evaluation.md): a QueueLoads is
+/// valid only for (evaluator, schedule) pairs the caller controls — it
+/// holds no back-references, so any edit to the schedule outside the
+/// delta APIs, or pricing through a different evaluator, silently stales
+/// it. The cache lives in EvalWorkspace next to the decode target and is
+/// rebuilt from scratch by every full pricing.
+struct QueueLoads {
+  std::vector<double> completion;  ///< C_j per processor
+  std::vector<double> dev_sq;      ///< (ψ − C_j)² per processor
+  double sum_sq = 0.0;             ///< Σ_j dev_sq[j], accumulated j-ascending
+  double max_completion = 0.0;     ///< max_j C_j (makespan)
+  std::size_t heaviest = 0;        ///< first argmax_j C_j
+  BatchEvaluation eval;            ///< reduced metrics of the cached state
+};
+
 /// Evaluates schedules for one batch against one system snapshot.
 class ScheduleEvaluator {
  public:
@@ -72,11 +93,54 @@ class ScheduleEvaluator {
   /// C_j computed once.
   BatchEvaluation evaluate(const FlatSchedule& schedule) const;
 
+  /// Full pricing into the per-queue load cache: computes every C_j with
+  /// the canonical left-to-right summation, caches the squared
+  /// deviations, and reduces sum/max/argmax in ascending j. The returned
+  /// metrics are bit-identical to evaluate(schedule).
+  BatchEvaluation load(const FlatSchedule& schedule, QueueLoads& out) const;
+
+  /// Fused decode + full pricing: decodes `c` into `schedule` (same
+  /// result as ScheduleCodec::decode_into) while accumulating each C_j in
+  /// queue order — one pass over the chromosome instead of a decode pass
+  /// plus a pricing pass. Bit-identical to decode_into + load.
+  BatchEvaluation load_decoded(const ScheduleCodec& codec,
+                               const ga::Chromosome& c,
+                               FlatSchedule& schedule, QueueLoads& out) const;
+
+  /// Delta re-pricing after two queues changed (a task swap between
+  /// `qa` and `qb`, or any edit confined to those queues). `schedule`
+  /// must already reflect the change and `loads` must be current for the
+  /// pre-change schedule. Re-prices only the two queues with the
+  /// canonical left-to-right summation and reassembles the reductions
+  /// from the cache in ascending j, so the result — and the updated
+  /// `loads` — is bit-identical to a full load(schedule). O(|qa|+|qb|+M).
+  BatchEvaluation evaluate_swap(const FlatSchedule& schedule,
+                                QueueLoads& loads, std::size_t qa,
+                                std::size_t qb) const;
+
+  /// Delta re-pricing after a task moved from queue `from` to queue `to`
+  /// (same contract and cost as evaluate_swap; the two names document
+  /// intent — both re-price exactly the two changed queues).
+  BatchEvaluation evaluate_move(const FlatSchedule& schedule,
+                                QueueLoads& loads, std::size_t from,
+                                std::size_t to) const;
+
+  /// Vectorizable bulk kernel: C_j as a contiguous slot-size sum followed
+  /// by one divide — Σ t_y / P_j + n·Γc_j + δ_j. Mathematically equal to
+  /// completion_time() but NOT bitwise (different FP association), so the
+  /// canonical pricing paths never use it; it exists for throughput
+  /// experiments (bench BM_CompletionTimeKernel) and future opt-in
+  /// consumers that tolerate last-ulp drift.
+  double completion_time_bulk(std::size_t j,
+                              std::span<const std::size_t> queue) const;
+
   /// Size of batch slot `slot` in MFLOPs.
   double task_size(std::size_t slot) const { return size_.at(slot); }
-  /// Per-task execution+comm cost on processor j (seconds).
+  /// Per-task execution+comm cost on processor j (seconds). Served from
+  /// the precomputed cost table — the same double the defining expression
+  /// t_slot / P_j + Γc_j produced at construction, without the division.
   double task_cost_on(std::size_t slot, std::size_t j) const {
-    return size_[slot] / rate_[j] + comm_[j];
+    return cost_[j * size_.size() + slot];
   }
   /// Existing drain time δ_j of processor j (seconds).
   double delta(std::size_t j) const { return delta_.at(j); }
@@ -86,18 +150,29 @@ class ScheduleEvaluator {
   double comm(std::size_t j) const { return comm_.at(j); }
 
  private:
+  /// Recomputes the j-ascending reductions (sum_sq/max/argmax/eval) of
+  /// `loads` from its cached completion/dev_sq arrays.
+  BatchEvaluation reduce(QueueLoads& loads) const;
+  /// Re-prices exactly queue `j` of `schedule` into `loads` (canonical
+  /// left-to-right summation), without touching the reductions.
+  void reprice_queue(const FlatSchedule& schedule, QueueLoads& loads,
+                     std::size_t j) const;
+
   std::vector<double> size_;   // t_i per batch slot
   std::vector<double> rate_;   // P_j
   std::vector<double> delta_;  // δ_j = L_j / P_j
   std::vector<double> comm_;   // Γc_j (zeroed when use_comm == false)
+  std::vector<double> cost_;   // cost_[j*N + slot] = t_slot/P_j + Γc_j
   double psi_ = 0.0;
 };
 
 /// Caller-owned, reusable evaluation scratch: the flat decode target plus
-/// any buffers the hot path needs. One workspace per evaluating thread;
-/// the GA engine obtains them via ScheduleProblem::make_workspace().
+/// the per-queue load cache the delta-pricing paths maintain. One
+/// workspace per evaluating thread; the GA engine obtains them via
+/// ScheduleProblem::make_workspace().
 struct EvalWorkspace final : ga::GaProblem::Workspace {
   FlatSchedule schedule;
+  QueueLoads loads;
 };
 
 /// GaProblem adapter: evaluates chromosomes through a codec + evaluator.

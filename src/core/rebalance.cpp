@@ -5,27 +5,33 @@
 
 namespace gasched::core {
 
+namespace {
+
+/// Publishes the evaluation of the chromosome as this pass leaves it, so
+/// the engine can skip its evaluation sweep (see GaProblem::Workspace).
+void supply_evaluation(EvalWorkspace& ws, const BatchEvaluation& e) {
+  ws.improve_evaluation = {e.fitness, e.makespan};
+  ws.has_improve_evaluation = true;
+}
+
+}  // namespace
+
 bool rebalance_once(ga::Chromosome& c, const ScheduleCodec& codec,
                     const ScheduleEvaluator& eval, util::Rng& rng,
                     std::size_t probes, EvalWorkspace& ws) {
   FlatSchedule& s = ws.schedule;
-  codec.decode_into(c, s);
+  // Fused decode + full pricing: one pass fills both the flat schedule
+  // and the per-queue load cache (heaviest processor, base fitness).
+  const BatchEvaluation base = eval.load_decoded(codec, c, s, ws.loads);
   const std::size_t M = s.num_procs();
   if (M < 2) return false;
 
   // Most heavily loaded processor = largest estimated finish time.
-  std::size_t heavy = 0;
-  double heavy_time = -1.0;
-  for (std::size_t j = 0; j < M; ++j) {
-    const double t = eval.completion_time(j, s.queue(j));
-    if (t > heavy_time) {
-      heavy_time = t;
-      heavy = j;
-    }
+  const std::size_t heavy = ws.loads.heaviest;
+  if (s.queue(heavy).empty()) {
+    supply_evaluation(ws, base);
+    return false;
   }
-  if (s.queue(heavy).empty()) return false;
-
-  const double base_fitness = eval.fitness(s);
 
   // Up to `probes` random searches for a smaller task on another processor.
   for (std::size_t probe = 0; probe < probes; ++probe) {
@@ -39,11 +45,11 @@ bool rebalance_once(ga::Chromosome& c, const ScheduleCodec& codec,
     const std::size_t big_slot = heavy_q[hi];
     if (!(eval.task_size(small_slot) < eval.task_size(big_slot))) continue;
 
-    // Candidate: swap the two tasks between queues, in place.
+    // Candidate: swap the two tasks between queues, in place, and
+    // delta-price only the two changed queues against the cached loads.
     std::swap(other_q[oi], heavy_q[hi]);
-    const bool fitter = eval.fitness(s) > base_fitness;
-    std::swap(other_q[oi], heavy_q[hi]);  // restore the decode
-    if (fitter) {
+    const BatchEvaluation cand = eval.evaluate_swap(s, ws.loads, other, heavy);
+    if (cand.fitness > base.fitness) {
       // Apply the swap directly on the chromosome: exchange the two genes.
       const ga::Gene g_small = ScheduleCodec::task_gene(small_slot);
       const ga::Gene g_big = ScheduleCodec::task_gene(big_slot);
@@ -54,10 +60,18 @@ bool rebalance_once(ga::Chromosome& c, const ScheduleCodec& codec,
           g = g_small;
         }
       }
+      // The swapped flat schedule is exactly the decode of the swapped
+      // chromosome, so `cand` is its full-pricing evaluation.
+      supply_evaluation(ws, cand);
       return true;
     }
-    return false;  // found a smaller task but the swap was not fitter
+    // Found a smaller task but the swap was not fitter: the chromosome is
+    // unchanged, so its evaluation is the base pricing. (The workspace
+    // schedule/loads are scratch and re-filled on the next decode.)
+    supply_evaluation(ws, base);
+    return false;
   }
+  supply_evaluation(ws, base);
   return false;
 }
 

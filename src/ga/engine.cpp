@@ -49,14 +49,38 @@ GaResult GaEngine::run(const GaProblem& problem,
                        std::vector<Chromosome> initial, util::Rng& rng,
                        const StopPredicate& stop,
                        std::vector<Chromosome>* final_population) const {
-  if (initial.empty()) {
+  EvaluatedPopulation seed;
+  seed.chrom = std::move(initial);
+  if (final_population == nullptr) {
+    return run_seeded(problem, std::move(seed), rng, stop, nullptr);
+  }
+  EvaluatedPopulation out;
+  GaResult r = run_seeded(problem, std::move(seed), rng, stop, &out);
+  *final_population = std::move(out.chrom);
+  return r;
+}
+
+GaResult GaEngine::run_seeded(const GaProblem& problem,
+                              EvaluatedPopulation initial, util::Rng& rng,
+                              const StopPredicate& stop,
+                              EvaluatedPopulation* final_population) const {
+  if (initial.chrom.empty()) {
     throw std::invalid_argument("GaEngine::run: empty initial population");
   }
   const std::size_t P = cfg_.population;
-  // Pad/truncate to the configured population size by cycling the seeds.
+  // Pad/truncate to the configured population size by cycling the seeds,
+  // installing any cached evaluations instead of dirtying the slot.
   PopulationBuffer pop(P);
+  const std::size_t n = initial.chrom.size();
   for (std::size_t i = 0; i < P; ++i) {
-    pop.chrom[i] = initial[i % initial.size()];
+    const std::size_t src = i % n;
+    pop.chrom[i] = initial.chrom[src];
+    if (src < initial.cached.size() && initial.cached[src] != 0 &&
+        src < initial.eval.size()) {
+      pop.fitness[i] = initial.eval[src].fitness;
+      pop.objective[i] = initial.eval[src].objective;
+      pop.dirty[i] = 0;
+    }
   }
   PopulationBuffer next(P);
 
@@ -180,13 +204,36 @@ GaResult GaEngine::run(const GaProblem& problem,
 
     // --- local improvement (re-balancing heuristic) ----------------------
     // Always serial: improve() consumes the evolution's RNG stream.
+    // A pass that fully prices the chromosome may publish that evaluation
+    // through the workspace channel; the engine installs it (the contract
+    // guarantees bit-identity with evaluate()) so improved individuals
+    // skip the evaluation sweep entirely. A captured evaluation is
+    // discarded if a later pass changes the chromosome without supplying.
     if (cfg_.improvement_passes > 0) {
+      GaProblem::Workspace* iws = serial_ws.get();
       for (std::size_t i = 0; i < P; ++i) {
-        bool changed = false;
+        bool changed_any = false;
+        bool have = false;
+        GaProblem::Evaluation supplied;
         for (std::size_t r = 0; r < cfg_.improvement_passes; ++r) {
-          changed |= problem.improve(next.chrom[i], rng, serial_ws.get());
+          if (iws != nullptr) iws->has_improve_evaluation = false;
+          const bool changed =
+              problem.improve(next.chrom[i], rng, iws);
+          changed_any |= changed;
+          if (iws != nullptr && iws->has_improve_evaluation) {
+            have = true;
+            supplied = iws->improve_evaluation;
+          } else if (changed) {
+            have = false;
+          }
         }
-        if (changed) next.dirty[i] = 1;
+        if (have) {
+          next.fitness[i] = supplied.fitness;
+          next.objective[i] = supplied.objective;
+          next.dirty[i] = 0;
+        } else if (changed_any) {
+          next.dirty[i] = 1;
+        }
       }
     }
 
@@ -214,7 +261,14 @@ GaResult GaEngine::run(const GaProblem& problem,
     record_stats(result.generations);
   }
   if (final_population != nullptr) {
-    *final_population = std::move(pop.chrom);
+    // Every slot is clean here (evaluate_all is the last act of each
+    // generation), so the export carries a full evaluation cache.
+    final_population->eval.resize(P);
+    final_population->cached.assign(P, 1);
+    for (std::size_t i = 0; i < P; ++i) {
+      final_population->eval[i] = {pop.fitness[i], pop.objective[i]};
+    }
+    final_population->chrom = std::move(pop.chrom);
   }
   return result;
 }

@@ -38,6 +38,12 @@ namespace gasched::ga {
 /// Problem interface consumed by GaEngine.
 class GaProblem {
  public:
+  /// Combined result of evaluating one individual.
+  struct Evaluation {
+    double fitness = 0.0;    ///< >= 0; larger is better (paper: F = 1/E)
+    double objective = 0.0;  ///< smaller is better (paper: makespan)
+  };
+
   /// Reusable, problem-owned evaluation scratch (decode buffers etc.).
   /// The engine creates one per concurrent evaluation worker via
   /// make_workspace() and passes it back on every evaluate()/improve()
@@ -45,12 +51,18 @@ class GaProblem {
   class Workspace {
    public:
     virtual ~Workspace() = default;
-  };
 
-  /// Combined result of evaluating one individual.
-  struct Evaluation {
-    double fitness = 0.0;    ///< >= 0; larger is better (paper: F = 1/E)
-    double objective = 0.0;  ///< smaller is better (paper: makespan)
+    /// Improve-supplied evaluation channel: an improve() implementation
+    /// that fully prices the chromosome anyway (e.g. the re-balancing
+    /// heuristic) may publish that evaluation here, sparing the engine a
+    /// redundant evaluate() call. Contract: when has_improve_evaluation
+    /// is set after an improve() call, improve_evaluation must be
+    /// bit-identical to evaluate(c, ws) of the chromosome as improve()
+    /// left it. The engine clears the flag before every improve() call
+    /// and discards captured values if a later pass modifies the
+    /// chromosome without re-supplying.
+    bool has_improve_evaluation = false;
+    Evaluation improve_evaluation{};
   };
 
   virtual ~GaProblem() = default;
@@ -152,6 +164,20 @@ struct GaResult {
 using StopPredicate = std::function<bool(std::size_t generation,
                                          double best_objective)>;
 
+/// A population together with its cached evaluations — the currency of
+/// multi-epoch evolution (island migration): an epoch's final population
+/// leaves with every individual priced, and the next epoch's engine seeds
+/// those caches instead of re-evaluating. `eval[i]` is valid only when
+/// `cached[i]` is non-zero; both arrays are parallel to `chrom` (and may
+/// be empty to mean "nothing cached"). Cached values must be bit-identical
+/// to what evaluate() would return — evaluation is pure, so carrying them
+/// across epochs can never change results, only evaluation counts.
+struct EvaluatedPopulation {
+  std::vector<Chromosome> chrom;
+  std::vector<GaProblem::Evaluation> eval;
+  std::vector<std::uint8_t> cached;
+};
+
 /// Reusable GA engine parameterised by operator strategies.
 class GaEngine {
  public:
@@ -167,6 +193,17 @@ class GaEngine {
   GaResult run(const GaProblem& problem, std::vector<Chromosome> initial,
                util::Rng& rng, const StopPredicate& stop = {},
                std::vector<Chromosome>* final_population = nullptr) const;
+
+  /// Cache-carrying variant: seeds the population from `initial.chrom`
+  /// and installs each cached evaluation instead of marking the slot
+  /// dirty, so individuals priced by a previous epoch are never
+  /// re-evaluated. On return `final_population` (when non-null) holds the
+  /// last generation with every evaluation cached. Results are
+  /// bit-identical to run() on the same chromosomes; only the evaluation
+  /// count differs.
+  GaResult run_seeded(const GaProblem& problem, EvaluatedPopulation initial,
+                      util::Rng& rng, const StopPredicate& stop = {},
+                      EvaluatedPopulation* final_population = nullptr) const;
 
   /// Configuration in use.
   const GaConfig& config() const noexcept { return cfg_; }

@@ -11,21 +11,19 @@ namespace gasched::ga {
 
 namespace {
 
-/// Indices of `pop` sorted by ascending objective (best first). Migration
-/// ranking reuses `ws` so the epoch boundary stays allocation-light.
-std::vector<std::size_t> rank_by_objective(const GaProblem& problem,
-                                           const std::vector<Chromosome>& pop,
-                                           std::vector<double>& objective,
-                                           GaProblem::Workspace* ws) {
-  objective.resize(pop.size());
-  for (std::size_t i = 0; i < pop.size(); ++i) {
-    objective[i] = problem.evaluate(pop[i], ws).objective;
-  }
-  std::vector<std::size_t> order(pop.size());
+/// Indices of `pop` sorted by ascending cached objective (best first).
+/// Every individual leaves an epoch with its evaluation cached
+/// (GaEngine::run_seeded's export contract), and evaluation is pure, so
+/// ranking on the cache reproduces the re-evaluating ranking bit for bit
+/// with zero evaluate() calls at the migration boundary.
+std::vector<std::size_t> rank_by_cached_objective(
+    const EvaluatedPopulation& pop) {
+  std::vector<std::size_t> order(pop.chrom.size());
   std::iota(order.begin(), order.end(), std::size_t{0});
-  std::stable_sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
-    return objective[a] < objective[b];
-  });
+  std::stable_sort(order.begin(), order.end(),
+                   [&](std::size_t a, std::size_t b) {
+                     return pop.eval[a].objective < pop.eval[b].objective;
+                   });
   return order;
 }
 
@@ -51,12 +49,14 @@ IslandResult run_island_ga(const GaProblem& problem, const IslandConfig& cfg,
   const std::size_t pop_size = cfg.ga.population;
 
   // Decorrelated island seeds: island k takes a rotated slice of the
-  // seed population.
-  std::vector<std::vector<Chromosome>> pops(K);
+  // seed population. Nothing is cached yet — each island's first epoch
+  // prices its seeds; thereafter evaluations ride along with the
+  // populations across every migration boundary.
+  std::vector<EvaluatedPopulation> pops(K);
   for (std::size_t k = 0; k < K; ++k) {
-    pops[k].reserve(pop_size);
+    pops[k].chrom.reserve(pop_size);
     for (std::size_t i = 0; i < pop_size; ++i) {
-      pops[k].push_back(initial[(k * pop_size + i) % initial.size()]);
+      pops[k].chrom.push_back(initial[(k * pop_size + i) % initial.size()]);
     }
   }
 
@@ -87,9 +87,9 @@ IslandResult run_island_ga(const GaProblem& problem, const IslandConfig& cfg,
     const GaEngine engine(epoch_cfg, selection, crossover, mutation);
 
     auto evolve_island = [&](std::size_t k) {
-      std::vector<Chromosome> final_pop;
-      GaResult r = engine.run(problem, std::move(pops[k]), rngs[k], {},
-                              &final_pop);
+      EvaluatedPopulation final_pop;
+      GaResult r = engine.run_seeded(problem, std::move(pops[k]), rngs[k], {},
+                                     &final_pop);
       pops[k] = std::move(final_pop);
       island_gens[k] += r.generations;
       if (r.best_objective < island_best[k].best_objective) {
@@ -107,17 +107,18 @@ IslandResult run_island_ga(const GaProblem& problem, const IslandConfig& cfg,
     // Ring migration: the best `migrants` of island k replace the worst
     // individuals of island (k+1) mod K. Copies are taken from the
     // pre-migration populations so the order of islands is immaterial.
+    // Migrants travel with their cached evaluations, so the boundary
+    // performs zero evaluate() calls.
     if (K > 1 && cfg.migrants > 0 && spent < total_budget) {
       const std::size_t migrants = std::min(cfg.migrants, pop_size);
       std::vector<std::vector<Chromosome>> outgoing(K);
-      std::vector<double> scratch;
-      const std::unique_ptr<GaProblem::Workspace> ws =
-          problem.make_workspace();
+      std::vector<std::vector<GaProblem::Evaluation>> outgoing_eval(K);
       std::vector<std::vector<std::size_t>> order(K);
       for (std::size_t k = 0; k < K; ++k) {
-        order[k] = rank_by_objective(problem, pops[k], scratch, ws.get());
+        order[k] = rank_by_cached_objective(pops[k]);
         for (std::size_t m = 0; m < migrants; ++m) {
-          outgoing[k].push_back(pops[k][order[k][m]]);
+          outgoing[k].push_back(pops[k].chrom[order[k][m]]);
+          outgoing_eval[k].push_back(pops[k].eval[order[k][m]]);
         }
       }
       for (std::size_t k = 0; k < K; ++k) {
@@ -125,7 +126,8 @@ IslandResult run_island_ga(const GaProblem& problem, const IslandConfig& cfg,
         for (std::size_t m = 0; m < migrants; ++m) {
           // Worst individuals sit at the back of the ranking.
           const std::size_t victim = order[dst][pop_size - 1 - m];
-          pops[dst][victim] = outgoing[k][m];
+          pops[dst].chrom[victim] = outgoing[k][m];
+          pops[dst].eval[victim] = outgoing_eval[k][m];
         }
       }
     }

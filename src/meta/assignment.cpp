@@ -1,6 +1,7 @@
 #include "meta/assignment.hpp"
 
 #include <algorithm>
+#include <limits>
 #include <stdexcept>
 
 namespace gasched::meta {
@@ -31,6 +32,7 @@ LoadTracker::LoadTracker(const core::ScheduleEvaluator& eval,
       throw std::invalid_argument("LoadTracker: slot missing from queues");
     }
   }
+  rescan_top2();
 }
 
 LoadTracker::LoadTracker(const core::ScheduleEvaluator& eval,
@@ -65,30 +67,85 @@ void LoadTracker::reset(const core::ScheduleEvaluator& eval,
       throw std::invalid_argument("LoadTracker: slot missing from queues");
     }
   }
+  rescan_top2();
 }
 
-double LoadTracker::makespan() const {
-  double m = 0.0;
-  for (const double c : completion_) m = std::max(m, c);
-  return m;
-}
-
-std::size_t LoadTracker::heaviest_proc() const {
-  std::size_t arg = 0;
-  for (std::size_t j = 1; j < completion_.size(); ++j) {
-    if (completion_[j] > completion_[arg]) arg = j;
+void LoadTracker::rescan_top2() noexcept {
+  const std::size_t M = completion_.size();
+  top1_ = 0;
+  top1_value_ = M > 0 ? completion_[0] : 0.0;
+  for (std::size_t j = 1; j < M; ++j) {
+    if (completion_[j] > top1_value_) {
+      top1_ = j;
+      top1_value_ = completion_[j];
+    }
   }
-  return arg;
+  top2_ = top1_;
+  top2_value_ = -std::numeric_limits<double>::infinity();
+  for (std::size_t j = 0; j < M; ++j) {
+    if (j == top1_) continue;
+    if (completion_[j] > top2_value_) {
+      top2_ = j;
+      top2_value_ = completion_[j];
+    }
+  }
+}
+
+void LoadTracker::fix_top2(std::size_t j) noexcept {
+  const double v = completion_[j];
+  if (j == top1_) {
+    if (v >= top1_value_) {
+      // Moved up: no other processor can have reached this value (it
+      // would have outranked the old maximum), so j stays first argmax.
+      top1_value_ = v;
+    } else {
+      rescan_top2();  // the maximum moved down: anything may lead now
+    }
+  } else if (j == top2_) {
+    if (outranks(v, j, top1_value_, top1_)) {
+      // Second place overtakes: the old leader becomes the runner-up (it
+      // still outranks every other processor).
+      top2_ = top1_;
+      top2_value_ = top1_value_;
+      top1_ = j;
+      top1_value_ = v;
+    } else if (v >= top2_value_) {
+      top2_value_ = v;  // moved up within second place
+    } else {
+      rescan_top2();  // runner-up moved down: a third may overtake
+    }
+  } else {
+    if (outranks(v, j, top1_value_, top1_)) {
+      top2_ = top1_;
+      top2_value_ = top1_value_;
+      top1_ = j;
+      top1_value_ = v;
+    } else if (outranks(v, j, top2_value_, top2_)) {
+      top2_ = j;
+      top2_value_ = v;
+    }
+    // Otherwise j still trails both tracked maxima: nothing to do.
+  }
 }
 
 double LoadTracker::makespan_delta(const Move& m) const {
-  const double before = makespan();
+  const double before = top1_value_;
   const double from_after = completion_[m.from] - eval_->task_cost_on(m.slot, m.from);
   const double to_after = completion_[m.to] + eval_->task_cost_on(m.slot, m.to);
   double after = std::max(from_after, to_after);
-  for (std::size_t j = 0; j < completion_.size(); ++j) {
-    if (j == m.from || j == m.to) continue;
-    after = std::max(after, completion_[j]);
+  // Maximum over the untouched processors: the tracked top-2 answer it
+  // unless both maxima are the move's endpoints (then scan — max over a
+  // set is scan-order independent, so the value matches a full recompute
+  // bit for bit).
+  if (top1_ != m.from && top1_ != m.to) {
+    after = std::max(after, top1_value_);
+  } else if (top2_ != m.from && top2_ != m.to) {
+    after = std::max(after, top2_value_);
+  } else {
+    for (std::size_t j = 0; j < completion_.size(); ++j) {
+      if (j == m.from || j == m.to) continue;
+      after = std::max(after, completion_[j]);
+    }
   }
   return after - before;
 }
@@ -97,8 +154,13 @@ void LoadTracker::apply(const Move& m) {
   if (slot_proc_.at(m.slot) != m.from) {
     throw std::invalid_argument("LoadTracker::apply: stale move origin");
   }
+  // Point updates re-establish the top-2 invariant one change at a time
+  // (costs are strictly positive: the origin strictly drops, the target
+  // strictly rises).
   completion_[m.from] -= eval_->task_cost_on(m.slot, m.from);
+  fix_top2(m.from);
   completion_[m.to] += eval_->task_cost_on(m.slot, m.to);
+  fix_top2(m.to);
   slot_proc_[m.slot] = m.to;
 }
 

@@ -60,12 +60,16 @@ class LoadTracker {
   std::size_t proc_of(std::size_t slot) const { return slot_proc_.at(slot); }
   /// Completion time C_j of processor j.
   double completion(std::size_t j) const { return completion_.at(j); }
-  /// Current makespan max_j C_j. O(M).
-  double makespan() const;
-  /// Index of the processor with the largest completion time. O(M).
-  std::size_t heaviest_proc() const;
+  /// Current makespan max_j C_j. O(1): served from the maintained top-2
+  /// completion-time state.
+  double makespan() const noexcept { return top1_value_; }
+  /// Index of the processor with the largest completion time (smallest
+  /// index on ties — the fresh-scan first-argmax). O(1).
+  std::size_t heaviest_proc() const noexcept { return top1_; }
 
-  /// Change in makespan if `m` were applied, without applying it. O(M).
+  /// Change in makespan if `m` were applied, without applying it. O(1)
+  /// unless both tracked maxima are the move's endpoints (then one O(M)
+  /// scan over the untouched processors).
   double makespan_delta(const Move& m) const;
 
   /// Applies `m`. `m.from` must be the slot's current processor.
@@ -98,9 +102,33 @@ class LoadTracker {
   const core::ScheduleEvaluator& evaluator() const noexcept { return *eval_; }
 
  private:
+  /// True when (av, ai) outranks (bv, bi) in the scan order a fresh
+  /// first-argmax scan would produce: larger value wins, smaller index
+  /// breaks ties.
+  static bool outranks(double av, std::size_t ai, double bv,
+                       std::size_t bi) noexcept {
+    return av > bv || (av == bv && ai < bi);
+  }
+
+  /// Rebuilds the top-2 state with a full scan. O(M).
+  void rescan_top2() noexcept;
+  /// Re-establishes the top-2 invariant after completion_[j] changed
+  /// (every other entry unchanged). O(1) except when a tracked processor
+  /// moved down, which falls back to a rescan.
+  void fix_top2(std::size_t j) noexcept;
+
   const core::ScheduleEvaluator* eval_;
   std::vector<std::size_t> slot_proc_;  // slot → processor
   std::vector<double> completion_;      // C_j
+
+  // Maintained top-2 invariant: top1_ is the first argmax of completion_
+  // (ties to the smallest index, matching a fresh scan); top2_ is the
+  // first argmax excluding top1_. Values mirror completion_. M == 1
+  // leaves top2_ == top1_ with value -inf, which no real entry outranks.
+  std::size_t top1_ = 0;
+  std::size_t top2_ = 0;
+  double top1_value_ = 0.0;
+  double top2_value_ = 0.0;
 };
 
 }  // namespace gasched::meta

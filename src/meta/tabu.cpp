@@ -59,6 +59,8 @@ void TabuSearchScheduler::search(const core::ScheduleEvaluator& eval,
       }
       const double delta = state.makespan_delta(m);
       const bool is_tabu = tabu_until[m.slot * M + m.to] > iter;
+      // makespan() is an O(1) read of the tracker's top-2 state, so the
+      // per-candidate aspiration test costs nothing extra.
       const bool aspires = state.makespan() + delta < best_makespan;
       if (is_tabu && !aspires) continue;
       if (delta < chosen_delta) {

@@ -208,6 +208,190 @@ TEST(FlatEval, LoadTrackerFlatConstructorMatchesQueueConstructor) {
   }
 }
 
+TEST(FlatEval, LoadMatchesEvaluateAndCachesQueueState) {
+  util::Rng rng(909);
+  FlatSchedule flat;
+  QueueLoads loads;  // reused across rounds on purpose (resize contract)
+  for (int round = 0; round < 50; ++round) {
+    const std::size_t tasks = 1 + rng.index(40);
+    const std::size_t procs = 1 + rng.index(10);
+    const ScheduleCodec codec(tasks, procs);
+    const ScheduleEvaluator eval(random_sizes(tasks, rng),
+                                 random_view(procs, rng), rng.bernoulli(0.5));
+    codec.decode_into(random_chromosome(codec, rng), flat);
+
+    const BatchEvaluation full = eval.evaluate(flat);
+    const BatchEvaluation cached = eval.load(flat, loads);
+    EXPECT_EQ(cached.fitness, full.fitness);
+    EXPECT_EQ(cached.makespan, full.makespan);
+    EXPECT_EQ(cached.relative_error, full.relative_error);
+    EXPECT_EQ(loads.eval.fitness, full.fitness);
+    EXPECT_EQ(loads.max_completion, full.makespan);
+
+    // Per-queue cache entries are the canonical completion times, and the
+    // cached argmax is the first argmax (ties to the smallest index).
+    ASSERT_EQ(loads.completion.size(), procs);
+    std::size_t first_argmax = 0;
+    double heavy_time = -1.0;
+    for (std::size_t j = 0; j < procs; ++j) {
+      const double cj = eval.completion_time(j, flat.queue(j));
+      EXPECT_EQ(loads.completion[j], cj);
+      const double dev = eval.psi() - cj;
+      EXPECT_EQ(loads.dev_sq[j], dev * dev);
+      if (cj > heavy_time) {
+        heavy_time = cj;
+        first_argmax = j;
+      }
+    }
+    EXPECT_EQ(loads.heaviest, first_argmax);
+  }
+}
+
+TEST(FlatEval, LoadDecodedMatchesDecodeIntoPlusLoad) {
+  util::Rng rng(1010);
+  FlatSchedule fused, staged;
+  QueueLoads fused_loads, staged_loads;
+  for (int round = 0; round < 50; ++round) {
+    const std::size_t tasks = 1 + rng.index(40);
+    const std::size_t procs = 1 + rng.index(10);
+    const ScheduleCodec codec(tasks, procs);
+    const ScheduleEvaluator eval(random_sizes(tasks, rng),
+                                 random_view(procs, rng), rng.bernoulli(0.5));
+    const ga::Chromosome c = random_chromosome(codec, rng);
+
+    const BatchEvaluation a = eval.load_decoded(codec, c, fused, fused_loads);
+    codec.decode_into(c, staged);
+    const BatchEvaluation b = eval.load(staged, staged_loads);
+
+    EXPECT_EQ(fused, staged);
+    EXPECT_EQ(a.fitness, b.fitness);
+    EXPECT_EQ(a.makespan, b.makespan);
+    EXPECT_EQ(a.relative_error, b.relative_error);
+    EXPECT_EQ(fused_loads.completion, staged_loads.completion);
+    EXPECT_EQ(fused_loads.dev_sq, staged_loads.dev_sq);
+    EXPECT_EQ(fused_loads.sum_sq, staged_loads.sum_sq);
+    EXPECT_EQ(fused_loads.heaviest, staged_loads.heaviest);
+  }
+}
+
+TEST(FlatEval, EvaluateSwapBitIdenticalToFullRepriceOverMoveSequences) {
+  util::Rng rng(1111);
+  FlatSchedule flat;
+  QueueLoads delta_loads, fresh_loads;
+  for (int round = 0; round < 30; ++round) {
+    const std::size_t tasks = 2 + rng.index(40);
+    const std::size_t procs = 2 + rng.index(9);
+    const ScheduleCodec codec(tasks, procs);
+    const ScheduleEvaluator eval(random_sizes(tasks, rng),
+                                 random_view(procs, rng), rng.bernoulli(0.5));
+    codec.decode_into(random_chromosome(codec, rng), flat);
+    eval.load(flat, delta_loads);
+
+    // A chain of random cross-queue swaps, each delta-priced against the
+    // cache carried through every previous step: the cache must match a
+    // from-scratch pricing bit for bit after every single edit.
+    for (int step = 0; step < 25; ++step) {
+      const std::size_t qa = rng.index(procs);
+      std::size_t qb = rng.index(procs - 1);
+      if (qb >= qa) ++qb;
+      const auto queue_a = flat.queue(qa);
+      const auto queue_b = flat.queue(qb);
+      if (queue_a.empty() || queue_b.empty()) continue;
+      std::swap(queue_a[rng.index(queue_a.size())],
+                queue_b[rng.index(queue_b.size())]);
+
+      const BatchEvaluation delta = eval.evaluate_swap(flat, delta_loads, qa, qb);
+      const BatchEvaluation full = eval.load(flat, fresh_loads);
+      ASSERT_EQ(delta.fitness, full.fitness);
+      ASSERT_EQ(delta.makespan, full.makespan);
+      ASSERT_EQ(delta.relative_error, full.relative_error);
+      ASSERT_EQ(delta_loads.completion, fresh_loads.completion);
+      ASSERT_EQ(delta_loads.dev_sq, fresh_loads.dev_sq);
+      ASSERT_EQ(delta_loads.sum_sq, fresh_loads.sum_sq);
+      ASSERT_EQ(delta_loads.max_completion, fresh_loads.max_completion);
+      ASSERT_EQ(delta_loads.heaviest, fresh_loads.heaviest);
+    }
+  }
+}
+
+TEST(FlatEval, EvaluateMoveBitIdenticalToFullReprice) {
+  util::Rng rng(1212);
+  FlatSchedule flat;
+  QueueLoads delta_loads, fresh_loads;
+  for (int round = 0; round < 30; ++round) {
+    const std::size_t tasks = 1 + rng.index(30);
+    const std::size_t procs = 2 + rng.index(8);
+    const ScheduleCodec codec(tasks, procs);
+    const ScheduleEvaluator eval(random_sizes(tasks, rng),
+                                 random_view(procs, rng), rng.bernoulli(0.5));
+    ProcQueues queues = codec.decode(random_chromosome(codec, rng));
+    flat.assign(queues);
+    eval.load(flat, delta_loads);
+
+    for (int step = 0; step < 15; ++step) {
+      const std::size_t from = rng.index(procs);
+      std::size_t to = rng.index(procs - 1);
+      if (to >= from) ++to;
+      if (queues[from].empty()) continue;
+      // Moves resize queues, so the schedule is rebuilt; the load cache is
+      // NOT — evaluate_move must bring it current from the two queue ids.
+      const std::size_t pos = rng.index(queues[from].size());
+      queues[to].push_back(queues[from][pos]);
+      queues[from].erase(queues[from].begin() +
+                         static_cast<std::ptrdiff_t>(pos));
+      flat.assign(queues);
+
+      const BatchEvaluation delta = eval.evaluate_move(flat, delta_loads, from, to);
+      const BatchEvaluation full = eval.load(flat, fresh_loads);
+      ASSERT_EQ(delta.fitness, full.fitness);
+      ASSERT_EQ(delta.makespan, full.makespan);
+      ASSERT_EQ(delta.relative_error, full.relative_error);
+      ASSERT_EQ(delta_loads.completion, fresh_loads.completion);
+      ASSERT_EQ(delta_loads.sum_sq, fresh_loads.sum_sq);
+      ASSERT_EQ(delta_loads.heaviest, fresh_loads.heaviest);
+    }
+  }
+}
+
+TEST(FlatEval, CostTableServesDefiningExpression) {
+  util::Rng rng(1313);
+  const std::size_t tasks = 20, procs = 6;
+  const std::vector<double> sizes = random_sizes(tasks, rng);
+  const sim::SystemView view = random_view(procs, rng);
+  for (const bool use_comm : {false, true}) {
+    const ScheduleEvaluator eval(sizes, view, use_comm);
+    for (std::size_t j = 0; j < procs; ++j) {
+      for (std::size_t s = 0; s < tasks; ++s) {
+        // Exactly the double the defining expression produces — the table
+        // removes the division, not a single bit.
+        const double expected =
+            sizes[s] / view.procs[j].rate + (use_comm ? eval.comm(j) : 0.0);
+        EXPECT_EQ(eval.task_cost_on(s, j), expected);
+      }
+    }
+  }
+}
+
+TEST(FlatEval, BulkKernelMatchesCanonicalWithinUlps) {
+  util::Rng rng(1414);
+  FlatSchedule flat;
+  for (int round = 0; round < 20; ++round) {
+    const std::size_t tasks = 1 + rng.index(60);
+    const std::size_t procs = 1 + rng.index(10);
+    const ScheduleCodec codec(tasks, procs);
+    const ScheduleEvaluator eval(random_sizes(tasks, rng),
+                                 random_view(procs, rng), rng.bernoulli(0.5));
+    codec.decode_into(random_chromosome(codec, rng), flat);
+    for (std::size_t j = 0; j < procs; ++j) {
+      // Sum-then-divide re-associates the FP reduction: mathematically
+      // equal, near-equal in doubles, deliberately NOT bit-identical.
+      EXPECT_NEAR(eval.completion_time_bulk(j, flat.queue(j)),
+                  eval.completion_time(j, flat.queue(j)),
+                  1e-9 * (1.0 + eval.completion_time(j, flat.queue(j))));
+    }
+  }
+}
+
 TEST(FlatEval, DecodeIntoRejectsTooManyDelimiters) {
   const ScheduleCodec codec(2, 2);
   FlatSchedule flat;

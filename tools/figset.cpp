@@ -116,7 +116,7 @@ std::string git_sha() {
 
 int usage(std::ostream& os, int code) {
   os << "usage: figset [run] [options]     run figures (default command)\n"
-        "       figset list                print the figure table\n"
+        "       figset list [--markdown]   print the figure table\n"
         "       figset merge --out DIR SHARD_DIR...   stitch shard outputs\n"
         "\n"
         "run options:\n"
@@ -471,7 +471,69 @@ int cmd_run(const util::Cli& cli) {
 
 // --- list -------------------------------------------------------------------
 
-int cmd_list() {
+/// Markdown cell escape: keep the table well-formed whatever the
+/// registry strings contain.
+std::string md_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    if (c == '|') out += "\\|";
+    else if (c == '\n') out += ' ';
+    else out += c;
+  }
+  return out;
+}
+
+/// The figure ↔ bench ↔ grid table as GitHub markdown — the generated
+/// region of docs/figures.md (scripts/check_figures_doc.sh regenerates
+/// and diffs it in CI, so the doc cannot drift from the registry).
+/// The bench column is the bench/<id>_*.cpp wrapper stem, discovered
+/// from --bench-dir when the source tree is visible; suite-only
+/// registrations with no wrapper fall back to an em dash.
+int cmd_list_markdown(const util::Cli& cli) {
+  const fs::path bench_dir = cli.get("bench-dir", "bench");
+  std::cout << "| FigSet id | Bench binary | Paper § | Tags | Axes "
+               "| Cells (quick / full) | Shape check |\n"
+               "|-----------|--------------|---------|------|------"
+               "|----------------------|-------------|\n";
+  for (const auto& fig : exp::FigSet::instance().figures()) {
+    std::string bench;
+    if (fs::is_directory(bench_dir)) {
+      std::vector<std::string> stems;
+      for (const auto& entry : fs::directory_iterator(bench_dir)) {
+        const std::string stem = entry.path().stem().string();
+        if (entry.path().extension() == ".cpp" &&
+            stem.rfind(fig.id + "_", 0) == 0) {
+          stems.push_back(stem);
+        }
+      }
+      std::sort(stems.begin(), stems.end());  // directory order is unspecified
+      if (!stems.empty()) bench = stems.front();
+    }
+    std::string tags;
+    for (const auto& tag : fig.tags) {
+      if (!tags.empty()) tags += ", ";
+      tags += tag;
+    }
+    const exp::Sweep quick = fig.build(fig.scale(false));
+    const exp::Sweep full = fig.build(fig.scale(true));
+    std::string axes;
+    for (const auto& axis : quick.axis_names()) {
+      if (!axes.empty()) axes += " × ";
+      axes += "`" + axis + "`";
+    }
+    std::cout << "| `" << fig.id << "` | "
+              << (bench.empty() ? std::string("—") : "`" + bench + "`")
+              << " | " << md_escape(fig.paper_section) << " | "
+              << md_escape(tags) << " | " << axes << " | "
+              << quick.cell_count() << " / " << full.cell_count() << " | "
+              << md_escape(fig.paper_expectation) << " |\n";
+  }
+  return 0;
+}
+
+int cmd_list(const util::Cli& cli) {
+  if (cli.get_bool("markdown", false)) return cmd_list_markdown(cli);
   util::Table table({"id", "paper", "section", "tags", "cells(quick)",
                      "title"});
   for (const auto& fig : exp::FigSet::instance().figures()) {
@@ -601,7 +663,7 @@ int main(int argc, char** argv) {
   }
   try {
     if (command == "run") return cmd_run(cli);
-    if (command == "list") return cmd_list();
+    if (command == "list") return cmd_list(cli);
     if (command == "merge") return cmd_merge(cli, positional);
   } catch (const std::exception& e) {
     std::cerr << "figset: " << e.what() << "\n";
