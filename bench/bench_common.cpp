@@ -38,6 +38,12 @@ BenchParams parse_params(int argc, char** argv, std::size_t quick_tasks,
   p.serial = cli.get_bool("serial", false);
   if (cli.has("csv")) p.csv = cli.get("csv", "");
   if (cli.has("json")) p.json = cli.get("json", "");
+  p.resume = cli.get_bool("resume", false);
+  if (p.resume && !p.csv && !p.json) {
+    std::cerr << "error: --resume needs --csv and/or --json (the files "
+                 "are what a resume continues from)\n";
+    std::exit(2);
+  }
   return p;
 }
 
@@ -91,14 +97,16 @@ exp::SweepResult run_sweep(exp::Sweep& sweep, const BenchParams& p,
     table.emplace(std::cout);
     sweep.add_sink(*table);
   }
+  const metrics::SinkMode mode = p.resume ? metrics::SinkMode::kResume
+                                          : metrics::SinkMode::kTruncate;
   std::optional<metrics::CsvSink> csv;
   if (p.csv) {
-    csv.emplace(*p.csv);
+    csv.emplace(*p.csv, mode);
     sweep.add_sink(*csv);
   }
   std::optional<metrics::JsonlSink> jsonl;
   if (p.json) {
-    jsonl.emplace(*p.json);
+    jsonl.emplace(*p.json, mode);
     sweep.add_sink(*jsonl);
   }
   const exp::SweepResult result = sweep.run();
@@ -113,6 +121,17 @@ exp::SweepResult run_sweep(exp::Sweep& sweep, const BenchParams& p,
     std::cerr << "error: " << result.failed << "/" << result.rows.size()
               << " sweep cells failed (see the error column above)\n";
     std::exit(EXIT_FAILURE);
+  }
+  if (result.skipped > 0) {
+    // Resumed cells hold no in-memory data (their rows were read off
+    // disk by the sinks, not recomputed), so the figure-specific tables
+    // and shape checks after this call would compute on zeros. The
+    // output files are complete — stop here, like figset does.
+    std::cout << result.skipped << "/" << result.rows.size()
+              << " cells were already on disk (--resume); output files "
+                 "are complete. Re-run without --resume for the derived "
+                 "tables and shape checks.\n";
+    std::exit(EXIT_SUCCESS);
   }
   return result;
 }

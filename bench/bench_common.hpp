@@ -5,8 +5,10 @@
 // schedulers), runs it through run_sweep — which executes the grid in
 // parallel on util::global_pool() and streams results to the standard
 // sinks (ASCII table on stdout, crash-safe CSV via --csv, JSONL via
-// --json) — and then prints its figure-specific shape check from the
-// returned rows. The paper-figure binaries (fig*) are one step thinner:
+// --json; --resume continues a killed run from whichever of those files
+// exist, including JSONL-only runs) — and then prints its
+// figure-specific shape check from the returned rows.
+// The paper-figure binaries (fig*) are one step thinner:
 // their grids are registered in exp::FigSet and run_figure drives the
 // whole binary, so the same definitions power tools/figset. Two scales
 // are supported:
@@ -48,10 +50,16 @@ struct BenchParams {
   bool serial = false;             ///< --serial: single-threaded sweep
   std::optional<std::string> csv;  ///< CSV output path (streaming sink)
   std::optional<std::string> json; ///< JSONL output path (streaming sink)
+  /// --resume: open the --csv/--json sinks in SinkMode::kResume, so a
+  /// killed run continues where its output files stop (cells already on
+  /// disk are skipped; see Sweep::run). Requires --csv and/or --json.
+  bool resume = false;
 };
 
 /// Parses common flags (--tasks, --reps, --generations, --procs, --seed,
-/// --csv, --json, --serial, --full) on top of quick/full defaults.
+/// --csv, --json, --resume, --serial, --full) on top of quick/full
+/// defaults. Exits with code 2 when --resume is given without --csv or
+/// --json (there would be no file to continue from).
 BenchParams parse_params(int argc, char** argv, std::size_t quick_tasks,
                          std::size_t quick_reps,
                          std::size_t quick_generations);
@@ -80,10 +88,15 @@ exp::Sweep make_sweep(std::string name, const BenchParams& p,
 
 /// Runs `sweep` with the standard sinks: ASCII table on stdout (unless
 /// `print_table` is false — benches that pivot their own table pass
-/// false), streaming CSV at p.csv, streaming JSONL at p.json. Failed
-/// cells abort the binary with exit code 1 after the table/sinks have
-/// reported them (a bench grid must never silently compute its shape
-/// checks on missing cells).
+/// false), streaming CSV at p.csv, streaming JSONL at p.json (both in
+/// resume mode under --resume). Failed cells abort the binary with exit
+/// code 1 after the table/sinks have reported them (a bench grid must
+/// never silently compute its shape checks on missing cells). Cells
+/// skipped by a resume make the binary exit 0 once the files are
+/// complete: the in-memory rows for resumed cells are empty, so every
+/// figure-specific table and shape check downstream of this call would
+/// silently compute on zeros — the same reason figset omits reports for
+/// resumed runs.
 exp::SweepResult run_sweep(exp::Sweep& sweep, const BenchParams& p,
                            bool print_table = true);
 

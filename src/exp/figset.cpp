@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cctype>
 #include <charconv>
+#include <cstdlib>
 #include <fstream>
 #include <map>
 #include <stdexcept>
@@ -765,6 +766,211 @@ void merge_jsonl_shards(const std::vector<std::filesystem::path>& shards,
     }
   }
   write_merged(out, "", lines);
+}
+
+// --- plot-script emission (figset plot) -------------------------------------
+
+namespace {
+
+/// True when `label` parses completely as a double (axis labels are
+/// round-trip formatted numbers for numeric axes).
+bool numeric_label(const std::string& label) {
+  if (label.empty()) return false;
+  char* end = nullptr;
+  (void)std::strtod(label.c_str(), &end);
+  return end != nullptr && *end == '\0';
+}
+
+/// What to draw for one figure, derived from its grid. Exactly one of
+/// `x` (numeric line plot) / `cat` (labeled bars) is non-empty.
+struct PlotPlan {
+  std::string x;                    ///< numeric x column
+  std::string cat;                  ///< categorical label column
+  std::vector<std::string> series;  ///< scheduler labels (one line each)
+  std::string y;
+  std::string yerr;  ///< empty = no error bars (no ci column for y)
+};
+
+PlotPlan plan_plot(const FigureDef& fig, const Sweep& sweep) {
+  PlotPlan plan;
+  const bool efficiency =
+      std::find(fig.tags.begin(), fig.tags.end(), "efficiency") !=
+      fig.tags.end();
+  plan.y = efficiency ? "efficiency_mean" : "makespan_mean";
+  plan.yerr = efficiency ? "" : "makespan_ci95";
+
+  const auto axes = sweep.axis_names();
+  const auto cells = sweep.flatten();
+  const auto labels_of = [&cells](const std::string& axis) {
+    std::vector<std::string> out;  // first-seen order = job-list order
+    for (const auto& cell : cells) {
+      for (const auto& [name, label] : cell.coords) {
+        if (name == axis &&
+            std::find(out.begin(), out.end(), label) == out.end()) {
+          out.push_back(label);
+        }
+      }
+    }
+    return out;
+  };
+
+  std::string x_axis;  // last non-scheduler axis (fastest-varying)
+  for (const auto& axis : axes) {
+    if (axis != "scheduler") x_axis = axis;
+  }
+  if (!x_axis.empty()) {
+    const auto labels = labels_of(x_axis);
+    const bool numeric =
+        std::all_of(labels.begin(), labels.end(), numeric_label);
+    (numeric ? plan.x : plan.cat) = x_axis;
+  }
+  if (plan.x.empty() && plan.cat.empty()) plan.cat = "scheduler";
+  if (!plan.x.empty() &&
+      std::find(axes.begin(), axes.end(), "scheduler") != axes.end()) {
+    plan.series = labels_of("scheduler");
+  }
+  return plan;
+}
+
+void write_script_banner(std::ostream& os, const char* comment,
+                         const FigureDef& fig, const char* runner) {
+  os << comment << " " << fig.id << " — " << fig.number << ": " << fig.title
+     << " (" << fig.paper_section << ")\n"
+     << comment << " Generated by `figset plot`; regenerate rather than "
+     << "editing.\n"
+     << comment << " Usage: " << runner << " " << fig.id
+     << (std::string(runner) == "gnuplot" ? ".gp" : ".py") << "   (reads "
+     << fig.id << ".csv, writes " << fig.id << ".png)\n";
+}
+
+void write_gnuplot(std::ostream& os, const FigureDef& fig,
+                   const PlotPlan& p) {
+  write_script_banner(os, "#", fig, "gnuplot");
+  const std::string csv = fig.id + ".csv";
+  os << "set datafile separator ','\n"
+     << "set key autotitle columnhead\n"  // also names columns for column()
+     << "set key outside\n"
+     << "set terminal pngcairo size 960,640\n"
+     << "set output '" << fig.id << ".png'\n"
+     << "set title \"" << fig.number << ": " << fig.title << "\"\n"
+     << "set ylabel '" << p.y << "'\n";
+  if (!p.x.empty()) {
+    os << "set xlabel '" << p.x << "'\n";
+    if (p.series.empty()) {
+      if (!p.yerr.empty()) {
+        os << "plot '" << csv << "' using (column('" << p.x
+           << "')):(column('" << p.y << "')):(column('" << p.yerr
+           << "')) with yerrorlines lw 2 title '" << p.y << "'\n";
+      } else {
+        os << "plot '" << csv << "' using (column('" << p.x
+           << "')):(column('" << p.y << "')) with linespoints lw 2 title '"
+           << p.y << "'\n";
+      }
+      return;
+    }
+    os << "plot \\\n";
+    for (std::size_t i = 0; i < p.series.size(); ++i) {
+      // Rows of other schedulers yield 1/0 (undefined) and are skipped.
+      os << "  '" << csv << "' using (column('" << p.x
+         << "')):(strcol('scheduler') eq '" << p.series[i] << "' ? column('"
+         << p.y << "') : 1/0) with linespoints lw 2 title '" << p.series[i]
+         << "'" << (i + 1 < p.series.size() ? ", \\\n" : "\n");
+    }
+    return;
+  }
+  os << "set xlabel '" << p.cat << "'\n"
+     << "set style fill solid 0.6\n"
+     << "set boxwidth 0.6\n"
+     << "set xtics rotate by -30\n";
+  if (!p.yerr.empty()) {
+    os << "plot '" << csv << "' using 0:(column('" << p.y
+       << "')):(column('" << p.yerr << "')):xtic(strcol('" << p.cat
+       << "')) with boxerrorbars title '" << p.y << "'\n";
+  } else {
+    os << "plot '" << csv << "' using 0:(column('" << p.y
+       << "')):xtic(strcol('" << p.cat << "')) with boxes title '" << p.y
+       << "'\n";
+  }
+}
+
+void write_matplotlib(std::ostream& os, const FigureDef& fig,
+                      const PlotPlan& p) {
+  os << "#!/usr/bin/env python3\n";
+  write_script_banner(os, "#", fig, "python3");
+  os << "import csv\n"
+     << "import matplotlib\n"
+     << "matplotlib.use('Agg')\n"
+     << "import matplotlib.pyplot as plt\n"
+     << "\n"
+     << "with open('" << fig.id << ".csv', newline='') as f:\n"
+     << "    rows = [row for row in csv.DictReader(f) if not row['error']]\n"
+     << "\n"
+     << "fig, ax = plt.subplots(figsize=(9.6, 6.4))\n";
+  if (!p.x.empty()) {
+    if (p.series.empty()) {
+      os << "xs = [float(row['" << p.x << "']) for row in rows]\n"
+         << "ys = [float(row['" << p.y << "']) for row in rows]\n";
+      if (!p.yerr.empty()) {
+        os << "es = [float(row['" << p.yerr << "']) for row in rows]\n"
+           << "ax.errorbar(xs, ys, yerr=es, marker='o', capsize=3)\n";
+      } else {
+        os << "ax.plot(xs, ys, marker='o')\n";
+      }
+    } else {
+      os << "for name in [";
+      for (std::size_t i = 0; i < p.series.size(); ++i) {
+        os << "'" << p.series[i] << "'"
+           << (i + 1 < p.series.size() ? ", " : "");
+      }
+      os << "]:\n"
+         << "    series = [row for row in rows if row['scheduler'] == name]\n"
+         << "    xs = [float(row['" << p.x << "']) for row in series]\n"
+         << "    ys = [float(row['" << p.y << "']) for row in series]\n"
+         << "    ax.plot(xs, ys, marker='o', label=name)\n"
+         << "ax.legend()\n";
+    }
+    os << "ax.set_xlabel('" << p.x << "')\n";
+  } else {
+    os << "labels = [row['" << p.cat << "'] for row in rows]\n"
+       << "ys = [float(row['" << p.y << "']) for row in rows]\n";
+    if (!p.yerr.empty()) {
+      os << "es = [float(row['" << p.yerr << "']) for row in rows]\n"
+         << "ax.bar(range(len(rows)), ys, yerr=es, capsize=3)\n";
+    } else {
+      os << "ax.bar(range(len(rows)), ys)\n";
+    }
+    os << "ax.set_xticks(range(len(rows)))\n"
+       << "ax.set_xticklabels(labels, rotation=30, ha='right')\n"
+       << "ax.set_xlabel('" << p.cat << "')\n";
+  }
+  os << "ax.set_ylabel('" << p.y << "')\n"
+     << "ax.set_title(\"" << fig.number << ": " << fig.title << "\")\n"
+     << "fig.savefig('" << fig.id << ".png', dpi=150)\n"
+     << "print('wrote " << fig.id << ".png')\n";
+}
+
+}  // namespace
+
+std::vector<std::filesystem::path> write_plot_scripts(
+    const FigureDef& fig, const FigScale& scale,
+    const std::filesystem::path& dir) {
+  const Sweep sweep = fig.build(scale);
+  const PlotPlan plan = plan_plot(fig, sweep);
+  std::filesystem::create_directories(dir);
+  const std::filesystem::path gp = dir / (fig.id + ".gp");
+  const std::filesystem::path py = dir / (fig.id + ".py");
+  for (const auto& [path, writer] :
+       {std::pair<const std::filesystem::path*,
+                  void (*)(std::ostream&, const FigureDef&, const PlotPlan&)>{
+            &gp, &write_gnuplot},
+        {&py, &write_matplotlib}}) {
+    std::ofstream os(*path, std::ios::trunc);
+    if (!os) {
+      throw std::runtime_error("figset plot: cannot write " + path->string());
+    }
+    writer(os, fig, plan);
+  }
+  return {gp, py};
 }
 
 }  // namespace gasched::exp

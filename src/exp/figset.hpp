@@ -137,4 +137,25 @@ void merge_csv_shards(const std::vector<std::filesystem::path>& shards,
 void merge_jsonl_shards(const std::vector<std::filesystem::path>& shards,
                         const std::filesystem::path& out);
 
+/// `figset plot`: writes ready-to-run plot scripts for `fig` into `dir`,
+/// next to the `<id>.csv` a `figset run` left there — `<id>.gp`
+/// (gnuplot ≥ 5.0) and `<id>.py` (matplotlib + the csv stdlib module,
+/// no pandas). Both read the CSV by relative name, so they run from
+/// inside the output directory, and both render `<id>.png`.
+///
+/// The plot shape is derived from the figure's grid: a numeric
+/// non-scheduler axis becomes the x axis with one line per scheduler
+/// (efficiency-tagged figures plot efficiency_mean, the rest
+/// makespan_mean ± makespan_ci95); grids with only categorical axes
+/// become labeled bars. Scripts reference CSV columns strictly by name
+/// — gnuplot `column('…')`/`strcol('…')`, python `row['…']` — and only
+/// names from metrics::csv_columns for the figure's sweep; the
+/// figset_plot_test smoke test enforces that vocabulary.
+///
+/// Returns the paths written (gp first). Throws std::runtime_error when
+/// a script file cannot be created.
+std::vector<std::filesystem::path> write_plot_scripts(
+    const FigureDef& fig, const FigScale& scale,
+    const std::filesystem::path& dir);
+
 }  // namespace gasched::exp

@@ -161,6 +161,11 @@ class Sweep {
   const std::string& name() const noexcept { return name_; }
   std::size_t cell_count() const;
   std::vector<std::string> axis_names() const;
+  /// The extras columns declared via extra_columns() (figset plot and
+  /// tests derive the CSV schema from these + the axes).
+  const std::vector<std::string>& extra_column_names() const noexcept {
+    return extra_columns_;
+  }
   /// The deterministic job list (exposed for tests and inspection).
   std::vector<SweepCell> flatten() const;
 

@@ -124,18 +124,24 @@ void TableSink::end() {
 CsvSink::CsvSink(std::filesystem::path path, SinkMode mode)
     : path_(std::move(path)), mode_(mode) {}
 
-void CsvSink::begin(const SweepHeader& header) {
-  header_ = header;
+std::vector<std::string> csv_columns(SweepHeader header) {
   // The fixed "scheduler" column already carries a scheduler axis.
-  std::erase(header_.axes, "scheduler");
+  std::erase(header.axes, "scheduler");
   std::vector<std::string> cols{"index"};
-  for (const auto& axis : header_.axes) cols.push_back(axis);
+  for (const auto& axis : header.axes) cols.push_back(axis);
   cols.insert(cols.end(),
               {"scheduler", "replications", "makespan_mean", "makespan_ci95",
                "efficiency_mean", "response_mean", "invocations_mean",
                "requeued_mean"});
   for (const auto& extra : header.extra_columns) cols.push_back(extra);
   cols.push_back("error");
+  return cols;
+}
+
+void CsvSink::begin(const SweepHeader& header) {
+  header_ = header;
+  std::erase(header_.axes, "scheduler");
+  const std::vector<std::string> cols = csv_columns(header);
 
   // Resume: keep the longest valid prefix of the existing file (header +
   // complete data rows), record its cell indices, drop everything after

@@ -75,6 +75,13 @@ struct SweepRow {
   double extra(const std::string& column, double fallback = 0.0) const;
 };
 
+/// The exact column list CsvSink writes for a sweep with `header`:
+/// index, axes (minus a "scheduler" axis, which the fixed scheduler
+/// column already carries), the fixed summary columns, the declared
+/// extras, error. Shared with `figset plot` (emitted plot scripts may
+/// reference these names and nothing else) and its smoke test.
+std::vector<std::string> csv_columns(SweepHeader header);
+
 /// How a file sink treats an existing file at its path.
 enum class SinkMode {
   kTruncate,  ///< start fresh (the default)

@@ -3,403 +3,402 @@
 #include <algorithm>
 #include <chrono>
 #include <cmath>
-#include <queue>
 #include <stdexcept>
-#include <unordered_map>
-
-#include "util/log.hpp"
+#include <utility>
 
 namespace gasched::sim {
 
-namespace {
-
-enum class EventKind {
-  kArrival,
-  kRequest,
-  kDelivered,
-  kCompleted,
-  kFail,
-  kRecover,
-  kAssign,
-};
-
-struct Event {
-  SimTime time = 0.0;
-  std::uint64_t seq = 0;  // tie-breaker: FIFO among simultaneous events
-  EventKind kind = EventKind::kArrival;
-  ProcId proc = kInvalidProc;
-  std::size_t payload = 0;  // task index, or pending-assignment index
-  std::uint64_t epoch = 0;  // proc epoch at posting (failure staleness)
-};
-
-struct EventLater {
-  bool operator()(const Event& a, const Event& b) const {
-    if (a.time != b.time) return a.time > b.time;
-    return a.seq > b.seq;
-  }
-};
-
-struct ProcRuntime {
-  std::deque<std::size_t> future;  // task indices awaiting dispatch
-  double future_mflops = 0.0;      // running sum of queued sizes
-  bool parked = false;             // idle with empty queue
-  bool down = false;               // mid-outage
-  std::uint64_t epoch = 0;         // bumped on failure; stale events drop
-  bool inflight = false;
-  std::size_t inflight_task = 0;
-  double inflight_mflops = 0.0;
-  bool executing = false;
-  std::size_t exec_task = 0;
-  double exec_mflops = 0.0;
-  SimTime exec_start = 0.0;
-  SimTime exec_end = 0.0;
-  util::Smoother rate_est;
-  util::Smoother comm_est;
-  ProcessorStats stats;
-};
-
-}  // namespace
-
-SimulationResult simulate(const Cluster& cluster,
-                          const workload::Workload& workload,
-                          SchedulingPolicy& policy, util::Rng rng,
-                          const EngineConfig& cfg) {
-  const std::size_t M = cluster.size();
+Engine::Engine(const Cluster& cluster, const workload::Workload& workload,
+               SchedulingPolicy& policy, util::Rng rng,
+               const EngineConfig& cfg)
+    : cluster_(cluster), policy_(policy), cfg_(cfg), rng_(std::move(rng)) {
+  const std::size_t M = cluster_.size();
   if (M == 0) throw std::invalid_argument("simulate: empty cluster");
-  const auto& tasks = workload.tasks;
+  tasks_ = workload.tasks;
 
-  std::unordered_map<workload::TaskId, std::size_t> id_to_index;
-  id_to_index.reserve(tasks.size());
-  for (std::size_t i = 0; i < tasks.size(); ++i) {
-    if (!id_to_index.emplace(tasks[i].id, i).second) {
+  id_to_index_.reserve(tasks_.size());
+  for (std::size_t i = 0; i < tasks_.size(); ++i) {
+    if (!id_to_index_.emplace(tasks_[i].id, i).second) {
       throw std::invalid_argument("simulate: duplicate task id");
     }
   }
 
-  std::priority_queue<Event, std::vector<Event>, EventLater> events;
-  std::uint64_t seq = 0;
-  auto post = [&](SimTime t, EventKind k, ProcId p, std::size_t payload = 0,
-                  std::uint64_t epoch = 0) {
-    events.push(Event{t, seq++, k, p, payload, epoch});
-  };
-
-  std::vector<ProcRuntime> procs(M);
-  for (auto& pr : procs) {
-    pr.rate_est = util::Smoother(cfg.rate_nu);
-    pr.comm_est = util::Smoother(cfg.comm_nu);
+  procs_.resize(M);
+  for (auto& pr : procs_) {
+    pr.rate_est = util::Smoother(cfg_.rate_nu);
+    pr.comm_est = util::Smoother(cfg_.comm_nu);
   }
 
-  std::deque<workload::Task> unscheduled;
-  std::vector<BatchAssignment> pending_assignments;
-  SimulationResult result;
-  result.per_proc.resize(M);
-  SimTime now = 0.0;
-  std::size_t completed = 0;
-  double response_sum = 0.0;
-  double policy_wall = 0.0;
-
-  // Per-task bookkeeping for the optional trace.
-  std::vector<TaskRecord> records;
-  if (cfg.record_task_trace) {
-    records.resize(tasks.size());
-    for (std::size_t i = 0; i < tasks.size(); ++i) {
-      records[i].id = tasks[i].id;
-      records[i].arrival = tasks[i].arrival_time;
-      records[i].attempts = 0;
+  if (cfg_.record_task_trace) {
+    records_.resize(tasks_.size());
+    for (std::size_t i = 0; i < tasks_.size(); ++i) {
+      records_[i].id = tasks_[i].id;
+      records_[i].arrival = tasks_[i].arrival_time;
+      records_[i].attempts = 0;
     }
   }
 
-  auto remaining_exec_mflops = [&](const ProcRuntime& pr) -> double {
-    if (!pr.executing) return 0.0;
-    const double span = pr.exec_end - pr.exec_start;
-    if (span <= 0.0) return 0.0;
-    const double frac = (pr.exec_end - now) / span;
-    return pr.exec_mflops * std::max(0.0, std::min(1.0, frac));
-  };
-
-  auto build_view = [&]() -> SystemView {
-    SystemView view;
-    view.now = now;
-    view.procs.resize(M);
-    for (std::size_t j = 0; j < M; ++j) {
-      const auto& pr = procs[j];
-      auto& pv = view.procs[j];
-      pv.id = static_cast<ProcId>(j);
-      pv.rate = pr.rate_est.value_or(cluster.processors[j].base_rate);
-      pv.pending_mflops =
-          pr.future_mflops + pr.inflight_mflops + remaining_exec_mflops(pr);
-      pv.comm_estimate = pr.comm_est.value_or(0.0);
-      pv.comm_observations = pr.comm_est.count();
-    }
-    return view;
-  };
-
-  auto apply_assignment = [&](const BatchAssignment& assignment) {
-    if (assignment.per_proc.size() > M) {
-      throw std::runtime_error("simulate: assignment names unknown processor");
-    }
-    for (std::size_t j = 0; j < assignment.per_proc.size(); ++j) {
-      auto& pr = procs[j];
-      bool added = false;
-      for (const workload::TaskId id : assignment.per_proc[j]) {
-        const auto it = id_to_index.find(id);
-        if (it == id_to_index.end()) {
-          throw std::runtime_error("simulate: assignment names unknown task");
-        }
-        pr.future.push_back(it->second);
-        pr.future_mflops += tasks[it->second].size_mflops;
-        added = true;
-      }
-      if (added && pr.parked && !pr.down) {
-        pr.parked = false;
-        post(now, EventKind::kRequest, static_cast<ProcId>(j));
-      }
-    }
-  };
-
-  auto try_schedule = [&]() {
-    if (unscheduled.empty()) return;
-    const SystemView view = build_view();
-    const auto t0 = std::chrono::steady_clock::now();
-    BatchAssignment assignment = policy.invoke(view, unscheduled, rng);
-    const auto t1 = std::chrono::steady_clock::now();
-    const double wall = std::chrono::duration<double>(t1 - t0).count();
-    policy_wall += wall;
-    ++result.scheduler_invocations;
-    if (cfg.sched_time_scale > 0.0) {
-      // The dedicated scheduler processor takes simulated time to compute
-      // the schedule; the assignment lands later.
-      pending_assignments.push_back(std::move(assignment));
-      post(now + cfg.sched_time_scale * wall, EventKind::kAssign,
-           kInvalidProc, pending_assignments.size() - 1);
-    } else {
-      apply_assignment(assignment);
-    }
-  };
-
-  // A failed processor returns everything it holds to the scheduler.
-  auto requeue_holdings = [&](std::size_t j) {
-    auto& pr = procs[j];
-    std::size_t returned = 0;
-    if (pr.executing) {
-      // Work done so far is wasted but still counts as processing time.
-      pr.stats.busy_time += std::max(0.0, now - pr.exec_start);
-      unscheduled.push_back(tasks[pr.exec_task]);
-      pr.executing = false;
-      pr.exec_mflops = 0.0;
-      ++returned;
-    }
-    if (pr.inflight) {
-      unscheduled.push_back(tasks[pr.inflight_task]);
-      pr.inflight = false;
-      pr.inflight_mflops = 0.0;
-      ++returned;
-    }
-    while (!pr.future.empty()) {
-      unscheduled.push_back(tasks[pr.future.front()]);
-      pr.future.pop_front();
-      ++returned;
-    }
-    pr.future_mflops = 0.0;
-    result.tasks_requeued += returned;
-    return returned;
-  };
-
-  // Scheduler uplink state (serial_dispatch mode).
-  bool link_busy = false;
-  std::deque<ProcId> link_waiting;
-
-  // Pops the head of `proc`'s future queue and puts it on the wire.
-  auto start_dispatch = [&](ProcId proc) {
-    auto& pr = procs[static_cast<std::size_t>(proc)];
-    const std::size_t ti = pr.future.front();
-    pr.future.pop_front();
-    pr.future_mflops -= tasks[ti].size_mflops;
-    if (pr.future_mflops < 0.0) pr.future_mflops = 0.0;
-    const double cost = cluster.comm->sample(proc, now, rng);
-    pr.comm_est.observe(cost);
-    pr.stats.comm_time += cost;
-    pr.inflight = true;
-    pr.inflight_task = ti;
-    pr.inflight_mflops = tasks[ti].size_mflops;
-    if (cfg.record_task_trace) {
-      records[ti].dispatch = now;
-      records[ti].comm_cost = cost;
-      records[ti].attempts += 1;
-    }
-    if (cfg.serial_dispatch) link_busy = true;
-    post(now + cost, EventKind::kDelivered, proc, ti, pr.epoch);
-  };
+  // Every arrival is pre-seeded, so the peak pending-event count is known
+  // up front; pre-sizing the arena keeps steady state allocation-free.
+  const std::size_t outages =
+      cfg_.failures ? cfg_.failures->total_outages() : 0;
+  events_.reserve(tasks_.size() + M + 2 * outages);
 
   // Seed the timeline: task arrivals, then one initial request per
   // processor (sequenced after simultaneous arrivals so the first
   // scheduling decision sees the t=0 workload), then outages.
-  for (std::size_t i = 0; i < tasks.size(); ++i) {
-    post(tasks[i].arrival_time, EventKind::kArrival, kInvalidProc, i);
+  for (std::size_t i = 0; i < tasks_.size(); ++i) {
+    post(tasks_[i].arrival_time, EventKind::kArrival, kInvalidProc, i);
   }
   for (std::size_t j = 0; j < M; ++j) {
     post(0.0, EventKind::kRequest, static_cast<ProcId>(j));
   }
-  if (cfg.failures != nullptr) {
+  if (cfg_.failures != nullptr) {
     for (std::size_t j = 0; j < M; ++j) {
-      for (const Outage& o : cfg.failures->outages(static_cast<ProcId>(j))) {
+      for (const Outage& o : cfg_.failures->outages(static_cast<ProcId>(j))) {
         post(o.down, EventKind::kFail, static_cast<ProcId>(j));
         post(o.up, EventKind::kRecover, static_cast<ProcId>(j));
       }
     }
   }
+}
 
-  const std::size_t event_budget =
-      cfg.max_event_factor == 0
-          ? 0
-          : cfg.max_event_factor *
-                (tasks.size() + M +
-                 (cfg.failures ? cfg.failures->total_outages() : 0) + 1);
-  std::size_t processed = 0;
+double Engine::remaining_exec_mflops(const ProcRuntime& pr) const {
+  if (!pr.executing) return 0.0;
+  const double span = pr.exec_end - pr.exec_start;
+  if (span <= 0.0) return 0.0;
+  const double frac = (pr.exec_end - now_) / span;
+  return pr.exec_mflops * std::max(0.0, std::min(1.0, frac));
+}
 
-  while (completed < tasks.size()) {
-    if (events.empty()) {
+SystemView Engine::build_view() const {
+  const std::size_t M = procs_.size();
+  SystemView view;
+  view.now = now_;
+  view.procs.resize(M);
+  for (std::size_t j = 0; j < M; ++j) {
+    const auto& pr = procs_[j];
+    auto& pv = view.procs[j];
+    pv.id = static_cast<ProcId>(j);
+    pv.rate = pr.rate_est.value_or(cluster_.processors[j].base_rate);
+    pv.pending_mflops =
+        pr.future_mflops + pr.inflight_mflops + remaining_exec_mflops(pr);
+    pv.comm_estimate = pr.comm_est.value_or(0.0);
+    pv.comm_observations = pr.comm_est.count();
+  }
+  return view;
+}
+
+void Engine::apply_assignment(const BatchAssignment& assignment) {
+  if (assignment.per_proc.size() > procs_.size()) {
+    throw std::runtime_error("simulate: assignment names unknown processor");
+  }
+  for (std::size_t j = 0; j < assignment.per_proc.size(); ++j) {
+    auto& pr = procs_[j];
+    bool added = false;
+    for (const workload::TaskId id : assignment.per_proc[j]) {
+      const auto it = id_to_index_.find(id);
+      if (it == id_to_index_.end()) {
+        throw std::runtime_error("simulate: assignment names unknown task");
+      }
+      pr.future.push_back(it->second);
+      pr.future_mflops += tasks_[it->second].size_mflops;
+      ++future_count_;
+      added = true;
+    }
+    if (added && pr.parked && !pr.down) {
+      pr.parked = false;
+      post(now_, EventKind::kRequest, static_cast<ProcId>(j));
+    }
+  }
+}
+
+void Engine::try_schedule() {
+  if (unscheduled_.empty()) return;
+  const SystemView view = build_view();
+  const auto t0 = std::chrono::steady_clock::now();
+  BatchAssignment assignment = policy_.invoke(view, unscheduled_, rng_);
+  const auto t1 = std::chrono::steady_clock::now();
+  const double wall = std::chrono::duration<double>(t1 - t0).count();
+  policy_wall_ += wall;
+  ++invocations_;
+  if (cfg_.sched_time_scale > 0.0) {
+    // The dedicated scheduler processor takes simulated time to compute
+    // the schedule; the assignment lands later.
+    pending_assignments_.push_back(std::move(assignment));
+    post(now_ + cfg_.sched_time_scale * wall, EventKind::kAssign,
+         kInvalidProc, pending_assignments_.size() - 1);
+  } else {
+    apply_assignment(assignment);
+  }
+}
+
+// A failed processor returns everything it holds to the scheduler.
+std::size_t Engine::requeue_holdings(std::size_t j) {
+  auto& pr = procs_[j];
+  std::size_t returned = 0;
+  if (pr.executing) {
+    // Work done so far is wasted but still counts as processing time.
+    pr.stats.busy_time += std::max(0.0, now_ - pr.exec_start);
+    unscheduled_.push_back(tasks_[pr.exec_task]);
+    pr.executing = false;
+    pr.exec_mflops = 0.0;
+    ++returned;
+  }
+  if (pr.inflight) {
+    unscheduled_.push_back(tasks_[pr.inflight_task]);
+    pr.inflight = false;
+    pr.inflight_mflops = 0.0;
+    ++returned;
+  }
+  while (!pr.future.empty()) {
+    unscheduled_.push_back(tasks_[pr.future.front()]);
+    pr.future.pop_front();
+    --future_count_;
+    ++returned;
+  }
+  pr.future_mflops = 0.0;
+  requeued_ += returned;
+  return returned;
+}
+
+// Pops the head of `proc`'s future queue and puts it on the wire.
+void Engine::start_dispatch(ProcId proc) {
+  auto& pr = procs_[static_cast<std::size_t>(proc)];
+  const std::size_t ti = pr.future.front();
+  pr.future.pop_front();
+  --future_count_;
+  pr.future_mflops -= tasks_[ti].size_mflops;
+  if (pr.future_mflops < 0.0) pr.future_mflops = 0.0;
+  const double cost = cluster_.comm->sample(proc, now_, rng_);
+  pr.comm_est.observe(cost);
+  pr.stats.comm_time += cost;
+  pr.inflight = true;
+  pr.inflight_task = ti;
+  pr.inflight_mflops = tasks_[ti].size_mflops;
+  if (cfg_.record_task_trace) {
+    records_[ti].dispatch = now_;
+    records_[ti].comm_cost = cost;
+    records_[ti].attempts += 1;
+  }
+  if (cfg_.serial_dispatch) link_busy_ = true;
+  post(now_ + cost, EventKind::kDelivered, proc, ti, pr.epoch);
+}
+
+std::size_t Engine::event_budget() const {
+  if (cfg_.max_event_factor == 0) return 0;
+  return cfg_.max_event_factor *
+         (tasks_.size() + procs_.size() +
+          (cfg_.failures ? cfg_.failures->total_outages() : 0) + 1);
+}
+
+void Engine::step() {
+  const Ev ev = events_.top();
+  now_ = events_.top_time();
+  events_.pop();
+  if (const std::size_t budget = event_budget();
+      budget != 0 && ++processed_ > budget) {
+    throw std::runtime_error("simulate: event budget exceeded (livelock?)");
+  }
+  dispatch(ev);
+}
+
+void Engine::dispatch(const Ev& ev) {
+  switch (ev.kind) {
+    case EventKind::kArrival: {
+      unscheduled_.push_back(tasks_[ev.payload]);
+      // Coalesce simultaneous arrivals into one scheduling decision.
+      const bool more_arrivals_now =
+          !events_.empty() && events_.top().kind == EventKind::kArrival &&
+          events_.top_time() == now_;
+      if (!more_arrivals_now) try_schedule();
+      break;
+    }
+    case EventKind::kRequest: {
+      auto& pr = procs_[static_cast<std::size_t>(ev.proc)];
+      if (pr.down) break;  // re-posted on recovery
+      if (pr.inflight || pr.executing) break;  // stale duplicate
+      if (pr.future.empty()) {
+        pr.parked = true;
+        if (!unscheduled_.empty()) try_schedule();
+        break;
+      }
+      if (cfg_.serial_dispatch && link_busy_) {
+        link_waiting_.push_back(ev.proc);
+        break;
+      }
+      start_dispatch(ev.proc);
+      break;
+    }
+    case EventKind::kDelivered: {
+      auto& pr = procs_[static_cast<std::size_t>(ev.proc)];
+      if (cfg_.serial_dispatch) {
+        // The uplink frees regardless of whether the receiver survived.
+        link_busy_ = false;
+        while (!link_waiting_.empty()) {
+          const ProcId next_proc = link_waiting_.front();
+          link_waiting_.pop_front();
+          auto& npr = procs_[static_cast<std::size_t>(next_proc)];
+          if (npr.down || npr.inflight || npr.executing) {
+            continue;  // state changed while queued at the link
+          }
+          if (npr.future.empty()) {
+            // Its queue was drained (e.g. failure requeue elsewhere):
+            // park so a future assignment wakes it up again.
+            npr.parked = true;
+            continue;
+          }
+          start_dispatch(next_proc);
+          break;
+        }
+      }
+      if (ev.epoch != pr.epoch) break;  // failed mid-transfer; requeued
+      const auto& proc =
+          cluster_.processors[static_cast<std::size_t>(ev.proc)];
+      pr.inflight = false;
+      pr.inflight_mflops = 0.0;
+      const double duration = integrate_exec_time(
+          *proc.availability, proc.base_rate, tasks_[ev.payload].size_mflops,
+          now_, cfg_.avail_dt);
+      pr.executing = true;
+      pr.exec_task = ev.payload;
+      pr.exec_mflops = tasks_[ev.payload].size_mflops;
+      pr.exec_start = now_;
+      pr.exec_end = now_ + duration;
+      if (cfg_.record_task_trace) records_[ev.payload].start = now_;
+      post(now_ + duration, EventKind::kCompleted, ev.proc, ev.payload,
+           pr.epoch);
+      break;
+    }
+    case EventKind::kCompleted: {
+      auto& pr = procs_[static_cast<std::size_t>(ev.proc)];
+      if (ev.epoch != pr.epoch) break;  // failed mid-execution; requeued
+      const double duration = pr.exec_end - pr.exec_start;
+      if (duration > 0.0) {
+        pr.rate_est.observe(tasks_[ev.payload].size_mflops / duration);
+      }
+      pr.stats.busy_time += duration;
+      pr.executing = false;
+      pr.exec_mflops = 0.0;
+      pr.stats.tasks += 1;
+      pr.stats.work_mflops += tasks_[ev.payload].size_mflops;
+      ++completed_;
+      response_sum_ += now_ - tasks_[ev.payload].arrival_time;
+      makespan_ = std::max(makespan_, now_);
+      if (cfg_.record_task_trace) {
+        records_[ev.payload].completion = now_;
+        records_[ev.payload].proc = ev.proc;
+      }
+      post(now_, EventKind::kRequest, ev.proc);
+      break;
+    }
+    case EventKind::kFail: {
+      auto& pr = procs_[static_cast<std::size_t>(ev.proc)];
+      if (pr.down) break;
+      pr.down = true;
+      pr.parked = false;
+      ++pr.epoch;
+      pr.stats.failures += 1;
+      const std::size_t returned =
+          requeue_holdings(static_cast<std::size_t>(ev.proc));
+      if (returned > 0) try_schedule();
+      break;
+    }
+    case EventKind::kRecover: {
+      auto& pr = procs_[static_cast<std::size_t>(ev.proc)];
+      if (!pr.down) break;
+      pr.down = false;
+      post(now_, EventKind::kRequest, ev.proc);
+      break;
+    }
+    case EventKind::kAssign: {
+      apply_assignment(pending_assignments_[ev.payload]);
+      pending_assignments_[ev.payload] = BatchAssignment{};  // free memory
+      break;
+    }
+  }
+}
+
+bool Engine::kick() {
+  try_schedule();
+  return has_events();
+}
+
+void Engine::inject_task(const workload::Task& task, SimTime at) {
+  const std::size_t i = tasks_.size();
+  tasks_.push_back(task);
+  if (!id_to_index_.emplace(task.id, i).second) {
+    // A previously-exported task may legitimately migrate back; its old
+    // index is dead (the arrival already fired and it left unscheduled_),
+    // so the id can simply point at the fresh entry.
+    id_to_index_[task.id] = i;
+  }
+  if (cfg_.record_task_trace) {
+    TaskRecord rec;
+    rec.id = task.id;
+    rec.arrival = task.arrival_time;
+    rec.attempts = 0;
+    records_.push_back(rec);
+  }
+  post(std::max(at, now_), EventKind::kArrival, kInvalidProc, i);
+}
+
+std::vector<workload::Task> Engine::take_unscheduled(std::size_t max_tasks) {
+  std::vector<workload::Task> taken;
+  const std::size_t n = std::min(max_tasks, unscheduled_.size());
+  taken.reserve(n);
+  for (std::size_t k = 0; k < n; ++k) {
+    taken.push_back(std::move(unscheduled_.back()));
+    unscheduled_.pop_back();
+    id_to_index_.erase(taken.back().id);
+    ++exported_;
+  }
+  return taken;
+}
+
+SimulationResult Engine::result() const {
+  SimulationResult result;
+  result.makespan = makespan_;
+  result.tasks_completed = completed_;
+  result.per_proc.resize(procs_.size());
+  for (std::size_t j = 0; j < procs_.size(); ++j) {
+    result.per_proc[j] = procs_[j].stats;
+  }
+  result.scheduler_invocations = invocations_;
+  result.scheduler_wall_seconds = policy_wall_;
+  result.mean_response_time =
+      completed_ > 0 ? response_sum_ / static_cast<double>(completed_) : 0.0;
+  result.tasks_requeued = requeued_;
+  if (cfg_.record_task_trace) result.task_trace = records_;
+  return result;
+}
+
+SimulationResult Engine::run() {
+  while (completed_ + exported_ < tasks_.size()) {
+    if (events_.empty()) {
       // No pending events but work remains: give the policy one more
       // chance (e.g. everything parked after a burst), else the protocol
       // is wedged.
       try_schedule();
-      if (events.empty()) {
+      if (events_.empty()) {
         throw std::runtime_error(
             "simulate: deadlock — tasks remain but no events pending "
             "(policy " +
-            policy.name() + " assigned nothing)");
+            policy_.name() + " assigned nothing)");
       }
       continue;
     }
-    const Event ev = events.top();
-    events.pop();
-    now = ev.time;
-    if (event_budget != 0 && ++processed > event_budget) {
-      throw std::runtime_error("simulate: event budget exceeded (livelock?)");
-    }
-
-    switch (ev.kind) {
-      case EventKind::kArrival: {
-        unscheduled.push_back(tasks[ev.payload]);
-        // Coalesce simultaneous arrivals into one scheduling decision.
-        const bool more_arrivals_now =
-            !events.empty() && events.top().kind == EventKind::kArrival &&
-            events.top().time == now;
-        if (!more_arrivals_now) try_schedule();
-        break;
-      }
-      case EventKind::kRequest: {
-        auto& pr = procs[static_cast<std::size_t>(ev.proc)];
-        if (pr.down) break;  // re-posted on recovery
-        if (pr.inflight || pr.executing) break;  // stale duplicate
-        if (pr.future.empty()) {
-          pr.parked = true;
-          if (!unscheduled.empty()) try_schedule();
-          break;
-        }
-        if (cfg.serial_dispatch && link_busy) {
-          link_waiting.push_back(ev.proc);
-          break;
-        }
-        start_dispatch(ev.proc);
-        break;
-      }
-      case EventKind::kDelivered: {
-        auto& pr = procs[static_cast<std::size_t>(ev.proc)];
-        if (cfg.serial_dispatch) {
-          // The uplink frees regardless of whether the receiver survived.
-          link_busy = false;
-          while (!link_waiting.empty()) {
-            const ProcId next_proc = link_waiting.front();
-            link_waiting.pop_front();
-            auto& npr = procs[static_cast<std::size_t>(next_proc)];
-            if (npr.down || npr.inflight || npr.executing) {
-              continue;  // state changed while queued at the link
-            }
-            if (npr.future.empty()) {
-              // Its queue was drained (e.g. failure requeue elsewhere):
-              // park so a future assignment wakes it up again.
-              npr.parked = true;
-              continue;
-            }
-            start_dispatch(next_proc);
-            break;
-          }
-        }
-        if (ev.epoch != pr.epoch) break;  // failed mid-transfer; requeued
-        const auto& proc =
-            cluster.processors[static_cast<std::size_t>(ev.proc)];
-        pr.inflight = false;
-        pr.inflight_mflops = 0.0;
-        const double duration = integrate_exec_time(
-            *proc.availability, proc.base_rate, tasks[ev.payload].size_mflops,
-            now, cfg.avail_dt);
-        pr.executing = true;
-        pr.exec_task = ev.payload;
-        pr.exec_mflops = tasks[ev.payload].size_mflops;
-        pr.exec_start = now;
-        pr.exec_end = now + duration;
-        if (cfg.record_task_trace) records[ev.payload].start = now;
-        post(now + duration, EventKind::kCompleted, ev.proc, ev.payload,
-             pr.epoch);
-        break;
-      }
-      case EventKind::kCompleted: {
-        auto& pr = procs[static_cast<std::size_t>(ev.proc)];
-        if (ev.epoch != pr.epoch) break;  // failed mid-execution; requeued
-        const double duration = pr.exec_end - pr.exec_start;
-        if (duration > 0.0) {
-          pr.rate_est.observe(tasks[ev.payload].size_mflops / duration);
-        }
-        pr.stats.busy_time += duration;
-        pr.executing = false;
-        pr.exec_mflops = 0.0;
-        pr.stats.tasks += 1;
-        pr.stats.work_mflops += tasks[ev.payload].size_mflops;
-        ++completed;
-        response_sum += now - tasks[ev.payload].arrival_time;
-        result.makespan = std::max(result.makespan, now);
-        if (cfg.record_task_trace) {
-          records[ev.payload].completion = now;
-          records[ev.payload].proc = ev.proc;
-        }
-        post(now, EventKind::kRequest, ev.proc);
-        break;
-      }
-      case EventKind::kFail: {
-        auto& pr = procs[static_cast<std::size_t>(ev.proc)];
-        if (pr.down) break;
-        pr.down = true;
-        pr.parked = false;
-        ++pr.epoch;
-        pr.stats.failures += 1;
-        const std::size_t returned =
-            requeue_holdings(static_cast<std::size_t>(ev.proc));
-        if (returned > 0) try_schedule();
-        break;
-      }
-      case EventKind::kRecover: {
-        auto& pr = procs[static_cast<std::size_t>(ev.proc)];
-        if (!pr.down) break;
-        pr.down = false;
-        post(now, EventKind::kRequest, ev.proc);
-        break;
-      }
-      case EventKind::kAssign: {
-        apply_assignment(pending_assignments[ev.payload]);
-        pending_assignments[ev.payload] = BatchAssignment{};  // free memory
-        break;
-      }
-    }
+    step();
   }
+  return result();
+}
 
-  result.tasks_completed = completed;
-  result.scheduler_wall_seconds = policy_wall;
-  result.mean_response_time =
-      completed > 0 ? response_sum / static_cast<double>(completed) : 0.0;
-  for (std::size_t j = 0; j < M; ++j) result.per_proc[j] = procs[j].stats;
-  if (cfg.record_task_trace) result.task_trace = std::move(records);
-  return result;
+SimulationResult simulate(const Cluster& cluster,
+                          const workload::Workload& workload,
+                          SchedulingPolicy& policy, util::Rng rng,
+                          const EngineConfig& cfg) {
+  Engine engine(cluster, workload, policy, std::move(rng), cfg);
+  return engine.run();
 }
 
 }  // namespace gasched::sim

@@ -27,11 +27,29 @@
 // The engine accounts busy / communication / idle time per processor and
 // measures the wall-clock time spent inside the scheduling policy (used by
 // the Fig 4 reproduction).
+//
+// Two ways to drive it:
+//
+//  * simulate() — one closed §3 run to completion (the paper's setting).
+//  * class Engine — the same protocol exposed stepwise: construct, then
+//    step() one event at a time, inject_task() externally-routed arrivals
+//    at runtime, and take_unscheduled() backlog away for migration. This
+//    is the surface fed::Federation composes N engines over; events run
+//    on a sim::CalendarQueue so a single engine scales to thousands of
+//    processors and millions of tasks (O(1) amortised event ops, arena
+//    slots, no per-event heap allocation in steady state).
+//
+// Determinism contract: identical (cluster, workload, policy, rng, cfg)
+// and an identical sequence of stepwise calls produce identical results;
+// simulate() is byte-for-byte the pre-CalendarQueue engine (events pop in
+// the same (time, FIFO-seq) order the old binary heap produced).
 
 #include <deque>
+#include <unordered_map>
 #include <vector>
 
 #include "sim/cluster.hpp"
+#include "sim/event_queue.hpp"
 #include "sim/failure.hpp"
 #include "sim/policy.hpp"
 #include "sim/types.hpp"
@@ -125,6 +143,156 @@ struct SimulationResult {
     for (const auto& p : per_proc) s += p.busy_time;
     return s;
   }
+};
+
+/// The §3 protocol as a steppable object. `cluster` and `policy` are
+/// borrowed and must outlive the engine; the workload is copied so
+/// inject_task() can grow it at runtime.
+class Engine {
+ public:
+  Engine(const Cluster& cluster, const workload::Workload& workload,
+         SchedulingPolicy& policy, util::Rng rng,
+         const EngineConfig& cfg = {});
+
+  /// Runs the protocol to completion (the paper's closed setting):
+  /// processes events until every task completed, giving the policy one
+  /// last invocation if the event set drains early, and throws
+  /// std::runtime_error on a wedged protocol (nothing assigned) or a
+  /// blown event budget. Call at most once, and not after step().
+  SimulationResult run();
+
+  // --- stepwise surface (what fed::Federation drives) --------------------
+
+  /// True when every task this engine ever owned has completed or been
+  /// exported via take_unscheduled().
+  bool finished() const noexcept {
+    return completed_ + exported_ >= tasks_.size();
+  }
+  /// True when at least one event is pending.
+  bool has_events() const noexcept { return !events_.empty(); }
+  /// Timestamp of the next pending event. Requires has_events().
+  SimTime next_event_time() const { return events_.top_time(); }
+  /// Simulation clock: time of the last processed event.
+  SimTime now() const noexcept { return now_; }
+
+  /// Processes exactly one event (the earliest; FIFO among ties).
+  /// Requires has_events(). Throws std::runtime_error when the event
+  /// budget is exceeded.
+  void step();
+
+  /// Invokes the scheduling policy now if unscheduled tasks remain
+  /// (the "one more chance" a closed run grants before declaring
+  /// deadlock). Returns true when events are pending afterwards.
+  bool kick();
+
+  /// Hands an externally-routed task to this engine's scheduler: it
+  /// arrives at time `at` (>= now(); ids must be unique within the
+  /// engine). Used by the federation for initial routing *and* for
+  /// migrated spillover.
+  void inject_task(const workload::Task& task, SimTime at);
+
+  /// Removes up to `max_tasks` tasks from the *back* of the unscheduled
+  /// queue (newest first, so the local scheduler keeps its FIFO head)
+  /// and transfers ownership to the caller. The engine no longer counts
+  /// them toward finished().
+  std::vector<workload::Task> take_unscheduled(std::size_t max_tasks);
+
+  /// Tasks waiting at the scheduler (not yet assigned to any processor).
+  std::size_t unscheduled_count() const noexcept {
+    return unscheduled_.size();
+  }
+  /// Backlog = unscheduled + assigned-but-not-yet-dispatched tasks; the
+  /// queue-pressure signal migration policies compare across clusters.
+  std::size_t backlog() const noexcept {
+    return unscheduled_.size() + future_count_;
+  }
+  /// Tasks ever owned (injected + initial workload).
+  std::size_t tasks_total() const noexcept { return tasks_.size(); }
+  /// Tasks completed so far.
+  std::size_t tasks_completed() const noexcept { return completed_; }
+  /// Events processed so far (the perf probes' throughput denominator).
+  std::size_t events_processed() const noexcept { return processed_; }
+  /// Number of worker processors.
+  std::size_t procs() const noexcept { return procs_.size(); }
+
+  /// Snapshot of the result so far (finalised makespan/means; cheap).
+  SimulationResult result() const;
+
+ private:
+  enum class EventKind : std::uint8_t {
+    kArrival,
+    kRequest,
+    kDelivered,
+    kCompleted,
+    kFail,
+    kRecover,
+    kAssign,
+  };
+
+  struct Ev {
+    EventKind kind = EventKind::kArrival;
+    ProcId proc = kInvalidProc;
+    std::size_t payload = 0;  // task index, or pending-assignment index
+    std::uint64_t epoch = 0;  // proc epoch at posting (failure staleness)
+  };
+
+  struct ProcRuntime {
+    std::deque<std::size_t> future;  // task indices awaiting dispatch
+    double future_mflops = 0.0;      // running sum of queued sizes
+    bool parked = false;             // idle with empty queue
+    bool down = false;               // mid-outage
+    std::uint64_t epoch = 0;         // bumped on failure; stale events drop
+    bool inflight = false;
+    std::size_t inflight_task = 0;
+    double inflight_mflops = 0.0;
+    bool executing = false;
+    std::size_t exec_task = 0;
+    double exec_mflops = 0.0;
+    SimTime exec_start = 0.0;
+    SimTime exec_end = 0.0;
+    util::Smoother rate_est;
+    util::Smoother comm_est;
+    ProcessorStats stats;
+  };
+
+  void post(SimTime t, EventKind k, ProcId p, std::size_t payload = 0,
+            std::uint64_t epoch = 0) {
+    events_.push(t, Ev{k, p, payload, epoch});
+  }
+  double remaining_exec_mflops(const ProcRuntime& pr) const;
+  SystemView build_view() const;
+  void apply_assignment(const BatchAssignment& assignment);
+  void try_schedule();
+  std::size_t requeue_holdings(std::size_t j);
+  void start_dispatch(ProcId proc);
+  std::size_t event_budget() const;
+  void dispatch(const Ev& ev);
+
+  const Cluster& cluster_;
+  SchedulingPolicy& policy_;
+  EngineConfig cfg_;
+  util::Rng rng_;
+
+  std::vector<workload::Task> tasks_;  // grows via inject_task
+  std::unordered_map<workload::TaskId, std::size_t> id_to_index_;
+  CalendarQueue<Ev> events_;
+  std::vector<ProcRuntime> procs_;
+  std::deque<workload::Task> unscheduled_;
+  std::vector<BatchAssignment> pending_assignments_;
+  std::vector<TaskRecord> records_;
+
+  SimTime now_ = 0.0;
+  std::size_t completed_ = 0;
+  std::size_t exported_ = 0;      // tasks handed away via take_unscheduled
+  std::size_t future_count_ = 0;  // Σ over procs of future-queue length
+  double response_sum_ = 0.0;
+  double policy_wall_ = 0.0;
+  double makespan_ = 0.0;
+  std::size_t invocations_ = 0;
+  std::size_t requeued_ = 0;
+  std::size_t processed_ = 0;
+  bool link_busy_ = false;             // serial_dispatch uplink state
+  std::deque<ProcId> link_waiting_;
 };
 
 /// Runs `workload` on `cluster` under `policy`. `rng` drives all stochastic

@@ -2,7 +2,7 @@
 // thread-count-independent results (byte-identical CSV), per-cell error
 // capture, streaming sink order, the [sweep] INI surface, shard
 // partitioning, and resume (a killed-and-truncated CSV continues to a
-// byte-identical file).
+// byte-identical file; a JSONL-only run continues to the same row set).
 
 #include "exp/sweep.hpp"
 
@@ -50,6 +50,20 @@ std::string read_file(const std::filesystem::path& p) {
   std::ostringstream ss;
   ss << in.rdbuf();
   return ss.str();
+}
+
+/// Erases every "sched_wall_seconds":{...} summary (the only
+/// non-deterministic content of a JSONL row). The summary object is
+/// flat, so the first '}' closes it.
+std::string strip_wall_clock(std::string text) {
+  const std::string key = "\"sched_wall_seconds\":{";
+  for (std::size_t pos = text.find(key); pos != std::string::npos;
+       pos = text.find(key, pos)) {
+    std::size_t end = text.find('}', pos) + 1;
+    if (end < text.size() && text[end] == ',') ++end;
+    text.erase(pos, end - pos);
+  }
+  return text;
 }
 
 struct TempFile {
@@ -467,6 +481,66 @@ TEST(SweepResume, SchemaMismatchThrows) {
   sweep.add_sink(sink);
   sweep.runner([](const SweepCell&, bool) { return CellOutcome{}; });
   EXPECT_THROW(sweep.run(), std::runtime_error);
+}
+
+// The JSONL-only path: a run writing only a JSONL sink (a bench invoked
+// with --json but no --csv) must survive a kill too. JSONL rows carry
+// wall-clock numbers, so the resumed file is not byte-identical to an
+// uninterrupted run — but the kept prefix is preserved byte-for-byte
+// and the whole file matches once the wall-clock summaries are
+// stripped.
+TEST(SweepResume, JsonlOnlySinkResumesTornFile) {
+  TempFile full("resume_jsonl_full.jsonl");
+  TempFile killed("resume_jsonl_killed.jsonl");
+  auto build = [&](Sweep& sweep) {
+    sweep.base(small_scenario());
+    sweep.params(fast_params());
+    sweep.axis("mean_comm_cost", {5.0, 20.0},
+               [](SweepCell& c, double v) {
+                 c.scenario.cluster.comm.mean_cost = v;
+               });
+    sweep.schedulers({"EF", "RR", "PN"});
+    sweep.progress(false);
+  };
+
+  {
+    metrics::JsonlSink sink(full.path);
+    Sweep sweep("resume-jsonl");
+    build(sweep);
+    sweep.add_sink(sink);
+    ASSERT_EQ(sweep.run().failed, 0u);
+  }
+  const std::string complete = read_file(full.path);
+  ASSERT_FALSE(complete.empty());
+
+  // Simulate the kill: keep 3 complete rows plus a torn 4th.
+  std::size_t nl = 0, offset = 0;
+  for (std::size_t i = 0; i < complete.size(); ++i) {
+    if (complete[i] == '\n' && ++nl == 3) {
+      offset = i + 1;
+      break;
+    }
+  }
+  ASSERT_GT(offset, 0u);
+  {
+    std::ofstream out(killed.path, std::ios::binary | std::ios::trunc);
+    out << complete.substr(0, offset + 9);  // 9 bytes of the torn row
+  }
+
+  metrics::JsonlSink sink(killed.path, metrics::SinkMode::kResume);
+  Sweep sweep("resume-jsonl");
+  build(sweep);
+  sweep.add_sink(sink);
+  const auto result = sweep.run();
+  EXPECT_EQ(result.skipped, 3u);  // the three complete rows
+  EXPECT_EQ(result.failed, 0u);
+
+  const std::string resumed = read_file(killed.path);
+  EXPECT_EQ(resumed.substr(0, offset), complete.substr(0, offset))
+      << "the kept prefix must be preserved byte-for-byte";
+  EXPECT_EQ(strip_wall_clock(resumed), strip_wall_clock(complete))
+      << "resumed JSONL must match an uninterrupted run everywhere "
+         "except the wall-clock summaries";
 }
 
 TEST(SchedulerSelector, TagsNamesAllAndDedup) {

@@ -117,6 +117,9 @@ std::string git_sha() {
 int usage(std::ostream& os, int code) {
   os << "usage: figset [run] [options]     run figures (default command)\n"
         "       figset list [--markdown]   print the figure table\n"
+        "       figset plot [--out DIR] [--only PAT] [--tag TAG]\n"
+        "                                  emit <fig>.gp/<fig>.py plot\n"
+        "                                  scripts next to the CSVs\n"
         "       figset merge --out DIR SHARD_DIR...   stitch shard outputs\n"
         "\n"
         "run options:\n"
@@ -552,6 +555,42 @@ int cmd_list(const util::Cli& cli) {
   return 0;
 }
 
+// --- plot -------------------------------------------------------------------
+
+/// Emits the gnuplot + matplotlib scripts for every selected figure into
+/// --out, next to the CSVs a `figset run` left there. Pure emission from
+/// the registry (no sweep runs): scripts reference the CSV by relative
+/// name, so `cd OUT && gnuplot figNN.gp` (or python3 figNN.py) renders
+/// figNN.png. Warns when a figure's CSV is not present yet.
+int cmd_plot(const util::Cli& cli) {
+  const fs::path out = cli.get("out", "figset_out");
+  const auto selected = exp::FigSet::instance().select(cli.get("only", ""),
+                                                       cli.get("tag", ""));
+  if (selected.empty()) {
+    std::cerr << "figset plot: no figures match --only '"
+              << cli.get("only", "") << "' --tag '" << cli.get("tag", "")
+              << "' (try: figset list)\n";
+    return 2;
+  }
+  const bool full = util::bench_full_scale() || cli.get_bool("full", false);
+  for (const auto* fig : selected) {
+    const auto paths = exp::write_plot_scripts(*fig, fig->scale(full), out);
+    std::cout << fig->id << ": ";
+    for (std::size_t i = 0; i < paths.size(); ++i) {
+      std::cout << paths[i].filename().string()
+                << (i + 1 < paths.size() ? " + " : "");
+    }
+    if (!fs::exists(out / (fig->id + ".csv"))) {
+      std::cout << "  (no " << fig->id << ".csv here yet — run `figset run "
+                << "--out " << out.string() << "` first)";
+    }
+    std::cout << "\n";
+  }
+  std::cout << "plot scripts -> " << out.string()
+            << " (gnuplot *.gp / python3 *.py from inside that directory)\n";
+  return 0;
+}
+
 // --- merge ------------------------------------------------------------------
 
 int cmd_merge(const util::Cli& cli,
@@ -664,6 +703,7 @@ int main(int argc, char** argv) {
   try {
     if (command == "run") return cmd_run(cli);
     if (command == "list") return cmd_list(cli);
+    if (command == "plot") return cmd_plot(cli);
     if (command == "merge") return cmd_merge(cli, positional);
   } catch (const std::exception& e) {
     std::cerr << "figset: " << e.what() << "\n";
