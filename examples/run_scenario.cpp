@@ -10,9 +10,11 @@
 //   ./run_scenario grid.ini --serial --json out.jsonl
 //   ./run_scenario grid.ini --csv out.csv --resume     # continue a kill
 //   ./run_scenario grid.ini --csv s0.csv --shard 0/2   # machine 0 of 2
+//   ./run_scenario serve.ini --serve    # live serving benchmark ([runtime])
 //   ./run_scenario --list-schedulers
 //   ./run_scenario --list-distributions
 
+#include <iomanip>
 #include <iostream>
 #include <optional>
 
@@ -23,6 +25,8 @@
 #include "exp/sweep.hpp"
 #include "metrics/sink.hpp"
 #include "metrics/timeline.hpp"
+#include "rt/serve_config.hpp"
+#include "sched/heuristics.hpp"
 #include "sim/gantt.hpp"
 #include "util/cli.hpp"
 #include "util/table.hpp"
@@ -69,6 +73,53 @@ void list_distributions(std::ostream& os) {
   }
 }
 
+void print_latency_row(std::ostream& os, const char* label,
+                       const rt::LatencySummary& s) {
+  auto us = [](double seconds) { return seconds * 1e6; };
+  os << "  " << std::left << std::setw(12) << label << std::right
+     << std::fixed << std::setprecision(1) << "p50 " << std::setw(10)
+     << us(s.p50) << "   p99 " << std::setw(10) << us(s.p99) << "   p999 "
+     << std::setw(10) << us(s.p999) << "   max " << std::setw(10)
+     << us(s.max) << "   (us)\n";
+}
+
+// --serve: a live serving benchmark on this host instead of a simulation
+// sweep. The [runtime] section configures the worker pool and the
+// open-loop arrival stream; [workload] supplies the task-size
+// distribution as usual.
+int run_serve(const util::Config& cfg, std::ostream& os) {
+  const rt::ServeSetup setup = rt::serve_setup_from_config(cfg);
+  const exp::Scenario scenario = exp::scenario_from_config(cfg);
+  const auto sizes = exp::make_distribution(scenario.workload);
+
+  os << "Serving benchmark: " << setup.runtime.worker_speeds.size()
+     << " workers, policy " << setup.serve.policy << ", arrival "
+     << setup.serve.arrival << " @ " << setup.serve.rate << "/s for "
+     << setup.serve.duration_s << " s ("
+     << (setup.serve.shed ? "shed" : "block") << " on overload)\n";
+
+  // The batch-mode policy is unused in serve mode but must be non-null.
+  rt::Runtime runtime(setup.runtime, sched::make_rr());
+  const rt::ServeResult r = runtime.serve(setup.serve, *sizes);
+
+  os << "\n  offered " << r.offered << "   admitted " << r.admitted
+     << "   shed " << r.shed << "   completed " << r.completed << "\n"
+     << "  throughput " << std::fixed << std::setprecision(1)
+     << r.throughput_per_sec << " tasks/s over " << std::setprecision(2)
+     << r.duration_s << " s\n\n";
+  print_latency_row(os, "scheduling", r.sched_latency);
+  print_latency_row(os, "queueing", r.queue_latency);
+  print_latency_row(os, "sojourn", r.sojourn);
+  os << "\n  worker   tasks        mflops   busy_s\n";
+  for (std::size_t j = 0; j < r.per_worker.size(); ++j) {
+    const auto& w = r.per_worker[j];
+    os << "  " << std::setw(6) << j << std::setw(8) << w.tasks
+       << std::setw(14) << std::setprecision(1) << w.work_mflops
+       << std::setw(9) << std::setprecision(3) << w.busy_seconds << "\n";
+  }
+  return 0;
+}
+
 }  // namespace
 
 int usage(std::ostream& os, const std::string& program, int code) {
@@ -101,7 +152,11 @@ int usage(std::ostream& os, const std::string& program, int code) {
         "                   figset tool verifies this via its manifest)\n"
         "  --shard I/N      run only cells with job index ≡ I (mod N)\n"
         "  --serial         disable sweep parallelism\n"
-        "  --gantt          render a Gantt chart of the first cell's run\n";
+        "  --gantt          render a Gantt chart of the first cell's run\n"
+        "  --serve          run a live serving benchmark on this host\n"
+        "                   instead of a simulation sweep: the [runtime]\n"
+        "                   section sets workers/policy/arrival rate (see\n"
+        "                   docs/runtime.md), [workload] the task sizes\n";
   return code;
 }
 
@@ -121,6 +176,7 @@ int main(int argc, char** argv) {
   int exit_code = 0;
   try {
     const util::Config cfg = util::Config::load(cli.positional()[0]);
+    if (cli.get_bool("serve", false)) return run_serve(cfg, std::cout);
     exp::Sweep sweep =
         exp::sweep_from_config(cfg, cli.get("schedulers", ""));
     sweep.parallel(!cli.get_bool("serial", false));

@@ -63,6 +63,10 @@ Scenario scenario_from_config(const util::Config& cfg) {
       cfg.get_double("workload.mean_interarrival", 1.0);
   s.workload.burstiness = cfg.get_double("workload.burstiness", 1.0);
   s.workload.burst_dwell = cfg.get_double("workload.burst_dwell", 50.0);
+  s.workload.arrival = cfg.get("workload.arrival", "constant");
+  // Fail on an unknown preset here, listing the valid names, not deep
+  // inside a replication run (mirrors the eager `dist` resolution above).
+  if (!s.workload.all_at_start) make_arrival(s.workload);
 
   if (cfg.get_bool("failures.enabled", false)) {
     sim::FailureConfig f;

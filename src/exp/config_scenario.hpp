@@ -24,7 +24,9 @@ namespace gasched::exp {
 ///               insensitive), param_a, param_b, per-family named keys
 ///               (see exp/registry.hpp), count (1000), all_at_start
 ///               (true), mean_interarrival (1), burstiness (1),
-///               burst_dwell (50)
+///               burst_dwell (50), arrival (constant|diurnal|ramp|flash,
+///               plus the arrival_* shape keys of
+///               workload::make_rate_function)
 ///   [failures]  enabled (false), mean_uptime, mean_downtime, horizon,
 ///               failing_fraction
 ///

@@ -17,11 +17,7 @@ sim::SimulationResult run_one(const Scenario& scenario,
   util::Rng sim_rng = base.split(3 * rep + 2);
 
   const auto dist = make_distribution(scenario.workload);
-  workload::ArrivalConfig arrivals;
-  arrivals.all_at_start = scenario.workload.all_at_start;
-  arrivals.mean_interarrival = scenario.workload.mean_interarrival;
-  arrivals.burstiness = scenario.workload.burstiness;
-  arrivals.burst_dwell = scenario.workload.burst_dwell;
+  const workload::ArrivalConfig arrivals = make_arrival(scenario.workload);
   const workload::Workload wl = workload::generate(
       *dist, scenario.workload.count, workload_rng, arrivals);
   const sim::Cluster cluster = sim::build_cluster(scenario.cluster, cluster_rng);

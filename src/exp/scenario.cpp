@@ -28,6 +28,22 @@ std::unique_ptr<workload::SizeDistribution> make_distribution(
   return DistributionRegistry::instance().create(spec);
 }
 
+workload::ArrivalConfig make_arrival(const WorkloadSpec& spec) {
+  workload::ArrivalConfig arrivals;
+  arrivals.all_at_start = spec.all_at_start;
+  arrivals.mean_interarrival = spec.mean_interarrival;
+  arrivals.burstiness = spec.burstiness;
+  arrivals.burst_dwell = spec.burst_dwell;
+  // The constant preset stays on the legacy exponential-draw path (no
+  // rate function), so default-configured experiments keep their bytes.
+  if (!spec.all_at_start && !spec.arrival.empty() &&
+      spec.arrival != "constant") {
+    arrivals.rate_function = workload::make_rate_function(
+        spec.arrival, 1.0 / spec.mean_interarrival, spec.params);
+  }
+  return arrivals;
+}
+
 sim::ClusterConfig paper_cluster(double mean_comm_cost,
                                  std::size_t processors) {
   sim::ClusterConfig cfg;

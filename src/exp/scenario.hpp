@@ -72,7 +72,18 @@ struct WorkloadSpec {
   double burstiness = 1.0;
   /// Mean MMPP state dwell time (seconds).
   double burst_dwell = 50.0;
+  /// Arrival-rate preset when all_at_start is false: "constant" (plain
+  /// Poisson at 1/mean_interarrival, the default), or an inhomogeneous
+  /// λ(t) built by workload::make_rate_function ("diurnal", "ramp",
+  /// "flash") around the same base rate, with shape keys read from
+  /// `params`. Non-constant presets require burstiness == 1.
+  std::string arrival = "constant";
 };
+
+/// Realises the arrival process of `spec` (including a rate-function
+/// preset, built around base rate 1/mean_interarrival). Throws
+/// std::runtime_error listing the valid presets on an unknown name.
+workload::ArrivalConfig make_arrival(const WorkloadSpec& spec);
 
 /// Instantiates the size distribution for `spec` by registry name
 /// (case-insensitive). Throws std::runtime_error listing every registered

@@ -1,0 +1,70 @@
+#pragma once
+// Latency accounting for the serving runtime. Three preallocated
+// log-linear histograms, all owned and written by the master thread
+// (workers ship raw timestamps back through the completion rings, so no
+// recorder state is ever shared):
+//
+//   scheduling  arrival-due  → ring push   (admission queue + routing)
+//   queueing    ring push    → first instruction of the task on a worker
+//   sojourn     arrival-due  → completion  (end-to-end response time)
+//
+// record_*() never allocate; summaries carry the p50/p99/p999 the
+// serving benchmark reports. Quantiles are bucket upper bounds —
+// guaranteed >= the exact order statistic and within +6.25% of it (see
+// util/histogram.hpp).
+
+#include <cstdint>
+
+#include "util/histogram.hpp"
+
+namespace gasched::rt {
+
+/// Percentile digest of one latency dimension, in seconds.
+struct LatencySummary {
+  std::uint64_t count = 0;
+  double mean = 0.0;
+  double p50 = 0.0;
+  double p99 = 0.0;
+  double p999 = 0.0;
+  double max = 0.0;
+};
+
+class LatencyRecorder {
+ public:
+  /// Arrival-due → dispatch (nanoseconds).
+  void record_sched(std::uint64_t ns) noexcept { sched_.record(ns); }
+  /// Dispatch → execution start (nanoseconds).
+  void record_queue(std::uint64_t ns) noexcept { queue_.record(ns); }
+  /// Arrival-due → completion (nanoseconds).
+  void record_sojourn(std::uint64_t ns) noexcept { sojourn_.record(ns); }
+
+  LatencySummary sched() const noexcept { return summarize(sched_); }
+  LatencySummary queue() const noexcept { return summarize(queue_); }
+  LatencySummary sojourn() const noexcept { return summarize(sojourn_); }
+
+  void reset() noexcept {
+    sched_.reset();
+    queue_.reset();
+    sojourn_.reset();
+  }
+
+ private:
+  static LatencySummary summarize(
+      const util::LogLinearHistogram& h) noexcept {
+    constexpr double kNs = 1e-9;
+    LatencySummary s;
+    s.count = h.count();
+    s.mean = h.mean() * kNs;
+    s.p50 = static_cast<double>(h.quantile(0.50)) * kNs;
+    s.p99 = static_cast<double>(h.quantile(0.99)) * kNs;
+    s.p999 = static_cast<double>(h.quantile(0.999)) * kNs;
+    s.max = static_cast<double>(h.max()) * kNs;
+    return s;
+  }
+
+  util::LogLinearHistogram sched_;
+  util::LogLinearHistogram queue_;
+  util::LogLinearHistogram sojourn_;
+};
+
+}  // namespace gasched::rt

@@ -1,0 +1,48 @@
+#pragma once
+// INI configuration for the serving runtime: the [runtime] section maps
+// onto RuntimeConfig + ServeConfig so a serving benchmark is described by
+// the same declarative scenario files as the simulations
+// (run_scenario --serve).
+//
+//   [runtime]
+//   workers = 4              # worker thread count (all full speed), or:
+//   speeds = 1.0, 0.5, 0.25  # explicit per-worker speed factors (0, 1]
+//   work_scale = 0.01        # real MFLOPs executed per nominal MFLOP
+//   dispatch_latency = 0     # emulated mean dispatch latency (s), all
+//                            # workers; 0 = none (and no RNG draw)
+//   ring_capacity = 1024     # per-worker SPSC ring slots (rounded to 2^k)
+//   spin_polls = 4096        # empty polls before a worker parks
+//   seed = 1
+//   policy = rr              # rr | least_loaded | fastest
+//   rate = 1000              # base arrival rate λ (tasks/s)
+//   arrival = constant       # constant | diurnal | ramp | flash
+//   duration = 5             # arrival-window length (s)
+//   admission_batch = 32     # tasks routed per master loop iteration
+//   queue_capacity = 4096    # bounded admission queue (backpressure)
+//   overload = shed          # shed | block
+//
+// plus the arrival_* shape keys of workload::make_rate_function
+// (arrival_amplitude, arrival_period, arrival_start_factor, arrival_ramp,
+// arrival_flash_mult, arrival_flash_start, arrival_flash_width,
+// arrival_flash_every). Task sizes come from the regular [workload]
+// section. Unknown policy / arrival / overload names throw listing the
+// valid choices; validation is eager so a bad scenario file fails at
+// parse time, not minutes into a run.
+
+#include "rt/runtime.hpp"
+#include "util/config.hpp"
+
+namespace gasched::rt {
+
+/// Everything needed to run one serving benchmark.
+struct ServeSetup {
+  RuntimeConfig runtime;
+  ServeConfig serve;
+};
+
+/// Parses the [runtime] section of `cfg` (defaults above when absent).
+/// Throws std::runtime_error on invalid values, unknown policy names,
+/// unknown arrival presets, or unknown overload modes.
+ServeSetup serve_setup_from_config(const util::Config& cfg);
+
+}  // namespace gasched::rt

@@ -1,0 +1,97 @@
+#include "util/histogram.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+
+namespace gasched::util {
+
+namespace {
+
+// Buckets: kSubBuckets unit buckets for [0, kSubBuckets), then one block
+// of kSubBuckets sub-buckets per exponent e in [kSubBits, 63]. Block b
+// (1-based) covers [2^{b+kSubBits-1}, 2^{b+kSubBits}).
+constexpr std::size_t kBlocks =
+    64 - LogLinearHistogram::kSubBits;  // exponents kSubBits..63
+constexpr std::size_t kBucketCount =
+    (kBlocks + 1) * LogLinearHistogram::kSubBuckets;
+
+}  // namespace
+
+LogLinearHistogram::LogLinearHistogram() : counts_(kBucketCount, 0) {}
+
+std::size_t LogLinearHistogram::bucket_count() noexcept {
+  return kBucketCount;
+}
+
+std::size_t LogLinearHistogram::bucket_index(std::uint64_t value) noexcept {
+  if (value < kSubBuckets) return static_cast<std::size_t>(value);
+  const unsigned exp = std::bit_width(value) - 1;  // >= kSubBits
+  const unsigned shift = exp - kSubBits;
+  const std::size_t block = exp - kSubBits + 1;
+  const std::size_t sub =
+      static_cast<std::size_t>((value >> shift) & (kSubBuckets - 1));
+  return block * kSubBuckets + sub;
+}
+
+std::uint64_t LogLinearHistogram::bucket_lower_bound(
+    std::size_t index) noexcept {
+  if (index < kSubBuckets) return index;
+  const std::size_t block = index / kSubBuckets;  // >= 1
+  const std::uint64_t sub = index % kSubBuckets;
+  return (kSubBuckets + sub) << (block - 1);
+}
+
+std::uint64_t LogLinearHistogram::bucket_upper_bound(
+    std::size_t index) noexcept {
+  if (index < kSubBuckets) return index;
+  const std::size_t block = index / kSubBuckets;  // >= 1
+  const std::uint64_t width = 1ull << (block - 1);
+  return bucket_lower_bound(index) + (width - 1);
+}
+
+void LogLinearHistogram::record(std::uint64_t value) noexcept {
+  ++counts_[bucket_index(value)];
+  ++count_;
+  min_ = std::min(min_, value);
+  max_ = std::max(max_, value);
+  sum_ += static_cast<double>(value);
+}
+
+std::uint64_t LogLinearHistogram::quantile(double q) const noexcept {
+  if (count_ == 0) return 0;
+  q = std::clamp(q, 0.0, 1.0);
+  const std::uint64_t target = std::max<std::uint64_t>(
+      1, static_cast<std::uint64_t>(
+             std::ceil(q * static_cast<double>(count_))));
+  std::uint64_t seen = 0;
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    seen += counts_[i];
+    if (seen >= target) {
+      // The top bucket's upper bound can overshoot the true maximum;
+      // clamp so quantile(1) == max().
+      return std::min(bucket_upper_bound(i), max_);
+    }
+  }
+  return max_;
+}
+
+void LogLinearHistogram::reset() noexcept {
+  std::fill(counts_.begin(), counts_.end(), 0);
+  count_ = 0;
+  min_ = ~0ull;
+  max_ = 0;
+  sum_ = 0.0;
+}
+
+void LogLinearHistogram::merge(const LogLinearHistogram& other) noexcept {
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    counts_[i] += other.counts_[i];
+  }
+  count_ += other.count_;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+  sum_ += other.sum_;
+}
+
+}  // namespace gasched::util

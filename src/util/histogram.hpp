@@ -1,0 +1,76 @@
+#pragma once
+// Fixed-bucket log-linear histogram for latency recording.
+//
+// Values are non-negative 64-bit integers (nanoseconds, in the serving
+// runtime). The bucket layout is fixed at construction and never grows:
+// values below kSubBuckets get exact unit buckets; above that, every
+// power-of-two range [2^e, 2^{e+1}) splits into kSubBuckets linear
+// sub-buckets, so any recorded value lands in a bucket whose width is at
+// most value/kSubBuckets — a guaranteed relative quantile error of
+// 1/kSubBuckets (6.25% at the default 16 sub-buckets), like HdrHistogram
+// at 4 significant bits.
+//
+// record() is allocation-free, branch-light (bit_width + shifts), and
+// O(1); quantile() scans the ~1000 buckets. Single-threaded by design —
+// the runtime's master thread owns every recorder (workers ship raw
+// timestamps through the completion rings instead of sharing state).
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace gasched::util {
+
+class LogLinearHistogram {
+ public:
+  /// Sub-bucket resolution: 2^4 = 16 linear sub-buckets per power of two.
+  static constexpr unsigned kSubBits = 4;
+  static constexpr std::uint64_t kSubBuckets = 1ull << kSubBits;
+
+  /// Preallocates every bucket (the full 64-bit value range is covered).
+  LogLinearHistogram();
+
+  /// Records one value. Never allocates.
+  void record(std::uint64_t value) noexcept;
+
+  /// Number of recorded values.
+  std::uint64_t count() const noexcept { return count_; }
+  /// Smallest recorded value (0 when empty).
+  std::uint64_t min() const noexcept { return count_ == 0 ? 0 : min_; }
+  /// Largest recorded value (0 when empty).
+  std::uint64_t max() const noexcept { return max_; }
+  /// Mean of the recorded values, exact (0 when empty).
+  double mean() const noexcept {
+    return count_ == 0 ? 0.0 : sum_ / static_cast<double>(count_);
+  }
+
+  /// Value at quantile q in [0, 1]: the inclusive upper bound of the
+  /// bucket holding the ceil(q·count)-th smallest sample, clamped to
+  /// max(). Guaranteed >= the exact order statistic and within a factor
+  /// of (1 + 1/kSubBuckets) of it. Returns 0 when empty.
+  std::uint64_t quantile(double q) const noexcept;
+
+  /// Forgets all recorded values (buckets stay allocated).
+  void reset() noexcept;
+
+  /// Adds every bucket count of `other` into this histogram.
+  void merge(const LogLinearHistogram& other) noexcept;
+
+  /// Bucket index for a value — exposed for the boundary tests.
+  static std::size_t bucket_index(std::uint64_t value) noexcept;
+  /// Smallest value mapping to bucket `index`.
+  static std::uint64_t bucket_lower_bound(std::size_t index) noexcept;
+  /// Largest value mapping to bucket `index` (inclusive).
+  static std::uint64_t bucket_upper_bound(std::size_t index) noexcept;
+  /// Total number of buckets.
+  static std::size_t bucket_count() noexcept;
+
+ private:
+  std::vector<std::uint64_t> counts_;
+  std::uint64_t count_ = 0;
+  std::uint64_t min_ = ~0ull;
+  std::uint64_t max_ = 0;
+  double sum_ = 0.0;
+};
+
+}  // namespace gasched::util

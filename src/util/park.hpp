@@ -1,0 +1,70 @@
+#pragma once
+// Spin-then-park handshake between one sleeper and its wakers.
+//
+// The serving runtime's workers spin on their SPSC inbox while loaded and
+// must fall back to a blocking wait when idle — without ever losing a
+// wakeup, and without the producer paying a mutex on the steady-state
+// dispatch path. Parker packages the standard store-buffer-safe protocol:
+//
+//   sleeper:                          waker (after publishing work):
+//     prepare();   // flag + fence      notify();  // fence + flag check
+//     if (work) { cancel(); ... }
+//     park();      // blocks
+//
+// Both sides fence seq_cst between "write my side" and "read the other
+// side" (the Dekker pattern), so at least one of them observes the other:
+// either the sleeper sees the published work and cancels, or the waker
+// sees the park intent and takes the (idle-path-only) mutex to notify.
+// The steady-state cost for the waker when nobody is parked is one fence
+// and one relaxed load — no mutex, no syscall.
+
+#include <atomic>
+#include <condition_variable>
+#include <mutex>
+
+namespace gasched::util {
+
+class Parker {
+ public:
+  /// Sleeper: announce park intent. Follow with a re-check of the wait
+  /// condition, then either cancel() or park().
+  void prepare() noexcept {
+    parked_.store(true, std::memory_order_relaxed);
+    std::atomic_thread_fence(std::memory_order_seq_cst);
+  }
+
+  /// Sleeper: abort a prepare() because work turned out to be available.
+  void cancel() noexcept {
+    parked_.store(false, std::memory_order_relaxed);
+  }
+
+  /// Sleeper: block until a waker clears the park flag. Must be preceded
+  /// by prepare(); spurious wakeups are absorbed by the predicate.
+  void park() {
+    std::unique_lock<std::mutex> lk(mu_);
+    cv_.wait(lk, [&] { return !parked_.load(std::memory_order_relaxed); });
+  }
+
+  /// Waker: wake the sleeper iff it is parked (or about to park). Cheap
+  /// when nobody is parked: one fence + one relaxed load.
+  void notify() {
+    std::atomic_thread_fence(std::memory_order_seq_cst);
+    if (parked_.load(std::memory_order_relaxed)) {
+      {
+        // Clearing the flag under the mutex pins the sleeper either
+        // before its predicate check (sees the cleared flag) or inside
+        // wait() (receives the notify) — no lost-wakeup window.
+        std::lock_guard<std::mutex> lk(mu_);
+        parked_.store(false, std::memory_order_relaxed);
+      }
+      cv_.notify_one();
+    }
+  }
+
+ private:
+  std::atomic<bool> parked_{false};
+  std::mutex mu_;
+  std::condition_variable cv_;
+};
+
+}  // namespace gasched::util

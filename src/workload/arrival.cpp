@@ -1,0 +1,176 @@
+#include "workload/arrival.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+namespace gasched::workload {
+
+ConstantRate::ConstantRate(double rate_per_sec) : rate_(rate_per_sec) {
+  if (!(rate_per_sec > 0.0)) {
+    throw std::invalid_argument("ConstantRate: rate must be > 0");
+  }
+}
+
+DiurnalRate::DiurnalRate(double base, double amplitude, double period)
+    : base_(base), amplitude_(amplitude), period_(period) {
+  if (!(base > 0.0) || amplitude < 0.0 || amplitude > 1.0 ||
+      !(period > 0.0)) {
+    throw std::invalid_argument(
+        "DiurnalRate: need base > 0, amplitude in [0, 1], period > 0");
+  }
+}
+
+double DiurnalRate::rate(double t) const {
+  constexpr double kTwoPi = 6.283185307179586476925286766559;
+  return base_ * (1.0 + amplitude_ * std::sin(kTwoPi * t / period_));
+}
+
+RampRate::RampRate(double base, double start_factor, double ramp_seconds)
+    : base_(base), start_factor_(start_factor), ramp_(ramp_seconds) {
+  if (!(base > 0.0) || start_factor < 0.0 || start_factor > 1.0 ||
+      !(ramp_seconds > 0.0)) {
+    throw std::invalid_argument(
+        "RampRate: need base > 0, start_factor in [0, 1], ramp > 0");
+  }
+}
+
+double RampRate::rate(double t) const {
+  const double f = std::clamp(t / ramp_, 0.0, 1.0);
+  return base_ * (start_factor_ + (1.0 - start_factor_) * f);
+}
+
+FlashCrowdRate::FlashCrowdRate(double base, double multiplier, double start,
+                               double width, double every)
+    : base_(base),
+      multiplier_(multiplier),
+      start_(start),
+      width_(width),
+      every_(every) {
+  if (!(base > 0.0) || multiplier < 1.0 || start < 0.0 || !(width > 0.0) ||
+      (every != 0.0 && every < width)) {
+    throw std::invalid_argument(
+        "FlashCrowdRate: need base > 0, multiplier >= 1, start >= 0, "
+        "width > 0, every == 0 or every >= width");
+  }
+}
+
+double FlashCrowdRate::rate(double t) const {
+  double offset = t - start_;
+  if (every_ > 0.0 && offset >= 0.0) offset = std::fmod(offset, every_);
+  const bool in_spike = offset >= 0.0 && offset < width_;
+  return in_spike ? base_ * multiplier_ : base_;
+}
+
+const std::string& arrival_preset_names() {
+  static const std::string names = "constant, diurnal, flash, ramp";
+  return names;
+}
+
+std::unique_ptr<RateFunction> make_rate_function(const std::string& name,
+                                                 double base_rate,
+                                                 const exp::Params& params) {
+  std::string key = name;
+  std::transform(key.begin(), key.end(), key.begin(),
+                 [](unsigned char c) { return std::tolower(c); });
+  if (key.empty() || key == "constant" || key == "poisson") {
+    return std::make_unique<ConstantRate>(base_rate);
+  }
+  if (key == "diurnal") {
+    return std::make_unique<DiurnalRate>(
+        base_rate, params.get_double("arrival_amplitude", 0.8),
+        params.get_double("arrival_period", 600.0));
+  }
+  if (key == "ramp") {
+    return std::make_unique<RampRate>(
+        base_rate, params.get_double("arrival_start_factor", 0.0),
+        params.get_double("arrival_ramp", 300.0));
+  }
+  if (key == "flash") {
+    return std::make_unique<FlashCrowdRate>(
+        base_rate, params.get_double("arrival_flash_mult", 10.0),
+        params.get_double("arrival_flash_start", 60.0),
+        params.get_double("arrival_flash_width", 30.0),
+        params.get_double("arrival_flash_every", 0.0));
+  }
+  throw std::runtime_error("unknown arrival preset '" + name +
+                           "' (valid: " + arrival_preset_names() + ")");
+}
+
+ArrivalSource ArrivalSource::constant(double mean_interarrival) {
+  if (!(mean_interarrival > 0.0)) {
+    throw std::invalid_argument(
+        "ArrivalSource: mean_interarrival must be > 0");
+  }
+  ArrivalSource s;
+  s.kind_ = Kind::kConstant;
+  s.mean_ia_ = mean_interarrival;
+  return s;
+}
+
+ArrivalSource ArrivalSource::mmpp(double mean_interarrival, double burstiness,
+                                  double burst_dwell, util::Rng& rng) {
+  if (!(mean_interarrival > 0.0) || burstiness < 1.0 ||
+      !(burst_dwell > 0.0)) {
+    throw std::invalid_argument(
+        "ArrivalSource: need mean_interarrival > 0, burstiness >= 1, "
+        "burst_dwell > 0");
+  }
+  ArrivalSource s;
+  s.kind_ = Kind::kMmpp;
+  s.mean_ia_ = mean_interarrival;
+  s.burstiness_ = burstiness;
+  s.dwell_ = burst_dwell;
+  s.on_ = true;
+  // The first state-switch instant is drawn at construction, before any
+  // arrival — the draw order the generator has always used.
+  s.switch_t_ = rng.exponential(burst_dwell);
+  return s;
+}
+
+ArrivalSource ArrivalSource::thinned(const RateFunction& fn) {
+  if (!(fn.max_rate() > 0.0)) {
+    throw std::invalid_argument("ArrivalSource: max_rate() must be > 0");
+  }
+  ArrivalSource s;
+  s.kind_ = Kind::kThinned;
+  s.fn_ = &fn;
+  return s;
+}
+
+double ArrivalSource::next(util::Rng& rng) {
+  switch (kind_) {
+    case Kind::kConstant:
+      t_ += rng.exponential(mean_ia_);
+      return t_;
+    case Kind::kMmpp:
+      // Exponential inter-arrivals are memoryless, so discarding the
+      // partial draw at a state switch and redrawing at the new rate is
+      // exact.
+      for (;;) {
+        const double mean =
+            on_ ? mean_ia_ / burstiness_ : mean_ia_ * burstiness_;
+        const double ia = rng.exponential(mean);
+        if (t_ + ia <= switch_t_) {
+          t_ += ia;
+          return t_;
+        }
+        t_ = switch_t_;
+        on_ = !on_;
+        switch_t_ = t_ + rng.exponential(dwell_);
+      }
+    case Kind::kThinned: {
+      // Lewis–Shedler: candidates at the majorant rate λ_max, accepted
+      // with probability λ(t)/λ_max.
+      const double lam_max = fn_->max_rate();
+      for (;;) {
+        t_ += rng.exponential(1.0 / lam_max);
+        if (rng.uniform01() * lam_max <= fn_->rate(t_)) return t_;
+      }
+    }
+  }
+  return t_;  // unreachable
+}
+
+}  // namespace gasched::workload

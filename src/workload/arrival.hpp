@@ -1,0 +1,167 @@
+#pragma once
+// Open-loop arrival processes shared by the simulator and the serving
+// runtime — one λ(t) implementation for both.
+//
+// A RateFunction describes an instantaneous arrival rate λ(t) in tasks
+// per second (simulated seconds in workload::generate, wall-clock
+// seconds in rt::Runtime::serve). An ArrivalSource turns one into a
+// stream of arrival instants:
+//
+//  * constant rate — plain Poisson process, one exponential draw per
+//    arrival. This path reproduces the pre-existing generator stream
+//    bit-for-bit, so every all-constant-rate experiment keeps its bytes.
+//  * bursty (two-state MMPP) — the legacy burstiness > 1 clumping model,
+//    moved here verbatim from workload::generate.
+//  * inhomogeneous λ(t) — Lewis–Shedler thinning against max_rate():
+//    candidate arrivals at the constant majorant rate, accepted with
+//    probability λ(t)/λ_max (the simulation recipe of the IPPP survey,
+//    arXiv:1901.10754). Exact for any bounded rate function.
+//
+// Presets (diurnal / ramp / flash crowd) are constructed by name through
+// make_rate_function; unknown names throw listing every valid preset,
+// matching the registry conventions used for schedulers/distributions.
+
+#include <memory>
+#include <string>
+
+#include "exp/params.hpp"
+#include "util/rng.hpp"
+
+namespace gasched::workload {
+
+/// Instantaneous arrival rate λ(t) ≥ 0, bounded above by max_rate().
+class RateFunction {
+ public:
+  virtual ~RateFunction() = default;
+  /// λ(t) in arrivals per second; must satisfy 0 <= rate(t) <= max_rate().
+  virtual double rate(double t) const = 0;
+  /// Finite supremum of λ over t — the thinning majorant.
+  virtual double max_rate() const = 0;
+  /// Preset name ("constant", "diurnal", "ramp", "flash").
+  virtual std::string name() const = 0;
+};
+
+/// λ(t) = λ — the homogeneous Poisson process.
+class ConstantRate final : public RateFunction {
+ public:
+  /// Requires rate > 0.
+  explicit ConstantRate(double rate_per_sec);
+  double rate(double) const override { return rate_; }
+  double max_rate() const override { return rate_; }
+  std::string name() const override { return "constant"; }
+
+ private:
+  double rate_;
+};
+
+/// λ(t) = base (1 + a sin(2πt/period)) — a smooth diurnal cycle whose
+/// mean rate over one period is exactly `base`.
+class DiurnalRate final : public RateFunction {
+ public:
+  /// Requires base > 0, amplitude in [0, 1], period > 0.
+  DiurnalRate(double base, double amplitude, double period);
+  double rate(double t) const override;
+  double max_rate() const override { return base_ * (1.0 + amplitude_); }
+  std::string name() const override { return "diurnal"; }
+
+ private:
+  double base_, amplitude_, period_;
+};
+
+/// λ(t) ramps linearly from base·start_factor at t = 0 to base at
+/// t = ramp_seconds, then stays at base — a warm-up / load-increase
+/// profile.
+class RampRate final : public RateFunction {
+ public:
+  /// Requires base > 0, start_factor in [0, 1], ramp_seconds > 0.
+  RampRate(double base, double start_factor, double ramp_seconds);
+  double rate(double t) const override;
+  double max_rate() const override { return base_; }
+  std::string name() const override { return "ramp"; }
+
+ private:
+  double base_, start_factor_, ramp_;
+};
+
+/// λ(t) = base, except ×multiplier inside spike windows of the given
+/// width starting at `start` (repeating every `every` seconds when
+/// every > 0; a single spike otherwise) — a flash crowd.
+class FlashCrowdRate final : public RateFunction {
+ public:
+  /// Requires base > 0, multiplier >= 1, width > 0, every == 0 or
+  /// every >= width.
+  FlashCrowdRate(double base, double multiplier, double start, double width,
+                 double every = 0.0);
+  double rate(double t) const override;
+  double max_rate() const override { return base_ * multiplier_; }
+  std::string name() const override { return "flash"; }
+
+ private:
+  double base_, multiplier_, start_, width_, every_;
+};
+
+/// Comma-separated list of the valid preset names, for help text and
+/// error messages.
+const std::string& arrival_preset_names();
+
+/// Builds a rate-function preset by name (case-insensitive) around the
+/// given base rate (arrivals per second). Shape keys, all optional, are
+/// read from `params` (the [workload] or [runtime] INI section):
+///
+///   diurnal  arrival_amplitude (0.8), arrival_period (600)
+///   ramp     arrival_start_factor (0), arrival_ramp (300)
+///   flash    arrival_flash_mult (10), arrival_flash_start (60),
+///            arrival_flash_width (30), arrival_flash_every (0 = once)
+///
+/// Throws std::runtime_error listing every valid preset when `name` is
+/// unknown.
+std::unique_ptr<RateFunction> make_rate_function(const std::string& name,
+                                                 double base_rate,
+                                                 const exp::Params& params);
+
+/// Stateful sampler of arrival instants. Construct through one of the
+/// factories, then call next(rng) once per arrival; times are absolute
+/// and non-decreasing from 0.
+class ArrivalSource {
+ public:
+  /// Homogeneous Poisson process with the given mean inter-arrival time.
+  /// One rng.exponential(mean) draw per arrival (the legacy stream).
+  static ArrivalSource constant(double mean_interarrival);
+
+  /// Two-state MMPP: ON-state inter-arrivals mean/burstiness, OFF-state
+  /// mean×burstiness, exponential dwell of mean `burst_dwell` in each
+  /// state. Draws the first state-switch instant from `rng` at
+  /// construction (the legacy draw order). Requires burstiness >= 1.
+  static ArrivalSource mmpp(double mean_interarrival, double burstiness,
+                            double burst_dwell, util::Rng& rng);
+
+  /// Inhomogeneous Poisson process with rate λ(t) via thinning. The rate
+  /// function is borrowed — the caller keeps it alive for the source's
+  /// lifetime.
+  static ArrivalSource thinned(const RateFunction& fn);
+
+  /// Absolute time of the next arrival (advances internal state). Never
+  /// allocates.
+  double next(util::Rng& rng);
+
+  /// Time of the most recently returned arrival (0 before the first).
+  double now() const noexcept { return t_; }
+
+ private:
+  enum class Kind { kConstant, kMmpp, kThinned };
+  ArrivalSource() = default;
+
+  Kind kind_ = Kind::kConstant;
+  double t_ = 0.0;
+  // constant + MMPP
+  double mean_ia_ = 1.0;
+  // MMPP
+  double burstiness_ = 1.0;
+  double dwell_ = 50.0;
+  bool on_ = true;
+  double switch_t_ = 0.0;
+  // thinning
+  const RateFunction* fn_ = nullptr;
+};
+
+}  // namespace gasched::workload

@@ -52,38 +52,34 @@ Workload generate(const SizeDistribution& dist, std::size_t count,
   if (arrivals.burstiness < 1.0) {
     throw std::invalid_argument("ArrivalConfig: burstiness must be >= 1");
   }
+  if (arrivals.rate_function && arrivals.burstiness > 1.0) {
+    throw std::invalid_argument(
+        "ArrivalConfig: rate_function and burstiness > 1 are mutually "
+        "exclusive");
+  }
   Workload w;
   w.tasks.reserve(count);
-  double t = 0.0;
-  // Two-state MMPP bookkeeping (unused when burstiness == 1). The
-  // exponential inter-arrival is memoryless, so discarding the partial
-  // draw at a state switch and redrawing at the new rate is exact.
-  const bool bursty = !arrivals.all_at_start && arrivals.burstiness > 1.0;
-  bool on = true;
-  double switch_t =
-      bursty ? rng.exponential(arrivals.burst_dwell)
-             : std::numeric_limits<double>::infinity();
+  // The arrival stream is delegated to the ArrivalSource shared with the
+  // serving runtime. Construction order matters for stream stability: the
+  // MMPP source draws its first state-switch instant here, before any
+  // size sample — exactly the draw order the inline implementation used —
+  // and the constant-rate source draws one exponential per arrival, so
+  // pre-rate-function experiments keep their bytes.
+  const bool streaming = !arrivals.all_at_start;
+  ArrivalSource source =
+      !streaming ? ArrivalSource::constant(1.0)
+      : arrivals.rate_function
+          ? ArrivalSource::thinned(*arrivals.rate_function)
+      : arrivals.burstiness > 1.0
+          ? ArrivalSource::mmpp(arrivals.mean_interarrival,
+                                arrivals.burstiness, arrivals.burst_dwell,
+                                rng)
+          : ArrivalSource::constant(arrivals.mean_interarrival);
   for (std::size_t i = 0; i < count; ++i) {
     Task task;
     task.id = static_cast<TaskId>(i);
     task.size_mflops = dist.sample(rng);
-    if (!arrivals.all_at_start) {
-      for (;;) {
-        const double mean_ia =
-            !bursty ? arrivals.mean_interarrival
-                    : (on ? arrivals.mean_interarrival / arrivals.burstiness
-                          : arrivals.mean_interarrival * arrivals.burstiness);
-        const double ia = rng.exponential(mean_ia);
-        if (t + ia <= switch_t) {
-          t += ia;
-          break;
-        }
-        t = switch_t;
-        on = !on;
-        switch_t = t + rng.exponential(arrivals.burst_dwell);
-      }
-      task.arrival_time = t;
-    }
+    if (streaming) task.arrival_time = source.next(rng);
     w.tasks.push_back(task);
   }
   return w;

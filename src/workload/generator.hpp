@@ -8,6 +8,7 @@
 #include <string>
 
 #include "util/rng.hpp"
+#include "workload/arrival.hpp"
 #include "workload/task.hpp"
 
 namespace gasched::workload {
@@ -94,7 +95,8 @@ class ConstantSizes final : public SizeDistribution {
 
 /// Arrival process configuration.
 ///
-/// Three regimes:
+/// Four regimes (all realised through workload::ArrivalSource, the λ(t)
+/// implementation shared with the serving runtime):
 ///  * all_at_start (the paper's §4.2 setup) — every task arrives at t = 0;
 ///  * Poisson process — exponential inter-arrivals with the given mean;
 ///  * bursty (two-state MMPP) — when `burstiness` > 1, the process
@@ -104,7 +106,10 @@ class ConstantSizes final : public SizeDistribution {
 ///    state dwell times of mean `burst_dwell`. This models the arrival
 ///    clumping real submission streams show, which the paper's dynamic
 ///    design (§3, "tasks ... arrive randomly") targets but its
-///    experiments never exercise.
+///    experiments never exercise;
+///  * inhomogeneous Poisson — when `rate_function` is set, arrivals
+///    follow λ(t) via thinning (diurnal cycles, ramps, flash crowds; see
+///    workload/arrival.hpp). Mutually exclusive with burstiness > 1.
 struct ArrivalConfig {
   /// If true, every task arrives at t = 0 (the paper's experimental setup,
   /// §4.2: "All of the tasks arrived for scheduling at the beginning of
@@ -117,6 +122,10 @@ struct ArrivalConfig {
   double burstiness = 1.0;
   /// Mean dwell time in each MMPP state (seconds), when burstiness > 1.
   double burst_dwell = 50.0;
+  /// Inhomogeneous arrival rate λ(t); null = homogeneous process at
+  /// 1/mean_interarrival (bit-identical to the pre-rate-function
+  /// generator stream). Requires burstiness == 1 when set.
+  std::shared_ptr<const RateFunction> rate_function;
 };
 
 /// Generates `count` tasks with sizes from `dist` and arrivals from

@@ -1,0 +1,153 @@
+// Tests for the log-linear histogram and the serving runtime's latency
+// recorder: bucket-boundary invariants, quantiles checked against an
+// exact sorted reference, and the recorder's seconds-based summaries.
+
+#include "rt/latency.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+#include "util/histogram.hpp"
+#include "util/rng.hpp"
+
+namespace gasched {
+namespace {
+
+using util::LogLinearHistogram;
+
+TEST(LogLinearHistogram, UnitBucketsAreExactBelowSixteen) {
+  for (std::uint64_t v = 0; v < LogLinearHistogram::kSubBuckets; ++v) {
+    const std::size_t idx = LogLinearHistogram::bucket_index(v);
+    EXPECT_EQ(idx, v);
+    EXPECT_EQ(LogLinearHistogram::bucket_lower_bound(idx), v);
+    EXPECT_EQ(LogLinearHistogram::bucket_upper_bound(idx), v);
+  }
+}
+
+TEST(LogLinearHistogram, BucketBoundsBracketEveryValue) {
+  // For a spread of values across the whole 64-bit range: the value lies
+  // inside its bucket's [lower, upper], the bounds map back to the same
+  // bucket, and the relative bucket width never exceeds 1/kSubBuckets.
+  util::Rng rng(17);
+  std::vector<std::uint64_t> values;
+  for (unsigned e = 0; e < 63; ++e) {
+    values.push_back(1ull << e);
+    values.push_back((1ull << e) + 1);
+    values.push_back((1ull << e) - 1);
+    values.push_back((1ull << e) | static_cast<std::uint64_t>(
+                                       rng.uniform(0.0, double(1ull << e))));
+  }
+  for (const std::uint64_t v : values) {
+    const std::size_t idx = LogLinearHistogram::bucket_index(v);
+    ASSERT_LT(idx, LogLinearHistogram::bucket_count());
+    const std::uint64_t lo = LogLinearHistogram::bucket_lower_bound(idx);
+    const std::uint64_t hi = LogLinearHistogram::bucket_upper_bound(idx);
+    ASSERT_LE(lo, v);
+    ASSERT_GE(hi, v);
+    EXPECT_EQ(LogLinearHistogram::bucket_index(lo), idx);
+    EXPECT_EQ(LogLinearHistogram::bucket_index(hi), idx);
+    if (v >= LogLinearHistogram::kSubBuckets) {
+      const double width = static_cast<double>(hi - lo + 1);
+      EXPECT_LE(width / static_cast<double>(lo),
+                1.0 / static_cast<double>(LogLinearHistogram::kSubBuckets) +
+                    1e-12);
+    }
+  }
+}
+
+TEST(LogLinearHistogram, AdjacentBucketsTile) {
+  // Buckets partition the value line: upper(i) + 1 == lower(i + 1).
+  for (std::size_t i = 0; i + 1 < 400; ++i) {
+    EXPECT_EQ(LogLinearHistogram::bucket_upper_bound(i) + 1,
+              LogLinearHistogram::bucket_lower_bound(i + 1))
+        << "at bucket " << i;
+  }
+}
+
+TEST(LogLinearHistogram, QuantilesMatchSortedReference) {
+  // Log-normal-ish latencies spanning ~5 decades: each quantile must be
+  // >= the exact order statistic and within the 6.25% bucket-width bound.
+  util::Rng rng(23);
+  LogLinearHistogram h;
+  std::vector<std::uint64_t> ref;
+  for (int i = 0; i < 20000; ++i) {
+    const double v = std::exp(rng.normal(10.0, 2.0));  // ~e^10 ns median
+    const auto ns = static_cast<std::uint64_t>(v);
+    h.record(ns);
+    ref.push_back(ns);
+  }
+  std::sort(ref.begin(), ref.end());
+  for (const double q : {0.5, 0.9, 0.99, 0.999}) {
+    const std::uint64_t exact =
+        ref[static_cast<std::size_t>(
+                std::ceil(q * static_cast<double>(ref.size()))) -
+            1];
+    const std::uint64_t approx = h.quantile(q);
+    EXPECT_GE(approx, exact) << "q=" << q;
+    EXPECT_LE(static_cast<double>(approx),
+              static_cast<double>(exact) * (1.0 + 1.0 / 16.0) + 1.0)
+        << "q=" << q;
+  }
+  EXPECT_EQ(h.quantile(1.0), ref.back());  // clamped to the true max
+  EXPECT_EQ(h.count(), ref.size());
+  EXPECT_EQ(h.min(), ref.front());
+  EXPECT_EQ(h.max(), ref.back());
+}
+
+TEST(LogLinearHistogram, EmptyResetAndMerge) {
+  LogLinearHistogram h;
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.quantile(0.99), 0u);
+  EXPECT_EQ(h.mean(), 0.0);
+  h.record(100);
+  h.record(200);
+  EXPECT_NEAR(h.mean(), 150.0, 1e-9);
+  h.reset();
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.max(), 0u);
+
+  LogLinearHistogram a, b;
+  a.record(10);
+  b.record(1000);
+  a.merge(b);
+  EXPECT_EQ(a.count(), 2u);
+  EXPECT_EQ(a.min(), 10u);
+  EXPECT_EQ(a.max(), 1000u);
+}
+
+TEST(LatencyRecorder, SummariesAreInSecondsAndOrdered) {
+  rt::LatencyRecorder rec;
+  util::Rng rng(31);
+  // 1–10 ms scheduling latencies.
+  for (int i = 0; i < 5000; ++i) {
+    rec.record_sched(
+        static_cast<std::uint64_t>(rng.uniform(1.0e6, 10.0e6)));
+  }
+  const rt::LatencySummary s = rec.sched();
+  EXPECT_EQ(s.count, 5000u);
+  EXPECT_GT(s.mean, 0.001);
+  EXPECT_LT(s.mean, 0.010);
+  EXPECT_LE(s.p50, s.p99);
+  EXPECT_LE(s.p99, s.p999);
+  EXPECT_LE(s.p999, s.max * (1.0 + 1e-12));
+  EXPECT_GT(s.p50, 0.001);
+  EXPECT_LT(s.max, 0.011);
+
+  // Dimensions are independent.
+  EXPECT_EQ(rec.queue().count, 0u);
+  EXPECT_EQ(rec.sojourn().count, 0u);
+  rec.record_queue(500);
+  rec.record_sojourn(1500);
+  EXPECT_EQ(rec.queue().count, 1u);
+  EXPECT_EQ(rec.sojourn().count, 1u);
+  rec.reset();
+  EXPECT_EQ(rec.sched().count, 0u);
+  EXPECT_EQ(rec.queue().count, 0u);
+}
+
+}  // namespace
+}  // namespace gasched

@@ -155,5 +155,129 @@ TEST(Runtime, HostCalibrationIsPositive) {
   EXPECT_GT(runtime.host_mflops(), 0.0);
 }
 
+// --- Serve mode (open-loop arrivals over the SPSC dispatch plane) ------
+
+ServeConfig quick_serve(double duration = 0.2, double rate = 2000.0) {
+  ServeConfig cfg;
+  cfg.duration_s = duration;
+  cfg.rate = rate;
+  return cfg;
+}
+
+TEST(RuntimeServe, CompletesAndAccounts) {
+  Runtime runtime(quick_config(3), sched::make_rr());
+  const workload::ConstantSizes sizes(1.0);
+  const ServeResult r = runtime.serve(quick_serve(), sizes);
+  EXPECT_GT(r.offered, 0u);
+  EXPECT_EQ(r.offered, r.admitted + r.shed);
+  EXPECT_EQ(r.completed, r.admitted);  // window is fully drained
+  EXPECT_GT(r.throughput_per_sec, 0.0);
+  // Latency summaries cover every completed task and are ordered.
+  EXPECT_EQ(r.sched_latency.count, r.completed);
+  EXPECT_EQ(r.queue_latency.count, r.completed);
+  EXPECT_EQ(r.sojourn.count, r.completed);
+  EXPECT_LE(r.sched_latency.p50, r.sched_latency.p99);
+  EXPECT_LE(r.sched_latency.p99, r.sched_latency.p999);
+  EXPECT_GE(r.sojourn.p50, r.queue_latency.p50);  // sojourn ⊇ queueing
+  // Per-worker accounting adds up to the window's completions.
+  std::size_t tasks = 0;
+  for (const auto& w : r.per_worker) tasks += w.tasks;
+  EXPECT_EQ(tasks, r.completed);
+}
+
+TEST(RuntimeServe, AllRoutePoliciesServe) {
+  const workload::ConstantSizes sizes(1.0);
+  for (const char* policy : {"rr", "least_loaded", "fastest"}) {
+    Runtime runtime(quick_config(2), sched::make_rr());
+    ServeConfig cfg = quick_serve(0.1);
+    cfg.policy = policy;
+    const ServeResult r = runtime.serve(cfg, sizes);
+    EXPECT_EQ(r.completed, r.admitted) << policy;
+    EXPECT_GT(r.completed, 0u) << policy;
+  }
+}
+
+TEST(RuntimeServe, RepeatedWindowsAreIndependent) {
+  Runtime runtime(quick_config(2), sched::make_rr());
+  const workload::ConstantSizes sizes(1.0);
+  const ServeResult a = runtime.serve(quick_serve(0.1), sizes);
+  const ServeResult b = runtime.serve(quick_serve(0.1), sizes);
+  EXPECT_EQ(a.completed, a.admitted);
+  EXPECT_EQ(b.completed, b.admitted);
+  // The second window reports only its own tasks.
+  std::size_t tasks = 0;
+  for (const auto& w : b.per_worker) tasks += w.tasks;
+  EXPECT_EQ(tasks, b.completed);
+}
+
+TEST(RuntimeServe, ShedsUnderOverloadWithTinyQueue) {
+  RuntimeConfig rcfg = quick_config(1);
+  rcfg.work_scale = 1.0;   // ~1 real MFLOP per task: the worker saturates
+  rcfg.ring_capacity = 16;  // small ring => backpressure reaches the queue
+  Runtime runtime(rcfg, sched::make_rr());
+  const workload::ConstantSizes sizes(1.0);
+  ServeConfig cfg = quick_serve(0.2, 20000.0);
+  cfg.queue_capacity = 8;
+  const ServeResult r = runtime.serve(cfg, sizes);
+  EXPECT_GT(r.shed, 0u);
+  EXPECT_EQ(r.offered, r.admitted + r.shed);
+  EXPECT_EQ(r.completed, r.admitted);
+}
+
+TEST(RuntimeServe, ArrivalPresetsDriveTheWindow) {
+  Runtime runtime(quick_config(2), sched::make_rr());
+  const workload::ConstantSizes sizes(1.0);
+  ServeConfig flash = quick_serve(0.2, 2000.0);
+  flash.arrival = "flash";
+  flash.arrival_params.set("arrival_flash_start", 0.05);
+  flash.arrival_params.set("arrival_flash_width", 0.05);
+  flash.arrival_params.set("arrival_flash_mult", 5.0);
+  const ServeResult r = runtime.serve(flash, sizes);
+  EXPECT_GT(r.completed, 0u);
+  EXPECT_EQ(r.completed, r.admitted);
+}
+
+TEST(RuntimeServe, RejectsBadConfigs) {
+  Runtime runtime(quick_config(1), sched::make_rr());
+  const workload::ConstantSizes sizes(1.0);
+  ServeConfig bad = quick_serve();
+  bad.policy = "nope";
+  EXPECT_THROW(runtime.serve(bad, sizes), std::runtime_error);
+  ServeConfig bad2 = quick_serve();
+  bad2.arrival = "lunar";  // unknown preset: error lists the valid names
+  try {
+    runtime.serve(bad2, sizes);
+    FAIL() << "expected std::runtime_error";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("diurnal"), std::string::npos);
+  }
+  ServeConfig bad3 = quick_serve();
+  bad3.duration_s = 0.0;
+  EXPECT_THROW(runtime.serve(bad3, sizes), std::invalid_argument);
+  ServeConfig bad4 = quick_serve();
+  bad4.rate = -1.0;
+  EXPECT_THROW(runtime.serve(bad4, sizes), std::invalid_argument);
+}
+
+TEST(RuntimeServe, RefusesWithUndrainedBatchWork) {
+  RuntimeConfig cfg = quick_config(1);
+  cfg.min_batch_trigger = 1000;  // keep the submission unscheduled
+  Runtime runtime(cfg, sched::make_rr());
+  runtime.submit(tiny_task(0));
+  const workload::ConstantSizes sizes(1.0);
+  EXPECT_THROW(runtime.serve(quick_serve(), sizes), std::logic_error);
+  EXPECT_EQ(runtime.drain().tasks_completed, 1u);  // still drainable
+  EXPECT_GT(runtime.serve(quick_serve(0.05), sizes).completed, 0u);
+}
+
+TEST(RuntimeServe, BatchModeStillWorksAfterServing) {
+  Runtime runtime(quick_config(2), sched::make_rr());
+  const workload::ConstantSizes sizes(1.0);
+  const ServeResult r = runtime.serve(quick_serve(0.1), sizes);
+  EXPECT_EQ(r.completed, r.admitted);
+  for (int i = 0; i < 10; ++i) runtime.submit(tiny_task(i));
+  EXPECT_EQ(runtime.drain().tasks_completed, 10u + r.completed);
+}
+
 }  // namespace
 }  // namespace gasched::rt

@@ -1,0 +1,167 @@
+// Tests for the shared λ(t) arrival abstraction (workload/arrival.hpp):
+// rate-function presets, the registry-style factory with its
+// list-all-valid-names error, the thinning sampler's statistics, and the
+// byte-identity of the constant path with the legacy exponential stream.
+
+#include "workload/arrival.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <stdexcept>
+
+#include "workload/generator.hpp"
+
+namespace gasched::workload {
+namespace {
+
+TEST(RateFunctions, ConstantIsFlat) {
+  const ConstantRate r(12.5);
+  EXPECT_DOUBLE_EQ(r.rate(0.0), 12.5);
+  EXPECT_DOUBLE_EQ(r.rate(1e6), 12.5);
+  EXPECT_DOUBLE_EQ(r.max_rate(), 12.5);
+}
+
+TEST(RateFunctions, DiurnalOscillatesAroundBase) {
+  const DiurnalRate r(100.0, 0.5, 600.0);
+  EXPECT_DOUBLE_EQ(r.rate(0.0), 100.0);          // sin(0) = 0
+  EXPECT_NEAR(r.rate(150.0), 150.0, 1e-9);       // peak at period/4
+  EXPECT_NEAR(r.rate(450.0), 50.0, 1e-9);        // trough at 3/4
+  EXPECT_DOUBLE_EQ(r.max_rate(), 150.0);
+  // Bounded by the majorant everywhere.
+  for (double t = 0.0; t < 1200.0; t += 7.3) {
+    EXPECT_LE(r.rate(t), r.max_rate());
+    EXPECT_GE(r.rate(t), 0.0);
+  }
+}
+
+TEST(RateFunctions, RampRisesThenHolds) {
+  const RampRate r(200.0, 0.25, 100.0);
+  EXPECT_DOUBLE_EQ(r.rate(0.0), 50.0);
+  EXPECT_DOUBLE_EQ(r.rate(50.0), 125.0);
+  EXPECT_DOUBLE_EQ(r.rate(100.0), 200.0);
+  EXPECT_DOUBLE_EQ(r.rate(1e9), 200.0);
+  EXPECT_DOUBLE_EQ(r.max_rate(), 200.0);
+}
+
+TEST(RateFunctions, FlashCrowdSpikesOnceOrPeriodically) {
+  const FlashCrowdRate once(10.0, 8.0, 60.0, 30.0);
+  EXPECT_DOUBLE_EQ(once.rate(59.9), 10.0);
+  EXPECT_DOUBLE_EQ(once.rate(60.0), 80.0);
+  EXPECT_DOUBLE_EQ(once.rate(89.9), 80.0);
+  EXPECT_DOUBLE_EQ(once.rate(90.0), 10.0);
+  EXPECT_DOUBLE_EQ(once.rate(660.0), 10.0);  // single spike only
+  EXPECT_DOUBLE_EQ(once.max_rate(), 80.0);
+
+  const FlashCrowdRate repeating(10.0, 8.0, 60.0, 30.0, 600.0);
+  EXPECT_DOUBLE_EQ(repeating.rate(660.0), 80.0);  // next window
+  EXPECT_DOUBLE_EQ(repeating.rate(700.0), 10.0);
+}
+
+TEST(RateFunctions, FactoryBuildsEveryPreset) {
+  const exp::Params none;
+  for (const char* name : {"constant", "diurnal", "ramp", "flash"}) {
+    const auto fn = make_rate_function(name, 50.0, none);
+    ASSERT_NE(fn, nullptr) << name;
+    EXPECT_EQ(fn->name(), name);
+    EXPECT_GT(fn->max_rate(), 0.0);
+  }
+  // Shape keys are honoured.
+  exp::Params p;
+  p.set("arrival_amplitude", 0.25);
+  const auto diurnal = make_rate_function("diurnal", 100.0, p);
+  EXPECT_DOUBLE_EQ(diurnal->max_rate(), 125.0);
+}
+
+TEST(RateFunctions, UnknownPresetListsValidNames) {
+  try {
+    make_rate_function("sawtooth", 10.0, exp::Params{});
+    FAIL() << "expected std::runtime_error";
+  } catch (const std::runtime_error& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("sawtooth"), std::string::npos);
+    for (const char* name : {"constant", "diurnal", "flash", "ramp"}) {
+      EXPECT_NE(msg.find(name), std::string::npos) << name;
+    }
+  }
+}
+
+TEST(ArrivalSource, ConstantPathIsByteIdenticalToLegacyStream) {
+  // The serving runtime and the generator both promise that a constant
+  // rate reproduces the plain rng.exponential(mean) stream exactly.
+  util::Rng a(42), b(42);
+  ArrivalSource source = ArrivalSource::constant(2.5);
+  double t = 0.0;
+  for (int i = 0; i < 500; ++i) {
+    t += b.exponential(2.5);
+    EXPECT_DOUBLE_EQ(source.next(a), t);
+  }
+}
+
+TEST(ArrivalSource, ThinnedConstantMatchesHomogeneousRate) {
+  // Thinning against a constant λ must produce ≈ λT arrivals in [0, T].
+  const ConstantRate fn(50.0);
+  ArrivalSource source = ArrivalSource::thinned(fn);
+  util::Rng rng(7);
+  std::size_t n = 0;
+  while (source.next(rng) < 100.0) ++n;
+  EXPECT_NEAR(static_cast<double>(n), 5000.0, 300.0);  // ~4 sigma
+}
+
+TEST(ArrivalSource, ThinnedRampIsSparseEarlyDenseLate) {
+  const RampRate fn(100.0, 0.0, 100.0);  // 0 → 100/s over 100 s
+  ArrivalSource source = ArrivalSource::thinned(fn);
+  util::Rng rng(8);
+  std::size_t first_half = 0, second_half = 0;
+  for (;;) {
+    const double t = source.next(rng);
+    if (t >= 100.0) break;
+    (t < 50.0 ? first_half : second_half)++;
+  }
+  // Integrated rate: 1250 arrivals in [0,50), 3750 in [50,100).
+  EXPECT_GT(second_half, 2 * first_half);
+  EXPECT_NEAR(static_cast<double>(first_half + second_half), 5000.0, 350.0);
+}
+
+TEST(ArrivalSource, ThinnedArrivalsAreStrictlyMonotone) {
+  const DiurnalRate fn(200.0, 0.9, 10.0);
+  ArrivalSource source = ArrivalSource::thinned(fn);
+  util::Rng rng(9);
+  double prev = 0.0;
+  for (int i = 0; i < 2000; ++i) {
+    const double t = source.next(rng);
+    EXPECT_GT(t, prev);
+    prev = t;
+  }
+}
+
+TEST(GenerateWithRateFunction, ArrivalsFollowThePreset) {
+  // generate() accepts a rate function and stamps monotone arrivals.
+  ArrivalConfig arrivals;
+  arrivals.all_at_start = false;
+  arrivals.mean_interarrival = 0.01;  // base 100/s
+  arrivals.rate_function = std::make_shared<RampRate>(100.0, 0.0, 10.0);
+  util::Rng rng(10);
+  const ConstantSizes sizes(10.0);
+  const Workload w = generate(sizes, 1000, rng, arrivals);
+  double prev = 0.0;
+  for (const auto& t : w.tasks) {
+    EXPECT_GE(t.arrival_time, prev);
+    prev = t.arrival_time;
+  }
+  // The ramp starves the first instants: nothing arrives near t = 0.
+  EXPECT_GT(w.tasks.front().arrival_time, 0.1);
+}
+
+TEST(GenerateWithRateFunction, RejectsRateFunctionPlusBurstiness) {
+  ArrivalConfig arrivals;
+  arrivals.all_at_start = false;
+  arrivals.burstiness = 4.0;
+  arrivals.rate_function = std::make_shared<ConstantRate>(10.0);
+  util::Rng rng(11);
+  const ConstantSizes sizes(10.0);
+  EXPECT_THROW(generate(sizes, 10, rng, arrivals), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace gasched::workload
