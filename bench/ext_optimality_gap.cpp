@@ -2,9 +2,17 @@
 // produce near-optimal schedules" without quantifying the gap. Part 1
 // measures every batch searcher against the *exact* optimum
 // (branch-and-bound, metrics/bounds.hpp) on small single-batch
-// instances. Part 2 measures full-simulation makespans against a valid
-// makespan lower bound at realistic scale, where exact search is
-// impossible.
+// instances. Part 2 runs the registered `extgap` figure grid
+// (exp::FigSet): full-simulation makespans at H=600 tasks / M=50
+// processors against two *certified* lower bounds — `lb_comb`
+// (combinatorial, metrics::makespan_lower_bound) and `lb_qp` (the
+// interior-point relaxation bound, metrics::relaxation_lower_bound;
+// docs/bounds.md) — with the certified `gap_pct` column. The binary
+// exits 1 if lb_qp fails to dominate lb_comb on any cell: the fold in
+// relaxation_lower_bound makes that impossible unless the bound stack
+// is broken, so CI treats it as a hard failure.
+//
+// --quick shrinks both parts to a seconds-long smoke run for CI.
 
 #include <deque>
 #include <iostream>
@@ -18,18 +26,27 @@
 using namespace gasched;
 
 int main(int argc, char** argv) {
-  const auto p = bench::parse_params(argc, argv, /*tasks=*/600, /*reps=*/3,
-                                     /*generations=*/100);
+  auto p = bench::parse_params(argc, argv, /*tasks=*/600, /*reps=*/3,
+                               /*generations=*/100);
+  const bool quick = util::Cli(argc, argv).get_bool("quick", false);
+  if (quick) {
+    // CI smoke scale: exercises every code path (exact search, GA
+    // schedulers, interior-point bound) in a few seconds.
+    p.tasks = 120;
+    p.procs = 12;
+    p.reps = 1;
+    p.generations = 10;
+  }
   bench::print_banner(
       "Extension", "optimality gap (SS3's 'near-optimal' claim, quantified)",
       "hypothesis: informed batch searchers land within a few percent of "
       "the exact optimum on small instances; at scale, makespans sit "
-      "within a modest constant of the (loose) lower bound, with PN "
-      "closest",
+      "within a modest constant of the certified relaxation bound lb_qp, "
+      "which dominates the combinatorial bound lb_comb on every cell",
       p);
 
   // ---- Part 1: exact optimum on small single-batch instances ----------
-  const std::size_t kInstances = p.full ? 40 : 15;
+  const std::size_t kInstances = p.full ? 40 : (quick ? 6 : 15);
   const std::size_t kTinyTasks = 10;
   const std::size_t kTinyProcs = 3;
 
@@ -120,49 +137,32 @@ int main(int argc, char** argv) {
   part1_p.json.reset();
   bench::run_sweep(part1, part1_p);
 
-  // ---- Part 2: lower-bound gap at simulation scale ---------------------
-  std::cout << "\nPart 2 — full simulation (" << p.tasks << " tasks, "
-            << p.procs << " processors) vs makespan lower bound:\n";
+  // ---- Part 2: certified lower-bound gap at simulation scale -----------
+  std::cout << "\nPart 2 — `extgap` figure grid: full simulation ("
+            << p.tasks << " tasks, " << p.procs
+            << " processors) vs certified bounds lb_comb and lb_qp:\n";
 
-  exp::Sweep part2 =
-      bench::make_sweep("optgap-bound", p, spec, /*mean_comm=*/10.0);
-  part2.schedulers({"PN", "EF", "MM", "RR"});
-  part2.extra_columns({"mean_makespan_over_bound"});
-  part2.runner([&](const exp::SweepCell& cell, bool parallel) {
-    const auto runs = exp::run_replications(cell.scenario, cell.scheduler,
-                                            cell.params, parallel);
-    // Reconstruct each replication's cluster/workload with the runner's
-    // documented stream discipline to compute its lower bound.
-    double ratio = 0.0;
-    for (std::size_t rep = 0; rep < runs.size(); ++rep) {
-      const util::Rng base(cell.scenario.seed);
-      util::Rng wrng = base.split(3 * rep);
-      util::Rng crng = base.split(3 * rep + 1);
-      const auto dist = exp::make_distribution(cell.scenario.workload);
-      const auto wl =
-          workload::generate(*dist, cell.scenario.workload.count, wrng);
-      const auto cluster = sim::build_cluster(cell.scenario.cluster, crng);
-      metrics::BoundInstance inst;
-      for (const auto& task : wl.tasks) {
-        inst.task_sizes.push_back(task.size_mflops);
-      }
-      for (std::size_t j = 0; j < cluster.size(); ++j) {
-        inst.rates.push_back(cluster.processors[j].base_rate);
-        inst.comm_costs.push_back(
-            cluster.comm->true_mean(static_cast<sim::ProcId>(j)));
-      }
-      ratio += runs[rep].makespan / metrics::makespan_lower_bound(inst);
+  const exp::FigureDef& fig = exp::FigSet::instance().find("extgap");
+  exp::Sweep part2 = fig.build(bench::to_scale(p));
+  const exp::SweepResult r2 = bench::run_sweep(part2, p);
+  fig.report(r2, bench::to_scale(p), std::cout);
+
+  // Hard certificate check: relaxation_lower_bound folds the
+  // combinatorial bound in, so lb_qp < lb_comb (beyond rounding) means
+  // the bound stack itself is broken — fail the binary.
+  bool dominance_broken = false;
+  for (const auto& row : r2.rows) {
+    if (row.extra("lb_qp") < row.extra("lb_comb") - 1e-9) {
+      std::cerr << "error: cell " << row.index << " (" << row.scheduler
+                << "): lb_qp=" << row.extra("lb_qp") << " < lb_comb="
+                << row.extra("lb_comb") << " — certified bound regression\n";
+      dominance_broken = true;
     }
-    exp::CellOutcome out;
-    out.summary = metrics::aggregate(cell.scheduler, runs);
-    out.extras = {{"mean_makespan_over_bound",
-                   ratio / static_cast<double>(runs.size())}};
-    return out;
-  });
-  bench::run_sweep(part2, p);
+  }
+  if (dominance_broken) return 1;
 
-  std::cout << "\nThe Part 2 bound ignores availability/queueing dynamics, "
-               "so ratios include\nboth scheduler suboptimality and bound "
+  std::cout << "\nBoth Part 2 bounds ignore availability/queueing dynamics, "
+               "so gap_pct includes\nboth scheduler suboptimality and bound "
                "looseness; Part 1 isolates the former.\n";
   return 0;
 }

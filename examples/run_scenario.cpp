@@ -14,8 +14,10 @@
 //   ./run_scenario --list-schedulers
 //   ./run_scenario --list-distributions
 
+#include <cmath>
 #include <iomanip>
 #include <iostream>
+#include <limits>
 #include <optional>
 
 #include "exp/config_scenario.hpp"
@@ -120,6 +122,62 @@ int run_serve(const util::Config& cfg, std::ostream& os) {
   return 0;
 }
 
+// [bounds] report: certified makespan lower bounds per scenario grid
+// point, alongside the best measured makespan across schedulers at that
+// point. The scheduler axis is innermost in the flattened job list, so
+// cells sharing every non-scheduler coordinate are consecutive and share
+// one scenario; bounds are computed once per group. Both columns are
+// certified (docs/bounds.md): any schedule's makespan is >= lb_qp >=
+// lb_comb up to the rounding margin, whatever the solver did.
+void print_certified_bounds(const exp::Sweep& sweep,
+                            const exp::SweepResult& result,
+                            const metrics::RelaxationBoundOptions& opts,
+                            bool parallel, std::ostream& os) {
+  const auto cells = sweep.flatten();
+  if (cells.empty()) return;
+  auto group_key = [](const exp::SweepCell& c) {
+    std::string k;
+    for (const auto& [axis, label] : c.coords) {
+      if (axis == "scheduler") continue;
+      if (!k.empty()) k += ' ';
+      k += axis + "=" + label;
+    }
+    return k.empty() ? std::string("(base)") : k;
+  };
+  os << "\nCertified lower bounds ([bounds] enabled, tol "
+     << opts.tolerance << ", max_iter " << opts.max_iterations << "):\n"
+     << "  " << std::left << std::setw(28) << "point" << std::right
+     << std::setw(12) << "lb_comb" << std::setw(12) << "lb_qp"
+     << std::setw(12) << "best_ms" << std::setw(10) << "gap_pct" << "\n";
+  std::size_t i = 0;
+  while (i < cells.size()) {
+    const std::string group = group_key(cells[i]);
+    double best = std::numeric_limits<double>::infinity();
+    std::size_t j = i;
+    for (; j < cells.size() && group_key(cells[j]) == group; ++j) {
+      for (const auto& row : result.rows) {
+        if (row.index == cells[j].index && row.ok() && !row.skipped &&
+            row.cell.replications > 0) {
+          best = std::min(best, row.cell.makespan.mean);
+        }
+      }
+    }
+    const exp::CertifiedBounds b =
+        exp::certified_bounds(cells[i].scenario, opts, parallel);
+    os << "  " << std::left << std::setw(28) << group << std::right
+       << std::fixed << std::setprecision(3) << std::setw(12) << b.lb_comb
+       << std::setw(12) << b.lb_qp;
+    if (std::isfinite(best) && b.lb_qp > 0.0) {
+      os << std::setw(12) << best << std::setw(9)
+         << 100.0 * (best / b.lb_qp - 1.0) << "%";
+    } else {
+      os << std::setw(12) << "-" << std::setw(10) << "-";
+    }
+    os << "\n" << std::defaultfloat;
+    i = j;
+  }
+}
+
 }  // namespace
 
 int usage(std::ostream& os, const std::string& program, int code) {
@@ -156,7 +214,12 @@ int usage(std::ostream& os, const std::string& program, int code) {
         "  --serve          run a live serving benchmark on this host\n"
         "                   instead of a simulation sweep: the [runtime]\n"
         "                   section sets workers/policy/arrival rate (see\n"
-        "                   docs/runtime.md), [workload] the task sizes\n";
+        "                   docs/runtime.md), [workload] the task sizes\n"
+        "\n"
+        "With `[bounds] enabled = true` in the INI, a certified\n"
+        "lower-bound table (lb_comb, lb_qp, best-scheduler gap) prints\n"
+        "after the sweep — keys tolerance and max_iterations tune the\n"
+        "interior-point solver; see docs/bounds.md.\n";
   return code;
 }
 
@@ -225,6 +288,13 @@ int main(int argc, char** argv) {
       std::cerr << "error: " << result.failed << "/" << result.rows.size()
                 << " cells failed (see table)\n";
       exit_code = 1;
+    }
+
+    const metrics::RelaxationBoundOptions bound_opts =
+        exp::bounds_from_config(cfg);
+    if (bound_opts.enabled && exit_code == 0) {
+      print_certified_bounds(sweep, result, bound_opts,
+                             !cli.get_bool("serial", false), std::cout);
     }
 
     if (cli.get_bool("gantt", false) && exit_code == 0) {

@@ -83,6 +83,16 @@ SchedulerParams scheduler_params_from_config(const util::Config& cfg) {
   return Params::from_config(cfg, "scheduler");
 }
 
+metrics::RelaxationBoundOptions bounds_from_config(const util::Config& cfg) {
+  metrics::RelaxationBoundOptions opts;
+  opts.enabled = cfg.get_bool("bounds.enabled", false);
+  opts.tolerance = cfg.get_double("bounds.tolerance", opts.tolerance);
+  opts.max_iterations = static_cast<std::size_t>(cfg.get_int(
+      "bounds.max_iterations",
+      static_cast<std::int64_t>(opts.max_iterations)));
+  return opts;
+}
+
 namespace {
 
 std::string lower(std::string s) {

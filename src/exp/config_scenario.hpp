@@ -5,6 +5,7 @@
 
 #include "exp/scenario.hpp"
 #include "exp/sweep.hpp"
+#include "metrics/bounds.hpp"
 #include "util/config.hpp"
 
 namespace gasched::exp {
@@ -38,6 +39,15 @@ Scenario scenario_from_config(const util::Config& cfg);
 /// whichever scheduler factories the caller invokes. Shared keys are
 /// documented in exp/params.hpp, per-scheduler keys in exp/registry.hpp.
 SchedulerParams scheduler_params_from_config(const util::Config& cfg);
+
+/// The [bounds] section as metrics::RelaxationBoundOptions:
+///
+///   [bounds]  enabled (false), tolerance (1e-8), max_iterations (60)
+///
+/// Note `enabled` defaults to *false* here — configs opt in to the
+/// certified-bound report — while RelaxationBoundOptions{} defaults to
+/// true for direct API callers. See docs/bounds.md.
+metrics::RelaxationBoundOptions bounds_from_config(const util::Config& cfg);
 
 /// Expands a scheduler selector into canonical registry names: a
 /// comma-separated mix of registry names and the tag words `paper`,

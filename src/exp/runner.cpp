@@ -66,4 +66,59 @@ metrics::CellSummary run_cell(const Scenario& scenario,
   return metrics::aggregate(name, runs);
 }
 
+metrics::BoundInstance bound_instance(const Scenario& scenario,
+                                      std::size_t rep) {
+  // Mirror run_one's stream discipline exactly: workload and cluster
+  // depend only on (seed, rep), so these are the tasks and machines every
+  // scheduler saw in replication rep.
+  const util::Rng base(scenario.seed);
+  util::Rng workload_rng = base.split(3 * rep);
+  util::Rng cluster_rng = base.split(3 * rep + 1);
+  const auto dist = make_distribution(scenario.workload);
+  const workload::ArrivalConfig arrivals = make_arrival(scenario.workload);
+  const workload::Workload wl = workload::generate(
+      *dist, scenario.workload.count, workload_rng, arrivals);
+  const sim::Cluster cluster =
+      sim::build_cluster(scenario.cluster, cluster_rng);
+
+  metrics::BoundInstance inst;
+  inst.task_sizes.reserve(wl.tasks.size());
+  for (const auto& task : wl.tasks) inst.task_sizes.push_back(task.size_mflops);
+  inst.rates.reserve(cluster.size());
+  inst.comm_costs.reserve(cluster.size());
+  for (std::size_t j = 0; j < cluster.size(); ++j) {
+    inst.rates.push_back(cluster.processors[j].base_rate);
+    inst.comm_costs.push_back(
+        cluster.comm->true_mean(static_cast<sim::ProcId>(j)));
+  }
+  return inst;
+}
+
+CertifiedBounds certified_bounds(const Scenario& scenario,
+                                 const metrics::RelaxationBoundOptions& options,
+                                 bool parallel) {
+  const std::size_t reps = scenario.replications;
+  std::vector<CertifiedBounds> per_rep(reps);
+  auto body = [&](std::size_t rep) {
+    const metrics::BoundInstance inst = bound_instance(scenario, rep);
+    per_rep[rep].lb_comb = metrics::makespan_lower_bound(inst);
+    per_rep[rep].lb_qp = metrics::relaxation_lower_bound(inst, options);
+  };
+  if (parallel && reps > 1) {
+    util::global_pool().parallel_for(0, reps, body);
+  } else {
+    for (std::size_t rep = 0; rep < reps; ++rep) body(rep);
+  }
+  CertifiedBounds mean;
+  for (const auto& b : per_rep) {
+    mean.lb_comb += b.lb_comb;
+    mean.lb_qp += b.lb_qp;
+  }
+  if (reps > 0) {
+    mean.lb_comb /= static_cast<double>(reps);
+    mean.lb_qp /= static_cast<double>(reps);
+  }
+  return mean;
+}
+
 }  // namespace gasched::exp

@@ -13,6 +13,7 @@
 
 #include "exp/scenario.hpp"
 #include "metrics/aggregate.hpp"
+#include "metrics/bounds.hpp"
 #include "sim/engine.hpp"
 
 namespace gasched::exp {
@@ -41,5 +42,26 @@ sim::SimulationResult run_one(const Scenario& scenario,
                               const std::string& scheduler,
                               const SchedulerParams& params, std::size_t rep,
                               bool record_task_trace = false);
+
+/// The scheduler-visible bound instance of replication `rep`: the same
+/// workload and cluster streams as run_one (so every scheduler's run in
+/// that replication is bounded by it), Linpack base rates, true per-link
+/// comm means, no pending load. Feed to metrics::makespan_lower_bound /
+/// relaxation_lower_bound / optimal_makespan_exact.
+metrics::BoundInstance bound_instance(const Scenario& scenario,
+                                      std::size_t rep);
+
+/// Certified makespan lower bounds of a scenario, averaged over its
+/// replications (each replication's workload/cluster has its own pair):
+/// `lb_comb` is metrics::makespan_lower_bound, `lb_qp` is
+/// metrics::relaxation_lower_bound under `options` (== lb_comb when
+/// options.enabled is false). Deterministic at any thread count.
+struct CertifiedBounds {
+  double lb_comb = 0.0;
+  double lb_qp = 0.0;
+};
+CertifiedBounds certified_bounds(const Scenario& scenario,
+                                 const metrics::RelaxationBoundOptions& options,
+                                 bool parallel = true);
 
 }  // namespace gasched::exp

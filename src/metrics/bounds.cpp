@@ -6,6 +6,8 @@
 #include <numeric>
 #include <stdexcept>
 
+#include "opt/relaxation.hpp"
+
 namespace gasched::metrics {
 
 namespace {
@@ -172,6 +174,21 @@ struct Searcher {
 };
 
 }  // namespace
+
+double relaxation_lower_bound(const BoundInstance& inst,
+                              const RelaxationBoundOptions& options) {
+  const double combinatorial = makespan_lower_bound(inst);  // also validates
+  if (!options.enabled) return combinatorial;
+  opt::RelaxationOptions solver;
+  solver.tolerance = options.tolerance;
+  solver.max_iterations = options.max_iterations;
+  const opt::RelaxationResult r = opt::solve_makespan_relaxation(inst, solver);
+  // The LP relaxation does not dominate every combinatorial bound (a
+  // single task may be split fractionally across processors, beating the
+  // critical-task bound), so fold them: both are certified, hence so is
+  // the max.
+  return std::max(combinatorial, r.certified_bound);
+}
 
 double optimal_makespan_exact(const BoundInstance& inst,
                               std::size_t max_states) {

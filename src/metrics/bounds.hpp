@@ -14,6 +14,11 @@
 //    space for tiny instances (exact optimum; exponential — keep
 //    N ≤ ~12, M ≤ ~4). Used by tests and the optimality-gap bench to
 //    measure how near "near-optimal" is.
+//  * relaxation_lower_bound — the third bound: the fractional
+//    assignment relaxation solved by the IP-PMM interior-point method
+//    (src/opt), reported through its *certified* dual bound and never
+//    below makespan_lower_bound. Polynomial, so it scales to the
+//    H=600/M=50 sizes the benches run at. See docs/bounds.md.
 //
 // Both operate on the scheduler-visible quantities (rates, pending load,
 // per-link costs), mirroring core::ScheduleEvaluator's cost model:
@@ -51,5 +56,26 @@ double makespan_lower_bound(const BoundInstance& inst);
 /// small M).
 double optimal_makespan_exact(const BoundInstance& inst,
                               std::size_t max_states = 50'000'000);
+
+/// Knobs of the relaxation bound — mirrors the [bounds] INI section
+/// (exp::bounds_from_config) and the defaults used by the fuzz suite.
+struct RelaxationBoundOptions {
+  /// false = skip the solver entirely; relaxation_lower_bound then
+  /// returns makespan_lower_bound.
+  bool enabled = true;
+  double tolerance = 1e-8;        ///< IP-PMM relative tolerance
+  std::size_t max_iterations = 60;
+};
+
+/// Certified lower bound from the fractional-assignment relaxation's
+/// dual certificate (opt::solve_makespan_relaxation), folded with
+/// makespan_lower_bound: max(dual certificate, combinatorial bound).
+/// Each part is individually a valid bound, so the maximum is — and the
+/// certificate stays valid even when the interior-point solver stops at
+/// max_iterations, so early termination only costs tightness, never
+/// correctness. Deterministic; same validation/throws as
+/// makespan_lower_bound.
+double relaxation_lower_bound(const BoundInstance& inst,
+                              const RelaxationBoundOptions& options = {});
 
 }  // namespace gasched::metrics

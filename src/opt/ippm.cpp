@@ -1,0 +1,564 @@
+#include "opt/ippm.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+namespace gasched::opt {
+
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+double inf_norm(const std::vector<double>& v) {
+  double m = 0.0;
+  for (const double x : v) m = std::max(m, std::abs(x));
+  return m;
+}
+
+/// Compressed-sparse-column view of A (duplicate entries summed into
+/// separate slots; that is fine — every consumer accumulates).
+struct Csc {
+  std::vector<std::size_t> col_ptr;  // n + 1
+  std::vector<std::size_t> rows;
+  std::vector<double> vals;
+
+  static Csc build(const QpProblem& p) {
+    Csc a;
+    a.col_ptr.assign(p.num_vars + 1, 0);
+    for (const auto& e : p.constraints) ++a.col_ptr[e.col + 1];
+    for (std::size_t c = 0; c < p.num_vars; ++c) {
+      a.col_ptr[c + 1] += a.col_ptr[c];
+    }
+    a.rows.resize(p.constraints.size());
+    a.vals.resize(p.constraints.size());
+    std::vector<std::size_t> fill(a.col_ptr.begin(), a.col_ptr.end() - 1);
+    for (const auto& e : p.constraints) {
+      const std::size_t at = fill[e.col]++;
+      a.rows[at] = e.row;
+      a.vals[at] = e.value;
+    }
+    return a;
+  }
+
+  /// out += A * v (out size m, v size n).
+  void add_mul(const std::vector<double>& v, std::vector<double>& out) const {
+    const std::size_t n = col_ptr.size() - 1;
+    for (std::size_t c = 0; c < n; ++c) {
+      const double vc = v[c];
+      if (vc == 0.0) continue;
+      for (std::size_t k = col_ptr[c]; k < col_ptr[c + 1]; ++k) {
+        out[rows[k]] += vals[k] * vc;
+      }
+    }
+  }
+
+  /// out += Aᵀ * v (out size n, v size m).
+  void add_mul_t(const std::vector<double>& v, std::vector<double>& out) const {
+    const std::size_t n = col_ptr.size() - 1;
+    for (std::size_t c = 0; c < n; ++c) {
+      double s = 0.0;
+      for (std::size_t k = col_ptr[c]; k < col_ptr[c + 1]; ++k) {
+        s += vals[k] * v[rows[k]];
+      }
+      out[c] += s;
+    }
+  }
+};
+
+/// In-place dense Cholesky (lower triangle of a row-major d×d matrix).
+/// Returns false when a pivot is not safely positive.
+bool cholesky(std::vector<double>& a, std::size_t d) {
+  for (std::size_t j = 0; j < d; ++j) {
+    double diag = a[j * d + j];
+    for (std::size_t k = 0; k < j; ++k) diag -= a[j * d + k] * a[j * d + k];
+    if (!(diag > 1e-300)) return false;
+    const double root = std::sqrt(diag);
+    a[j * d + j] = root;
+    for (std::size_t i = j + 1; i < d; ++i) {
+      double s = a[i * d + j];
+      for (std::size_t k = 0; k < j; ++k) s -= a[i * d + k] * a[j * d + k];
+      a[i * d + j] = s / root;
+    }
+  }
+  return true;
+}
+
+/// Solves L·Lᵀ·x = b in place for a Cholesky factor from cholesky().
+void cholesky_solve(const std::vector<double>& l, std::size_t d,
+                    std::vector<double>& b) {
+  for (std::size_t i = 0; i < d; ++i) {
+    double s = b[i];
+    for (std::size_t k = 0; k < i; ++k) s -= l[i * d + k] * b[k];
+    b[i] = s / l[i * d + i];
+  }
+  for (std::size_t i = d; i-- > 0;) {
+    double s = b[i];
+    for (std::size_t k = i + 1; k < d; ++k) s -= l[k * d + i] * b[k];
+    b[i] = s / l[i * d + i];
+  }
+}
+
+/// One factorization of the regularized Newton normal equations for a
+/// fixed diagonal Θ⁻¹ = Z/X: solves
+///     D·Δx − Aᵀ·Δy = f,   A·Δx + δ·Δy = r_p,
+/// where D = Q + Θ⁻¹ + ρI. Holds either the LP/Schur data (diagonal D)
+/// or the dense-Q data; reused for the predictor and corrector solves.
+struct KktFactor {
+  const QpProblem* p = nullptr;
+  const Csc* a = nullptr;
+  std::size_t n = 0, m = 0, k = 0;  // k = schur-diagonal row count
+  double delta = 0.0;
+  bool lp = true;
+
+  // LP path: D diagonal.
+  std::vector<double> dinv;  // n
+  std::vector<double> e;     // k (diagonal block of the normal matrix)
+  std::vector<double> b;     // k × tail, row-major
+  std::vector<double> s;     // tail × tail Cholesky factor
+
+  // Dense-Q path.
+  std::vector<double> dchol;  // n × n Cholesky of D
+  std::vector<double> w;      // n × m, D⁻¹Aᵀ
+  std::vector<double> mchol;  // m × m Cholesky of A·D⁻¹·Aᵀ + δI
+
+  std::size_t tail() const { return m - k; }
+
+  /// Builds the factorization; false when a Cholesky pivot fails (the
+  /// caller bumps the regularization and retries).
+  bool build(const QpProblem& problem, const Csc& csc,
+             const std::vector<double>& theta_inv, double rho, double delta_in) {
+    p = &problem;
+    a = &csc;
+    n = problem.num_vars;
+    m = problem.num_cons;
+    lp = problem.hessian.empty();
+    k = lp ? problem.schur_diag_rows : 0;
+    delta = delta_in;
+    return lp ? build_lp(theta_inv, rho) : build_dense(theta_inv, rho);
+  }
+
+  bool build_lp(const std::vector<double>& theta_inv, double rho) {
+    dinv.resize(n);
+    for (std::size_t i = 0; i < n; ++i) dinv[i] = 1.0 / (theta_inv[i] + rho);
+    const std::size_t t = tail();
+    e.assign(k, delta);
+    b.assign(k * t, 0.0);
+    s.assign(t * t, 0.0);
+    for (std::size_t i = 0; i < t; ++i) s[i * t + i] = delta;
+    // A·D⁻¹·Aᵀ by column outer products: entries (r1,v1),(r2,v2) of
+    // column c contribute v1·v2·dinv[c] to cell (r1,r2).
+    for (std::size_t c = 0; c < n; ++c) {
+      const double dc = dinv[c];
+      for (std::size_t ka = a->col_ptr[c]; ka < a->col_ptr[c + 1]; ++ka) {
+        const std::size_t ra = a->rows[ka];
+        const double va = a->vals[ka] * dc;
+        for (std::size_t kb = ka; kb < a->col_ptr[c + 1]; ++kb) {
+          const std::size_t rb = a->rows[kb];
+          const double prod = va * a->vals[kb];
+          if (ra < k && rb < k) {
+            // Column-disjointness of the leading rows (validated) means
+            // both entries sit on the same row: a diagonal contribution.
+            e[ra] += prod;
+          } else if (ra < k) {
+            b[ra * t + (rb - k)] += prod;
+          } else if (rb < k) {
+            b[rb * t + (ra - k)] += prod;
+          } else if (ra == rb) {
+            s[(ra - k) * t + (ra - k)] += prod;
+          } else {
+            s[(ra - k) * t + (rb - k)] += prod;
+            s[(rb - k) * t + (ra - k)] += prod;
+          }
+        }
+      }
+    }
+    // Schur complement of the diagonal block: S −= Bᵀ·E⁻¹·B.
+    for (std::size_t i = 0; i < k; ++i) {
+      const double ei = 1.0 / e[i];
+      const double* bi = &b[i * t];
+      for (std::size_t r = 0; r < t; ++r) {
+        const double scale = bi[r] * ei;
+        if (scale == 0.0) continue;
+        double* srow = &s[r * t];
+        for (std::size_t q = 0; q < t; ++q) srow[q] -= scale * bi[q];
+      }
+    }
+    return t == 0 || cholesky(s, t);
+  }
+
+  bool build_dense(const std::vector<double>& theta_inv, double rho) {
+    dchol.assign(p->hessian.begin(), p->hessian.end());
+    for (std::size_t i = 0; i < n; ++i) {
+      dchol[i * n + i] += theta_inv[i] + rho;
+    }
+    if (!cholesky(dchol, n)) return false;
+    if (m == 0) return true;
+    // W = D⁻¹Aᵀ, one triangular solve per constraint row.
+    w.assign(n * m, 0.0);
+    std::vector<double> col(n);
+    for (std::size_t r = 0; r < m; ++r) {
+      std::fill(col.begin(), col.end(), 0.0);
+      for (std::size_t c = 0; c < n; ++c) {
+        for (std::size_t ka = a->col_ptr[c]; ka < a->col_ptr[c + 1]; ++ka) {
+          if (a->rows[ka] == r) col[c] += a->vals[ka];
+        }
+      }
+      cholesky_solve(dchol, n, col);
+      for (std::size_t c = 0; c < n; ++c) w[c * m + r] = col[c];
+    }
+    mchol.assign(m * m, 0.0);
+    for (std::size_t i = 0; i < m; ++i) mchol[i * m + i] = delta;
+    for (std::size_t c = 0; c < n; ++c) {
+      for (std::size_t ka = a->col_ptr[c]; ka < a->col_ptr[c + 1]; ++ka) {
+        const std::size_t r = a->rows[ka];
+        const double v = a->vals[ka];
+        for (std::size_t q = 0; q < m; ++q) mchol[r * m + q] += v * w[c * m + q];
+      }
+    }
+    return cholesky(mchol, m);
+  }
+
+  /// Applies D⁻¹ to `v` in place.
+  void apply_dinv(std::vector<double>& v) const {
+    if (lp) {
+      for (std::size_t i = 0; i < n; ++i) v[i] *= dinv[i];
+    } else {
+      cholesky_solve(dchol, n, v);
+    }
+  }
+
+  /// Solves the normal equations (A·D⁻¹·Aᵀ + δI)·Δy = g in place.
+  void solve_normal(std::vector<double>& g) const {
+    if (!lp) {
+      cholesky_solve(mchol, m, g);
+      return;
+    }
+    const std::size_t t = tail();
+    // Block solve: [E B; Bᵀ C]·[Δy1; Δy2] = [g1; g2] with E diagonal.
+    std::vector<double> g2(t);
+    for (std::size_t r = 0; r < t; ++r) g2[r] = g[k + r];
+    for (std::size_t i = 0; i < k; ++i) {
+      const double gi = g[i] / e[i];
+      const double* bi = &b[i * t];
+      for (std::size_t r = 0; r < t; ++r) g2[r] -= bi[r] * gi;
+    }
+    if (t > 0) cholesky_solve(s, t, g2);
+    for (std::size_t i = 0; i < k; ++i) {
+      double gi = g[i];
+      const double* bi = &b[i * t];
+      for (std::size_t r = 0; r < t; ++r) gi -= bi[r] * g2[r];
+      g[i] = gi / e[i];
+    }
+    for (std::size_t r = 0; r < t; ++r) g[k + r] = g2[r];
+  }
+
+  /// Solves the full KKT step for right-hand sides f (size n) and
+  /// r_p (size m); writes Δx and Δy.
+  void solve(const std::vector<double>& f, const std::vector<double>& rp,
+             std::vector<double>& dx, std::vector<double>& dy) const {
+    dx = f;
+    apply_dinv(dx);
+    dy.assign(m, 0.0);
+    if (m > 0) {
+      for (std::size_t r = 0; r < m; ++r) dy[r] = rp[r];
+      std::vector<double> adf(m, 0.0);
+      a->add_mul(dx, adf);
+      for (std::size_t r = 0; r < m; ++r) dy[r] -= adf[r];
+      solve_normal(dy);
+      dx = f;
+      a->add_mul_t(dy, dx);
+      apply_dinv(dx);
+    }
+  }
+};
+
+void qp_validate(const QpProblem& p) {
+  if (p.num_vars == 0) {
+    throw std::invalid_argument("solve_qp: problem has no variables");
+  }
+  if (p.linear.size() != p.num_vars) {
+    throw std::invalid_argument("solve_qp: linear term size mismatch");
+  }
+  if (p.rhs.size() != p.num_cons) {
+    throw std::invalid_argument("solve_qp: rhs size mismatch");
+  }
+  if (!p.hessian.empty() && p.hessian.size() != p.num_vars * p.num_vars) {
+    throw std::invalid_argument("solve_qp: hessian must be empty or n*n");
+  }
+  for (const double v : p.linear) {
+    if (!std::isfinite(v)) {
+      throw std::invalid_argument("solve_qp: non-finite linear term");
+    }
+  }
+  for (const double v : p.rhs) {
+    if (!std::isfinite(v)) {
+      throw std::invalid_argument("solve_qp: non-finite rhs");
+    }
+  }
+  for (const double v : p.hessian) {
+    if (!std::isfinite(v)) {
+      throw std::invalid_argument("solve_qp: non-finite hessian entry");
+    }
+  }
+  for (const auto& e : p.constraints) {
+    if (e.row >= p.num_cons || e.col >= p.num_vars) {
+      throw std::invalid_argument("solve_qp: constraint entry out of range");
+    }
+    if (!std::isfinite(e.value)) {
+      throw std::invalid_argument("solve_qp: non-finite constraint entry");
+    }
+  }
+  if (p.schur_diag_rows > p.num_cons) {
+    throw std::invalid_argument("solve_qp: schur_diag_rows > num_cons");
+  }
+  if (p.schur_diag_rows > 0 && p.hessian.empty()) {
+    // The Schur fast path needs the leading rows pairwise
+    // column-disjoint: no column may hit two of them.
+    std::vector<std::size_t> hits(p.num_vars, 0);
+    for (const auto& e : p.constraints) {
+      if (e.row < p.schur_diag_rows && ++hits[e.col] > 1) {
+        throw std::invalid_argument(
+            "solve_qp: schur_diag_rows prefix is not column-disjoint");
+      }
+    }
+  }
+}
+
+/// Mehrotra-style starting point: least-squares-flavoured x̃, ỹ from one
+/// well-conditioned factorization (Θ⁻¹ = I), shifted into the positive
+/// orthant. Falls back to a data-scaled box when the heuristic produces
+/// unusable values.
+void starting_point(const QpProblem& p, const Csc& a, std::vector<double>& x,
+                    std::vector<double>& y, std::vector<double>& z) {
+  const std::size_t n = p.num_vars;
+  const std::size_t m = p.num_cons;
+  x.assign(n, 1.0);
+  y.assign(m, 0.0);
+  z.assign(n, 1.0);
+  const double bscale = std::max(1.0, inf_norm(p.rhs));
+  const double cscale = std::max(1.0, inf_norm(p.linear));
+  auto fallback = [&] {
+    for (std::size_t i = 0; i < n; ++i) {
+      x[i] = bscale;
+      z[i] = std::max(1.0, std::abs(p.linear[i]));
+    }
+    std::fill(y.begin(), y.end(), 0.0);
+  };
+  if (m == 0) {
+    fallback();
+    return;
+  }
+
+  KktFactor f;
+  std::vector<double> ones(n, 1.0);
+  if (!f.build(p, a, ones, 1e-8, 1e-8)) {
+    fallback();
+    return;
+  }
+  const std::vector<double> zero_n(n, 0.0);
+  const std::vector<double> zero_m(m, 0.0);
+  std::vector<double> xt, yt, dx2, yneg;
+  f.solve(zero_n, p.rhs, xt, yt);       // x̃ ≈ Aᵀ(AAᵀ)⁻¹b
+  f.solve(p.linear, zero_m, dx2, yneg);  // ỹ = −yneg
+  for (std::size_t r = 0; r < m; ++r) y[r] = -yneg[r];
+
+  // z̃ = c + Qx̃ − Aᵀỹ.
+  std::vector<double> zt = p.linear;
+  if (!p.hessian.empty()) {
+    for (std::size_t i = 0; i < n; ++i) {
+      double s = 0.0;
+      for (std::size_t j = 0; j < n; ++j) s += p.hessian[i * n + j] * xt[j];
+      zt[i] += s;
+    }
+  }
+  std::vector<double> aty(n, 0.0);
+  a.add_mul_t(y, aty);
+  for (std::size_t i = 0; i < n; ++i) zt[i] -= aty[i];
+
+  double min_x = kInf, min_z = kInf;
+  for (std::size_t i = 0; i < n; ++i) {
+    min_x = std::min(min_x, xt[i]);
+    min_z = std::min(min_z, zt[i]);
+  }
+  const double shift_x = std::max(0.0, -1.5 * min_x);
+  const double shift_z = std::max(0.0, -1.5 * min_z);
+  double dot = 0.0, sum_x = 0.0, sum_z = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    dot += (xt[i] + shift_x) * (zt[i] + shift_z);
+    sum_x += xt[i] + shift_x;
+    sum_z += zt[i] + shift_z;
+  }
+  const double pad_x = sum_z > 0.0 ? 0.5 * dot / sum_z : 1.0;
+  const double pad_z = sum_x > 0.0 ? 0.5 * dot / sum_x : 1.0;
+  bool ok = true;
+  for (std::size_t i = 0; i < n; ++i) {
+    x[i] = xt[i] + shift_x + std::max(pad_x, 1e-2);
+    z[i] = zt[i] + shift_z + std::max(pad_z, 1e-2 * cscale);
+    if (!std::isfinite(x[i]) || !std::isfinite(z[i]) || x[i] <= 0.0 ||
+        z[i] <= 0.0 || x[i] > 1e12 * bscale || z[i] > 1e12 * cscale) {
+      ok = false;
+      break;
+    }
+  }
+  for (const double v : y) {
+    if (!std::isfinite(v)) ok = false;
+  }
+  if (!ok) fallback();
+}
+
+/// Largest α ∈ [0, 1] with v + α·d ≥ (1 − τ)·v componentwise.
+double step_length(const std::vector<double>& v, const std::vector<double>& d,
+                   double tau) {
+  double alpha = 1.0;
+  for (std::size_t i = 0; i < v.size(); ++i) {
+    if (d[i] < 0.0) alpha = std::min(alpha, -tau * v[i] / d[i]);
+  }
+  return alpha;
+}
+
+}  // namespace
+
+IppmSolution solve_qp(const QpProblem& problem, const IppmOptions& options) {
+  qp_validate(problem);
+  const std::size_t n = problem.num_vars;
+  const std::size_t m = problem.num_cons;
+  const Csc a = Csc::build(problem);
+
+  IppmSolution out;
+  starting_point(problem, a, out.x, out.y, out.z);
+  std::vector<double>& x = out.x;
+  std::vector<double>& y = out.y;
+  std::vector<double>& z = out.z;
+
+  const double bscale = 1.0 + inf_norm(problem.rhs);
+  const double cscale = 1.0 + inf_norm(problem.linear);
+
+  std::vector<double> rp(m), rd(n), qx(n, 0.0), theta_inv(n), aty(n);
+  std::vector<double> f(n), rc(n), dxa, dya, dza(n), dx, dy, dz(n);
+  KktFactor factor;
+
+  double best_feas = kInf;
+  std::size_t stall = 0;
+  out.status = IppmStatus::kIterationLimit;
+
+  for (std::size_t iter = 0; iter <= options.max_iterations; ++iter) {
+    // Residuals at the current iterate.
+    std::fill(qx.begin(), qx.end(), 0.0);
+    if (!problem.hessian.empty()) {
+      for (std::size_t i = 0; i < n; ++i) {
+        double s = 0.0;
+        for (std::size_t j = 0; j < n; ++j) {
+          s += problem.hessian[i * n + j] * x[j];
+        }
+        qx[i] = s;
+      }
+    }
+    for (std::size_t r = 0; r < m; ++r) rp[r] = problem.rhs[r];
+    {
+      std::vector<double> ax(m, 0.0);
+      a.add_mul(x, ax);
+      for (std::size_t r = 0; r < m; ++r) rp[r] -= ax[r];
+    }
+    for (std::size_t i = 0; i < n; ++i) rd[i] = problem.linear[i] + qx[i] - z[i];
+    std::fill(aty.begin(), aty.end(), 0.0);
+    a.add_mul_t(y, aty);
+    for (std::size_t i = 0; i < n; ++i) rd[i] -= aty[i];
+
+    double obj = 0.0, mu = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      obj += problem.linear[i] * x[i] + 0.5 * qx[i] * x[i];
+      mu += x[i] * z[i];
+    }
+    mu /= static_cast<double>(n);
+
+    out.objective = obj;
+    out.iterations = iter;
+    out.primal_residual = inf_norm(rp) / bscale;
+    out.dual_residual = inf_norm(rd) / cscale;
+    out.complementarity = mu / (1.0 + std::abs(obj));
+
+    if (out.primal_residual <= options.tolerance &&
+        out.dual_residual <= options.tolerance &&
+        out.complementarity <= options.tolerance) {
+      out.status = IppmStatus::kConverged;
+      return out;
+    }
+
+    // Divergence and stall detection (the infeasibility heuristic: an
+    // infeasible problem drives complementarity down while the residuals
+    // cannot improve, or blows the iterates up).
+    const double feas = std::max(out.primal_residual, out.dual_residual);
+    if (!std::isfinite(feas) || !std::isfinite(mu) || inf_norm(x) > 1e14 ||
+        inf_norm(y) > 1e14) {
+      out.status = IppmStatus::kInfeasible;
+      return out;
+    }
+    if (feas < 0.9 * best_feas) {
+      best_feas = feas;
+      stall = 0;
+    } else if (++stall >= 15 && feas > std::sqrt(options.tolerance)) {
+      out.status = IppmStatus::kInfeasible;
+      return out;
+    }
+    if (iter == options.max_iterations) break;
+
+    // Proximal penalties fade with μ; the centers sit at the current
+    // iterate, so they only thicken the Newton diagonal.
+    double reg = std::max(options.regularization, std::min(1e-6, mu));
+    for (std::size_t i = 0; i < n; ++i) theta_inv[i] = z[i] / x[i];
+    bool factored = false;
+    for (int attempt = 0; attempt < 4 && !factored; ++attempt) {
+      factored = factor.build(problem, a, theta_inv, reg, reg);
+      if (!factored) reg *= 100.0;
+    }
+    if (!factored) {
+      out.status = IppmStatus::kInfeasible;
+      return out;
+    }
+
+    // Predictor (affine scaling): complementarity rhs −XZe.
+    for (std::size_t i = 0; i < n; ++i) f[i] = -rd[i] - z[i];
+    factor.solve(f, rp, dxa, dya);
+    for (std::size_t i = 0; i < n; ++i) {
+      dza[i] = (-x[i] * z[i] - z[i] * dxa[i]) / x[i];
+    }
+    const double ap_aff = step_length(x, dxa, 1.0);
+    const double ad_aff = step_length(z, dza, 1.0);
+    double mu_aff = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      mu_aff += (x[i] + ap_aff * dxa[i]) * (z[i] + ad_aff * dza[i]);
+    }
+    mu_aff /= static_cast<double>(n);
+    const double ratio = std::clamp(mu_aff / mu, 0.0, 1.0);
+    const double sigma = ratio * ratio * ratio;
+
+    // Corrector: −XZe − ΔXₐΔZₐe + σμe.
+    for (std::size_t i = 0; i < n; ++i) {
+      rc[i] = -x[i] * z[i] - dxa[i] * dza[i] + sigma * mu;
+      f[i] = -rd[i] + rc[i] / x[i];
+    }
+    factor.solve(f, rp, dx, dy);
+    for (std::size_t i = 0; i < n; ++i) {
+      dz[i] = (rc[i] - z[i] * dx[i]) / x[i];
+    }
+
+    const double tau = 0.995;
+    const double ap = std::min(1.0, tau * step_length(x, dx, 1.0));
+    const double ad = std::min(1.0, tau * step_length(z, dz, 1.0));
+    if (ap < 1e-12 && ad < 1e-12) {
+      // No movement possible: treat like a stalled iteration so the
+      // heuristic above terminates instead of spinning.
+      ++stall;
+    }
+    for (std::size_t i = 0; i < n; ++i) {
+      x[i] = std::max(x[i] + ap * dx[i], 1e-300);
+      z[i] = std::max(z[i] + ad * dz[i], 1e-300);
+    }
+    for (std::size_t r = 0; r < m; ++r) y[r] += ad * dy[r];
+  }
+  return out;
+}
+
+}  // namespace gasched::opt

@@ -1,0 +1,103 @@
+#pragma once
+/// \file
+/// A dense, dependency-free interior-point solver for convex quadratic
+/// programs in standard form,
+///
+///     minimize    ½ xᵀQx + cᵀx
+///     subject to  Ax = b,  x ≥ 0,
+///
+/// following the IP-PMM recipe of Pougkakiotis & Gondzio
+/// (arXiv:1904.10369): a Mehrotra-style predictor–corrector
+/// interior-point method wrapped in a proximal method of multipliers.
+/// The proximal terms appear as primal/dual regularization (ρ‖x − ξ‖² and
+/// δ‖y − λ‖² with the proximal centers ξ, λ pinned at the current
+/// iterate), which keeps the normal-equations matrix A·D⁻¹·Aᵀ + δI
+/// positive definite even when A is rank deficient or Q is zero (pure
+/// LP) — no factorization pivoting, no constraint preprocessing.
+///
+/// The Newton systems are solved by Cholesky on the normal equations.
+/// Two shapes are supported:
+///
+///  * a generic dense path (Q dense or m small) — factor
+///    D = Q + Θ⁻¹ + ρI, then the m×m matrix A·D⁻¹·Aᵀ + δI;
+///  * a Schur fast path for LPs whose leading `schur_diag_rows`
+///    constraint rows are pairwise column-disjoint: those rows
+///    contribute a *diagonal* block to the normal matrix, so only the
+///    trailing (m − k)×(m − k) complement is factored. The makespan
+///    relaxation (opt/relaxation.hpp) has N task rows of this shape and
+///    M + 1 ≪ N tail rows, turning an O(m³) factorization into O(N·M)
+///    per iteration.
+///
+/// The solver is fully deterministic: no randomness, no
+/// thread-count-dependent reductions — repeated solves of the same
+/// problem are bit-identical.
+
+#include <cstddef>
+#include <vector>
+
+namespace gasched::opt {
+
+/// One nonzero of the constraint matrix A (duplicates are summed).
+struct SparseEntry {
+  std::size_t row = 0;
+  std::size_t col = 0;
+  double value = 0.0;
+};
+
+/// A convex QP in standard form. `hessian` is dense row-major
+/// num_vars×num_vars and may be empty (= zero Hessian, a pure LP);
+/// `constraints` holds A sparsely.
+struct QpProblem {
+  std::size_t num_vars = 0;
+  std::size_t num_cons = 0;
+  std::vector<double> hessian;        ///< Q, dense row-major; empty = LP
+  std::vector<double> linear;         ///< c, size num_vars
+  std::vector<SparseEntry> constraints;  ///< A
+  std::vector<double> rhs;            ///< b, size num_cons
+  /// The leading `schur_diag_rows` rows of A are pairwise
+  /// column-disjoint (validated; throws when they are not). 0 disables
+  /// the Schur fast path. Only consulted on the LP path (empty hessian).
+  std::size_t schur_diag_rows = 0;
+};
+
+enum class IppmStatus {
+  kConverged,       ///< all relative residuals below tolerance
+  kIterationLimit,  ///< ran out of iterations while still progressing
+  kInfeasible,      ///< residuals stalled far from feasibility
+};
+
+struct IppmOptions {
+  /// Relative tolerance on primal/dual infeasibility and
+  /// complementarity.
+  double tolerance = 1e-8;
+  std::size_t max_iterations = 100;
+  /// Floor for the proximal penalties ρ (primal) and δ (dual); the
+  /// working value is max(floor, min(1e-6, μ)) so regularization fades
+  /// as the barrier parameter μ does.
+  double regularization = 1e-10;
+};
+
+/// Solver output. x/y/z are the primal iterate, equality duals, and
+/// reduced costs; they are returned whatever the status, so callers can
+/// extract safe dual certificates from early-terminated runs (see
+/// opt/relaxation.hpp).
+struct IppmSolution {
+  IppmStatus status = IppmStatus::kIterationLimit;
+  std::vector<double> x;
+  std::vector<double> y;
+  std::vector<double> z;
+  double objective = 0.0;      ///< cᵀx + ½xᵀQx at the final iterate
+  std::size_t iterations = 0;
+  double primal_residual = 0.0;   ///< ‖b − Ax‖∞ / (1 + ‖b‖∞)
+  double dual_residual = 0.0;     ///< ‖c + Qx − Aᵀy − z‖∞ / (1 + ‖c‖∞)
+  double complementarity = 0.0;   ///< xᵀz/n / (1 + |objective|)
+
+  bool converged() const { return status == IppmStatus::kConverged; }
+};
+
+/// Solves `problem`. Throws std::invalid_argument on malformed input
+/// (zero variables, size mismatches, out-of-range entries, non-finite
+/// data, or a schur_diag_rows prefix that is not column-disjoint).
+IppmSolution solve_qp(const QpProblem& problem, const IppmOptions& options = {});
+
+}  // namespace gasched::opt

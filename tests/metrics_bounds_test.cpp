@@ -121,6 +121,87 @@ TEST_P(BoundVsExactTest, LowerBoundIsValid) {
 INSTANTIATE_TEST_SUITE_P(RandomInstances, BoundVsExactTest,
                          ::testing::Range<std::uint64_t>(1, 41));
 
+// ----------------------------------------- relaxation lower bound ----
+
+TEST(RelaxationBound, DisabledFallsBackToCombinatorial) {
+  BoundInstance inst;
+  inst.task_sizes = {10.0, 20.0, 30.0};
+  inst.rates = {1.0, 2.0};
+  RelaxationBoundOptions off;
+  off.enabled = false;
+  EXPECT_DOUBLE_EQ(relaxation_lower_bound(inst, off),
+                   makespan_lower_bound(inst));
+}
+
+TEST(RelaxationBound, SingleProcessorIsNearExact) {
+  // On one processor the relaxation has no fractional freedom: the
+  // optimum is δ + Σ(t/P + c) and both bounds should essentially hit it.
+  BoundInstance inst;
+  inst.task_sizes = {10.0, 25.0, 40.0};
+  inst.rates = {5.0};
+  inst.pending_mflops = {15.0};
+  inst.comm_costs = {0.5};
+  const double opt = optimal_makespan_exact(inst);
+  EXPECT_DOUBLE_EQ(opt, 3.0 + (10.0 + 25.0 + 40.0) / 5.0 + 3 * 0.5);
+  const double lb = relaxation_lower_bound(inst);
+  EXPECT_LE(lb, opt + 1e-9);
+  EXPECT_GE(lb, opt * (1.0 - 1e-9));
+}
+
+TEST(RelaxationBound, AllEqualRatesMatchesDivisibleLoad) {
+  // Identical processors, no comm: the relaxation spreads work evenly,
+  // T* = W/ΣP — the work bound exactly, so lb_qp == lb_comb here.
+  BoundInstance inst;
+  inst.task_sizes.assign(12, 3.0);
+  inst.rates.assign(4, 2.0);
+  const double lb_comb = makespan_lower_bound(inst);
+  const double lb_qp = relaxation_lower_bound(inst);
+  EXPECT_DOUBLE_EQ(lb_comb, 36.0 / 8.0);
+  EXPECT_GE(lb_qp, lb_comb);
+  EXPECT_NEAR(lb_qp, lb_comb, 1e-6);
+  EXPECT_LE(lb_qp, optimal_makespan_exact(inst) + 1e-9);
+}
+
+TEST(RelaxationBound, CommCostDominatedInstanceStaysValid) {
+  // Tiny compute, heavy per-dispatch comm: the pigeonhole term drives
+  // lb_comb, and the relaxation (which prices comm per fractional
+  // assignment) must stay a valid bound and at least match it.
+  BoundInstance inst;
+  inst.task_sizes.assign(8, 1e-6);
+  inst.rates = {1.0, 1.0};
+  inst.comm_costs = {4.0, 4.0};
+  const double opt = optimal_makespan_exact(inst);
+  const double lb_comb = makespan_lower_bound(inst);
+  const double lb_qp = relaxation_lower_bound(inst);
+  EXPECT_GE(lb_comb, 16.0);  // ceil(8/2) = 4 dispatches × 4 s
+  EXPECT_GE(lb_qp, lb_comb);
+  EXPECT_LE(lb_qp, opt + 1e-9);
+}
+
+TEST(RelaxationBound, EmptyOptionalVectorsMatchExplicitZeros) {
+  // Empty pending_mflops/comm_costs mean "all zeros"; spelling the zeros
+  // out must not change a single bit of any bound (same arithmetic, same
+  // order) — the solver path included.
+  BoundInstance sparse;
+  sparse.task_sizes = {7.0, 11.0, 13.0, 17.0};
+  sparse.rates = {2.0, 3.0, 5.0};
+
+  BoundInstance dense = sparse;
+  dense.pending_mflops.assign(3, 0.0);
+  dense.comm_costs.assign(3, 0.0);
+
+  EXPECT_EQ(makespan_lower_bound(sparse), makespan_lower_bound(dense));
+  EXPECT_EQ(relaxation_lower_bound(sparse), relaxation_lower_bound(dense));
+  EXPECT_EQ(optimal_makespan_exact(sparse), optimal_makespan_exact(dense));
+}
+
+TEST(RelaxationBound, ValidatesLikeCombinatorialBound) {
+  EXPECT_THROW(relaxation_lower_bound({{1.0}, {}, {}, {}}),
+               std::invalid_argument);
+  EXPECT_THROW(relaxation_lower_bound({{1.0}, {-1.0}, {}, {}}),
+               std::invalid_argument);
+}
+
 // ------------------------------------------------ near-optimality ----
 
 sim::SystemView view_of(const BoundInstance& inst) {

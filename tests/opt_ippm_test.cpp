@@ -1,0 +1,314 @@
+// Tests for the IP-PMM interior-point QP solver (opt/ippm.hpp):
+// randomized problems with hand-derivable KKT solutions (box-constrained
+// least squares, simplex QPs/LPs, transportation polytopes),
+// convergence-to-tolerance, and the pathological shapes the proximal
+// regularization exists for — rank-deficient constraint matrices, zero
+// Hessians, and infeasible systems.
+
+#include "opt/ippm.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace gasched::opt {
+namespace {
+
+/// max_i |a_i - b_i|.
+double max_abs_diff(const std::vector<double>& a,
+                    const std::vector<double>& b) {
+  double m = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    m = std::max(m, std::abs(a[i] - b[i]));
+  }
+  return m;
+}
+
+/// Identity Hessian of size n (dense row-major).
+std::vector<double> identity(std::size_t n) {
+  std::vector<double> q(n * n, 0.0);
+  for (std::size_t i = 0; i < n; ++i) q[i * n + i] = 1.0;
+  return q;
+}
+
+// ------------------------------------------- known KKT solutions ----
+
+/// min ½‖x − d‖² s.t. x ≥ 0 (no equality rows): the unique KKT point is
+/// x = max(d, 0), z = max(−d, 0) — exercised over random sign patterns.
+TEST(Ippm, BoxConstrainedLeastSquaresMatchesProjection) {
+  for (std::uint64_t seed = 1; seed <= 10; ++seed) {
+    util::Rng rng(seed);
+    const std::size_t n = 3 + rng.index(8);
+    QpProblem p;
+    p.num_vars = n;
+    p.num_cons = 0;
+    p.hessian = identity(n);
+    p.linear.resize(n);
+    std::vector<double> d(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      d[i] = rng.uniform(-5.0, 5.0);
+      p.linear[i] = -d[i];  // ½‖x−d‖² = ½xᵀx − dᵀx + const
+    }
+    IppmOptions opts;
+    opts.tolerance = 1e-10;  // the 1e-6 absolute checks need a tight solve
+    const IppmSolution s = solve_qp(p, opts);
+    ASSERT_TRUE(s.converged()) << "seed " << seed;
+    for (std::size_t i = 0; i < n; ++i) {
+      EXPECT_NEAR(s.x[i], std::max(d[i], 0.0), 1e-6)
+          << "x[" << i << "], seed " << seed;
+      EXPECT_NEAR(s.z[i], std::max(-d[i], 0.0), 1e-6)
+          << "z[" << i << "], seed " << seed;
+    }
+  }
+}
+
+/// min ½‖x‖² s.t. Σx = 1, x ≥ 0: the minimum-norm point of the simplex,
+/// x_i = 1/n, objective 1/(2n).
+TEST(Ippm, SimplexQpFindsUniformPoint) {
+  for (std::size_t n : {2u, 5u, 17u}) {
+    QpProblem p;
+    p.num_vars = n;
+    p.num_cons = 1;
+    p.hessian = identity(n);
+    p.linear.assign(n, 0.0);
+    for (std::size_t i = 0; i < n; ++i) p.constraints.push_back({0, i, 1.0});
+    p.rhs = {1.0};
+    const IppmSolution s = solve_qp(p);
+    ASSERT_TRUE(s.converged()) << "n=" << n;
+    for (std::size_t i = 0; i < n; ++i) {
+      EXPECT_NEAR(s.x[i], 1.0 / static_cast<double>(n), 1e-7);
+    }
+    EXPECT_NEAR(s.objective, 0.5 / static_cast<double>(n), 1e-7);
+  }
+}
+
+/// Pure LP (empty Hessian): min cᵀx s.t. Σx = 1, x ≥ 0 puts all mass on
+/// the cheapest coordinate; the optimal value is min_i c_i and the dual
+/// y equals it (the simplex row's shadow price).
+TEST(Ippm, PureLpOverSimplexPicksCheapestVertex) {
+  for (std::uint64_t seed = 1; seed <= 10; ++seed) {
+    util::Rng rng(seed);
+    const std::size_t n = 4 + rng.index(10);
+    QpProblem p;
+    p.num_vars = n;
+    p.num_cons = 1;
+    p.linear.resize(n);
+    double cmin = 1e300;
+    for (std::size_t i = 0; i < n; ++i) {
+      p.linear[i] = rng.uniform(-3.0, 7.0);
+      cmin = std::min(cmin, p.linear[i]);
+      p.constraints.push_back({0, i, 1.0});
+    }
+    p.rhs = {1.0};
+    const IppmSolution s = solve_qp(p);
+    ASSERT_TRUE(s.converged()) << "seed " << seed;
+    EXPECT_NEAR(s.objective, cmin, 1e-6) << "seed " << seed;
+    EXPECT_NEAR(s.y[0], cmin, 1e-5) << "seed " << seed;
+  }
+}
+
+// --------------------------------------- transportation polytopes ----
+
+/// Random transportation LP: supplies a_i, demands b_j (Σa = Σb), vars
+/// x_ij ≥ 0 with row sums a_i and column sums b_j, cost Σ c_ij x_ij.
+/// The full row set is rank deficient by one (row sums − column sums
+/// cancel), so this doubles as the rank-deficient-A regression test.
+QpProblem transportation(util::Rng& rng, std::size_t rows, std::size_t cols) {
+  QpProblem p;
+  p.num_vars = rows * cols;
+  p.num_cons = rows + cols;
+  p.linear.resize(p.num_vars);
+  p.rhs.assign(p.num_cons, 0.0);
+  std::vector<double> supply(rows);
+  double total = 0.0;
+  for (std::size_t i = 0; i < rows; ++i) {
+    supply[i] = rng.uniform(1.0, 9.0);
+    total += supply[i];
+    p.rhs[i] = supply[i];
+  }
+  // Random demand split of the same total keeps the system consistent.
+  std::vector<double> w(cols);
+  double wsum = 0.0;
+  for (auto& v : w) {
+    v = rng.uniform(0.5, 2.0);
+    wsum += v;
+  }
+  for (std::size_t j = 0; j < cols; ++j) {
+    p.rhs[rows + j] = total * w[j] / wsum;
+  }
+  for (std::size_t i = 0; i < rows; ++i) {
+    for (std::size_t j = 0; j < cols; ++j) {
+      const std::size_t v = i * cols + j;
+      p.linear[v] = rng.uniform(1.0, 20.0);
+      p.constraints.push_back({i, v, 1.0});
+      p.constraints.push_back({rows + j, v, 1.0});
+    }
+  }
+  return p;
+}
+
+/// The KKT conditions certify optimality directly: primal feasibility,
+/// z = c − Aᵀy ≥ 0, and x ∘ z ≈ 0. Checking them (instead of a known
+/// optimum) keeps the test exact on every random instance.
+void expect_kkt_optimal(const QpProblem& p, const IppmSolution& s,
+                        double tol) {
+  std::vector<double> ax(p.num_cons, 0.0);
+  std::vector<double> aty(p.num_vars, 0.0);
+  for (const auto& e : p.constraints) {
+    ax[e.row] += e.value * s.x[e.col];
+    aty[e.col] += e.value * s.y[e.row];
+  }
+  for (std::size_t i = 0; i < p.num_cons; ++i) {
+    EXPECT_NEAR(ax[i], p.rhs[i], tol) << "row " << i;
+  }
+  for (std::size_t v = 0; v < p.num_vars; ++v) {
+    EXPECT_GE(s.x[v], -tol) << "var " << v;
+    EXPECT_GE(p.linear[v] - aty[v], -tol) << "reduced cost " << v;
+    EXPECT_NEAR(s.x[v] * (p.linear[v] - aty[v]), 0.0, tol) << "compl " << v;
+  }
+}
+
+TEST(Ippm, TransportationPolytopeSatisfiesKkt) {
+  for (std::uint64_t seed = 1; seed <= 8; ++seed) {
+    util::Rng rng(seed);
+    const std::size_t rows = 2 + rng.index(3);
+    const std::size_t cols = 2 + rng.index(4);
+    const QpProblem p = transportation(rng, rows, cols);
+    const IppmSolution s = solve_qp(p);
+    ASSERT_TRUE(s.converged()) << "seed " << seed;
+    expect_kkt_optimal(p, s, 1e-5);
+  }
+}
+
+/// The supply rows are pairwise column-disjoint, so the Schur fast path
+/// applies with k = rows. It must agree with the dense path to solver
+/// accuracy on both objective and iterate.
+TEST(Ippm, SchurFastPathMatchesDensePath) {
+  for (std::uint64_t seed = 1; seed <= 6; ++seed) {
+    util::Rng rng_a(seed), rng_b(seed);
+    QpProblem dense = transportation(rng_a, 3, 4);
+    QpProblem schur = transportation(rng_b, 3, 4);
+    schur.schur_diag_rows = 3;
+    const IppmSolution sd = solve_qp(dense);
+    const IppmSolution ss = solve_qp(schur);
+    ASSERT_TRUE(sd.converged());
+    ASSERT_TRUE(ss.converged());
+    EXPECT_NEAR(sd.objective, ss.objective, 1e-6) << "seed " << seed;
+    EXPECT_LT(max_abs_diff(sd.x, ss.x), 1e-5) << "seed " << seed;
+  }
+}
+
+// --------------------------------------------------- pathologies ----
+
+/// Duplicated equality rows make A rank deficient without changing the
+/// feasible set; the dual regularization must still produce the
+/// minimum-norm simplex point.
+TEST(Ippm, RankDeficientDuplicateRowsStillConverge) {
+  const std::size_t n = 6;
+  QpProblem p;
+  p.num_vars = n;
+  p.num_cons = 3;  // the same Σx = 1 row three times
+  p.hessian = identity(n);
+  p.linear.assign(n, 0.0);
+  for (std::size_t r = 0; r < 3; ++r) {
+    for (std::size_t i = 0; i < n; ++i) p.constraints.push_back({r, i, 1.0});
+    p.rhs.push_back(1.0);
+  }
+  const IppmSolution s = solve_qp(p);
+  ASSERT_TRUE(s.converged());
+  for (std::size_t i = 0; i < n; ++i) EXPECT_NEAR(s.x[i], 1.0 / n, 1e-6);
+}
+
+/// Σx = −1 with x ≥ 0 has no feasible point; the stall heuristic must
+/// report infeasibility rather than looping to the iteration limit with
+/// a bogus "converged".
+TEST(Ippm, DetectsInfeasibleSystem) {
+  QpProblem p;
+  p.num_vars = 4;
+  p.num_cons = 1;
+  p.linear.assign(4, 1.0);
+  for (std::size_t i = 0; i < 4; ++i) p.constraints.push_back({0, i, 1.0});
+  p.rhs = {-1.0};
+  const IppmSolution s = solve_qp(p);
+  EXPECT_NE(s.status, IppmStatus::kConverged);
+}
+
+TEST(Ippm, ValidatesInput) {
+  QpProblem p;  // zero variables
+  EXPECT_THROW(solve_qp(p), std::invalid_argument);
+
+  p.num_vars = 2;
+  p.num_cons = 1;
+  p.linear = {1.0};  // wrong size
+  EXPECT_THROW(solve_qp(p), std::invalid_argument);
+
+  p.linear = {1.0, 1.0};
+  p.rhs = {1.0};
+  p.constraints = {{0, 5, 1.0}};  // column out of range
+  EXPECT_THROW(solve_qp(p), std::invalid_argument);
+
+  // Rows 0 and 1 share column 0: not a valid Schur prefix.
+  p.num_cons = 2;
+  p.rhs = {1.0, 1.0};
+  p.constraints = {{0, 0, 1.0}, {1, 0, 1.0}, {1, 1, 1.0}};
+  p.schur_diag_rows = 2;
+  EXPECT_THROW(solve_qp(p), std::invalid_argument);
+  p.schur_diag_rows = 1;  // row 0 alone is fine
+  EXPECT_NO_THROW(solve_qp(p));
+}
+
+// ------------------------------------------ convergence contract ----
+
+TEST(Ippm, ReportsResidualsWithinTolerance) {
+  util::Rng rng(99);
+  const QpProblem p = transportation(rng, 3, 3);
+  IppmOptions opts;
+  opts.tolerance = 1e-10;
+  const IppmSolution s = solve_qp(p, opts);
+  ASSERT_TRUE(s.converged());
+  EXPECT_LE(s.primal_residual, opts.tolerance);
+  EXPECT_LE(s.dual_residual, opts.tolerance);
+  EXPECT_LE(s.complementarity, opts.tolerance);
+}
+
+TEST(Ippm, IterationLimitReturnsIterateNotGarbage) {
+  util::Rng rng(7);
+  const QpProblem p = transportation(rng, 4, 5);
+  IppmOptions opts;
+  opts.max_iterations = 2;
+  const IppmSolution s = solve_qp(p, opts);
+  EXPECT_EQ(s.status, IppmStatus::kIterationLimit);
+  ASSERT_EQ(s.x.size(), p.num_vars);
+  ASSERT_EQ(s.y.size(), p.num_cons);
+  for (const double v : s.x) {
+    EXPECT_TRUE(std::isfinite(v));
+    EXPECT_GT(v, 0.0);  // interior iterates stay strictly positive
+  }
+  for (const double v : s.y) EXPECT_TRUE(std::isfinite(v));
+}
+
+TEST(Ippm, RepeatedSolvesAreBitIdentical) {
+  util::Rng rng_a(3), rng_b(3);
+  const QpProblem pa = transportation(rng_a, 3, 4);
+  const QpProblem pb = transportation(rng_b, 3, 4);
+  const IppmSolution a = solve_qp(pa);
+  const IppmSolution b = solve_qp(pb);
+  ASSERT_EQ(a.x.size(), b.x.size());
+  for (std::size_t i = 0; i < a.x.size(); ++i) {
+    EXPECT_EQ(a.x[i], b.x[i]) << "x[" << i << "]";
+    EXPECT_EQ(a.z[i], b.z[i]) << "z[" << i << "]";
+  }
+  for (std::size_t i = 0; i < a.y.size(); ++i) {
+    EXPECT_EQ(a.y[i], b.y[i]) << "y[" << i << "]";
+  }
+  EXPECT_EQ(a.objective, b.objective);
+  EXPECT_EQ(a.iterations, b.iterations);
+}
+
+}  // namespace
+}  // namespace gasched::opt

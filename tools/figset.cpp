@@ -127,7 +127,7 @@ int usage(std::ostream& os, int code) {
         "  --only PATTERN   glob over figure ids, e.g. 'fig0[5-9]', 'fig1*'\n"
         "  --tag TAG        keep figures carrying TAG (makespan, efficiency,\n"
         "                   ga, convergence, overhead, normal, uniform,\n"
-        "                   poisson)\n"
+        "                   poisson, bounds, gap, extension)\n"
         "  --full           paper-scale parameters (10000 tasks, 50 reps,\n"
         "                   1000 generations; also GASCHED_BENCH_SCALE=full)\n"
         "  --tasks/--reps/--generations/--procs/--seed/--population/--batch\n"
