@@ -1,0 +1,434 @@
+// SIMD-kernel and numeric-mode throughput probe: the perf anchor behind
+// the perf_kernels section of BENCH_eval.json (see scripts/bench_perf.sh
+// and docs/evaluation.md "Numeric modes").
+//
+// Measures, on the perf_eval pinned fixture (seeds 1/2/3):
+//
+//   kernels[]   ns/op of each SIMD primitive (core/kernels.hpp) on the
+//               active ISA vs the unrolled-scalar fallback, at pricing-
+//               shaped sizes (a queue gather over a cost pane, the
+//               completion-lane reduction)
+//   ga[]        exact- vs fast-mode GA generation throughput at
+//               H=200 and H=600 (fixed M=50, population 20), the
+//               fast/exact speedup, fast-mode steady-state allocations
+//               per generation (differenced G vs 2G so warm-up lane
+//               growth cancels; must be 0.00), and the tolerance audit's
+//               sample count and max relative deviation for the fast runs
+//
+// `--report` prints the machine stanza (compiled + runtime CPU features,
+// active kernel ISA, GASCHED_NATIVE) and exits — the ledger provenance
+// hook. The probe itself exits non-zero if the audit saw a deviation
+// above tolerance, so CI can gate on plain exit status.
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <new>
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include "core/fitness.hpp"
+#include "core/init.hpp"
+#include "core/kernels.hpp"
+#include "core/numeric.hpp"
+#include "ga/engine.hpp"
+#include "sim/policy.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+std::atomic<unsigned long long> g_allocs{0};
+
+}  // namespace
+
+// Counting hook: every heap allocation in the process bumps the counter.
+void* operator new(std::size_t n) {
+  g_allocs.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(n)) return p;
+  throw std::bad_alloc();
+}
+void* operator new[](std::size_t n) {
+  g_allocs.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(n)) return p;
+  throw std::bad_alloc();
+}
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+
+namespace {
+
+using namespace gasched;
+namespace kernels = core::kernels;
+
+struct Options {
+  std::size_t procs = 50;
+  std::size_t population = 20;
+  /// Generations of the H=200 case; the H=600 case runs half as many.
+  std::size_t generations = 300;
+  double tolerance = 1e-12;
+  bool report = false;
+  std::string label = "current";
+};
+
+Options parse(int argc, char** argv) {
+  Options o;
+  for (int i = 1; i < argc; ++i) {
+    auto num = [&](std::size_t& out) {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "perf_kernels: %s needs a value\n", argv[i]);
+        std::exit(2);
+      }
+      out = std::strtoul(argv[++i], nullptr, 10);
+    };
+    if (std::strcmp(argv[i], "--report") == 0) {
+      o.report = true;
+    } else if (std::strcmp(argv[i], "--generations") == 0) {
+      num(o.generations);
+    } else if (std::strcmp(argv[i], "--procs") == 0) {
+      num(o.procs);
+    } else if (std::strcmp(argv[i], "--population") == 0) {
+      num(o.population);
+    } else if (std::strcmp(argv[i], "--tolerance") == 0 && i + 1 < argc) {
+      o.tolerance = std::strtod(argv[++i], nullptr);
+    } else if (std::strcmp(argv[i], "--label") == 0 && i + 1 < argc) {
+      o.label = argv[++i];
+    } else {
+      std::fprintf(stderr,
+                   "usage: perf_kernels [--report] [--generations G] "
+                   "[--procs M] [--population P] [--tolerance T] "
+                   "[--label L]\n");
+      std::exit(2);
+    }
+  }
+  return o;
+}
+
+void print_machine(FILE* out) {
+  const kernels::CpuFeatures f = kernels::cpu_features();
+  std::fprintf(out,
+               "{\"active_isa\":\"%s\",\"compiled_avx2\":%s,"
+               "\"compiled_neon\":%s,\"runtime_avx2\":%s,"
+               "\"runtime_neon\":%s,\"native_build\":%s}",
+               kernels::isa_name(kernels::active_isa()),
+               f.compiled_avx2 ? "true" : "false",
+               f.compiled_neon ? "true" : "false",
+               f.runtime_avx2 ? "true" : "false",
+               f.runtime_neon ? "true" : "false",
+               f.native_build ? "true" : "false");
+}
+
+// --- kernel micro-timings ---------------------------------------------------
+
+/// Median-of-3 ns/op of `body` (called `iters` times per rep), with a
+/// volatile sink so the summations cannot be dead-code eliminated.
+template <typename F>
+double ns_per_op(std::size_t iters, F&& body) {
+  volatile double sink = 0.0;
+  double best = 1e300;
+  for (int rep = 0; rep < 3; ++rep) {
+    const auto t0 = std::chrono::steady_clock::now();
+    for (std::size_t k = 0; k < iters; ++k) sink = sink + body();
+    const auto t1 = std::chrono::steady_clock::now();
+    const double ns =
+        std::chrono::duration<double, std::nano>(t1 - t0).count() /
+        static_cast<double>(iters);
+    best = std::min(best, ns);
+  }
+  (void)sink;
+  return best;
+}
+
+struct KernelRow {
+  const char* kernel;
+  std::size_t n;
+  double ns_active;
+  double ns_scalar;
+};
+
+std::vector<KernelRow> time_kernels() {
+  // Pricing-shaped inputs: a 600-slot cost pane, a 200-slot queue gather
+  // (H=200 batches put ~H/M slots per queue, but the batched path gathers
+  // every queue of every lane — per-slot cost is what matters), and an
+  // M=50 completion-lane reduction.
+  util::Rng rng(7);
+  std::vector<double> pane(600);
+  for (auto& v : pane) v = rng.uniform(0.0, 10.0);
+  std::vector<std::size_t> idx(200);
+  for (auto& i : idx) i = rng.index(pane.size());
+  std::vector<double> lane(50);
+  for (auto& v : lane) v = rng.uniform(0.0, 100.0);
+
+  const kernels::Isa active = kernels::active_isa();
+  const kernels::Isa scalar = kernels::Isa::kScalar;
+  const std::size_t iters = 200000;
+
+  std::vector<KernelRow> rows;
+  rows.push_back({"sum_gather", idx.size(),
+                  ns_per_op(iters,
+                            [&] {
+                              return kernels::sum_gather_isa(
+                                  active, pane.data(), idx.data(), idx.size());
+                            }),
+                  ns_per_op(iters, [&] {
+                    return kernels::sum_gather_isa(scalar, pane.data(),
+                                                   idx.data(), idx.size());
+                  })});
+  rows.push_back({"sum_range", pane.size(),
+                  ns_per_op(iters,
+                            [&] {
+                              return kernels::sum_range_isa(active, pane.data(),
+                                                            pane.size());
+                            }),
+                  ns_per_op(iters, [&] {
+                    return kernels::sum_range_isa(scalar, pane.data(),
+                                                  pane.size());
+                  })});
+  rows.push_back({"reduce_deviation", lane.size(),
+                  ns_per_op(iters,
+                            [&] {
+                              return kernels::reduce_deviation_isa(
+                                         active, lane.data(), lane.size(), 42.0)
+                                  .sum_sq;
+                            }),
+                  ns_per_op(iters, [&] {
+                    return kernels::reduce_deviation_isa(scalar, lane.data(),
+                                                         lane.size(), 42.0)
+                        .sum_sq;
+                  })});
+  return rows;
+}
+
+// --- GA exact-vs-fast -------------------------------------------------------
+
+/// (wall seconds, allocations, generations) of one GA run on the pinned
+/// fixture, built fresh per call with the requested numeric mode.
+std::tuple<double, unsigned long long, std::size_t> run_ga(
+    const Options& o, std::size_t tasks, std::size_t generations,
+    core::NumericMode mode) {
+  // Pinned fixture (seeds match perf_eval / micro_ga_ops' BatchFixture).
+  util::Rng fixture_rng(1);
+  std::vector<double> sizes(tasks);
+  for (auto& v : sizes) v = fixture_rng.uniform(10.0, 1000.0);
+  sim::SystemView view;
+  view.procs.resize(o.procs);
+  for (std::size_t j = 0; j < o.procs; ++j) {
+    view.procs[j].id = static_cast<sim::ProcId>(j);
+    view.procs[j].rate = fixture_rng.uniform(10.0, 100.0);
+    view.procs[j].comm_estimate = fixture_rng.uniform(1.0, 50.0);
+  }
+  const core::ScheduleCodec codec(tasks, o.procs);
+  const core::ScheduleEvaluator eval(std::move(sizes), view,
+                                     /*use_comm=*/true, mode);
+  const core::ScheduleProblem problem(codec, eval);
+  static const ga::RouletteSelection kSelection;
+  static const ga::CycleCrossover kCrossover;
+  static const ga::SwapMutation kMutation;
+  ga::GaConfig cfg;
+  cfg.population = o.population;
+  cfg.max_generations = generations;
+  // Trajectory-independent workload: always cross over (every offspring
+  // is dirty, so every generation prices the full population through the
+  // mode under test) and skip the improvement passes (whose delta-pricing
+  // work depends on how converged the trajectory happens to be — and
+  // exact/fast trajectories diverge, which would make the differenced
+  // gens/sec compare different amounts of work instead of the same
+  // pricing done two ways).
+  cfg.crossover_rate = 1.0;
+  cfg.improvement_passes = 0;
+  cfg.numeric_mode = mode;
+  const ga::GaEngine engine(cfg, kSelection, kCrossover, kMutation);
+  util::Rng init_rng(2);
+  auto init =
+      core::initial_population(codec, eval, o.population, 0.5, init_rng);
+  util::Rng ga_rng(3);
+  const auto t0 = std::chrono::steady_clock::now();
+  const unsigned long long a0 = g_allocs.load(std::memory_order_relaxed);
+  const ga::GaResult r = engine.run(problem, std::move(init), ga_rng);
+  const unsigned long long a1 = g_allocs.load(std::memory_order_relaxed);
+  const auto t1 = std::chrono::steady_clock::now();
+  return {std::chrono::duration<double>(t1 - t0).count(), a1 - a0,
+          r.generations};
+}
+
+// Isolated population-pricing throughput: the same ScheduleProblem
+// evaluate_batch API in both modes (exact falls back to the per-
+// individual loop), on a fixed population block, workspace reused — no
+// selection/crossover in the loop, so this measures the pricing path the
+// numeric mode actually changes. The end-to-end gens/sec below wraps the
+// same pricing in the full GA loop, whose other stages dilute the
+// speedup (Amdahl).
+double pricing_evals_per_sec(const Options& o, std::size_t tasks,
+                             core::NumericMode mode) {
+  util::Rng fixture_rng(1);
+  std::vector<double> sizes(tasks);
+  for (auto& v : sizes) v = fixture_rng.uniform(10.0, 1000.0);
+  sim::SystemView view;
+  view.procs.resize(o.procs);
+  for (std::size_t j = 0; j < o.procs; ++j) {
+    view.procs[j].id = static_cast<sim::ProcId>(j);
+    view.procs[j].rate = fixture_rng.uniform(10.0, 100.0);
+    view.procs[j].comm_estimate = fixture_rng.uniform(1.0, 50.0);
+  }
+  const core::ScheduleCodec codec(tasks, o.procs);
+  const core::ScheduleEvaluator eval(std::move(sizes), view,
+                                     /*use_comm=*/true, mode);
+  const core::ScheduleProblem problem(codec, eval);
+  util::Rng init_rng(2);
+  const auto pop =
+      core::initial_population(codec, eval, o.population, 0.5, init_rng);
+  std::vector<std::size_t> indices(pop.size());
+  for (std::size_t k = 0; k < indices.size(); ++k) indices[k] = k;
+  const auto ws = problem.make_workspace();
+  std::vector<ga::GaProblem::Evaluation> out(pop.size());
+
+  // Warm-up (lane growth, code), then size the rep count to ~0.2 s.
+  problem.evaluate_batch(pop, indices, ws.get(), out.data());
+  const auto p0 = std::chrono::steady_clock::now();
+  problem.evaluate_batch(pop, indices, ws.get(), out.data());
+  const auto p1 = std::chrono::steady_clock::now();
+  const double per_batch =
+      std::max(std::chrono::duration<double>(p1 - p0).count(), 1e-9);
+  const auto reps = static_cast<std::size_t>(
+      std::max(1.0, std::min(0.2 / per_batch, 1e6)));
+
+  const auto t0 = std::chrono::steady_clock::now();
+  for (std::size_t r = 0; r < reps; ++r) {
+    problem.evaluate_batch(pop, indices, ws.get(), out.data());
+  }
+  const auto t1 = std::chrono::steady_clock::now();
+  return static_cast<double>(reps * pop.size()) /
+         std::chrono::duration<double>(t1 - t0).count();
+}
+
+struct PricingRow {
+  std::size_t tasks;
+  double exact_eps;
+  double fast_eps;
+  double speedup;
+  unsigned long long audit_samples;
+  double audit_max_dev;
+};
+
+PricingRow compare_pricing(const Options& o, std::size_t tasks) {
+  PricingRow row{};
+  row.tasks = tasks;
+  row.exact_eps = pricing_evals_per_sec(o, tasks, core::NumericMode::kExact);
+  core::ToleranceAudit audit(core::AuditConfig{o.tolerance, 64});
+  const core::ToleranceAudit::Scope scope(audit);
+  row.fast_eps = pricing_evals_per_sec(o, tasks, core::NumericMode::kFast);
+  row.speedup = row.fast_eps / row.exact_eps;
+  row.audit_samples = audit.samples();
+  row.audit_max_dev = audit.max_deviation();
+  return row;
+}
+
+struct GaRow {
+  std::size_t tasks;
+  std::size_t generations;
+  double exact_gps;
+  double fast_gps;
+  double speedup;
+  double fast_allocs_per_gen;
+  unsigned long long audit_samples;
+  double audit_max_dev;
+};
+
+GaRow compare_modes(const Options& o, std::size_t tasks,
+                    std::size_t generations) {
+  auto gps = [&](core::NumericMode mode) {
+    run_ga(o, tasks, generations, mode);  // warm-up (code + allocator)
+    const auto [t1, a1, g1] = run_ga(o, tasks, generations, mode);
+    const auto [t2, a2, g2] = run_ga(o, tasks, 2 * generations, mode);
+    const double gens = static_cast<double>(g2 - g1);
+    return std::pair{gens / (t2 - t1),
+                     static_cast<double>(a2 - a1) / gens};
+  };
+
+  GaRow row{};
+  row.tasks = tasks;
+  row.generations = generations;
+  std::tie(row.exact_gps, std::ignore) = gps(core::NumericMode::kExact);
+
+  // Scope a fresh audit around the fast runs so the reported sample
+  // count and max deviation belong to exactly this case.
+  core::ToleranceAudit audit(core::AuditConfig{o.tolerance, 64});
+  const core::ToleranceAudit::Scope scope(audit);
+  std::tie(row.fast_gps, row.fast_allocs_per_gen) =
+      gps(core::NumericMode::kFast);
+  row.speedup = row.fast_gps / row.exact_gps;
+  row.audit_samples = audit.samples();
+  row.audit_max_dev = audit.max_deviation();
+  return row;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Options o = parse(argc, argv);
+
+  int exit_code = 0;
+  try {
+    if (o.report) {
+      print_machine(stdout);
+      std::printf("\n");
+      return 0;
+    }
+    const std::vector<KernelRow> kernel_rows = time_kernels();
+    std::vector<PricingRow> pricing_rows;
+    pricing_rows.push_back(compare_pricing(o, 200));
+    pricing_rows.push_back(compare_pricing(o, 600));
+    std::vector<GaRow> ga_rows;
+    ga_rows.push_back(compare_modes(o, 200, o.generations));
+    ga_rows.push_back(
+        compare_modes(o, 600, std::max<std::size_t>(o.generations / 2, 1)));
+
+    std::printf("{\"label\":\"%s\",\"machine\":", o.label.c_str());
+    print_machine(stdout);
+    std::printf(",\"tolerance\":%g,\"kernels\":[", o.tolerance);
+    for (std::size_t i = 0; i < kernel_rows.size(); ++i) {
+      const KernelRow& k = kernel_rows[i];
+      std::printf(
+          "%s{\"kernel\":\"%s\",\"n\":%zu,\"ns_per_op_active\":%.1f,"
+          "\"ns_per_op_scalar\":%.1f}",
+          i ? "," : "", k.kernel, k.n, k.ns_active, k.ns_scalar);
+    }
+    std::printf("],\"pricing\":[");
+    for (std::size_t i = 0; i < pricing_rows.size(); ++i) {
+      const PricingRow& p = pricing_rows[i];
+      std::printf(
+          "%s{\"tasks\":%zu,\"procs\":%zu,\"population\":%zu,"
+          "\"exact_evals_per_sec\":%.0f,\"fast_evals_per_sec\":%.0f,"
+          "\"speedup\":%.2f,\"audit_samples\":%llu,"
+          "\"audit_max_deviation\":%.3g}",
+          i ? "," : "", p.tasks, o.procs, o.population, p.exact_eps,
+          p.fast_eps, p.speedup, p.audit_samples, p.audit_max_dev);
+      if (p.audit_max_dev > o.tolerance) exit_code = 1;
+    }
+    std::printf("],\"ga\":[");
+    for (std::size_t i = 0; i < ga_rows.size(); ++i) {
+      const GaRow& g = ga_rows[i];
+      std::printf(
+          "%s{\"tasks\":%zu,\"procs\":%zu,\"population\":%zu,"
+          "\"generations\":%zu,\"exact_gens_per_sec\":%.1f,"
+          "\"fast_gens_per_sec\":%.1f,\"speedup\":%.2f,"
+          "\"allocs_per_generation\":%.2f,\"audit_samples\":%llu,"
+          "\"audit_max_deviation\":%.3g}",
+          i ? "," : "", g.tasks, o.procs, o.population, g.generations,
+          g.exact_gps, g.fast_gps, g.speedup, g.fast_allocs_per_gen,
+          g.audit_samples, g.audit_max_dev);
+      if (g.audit_max_dev > o.tolerance) exit_code = 1;
+    }
+    std::printf("]}\n");
+  } catch (const std::exception& e) {
+    // A ToleranceAudit violation throws out of the fast run — the
+    // hardest possible failure of the numeric-mode contract.
+    std::fprintf(stderr, "perf_kernels: %s\n", e.what());
+    return 1;
+  }
+  return exit_code;
+}

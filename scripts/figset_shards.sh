@@ -1,0 +1,74 @@
+#!/usr/bin/env bash
+# Local shard fan-out for the paper-figure driver: launches N `figset
+# run --shard i/N` processes in parallel, waits for all of them, and
+# stitches their outputs with `figset merge`. The merged CSVs/JSONL are
+# byte-identical to a single unsharded run (docs/sweeps.md), so this is
+# a pure wall-clock play for multi-core hosts — the same shard/merge
+# machinery that splits a figure set across machines, driven locally.
+#
+#   usage: scripts/figset_shards.sh [-n SHARDS] [-b BUILD_DIR] [-o OUT]
+#                                   [-- FIGSET_RUN_ARGS...]
+#
+#   -n SHARDS     number of parallel shard processes (default: nproc)
+#   -b BUILD_DIR  build tree holding tools/figset (default: build)
+#   -o OUT        merged output directory (default: figset_out)
+#   --            everything after it is passed to every `figset run`
+#                 (e.g. --only 'fig0[5-9]' --tasks 50 --reps 1)
+#
+# Shard work directories land in OUT.shards/shard_<i> and are kept on
+# success for inspection; any shard failure aborts with that shard's
+# exit status after the others finish.
+set -euo pipefail
+
+SHARDS="$(nproc)"
+BUILD_DIR="build"
+OUT="figset_out"
+while getopts ":n:b:o:" opt; do
+  case "$opt" in
+    n) SHARDS="$OPTARG" ;;
+    b) BUILD_DIR="$OPTARG" ;;
+    o) OUT="$OPTARG" ;;
+    \?) echo "figset_shards: unknown option -$OPTARG" >&2; exit 2 ;;
+    :) echo "figset_shards: -$OPTARG needs a value" >&2; exit 2 ;;
+  esac
+done
+shift $((OPTIND - 1))
+if ! [[ "$SHARDS" =~ ^[0-9]+$ ]] || [ "$SHARDS" -lt 1 ]; then
+  echo "figset_shards: shard count must be a positive integer" >&2
+  exit 2
+fi
+
+FIGSET="$BUILD_DIR/tools/figset"
+if [ ! -x "$FIGSET" ]; then
+  echo "figset_shards: building figset in $BUILD_DIR" >&2
+  cmake --build "$BUILD_DIR" --target figset -j "$(nproc)" >&2
+fi
+
+WORK="$OUT.shards"
+rm -rf "$WORK"
+mkdir -p "$WORK"
+
+pids=()
+for ((i = 0; i < SHARDS; ++i)); do
+  "$FIGSET" run --shard "$i/$SHARDS" --out "$WORK/shard_$i" "$@" \
+    > "$WORK/shard_$i.log" 2>&1 &
+  pids+=($!)
+done
+
+status=0
+for ((i = 0; i < SHARDS; ++i)); do
+  if ! wait "${pids[$i]}"; then
+    rc=$?
+    echo "figset_shards: shard $i/$SHARDS failed (exit $rc):" >&2
+    tail -20 "$WORK/shard_$i.log" >&2
+    status=$rc
+  fi
+done
+[ "$status" -eq 0 ] || exit "$status"
+
+shard_dirs=()
+for ((i = 0; i < SHARDS; ++i)); do
+  shard_dirs+=("$WORK/shard_$i")
+done
+"$FIGSET" merge --out "$OUT" "${shard_dirs[@]}"
+echo "figset_shards: merged $SHARDS shards into $OUT" >&2

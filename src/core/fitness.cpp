@@ -4,14 +4,18 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "core/kernels.hpp"
 #include "core/rebalance.hpp"
 
 namespace gasched::core {
 
 ScheduleEvaluator::ScheduleEvaluator(std::vector<double> task_sizes,
                                      const sim::SystemView& view,
-                                     bool use_comm)
-    : size_(std::move(task_sizes)) {
+                                     bool use_comm, NumericMode mode)
+    : size_(std::move(task_sizes)),
+      mode_(mode),
+      audit_(mode == NumericMode::kFast ? ToleranceAudit::current()
+                                        : nullptr) {
   if (view.procs.empty()) {
     throw std::invalid_argument("ScheduleEvaluator: empty system view");
   }
@@ -56,6 +60,10 @@ ScheduleEvaluator::ScheduleEvaluator(std::vector<double> task_sizes,
       row[slot] = size_[slot] / rate + comm;
     }
   }
+  // Fast-path shape: gather pricing only pays off once queues are long
+  // enough to fill SIMD lanes (see gather_shape() in the header).
+  gather_shape_ = mode_ == NumericMode::kFast &&
+                  N >= kGatherShapeMinSlotsPerQueue * rate_.size();
 }
 
 double ScheduleEvaluator::completion_time(
@@ -129,7 +137,7 @@ double ScheduleEvaluator::fitness(const ProcQueues& queues) const {
   return fitness_of_error(relative_error(queues));
 }
 
-BatchEvaluation ScheduleEvaluator::evaluate(
+BatchEvaluation ScheduleEvaluator::evaluate_exact(
     const FlatSchedule& schedule) const {
   double m = 0.0;
   double sum_sq = 0.0;
@@ -141,6 +149,82 @@ BatchEvaluation ScheduleEvaluator::evaluate(
   }
   const double e = std::sqrt(sum_sq);
   return {fitness_of_error(e), m, e};
+}
+
+namespace {
+
+/// Audit sampling stream of the stateless fast evaluate(FlatSchedule)
+/// path: per-thread, so concurrent callers never race (workspace paths
+/// use the per-workspace QueueLoads::audit_tick instead).
+thread_local std::uint64_t t_stateless_audit_tick = 0;
+
+}  // namespace
+
+double ScheduleEvaluator::fast_queue_completion(
+    std::size_t j, std::span<const std::size_t> queue) const {
+  return delta_[j] +
+         kernels::sum_gather(cost_row(j), queue.data(), queue.size());
+}
+
+double ScheduleEvaluator::fast_completion(
+    std::size_t j, std::span<const std::size_t> queue) const {
+  if (gather_shape_) return fast_queue_completion(j, queue);
+  return completion_time(j, queue);
+}
+
+void ScheduleEvaluator::shadow_check(const FlatSchedule& schedule,
+                                     const BatchEvaluation& fast) const {
+  const BatchEvaluation exact = evaluate_exact(schedule);
+  // One deviation per sample: the worst of the three reported metrics.
+  // Fitness lives in [0, 1] (scale 1); makespan and E are times whose
+  // natural scale is ψ — see core::metric_deviation for the floor rule.
+  const double dev = std::max(
+      {metric_deviation(fast.fitness, exact.fitness, 1.0),
+       metric_deviation(fast.makespan, exact.makespan, psi_),
+       metric_deviation(fast.relative_error, exact.relative_error, psi_)});
+  audit_->record(dev);
+}
+
+void ScheduleEvaluator::maybe_audit(const FlatSchedule& schedule,
+                                    const BatchEvaluation& fast,
+                                    std::uint64_t& tick) const {
+  if (audit_ == nullptr) return;
+  const std::size_t period = audit_->config().sample_period;
+  if (period == 0) return;
+  if (++tick % period != 0) return;
+  shadow_check(schedule, fast);
+}
+
+void ScheduleEvaluator::audit_batched(const ScheduleCodec& codec,
+                                      const ga::Chromosome& c,
+                                      const BatchEvaluation& fast,
+                                      FlatSchedule& scratch,
+                                      std::uint64_t& tick) const {
+  if (audit_ == nullptr) return;
+  const std::size_t period = audit_->config().sample_period;
+  if (period == 0) return;
+  if (++tick % period != 0) return;
+  // Sampled lanes re-decode (rare — once per sample_period pricings);
+  // unsampled lanes never pay a second pass.
+  codec.decode_into(c, scratch);
+  shadow_check(scratch, fast);
+}
+
+BatchEvaluation ScheduleEvaluator::evaluate(
+    const FlatSchedule& schedule) const {
+  if (mode_ != NumericMode::kFast) return evaluate_exact(schedule);
+  double m = 0.0;
+  double sum_sq = 0.0;
+  for (std::size_t j = 0; j < schedule.num_procs(); ++j) {
+    const double cj = fast_completion(j, schedule.queue(j));
+    m = std::max(m, cj);
+    const double dev = psi_ - cj;
+    sum_sq += dev * dev;
+  }
+  const double e = std::sqrt(sum_sq);
+  const BatchEvaluation fast{fitness_of_error(e), m, e};
+  maybe_audit(schedule, fast, t_stateless_audit_tick);
+  return fast;
 }
 
 BatchEvaluation ScheduleEvaluator::reduce(QueueLoads& loads) const {
@@ -178,8 +262,37 @@ void ScheduleEvaluator::reprice_queue(const FlatSchedule& schedule,
   loads.dev_sq[j] = dev * dev;
 }
 
+BatchEvaluation ScheduleEvaluator::reduce_fast(QueueLoads& loads) const {
+  // Kernel reduction straight from the completion array. A fast delta
+  // re-price reduces the exact same completions through the exact same
+  // kernel as a fast full pricing, so within kFast the delta paths stay
+  // bit-identical to load() — the invariant the rebalance loop's
+  // improve-supplied evaluation channel needs.
+  const kernels::Reduction r = kernels::reduce_deviation(
+      loads.completion.data(), loads.completion.size(), psi_);
+  loads.sum_sq = r.sum_sq;
+  loads.max_completion = r.max;
+  loads.heaviest = r.argmax;
+  const double e = std::sqrt(r.sum_sq);
+  loads.eval = {fitness_of_error(e), r.max, e};
+  return loads.eval;
+}
+
+BatchEvaluation ScheduleEvaluator::load_fast(const FlatSchedule& schedule,
+                                             QueueLoads& out) const {
+  const std::size_t M = schedule.num_procs();
+  out.completion.resize(M);
+  for (std::size_t j = 0; j < M; ++j) {
+    out.completion[j] = fast_completion(j, schedule.queue(j));
+  }
+  const BatchEvaluation fast = reduce_fast(out);
+  maybe_audit(schedule, fast, out.audit_tick);
+  return fast;
+}
+
 BatchEvaluation ScheduleEvaluator::load(const FlatSchedule& schedule,
                                         QueueLoads& out) const {
+  if (mode_ == NumericMode::kFast) return load_fast(schedule, out);
   const std::size_t M = schedule.num_procs();
   out.completion.resize(M);
   out.dev_sq.resize(M);
@@ -189,24 +302,23 @@ BatchEvaluation ScheduleEvaluator::load(const FlatSchedule& schedule,
   return reduce(out);
 }
 
-BatchEvaluation ScheduleEvaluator::load_decoded(const ScheduleCodec& codec,
-                                                const ga::Chromosome& c,
-                                                FlatSchedule& schedule,
-                                                QueueLoads& out) const {
+void ScheduleEvaluator::fused_decode_price(
+    const ScheduleCodec& codec, const ga::Chromosome& c,
+    FlatSchedule& schedule, std::vector<double>& completion) const {
   // Mirror of ScheduleCodec::decode_into with the pricing fused into the
   // walk: as each slot lands in its queue its cost is added to that
   // queue's running C_j — the same left-to-right, queue-order summation
   // completion_time() performs, so the result is bit-identical to
-  // decode_into + load at half the passes over the chromosome.
+  // decode_into + per-queue completion_time at half the passes over the
+  // chromosome.
   const std::size_t M = codec.num_procs();
   const std::size_t N = size_.size();
   schedule.slots_.clear();
   schedule.slots_.reserve(codec.num_tasks());
   schedule.offsets_.resize(M + 1);
   schedule.offsets_[0] = 0;
-  out.completion.resize(M);
-  out.dev_sq.resize(M);
-  for (std::size_t j = 0; j < M; ++j) out.completion[j] = delta_[j];
+  completion.resize(M);
+  for (std::size_t j = 0; j < M; ++j) completion[j] = delta_[j];
   std::size_t proc = 0;
   for (const ga::Gene g : c) {
     if (ScheduleCodec::is_delimiter(g)) {
@@ -219,12 +331,35 @@ BatchEvaluation ScheduleEvaluator::load_decoded(const ScheduleCodec& codec,
     } else {
       const std::size_t slot = ScheduleCodec::task_slot(g);
       schedule.slots_.push_back(slot);
-      out.completion[proc] += cost_[proc * N + slot];
+      completion[proc] += cost_[proc * N + slot];
     }
   }
   for (std::size_t j = proc + 1; j <= M; ++j) {
     schedule.offsets_[j] = schedule.slots_.size();
   }
+}
+
+BatchEvaluation ScheduleEvaluator::load_decoded(const ScheduleCodec& codec,
+                                                const ga::Chromosome& c,
+                                                FlatSchedule& schedule,
+                                                QueueLoads& out) const {
+  if (mode_ == NumericMode::kFast) {
+    if (gather_shape_) {
+      // Long queues: decode once, then gather-sum each queue over its
+      // cost pane with the SIMD kernels.
+      codec.decode_into(c, schedule);
+      return load_fast(schedule, out);
+    }
+    // Short queues: the fused scalar walk prices faster than any gather;
+    // fast mode keeps it and vectorizes only the metrics reduction.
+    fused_decode_price(codec, c, schedule, out.completion);
+    const BatchEvaluation fast = reduce_fast(out);
+    maybe_audit(schedule, fast, out.audit_tick);
+    return fast;
+  }
+  fused_decode_price(codec, c, schedule, out.completion);
+  const std::size_t M = codec.num_procs();
+  out.dev_sq.resize(M);
   for (std::size_t j = 0; j < M; ++j) {
     const double dev = psi_ - out.completion[j];
     out.dev_sq[j] = dev * dev;
@@ -236,6 +371,15 @@ BatchEvaluation ScheduleEvaluator::evaluate_swap(const FlatSchedule& schedule,
                                                  QueueLoads& loads,
                                                  std::size_t qa,
                                                  std::size_t qb) const {
+  if (mode_ == NumericMode::kFast) {
+    loads.completion[qa] = fast_completion(qa, schedule.queue(qa));
+    if (qb != qa) {
+      loads.completion[qb] = fast_completion(qb, schedule.queue(qb));
+    }
+    const BatchEvaluation fast = reduce_fast(loads);
+    maybe_audit(schedule, fast, loads.audit_tick);
+    return fast;
+  }
   reprice_queue(schedule, loads, qa);
   if (qb != qa) reprice_queue(schedule, loads, qb);
   return reduce(loads);
@@ -246,6 +390,14 @@ BatchEvaluation ScheduleEvaluator::evaluate_move(const FlatSchedule& schedule,
                                                  std::size_t from,
                                                  std::size_t to) const {
   return evaluate_swap(schedule, loads, from, to);
+}
+
+BatchEvaluation ScheduleEvaluator::reduce_completion_fast(
+    const double* completion) const {
+  const kernels::Reduction r =
+      kernels::reduce_deviation(completion, num_procs(), psi_);
+  const double e = std::sqrt(r.sum_sq);
+  return {fitness_of_error(e), r.max, e};
 }
 
 ScheduleProblem::ScheduleProblem(const ScheduleCodec& codec,
@@ -271,6 +423,58 @@ ga::GaProblem::Evaluation ScheduleProblem::evaluate(const ga::Chromosome& c,
   const BatchEvaluation e =
       eval_.load_decoded(codec_, c, w.schedule, w.loads);
   return {e.fitness, e.makespan};
+}
+
+void ScheduleProblem::evaluate_batch(std::span<const ga::Chromosome> pop,
+                                     std::span<const std::size_t> indices,
+                                     Workspace* ws, Evaluation* out) const {
+  // The queue-major gather machinery below only pays off in the gather
+  // shape (long queues). In the short-queue shape the per-chromosome
+  // fused decode+price walk (load_decoded via the base loop) is already
+  // the fastest pricing we have, so delegate to it.
+  if (eval_.numeric_mode() != NumericMode::kFast || !eval_.gather_shape() ||
+      ws == nullptr || indices.empty()) {
+    ga::GaProblem::evaluate_batch(pop, indices, ws, out);
+    return;
+  }
+  auto& w = static_cast<EvalWorkspace&>(*ws);
+  const std::size_t B = indices.size();
+  const std::size_t M = eval_.num_procs();
+  if (w.lane_schedule.size() < B) w.lane_schedule.resize(B);
+  w.lane_completion.resize(B * M);
+  w.lane_eval.resize(B);
+  // Pass 1: decode each block member into its own reused flat schedule.
+  for (std::size_t k = 0; k < B; ++k) {
+    codec_.decode_into(pop[indices[k]], w.lane_schedule[k]);
+  }
+  // Pass 2: queue-major gather-pricing — for each processor j, price
+  // queue j of *every* lane over pane row j while the row is hot in L1.
+  // Lane-major order would stream the whole cost table (M·N doubles)
+  // once per chromosome; queue-major streams it once per block. The
+  // per-queue sums are the same doubles either way, so this ordering is
+  // a pure locality choice.
+  const kernels::SumGatherFn gather = kernels::sum_gather_fn();
+  for (std::size_t j = 0; j < M; ++j) {
+    const double* row = eval_.cost_row(j);
+    const double dj = eval_.delta(j);
+    double* lanes = w.lane_completion.data();
+    for (std::size_t k = 0; k < B; ++k) {
+      const auto queue = w.lane_schedule[k].queue(j);
+      lanes[k * M + j] = dj + gather(row, queue.data(), queue.size());
+    }
+  }
+  // Pass 3: one kernel-reduction sweep over the lanes. The audit samples
+  // from the same per-workspace stream as the single-chromosome paths; a
+  // sampled lane re-decodes into the workspace schedule for its exact
+  // shadow pricing.
+  for (std::size_t k = 0; k < B; ++k) {
+    const BatchEvaluation fast =
+        eval_.reduce_completion_fast(w.lane_completion.data() + k * M);
+    w.lane_eval[k] = fast;
+    eval_.audit_batched(codec_, pop[indices[k]], fast, w.schedule,
+                        w.loads.audit_tick);
+    out[k] = {fast.fitness, fast.makespan};
+  }
 }
 
 std::unique_ptr<ga::GaProblem::Workspace> ScheduleProblem::make_workspace()

@@ -1,0 +1,89 @@
+#pragma once
+// Runtime-dispatched SIMD kernels behind the kFast pricing path
+// (core/numeric.hpp; docs/evaluation.md "Numeric modes").
+//
+// Three primitives cover every fast-path consumer:
+//
+//   sum_gather        Σ values[idx[k]]   — queue pricing over a cost pane
+//   sum_range         Σ values[k]        — contiguous sums
+//   reduce_deviation  (Σ(ψ−c_j)², max c_j, first argmax) over a
+//                     completion lane — the metrics reduction
+//
+// Each exists in an AVX2 variant (x86-64, selected when the CPU reports
+// AVX2+FMA), a NEON variant (aarch64 baseline), and an unrolled-scalar
+// fallback. Selection happens once per process (active_isa()); the
+// GASCHED_KERNEL_ISA environment variable (scalar|avx2|neon) overrides
+// it for tests, and requesting an unsupported ISA throws at first use.
+//
+// Determinism contract: every kernel is a pure function of its inputs
+// with a fixed association per ISA — no thread-count or chunking
+// dependence — so fast-mode results are reproducible per (machine, env)
+// even though they differ from the exact path in the last ulps. The
+// AVX2 variants carry their own `target("avx2,fma")` attributes, so no
+// global -mavx2 flag is needed and the exact path's code generation is
+// untouched.
+
+#include <cstddef>
+
+namespace gasched::core::kernels {
+
+enum class Isa { kScalar, kAvx2, kNeon };
+
+/// "scalar" / "avx2" / "neon".
+const char* isa_name(Isa isa) noexcept;
+
+/// Compile-time and runtime capability report (perf_kernels --report,
+/// ledger machine stanza).
+struct CpuFeatures {
+  bool compiled_avx2 = false;  ///< this binary carries an AVX2 code path
+  bool compiled_neon = false;  ///< this binary carries a NEON code path
+  bool runtime_avx2 = false;   ///< CPU reports AVX2 and FMA
+  bool runtime_neon = false;   ///< aarch64 baseline
+  bool native_build = false;   ///< built with GASCHED_NATIVE
+};
+CpuFeatures cpu_features() noexcept;
+
+/// True when `isa` can execute on this build + CPU.
+bool supported(Isa isa) noexcept;
+
+/// ISA the dispatched kernels below use: best supported, unless
+/// GASCHED_KERNEL_ISA overrides. Cached at first use; throws
+/// std::runtime_error on an unsupported or unknown override.
+Isa active_isa();
+
+/// Σ_k values[idx[k]] (n indices). The fast queue-pricing primitive:
+/// `values` is a per-processor cost pane, `idx` a queue's slot list.
+double sum_gather(const double* values, const std::size_t* idx,
+                  std::size_t n);
+
+/// Hoistable form of sum_gather: the active ISA's function pointer, so a
+/// caller pricing many short queues (the batched population path — H/M
+/// can be ~4 slots per queue) resolves the dispatch once per block
+/// instead of once per queue. Same function the dispatched wrapper
+/// calls; identical bits.
+using SumGatherFn = double (*)(const double*, const std::size_t*,
+                               std::size_t);
+SumGatherFn sum_gather_fn();
+
+/// Σ_k values[k] over a contiguous range.
+double sum_range(const double* values, std::size_t n);
+
+/// Metrics reduction over one completion lane.
+struct Reduction {
+  double sum_sq = 0.0;     ///< Σ_j (ψ − completion[j])²
+  double max = 0.0;        ///< max_j completion[j] (0 when m == 0)
+  std::size_t argmax = 0;  ///< first j attaining max
+};
+Reduction reduce_deviation(const double* completion, std::size_t m,
+                           double psi);
+
+// Per-ISA entry points (tests compare variants; the dispatched functions
+// above route to active_isa()). Calling an unsupported ISA is undefined
+// behaviour — check supported() first.
+double sum_gather_isa(Isa isa, const double* values, const std::size_t* idx,
+                      std::size_t n);
+double sum_range_isa(Isa isa, const double* values, std::size_t n);
+Reduction reduce_deviation_isa(Isa isa, const double* completion,
+                               std::size_t m, double psi);
+
+}  // namespace gasched::core::kernels

@@ -1,0 +1,140 @@
+#include "core/numeric.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <stdexcept>
+
+namespace gasched::core {
+
+const char* numeric_mode_name(NumericMode mode) noexcept {
+  return mode == NumericMode::kFast ? "fast" : "exact";
+}
+
+NumericMode parse_numeric_mode(const std::string& name) {
+  if (name == "exact") return NumericMode::kExact;
+  if (name == "fast") return NumericMode::kFast;
+  throw std::runtime_error("unknown numeric mode '" + name +
+                           "' (valid: exact, fast)");
+}
+
+namespace {
+
+// -1 = not yet initialized from the environment.
+std::atomic<int> g_default_mode{-1};
+
+int mode_from_env() {
+  const char* env = std::getenv("GASCHED_NUMERIC_MODE");
+  if (env == nullptr || *env == '\0') {
+    return static_cast<int>(NumericMode::kExact);
+  }
+  const std::string name(env);
+  if (name == "exact") return static_cast<int>(NumericMode::kExact);
+  if (name == "fast") return static_cast<int>(NumericMode::kFast);
+  std::fprintf(stderr,
+               "gasched: ignoring GASCHED_NUMERIC_MODE='%s' "
+               "(valid: exact, fast)\n",
+               env);
+  return static_cast<int>(NumericMode::kExact);
+}
+
+}  // namespace
+
+NumericMode default_numeric_mode() noexcept {
+  int m = g_default_mode.load(std::memory_order_relaxed);
+  if (m < 0) {
+    int from_env = mode_from_env();
+    // First writer wins so a concurrent set_default_numeric_mode() is
+    // never clobbered by a late environment read.
+    g_default_mode.compare_exchange_strong(m, from_env,
+                                           std::memory_order_relaxed);
+    m = g_default_mode.load(std::memory_order_relaxed);
+  }
+  return static_cast<NumericMode>(m);
+}
+
+void set_default_numeric_mode(NumericMode mode) noexcept {
+  g_default_mode.store(static_cast<int>(mode), std::memory_order_relaxed);
+}
+
+double metric_deviation(double fast, double exact, double scale) noexcept {
+  const double diff = std::abs(fast - exact);
+  const double denom =
+      std::max({std::abs(fast), std::abs(exact), std::abs(scale)});
+  return denom > 0.0 ? diff / denom : 0.0;
+}
+
+ToleranceAudit::ToleranceAudit() : cfg_(global().config()) {}
+
+ToleranceAudit::ToleranceAudit(AuditConfig cfg) : cfg_(cfg) {}
+
+void ToleranceAudit::configure(AuditConfig cfg) { cfg_ = cfg; }
+
+void ToleranceAudit::record(double deviation) {
+  samples_.fetch_add(1, std::memory_order_relaxed);
+  // Monotone CAS-max on the bit pattern: for non-negative doubles the
+  // integer order matches the floating-point order.
+  const std::uint64_t bits =
+      std::bit_cast<std::uint64_t>(std::max(deviation, 0.0));
+  std::uint64_t cur = max_bits_.load(std::memory_order_relaxed);
+  while (bits > cur && !max_bits_.compare_exchange_weak(
+                           cur, bits, std::memory_order_relaxed)) {
+  }
+  if (!(deviation <= cfg_.tolerance)) {
+    violations_.fetch_add(1, std::memory_order_relaxed);
+    char msg[160];
+    std::snprintf(msg, sizeof msg,
+                  "ToleranceAudit: fast-path deviation %.17g exceeds "
+                  "tolerance %.17g",
+                  deviation, cfg_.tolerance);
+    throw std::runtime_error(msg);
+  }
+}
+
+void ToleranceAudit::fold(const ToleranceAudit& other) noexcept {
+  const std::uint64_t bits = other.max_bits_.load(std::memory_order_relaxed);
+  std::uint64_t cur = max_bits_.load(std::memory_order_relaxed);
+  while (bits > cur && !max_bits_.compare_exchange_weak(
+                           cur, bits, std::memory_order_relaxed)) {
+  }
+  samples_.fetch_add(other.samples(), std::memory_order_relaxed);
+  violations_.fetch_add(other.violations(), std::memory_order_relaxed);
+}
+
+void ToleranceAudit::reset() noexcept {
+  max_bits_.store(0, std::memory_order_relaxed);
+  samples_.store(0, std::memory_order_relaxed);
+  violations_.store(0, std::memory_order_relaxed);
+}
+
+double ToleranceAudit::max_deviation() const noexcept {
+  return std::bit_cast<double>(max_bits_.load(std::memory_order_relaxed));
+}
+
+namespace {
+
+ToleranceAudit& global_audit() {
+  static ToleranceAudit audit{AuditConfig{}};
+  return audit;
+}
+
+thread_local ToleranceAudit* t_current_audit = nullptr;
+
+}  // namespace
+
+ToleranceAudit& ToleranceAudit::global() noexcept { return global_audit(); }
+
+ToleranceAudit* ToleranceAudit::current() noexcept {
+  return t_current_audit != nullptr ? t_current_audit : &global_audit();
+}
+
+ToleranceAudit::Scope::Scope(ToleranceAudit& audit) noexcept
+    : previous_(t_current_audit) {
+  t_current_audit = &audit;
+}
+
+ToleranceAudit::Scope::~Scope() { t_current_audit = previous_; }
+
+}  // namespace gasched::core

@@ -95,16 +95,25 @@ GaResult GaEngine::run_seeded(const GaProblem& problem,
   const bool use_pool =
       cfg_.parallel_evaluation && P > cfg_.parallel_eval_threshold;
   std::vector<std::size_t> dirty_idx;
-  if (use_pool) dirty_idx.reserve(P);
+  dirty_idx.reserve(P);
+  std::vector<GaProblem::Evaluation> dirty_eval;
+  dirty_eval.reserve(P);
 
   auto evaluate_all = [&] {
     // Evaluate only dirty individuals; cached entries are bit-identical
-    // to a re-evaluation because evaluate() is pure.
-    if (use_pool) {
-      dirty_idx.clear();
-      for (std::size_t i = 0; i < P; ++i) {
-        if (pop.dirty[i]) dirty_idx.push_back(i);
-      }
+    // to a re-evaluation because evaluate() is pure. Both sweeps route
+    // through evaluate_batch so problems with a vectorized population
+    // path price each block at once; the default evaluate_batch is a
+    // plain evaluate() loop, preserving the historical behaviour bit
+    // for bit.
+    dirty_idx.clear();
+    for (std::size_t i = 0; i < P; ++i) {
+      if (pop.dirty[i]) dirty_idx.push_back(i);
+    }
+    dirty_eval.resize(dirty_idx.size());
+    const std::span<const Chromosome> all(pop.chrom);
+    const std::span<const std::size_t> dirty(dirty_idx);
+    if (use_pool && !dirty_idx.empty()) {
       util::ThreadPool& pool = util::global_pool();
       const std::size_t chunks = std::max<std::size_t>(
           1, std::min(dirty_idx.size(), pool.size()));
@@ -115,25 +124,20 @@ GaResult GaEngine::run_seeded(const GaProblem& problem,
       pool.parallel_for(0, chunks, [&](std::size_t c) {
         const std::size_t lo = c * per;
         const std::size_t hi = std::min(lo + per, dirty_idx.size());
-        for (std::size_t k = lo; k < hi; ++k) {
-          const std::size_t i = dirty_idx[k];
-          const auto e = problem.evaluate(pop.chrom[i], chunk_ws[c].get());
-          pop.fitness[i] = e.fitness;
-          pop.objective[i] = e.objective;
-          pop.dirty[i] = 0;
-        }
+        if (lo >= hi) return;
+        problem.evaluate_batch(all, dirty.subspan(lo, hi - lo),
+                               chunk_ws[c].get(), dirty_eval.data() + lo);
       });
-      result.evaluations += dirty_idx.size();
-    } else {
-      for (std::size_t i = 0; i < P; ++i) {
-        if (!pop.dirty[i]) continue;
-        const auto e = problem.evaluate(pop.chrom[i], serial_ws.get());
-        pop.fitness[i] = e.fitness;
-        pop.objective[i] = e.objective;
-        pop.dirty[i] = 0;
-        ++result.evaluations;
-      }
+    } else if (!dirty_idx.empty()) {
+      problem.evaluate_batch(all, dirty, serial_ws.get(), dirty_eval.data());
     }
+    for (std::size_t k = 0; k < dirty_idx.size(); ++k) {
+      const std::size_t i = dirty_idx[k];
+      pop.fitness[i] = dirty_eval[k].fitness;
+      pop.objective[i] = dirty_eval[k].objective;
+      pop.dirty[i] = 0;
+    }
+    result.evaluations += dirty_idx.size();
     // Best-so-far reduction stays serial and in index order so ties keep
     // the same chromosome regardless of thread count.
     for (std::size_t i = 0; i < P; ++i) {

@@ -24,8 +24,10 @@
 #include <functional>
 #include <limits>
 #include <memory>
+#include <span>
 #include <vector>
 
+#include "core/numeric.hpp"
 #include "ga/chromosome.hpp"
 #include "ga/crossover.hpp"
 #include "ga/mutation.hpp"
@@ -80,6 +82,22 @@ class GaProblem {
   virtual Evaluation evaluate(const Chromosome& c, Workspace* ws) const {
     (void)ws;
     return {fitness(c), objective(c)};
+  }
+
+  /// Evaluates a block of individuals: for each k, out[k] receives the
+  /// evaluation of pop[indices[k]]. The engine routes every evaluation
+  /// sweep (serial and per-chunk parallel) through this hook so problems
+  /// with a vectorized population path (core::ScheduleProblem under
+  /// NumericMode::kFast) can price the whole block at once. The default
+  /// loops evaluate() in index order — bit-identical to the engine
+  /// calling evaluate() itself. Same purity/concurrency contract as
+  /// evaluate(); `out` has indices.size() slots.
+  virtual void evaluate_batch(std::span<const Chromosome> pop,
+                              std::span<const std::size_t> indices,
+                              Workspace* ws, Evaluation* out) const {
+    for (std::size_t k = 0; k < indices.size(); ++k) {
+      out[k] = evaluate(pop[indices[k]], ws);
+    }
   }
 
   /// Creates an evaluation workspace (null when the problem needs none).
@@ -140,6 +158,13 @@ struct GaConfig {
   /// Populations at or below this size always evaluate serially (the
   /// paper's 20-individual micro GA does not amortise a fork/join).
   std::size_t parallel_eval_threshold = 64;
+  /// Numeric mode the problem's evaluators should price with
+  /// (core/numeric.hpp). The engine itself never sums — this knob rides
+  /// the config so schedulers that build an evaluator per invocation
+  /// (core::GeneticBatchScheduler) plumb one mode end to end. Defaults
+  /// to the process-wide default (exact unless GASCHED_NUMERIC_MODE or
+  /// an [eval] config section says fast).
+  core::NumericMode numeric_mode = core::default_numeric_mode();
 };
 
 /// Outcome of one GA run.

@@ -34,7 +34,8 @@ sim::BatchAssignment LocalSearchBatchPolicy::invoke(
   }
 
   const core::ScheduleEvaluator eval(std::move(sizes), view,
-                                     cfg_.use_comm_estimates);
+                                     cfg_.use_comm_estimates,
+                                     cfg_.numeric_mode);
   core::list_schedule_flat(eval, cfg_.init_random_fraction, rng, scratch_);
   search(eval, scratch_, rng);
 

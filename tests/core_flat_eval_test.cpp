@@ -18,6 +18,14 @@
 namespace gasched::core {
 namespace {
 
+// Every identity here asserts the canonical (exact-mode) bitwise
+// contract; pin the process default so a GASCHED_NUMERIC_MODE=fast CI
+// run cannot switch the default-constructed evaluators to the SIMD path
+// (whose results are tolerance-bounded, not bit-pinned).
+const struct PinExactMode {
+  PinExactMode() { set_default_numeric_mode(NumericMode::kExact); }
+} pin_exact_mode;
+
 sim::SystemView random_view(std::size_t procs, util::Rng& rng) {
   sim::SystemView v;
   v.procs.resize(procs);

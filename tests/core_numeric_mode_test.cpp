@@ -1,0 +1,481 @@
+// Numeric-mode contract tests (docs/evaluation.md, "Numeric modes"):
+// the SIMD kernels against long-double references per supported ISA, a
+// ~500-instance fast-vs-exact fuzz across batch/cluster/comm regimes,
+// the bitwise identities each mode promises (exact: canonical goldens
+// unchanged; fast: delta pricing == full pricing), and the
+// ToleranceAudit machinery — including the deliberate-violation hook
+// proving a tolerance breach is a hard error, not a warning.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstring>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+#include "core/encoding.hpp"
+#include "core/fitness.hpp"
+#include "core/kernels.hpp"
+#include "core/numeric.hpp"
+#include "ga/engine.hpp"
+#include "ga/crossover.hpp"
+#include "ga/mutation.hpp"
+#include "ga/selection.hpp"
+#include "util/rng.hpp"
+
+namespace gasched::core {
+namespace {
+
+// This file constructs every evaluator with an explicit mode, so it is
+// immune to the GASCHED_NUMERIC_MODE override the fast-mode CI job sets;
+// nothing here pins the process default.
+
+sim::SystemView random_view(std::size_t procs, double comm_hi,
+                            util::Rng& rng) {
+  sim::SystemView v;
+  v.procs.resize(procs);
+  for (std::size_t j = 0; j < procs; ++j) {
+    v.procs[j].id = static_cast<sim::ProcId>(j);
+    v.procs[j].rate = rng.uniform(5.0, 120.0);
+    v.procs[j].pending_mflops =
+        rng.bernoulli(0.5) ? rng.uniform(0.0, 500.0) : 0.0;
+    v.procs[j].comm_estimate = rng.uniform(0.0, comm_hi);
+    v.procs[j].comm_observations = 1;
+  }
+  return v;
+}
+
+std::vector<double> random_sizes(std::size_t tasks, util::Rng& rng) {
+  std::vector<double> s(tasks);
+  for (auto& v : s) v = rng.uniform(5.0, 1500.0);
+  return s;
+}
+
+ga::Chromosome random_chromosome(const ScheduleCodec& codec, util::Rng& rng) {
+  ga::Chromosome c;
+  c.reserve(codec.chromosome_length());
+  for (std::size_t s = 0; s < codec.num_tasks(); ++s) {
+    c.push_back(ScheduleCodec::task_gene(s));
+  }
+  for (std::size_t k = 0; k + 1 < codec.num_procs(); ++k) {
+    c.push_back(ScheduleCodec::delimiter_gene(k));
+  }
+  rng.shuffle(c);
+  return c;
+}
+
+std::vector<kernels::Isa> supported_isas() {
+  std::vector<kernels::Isa> isas{kernels::Isa::kScalar};
+  if (kernels::supported(kernels::Isa::kAvx2)) {
+    isas.push_back(kernels::Isa::kAvx2);
+  }
+  if (kernels::supported(kernels::Isa::kNeon)) {
+    isas.push_back(kernels::Isa::kNeon);
+  }
+  return isas;
+}
+
+// --- kernels ----------------------------------------------------------------
+
+TEST(Kernels, SumGatherMatchesLongDoubleReferenceAcrossIsas) {
+  util::Rng rng(11);
+  for (const kernels::Isa isa : supported_isas()) {
+    for (const std::size_t n :
+         {std::size_t{0}, std::size_t{1}, std::size_t{3}, std::size_t{4},
+          std::size_t{7}, std::size_t{8}, std::size_t{9}, std::size_t{31},
+          std::size_t{257}}) {
+      std::vector<double> values(1024);
+      for (auto& v : values) v = rng.uniform(-100.0, 100.0);
+      std::vector<std::size_t> idx(n);
+      for (auto& i : idx) i = rng.index(values.size());
+
+      long double ref = 0.0L;
+      for (const std::size_t i : idx) ref += values[i];
+      const double got = kernels::sum_gather_isa(isa, values.data(),
+                                                 idx.data(), n);
+      const double dev = metric_deviation(got, static_cast<double>(ref), 1.0);
+      EXPECT_LE(dev, 1e-13) << kernels::isa_name(isa) << " n=" << n;
+    }
+  }
+}
+
+TEST(Kernels, SumRangeMatchesLongDoubleReferenceAcrossIsas) {
+  util::Rng rng(12);
+  for (const kernels::Isa isa : supported_isas()) {
+    for (const std::size_t n :
+         {std::size_t{0}, std::size_t{1}, std::size_t{5}, std::size_t{8},
+          std::size_t{13}, std::size_t{64}, std::size_t{501}}) {
+      std::vector<double> values(n);
+      for (auto& v : values) v = rng.uniform(0.0, 1000.0);
+      long double ref = 0.0L;
+      for (const double v : values) ref += v;
+      const double got = kernels::sum_range_isa(isa, values.data(), n);
+      const double dev = metric_deviation(got, static_cast<double>(ref), 1.0);
+      EXPECT_LE(dev, 1e-13) << kernels::isa_name(isa) << " n=" << n;
+    }
+  }
+}
+
+TEST(Kernels, ReduceDeviationMatchesScalarSemanticsAcrossIsas) {
+  util::Rng rng(13);
+  for (const kernels::Isa isa : supported_isas()) {
+    for (const std::size_t m :
+         {std::size_t{0}, std::size_t{1}, std::size_t{2}, std::size_t{4},
+          std::size_t{5}, std::size_t{9}, std::size_t{33}}) {
+      std::vector<double> completion(m);
+      for (auto& c : completion) c = rng.uniform(0.0, 500.0);
+      if (m >= 2) completion[m / 2] = completion[0];  // duplicate-max case
+      const double psi = rng.uniform(0.0, 500.0);
+
+      long double sum_sq = 0.0L;
+      double mx = 0.0;
+      for (const double c : completion) {
+        const long double d = static_cast<long double>(psi) - c;
+        sum_sq += d * d;
+        mx = std::max(mx, c);
+      }
+      std::size_t argmax = 0;
+      for (std::size_t j = 0; j < m; ++j) {
+        if (completion[j] == mx) {
+          argmax = j;
+          break;
+        }
+      }
+
+      const kernels::Reduction r =
+          kernels::reduce_deviation_isa(isa, completion.data(), m, psi);
+      EXPECT_LE(metric_deviation(r.sum_sq, static_cast<double>(sum_sq), 1.0),
+                1e-13)
+          << kernels::isa_name(isa) << " m=" << m;
+      EXPECT_EQ(r.max, mx) << kernels::isa_name(isa) << " m=" << m;
+      EXPECT_EQ(r.argmax, argmax) << kernels::isa_name(isa) << " m=" << m;
+    }
+  }
+}
+
+TEST(Kernels, ActiveIsaIsSupportedAndDispatchedKernelsMatchIt) {
+  const kernels::Isa isa = kernels::active_isa();
+  EXPECT_TRUE(kernels::supported(isa));
+  util::Rng rng(14);
+  std::vector<double> values(129);
+  for (auto& v : values) v = rng.uniform(0.0, 10.0);
+  std::vector<std::size_t> idx(77);
+  for (auto& i : idx) i = rng.index(values.size());
+  EXPECT_EQ(kernels::sum_gather(values.data(), idx.data(), idx.size()),
+            kernels::sum_gather_isa(isa, values.data(), idx.data(),
+                                    idx.size()));
+  EXPECT_EQ(kernels::sum_range(values.data(), values.size()),
+            kernels::sum_range_isa(isa, values.data(), values.size()));
+  const kernels::Reduction a =
+      kernels::reduce_deviation(values.data(), values.size(), 5.0);
+  const kernels::Reduction b =
+      kernels::reduce_deviation_isa(isa, values.data(), values.size(), 5.0);
+  EXPECT_EQ(a.sum_sq, b.sum_sq);
+  EXPECT_EQ(a.max, b.max);
+  EXPECT_EQ(a.argmax, b.argmax);
+}
+
+// --- mode parsing -----------------------------------------------------------
+
+TEST(NumericMode, ParseAndNameRoundTrip) {
+  EXPECT_EQ(parse_numeric_mode("exact"), NumericMode::kExact);
+  EXPECT_EQ(parse_numeric_mode("fast"), NumericMode::kFast);
+  EXPECT_STREQ(numeric_mode_name(NumericMode::kExact), "exact");
+  EXPECT_STREQ(numeric_mode_name(NumericMode::kFast), "fast");
+  EXPECT_THROW(parse_numeric_mode("fastest"), std::runtime_error);
+  EXPECT_THROW(parse_numeric_mode(""), std::runtime_error);
+}
+
+// --- fast vs exact property -------------------------------------------------
+
+// ~500 random instances spanning the regimes the evaluator meets in
+// practice: tiny/medium/large batches (H), narrow/wide clusters (M), and
+// comm-free vs comm-heavy objectives (Γ). Every fast metric must stay
+// within 1e-12 relative deviation of its exact shadow — the exact bound
+// the default ToleranceAudit enforces in production. The audit itself
+// runs with sample_period = 1 here, so each fast pricing is *also*
+// shadow-checked internally; a violation would throw and fail the test
+// twice over.
+TEST(NumericModeProperty, FastMatchesExactWithinToleranceFuzzed) {
+  util::Rng rng(31);
+  ToleranceAudit audit(AuditConfig{1e-12, 1});
+  const ToleranceAudit::Scope scope(audit);
+
+  FlatSchedule flat;
+  QueueLoads loads;
+  const std::size_t kRounds = 500;
+  for (std::size_t round = 0; round < kRounds; ++round) {
+    const std::size_t regime = round % 3;
+    const std::size_t tasks =
+        regime == 0 ? 1 + rng.index(8)
+                    : (regime == 1 ? 20 + rng.index(100) : 200 + rng.index(400));
+    const std::size_t procs = regime == 0 ? 1 + rng.index(3)
+                                          : (regime == 1 ? 4 + rng.index(13)
+                                                         : 16 + rng.index(49));
+    const bool use_comm = rng.bernoulli(0.5);
+    const double comm_hi = rng.bernoulli(0.5) ? 2.0 : 60.0;
+
+    const ScheduleCodec codec(tasks, procs);
+    const auto sizes = random_sizes(tasks, rng);
+    const auto view = random_view(procs, comm_hi, rng);
+    const ScheduleEvaluator exact(sizes, view, use_comm, NumericMode::kExact);
+    const ScheduleEvaluator fast(sizes, view, use_comm, NumericMode::kFast);
+    const ga::Chromosome c = random_chromosome(codec, rng);
+
+    const BatchEvaluation fe = fast.load_decoded(codec, c, flat, loads);
+    const BatchEvaluation ee = exact.evaluate(flat);
+
+    EXPECT_LE(metric_deviation(fe.fitness, ee.fitness, 1.0), 1e-12);
+    EXPECT_LE(metric_deviation(fe.makespan, ee.makespan, exact.psi()), 1e-12);
+    EXPECT_LE(
+        metric_deviation(fe.relative_error, ee.relative_error, exact.psi()),
+        1e-12);
+  }
+  EXPECT_EQ(audit.violations(), 0u);
+  EXPECT_GE(audit.samples(), kRounds);  // period 1: every pricing sampled
+  EXPECT_LE(audit.max_deviation(), 1e-12);
+}
+
+// Fast-mode internal consistency: delta re-pricing must be bit-identical
+// to fast full pricing — the contract that lets the improvement
+// heuristic hand its delta-priced evaluation to the engine without a
+// re-evaluation (docs/evaluation.md).
+TEST(NumericModeProperty, FastDeltaPricingBitIdenticalToFastFullPricing) {
+  util::Rng rng(32);
+  // Sampling off: this test asserts bitwise identities, not tolerances.
+  ToleranceAudit audit(AuditConfig{1e-12, 0});
+  const ToleranceAudit::Scope scope(audit);
+
+  FlatSchedule flat;
+  QueueLoads delta_loads, full_loads;
+  for (int round = 0; round < 60; ++round) {
+    const std::size_t tasks = 2 + rng.index(60);
+    const std::size_t procs = 2 + rng.index(12);
+    const ScheduleCodec codec(tasks, procs);
+    const ScheduleEvaluator fast(random_sizes(tasks, rng),
+                                 random_view(procs, 30.0, rng),
+                                 rng.bernoulli(0.5), NumericMode::kFast);
+    ProcQueues queues = codec.decode(random_chromosome(codec, rng));
+    flat.assign(queues);
+    fast.load(flat, delta_loads);
+
+    for (int edit = 0; edit < 10; ++edit) {
+      // Move a random task to a random other queue, then delta-reprice.
+      const std::size_t from = rng.index(procs);
+      std::size_t to = rng.index(procs - 1);
+      if (to >= from) ++to;
+      if (queues[from].empty()) continue;
+      const std::size_t pos = rng.index(queues[from].size());
+      queues[to].push_back(queues[from][pos]);
+      queues[from].erase(queues[from].begin() +
+                         static_cast<std::ptrdiff_t>(pos));
+      flat.assign(queues);
+      const BatchEvaluation de = fast.evaluate_move(flat, delta_loads, from, to);
+      const BatchEvaluation fe = fast.load(flat, full_loads);
+      ASSERT_EQ(de.fitness, fe.fitness);
+      ASSERT_EQ(de.makespan, fe.makespan);
+      ASSERT_EQ(de.relative_error, fe.relative_error);
+      ASSERT_EQ(delta_loads.sum_sq, full_loads.sum_sq);
+      ASSERT_EQ(delta_loads.max_completion, full_loads.max_completion);
+      ASSERT_EQ(delta_loads.heaviest, full_loads.heaviest);
+      for (std::size_t j = 0; j < procs; ++j) {
+        ASSERT_EQ(delta_loads.completion[j], full_loads.completion[j]);
+      }
+    }
+  }
+}
+
+// Exact-mode regression: constructing an evaluator with kExact (or with
+// the kFast machinery compiled in but unused) must leave every canonical
+// path bit-identical to the stateless single-pass evaluation — the
+// identity all goldens and figure CSVs rest on.
+TEST(NumericModeProperty, ExactModePathsStayBitIdentical) {
+  util::Rng rng(33);
+  FlatSchedule flat;
+  QueueLoads loads;
+  for (int round = 0; round < 80; ++round) {
+    const std::size_t tasks = 1 + rng.index(50);
+    const std::size_t procs = 1 + rng.index(10);
+    const ScheduleCodec codec(tasks, procs);
+    const ScheduleEvaluator exact(random_sizes(tasks, rng),
+                                  random_view(procs, 30.0, rng),
+                                  rng.bernoulli(0.5), NumericMode::kExact);
+    const ga::Chromosome c = random_chromosome(codec, rng);
+
+    const BatchEvaluation fused = exact.load_decoded(codec, c, flat, loads);
+    const BatchEvaluation stateless = exact.evaluate(flat);
+    ASSERT_EQ(fused.fitness, stateless.fitness);
+    ASSERT_EQ(fused.makespan, stateless.makespan);
+    ASSERT_EQ(fused.relative_error, stateless.relative_error);
+
+    QueueLoads reloaded;
+    const BatchEvaluation loaded = exact.load(flat, reloaded);
+    ASSERT_EQ(loaded.fitness, stateless.fitness);
+    ASSERT_EQ(loaded.makespan, stateless.makespan);
+    ASSERT_EQ(loaded.relative_error, stateless.relative_error);
+  }
+}
+
+// --- batched engine path ----------------------------------------------------
+
+TEST(NumericModeBatch, EvaluateBatchFastMatchesExactPerChromosome) {
+  util::Rng rng(41);
+  ToleranceAudit audit(AuditConfig{1e-12, 1});
+  const ToleranceAudit::Scope scope(audit);
+
+  const std::size_t tasks = 40, procs = 8;
+  const ScheduleCodec codec(tasks, procs);
+  const auto sizes = random_sizes(tasks, rng);
+  const auto view = random_view(procs, 20.0, rng);
+  const ScheduleEvaluator exact(sizes, view, true, NumericMode::kExact);
+  const ScheduleEvaluator fast(sizes, view, true, NumericMode::kFast);
+  const ScheduleProblem exact_problem(codec, exact);
+  const ScheduleProblem fast_problem(codec, fast);
+
+  std::vector<ga::Chromosome> pop;
+  for (int k = 0; k < 24; ++k) pop.push_back(random_chromosome(codec, rng));
+  std::vector<std::size_t> indices;
+  for (std::size_t k = 0; k < pop.size(); k += 2) indices.push_back(k);
+
+  const auto ws = fast_problem.make_workspace();
+  std::vector<ga::GaProblem::Evaluation> got(indices.size());
+  fast_problem.evaluate_batch(pop, indices, ws.get(), got.data());
+
+  const auto exact_ws = exact_problem.make_workspace();
+  for (std::size_t k = 0; k < indices.size(); ++k) {
+    const auto want =
+        exact_problem.evaluate(pop[indices[k]], exact_ws.get());
+    EXPECT_LE(metric_deviation(got[k].fitness, want.fitness, 1.0), 1e-12);
+    EXPECT_LE(metric_deviation(got[k].objective, want.objective, exact.psi()),
+              1e-12);
+  }
+  EXPECT_GT(audit.samples(), 0u);  // period 1: the batched path sampled
+  EXPECT_EQ(audit.violations(), 0u);
+}
+
+TEST(NumericModeBatch, GaRunsEndToEndInFastModeUnderAudit) {
+  util::Rng rng(42);
+  ToleranceAudit audit(AuditConfig{1e-12, 4});
+  const ToleranceAudit::Scope scope(audit);
+
+  const std::size_t tasks = 30, procs = 6;
+  const ScheduleCodec codec(tasks, procs);
+  const ScheduleEvaluator fast(random_sizes(tasks, rng),
+                               random_view(procs, 20.0, rng), true,
+                               NumericMode::kFast);
+  const ScheduleProblem problem(codec, fast);
+
+  ga::GaConfig cfg;
+  cfg.population = 10;
+  cfg.max_generations = 8;
+  cfg.numeric_mode = NumericMode::kFast;
+  const ga::RouletteSelection sel;
+  const ga::CycleCrossover cx;
+  const ga::SwapMutation mut;
+  const ga::GaEngine engine(cfg, sel, cx, mut);
+
+  std::vector<ga::Chromosome> initial;
+  for (std::size_t k = 0; k < cfg.population; ++k) {
+    initial.push_back(random_chromosome(codec, rng));
+  }
+  util::Rng ga_rng(43);
+  const ga::GaResult result = engine.run(problem, std::move(initial), ga_rng);
+  EXPECT_GT(result.evaluations, 0u);
+  EXPECT_GT(result.best_fitness, 0.0);
+  EXPECT_GT(audit.samples(), 0u);
+  EXPECT_EQ(audit.violations(), 0u);
+}
+
+// --- tolerance audit --------------------------------------------------------
+
+TEST(ToleranceAuditTest, RecordsMaxAndCounts) {
+  ToleranceAudit audit(AuditConfig{1e-6, 1});
+  audit.record(1e-9);
+  audit.record(5e-8);
+  audit.record(2e-9);
+  EXPECT_EQ(audit.samples(), 3u);
+  EXPECT_EQ(audit.violations(), 0u);
+  EXPECT_EQ(audit.max_deviation(), 5e-8);
+  audit.reset();
+  EXPECT_EQ(audit.samples(), 0u);
+  EXPECT_EQ(audit.max_deviation(), 0.0);
+}
+
+TEST(ToleranceAuditTest, ViolationIsAHardError) {
+  ToleranceAudit audit(AuditConfig{1e-12, 1});
+  EXPECT_THROW(audit.record(1e-3), std::runtime_error);
+  EXPECT_EQ(audit.violations(), 1u);
+  EXPECT_EQ(audit.max_deviation(), 1e-3);  // recorded before the throw
+}
+
+TEST(ToleranceAuditTest, FoldAccumulatesAcrossAudits) {
+  ToleranceAudit a(AuditConfig{1.0, 1});
+  ToleranceAudit b(AuditConfig{1.0, 1});
+  a.record(1e-4);
+  b.record(3e-4);
+  b.record(2e-4);
+  a.fold(b);
+  EXPECT_EQ(a.samples(), 3u);
+  EXPECT_EQ(a.max_deviation(), 3e-4);
+}
+
+TEST(ToleranceAuditTest, ScopeInstallsAndRestoresCurrent) {
+  ToleranceAudit* before = ToleranceAudit::current();
+  {
+    ToleranceAudit outer;
+    const ToleranceAudit::Scope outer_scope(outer);
+    EXPECT_EQ(ToleranceAudit::current(), &outer);
+    {
+      ToleranceAudit inner;
+      const ToleranceAudit::Scope inner_scope(inner);
+      EXPECT_EQ(ToleranceAudit::current(), &inner);
+    }
+    EXPECT_EQ(ToleranceAudit::current(), &outer);
+  }
+  EXPECT_EQ(ToleranceAudit::current(), before);
+  EXPECT_EQ(before, &ToleranceAudit::global());
+}
+
+// The deliberate-violation hook: a negative tolerance makes every sampled
+// deviation a violation, proving the audit actually fires inside the
+// fast pricing paths — a silent audit would pass the property tests
+// without ever checking anything.
+TEST(ToleranceAuditTest, DeliberateViolationFiresInsideFastPricing) {
+  util::Rng rng(51);
+  ToleranceAudit audit(AuditConfig{-1.0, 1});
+  const ToleranceAudit::Scope scope(audit);
+
+  const std::size_t tasks = 20, procs = 5;
+  const ScheduleCodec codec(tasks, procs);
+  const ScheduleEvaluator fast(random_sizes(tasks, rng),
+                               random_view(procs, 20.0, rng), true,
+                               NumericMode::kFast);
+  FlatSchedule flat;
+  QueueLoads loads;
+  const ga::Chromosome c = random_chromosome(codec, rng);
+  EXPECT_THROW(fast.load_decoded(codec, c, flat, loads), std::runtime_error);
+  EXPECT_GE(audit.violations(), 1u);
+}
+
+TEST(ToleranceAuditTest, SamplePeriodZeroDisablesSampling) {
+  util::Rng rng(52);
+  ToleranceAudit audit(AuditConfig{-1.0, 0});  // would throw if sampled
+  const ToleranceAudit::Scope scope(audit);
+
+  const std::size_t tasks = 20, procs = 5;
+  const ScheduleCodec codec(tasks, procs);
+  const ScheduleEvaluator fast(random_sizes(tasks, rng),
+                               random_view(procs, 20.0, rng), true,
+                               NumericMode::kFast);
+  FlatSchedule flat;
+  QueueLoads loads;
+  for (int round = 0; round < 200; ++round) {
+    const ga::Chromosome c = random_chromosome(codec, rng);
+    EXPECT_NO_THROW(fast.load_decoded(codec, c, flat, loads));
+  }
+  EXPECT_EQ(audit.samples(), 0u);
+}
+
+}  // namespace
+}  // namespace gasched::core
